@@ -1,0 +1,172 @@
+//! The paper's equations, one named function each.
+//!
+//! The model structs ([`crate::inter`], [`crate::intra`]) bundle the
+//! equations for use; this module exposes them individually, named by
+//! their number in the paper, so a reader can check the code against the
+//! text line by line. Tests assert the bundles agree with the primitives.
+
+use qa_types::{ModuleProfile, SystemParams};
+
+/// Eq. 9/12 — speedup from average question time and per-question overhead:
+/// `S = N / (1 + T_overhead / T̄)`.
+pub fn eq12_speedup(n: usize, t_bar: f64, t_overhead: f64) -> f64 {
+    if t_bar <= 0.0 {
+        return 0.0;
+    }
+    n as f64 / (1.0 + t_overhead / t_bar)
+}
+
+/// Eq. 14 — load-monitoring overhead per question: every second the monitor
+/// measures (`T_loc`), broadcasts on a medium shared by `N` broadcasters,
+/// and stores `N` packets; this repeats for the question's duration `T̄`.
+pub fn eq14_monitoring(n: usize, p: &SystemParams, t_bar: f64) -> f64 {
+    let n = n as f64;
+    t_bar
+        * (p.load_measure_secs
+            + p.load_packet_bytes * n / p.net_bandwidth
+            + n * p.load_packet_bytes / p.mem_bandwidth)
+}
+
+/// Eq. 15 — dispatcher-scan overhead: three dispatchers, each scanning `N`
+/// load-table entries.
+pub fn eq15_dispatch(n: usize, p: &SystemParams) -> f64 {
+    3.0 * p.dispatch_scan_secs_per_node * n as f64
+}
+
+/// Eq. 17 — question-dispatcher migration payload (bytes): the question out,
+/// the `N_a` answers back.
+pub fn eq17_qa_migration_bytes(p: &SystemParams) -> f64 {
+    p.question_bytes + p.answers_requested * p.answer_bytes
+}
+
+/// Eq. 18 — PR-dispatcher migration payload (bytes): keywords out,
+/// retrieved paragraphs back (keyword term negligible but included).
+pub fn eq18_pr_migration_bytes(p: &SystemParams) -> f64 {
+    p.keywords_per_question * p.keyword_bytes + p.retrieved_bytes()
+}
+
+/// Eq. 19 — AP-dispatcher migration payload (bytes): accepted paragraphs
+/// out, answers back.
+pub fn eq19_ap_migration_bytes(p: &SystemParams) -> f64 {
+    p.accepted_bytes() + p.answers_requested * p.answer_bytes
+}
+
+/// Eq. 20 — expected migration overhead per question: probability-weighted
+/// payloads, both directions, over the contended per-flow bandwidth
+/// `B_net / (N·q·p_net)`.
+pub fn eq20_migration(n: usize, p: &SystemParams) -> f64 {
+    let bytes = 2.0
+        * (p.p_migrate_qa * eq17_qa_migration_bytes(p)
+            + p.p_migrate_pr * eq18_pr_migration_bytes(p)
+            + p.p_migrate_ap * eq19_ap_migration_bytes(p));
+    let contention = (n as f64 * p.questions_per_node * p.p_net).max(1.0);
+    bytes * contention / p.net_bandwidth
+}
+
+/// Eq. 32 — the parallelizable part `T_par = T_PR + T_PS + T_AP`, with
+/// `T_PR`'s disk portion rescaled to the modeled disk bandwidth.
+pub fn eq32_t_par(p: &SystemParams, profile: &ModuleProfile) -> f64 {
+    let w = profile.pr_weights;
+    let scale = p.ref_disk_bandwidth / p.disk_bandwidth;
+    profile.times.pr * (w.cpu + w.disk * scale) + profile.times.ps + profile.times.ap
+}
+
+/// Eq. 33 — the sequential remainder `T_seq`: QP + PO + the partition
+/// control constant + paragraph traffic over network and (amplified) disk.
+pub fn eq33_t_seq(p: &SystemParams, profile: &ModuleProfile) -> f64 {
+    let payload = p.retrieved_bytes() + p.accepted_bytes();
+    profile.sequential_fixed()
+        + p.partition_constant_secs
+        + payload / p.net_bandwidth
+        + p.disk_read_amplification * payload / p.disk_bandwidth
+}
+
+/// Eq. 31 — question time on `N` nodes: `T_N = T_seq + T_par / N`.
+pub fn eq31_t_n(n: usize, t_seq: f64, t_par: f64) -> f64 {
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    t_seq + t_par / n as f64
+}
+
+/// Eq. 34 — the practical processor limit: the `N` where `T_par/N` falls to
+/// `T_seq`.
+pub fn eq34_n_max(t_seq: f64, t_par: f64) -> usize {
+    if t_seq <= 0.0 {
+        return usize::MAX;
+    }
+    (t_par / t_seq).floor().max(1.0) as usize
+}
+
+/// Eq. 36 — individual question speedup `S_Q = T_1 / T_N`.
+pub fn eq36_question_speedup(t_1: f64, t_n: f64) -> f64 {
+    if t_n <= 0.0 {
+        return 0.0;
+    }
+    t_1 / t_n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inter::InterQuestionModel;
+    use crate::intra::IntraQuestionModel;
+    use qa_types::Trec9Profile;
+
+    fn setup() -> (SystemParams, ModuleProfile) {
+        (SystemParams::trec9(), Trec9Profile::complex())
+    }
+
+    #[test]
+    fn inter_model_is_built_from_the_primitives() {
+        let p = SystemParams::trec9();
+        let profile = Trec9Profile::average();
+        let m = InterQuestionModel::new(p, profile);
+        let t_bar = profile.sequential_total();
+        for n in [1usize, 10, 100, 1000] {
+            assert!((m.monitoring_overhead(n) - eq14_monitoring(n, &p, t_bar)).abs() < 1e-9);
+            assert!((m.dispatch_overhead(n) - eq15_dispatch(n, &p)).abs() < 1e-12);
+            assert!((m.migration_overhead(n) - eq20_migration(n, &p)).abs() < 1e-9);
+            let overhead = eq14_monitoring(n, &p, t_bar)
+                + eq15_dispatch(n, &p)
+                + eq20_migration(n, &p);
+            assert!((m.speedup(n) - eq12_speedup(n, t_bar, overhead)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn intra_model_is_built_from_the_primitives() {
+        let (p, profile) = setup();
+        let m = IntraQuestionModel::new(p, profile);
+        let t_par = eq32_t_par(&p, &profile);
+        let t_seq = eq33_t_seq(&p, &profile);
+        assert!((m.t_par() - t_par).abs() < 1e-9);
+        assert!((m.t_seq() - t_seq).abs() < 1e-9);
+        assert_eq!(m.n_max(), eq34_n_max(t_seq, t_par));
+        for n in [2usize, 8, 64] {
+            assert!((m.t_n(n) - eq31_t_n(n, t_seq, t_par)).abs() < 1e-9);
+            assert!(
+                (m.speedup(n) - eq36_question_speedup(m.t1(), eq31_t_n(n, t_seq, t_par))).abs()
+                    < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn migration_payloads_ordering() {
+        // Paragraph-bearing migrations dwarf the question-bearing one.
+        let (p, _) = setup();
+        assert!(eq18_pr_migration_bytes(&p) > eq17_qa_migration_bytes(&p));
+        assert!(eq19_ap_migration_bytes(&p) > eq17_qa_migration_bytes(&p));
+        assert!(eq18_pr_migration_bytes(&p) > eq19_ap_migration_bytes(&p));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(eq12_speedup(10, 0.0, 1.0), 0.0);
+        assert!(eq31_t_n(0, 1.0, 10.0).is_infinite());
+        assert_eq!(eq34_n_max(0.0, 10.0), usize::MAX);
+        assert_eq!(eq34_n_max(100.0, 10.0), 1, "floor clamps to at least 1");
+        assert_eq!(eq36_question_speedup(10.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Criterion benches of corpus generation and question synthesis.
+
+use corpus::{Corpus, CorpusConfig, QuestionGenerator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_corpus(c: &mut Criterion) {
+    c.bench_function("corpus/generate_small", |b| {
+        b.iter(|| black_box(Corpus::generate(CorpusConfig::small(1)).unwrap()))
+    });
+
+    let corpus = Corpus::generate(CorpusConfig::small(2)).unwrap();
+    c.bench_function("corpus/generate_100_questions", |b| {
+        b.iter(|| black_box(QuestionGenerator::new(&corpus, 1).generate(100)))
+    });
+
+    c.bench_function("corpus/stats", |b| {
+        b.iter(|| black_box(corpus.stats()))
+    });
+}
+
+criterion_group!(benches, bench_corpus);
+criterion_main!(benches);

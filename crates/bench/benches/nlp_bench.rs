@@ -1,0 +1,36 @@
+//! Criterion benches of the NLP substrate: tokenization, stemming, NER,
+//! question classification.
+
+use bench::fixtures::QaFixture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use nlp::stem::stem;
+use nlp::tokenize::tokenize;
+use nlp::{NamedEntityRecognizer, QuestionProcessor};
+use std::hint::black_box;
+
+fn bench_nlp(c: &mut Criterion) {
+    let f = QaFixture::small(99, 4);
+    let paragraph = f.corpus.documents[0].paragraphs[0].clone();
+    let ner = NamedEntityRecognizer::standard();
+    let qp = QuestionProcessor::new();
+    let q = &f.questions[0].question;
+
+    c.bench_function("nlp/tokenize_paragraph", |b| {
+        b.iter(|| black_box(tokenize(black_box(&paragraph))))
+    });
+
+    c.bench_function("nlp/stem_word", |b| {
+        b.iter(|| black_box(stem(black_box("categorizations"))))
+    });
+
+    c.bench_function("nlp/ner_paragraph", |b| {
+        b.iter(|| black_box(ner.recognize(black_box(&paragraph))))
+    });
+
+    c.bench_function("nlp/question_processing", |b| {
+        b.iter(|| black_box(qp.process(black_box(q)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_nlp);
+criterion_main!(benches);

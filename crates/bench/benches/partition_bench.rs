@@ -1,0 +1,49 @@
+//! Criterion benches of the scheduling primitives: the three partitioning
+//! algorithms and the meta-scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loadsim::functions::LoadFunctions;
+use qa_types::{NodeId, QaModule, ResourceVector};
+use scheduler::meta::meta_schedule;
+use scheduler::partition::{partition_isend, partition_recv, partition_send};
+use std::hint::black_box;
+
+fn bench_partition(c: &mut Criterion) {
+    let items: Vec<u32> = (0..10_000).collect();
+    let weights = [0.3, 0.25, 0.2, 0.15, 0.1];
+
+    c.bench_function("partition/send_10k", |b| {
+        b.iter(|| black_box(partition_send(black_box(items.clone()), &weights)))
+    });
+    c.bench_function("partition/isend_10k", |b| {
+        b.iter(|| black_box(partition_isend(black_box(items.clone()), &weights)))
+    });
+    c.bench_function("partition/recv_10k_chunk40", |b| {
+        b.iter(|| black_box(partition_recv(black_box(items.clone()), 40)))
+    });
+
+    let loads: Vec<(NodeId, ResourceVector)> = (0..64)
+        .map(|i| {
+            (
+                NodeId::new(i),
+                ResourceVector::new((i % 7) as f64 * 0.2, (i % 5) as f64 * 0.25),
+            )
+        })
+        .collect();
+    let f = LoadFunctions::paper();
+    c.bench_function("scheduler/meta_schedule_64_nodes", |b| {
+        b.iter(|| {
+            black_box(
+                meta_schedule(
+                    black_box(&loads),
+                    |v| f.load_for(QaModule::Ap, v),
+                    |v| f.is_underloaded(QaModule::Ap, v),
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

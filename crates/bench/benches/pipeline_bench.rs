@@ -1,0 +1,59 @@
+//! Criterion benches of the Q/A pipeline modules: QP classification, PS
+//! scoring, AP extraction, and the end-to-end question.
+
+use bench::fixtures::QaFixture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use nlp::{NamedEntityRecognizer, QuestionProcessor};
+use qa_pipeline::answer::{extract_answers, ApItem};
+use qa_pipeline::ordering::order_paragraphs;
+use qa_pipeline::scoring::score_paragraphs;
+use qa_pipeline::PipelineConfig;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let f = QaFixture::small(78, 8);
+    let qp = QuestionProcessor::new();
+    let gq = &f.questions[0];
+    let processed = qp.process(&gq.question).unwrap();
+    let retriever = f.retriever();
+    let retrieval = retriever.retrieve_all(&processed.keywords);
+    let scored = score_paragraphs(retrieval.paragraphs.clone(), &processed.keywords);
+    let accepted = order_paragraphs(scored.clone(), 0.25, 512);
+    let items: Vec<ApItem> = accepted
+        .into_iter()
+        .map(|s| ApItem {
+            paragraph: s.paragraph,
+            rank: s.score,
+        })
+        .collect();
+    let ner = NamedEntityRecognizer::standard();
+    let cfg = PipelineConfig::default();
+
+    c.bench_function("pipeline/qp", |b| {
+        b.iter(|| black_box(qp.process(black_box(&gq.question)).unwrap()))
+    });
+
+    c.bench_function("pipeline/ps_scoring", |b| {
+        b.iter(|| {
+            black_box(score_paragraphs(
+                black_box(retrieval.paragraphs.clone()),
+                &processed.keywords,
+            ))
+        })
+    });
+
+    c.bench_function("pipeline/po_ordering", |b| {
+        b.iter(|| black_box(order_paragraphs(black_box(scored.clone()), 0.25, 512)))
+    });
+
+    c.bench_function("pipeline/ap_extraction", |b| {
+        b.iter(|| black_box(extract_answers(black_box(&items), &processed, &ner, &cfg)))
+    });
+
+    c.bench_function("pipeline/end_to_end", |b| {
+        b.iter(|| black_box(f.pipeline.answer(black_box(&gq.question)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

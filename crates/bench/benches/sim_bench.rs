@@ -1,0 +1,44 @@
+//! Criterion benches of the discrete-event simulator: raw engine event
+//! throughput and a full low-load experiment run.
+
+use cluster_sim::engine::{Engine, Stage};
+use cluster_sim::workload::{QaSimulation, SimConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qa_types::NodeId;
+use scheduler::partition::PartitionStrategy;
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    c.bench_function("engine/1000_tasks_4_nodes", |b| {
+        b.iter(|| {
+            let mut e: Engine<u32> = Engine::new(4, 12.5e6);
+            for i in 0..1000u32 {
+                let n = NodeId::new(i % 4);
+                e.spawn(
+                    vec![Stage::disk(n, 0.1), Stage::cpu(n, 0.5), Stage::net(1000.0)],
+                    i,
+                );
+            }
+            let mut done = 0;
+            while let cluster_sim::engine::Advance::TaskDone { .. } = e.advance(None) {
+                done += 1;
+            }
+            black_box(done)
+        })
+    });
+
+    c.bench_function("sim/low_load_4_nodes_4_questions", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::paper_low_load(
+                4,
+                PartitionStrategy::Recv { chunk_size: 40 },
+                4,
+                9,
+            );
+            black_box(QaSimulation::new(cfg).run())
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

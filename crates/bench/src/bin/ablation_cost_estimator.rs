@@ -1,0 +1,46 @@
+//! Ablation: cost-aware PR scheduling (the §1.4 future-work extension).
+//!
+//! The paper notes that a query-cost estimator "could be used by the load
+//! balancing mechanism" but leaves it unexplored. Here: PR workers pull
+//! sub-collections in decreasing estimated-cost order (LPT) instead of
+//! arbitrary order, with an imperfect estimator.
+
+use cluster_sim::workload::{QaSimulation, SimConfig};
+use scheduler::partition::PartitionStrategy;
+
+fn pr_time(nodes: usize, cost_aware: bool, cv: f64) -> f64 {
+    let seeds = [31u64, 32, 33];
+    let mut total = 0.0;
+    for &seed in &seeds {
+        let cfg = SimConfig {
+            pr_cost_aware: cost_aware,
+            pr_estimate_cv: cv,
+            ..SimConfig::paper_low_load(
+                nodes,
+                PartitionStrategy::Recv { chunk_size: 40 },
+                10,
+                seed,
+            )
+        };
+        total += QaSimulation::new(cfg).run().mean_timings().pr;
+    }
+    total / seeds.len() as f64
+}
+
+fn main() {
+    println!("Ablation — cost-aware (LPT) PR scheduling, mean PR time in s\n");
+    println!(
+        "{:<8}{:>12}{:>16}{:>16}{:>14}",
+        "nodes", "id order", "LPT cv=0.3", "LPT cv=1.0", "LPT oracle"
+    );
+    for nodes in [4usize, 8] {
+        let base = pr_time(nodes, false, 0.3);
+        let lpt = pr_time(nodes, true, 0.3);
+        let noisy = pr_time(nodes, true, 1.0);
+        let oracle = pr_time(nodes, true, 0.0);
+        println!("{nodes:<8}{base:>12.2}{lpt:>16.2}{noisy:>16.2}{oracle:>14.2}");
+    }
+    println!("\nreading: starting the biggest sub-collections first trims the PR");
+    println!("makespan tail; the gain survives a fairly sloppy estimator, which is");
+    println!("why the paper's citation [7] considered frequency-based estimates enough");
+}

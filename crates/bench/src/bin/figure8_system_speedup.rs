@@ -1,0 +1,26 @@
+//! Fig. 8a: analytical system speedup vs processors for three network
+//! bandwidths (inter-question parallelism, no partitioning).
+
+use analytical::tables::figure8a;
+use bench::render::fmt_bandwidth;
+
+fn main() {
+    println!("Figure 8a — analytical system speedup (inter-question parallelism)\n");
+    let fig = figure8a(1000, 100);
+    print!("{:>6}", "N");
+    for (net, _) in &fig {
+        print!("{:>12}", fmt_bandwidth(*net));
+    }
+    println!();
+    let len = fig[0].1.len();
+    for i in 0..len {
+        print!("{:>6}", fig[0].1[i].n);
+        for (_, curve) in &fig {
+            print!("{:>12.1}", curve[i].speedup);
+        }
+        println!();
+    }
+    let (_, gbit) = &fig[fig.len() - 1];
+    let eff = gbit.last().unwrap().speedup / gbit.last().unwrap().n as f64;
+    println!("\n1 Gbps efficiency at N=1000: {eff:.2}  (paper: ≈ 0.9)");
+}

@@ -1,0 +1,35 @@
+//! Fig. 9: analytical individual-question speedup vs processors —
+//! (a) network-bandwidth sweep at 1 Gbps disk, (b) disk-bandwidth sweep at
+//! 1 Gbps network.
+
+use analytical::tables::{figure9a, figure9b};
+use bench::render::fmt_bandwidth;
+
+fn print_fig(title: &str, fig: &[(f64, Vec<analytical::tables::SpeedupPoint>)]) {
+    println!("{title}\n");
+    print!("{:>6}", "N");
+    for (bw, _) in fig {
+        print!("{:>12}", fmt_bandwidth(*bw));
+    }
+    println!();
+    for i in 0..fig[0].1.len() {
+        print!("{:>6}", fig[0].1[i].n);
+        for (_, curve) in fig {
+            print!("{:>12.1}", curve[i].speedup);
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    print_fig(
+        "Figure 9a — question speedup, disk 1 Gbps, network sweep",
+        &figure9a(200, 20),
+    );
+    print_fig(
+        "Figure 9b — question speedup, network 1 Gbps, disk sweep",
+        &figure9b(200, 20),
+    );
+    println!("shape checks: 9a rises with network bandwidth; 9b falls as disk bandwidth rises");
+}

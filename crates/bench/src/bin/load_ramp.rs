@@ -1,0 +1,24 @@
+//! The §6 adaptivity claim: "the Q/A system dynamically detects the current
+//! load and selects the appropriate degree of inter and intra task
+//! parallelism at runtime". Sweep the offered load and watch the AP fan-out
+//! collapse from cluster-wide partitioning to pure migration.
+
+use cluster_sim::experiments::load_ramp;
+
+fn main() {
+    println!("Load ramp — 8-node DQA, offered load vs achieved parallelism\n");
+    println!(
+        "{:>14}{:>12}{:>14}{:>16}",
+        "mean gap (s)", "q/min", "response (s)", "AP fan-out"
+    );
+    for p in load_ramp(8, &[120.0, 30.0, 10.0, 3.0, 1.0], 71) {
+        println!(
+            "{:>14.0}{:>12.2}{:>14.1}{:>16.1}",
+            p.arrival_gap, p.throughput, p.response_time, p.mean_ap_nodes
+        );
+    }
+    println!("\nreading: at sparse arrivals every question is partitioned across");
+    println!("(nearly) all nodes; as arrivals densify the meta-scheduler finds no");
+    println!("under-loaded nodes and degenerates to single-node placement — the");
+    println!("same code path, switching regimes purely on observed load");
+}

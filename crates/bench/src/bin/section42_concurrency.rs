@@ -1,0 +1,15 @@
+//! §4.2 experiment: single-node throughput vs simultaneous questions.
+//! Peak at 2–3 concurrent questions (I/O overlap), collapse past 4
+//! (memory thrashing) — the measurement behind the under-load conditions.
+
+use cluster_sim::experiments::concurrency_experiment;
+
+fn main() {
+    println!("§4.2 — single-node throughput vs multiprogramming level\n");
+    println!("{:>12}{:>24}", "concurrent", "relative throughput");
+    for p in concurrency_experiment(8, 2001) {
+        let bar = "#".repeat((p.relative_throughput * 20.0) as usize);
+        println!("{:>12}{:>14.2}   {}", p.concurrent, p.relative_throughput, bar);
+    }
+    println!("\npaper: 2–3 simultaneous questions beat sequential; >4 falls below it");
+}

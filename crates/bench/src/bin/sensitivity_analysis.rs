@@ -1,0 +1,29 @@
+//! Sensitivity of the practical processor limit to each model parameter —
+//! the generalization of Table 4's two-parameter sweep.
+
+use analytical::sensitivity::{sweep, Parameter};
+use qa_types::{SystemParams, Trec9Profile};
+
+fn main() {
+    let params = SystemParams::trec9();
+    let profile = Trec9Profile::complex();
+    println!("Sensitivity of N_max to ±50% parameter changes (baseline N_max = {})\n",
+        analytical::IntraQuestionModel::new(params, profile).n_max());
+    println!("{:<24}{:>12}{:>12}{:>14}", "parameter", "×0.5", "×1.5", "elasticity");
+    let up = sweep(params, profile, 1.5);
+    let down = sweep(params, profile, 0.5);
+    for p in Parameter::ALL {
+        let u = up.iter().find(|s| s.parameter == p).unwrap();
+        let d = down.iter().find(|s| s.parameter == p).unwrap();
+        println!(
+            "{:<24}{:>12}{:>12}{:>14.2}",
+            format!("{p:?}"),
+            d.n_max,
+            u.n_max,
+            u.elasticity()
+        );
+    }
+    println!("\nreading: the limit is most sensitive to the paragraph traffic");
+    println!("(count × size) and the constant control cost — exactly the terms");
+    println!("T_seq is made of (Eq. 33); raw bandwidths matter less once fast");
+}

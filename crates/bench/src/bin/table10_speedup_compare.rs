@@ -1,0 +1,36 @@
+//! Table 10: analytical versus measured question speedup.
+
+use analytical::IntraQuestionModel;
+use cluster_sim::experiments::intra_experiment;
+use qa_types::{SystemParams, Trec9Profile};
+
+const PAPER: [(usize, f64, f64); 3] = [(4, 3.84, 3.67), (8, 7.34, 5.85), (12, 10.60, 7.48)];
+
+fn main() {
+    println!("Table 10 — analytical vs measured question speedup\n");
+    // The paper's cluster: 100 Mbps Ethernet, period disks (the reference
+    // bandwidth of the calibration).
+    let params = SystemParams::trec9()
+        .with_net_bandwidth(100.0 * 125_000.0)
+        .with_disk_bandwidth(SystemParams::trec9().ref_disk_bandwidth);
+    let model = IntraQuestionModel::new(params, Trec9Profile::complex());
+
+    let rows = intra_experiment(&[1, 4, 8, 12], 24, 2001);
+    let t1 = rows[0].report.mean_response_time();
+
+    println!(
+        "{:<14}{:>12}{:>12}{:>30}",
+        "", "analytical", "measured", "paper (analytical/measured)"
+    );
+    for (row, &(nodes, pa, pm)) in rows[1..].iter().zip(PAPER.iter()) {
+        let analytical = model.speedup(nodes);
+        let measured = t1 / row.report.mean_response_time();
+        println!(
+            "{:<14}{:>12.2}{:>12.2}{:>18.2} / {:.2}",
+            format!("{nodes} processors"),
+            analytical, measured, pa, pm
+        );
+    }
+    println!("\nshape check: measured < analytical at every size (uneven partition");
+    println!("granularity), with the gap widening as processors are added");
+}

@@ -1,0 +1,32 @@
+//! Table 1: example answers returned by the Q/A system (50/250-byte
+//! windows). The paper shows Falcon's answers to four TREC questions; we
+//! show the reproduction's answers to generated questions with ground
+//! truth, plus the hit/miss verdict.
+
+use bench::fixtures::QaFixture;
+
+fn main() {
+    let f = QaFixture::trec_like(2001, 8);
+    println!("Table 1 — example answers (candidate in brackets, 250-byte windows)\n");
+    for gq in &f.questions {
+        let out = f.pipeline.answer(&gq.question).expect("pipeline runs");
+        println!("{}  {}", gq.question.id, gq.question.text);
+        match out.answers.best() {
+            Some(a) => {
+                let hit = out
+                    .answers
+                    .answers
+                    .iter()
+                    .any(|x| x.candidate == gq.expected_answer);
+                println!(
+                    "    answer  ... {} ... [{}]  ({})",
+                    a.text,
+                    a.candidate,
+                    if hit { "expected answer ranked" } else { "expected answer missed" }
+                );
+            }
+            None => println!("    answer  (none found)"),
+        }
+        println!("    truth   {} in paragraph {}\n", gq.expected_answer, gq.source);
+    }
+}

@@ -1,0 +1,39 @@
+//! Table 2: per-module percentage of the Q/A task time, TREC-8 vs TREC-9.
+//!
+//! Reproduced two ways: (a) the calibrated simulator profiles (which by
+//! construction match the paper), and (b) the *real* pipeline on the
+//! synthetic corpus — whose absolute times are milliseconds, but whose
+//! bottleneck structure (PR and AP dominate; QP and PO negligible) must
+//! reproduce.
+
+use bench::fixtures::QaFixture;
+use qa_types::{ModuleTimings, Trec8Profile, Trec9Profile};
+
+fn main() {
+    println!("Table 2 — % of task time per module\n");
+    println!("{:<8}{:>12}{:>12}{:>16}", "Module", "TREC-8", "TREC-9", "ours (real)");
+    let t8 = Trec8Profile::profile().times;
+    let t9 = Trec9Profile::average().times;
+
+    let f = QaFixture::trec_like(42, 24);
+    let mut sum = ModuleTimings::default();
+    let mut n = 0;
+    for gq in &f.questions {
+        if let Ok(out) = f.pipeline.answer(&gq.question) {
+            sum += out.timings;
+            n += 1;
+        }
+    }
+    assert!(n > 0, "no question answered");
+    let ours = sum.percentages().expect("nonzero total");
+    let p8 = t8.percentages().unwrap();
+    let p9 = t9.percentages().unwrap();
+    for (i, m) in ["QP", "PR", "PS", "PO", "AP"].iter().enumerate() {
+        println!(
+            "{:<8}{:>10.1} %{:>10.1} %{:>14.1} %",
+            m, p8[i], p9[i], ours[i]
+        );
+    }
+    println!("\npaper: QP 1.1/1.2, PR 44.4/26.5, PS 5.4/2.2, PO 0.1/0.1, AP 48.7/69.7");
+    println!("(real-pipeline column: shape check — PR+AP must dominate)");
+}

@@ -1,0 +1,40 @@
+//! Table 3: average resource weights (CPU vs disk share) per module.
+//!
+//! The weights are measured the way §4.2 prescribes: accumulate per-module
+//! CPU-busy and I/O time, normalize. CPU time comes from the real
+//! pipeline's module clocks; PR's I/O time is its accounted disk bytes over
+//! a period disk's ~25 MB/s.
+
+use bench::fixtures::QaFixture;
+use loadsim::WeightEstimator;
+use qa_types::QaModule;
+
+const DISK_BYTES_PER_SEC: f64 = 25.0e6;
+
+fn main() {
+    let f = QaFixture::trec_like(7, 24);
+    let mut est = WeightEstimator::new();
+    for gq in &f.questions {
+        let Ok(out) = f.pipeline.answer(&gq.question) else {
+            continue;
+        };
+        let t = out.timings;
+        let pr_disk = out.pr_io_bytes as f64 / DISK_BYTES_PER_SEC;
+        est.record(QaModule::Qp, t.qp, 0.0);
+        est.record(QaModule::Pr, t.pr, pr_disk);
+        est.record(QaModule::Ps, t.ps, 0.0);
+        est.record(QaModule::Po, t.po, 0.0);
+        est.record(QaModule::Ap, t.ap, 0.0);
+    }
+
+    println!("Table 3 — resource weights (CPU / DISK)\n");
+    println!("{:<6}{:>10}{:>10}{:>22}", "", "CPU", "DISK", "paper (CPU/DISK)");
+    let qa = est.task_weights().expect("observations");
+    println!("{:<6}{:>10.2}{:>10.2}{:>22}", "QA", qa.cpu, qa.disk, "0.79 / 0.21");
+    let pr = est.weights(QaModule::Pr).expect("PR observed");
+    println!("{:<6}{:>10.2}{:>10.2}{:>22}", "PR", pr.cpu, pr.disk, "0.20 / 0.80");
+    let ap = est.weights(QaModule::Ap).expect("AP observed");
+    println!("{:<6}{:>10.2}{:>10.2}{:>22}", "AP", ap.cpu, ap.disk, "1.00 / 0.00");
+    println!("\n(the modern in-memory index makes our PR less disk-heavy than 2001 hardware;");
+    println!(" the qualitative split — PR disk-dominated, AP pure CPU — is the load-balancing input)");
+}

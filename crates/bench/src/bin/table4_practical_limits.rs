@@ -1,0 +1,29 @@
+//! Table 4: practical upper limits on the processor count and the
+//! corresponding speedups, over the disk × network bandwidth grid.
+
+use analytical::tables::table4;
+use bench::render::fmt_bandwidth;
+
+const PAPER: [[(u32, f64); 4]; 4] = [
+    [(17, 8.65), (64, 32.84), (89, 45.75), (93, 47.73)],
+    [(13, 6.61), (49, 25.30), (68, 35.33), (71, 36.87)],
+    [(12, 6.01), (43, 22.49), (61, 31.81), (64, 33.28)],
+    [(11, 5.59), (41, 21.35), (57, 29.90), (60, 31.34)],
+];
+
+fn main() {
+    println!("Table 4 — practical processor limits (N) and speedups (S)\n");
+    println!("{:<12}{:>24}{:>24}{:>24}{:>24}", "disk \\ net", "1 Mbps", "10 Mbps", "100 Mbps", "1 Gbps");
+    for (row, cells) in table4().chunks(4).enumerate() {
+        let mut line = format!("{:<12}", fmt_bandwidth(cells[0].disk_bandwidth));
+        for (col, c) in cells.iter().enumerate() {
+            let (pn, ps) = PAPER[row][col];
+            line.push_str(&format!(
+                "  N={:<3} S={:<5.2} ({:>3},{:>5.2})",
+                c.n_max, c.speedup, pn, ps
+            ));
+        }
+        println!("{line}");
+    }
+    println!("\n(each cell: model output, then the paper's (N, S) in parentheses)");
+}

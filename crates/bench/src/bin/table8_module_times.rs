@@ -1,0 +1,37 @@
+//! Table 8: observed module times and average question response times for
+//! the intra-question (low-load) experiment.
+
+use cluster_sim::experiments::intra_experiment;
+
+const PAPER: [(usize, [f64; 6]); 4] = [
+    (1, [0.81, 38.01, 2.06, 0.02, 117.55, 158.47]),
+    (4, [0.81, 9.78, 0.54, 0.02, 31.51, 43.13]),
+    (8, [0.81, 7.34, 0.41, 0.02, 17.86, 27.07]),
+    (12, [0.81, 7.34, 0.41, 0.02, 11.90, 21.17]),
+];
+
+fn main() {
+    println!("Table 8 — module times and question response time (seconds)\n");
+    println!(
+        "{:<14}{:>8}{:>8}{:>8}{:>8}{:>10}   paper (QP/PR/PS/PO/AP/resp)",
+        "", "QP", "PR+PS", "PO", "AP", "response"
+    );
+    let rows = intra_experiment(&[1, 4, 8, 12], 24, 2001);
+    for (row, paper) in rows.iter().zip(PAPER.iter()) {
+        let t = row.report.mean_timings();
+        let p = paper.1;
+        println!(
+            "{:<14}{:>8.2}{:>8.2}{:>8.2}{:>8.2}{:>10.2}   {:.2}/{:.2}/{:.2}/{:.2}/{:.2}/{:.2}",
+            format!("{} processors", row.nodes),
+            t.qp,
+            t.pr,
+            t.po,
+            t.ap,
+            row.report.mean_response_time(),
+            p[0], p[1], p[2], p[3], p[4], p[5]
+        );
+    }
+    println!("\nnotes: PS runs fused with its PR partition (Fig. 3), so our PR column");
+    println!("covers the paper's PR+PS; PR stops improving past 8 processors because");
+    println!("the collection has 8 sub-collections — same plateau as the paper");
+}

@@ -1,0 +1,14 @@
+//! Benchmark harness for the IPPS-2001 distributed Q/A reproduction.
+//!
+//! * `src/bin/table*.rs` and `src/bin/figure*.rs` — one binary per table
+//!   and figure of the paper's evaluation; each prints the regenerated rows
+//!   next to the values the paper reports. Run them all with
+//!   `cargo run -p bench --bin <name>` or see `EXPERIMENTS.md`.
+//! * `src/bin/ablation_scheduling.rs` — the DESIGN.md ablations
+//!   (load-function weights, migration hysteresis, number of scheduling
+//!   points).
+//! * `benches/*.rs` — criterion micro-benchmarks of the substrates
+//!   (IR engine, pipeline modules, partitioning, DES engine).
+
+pub mod fixtures;
+pub mod render;

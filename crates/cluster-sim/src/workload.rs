@@ -1,0 +1,1633 @@
+//! The per-question state machine: dispatchers, partitioning, merging.
+//!
+//! This module turns the paper's Fig. 3 into engine tasks. Each question
+//! walks QP → (PR dispatcher) → PR partitions → paragraph merge + PO →
+//! (AP dispatcher) → AP partitions → answer merge/sort, with the three
+//! scheduling points active according to the selected
+//! [`BalancingStrategy`]:
+//!
+//! * [`BalancingStrategy::Dns`] — round-robin arrival placement only;
+//! * [`BalancingStrategy::Inter`] — plus the question dispatcher (migrate
+//!   before the task starts);
+//! * [`BalancingStrategy::Dqa`] — plus the PR and AP dispatchers, each
+//!   running the meta-scheduler: under low load they *partition* the module
+//!   across under-loaded nodes, under high load they degenerate to pure
+//!   migration to the single best node (the paper's §6 observation that the
+//!   system "dynamically detects the current load and selects the
+//!   appropriate degree of inter and intra task parallelism").
+
+use crate::demand::QuestionDemand;
+use crate::engine::{Advance, Engine, Stage};
+use loadsim::functions::LoadFunctions;
+use qa_types::{ModuleProfile, ModuleTimings, NodeId, QaModule, ResourceVector, ResourceWeights};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scheduler::diffusion::{GradientModel, SenderDiffusion};
+use scheduler::dispatcher::QuestionDispatcher;
+use scheduler::meta::meta_schedule;
+use scheduler::partition::{partition_isend, partition_recv, partition_send, PartitionStrategy};
+use scheduler::recovery::ChunkQueue;
+use serde::{Deserialize, Serialize};
+
+/// Which load-balancing model runs (§6.1's three contenders plus two
+/// classic baselines from the related work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BalancingStrategy {
+    /// Round-robin DNS placement, nothing else.
+    Dns,
+    /// DNS + question dispatcher.
+    Inter,
+    /// DNS + question, PR and AP dispatchers (the paper's model).
+    Dqa,
+    /// DNS + sender-initiated diffusion at arrival (bounded probing).
+    SenderDiffusion,
+    /// DNS + gradient-model routing at arrival (ring topology, one hop).
+    Gradient,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Shared network bandwidth, bytes/s (paper: 100 Mbps Ethernet).
+    pub net_bandwidth: f64,
+    /// Load-balancing strategy.
+    pub strategy: BalancingStrategy,
+    /// AP partitioning algorithm (PR always uses receiver-controlled
+    /// single-collection chunks, per §4.1.3).
+    pub ap_partition: PartitionStrategy,
+    /// Question profiles; question `i` uses `profiles[i % len]`.
+    pub profiles: Vec<ModuleProfile>,
+    /// Number of questions to run.
+    pub questions: usize,
+    /// Uniform range of inter-arrival gaps (seconds). Ignored in serial
+    /// mode.
+    pub arrival_spacing: (f64, f64),
+    /// Serial mode: submit question `i+1` only when `i` completes (the
+    /// low-load intra-question experiments).
+    pub serial: bool,
+    /// RNG seed (demands + arrival jitter).
+    pub seed: u64,
+    /// Questions per node beyond which memory thrashing begins (paper: 4).
+    pub overload_threshold: u32,
+    /// CPU slowdown per excess resident question.
+    pub thrash_slope: f64,
+    /// Bytes per paragraph on the wire.
+    pub paragraph_bytes: f64,
+    /// Bytes of one answer set returned by an AP partition.
+    pub answer_bytes: f64,
+    /// Extra protocol bytes per RECV chunk (request + headers).
+    pub per_chunk_net_bytes: f64,
+    /// Fixed CPU cost per RECV chunk (local ranking of `N_a` answers).
+    pub per_chunk_cpu_secs: f64,
+    /// Fixed CPU cost per remote partition (connection + thread setup).
+    pub per_partition_cpu_secs: f64,
+    /// Question-dispatcher hysteresis in load-function units.
+    pub hysteresis: f64,
+    /// Closed-loop multiprogramming cap: when set, at most this many
+    /// questions are in flight system-wide (the §4.2 concurrency
+    /// experiment). `None` = open-loop arrivals.
+    pub max_in_flight: Option<usize>,
+    /// Minimum accepted-paragraph count per question: demands below it are
+    /// resampled. The paper's §6.2 selects 307 questions "complex enough to
+    /// justify distribution on all nodes" (≥ 20 paragraphs per AP module);
+    /// this reproduces that selection.
+    pub min_ap_paragraphs: usize,
+    /// Failure injection: (virtual time, node index) pairs. At each time the
+    /// node dies permanently — its running sub-tasks are lost and recovered
+    /// via the Fig. 5c / Fig. 6b mechanisms, and questions homed there are
+    /// re-homed. At least one node must survive.
+    pub node_failures: Vec<(f64, u32)>,
+    /// Cost-aware PR scheduling (the §1.4 / Cahoon-et-al. extension):
+    /// workers pull sub-collections in *decreasing estimated cost* order
+    /// (LPT), instead of collection-id order. The estimate is the true
+    /// demand blurred by `pr_estimate_cv` multiplicative noise.
+    pub pr_cost_aware: bool,
+    /// Coefficient of variation of the cost-estimator error.
+    pub pr_estimate_cv: f64,
+    /// Per-node relative speed (CPU and disk), for heterogeneous clusters.
+    /// `None` = homogeneous (all 1.0). The paper's cluster was homogeneous;
+    /// heterogeneity stresses the load functions harder.
+    pub node_speeds: Option<Vec<f64>>,
+    /// Switched network: each node gets a dedicated full-bandwidth link
+    /// instead of the paper's shared Ethernet segment, so transfers of
+    /// different questions do not contend. An ablation of the network
+    /// assumption behind Fig. 8.
+    pub switched_network: bool,
+    /// Record a virtual-time event trace (Fig. 7's listings, from the DES).
+    pub record_trace: bool,
+}
+
+impl SimConfig {
+    /// The §6.1 high-load configuration: 8 questions per node launched with
+    /// 0–2 s spacing, mixed TREC-8/TREC-9 questions, 100 Mbps Ethernet.
+    pub fn paper_high_load(nodes: usize, strategy: BalancingStrategy, seed: u64) -> SimConfig {
+        use qa_types::{Trec8Profile, Trec9Profile};
+        SimConfig {
+            nodes,
+            net_bandwidth: 100.0 * 125_000.0,
+            strategy,
+            ap_partition: PartitionStrategy::Recv { chunk_size: 40 },
+            profiles: vec![Trec8Profile::profile(), Trec9Profile::average()],
+            questions: 8 * nodes,
+            arrival_spacing: (0.0, 2.0),
+            serial: false,
+            seed,
+            overload_threshold: 4,
+            thrash_slope: 0.1,
+            paragraph_bytes: 2048.0,
+            answer_bytes: 5.0 * 250.0,
+            per_chunk_net_bytes: 4096.0,
+            per_chunk_cpu_secs: 0.08,
+            per_partition_cpu_secs: 0.05,
+            hysteresis: ResourceWeights::QA.load(ResourceVector::new(0.79, 0.21)),
+            max_in_flight: None,
+            min_ap_paragraphs: 0,
+            node_failures: Vec::new(),
+            pr_cost_aware: false,
+            pr_estimate_cv: 0.3,
+            node_speeds: None,
+            switched_network: false,
+            record_trace: false,
+        }
+    }
+
+    /// The §6.2 low-load configuration: complex TREC-9 questions run one at
+    /// a time with partitioning over all nodes.
+    pub fn paper_low_load(
+        nodes: usize,
+        ap_partition: PartitionStrategy,
+        questions: usize,
+        seed: u64,
+    ) -> SimConfig {
+        use qa_types::Trec9Profile;
+        SimConfig {
+            questions,
+            serial: true,
+            arrival_spacing: (0.0, 0.0),
+            strategy: BalancingStrategy::Dqa,
+            ap_partition,
+            profiles: vec![Trec9Profile::complex()],
+            min_ap_paragraphs: 880,
+            ..SimConfig::paper_high_load(nodes, BalancingStrategy::Dqa, seed)
+        }
+    }
+}
+
+/// Counts of dispatcher "disagreements" (Table 7).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationCounts {
+    /// Question dispatcher overrode the DNS placement.
+    pub qa: usize,
+    /// PR dispatcher overrode the question dispatcher.
+    pub pr: usize,
+    /// AP dispatcher overrode the question dispatcher.
+    pub ap: usize,
+}
+
+/// Analytic distribution-overhead breakdown per question (Table 9).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OverheadBreakdown {
+    /// Keyword sending to remote PR partitions.
+    pub kw_send: f64,
+    /// Paragraph receiving from remote PS outputs.
+    pub par_recv: f64,
+    /// Paragraph sending to remote AP partitions.
+    pub par_send: f64,
+    /// Answer receiving from remote AP partitions.
+    pub ans_recv: f64,
+    /// Final answer sorting.
+    pub ans_sort: f64,
+}
+
+impl OverheadBreakdown {
+    /// Total overhead (last column of Table 9).
+    pub fn total(&self) -> f64 {
+        self.kw_send + self.par_recv + self.par_send + self.ans_recv + self.ans_sort
+    }
+
+    /// Element-wise mean across questions.
+    pub fn mean<'a>(items: impl IntoIterator<Item = &'a OverheadBreakdown>) -> OverheadBreakdown {
+        let mut sum = OverheadBreakdown::default();
+        let mut n = 0usize;
+        for o in items {
+            sum.kw_send += o.kw_send;
+            sum.par_recv += o.par_recv;
+            sum.par_send += o.par_send;
+            sum.ans_recv += o.ans_recv;
+            sum.ans_sort += o.ans_sort;
+            n += 1;
+        }
+        if n == 0 {
+            return sum;
+        }
+        let n = n as f64;
+        OverheadBreakdown {
+            kw_send: sum.kw_send / n,
+            par_recv: sum.par_recv / n,
+            par_send: sum.par_send / n,
+            ans_recv: sum.ans_recv / n,
+            ans_sort: sum.ans_sort / n,
+        }
+    }
+}
+
+/// One virtual-time trace event (Fig. 7-style, from the simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimEvent {
+    /// Virtual time (seconds).
+    pub at: f64,
+    /// Question index (submission order).
+    pub question: usize,
+    /// What happened.
+    pub kind: SimEventKind,
+}
+
+/// Event kinds of the simulator trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimEventKind {
+    /// Question placed: DNS target and (possibly migrated) home.
+    Submitted {
+        /// Round-robin DNS target.
+        dns: NodeId,
+        /// Final home after the question dispatcher.
+        home: NodeId,
+    },
+    /// A PR worker finished one sub-collection.
+    PrChunkDone {
+        /// Worker node.
+        node: NodeId,
+        /// Sub-collection index.
+        collection: u32,
+    },
+    /// Paragraph merge + PO completed on the home node.
+    PoMerged {
+        /// Home node.
+        node: NodeId,
+    },
+    /// An AP worker finished a batch.
+    ApBatchDone {
+        /// Worker node.
+        node: NodeId,
+        /// Paragraphs in the batch.
+        paragraphs: u32,
+    },
+    /// The question completed (answers sorted).
+    Completed {
+        /// Home node.
+        node: NodeId,
+    },
+}
+
+/// Per-question outcome record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuestionRecord {
+    /// Arrival (submission) time.
+    pub arrival: f64,
+    /// Completion time.
+    pub finished: f64,
+    /// Wall-clock per module (phase durations).
+    pub timings: ModuleTimings,
+    /// Analytic distribution overhead.
+    pub overhead: OverheadBreakdown,
+    /// Node the question ended on.
+    pub home: NodeId,
+    /// Number of nodes its PR phase used.
+    pub pr_nodes: usize,
+    /// Number of nodes its AP phase used.
+    pub ap_nodes: usize,
+}
+
+impl QuestionRecord {
+    /// Response time (completion − arrival).
+    pub fn response_time(&self) -> f64 {
+        self.finished - self.arrival
+    }
+}
+
+/// Aggregate simulation output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Per-question records, submission order.
+    pub questions: Vec<QuestionRecord>,
+    /// Dispatcher disagreement counts (Table 7).
+    pub migrations: MigrationCounts,
+    /// Time the last question completed.
+    pub makespan: f64,
+    /// Virtual-time event trace (empty unless `record_trace` was set).
+    pub trace: Vec<SimEvent>,
+}
+
+impl SimReport {
+    /// System throughput in questions/minute (Table 5).
+    pub fn throughput_per_minute(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.questions.len() as f64 / (self.makespan / 60.0)
+    }
+
+    /// Mean question response time in seconds (Table 6).
+    pub fn mean_response_time(&self) -> f64 {
+        if self.questions.is_empty() {
+            return 0.0;
+        }
+        self.questions.iter().map(QuestionRecord::response_time).sum::<f64>()
+            / self.questions.len() as f64
+    }
+
+    /// Mean per-module wall-clock (Table 8 rows).
+    pub fn mean_timings(&self) -> ModuleTimings {
+        ModuleTimings::mean(self.questions.iter().map(|q| &q.timings))
+    }
+
+    /// Response-time percentile (`p` in `[0, 1]`; nearest-rank method).
+    /// Interactive services care about the tail, not just Table 6's means.
+    pub fn response_time_percentile(&self, p: f64) -> f64 {
+        if self.questions.is_empty() {
+            return 0.0;
+        }
+        let mut times: Vec<f64> = self
+            .questions
+            .iter()
+            .map(QuestionRecord::response_time)
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * times.len() as f64).ceil() as usize).clamp(1, times.len());
+        times[rank - 1]
+    }
+
+    /// Mean overhead breakdown (Table 9 rows).
+    pub fn mean_overhead(&self) -> OverheadBreakdown {
+        OverheadBreakdown::mean(self.questions.iter().map(|q| &q.overhead))
+    }
+}
+
+/// Engine task tags.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Tag {
+    Qp(usize),
+    PrPart { q: usize, node: NodeId, collection: u32 },
+    PoMerge(usize),
+    ApPart { q: usize, node: NodeId, paragraphs: u32 },
+    ApChunk { q: usize, node: NodeId, paragraphs: u32 },
+    ApSort(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Pending,
+    Qp,
+    Pr,
+    Po,
+    Ap,
+    Sort,
+    Done,
+}
+
+struct QState {
+    demand: QuestionDemand,
+    /// Ratio of this question's total demand to the profile mean; load
+    /// commitments are scaled by it so dispatchers see *work*, not counts
+    /// (the real load monitor measures utilization, which reflects work).
+    work_scale: f64,
+    arrival: f64,
+    home: NodeId,
+    phase: Phase,
+    phase_start: f64,
+    timings: ModuleTimings,
+    overhead: OverheadBreakdown,
+    // PR state: receiver-controlled queue of collection indices.
+    pr_queue: ChunkQueue<usize>,
+    pr_outstanding: usize,
+    pr_nodes_used: Vec<NodeId>,
+    pr_remote_demand: f64,
+    pr_total_demand: f64,
+    // AP state.
+    ap_queue: Option<ChunkQueue<usize>>,
+    ap_outstanding: usize,
+    ap_nodes_used: Vec<NodeId>,
+    /// SEND/ISEND in-flight partitions, kept for Fig. 5c failure recovery.
+    ap_partitions: std::collections::HashMap<NodeId, Vec<usize>>,
+}
+
+/// The simulation controller.
+pub struct QaSimulation {
+    cfg: SimConfig,
+    engine: Engine<Tag>,
+    rng: SmallRng,
+    states: Vec<QState>,
+    arrivals: Vec<f64>,
+    next_arrival: usize,
+    resident: Vec<u32>,
+    commit: Vec<ResourceVector>,
+    migrations: MigrationCounts,
+    dispatcher: QuestionDispatcher,
+    functions: LoadFunctions,
+    records: Vec<Option<QuestionRecord>>,
+    completed: usize,
+    in_flight: usize,
+    dead: Vec<bool>,
+    failures: Vec<(f64, NodeId)>,
+    next_failure: usize,
+    trace: Vec<SimEvent>,
+}
+
+impl QaSimulation {
+    /// Build the simulation (generates demands and the arrival schedule).
+    pub fn new(cfg: SimConfig) -> QaSimulation {
+        assert!(cfg.nodes > 0, "at least one node");
+        assert!(!cfg.profiles.is_empty(), "at least one profile");
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xd1b5_4a32_d192_ed03);
+
+        let mut arrivals = Vec::with_capacity(cfg.questions);
+        let mut t = 0.0;
+        for i in 0..cfg.questions {
+            if i > 0 && !cfg.serial {
+                let (lo, hi) = cfg.arrival_spacing;
+                t += if hi > lo { rng.gen_range(lo..hi) } else { lo };
+            }
+            arrivals.push(t);
+        }
+
+        let states = (0..cfg.questions)
+            .map(|i| {
+                let profile = &cfg.profiles[i % cfg.profiles.len()];
+                let mut demand = QuestionDemand::sample(profile, cfg.seed, i as u64);
+                // Complex-question selection (§6.2): skip small questions.
+                let mut attempt = 1u64;
+                while demand.ap_per_paragraph.len() < cfg.min_ap_paragraphs && attempt < 64 {
+                    demand = QuestionDemand::sample(
+                        profile,
+                        cfg.seed,
+                        i as u64 + attempt * cfg.questions as u64,
+                    );
+                    attempt += 1;
+                }
+                let work_scale =
+                    (demand.total() / profile.sequential_total().max(1e-9)).clamp(0.2, 5.0);
+                QState {
+                    demand,
+                    work_scale,
+                    arrival: arrivals[i],
+                    home: NodeId::new((i % cfg.nodes) as u32),
+                    phase: Phase::Pending,
+                    phase_start: 0.0,
+                    timings: ModuleTimings::default(),
+                    overhead: OverheadBreakdown::default(),
+                    pr_queue: ChunkQueue::new(Vec::new()),
+                    pr_outstanding: 0,
+                    pr_nodes_used: Vec::new(),
+                    pr_remote_demand: 0.0,
+                    pr_total_demand: 0.0,
+                    ap_queue: None,
+                    ap_outstanding: 0,
+                    ap_nodes_used: Vec::new(),
+                    ap_partitions: std::collections::HashMap::new(),
+                }
+            })
+            .collect();
+
+        let hysteresis = cfg.hysteresis;
+        let mut engine = Engine::new(cfg.nodes, cfg.net_bandwidth);
+        if let Some(speeds) = &cfg.node_speeds {
+            assert_eq!(speeds.len(), cfg.nodes, "one speed per node");
+            for (i, &sp) in speeds.iter().enumerate() {
+                let n = NodeId::new(i as u32);
+                engine.set_cpu_mult(n, sp.max(1e-3));
+                engine.set_disk_mult(n, sp.max(1e-3));
+            }
+        }
+        QaSimulation {
+            engine,
+            rng,
+            states,
+            arrivals,
+            next_arrival: 0,
+            resident: vec![0; cfg.nodes],
+            commit: vec![ResourceVector::default(); cfg.nodes],
+            migrations: MigrationCounts::default(),
+            dispatcher: QuestionDispatcher {
+                functions: LoadFunctions::paper(),
+                hysteresis,
+            },
+            functions: LoadFunctions::paper(),
+            records: (0..cfg.questions).map(|_| None).collect(),
+            completed: 0,
+            in_flight: 0,
+            dead: vec![false; cfg.nodes],
+            failures: {
+                let mut f: Vec<(f64, NodeId)> = cfg
+                    .node_failures
+                    .iter()
+                    .map(|&(t, n)| (t, NodeId::new(n)))
+                    .collect();
+                f.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                f
+            },
+            next_failure: 0,
+            trace: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Sum of all outstanding load commitments (diagnostics: must be zero
+    /// when no question is in flight).
+    pub fn residual_commit(&self) -> f64 {
+        self.commit.iter().map(|v| v.cpu + v.disk).sum()
+    }
+
+    /// Test helper: run to completion in place and return the residual
+    /// commitment sum (see [`residual_commit`](Self::residual_commit)).
+    #[doc(hidden)]
+    pub fn run_ref(&mut self) -> f64 {
+        self.drive();
+        self.residual_commit()
+    }
+
+    /// Run to completion and report.
+    pub fn run(mut self) -> SimReport {
+        self.drive();
+        let makespan = self.engine.now();
+        SimReport {
+            questions: self
+                .records
+                .into_iter()
+                .map(|r| r.expect("all questions completed"))
+                .collect(),
+            migrations: self.migrations,
+            makespan,
+            trace: self.trace,
+        }
+    }
+
+    /// The main event loop: arrivals, failures and task completions.
+    fn drive(&mut self) {
+        loop {
+            let gate_open = self
+                .cfg
+                .max_in_flight
+                .map(|cap| self.in_flight < cap)
+                .unwrap_or(true);
+            let next_arrival_t = if self.cfg.serial {
+                (self.next_arrival < self.states.len() && self.completed == self.next_arrival)
+                    .then(|| self.engine.now())
+            } else if !gate_open {
+                None
+            } else if self.cfg.max_in_flight.is_some() {
+                // Closed loop: arrivals are immediate once the gate opens.
+                (self.next_arrival < self.states.len()).then(|| self.engine.now())
+            } else {
+                self.arrivals.get(self.next_arrival).copied()
+            };
+            let next_failure_t = self.failures.get(self.next_failure).map(|&(t, _)| t);
+
+            // Immediate arrival?
+            if let Some(t) = next_arrival_t {
+                if t <= self.engine.now()
+                    && next_failure_t.map(|ft| ft > self.engine.now()).unwrap_or(true)
+                {
+                    self.submit(self.next_arrival);
+                    self.next_arrival += 1;
+                    continue;
+                }
+            }
+            // Immediate failure?
+            if let Some(ft) = next_failure_t {
+                if ft <= self.engine.now() {
+                    let (_, node) = self.failures[self.next_failure];
+                    self.next_failure += 1;
+                    self.fail_node(node);
+                    continue;
+                }
+            }
+
+            let next_ext = match (next_arrival_t, next_failure_t) {
+                (Some(a), Some(f)) => Some(a.min(f)),
+                (Some(a), None) => Some(a),
+                (None, Some(f)) => Some(f),
+                (None, None) => None,
+            };
+
+            match self.engine.advance(next_ext) {
+                Advance::TaskDone { tag, at, .. } => self.handle(tag, at),
+                Advance::ReachedTime(_) => {
+                    // The immediate-arrival/failure branches above fire on
+                    // the next iteration.
+                }
+                Advance::Idle => {
+                    if self.next_arrival >= self.states.len() {
+                        break;
+                    }
+                    self.submit(self.next_arrival);
+                    self.next_arrival += 1;
+                }
+            }
+
+            if self.completed == self.states.len() && self.next_arrival >= self.states.len() {
+                break;
+            }
+        }
+    }
+
+    /// Inject a permanent node failure: kill its tasks, recover their work
+    /// (Fig. 5c for sender partitions, Fig. 6b for chunks), re-home its
+    /// resident questions.
+    fn fail_node(&mut self, node: NodeId) {
+        if self.dead[node.index()] {
+            return;
+        }
+        self.dead[node.index()] = true;
+        assert!(
+            self.dead.iter().any(|d| !d),
+            "failure injection killed every node"
+        );
+        // Its committed load is gone with it.
+        self.commit[node.index()] = ResourceVector::default();
+
+        let killed = self.engine.kill_where(|tag| match *tag {
+            Tag::Qp(q) => self.states[q].home == node,
+            Tag::PrPart { node: n, .. } | Tag::ApPart { node: n, .. } | Tag::ApChunk { node: n, .. } => {
+                n == node
+            }
+            Tag::PoMerge(q) | Tag::ApSort(q) => self.states[q].home == node,
+        });
+
+        // Re-home questions resident on the dead node first, so recovery
+        // paths that consult `home` see a live node.
+        let resident: Vec<usize> = (0..self.states.len())
+            .filter(|&q| {
+                self.states[q].home == node
+                    && !matches!(self.states[q].phase, Phase::Pending | Phase::Done)
+            })
+            .collect();
+        for q in resident {
+            let new_home = self.least_loaded_live();
+            self.resident[node.index()] = self.resident[node.index()].saturating_sub(1);
+            self.update_thrash(node);
+            self.resident[new_home.index()] += 1;
+            let c = Self::scaled(Self::question_commit(), self.states[q].work_scale);
+            self.add_commit(new_home, c);
+            self.update_thrash(new_home);
+            self.states[q].home = new_home;
+        }
+
+        for tag in killed {
+            match tag {
+                Tag::Qp(q) => {
+                    // Restart QP on the (re-homed) node.
+                    let home = self.states[q].home;
+                    let qp = self.states[q].demand.qp;
+                    self.engine.spawn(vec![Stage::cpu(home, qp)], Tag::Qp(q));
+                }
+                Tag::PrPart { q, node: n, .. } => {
+                    self.states[q].pr_outstanding -= 1;
+                    self.states[q].pr_queue.fail(n);
+                    self.redispatch_pr(q);
+                }
+                Tag::PoMerge(q) => {
+                    let now = self.engine.now();
+                    self.start_po(q, now);
+                }
+                Tag::ApPart { q, node: n, .. } => {
+                    self.states[q].ap_outstanding -= 1;
+                    let items = self.states[q].ap_partitions.remove(&n).unwrap_or_default();
+                    if !items.is_empty() {
+                        // Fig. 5c: build a new task from the unprocessed
+                        // partition and reschedule it.
+                        let target = self.least_loaded_live();
+                        self.spawn_ap_partition(q, target, items);
+                    } else if self.states[q].ap_outstanding == 0 {
+                        let now = self.engine.now();
+                        self.start_sort(q, now);
+                    }
+                }
+                Tag::ApChunk { q, node: n, .. } => {
+                    self.states[q].ap_outstanding -= 1;
+                    if let Some(queue) = self.states[q].ap_queue.as_mut() {
+                        queue.fail(n);
+                    }
+                    self.redispatch_ap_chunks(q);
+                }
+                Tag::ApSort(q) => {
+                    let now = self.engine.now();
+                    self.start_sort(q, now);
+                }
+            }
+        }
+    }
+
+    /// After a PR worker failure: hand recovered collection chunks to live
+    /// workers that are currently idle for this question.
+    fn redispatch_pr(&mut self, q: usize) {
+        let live: Vec<NodeId> = self.states[q]
+            .pr_nodes_used
+            .iter()
+            .copied()
+            .filter(|n| !self.dead[n.index()])
+            .collect();
+        let workers = if live.is_empty() {
+            vec![self.states[q].home]
+        } else {
+            live
+        };
+        for node in workers {
+            if self.states[q].pr_queue.outstanding(node) == 0 {
+                if let Some(chunk) = self.states[q].pr_queue.pull(node) {
+                    self.spawn_pr_chunk(q, node, chunk);
+                }
+            }
+        }
+        if self.states[q].pr_outstanding == 0 && self.states[q].pr_queue.drained() {
+            let now = self.engine.now();
+            let dt = now - self.states[q].phase_start;
+            self.states[q].timings.accumulate(QaModule::Pr, dt);
+            self.start_po(q, now);
+        }
+    }
+
+    /// After an AP worker failure in RECV mode: live workers pull the
+    /// recovered chunks.
+    fn redispatch_ap_chunks(&mut self, q: usize) {
+        let live: Vec<NodeId> = self.states[q]
+            .ap_nodes_used
+            .iter()
+            .copied()
+            .filter(|n| !self.dead[n.index()])
+            .collect();
+        let workers = if live.is_empty() {
+            vec![self.states[q].home]
+        } else {
+            live
+        };
+        for node in workers {
+            let outstanding = self
+                .states[q]
+                .ap_queue
+                .as_ref()
+                .map(|x| x.outstanding(node))
+                .unwrap_or(0);
+            if outstanding == 0 {
+                let chunk = self
+                    .states[q]
+                    .ap_queue
+                    .as_mut()
+                    .and_then(|x| x.pull(node));
+                if let Some(chunk) = chunk {
+                    let c = Self::scaled(Self::ap_commit(), self.states[q].work_scale);
+                    self.add_commit(node, c);
+                    self.spawn_ap_chunk(q, node, chunk);
+                }
+            }
+        }
+        let drained = self
+            .states[q]
+            .ap_queue
+            .as_ref()
+            .map(|x| x.drained())
+            .unwrap_or(true);
+        if self.states[q].ap_outstanding == 0 && drained {
+            let now = self.engine.now();
+            let dt = now - self.states[q].phase_start;
+            self.states[q].timings.accumulate(QaModule::Ap, dt);
+            self.start_sort(q, now);
+        }
+    }
+
+    // ---- placement & load bookkeeping -------------------------------
+
+    fn record(&mut self, question: usize, kind: SimEventKind) {
+        if self.cfg.record_trace {
+            let at = self.engine.now();
+            self.trace.push(SimEvent { at, question, kind });
+        }
+    }
+
+    fn loads(&self) -> Vec<(NodeId, ResourceVector)> {
+        (0..self.cfg.nodes)
+            .filter(|&n| !self.dead[n])
+            .map(|n| (NodeId::new(n as u32), self.commit[n]))
+            .collect()
+    }
+
+    /// The least-loaded live node (whole-task load function).
+    fn least_loaded_live(&self) -> NodeId {
+        let f = self.functions;
+        self.loads()
+            .into_iter()
+            .min_by(|a, b| {
+                f.load_for(QaModule::Qp, a.1)
+                    .partial_cmp(&f.load_for(QaModule::Qp, b.1))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            })
+            .map(|(n, _)| n)
+            .expect("at least one live node")
+    }
+
+    fn add_commit(&mut self, node: NodeId, v: ResourceVector) {
+        let c = &mut self.commit[node.index()];
+        c.cpu += v.cpu;
+        c.disk += v.disk;
+    }
+
+    fn remove_commit(&mut self, node: NodeId, v: ResourceVector) {
+        let c = &mut self.commit[node.index()];
+        c.cpu = (c.cpu - v.cpu).max(0.0);
+        c.disk = (c.disk - v.disk).max(0.0);
+        // Snap floating-point residue to zero: an ε-load would otherwise
+        // make the meta-scheduler treat an idle node as the most loaded of
+        // an all-idle set and exclude it from partitions.
+        if c.cpu < 1e-9 {
+            c.cpu = 0.0;
+        }
+        if c.disk < 1e-9 {
+            c.disk = 0.0;
+        }
+    }
+
+    /// A network stage routed per the configured network model: the home
+    /// node's switched link, or the shared segment.
+    fn net_stage(&self, home: NodeId, bytes: f64) -> Stage {
+        if self.cfg.switched_network {
+            Stage::net_link(home, bytes)
+        } else {
+            Stage::net(bytes)
+        }
+    }
+
+    fn question_commit() -> ResourceVector {
+        ResourceVector::new(ResourceWeights::QA.cpu, ResourceWeights::QA.disk)
+    }
+
+    fn pr_commit() -> ResourceVector {
+        ResourceVector::new(ResourceWeights::PR.cpu, ResourceWeights::PR.disk)
+    }
+
+    fn ap_commit() -> ResourceVector {
+        ResourceVector::new(ResourceWeights::AP.cpu, ResourceWeights::AP.disk)
+    }
+
+    fn node_speed(&self, node: NodeId) -> f64 {
+        self.cfg
+            .node_speeds
+            .as_ref()
+            .and_then(|v| v.get(node.index()).copied())
+            .unwrap_or(1.0)
+            .max(1e-3)
+    }
+
+    fn update_thrash(&mut self, node: NodeId) {
+        let count = self.resident[node.index()];
+        let excess = count.saturating_sub(self.cfg.overload_threshold) as f64;
+        // Piecewise-linear slowdown: each excess resident question costs a
+        // fixed fraction of the node's speed (page-stealing), floored at
+        // 20 %. Linearity makes total cluster capacity invariant under
+        // migrations *between* overloaded nodes, so balancing pays off
+        // exactly when it moves work toward under-loaded nodes — the effect
+        // the paper's experiments measure.
+        let speed = self.node_speed(node);
+        let cpu_mult = speed * (1.0 - self.cfg.thrash_slope * excess).max(0.2);
+        let disk_mult = speed * (1.0 - 0.7 * self.cfg.thrash_slope * excess).max(0.2);
+        self.engine.set_cpu_mult(node, cpu_mult);
+        self.engine.set_disk_mult(node, disk_mult);
+    }
+
+    fn scaled(v: ResourceVector, s: f64) -> ResourceVector {
+        ResourceVector::new(v.cpu * s, v.disk * s)
+    }
+
+    fn host_question(&mut self, q: usize, node: NodeId) {
+        self.resident[node.index()] += 1;
+        let c = Self::scaled(Self::question_commit(), self.states[q].work_scale);
+        self.add_commit(node, c);
+        self.update_thrash(node);
+        self.states[q].home = node;
+    }
+
+    fn unhost_question(&mut self, q: usize) {
+        let node = self.states[q].home;
+        self.resident[node.index()] = self.resident[node.index()].saturating_sub(1);
+        let c = Self::scaled(Self::question_commit(), self.states[q].work_scale);
+        self.remove_commit(node, c);
+        self.update_thrash(node);
+    }
+
+    // ---- phases ------------------------------------------------------
+
+    fn submit(&mut self, q: usize) {
+        let now = self.engine.now();
+        let mut dns_home = self.states[q].home;
+        // DNS pointing at a dead node: walk the ring to the next live one.
+        let mut hops = 0;
+        while self.dead[dns_home.index()] && hops < self.cfg.nodes {
+            dns_home = NodeId::new(((dns_home.raw() as usize + 1) % self.cfg.nodes) as u32);
+            hops += 1;
+        }
+        self.states[q].home = dns_home;
+
+        // Scheduling point 1: arrival placement per strategy.
+        let decision = match self.cfg.strategy {
+            BalancingStrategy::Dns => None,
+            BalancingStrategy::Inter | BalancingStrategy::Dqa => {
+                self.dispatcher.decide(QaModule::Qp, dns_home, &self.loads())
+            }
+            BalancingStrategy::SenderDiffusion => {
+                let f = self.functions;
+                SenderDiffusion::default().decide(dns_home, &self.loads(), |v| {
+                    f.load_for(QaModule::Qp, v)
+                })
+            }
+            BalancingStrategy::Gradient => {
+                let f = self.functions;
+                GradientModel::default().decide(dns_home, &self.loads(), |v| {
+                    f.load_for(QaModule::Qp, v)
+                })
+            }
+        };
+        let home = match decision {
+            Some(target) => {
+                self.migrations.qa += 1;
+                target
+            }
+            None => dns_home,
+        };
+
+        self.host_question(q, home);
+        self.record(q, SimEventKind::Submitted { dns: dns_home, home });
+        self.in_flight += 1;
+        let st = &mut self.states[q];
+        st.arrival = now.max(st.arrival);
+        st.phase = Phase::Qp;
+        st.phase_start = now;
+        let qp = st.demand.qp;
+        self.engine.spawn(vec![Stage::cpu(home, qp)], Tag::Qp(q));
+    }
+
+    fn handle(&mut self, tag: Tag, at: f64) {
+        match tag {
+            Tag::Qp(q) => {
+                let dt = at - self.states[q].phase_start;
+                self.states[q].timings.accumulate(QaModule::Qp, dt);
+                self.start_pr(q, at);
+            }
+            Tag::PrPart { q, node, collection } => {
+                self.record(q, SimEventKind::PrChunkDone { node, collection });
+                let c = Self::scaled(Self::pr_commit(), self.states[q].work_scale);
+                self.remove_commit(node, c);
+                self.states[q].pr_queue.complete_one(node);
+                self.states[q].pr_outstanding -= 1;
+                // Receiver-controlled: pull the next collection.
+                if let Some(chunk) = self.states[q].pr_queue.pull(node) {
+                    self.spawn_pr_chunk(q, node, chunk);
+                } else if self.states[q].pr_outstanding == 0 {
+                    let dt = at - self.states[q].phase_start;
+                    self.states[q].timings.accumulate(QaModule::Pr, dt);
+                    self.start_po(q, at);
+                }
+            }
+            Tag::PoMerge(q) => {
+                let home = self.states[q].home;
+                self.record(q, SimEventKind::PoMerged { node: home });
+                let dt = at - self.states[q].phase_start;
+                self.states[q].timings.accumulate(QaModule::Po, dt);
+                self.start_ap(q, at);
+            }
+            Tag::ApPart { q, node, paragraphs } => {
+                self.record(q, SimEventKind::ApBatchDone { node, paragraphs });
+                let c = Self::scaled(Self::ap_commit(), self.states[q].work_scale);
+                self.remove_commit(node, c);
+                self.states[q].ap_partitions.remove(&node);
+                self.states[q].ap_outstanding -= 1;
+                if self.states[q].ap_outstanding == 0 {
+                    let dt = at - self.states[q].phase_start;
+                    self.states[q].timings.accumulate(QaModule::Ap, dt);
+                    self.start_sort(q, at);
+                }
+            }
+            Tag::ApChunk { q, node, paragraphs } => {
+                self.record(q, SimEventKind::ApBatchDone { node, paragraphs });
+                self.states[q].ap_outstanding -= 1;
+                {
+                    let queue = self.states[q].ap_queue.as_mut().expect("recv mode");
+                    queue.complete_one(node);
+                }
+                let next = self
+                    .states[q]
+                    .ap_queue
+                    .as_mut()
+                    .expect("recv mode")
+                    .pull(node);
+                match next {
+                    Some(chunk) => self.spawn_ap_chunk(q, node, chunk),
+                    None => {
+                        let c = Self::scaled(Self::ap_commit(), self.states[q].work_scale);
+                        self.remove_commit(node, c);
+                        if self.states[q].ap_outstanding == 0 {
+                            let dt = at - self.states[q].phase_start;
+                            self.states[q].timings.accumulate(QaModule::Ap, dt);
+                            self.start_sort(q, at);
+                        }
+                    }
+                }
+            }
+            Tag::ApSort(q) => {
+                self.finish(q, at);
+            }
+        }
+    }
+
+    fn module_allocation(&mut self, q: usize, module: QaModule) -> Vec<NodeId> {
+        let home = self.states[q].home;
+        if self.cfg.strategy != BalancingStrategy::Dqa {
+            return vec![home];
+        }
+        // The dispatcher schedules the *remainder* of this question, so the
+        // question's own commitment on its home node must not count against
+        // that node (otherwise an otherwise-idle home would be excluded
+        // from its own partitions).
+        let own = Self::scaled(Self::question_commit(), self.states[q].work_scale);
+        let mut loads = self.loads();
+        if let Some(entry) = loads.iter_mut().find(|(n, _)| *n == home) {
+            entry.1.cpu = (entry.1.cpu - own.cpu).max(0.0);
+            entry.1.disk = (entry.1.disk - own.disk).max(0.0);
+        }
+        let f = self.functions;
+        let alloc = meta_schedule(
+            &loads,
+            |v| f.load_for(module, v),
+            |v| f.is_underloaded(module, v),
+        )
+        .expect("nodes exist");
+        let nodes: Vec<NodeId> = alloc.iter().map(|a| a.node).collect();
+        let disagrees = nodes.len() != 1 || nodes[0] != home;
+        if disagrees {
+            match module {
+                QaModule::Pr => self.migrations.pr += 1,
+                QaModule::Ap => self.migrations.ap += 1,
+                _ => {}
+            }
+        }
+        nodes
+    }
+
+    fn start_pr(&mut self, q: usize, now: f64) {
+        // Scheduling point 2: the PR dispatcher.
+        let nodes = self.module_allocation(q, QaModule::Pr);
+        let st = &mut self.states[q];
+        st.phase = Phase::Pr;
+        st.phase_start = now;
+        st.pr_total_demand = st.demand.pr_total().max(1e-12);
+        st.pr_nodes_used = nodes.clone();
+
+        let mut order: Vec<usize> = (0..st.demand.pr_per_collection.len()).collect();
+        if self.cfg.pr_cost_aware {
+            // LPT: sort sub-collections by decreasing *estimated* demand.
+            // The estimator's error is modeled as multiplicative noise
+            // (deterministic per question/collection).
+            let cv = self.cfg.pr_estimate_cv;
+            let seed = self.cfg.seed;
+            let estimates: Vec<f64> = st
+                .demand
+                .pr_per_collection
+                .iter()
+                .enumerate()
+                .map(|(c, &d)| {
+                    let mut rng = rand::rngs::SmallRng::seed_from_u64(
+                        seed ^ (q as u64) << 8 ^ c as u64,
+                    );
+                    let noise: f64 = 1.0 + cv * (rng.gen::<f64>() - 0.5) * 2.0;
+                    d * noise.max(0.1)
+                })
+                .collect();
+            order.sort_by(|&a, &b| {
+                estimates[b]
+                    .partial_cmp(&estimates[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+        let collections: Vec<Vec<usize>> = order.into_iter().map(|c| vec![c]).collect();
+        st.pr_queue = ChunkQueue::new(collections);
+
+        // Keyword propagation overhead (analytic; negligible bytes).
+        let remote = nodes.iter().filter(|n| **n != st.home).count();
+        st.overhead.kw_send += remote as f64 * 64.0 / self.cfg.net_bandwidth;
+
+        // Each selected node pulls its first collection.
+        let mut started = 0;
+        for node in nodes {
+            let chunk = self.states[q].pr_queue.pull(node);
+            match chunk {
+                Some(c) => {
+                    self.spawn_pr_chunk(q, node, c);
+                    started += 1;
+                }
+                None => break,
+            }
+        }
+        debug_assert!(started > 0, "at least one PR sub-task");
+    }
+
+    fn spawn_pr_chunk(&mut self, q: usize, node: NodeId, chunk: Vec<usize>) {
+        let home = self.states[q].home;
+        let w = ResourceWeights::PR;
+        let collection = chunk.first().copied().unwrap_or(0) as u32;
+        let mut disk = 0.0;
+        let mut cpu = 0.0;
+        for c in chunk {
+            let d = self.states[q].demand.pr_per_collection[c];
+            disk += w.disk * d;
+            cpu += w.cpu * d + self.states[q].demand.ps_per_collection[c];
+            if node != home {
+                self.states[q].pr_remote_demand += d;
+            }
+        }
+        let c = Self::scaled(Self::pr_commit(), self.states[q].work_scale);
+        self.add_commit(node, c);
+        self.states[q].pr_outstanding += 1;
+        self.engine.spawn(
+            vec![Stage::disk(node, disk), Stage::cpu(node, cpu)],
+            Tag::PrPart {
+                q,
+                node,
+                collection,
+            },
+        );
+    }
+
+    fn start_po(&mut self, q: usize, now: f64) {
+        let st = &mut self.states[q];
+        st.phase = Phase::Po;
+        st.phase_start = now;
+        let home = st.home;
+        // Paragraphs produced remotely come back over the network.
+        let remote_share = st.pr_remote_demand / st.pr_total_demand;
+        let profile_paragraphs = st.demand.ap_per_paragraph.len() as f64 * 1.7; // retrieved > accepted
+        let bytes = remote_share * profile_paragraphs * self.cfg.paragraph_bytes;
+        st.overhead.par_recv += bytes / self.cfg.net_bandwidth;
+        let merge_cpu = st.demand.po
+            + self.cfg.per_partition_cpu_secs * st.pr_nodes_used.len().saturating_sub(1) as f64;
+        let net = self.net_stage(home, bytes);
+        self.engine.spawn(
+            vec![net, Stage::cpu(home, merge_cpu)],
+            Tag::PoMerge(q),
+        );
+    }
+
+    fn start_ap(&mut self, q: usize, now: f64) {
+        // Scheduling point 3: the AP dispatcher.
+        let nodes = self.module_allocation(q, QaModule::Ap);
+        let st = &mut self.states[q];
+        st.phase = Phase::Ap;
+        st.phase_start = now;
+        st.ap_nodes_used = nodes.clone();
+
+        let n_par = st.demand.ap_per_paragraph.len();
+        let items: Vec<usize> = (0..n_par).collect();
+
+        match self.cfg.ap_partition {
+            PartitionStrategy::Recv { chunk_size } => {
+                let chunks = partition_recv(items, chunk_size);
+                self.states[q].ap_queue = Some(ChunkQueue::new(chunks));
+                for node in nodes {
+                    let c = Self::scaled(Self::ap_commit(), self.states[q].work_scale);
+                    self.add_commit(node, c);
+                    let chunk = self
+                        .states[q]
+                        .ap_queue
+                        .as_mut()
+                        .expect("just set")
+                        .pull(node);
+                    match chunk {
+                        Some(c) => self.spawn_ap_chunk(q, node, c),
+                        None => {
+                            let c = Self::scaled(Self::ap_commit(), self.states[q].work_scale);
+                            self.remove_commit(node, c);
+                        }
+                    }
+                }
+                if self.states[q].ap_outstanding == 0 {
+                    // No paragraphs at all: straight to sorting.
+                    self.states[q].timings.accumulate(QaModule::Ap, 0.0);
+                    self.start_sort(q, now);
+                }
+            }
+            strategy => {
+                let weights = vec![1.0 / nodes.len() as f64; nodes.len()];
+                let parts = match strategy {
+                    PartitionStrategy::Send => partition_send(items, &weights),
+                    PartitionStrategy::Isend => partition_isend(items, &weights),
+                    PartitionStrategy::Recv { .. } => unreachable!("handled above"),
+                };
+                let mut any = false;
+                for (node, part) in nodes.iter().copied().zip(parts) {
+                    if part.is_empty() {
+                        continue;
+                    }
+                    any = true;
+                    self.spawn_ap_partition(q, node, part);
+                }
+                if !any {
+                    self.states[q].timings.accumulate(QaModule::Ap, 0.0);
+                    self.start_sort(q, now);
+                }
+            }
+        }
+    }
+
+    fn ap_stage_list(
+        &mut self,
+        q: usize,
+        node: NodeId,
+        items: &[usize],
+        per_task_cpu: f64,
+        per_task_net: f64,
+    ) -> Vec<Stage> {
+        let home = self.states[q].home;
+        let demand: f64 = items
+            .iter()
+            .map(|&i| self.states[q].demand.ap_per_paragraph[i])
+            .sum();
+        let mut stages = Vec::with_capacity(3);
+        if node != home {
+            let bytes = items.len() as f64 * self.cfg.paragraph_bytes + per_task_net;
+            self.states[q].overhead.par_send += bytes / self.cfg.net_bandwidth;
+            stages.push(self.net_stage(home, bytes));
+        }
+        stages.push(Stage::cpu(node, demand + per_task_cpu));
+        if node != home {
+            self.states[q].overhead.ans_recv += self.cfg.answer_bytes / self.cfg.net_bandwidth;
+            stages.push(self.net_stage(home, self.cfg.answer_bytes));
+        }
+        stages
+    }
+
+    fn spawn_ap_partition(&mut self, q: usize, node: NodeId, items: Vec<usize>) {
+        let stages = self.ap_stage_list(q, node, &items, self.cfg.per_partition_cpu_secs, 0.0);
+        let c = Self::scaled(Self::ap_commit(), self.states[q].work_scale);
+        self.add_commit(node, c);
+        self.states[q].ap_outstanding += 1;
+        let paragraphs = items.len() as u32;
+        self.states[q].ap_partitions.insert(node, items);
+        self.engine.spawn(stages, Tag::ApPart { q, node, paragraphs });
+    }
+
+    fn spawn_ap_chunk(&mut self, q: usize, node: NodeId, items: Vec<usize>) {
+        let stages = self.ap_stage_list(
+            q,
+            node,
+            &items,
+            self.cfg.per_chunk_cpu_secs,
+            self.cfg.per_chunk_net_bytes,
+        );
+        self.states[q].ap_outstanding += 1;
+        let paragraphs = items.len() as u32;
+        self.engine.spawn(stages, Tag::ApChunk { q, node, paragraphs });
+    }
+
+    fn start_sort(&mut self, q: usize, now: f64) {
+        let st = &mut self.states[q];
+        st.phase = Phase::Sort;
+        st.phase_start = now;
+        let home = st.home;
+        let sort_cpu = 0.002 * st.ap_nodes_used.len() as f64;
+        st.overhead.ans_sort += sort_cpu;
+        self.engine.spawn(vec![Stage::cpu(home, sort_cpu)], Tag::ApSort(q));
+    }
+
+    fn finish(&mut self, q: usize, at: f64) {
+        let home = self.states[q].home;
+        self.record(q, SimEventKind::Completed { node: home });
+        self.unhost_question(q);
+        let st = &mut self.states[q];
+        st.phase = Phase::Done;
+        let record = QuestionRecord {
+            arrival: st.arrival,
+            finished: at,
+            timings: st.timings,
+            overhead: st.overhead,
+            home: st.home,
+            pr_nodes: st.pr_nodes_used.len(),
+            ap_nodes: st.ap_nodes_used.len(),
+        };
+        self.records[q] = Some(record);
+        self.completed += 1;
+        self.in_flight -= 1;
+        // Silence unused-field warnings for rng in builds without jitter.
+        let _ = &self.rng;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_types::Trec9Profile;
+
+    fn low_load(nodes: usize, strategy: PartitionStrategy, questions: usize) -> SimReport {
+        QaSimulation::new(SimConfig::paper_low_load(nodes, strategy, questions, 42)).run()
+    }
+
+    #[test]
+    fn single_node_serial_matches_profile_total() {
+        let r = low_load(1, PartitionStrategy::Recv { chunk_size: 40 }, 5);
+        assert_eq!(r.questions.len(), 5);
+        let t = r.mean_timings();
+        let profile = Trec9Profile::complex();
+        // Mean response should be within the lognormal-variance band of the
+        // 158 s profile total.
+        let ratio = t.total() / profile.sequential_total();
+        assert!((0.5..=2.0).contains(&ratio), "ratio {ratio}");
+        // No partitioning on a single node → no remote overhead.
+        let o = r.mean_overhead();
+        assert!(o.par_send < 1e-9 && o.par_recv < 1e-9, "{o:?}");
+    }
+
+    #[test]
+    fn partitioning_speeds_up_individual_questions() {
+        let q = 6;
+        let r1 = low_load(1, PartitionStrategy::Recv { chunk_size: 40 }, q);
+        let r4 = low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, q);
+        let r8 = low_load(8, PartitionStrategy::Recv { chunk_size: 40 }, q);
+        let t1 = r1.mean_response_time();
+        let t4 = r4.mean_response_time();
+        let t8 = r8.mean_response_time();
+        let s4 = t1 / t4;
+        let s8 = t1 / t8;
+        // Paper Table 10: measured speedups 3.67 (4p) and 5.85 (8p).
+        assert!((2.5..=4.0).contains(&s4), "4-node speedup {s4}");
+        assert!((4.0..=7.5).contains(&s8), "8-node speedup {s8}");
+        assert!(s8 > s4);
+    }
+
+    #[test]
+    fn pr_limited_by_eight_subcollections() {
+        // Table 8: PR time on 12 nodes equals PR time on 8 nodes because
+        // there are only 8 sub-collections.
+        let r8 = low_load(8, PartitionStrategy::Recv { chunk_size: 40 }, 8);
+        let r12 = low_load(12, PartitionStrategy::Recv { chunk_size: 40 }, 8);
+        let pr8 = r8.mean_timings().pr;
+        let pr12 = r12.mean_timings().pr;
+        let ratio = pr12 / pr8;
+        assert!((0.85..=1.15).contains(&ratio), "PR 8n {pr8:.2} vs 12n {pr12:.2}");
+    }
+
+    #[test]
+    fn high_load_strategies_rank_dns_inter_dqa() {
+        // Average over seeds: a single run is arrival-jitter noisy, exactly
+        // like a single benchmark run on real hardware.
+        let nodes = 4;
+        let mean = |strategy| -> (f64, f64) {
+            let mut tp = 0.0;
+            let mut rt = 0.0;
+            for seed in [7, 8, 9] {
+                let r =
+                    QaSimulation::new(SimConfig::paper_high_load(nodes, strategy, seed)).run();
+                tp += r.throughput_per_minute();
+                rt += r.mean_response_time();
+            }
+            (tp / 3.0, rt / 3.0)
+        };
+        let (t_dns, l_dns) = mean(BalancingStrategy::Dns);
+        let (t_inter, _) = mean(BalancingStrategy::Inter);
+        let (t_dqa, l_dqa) = mean(BalancingStrategy::Dqa);
+        assert!(
+            t_inter > t_dns,
+            "INTER {t_inter:.2} q/min should beat DNS {t_dns:.2}"
+        );
+        assert!(
+            t_dqa > t_inter,
+            "DQA {t_dqa:.2} q/min should beat INTER {t_inter:.2}"
+        );
+        // Latency ranks the same way (Table 6).
+        assert!(l_dqa < l_dns, "DQA {l_dqa:.1}s vs DNS {l_dns:.1}s");
+    }
+
+    #[test]
+    fn migrations_counted_only_for_active_dispatchers() {
+        let nodes = 4;
+        let dns = QaSimulation::new(SimConfig::paper_high_load(nodes, BalancingStrategy::Dns, 3)).run();
+        assert_eq!(dns.migrations, MigrationCounts::default());
+        let inter =
+            QaSimulation::new(SimConfig::paper_high_load(nodes, BalancingStrategy::Inter, 3)).run();
+        assert!(inter.migrations.qa > 0, "question dispatcher should fire");
+        assert_eq!(inter.migrations.pr, 0);
+        let dqa = QaSimulation::new(SimConfig::paper_high_load(nodes, BalancingStrategy::Dqa, 3)).run();
+        assert!(dqa.migrations.pr + dqa.migrations.ap > 0);
+    }
+
+    #[test]
+    fn all_questions_complete_and_are_ordered() {
+        let r = QaSimulation::new(SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 9)).run();
+        assert_eq!(r.questions.len(), 32);
+        for q in &r.questions {
+            assert!(q.finished >= q.arrival);
+            assert!(q.response_time() > 0.0);
+            assert!(q.timings.total() > 0.0);
+        }
+        assert!(r.makespan >= r.questions.iter().map(|q| q.finished).fold(0.0, f64::max) - 1e-9);
+    }
+
+    #[test]
+    fn commitments_drain_after_serial_run() {
+        let cfg = SimConfig::paper_low_load(
+            4,
+            PartitionStrategy::Recv { chunk_size: 40 },
+            4,
+            2001,
+        );
+        let mut sim = QaSimulation::new(cfg);
+        // Drive manually: run to completion, then inspect commitments.
+        // (run() consumes self, so replicate its loop via run+rebuild.)
+        let report = {
+            let residual = {
+                // run a clone-by-rebuild to completion
+                
+                QaSimulation::new(SimConfig::paper_low_load(
+                    4,
+                    PartitionStrategy::Recv { chunk_size: 40 },
+                    4,
+                    2001,
+                ))
+                .run()
+            };
+            let _ = &mut sim;
+            residual
+        };
+        assert_eq!(report.questions.len(), 4);
+        // Direct white-box check: drive `sim` the same way via run_ref.
+        let residual = sim.run_ref();
+        assert!(residual < 1e-9, "leaked commitments: {residual}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = QaSimulation::new(SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 5)).run();
+        let b = QaSimulation::new(SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 5)).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_records_the_question_lifecycle_in_virtual_time() {
+        let cfg = SimConfig {
+            record_trace: true,
+            ..SimConfig::paper_low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, 2, 226)
+        };
+        let r = QaSimulation::new(cfg).run();
+        assert!(!r.trace.is_empty());
+        // Monotone virtual time.
+        for w in r.trace.windows(2) {
+            assert!(w[0].at <= w[1].at + 1e-9);
+        }
+        // Each question: submitted once, 8 PR chunks, one PO merge, ≥1 AP
+        // batch, completed once.
+        for q in 0..2 {
+            let ev: Vec<_> = r.trace.iter().filter(|e| e.question == q).collect();
+            let count = |pred: &dyn Fn(&SimEventKind) -> bool| {
+                ev.iter().filter(|e| pred(&e.kind)).count()
+            };
+            assert_eq!(count(&|k| matches!(k, SimEventKind::Submitted { .. })), 1);
+            assert_eq!(count(&|k| matches!(k, SimEventKind::PrChunkDone { .. })), 8);
+            assert_eq!(count(&|k| matches!(k, SimEventKind::PoMerged { .. })), 1);
+            assert!(count(&|k| matches!(k, SimEventKind::ApBatchDone { .. })) >= 1);
+            assert_eq!(count(&|k| matches!(k, SimEventKind::Completed { .. })), 1);
+        }
+        // Every sub-collection appears exactly once per question.
+        let mut colls: Vec<u32> = r
+            .trace
+            .iter()
+            .filter(|e| e.question == 0)
+            .filter_map(|e| match e.kind {
+                SimEventKind::PrChunkDone { collection, .. } => Some(collection),
+                _ => None,
+            })
+            .collect();
+        colls.sort_unstable();
+        assert_eq!(colls, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn trace_is_empty_when_disabled() {
+        let r = QaSimulation::new(SimConfig::paper_low_load(
+            2,
+            PartitionStrategy::Recv { chunk_size: 40 },
+            1,
+            1,
+        ))
+        .run();
+        assert!(r.trace.is_empty());
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let r = QaSimulation::new(SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 5)).run();
+        let p50 = r.response_time_percentile(0.5);
+        let p95 = r.response_time_percentile(0.95);
+        let p100 = r.response_time_percentile(1.0);
+        assert!(p50 <= p95 && p95 <= p100);
+        assert!(p50 > 0.0);
+        let max = r
+            .questions
+            .iter()
+            .map(QuestionRecord::response_time)
+            .fold(f64::MIN, f64::max);
+        assert!((p100 - max).abs() < 1e-9);
+        assert!(r.response_time_percentile(0.0) > 0.0, "p0 = min, nearest rank");
+    }
+
+    #[test]
+    fn heterogeneous_cluster_dqa_exploits_fast_nodes() {
+        // Nodes 0-1 run at half speed. DQA's dispatchers must route enough
+        // work to the fast nodes to beat DNS by more than it does on the
+        // homogeneous cluster.
+        let speeds = Some(vec![0.5, 0.5, 1.0, 1.0]);
+        let run = |strategy, speeds: Option<Vec<f64>>| {
+            let mut tp = 0.0;
+            for seed in [61u64, 62, 63] {
+                let cfg = SimConfig {
+                    node_speeds: speeds.clone(),
+                    ..SimConfig::paper_high_load(4, strategy, seed)
+                };
+                tp += QaSimulation::new(cfg).run().throughput_per_minute();
+            }
+            tp / 3.0
+        };
+        let dns = run(BalancingStrategy::Dns, speeds.clone());
+        let dqa = run(BalancingStrategy::Dqa, speeds);
+        assert!(dqa > dns, "DQA {dqa:.2} vs DNS {dns:.2} on heterogeneous cluster");
+        let dns_h = run(BalancingStrategy::Dns, None);
+        let dqa_h = run(BalancingStrategy::Dqa, None);
+        let gain_hetero = dqa / dns;
+        let gain_homo = dqa_h / dns_h;
+        assert!(
+            gain_hetero > gain_homo * 0.95,
+            "heterogeneity should not shrink DQA's edge: {gain_hetero:.2} vs {gain_homo:.2}"
+        );
+    }
+
+    #[test]
+    fn node_failure_mid_run_recovers_all_questions() {
+        let mut cfg = SimConfig::paper_low_load(
+            4,
+            PartitionStrategy::Recv { chunk_size: 40 },
+            6,
+            77,
+        );
+        // Kill node 2 early: several questions lose PR/AP sub-tasks.
+        cfg.node_failures = vec![(30.0, 2)];
+        let r = QaSimulation::new(cfg).run();
+        assert_eq!(r.questions.len(), 6, "every question completes");
+        for q in &r.questions {
+            assert!(q.finished > q.arrival);
+            assert_ne!(q.home, NodeId::new(2), "no question ends on the dead node");
+        }
+    }
+
+    #[test]
+    fn failure_slows_but_does_not_stop_high_load_run() {
+        let mut cfg = SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 7);
+        cfg.node_failures = vec![(60.0, 1)];
+        let with_failure = QaSimulation::new(cfg).run();
+        let healthy =
+            QaSimulation::new(SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 7)).run();
+        assert_eq!(with_failure.questions.len(), healthy.questions.len());
+        assert!(
+            with_failure.makespan > healthy.makespan,
+            "losing a quarter of the cluster must cost time: {:.0} vs {:.0}",
+            with_failure.makespan,
+            healthy.makespan
+        );
+    }
+
+    #[test]
+    fn sender_partition_failure_recovers_via_fig5c() {
+        let mut cfg = SimConfig::paper_low_load(4, PartitionStrategy::Isend, 4, 78);
+        cfg.node_failures = vec![(50.0, 3)];
+        let r = QaSimulation::new(cfg).run();
+        assert_eq!(r.questions.len(), 4);
+    }
+
+    #[test]
+    fn dns_skips_dead_nodes_for_new_arrivals() {
+        let mut cfg = SimConfig::paper_high_load(3, BalancingStrategy::Dns, 9);
+        cfg.node_failures = vec![(0.5, 0)];
+        let r = QaSimulation::new(cfg).run();
+        assert_eq!(r.questions.len(), 24);
+        for q in r.questions.iter().skip(3) {
+            assert_ne!(q.home, NodeId::new(0));
+        }
+    }
+
+    #[test]
+    fn isend_beats_send_for_ap() {
+        let send = low_load(8, PartitionStrategy::Send, 8);
+        let isend = low_load(8, PartitionStrategy::Isend, 8);
+        assert!(
+            isend.mean_timings().ap < send.mean_timings().ap,
+            "ISEND {:.2} !< SEND {:.2}",
+            isend.mean_timings().ap,
+            send.mean_timings().ap
+        );
+    }
+}

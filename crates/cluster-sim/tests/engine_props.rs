@@ -1,0 +1,118 @@
+//! Property tests of the processor-sharing engine.
+
+use cluster_sim::engine::{Advance, Engine, Stage, StageKind};
+use proptest::prelude::*;
+use qa_types::NodeId;
+
+/// Strategy: a random task = 1–4 stages over 2 nodes + network.
+fn task_strategy() -> impl Strategy<Value = Vec<Stage>> {
+    proptest::collection::vec(
+        (0u8..3, 0.0f64..5.0).prop_map(|(kind, demand)| match kind {
+            0 => Stage::cpu(NodeId::new(0), demand),
+            1 => Stage::disk(NodeId::new(1), demand),
+            _ => Stage::net(demand * 100.0),
+        }),
+        1..4,
+    )
+}
+
+fn run_all(e: &mut Engine<usize>) -> Vec<(f64, usize)> {
+    let mut out = Vec::new();
+    loop {
+        match e.advance(None) {
+            Advance::TaskDone { tag, at, .. } => out.push((at, tag)),
+            Advance::Idle => return out,
+            Advance::ReachedTime(_) => unreachable!("no limit given"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_task_completes_exactly_once(tasks in proptest::collection::vec(task_strategy(), 0..30)) {
+        let mut e: Engine<usize> = Engine::new(2, 100.0);
+        for (i, stages) in tasks.iter().cloned().enumerate() {
+            e.spawn(stages, i);
+        }
+        let done = run_all(&mut e);
+        prop_assert_eq!(done.len(), tasks.len());
+        let mut tags: Vec<usize> = done.iter().map(|&(_, t)| t).collect();
+        tags.sort_unstable();
+        prop_assert_eq!(tags, (0..tasks.len()).collect::<Vec<_>>());
+        prop_assert_eq!(e.active_tasks(), 0);
+    }
+
+    #[test]
+    fn completion_times_are_monotone_and_bounded_below(
+        tasks in proptest::collection::vec(task_strategy(), 1..20),
+    ) {
+        let mut e: Engine<usize> = Engine::new(2, 100.0);
+        for (i, stages) in tasks.iter().cloned().enumerate() {
+            e.spawn(stages, i);
+        }
+        let done = run_all(&mut e);
+        // Event times never go backwards.
+        for w in done.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0 + 1e-9);
+        }
+        // A resource can't finish its total demand faster than serially at
+        // full rate: makespan >= max per-resource total demand.
+        let mut cpu0 = 0.0f64;
+        let mut disk1 = 0.0f64;
+        let mut net = 0.0f64;
+        for t in &tasks {
+            for s in t {
+                match s.kind {
+                    StageKind::Cpu(_) => cpu0 += s.remaining,
+                    StageKind::Disk(_) => disk1 += s.remaining,
+                    StageKind::Net | StageKind::NetLink(_) => net += s.remaining / 100.0,
+                }
+            }
+        }
+        let makespan = done.last().map(|&(t, _)| t).unwrap_or(0.0);
+        let bound = cpu0.max(disk1).max(net);
+        prop_assert!(makespan >= bound - 1e-6, "makespan {makespan} < bound {bound}");
+    }
+
+    #[test]
+    fn advance_with_limit_never_overshoots(
+        tasks in proptest::collection::vec(task_strategy(), 1..10),
+        limit in 0.0f64..10.0,
+    ) {
+        let mut e: Engine<usize> = Engine::new(2, 100.0);
+        for (i, stages) in tasks.iter().cloned().enumerate() {
+            e.spawn(stages, i);
+        }
+        loop {
+            match e.advance(Some(limit)) {
+                Advance::TaskDone { at, .. } => prop_assert!(at <= limit + 1e-9),
+                Advance::ReachedTime(t) => {
+                    prop_assert!((t - limit).abs() < 1e-9);
+                    break;
+                }
+                Advance::Idle => break,
+            }
+        }
+        prop_assert!(e.now() <= limit + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_replay(tasks in proptest::collection::vec(task_strategy(), 0..15)) {
+        let run = || {
+            let mut e: Engine<usize> = Engine::new(2, 100.0);
+            for (i, stages) in tasks.iter().cloned().enumerate() {
+                e.spawn(stages, i);
+            }
+            run_all(&mut e)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x.0 - y.0).abs() < 1e-12);
+            prop_assert_eq!(x.1, y.1);
+        }
+    }
+}

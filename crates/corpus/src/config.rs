@@ -1,0 +1,146 @@
+//! Corpus generation parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic corpus.
+///
+/// Defaults are sized for fast unit tests; [`CorpusConfig::trec_like`]
+/// produces a collection large enough for the benchmark harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// RNG seed; the entire corpus is a pure function of this config.
+    pub seed: u64,
+    /// Number of sub-collections (the paper splits TREC-9 into 8).
+    pub sub_collections: usize,
+    /// Documents per sub-collection.
+    pub docs_per_collection: usize,
+    /// Inclusive range of paragraphs per document.
+    pub paragraphs_per_doc: (usize, usize),
+    /// Inclusive range of sentences per paragraph.
+    pub sentences_per_paragraph: (usize, usize),
+    /// Number of distinct content words in the vocabulary.
+    pub vocab_size: usize,
+    /// Zipf exponent of word frequencies (English text ≈ 1.0–1.2).
+    pub zipf_exponent: f64,
+    /// Probability that a sentence carries a named entity.
+    pub entity_density: f64,
+    /// Fraction of word draws taken from the sub-collection's own skewed
+    /// distribution rather than the global one (0 = homogeneous
+    /// sub-collections, 1 = fully topical).
+    pub topic_skew: f64,
+}
+
+impl CorpusConfig {
+    /// Small corpus for unit tests (fast to generate and index).
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            sub_collections: 4,
+            docs_per_collection: 12,
+            paragraphs_per_doc: (2, 5),
+            sentences_per_paragraph: (2, 4),
+            vocab_size: 600,
+            zipf_exponent: 1.07,
+            entity_density: 0.6,
+            topic_skew: 0.5,
+        }
+    }
+
+    /// A TREC-like configuration: 8 sub-collections with pronounced topic
+    /// skew, enough text for the benches to show realistic PR variance.
+    pub fn trec_like(seed: u64) -> Self {
+        Self {
+            seed,
+            sub_collections: 8,
+            docs_per_collection: 120,
+            paragraphs_per_doc: (3, 10),
+            sentences_per_paragraph: (2, 6),
+            vocab_size: 4000,
+            zipf_exponent: 1.07,
+            entity_density: 0.55,
+            topic_skew: 0.6,
+        }
+    }
+
+    /// Total number of documents.
+    pub fn total_docs(&self) -> usize {
+        self.sub_collections * self.docs_per_collection
+    }
+
+    /// Validate bounds; returns an error message for the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sub_collections == 0 {
+            return Err("sub_collections must be > 0".into());
+        }
+        if self.docs_per_collection == 0 {
+            return Err("docs_per_collection must be > 0".into());
+        }
+        if self.paragraphs_per_doc.0 == 0 || self.paragraphs_per_doc.0 > self.paragraphs_per_doc.1 {
+            return Err("paragraphs_per_doc range invalid".into());
+        }
+        if self.sentences_per_paragraph.0 == 0
+            || self.sentences_per_paragraph.0 > self.sentences_per_paragraph.1
+        {
+            return Err("sentences_per_paragraph range invalid".into());
+        }
+        if self.vocab_size < 50 {
+            return Err("vocab_size must be >= 50".into());
+        }
+        if !(0.0..=1.0).contains(&self.entity_density) {
+            return Err("entity_density must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.topic_skew) {
+            return Err("topic_skew must be in [0,1]".into());
+        }
+        if self.zipf_exponent <= 0.0 {
+            return Err("zipf_exponent must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self::small(42)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        CorpusConfig::small(1).validate().unwrap();
+        CorpusConfig::trec_like(1).validate().unwrap();
+    }
+
+    #[test]
+    fn total_docs() {
+        let c = CorpusConfig::trec_like(0);
+        assert_eq!(c.total_docs(), 8 * 120);
+    }
+
+    #[test]
+    fn invalid_fields_rejected() {
+        let mut c = CorpusConfig::small(0);
+        c.sub_collections = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = CorpusConfig::small(0);
+        c.paragraphs_per_doc = (3, 2);
+        assert!(c.validate().is_err());
+
+        let mut c = CorpusConfig::small(0);
+        c.entity_density = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = CorpusConfig::small(0);
+        c.vocab_size = 10;
+        assert!(c.validate().is_err());
+
+        let mut c = CorpusConfig::small(0);
+        c.zipf_exponent = 0.0;
+        assert!(c.validate().is_err());
+    }
+}

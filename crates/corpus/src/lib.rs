@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Synthetic TREC-like corpus and question generator.
+//!
+//! The paper evaluates on the TREC-8 (2 GB) and TREC-9 (3 GB) document
+//! collections, split into eight separately-indexed sub-collections, with
+//! the TREC-8/9 factual question sets. Those corpora are licensed NIST data
+//! we cannot ship, so this crate generates a *statistical stand-in*:
+//!
+//! * a Zipf-distributed vocabulary, with per-sub-collection topic skew so
+//!   that keyword frequencies — and therefore paragraph-retrieval work —
+//!   vary across sub-collections exactly as the paper observes ("the PR
+//!   sub-task granularities vary drastically based on the frequencies of the
+//!   keywords in the given sub-collection");
+//! * documents made of entity-bearing sentences, with entities drawn from
+//!   the shared [`nlp::Gazetteers`] so they are recoverable by the NER;
+//! * factual questions generated from *planted* entities, each with ground
+//!   truth (expected answer + source paragraph) so the full pipeline is
+//!   testable end to end.
+//!
+//! Generation is fully deterministic given [`CorpusConfig::seed`].
+
+pub mod config;
+pub mod generator;
+pub mod questions;
+pub mod stats;
+pub mod trec;
+pub mod vocab;
+
+pub use config::CorpusConfig;
+pub use generator::{Corpus, CorpusSnapshot, PlantedEntity};
+pub use questions::{GeneratedQuestion, QuestionGenerator};
+pub use stats::CorpusStats;
+pub use vocab::Vocabulary;

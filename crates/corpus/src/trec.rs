@@ -1,0 +1,171 @@
+//! TREC-style serialization of question sets and answer keys.
+//!
+//! The paper's workload is "the TREC-8 and TREC-9 question set", which
+//! ships as topic files plus NIST answer patterns. This module writes and
+//! reads our generated questions in the same spirit, so question sets can
+//! be frozen to disk, diffed, and fed to the CLI independently of the
+//! corpus seed:
+//!
+//! ```text
+//! <top>
+//! <num> Number: 3
+//! <desc> Where was the stoura reaba beside the pura?
+//! </top>
+//! ```
+//!
+//! and an answer-key line format `qid 0 D12#3 answer-text` (qrels-like:
+//! question, iteration, paragraph, pattern).
+
+use crate::questions::GeneratedQuestion;
+use qa_types::{DocId, ParagraphId, QaError, Question, QuestionId};
+
+/// Render a question set as a TREC topic file.
+pub fn write_topics(questions: &[GeneratedQuestion]) -> String {
+    let mut out = String::new();
+    for gq in questions {
+        out.push_str("<top>\n");
+        out.push_str(&format!("<num> Number: {}\n", gq.question.id.raw()));
+        out.push_str(&format!("<desc> {}\n", gq.question.text));
+        out.push_str("</top>\n\n");
+    }
+    out
+}
+
+/// Render the answer key (qrels-like).
+pub fn write_answer_key(questions: &[GeneratedQuestion]) -> String {
+    let mut out = String::new();
+    for gq in questions {
+        out.push_str(&format!(
+            "{} 0 {} {}\n",
+            gq.question.id.raw(),
+            gq.source,
+            gq.expected_answer
+        ));
+    }
+    out
+}
+
+/// Parse a TREC topic file back into questions.
+pub fn parse_topics(text: &str) -> Result<Vec<Question>, QaError> {
+    let mut out = Vec::new();
+    let mut num: Option<u32> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("<num>") {
+            let digits: String = rest.chars().filter(|c| c.is_ascii_digit()).collect();
+            num = Some(
+                digits
+                    .parse()
+                    .map_err(|_| QaError::Codec(format!("bad <num> line: {line:?}")))?,
+            );
+        } else if let Some(rest) = line.strip_prefix("<desc>") {
+            let id = num
+                .take()
+                .ok_or_else(|| QaError::Codec("<desc> before <num>".into()))?;
+            out.push(Question::new(QuestionId::new(id), rest.trim()));
+        }
+    }
+    Ok(out)
+}
+
+/// Parse an answer-key file: `(question, source paragraph, answer)` rows.
+pub fn parse_answer_key(text: &str) -> Result<Vec<(QuestionId, ParagraphId, String)>, QaError> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(4, ' ');
+        let qid: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| QaError::Codec(format!("bad qid in {line:?}")))?;
+        let _iteration = parts
+            .next()
+            .ok_or_else(|| QaError::Codec(format!("missing iteration in {line:?}")))?;
+        let para = parts
+            .next()
+            .ok_or_else(|| QaError::Codec(format!("missing paragraph in {line:?}")))?;
+        let answer = parts
+            .next()
+            .ok_or_else(|| QaError::Codec(format!("missing answer in {line:?}")))?;
+        let (doc, ordinal) = para
+            .strip_prefix('D')
+            .and_then(|s| s.split_once('#'))
+            .ok_or_else(|| QaError::Codec(format!("bad paragraph id {para:?}")))?;
+        let doc: u32 = doc
+            .parse()
+            .map_err(|_| QaError::Codec(format!("bad doc id {para:?}")))?;
+        let ordinal: u32 = ordinal
+            .parse()
+            .map_err(|_| QaError::Codec(format!("bad ordinal {para:?}")))?;
+        out.push((
+            QuestionId::new(qid),
+            ParagraphId::new(DocId::new(doc), ordinal),
+            answer.to_string(),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CorpusConfig;
+    use crate::generator::Corpus;
+    use crate::questions::QuestionGenerator;
+
+    fn questions() -> Vec<GeneratedQuestion> {
+        let c = Corpus::generate(CorpusConfig::small(61)).unwrap();
+        QuestionGenerator::new(&c, 1).generate(8)
+    }
+
+    #[test]
+    fn topics_round_trip() {
+        let qs = questions();
+        let text = write_topics(&qs);
+        let parsed = parse_topics(&text).unwrap();
+        assert_eq!(parsed.len(), qs.len());
+        for (p, gq) in parsed.iter().zip(&qs) {
+            assert_eq!(p.id, gq.question.id);
+            assert_eq!(p.text, gq.question.text);
+        }
+    }
+
+    #[test]
+    fn answer_key_round_trip() {
+        let qs = questions();
+        let text = write_answer_key(&qs);
+        let parsed = parse_answer_key(&text).unwrap();
+        assert_eq!(parsed.len(), qs.len());
+        for ((qid, para, answer), gq) in parsed.iter().zip(&qs) {
+            assert_eq!(*qid, gq.question.id);
+            assert_eq!(*para, gq.source);
+            assert_eq!(*answer, gq.expected_answer);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse_topics("<desc> orphan question\n").is_err());
+        assert!(parse_topics("<num> Number: abc\n<desc> x\n").is_err());
+        assert!(parse_answer_key("notanumber 0 D1#0 x\n").is_err());
+        assert!(parse_answer_key("1 0 badpara x\n").is_err());
+        assert!(parse_answer_key("1 0 D1#0\n").is_err(), "missing answer");
+    }
+
+    #[test]
+    fn empty_inputs_are_empty() {
+        assert!(parse_topics("").unwrap().is_empty());
+        assert!(parse_answer_key("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn multiword_answers_survive() {
+        let mut qs = questions();
+        qs[0].expected_answer = "Lake Kor Denmal".to_string();
+        let parsed = parse_answer_key(&write_answer_key(&qs)).unwrap();
+        assert_eq!(parsed[0].2, "Lake Kor Denmal");
+    }
+}

@@ -1,0 +1,203 @@
+//! The shared load board: per-node load counters plus liveness.
+//!
+//! This is the shared-memory analog of the paper's load-monitor broadcast:
+//! every node publishes (CPU-ish active sub-tasks, disk-ish active
+//! sub-tasks, resident questions, heartbeat) and every dispatcher reads the
+//! whole board. A node whose heartbeat goes stale — or whose alive flag is
+//! cleared by failure injection — drops out of the pool, and rejoins the
+//! moment it publishes again.
+
+use qa_types::{NodeId, ResourceVector};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One node's published state.
+#[derive(Debug)]
+struct Row {
+    cpu_tasks: AtomicUsize,
+    disk_tasks: AtomicUsize,
+    questions: AtomicUsize,
+    heartbeat_micros: AtomicU64,
+    alive: AtomicBool,
+}
+
+/// The cluster-wide load board.
+#[derive(Debug)]
+pub struct LoadBoard {
+    rows: Vec<Row>,
+    epoch: Instant,
+    staleness_micros: u64,
+}
+
+impl LoadBoard {
+    /// A board for `nodes` nodes with the given heartbeat staleness window.
+    pub fn new(nodes: usize, staleness_secs: f64) -> LoadBoard {
+        let epoch = Instant::now();
+        LoadBoard {
+            rows: (0..nodes)
+                .map(|_| Row {
+                    cpu_tasks: AtomicUsize::new(0),
+                    disk_tasks: AtomicUsize::new(0),
+                    questions: AtomicUsize::new(0),
+                    heartbeat_micros: AtomicU64::new(0),
+                    alive: AtomicBool::new(true),
+                })
+                .collect(),
+            epoch,
+            staleness_micros: (staleness_secs * 1e6) as u64,
+        }
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Number of nodes (rows).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the board has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Publish a heartbeat for `node` (called by the node's monitor loop).
+    pub fn heartbeat(&self, node: NodeId) {
+        self.rows[node.index()]
+            .heartbeat_micros
+            .store(self.now_micros().max(1), Ordering::Release);
+    }
+
+    /// Mark a node dead (failure injection) or alive again.
+    pub fn set_alive(&self, node: NodeId, alive: bool) {
+        self.rows[node.index()].alive.store(alive, Ordering::Release);
+    }
+
+    /// Whether a node is alive: flagged alive *and* heartbeat fresh.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        let row = &self.rows[node.index()];
+        if !row.alive.load(Ordering::Acquire) {
+            return false;
+        }
+        let hb = row.heartbeat_micros.load(Ordering::Acquire);
+        hb > 0 && self.now_micros().saturating_sub(hb) <= self.staleness_micros
+    }
+
+    /// Track a CPU-bound sub-task starting/ending on a node.
+    pub fn cpu_delta(&self, node: NodeId, delta: isize) {
+        Self::bump(&self.rows[node.index()].cpu_tasks, delta);
+    }
+
+    /// Track a disk-bound sub-task starting/ending on a node.
+    pub fn disk_delta(&self, node: NodeId, delta: isize) {
+        Self::bump(&self.rows[node.index()].disk_tasks, delta);
+    }
+
+    /// Track a question becoming resident / leaving a node.
+    pub fn question_delta(&self, node: NodeId, delta: isize) {
+        Self::bump(&self.rows[node.index()].questions, delta);
+    }
+
+    fn bump(cell: &AtomicUsize, delta: isize) {
+        if delta >= 0 {
+            cell.fetch_add(delta as usize, Ordering::AcqRel);
+        } else {
+            let d = (-delta) as usize;
+            let mut cur = cell.load(Ordering::Acquire);
+            loop {
+                let next = cur.saturating_sub(d);
+                match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => break,
+                    Err(v) => cur = v,
+                }
+            }
+        }
+    }
+
+    /// A node's load vector: CPU load = CPU sub-tasks + resident questions
+    /// (memory pressure counts against the CPU resource, per the paper's
+    /// footnote), disk load = disk sub-tasks.
+    pub fn load_of(&self, node: NodeId) -> ResourceVector {
+        let row = &self.rows[node.index()];
+        ResourceVector::new(
+            row.cpu_tasks.load(Ordering::Acquire) as f64
+                + 0.5 * row.questions.load(Ordering::Acquire) as f64,
+            row.disk_tasks.load(Ordering::Acquire) as f64,
+        )
+    }
+
+    /// Loads of all *live* nodes, sorted by id.
+    pub fn live_loads(&self) -> Vec<(NodeId, ResourceVector)> {
+        (0..self.rows.len())
+            .map(|i| NodeId::new(i as u32))
+            .filter(|&n| self.is_alive(n))
+            .map(|n| (n, self.load_of(n)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_controls_liveness() {
+        let b = LoadBoard::new(2, 0.05);
+        let n0 = NodeId::new(0);
+        assert!(!b.is_alive(n0), "no heartbeat yet");
+        b.heartbeat(n0);
+        assert!(b.is_alive(n0));
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        assert!(!b.is_alive(n0), "stale heartbeat");
+        b.heartbeat(n0);
+        assert!(b.is_alive(n0), "rejoined");
+    }
+
+    #[test]
+    fn kill_switch_overrides_heartbeat() {
+        let b = LoadBoard::new(1, 10.0);
+        let n0 = NodeId::new(0);
+        b.heartbeat(n0);
+        b.set_alive(n0, false);
+        assert!(!b.is_alive(n0));
+        b.set_alive(n0, true);
+        assert!(b.is_alive(n0));
+    }
+
+    #[test]
+    fn counters_feed_load_vector() {
+        let b = LoadBoard::new(1, 10.0);
+        let n0 = NodeId::new(0);
+        b.cpu_delta(n0, 2);
+        b.disk_delta(n0, 1);
+        b.question_delta(n0, 2);
+        let v = b.load_of(n0);
+        assert_eq!(v.cpu, 3.0);
+        assert_eq!(v.disk, 1.0);
+        b.cpu_delta(n0, -1);
+        assert_eq!(b.load_of(n0).cpu, 2.0);
+    }
+
+    #[test]
+    fn deltas_saturate_at_zero() {
+        let b = LoadBoard::new(1, 10.0);
+        let n0 = NodeId::new(0);
+        b.cpu_delta(n0, -5);
+        assert_eq!(b.load_of(n0).cpu, 0.0);
+    }
+
+    #[test]
+    fn live_loads_filters_dead_nodes() {
+        let b = LoadBoard::new(3, 10.0);
+        for i in 0..3 {
+            b.heartbeat(NodeId::new(i));
+        }
+        b.set_alive(NodeId::new(1), false);
+        let live = b.live_loads();
+        let ids: Vec<u32> = live.iter().map(|(n, _)| n.raw()).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+}

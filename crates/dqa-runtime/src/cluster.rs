@@ -1,0 +1,727 @@
+//! The cluster facade and the per-question coordinator.
+
+use crate::board::LoadBoard;
+use crate::message::{Envelope, SubTask, SubTaskResult};
+use crate::monitor::BroadcastMonitors;
+use crate::node::{run_node, NodeContext};
+use crate::trace::{TraceKind, TraceLog};
+use crossbeam_channel::{bounded, unbounded, RecvTimeoutError, Sender};
+use ir_engine::ParagraphRetriever;
+use loadsim::functions::LoadFunctions;
+use nlp::{NamedEntityRecognizer, QuestionProcessor};
+use qa_pipeline::answer::ApItem;
+use qa_pipeline::ordering::order_paragraphs;
+use qa_pipeline::scoring::ScoredParagraph;
+use qa_pipeline::PipelineConfig;
+use qa_types::{
+    ModuleTimings, NodeId, ProcessedQuestion, QaError, QaModule, Question, RankedAnswers,
+    SubCollectionId,
+};
+use scheduler::meta::meta_schedule;
+use scheduler::partition::{partition_isend, partition_recv, partition_send, PartitionStrategy};
+use scheduler::recovery::ChunkQueue;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Pipeline knobs (answer length, PO threshold, …).
+    pub pipeline: PipelineConfig,
+    /// AP partitioning algorithm.
+    pub ap_partition: PartitionStrategy,
+    /// Worker heartbeat / idle-poll interval.
+    pub heartbeat_every: Duration,
+    /// Coordinator sub-task poll timeout before it checks worker liveness
+    /// (the failure-detection latency).
+    pub subtask_poll: Duration,
+    /// Heartbeat staleness window after which peers consider a node dead.
+    pub staleness: Duration,
+    /// Load-monitor broadcast interval (§3.1). Dispatch decisions read the
+    /// observing node's broadcast view when it is warm, falling back to the
+    /// shared board before the first packets land.
+    pub monitor_interval: Duration,
+    /// Service threads per node. The paper's nodes run up to 4 questions'
+    /// worth of sub-tasks concurrently (§4.2); two service threads let a
+    /// node overlap a disk-bound PR chunk with a CPU-bound AP batch.
+    pub workers_per_node: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 4,
+            pipeline: PipelineConfig::default(),
+            ap_partition: PartitionStrategy::Recv { chunk_size: 40 },
+            heartbeat_every: Duration::from_millis(5),
+            subtask_poll: Duration::from_millis(20),
+            staleness: Duration::from_millis(200),
+            monitor_interval: Duration::from_millis(5),
+            workers_per_node: 2,
+        }
+    }
+}
+
+/// Output of a distributed question execution.
+#[derive(Debug, Clone)]
+pub struct DistributedAnswer {
+    /// QP output.
+    pub processed: ProcessedQuestion,
+    /// Final merged answers.
+    pub answers: RankedAnswers,
+    /// Wall-clock per phase.
+    pub timings: ModuleTimings,
+    /// Node chosen as the question's home.
+    pub home: NodeId,
+    /// Distinct nodes that served PR chunks.
+    pub pr_nodes: Vec<NodeId>,
+    /// Distinct nodes that served AP batches.
+    pub ap_nodes: Vec<NodeId>,
+    /// Paragraphs accepted by PO.
+    pub paragraphs_accepted: usize,
+}
+
+/// A running cluster of worker threads.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    board: Arc<LoadBoard>,
+    trace: TraceLog,
+    senders: Vec<Sender<Envelope>>,
+    workers: Vec<JoinHandle<()>>,
+    qp: QuestionProcessor,
+    functions: LoadFunctions,
+    rr: AtomicUsize,
+    shards: usize,
+    monitors: BroadcastMonitors,
+}
+
+impl Cluster {
+    /// Start `cfg.nodes` worker threads over a built retriever + NER.
+    pub fn start(
+        retriever: ParagraphRetriever,
+        ner: NamedEntityRecognizer,
+        cfg: ClusterConfig,
+    ) -> Cluster {
+        assert!(cfg.nodes > 0, "at least one node");
+        let board = Arc::new(LoadBoard::new(cfg.nodes, cfg.staleness.as_secs_f64()));
+        let trace = TraceLog::new();
+        let shards = retriever.index().shard_count();
+        let mut senders = Vec::with_capacity(cfg.nodes);
+        let mut workers = Vec::with_capacity(cfg.nodes);
+        let workers_per_node = cfg.workers_per_node.max(1);
+        for i in 0..cfg.nodes {
+            let (tx, rx) = unbounded::<Envelope>();
+            // Crossbeam channels are MPMC: every service thread of the node
+            // consumes from the same queue, so sub-tasks overlap (a
+            // disk-bound PR chunk next to a CPU-bound AP batch — the §4.2
+            // overlap effect).
+            for w in 0..workers_per_node {
+                let ctx = NodeContext {
+                    id: NodeId::new(i as u32),
+                    retriever: retriever.clone(),
+                    ner: ner.clone(),
+                    board: Arc::clone(&board),
+                    trace: trace.clone(),
+                    heartbeat_every: cfg.heartbeat_every,
+                };
+                let rx = rx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("dqa-node-{i}-{w}"))
+                    .spawn(move || run_node(ctx, rx))
+                    .expect("spawn node thread");
+                workers.push(handle);
+            }
+            senders.push(tx);
+        }
+        // Give every node one heartbeat so dispatchers see a full pool.
+        for i in 0..cfg.nodes {
+            board.heartbeat(NodeId::new(i as u32));
+        }
+        let monitors = BroadcastMonitors::start(
+            Arc::clone(&board),
+            cfg.monitor_interval,
+            cfg.staleness.as_secs_f64(),
+        );
+        Cluster {
+            monitors,
+            cfg,
+            board,
+            trace,
+            senders,
+            workers,
+            qp: QuestionProcessor::new(),
+            functions: LoadFunctions::paper(),
+            rr: AtomicUsize::new(0),
+            shards,
+        }
+    }
+
+    /// The shared trace log.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// The shared load board.
+    pub fn board(&self) -> &Arc<LoadBoard> {
+        &self.board
+    }
+
+    /// The broadcast load monitors (per-node cluster views, §3.1).
+    pub fn monitors(&self) -> &BroadcastMonitors {
+        &self.monitors
+    }
+
+    /// Inject a node failure: the node stops serving and its queued work is
+    /// recovered by coordinators.
+    pub fn kill_node(&self, node: NodeId) {
+        self.board.set_alive(node, false);
+    }
+
+    /// Answer a question. DNS round-robin picks the initial home; the
+    /// question dispatcher may override it; the PR and AP dispatchers pick
+    /// the partition node sets.
+    pub fn ask(&self, question: &Question) -> Result<DistributedAnswer, QaError> {
+        let dns = NodeId::new((self.rr.fetch_add(1, Ordering::Relaxed) % self.cfg.nodes) as u32);
+        self.ask_on(dns, question)
+    }
+
+    /// Answer a question with an explicit DNS placement (tests/examples).
+    pub fn ask_on(&self, dns_home: NodeId, question: &Question) -> Result<DistributedAnswer, QaError> {
+        let mut timings = ModuleTimings::default();
+
+        // Scheduling point 1: the question dispatcher, deciding from the
+        // DNS-chosen node's *broadcast view* of the cluster (its own load
+        // table, §3.1) when warm; the shared board covers cold start.
+        let view = if dns_home.index() < self.monitors.len() {
+            self.monitors.view_from(dns_home)
+        } else {
+            Vec::new()
+        };
+        let loads = if view.len() == self.board.len() {
+            view.into_iter()
+                .filter(|(n, _)| self.board.is_alive(*n))
+                .collect()
+        } else {
+            self.board.live_loads()
+        };
+        if loads.is_empty() {
+            return Err(QaError::Disconnected("no live nodes".into()));
+        }
+        let dispatcher = scheduler::dispatcher::QuestionDispatcher {
+            functions: self.functions,
+            hysteresis: 1.0,
+        };
+        let home = if loads.iter().any(|(n, _)| *n == dns_home) {
+            dispatcher
+                .decide(QaModule::Qp, dns_home, &loads)
+                .unwrap_or(dns_home)
+        } else {
+            // DNS pointed at a dead node: fall back to the least loaded.
+            loads[0].0
+        };
+        self.board.question_delta(home, 1);
+        self.trace
+            .record(question.id, home, TraceKind::QuestionStart);
+
+        let result = self.coordinate(home, question, &mut timings);
+        self.board.question_delta(home, -1);
+        result
+    }
+
+    fn coordinate(
+        &self,
+        home: NodeId,
+        question: &Question,
+        timings: &mut ModuleTimings,
+    ) -> Result<DistributedAnswer, QaError> {
+        // QP (home-local; the coordinator acts for the home node).
+        let t = Instant::now();
+        let processed = self.qp.process(question)?;
+        timings.add_duration(QaModule::Qp, t.elapsed());
+
+        // Scheduling point 2: PR dispatcher → node set for PR chunks.
+        let t = Instant::now();
+        let pr_nodes = self.allocate(QaModule::Pr, home);
+        let chunks: Vec<Vec<SubCollectionId>> = (0..self.shards)
+            .map(|s| vec![SubCollectionId::new(s as u32)])
+            .collect();
+        let (scored, pr_nodes_used) = self.run_pr(&processed, pr_nodes, chunks)?;
+        timings.add_duration(QaModule::Pr, t.elapsed());
+
+        // PO: centralized merge + ordering (Fig. 3).
+        let t = Instant::now();
+        let accepted = order_paragraphs(
+            scored,
+            self.cfg.pipeline.po_threshold,
+            self.cfg.pipeline.max_accepted,
+        );
+        let paragraphs_accepted = accepted.len();
+        self.trace
+            .record(question.id, home, TraceKind::ParagraphsMerged(paragraphs_accepted));
+        timings.add_duration(QaModule::Po, t.elapsed());
+
+        // Scheduling point 3: AP dispatcher → node set for AP batches.
+        let t = Instant::now();
+        let items: Vec<ApItem> = accepted
+            .into_iter()
+            .map(|s| ApItem {
+                paragraph: s.paragraph,
+                rank: s.score,
+            })
+            .collect();
+        let ap_nodes = self.allocate(QaModule::Ap, home);
+        let (answers, ap_nodes_used) = self.run_ap(&processed, ap_nodes, items)?;
+        timings.add_duration(QaModule::Ap, t.elapsed());
+
+        self.trace
+            .record(question.id, home, TraceKind::AnswersSorted(answers.len()));
+
+        Ok(DistributedAnswer {
+            processed,
+            answers,
+            timings: *timings,
+            home,
+            pr_nodes: pr_nodes_used,
+            ap_nodes: ap_nodes_used,
+            paragraphs_accepted,
+        })
+    }
+
+    /// Meta-schedule a module over the live pool.
+    ///
+    /// The question's own residency on its home node is subtracted first:
+    /// the dispatcher is scheduling the *remainder* of this question, so
+    /// its own bookkeeping load must not push the home node out of the
+    /// partition set.
+    fn allocate(&self, module: QaModule, home: NodeId) -> Vec<NodeId> {
+        let mut loads = self.board.live_loads();
+        if loads.is_empty() {
+            return vec![home];
+        }
+        if let Some(entry) = loads.iter_mut().find(|(n, _)| *n == home) {
+            entry.1.cpu = (entry.1.cpu - 0.5).max(0.0);
+        }
+        let f = self.functions;
+        match meta_schedule(
+            &loads,
+            |v| f.load_for(module, v),
+            |v| f.is_underloaded(module, v),
+        ) {
+            Ok(alloc) => alloc.iter().map(|a| a.node).collect(),
+            Err(_) => vec![home],
+        }
+    }
+
+    /// Receiver-controlled PR: workers pull one sub-collection at a time.
+    fn run_pr(
+        &self,
+        processed: &ProcessedQuestion,
+        workers: Vec<NodeId>,
+        chunks: Vec<Vec<SubCollectionId>>,
+    ) -> Result<(Vec<ScoredParagraph>, Vec<NodeId>), QaError> {
+        let mut queue = ChunkQueue::new(chunks);
+        let (reply_tx, reply_rx) = bounded::<SubTaskResult>(self.shards.max(1));
+        let mut active: Vec<NodeId> = Vec::new();
+        let mut used: Vec<NodeId> = Vec::new();
+        let mut scored: Vec<ScoredParagraph> = Vec::new();
+
+        let dispatch = |this: &Cluster,
+                        queue: &mut ChunkQueue<SubCollectionId>,
+                        node: NodeId,
+                        reply_tx: &Sender<SubTaskResult>|
+         -> bool {
+            let Some(chunk) = queue.pull(node) else {
+                return false;
+            };
+            for shard in &chunk {
+                let sent = this.senders[node.index()].send(Envelope {
+                    task: SubTask::PrShard {
+                        question: processed.question.id,
+                        keywords: processed.keywords.clone(),
+                        shard: *shard,
+                    },
+                    reply: reply_tx.clone(),
+                });
+                if sent.is_err() {
+                    queue.fail(node);
+                    return false;
+                }
+            }
+            true
+        };
+
+        for node in workers {
+            if dispatch(self, &mut queue, node, &reply_tx) {
+                active.push(node);
+                used.push(node);
+            }
+        }
+        if active.is_empty() {
+            return Err(QaError::Disconnected("no PR workers".into()));
+        }
+
+        while !queue.drained() {
+            match reply_rx.recv_timeout(self.cfg.subtask_poll) {
+                Ok(SubTaskResult::Paragraphs { node, scored: s, .. }) => {
+                    scored.extend(s);
+                    queue.complete_one(node);
+                    if !dispatch(self, &mut queue, node, &reply_tx) {
+                        active.retain(|n| *n != node);
+                    }
+                }
+                Ok(SubTaskResult::Answers { .. }) => {
+                    unreachable!("AP result on PR channel")
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.reap_failed(&mut queue, &mut active, processed.question.id)?;
+                    // Re-dispatch recovered chunks to surviving workers.
+                    let survivors = active.clone();
+                    for node in survivors {
+                        if queue.outstanding(node) == 0 {
+                            dispatch(self, &mut queue, node, &reply_tx);
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(QaError::Disconnected("PR reply channel closed".into()))
+                }
+            }
+        }
+        Ok((scored, used))
+    }
+
+    /// AP over partitions or pulled chunks, per the configured strategy.
+    fn run_ap(
+        &self,
+        processed: &ProcessedQuestion,
+        workers: Vec<NodeId>,
+        items: Vec<ApItem>,
+    ) -> Result<(RankedAnswers, Vec<NodeId>), QaError> {
+        if items.is_empty() {
+            return Ok((RankedAnswers::default(), Vec::new()));
+        }
+        let chunks: Vec<Vec<ApItem>> = match self.cfg.ap_partition {
+            PartitionStrategy::Send => {
+                let w = vec![1.0 / workers.len() as f64; workers.len()];
+                partition_send(items, &w)
+            }
+            PartitionStrategy::Isend => {
+                let w = vec![1.0 / workers.len() as f64; workers.len()];
+                partition_isend(items, &w)
+            }
+            PartitionStrategy::Recv { chunk_size } => partition_recv(items, chunk_size),
+        };
+
+        let mut queue = ChunkQueue::new(chunks);
+        let (reply_tx, reply_rx) = bounded::<SubTaskResult>(workers.len().max(1) * 4);
+        let mut active: Vec<NodeId> = Vec::new();
+        let mut used: Vec<NodeId> = Vec::new();
+        let mut partials: Vec<RankedAnswers> = Vec::new();
+
+        let dispatch = |this: &Cluster,
+                        queue: &mut ChunkQueue<ApItem>,
+                        node: NodeId,
+                        reply_tx: &Sender<SubTaskResult>|
+         -> bool {
+            let Some(chunk) = queue.pull(node) else {
+                return false;
+            };
+            let sent = this.senders[node.index()].send(Envelope {
+                task: SubTask::ApBatch {
+                    question: processed.clone(),
+                    items: chunk,
+                    config: this.cfg.pipeline,
+                },
+                reply: reply_tx.clone(),
+            });
+            if sent.is_err() {
+                queue.fail(node);
+                return false;
+            }
+            true
+        };
+
+        for node in workers {
+            if dispatch(self, &mut queue, node, &reply_tx) {
+                active.push(node);
+                used.push(node);
+            }
+        }
+        if active.is_empty() {
+            return Err(QaError::Disconnected("no AP workers".into()));
+        }
+
+        while !queue.drained() {
+            match reply_rx.recv_timeout(self.cfg.subtask_poll) {
+                Ok(SubTaskResult::Answers { node, answers, .. }) => {
+                    partials.push(answers);
+                    queue.complete_one(node);
+                    if !dispatch(self, &mut queue, node, &reply_tx) {
+                        active.retain(|n| *n != node);
+                    }
+                }
+                Ok(SubTaskResult::Paragraphs { .. }) => {
+                    unreachable!("PR result on AP channel")
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.reap_failed(&mut queue, &mut active, processed.question.id)?;
+                    let survivors = active.clone();
+                    for node in survivors {
+                        if queue.outstanding(node) == 0 {
+                            dispatch(self, &mut queue, node, &reply_tx);
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(QaError::Disconnected("AP reply channel closed".into()))
+                }
+            }
+        }
+
+        // Centralized answer merging + sorting.
+        let merged = RankedAnswers::merge(partials, self.cfg.pipeline.answers_requested);
+        Ok((merged, used))
+    }
+
+    /// Detect dead workers among `active`; recover their chunks. Errors if
+    /// every worker is gone.
+    fn reap_failed<T: Clone>(
+        &self,
+        queue: &mut ChunkQueue<T>,
+        active: &mut Vec<NodeId>,
+        question: qa_types::QuestionId,
+    ) -> Result<(), QaError> {
+        let mut i = 0;
+        while i < active.len() {
+            let node = active[i];
+            if !self.board.is_alive(node) {
+                queue.fail(node);
+                self.trace.record(question, node, TraceKind::WorkerFailed);
+                active.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        if active.is_empty() && !queue.drained() {
+            // Try to recruit replacements from the live pool.
+            let pool = self.board.live_loads();
+            if pool.is_empty() {
+                return Err(QaError::Disconnected("all workers failed".into()));
+            }
+            for (n, _) in pool {
+                active.push(n);
+            }
+        }
+        Ok(())
+    }
+
+    /// Shut the cluster down, joining every worker.
+    pub fn shutdown(mut self) {
+        self.senders.clear(); // close channels → workers exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::{Corpus, CorpusConfig, QuestionGenerator};
+    use ir_engine::{DocumentStore, RetrievalConfig, ShardedIndex};
+
+    fn cluster(nodes: usize, strategy: PartitionStrategy) -> (Corpus, Cluster) {
+        let c = Corpus::generate(CorpusConfig::small(91)).unwrap();
+        let index = Arc::new(ShardedIndex::build(&c.documents, c.config.sub_collections));
+        let store = Arc::new(DocumentStore::new(c.documents.clone()));
+        let retriever = ParagraphRetriever::new(index, store, RetrievalConfig::default());
+        let cfg = ClusterConfig {
+            nodes,
+            ap_partition: strategy,
+            ..ClusterConfig::default()
+        };
+        let cl = Cluster::start(retriever, NamedEntityRecognizer::standard(), cfg);
+        (c, cl)
+    }
+
+    #[test]
+    fn distributed_answers_match_ground_truth() {
+        let (c, cl) = cluster(4, PartitionStrategy::Recv { chunk_size: 8 });
+        let qs = QuestionGenerator::new(&c, 1).generate(12);
+        let mut correct = 0;
+        for gq in &qs {
+            let out = cl.ask(&gq.question).expect("distributed answer");
+            if out
+                .answers
+                .answers
+                .iter()
+                .any(|a| a.candidate == gq.expected_answer)
+            {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 8, "correct {correct}/12");
+        cl.shutdown();
+    }
+
+    #[test]
+    fn all_partition_strategies_agree_on_answers() {
+        let strategies = [
+            PartitionStrategy::Send,
+            PartitionStrategy::Isend,
+            PartitionStrategy::Recv { chunk_size: 8 },
+        ];
+        let mut results: Vec<Vec<String>> = Vec::new();
+        for s in strategies {
+            let (c, cl) = cluster(3, s);
+            let qs = QuestionGenerator::new(&c, 2).generate(5);
+            let mut out = Vec::new();
+            for gq in &qs {
+                let ans = cl.ask(&gq.question).unwrap();
+                out.push(
+                    ans.answers
+                        .best()
+                        .map(|a| a.candidate.clone())
+                        .unwrap_or_default(),
+                );
+            }
+            results.push(out);
+            cl.shutdown();
+        }
+        // The partitioning strategy must not change the merged answers
+        // (the paper's merging modules exist to guarantee exactly this).
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn distributed_matches_sequential_pipeline() {
+        let (c, cl) = cluster(4, PartitionStrategy::Recv { chunk_size: 8 });
+        let index = Arc::new(ShardedIndex::build(&c.documents, c.config.sub_collections));
+        let store = Arc::new(DocumentStore::new(c.documents.clone()));
+        let seq = qa_pipeline::QaPipeline::new(
+            ParagraphRetriever::new(index, store, RetrievalConfig::default()),
+            NamedEntityRecognizer::standard(),
+            PipelineConfig::default(),
+        );
+        let qs = QuestionGenerator::new(&c, 3).generate(6);
+        for gq in &qs {
+            let d = cl.ask(&gq.question).unwrap();
+            let s = seq.answer(&gq.question).unwrap();
+            let d_best = d.answers.best().map(|a| a.candidate.clone());
+            let s_best = s.answers.best().map(|a| a.candidate.clone());
+            assert_eq!(d_best, s_best, "question {:?}", gq.question.text);
+        }
+        cl.shutdown();
+    }
+
+    #[test]
+    fn trace_records_question_lifecycle() {
+        let (c, cl) = cluster(4, PartitionStrategy::Recv { chunk_size: 8 });
+        let qs = QuestionGenerator::new(&c, 4).generate(1);
+        let out = cl.ask(&qs[0].question).unwrap();
+        let ev = cl.trace().for_question(qs[0].question.id);
+        use crate::trace::TraceKind as K;
+        assert!(ev.iter().any(|e| matches!(e.kind, K::QuestionStart)));
+        assert!(ev.iter().any(|e| matches!(e.kind, K::PrChunkStart(_))));
+        assert!(ev.iter().any(|e| matches!(e.kind, K::PrChunkDone(_))));
+        assert!(ev.iter().any(|e| matches!(e.kind, K::ParagraphsMerged(_))));
+        assert!(ev.iter().any(|e| matches!(e.kind, K::AnswersSorted(_))));
+        // Every sub-collection retrieved exactly once.
+        let starts = ev
+            .iter()
+            .filter(|e| matches!(e.kind, K::PrChunkStart(_)))
+            .count();
+        assert_eq!(starts, c.config.sub_collections);
+        assert!(!out.pr_nodes.is_empty());
+        cl.shutdown();
+    }
+
+    #[test]
+    fn survives_node_failure_mid_stream() {
+        let (c, cl) = cluster(4, PartitionStrategy::Recv { chunk_size: 4 });
+        let qs = QuestionGenerator::new(&c, 5).generate(6);
+        // Kill one node, then keep asking: recovery must re-queue its work.
+        let _ = cl.ask(&qs[0].question).unwrap();
+        cl.kill_node(NodeId::new(2));
+        for gq in &qs[1..] {
+            let out = cl.ask(&gq.question).expect("answers despite failure");
+            assert!(
+                !out.pr_nodes.contains(&NodeId::new(2))
+                    || cl
+                        .trace()
+                        .for_question(gq.question.id)
+                        .iter()
+                        .any(|e| matches!(e.kind, TraceKind::WorkerFailed)),
+                "dead node served work without recovery"
+            );
+        }
+        cl.shutdown();
+    }
+
+    #[test]
+    fn all_nodes_dead_is_an_error() {
+        let (c, cl) = cluster(2, PartitionStrategy::Recv { chunk_size: 8 });
+        let qs = QuestionGenerator::new(&c, 6).generate(1);
+        cl.kill_node(NodeId::new(0));
+        cl.kill_node(NodeId::new(1));
+        assert!(cl.ask(&qs[0].question).is_err());
+        cl.shutdown();
+    }
+
+    #[test]
+    fn worker_pools_overlap_subtasks_on_one_node() {
+        let (c, _) = cluster(1, PartitionStrategy::Recv { chunk_size: 4 });
+        // A single node with two service threads still answers correctly
+        // (results merge identically regardless of intra-node overlap).
+        let index = Arc::new(ShardedIndex::build(&c.documents, c.config.sub_collections));
+        let store = Arc::new(DocumentStore::new(c.documents.clone()));
+        let retriever = ParagraphRetriever::new(index, store, RetrievalConfig::default());
+        let cl = Cluster::start(
+            retriever,
+            NamedEntityRecognizer::standard(),
+            ClusterConfig {
+                nodes: 1,
+                workers_per_node: 3,
+                ap_partition: PartitionStrategy::Recv { chunk_size: 4 },
+                ..ClusterConfig::default()
+            },
+        );
+        let qs = QuestionGenerator::new(&c, 9).generate(4);
+        for gq in &qs {
+            let out = cl.ask(&gq.question).expect("single node answers");
+            assert!(out.pr_nodes.len() == 1);
+        }
+        cl.shutdown();
+    }
+
+    #[test]
+    fn concurrent_questions_from_multiple_threads() {
+        let (c, cl) = cluster(4, PartitionStrategy::Recv { chunk_size: 8 });
+        let cl = Arc::new(cl);
+        let qs = QuestionGenerator::new(&c, 7).generate(8);
+        let mut handles = Vec::new();
+        for gq in qs {
+            let cl = Arc::clone(&cl);
+            handles.push(std::thread::spawn(move || {
+                cl.ask(&gq.question).map(|d| d.answers.len())
+            }));
+        }
+        for h in handles {
+            assert!(h.join().unwrap().is_ok());
+        }
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Thread-backed distributed Q/A runtime.
+//!
+//! Where `cluster-sim` reproduces the paper's *quantitative* results on
+//! calibrated virtual hardware, this crate demonstrates the architecture
+//! *functionally*, with real concurrency on real data: each node is a
+//! worker thread holding (a reference to) its copy of the collection and
+//! serving PR/PS and AP sub-tasks over crossbeam channels; a per-question
+//! coordinator implements the Fig. 3 dataflow — QP, the PR dispatcher with
+//! receiver-controlled sub-collection chunks, centralized paragraph
+//! merging + ordering, the AP dispatcher with SEND/ISEND/RECV paragraph
+//! partitioning, and centralized answer merging/sorting.
+//!
+//! Fidelity notes (documented deviations from the paper's deployment):
+//!
+//! * Nodes are threads in one process; the "network" is channels, and the
+//!   paper's per-node collection copies become shared `Arc`s. Latency and
+//!   bandwidth effects are therefore *not* measured here — that is
+//!   `cluster-sim`'s job.
+//! * Question migration is realized by where the coordinator sends
+//!   sub-tasks (the paper moves a process; we move its work).
+//! * Failure detection uses sub-task timeouts plus load-board liveness,
+//!   the shared-memory analog of the paper's TCP errors + broadcast
+//!   staleness; recovery re-queues lost chunks exactly as Figs. 5c/6b
+//!   prescribe.
+
+pub mod board;
+pub mod cluster;
+pub mod message;
+pub mod monitor;
+pub mod node;
+pub mod trace;
+
+pub use board::LoadBoard;
+pub use cluster::{Cluster, ClusterConfig, DistributedAnswer};
+pub use monitor::BroadcastMonitors;
+pub use trace::{TraceEvent, TraceKind, TraceLog};

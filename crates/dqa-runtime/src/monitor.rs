@@ -1,0 +1,202 @@
+//! Broadcast load monitors (§3.1 of the paper).
+//!
+//! "Periodically each load monitor updates its local CPU and disk load and
+//! broadcasts the information on the local interconnection network. Thus
+//! every processor is aware not only of its own load but of the load of
+//! every other active processor in the system."
+//!
+//! One monitor thread per node samples that node's counters from the
+//! [`LoadBoard`] into a [`LoadPacket`] and delivers it to *every* node's
+//! [`LoadTable`] (the channel-fabric analog of an Ethernet broadcast). Each
+//! node therefore holds its own, independently-aging view of the cluster —
+//! including this module's key behaviour, which the shared board cannot
+//! express: a node that stops broadcasting ages out of its *peers'* views
+//! after the staleness window, and rejoins the pool the moment it
+//! broadcasts again.
+
+use crate::board::LoadBoard;
+use loadsim::{LoadPacket, LoadTable};
+use parking_lot::Mutex;
+use qa_types::NodeId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The monitor fleet plus every node's view of the cluster.
+pub struct BroadcastMonitors {
+    views: Vec<Arc<Mutex<LoadTable>>>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    epoch: Instant,
+}
+
+impl BroadcastMonitors {
+    /// Start one monitor thread per board row, broadcasting every
+    /// `interval`; packets older than `staleness` seconds age out of the
+    /// receiving tables.
+    pub fn start(board: Arc<LoadBoard>, interval: Duration, staleness: f64) -> BroadcastMonitors {
+        let nodes = board.len();
+        let views: Vec<Arc<Mutex<LoadTable>>> = (0..nodes)
+            .map(|_| Arc::new(Mutex::new(LoadTable::new(staleness))))
+            .collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        let epoch = Instant::now();
+
+        let threads = (0..nodes)
+            .map(|i| {
+                let node = NodeId::new(i as u32);
+                let board = Arc::clone(&board);
+                let views = views.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("dqa-monitor-{i}"))
+                    .spawn(move || {
+                        while !stop.load(Ordering::Acquire) {
+                            if board.is_alive(node) {
+                                let now = epoch.elapsed().as_secs_f64();
+                                let load = board.load_of(node);
+                                let packet = LoadPacket {
+                                    node,
+                                    load,
+                                    memory_used: 0,
+                                    questions: load.cpu as u32,
+                                    sent_at: now,
+                                };
+                                for view in &views {
+                                    let mut t = view.lock();
+                                    t.update(packet, now);
+                                    t.evict_stale(now);
+                                }
+                            }
+                            std::thread::sleep(interval);
+                        }
+                    })
+                    .expect("spawn monitor thread")
+            })
+            .collect();
+
+        BroadcastMonitors {
+            views,
+            stop,
+            threads,
+            epoch,
+        }
+    }
+
+    /// Number of nodes monitored.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True when no node is monitored.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// The cluster as seen *from* `observer`: live peers with their last
+    /// broadcast loads, staleness applied at read time.
+    pub fn view_from(&self, observer: NodeId) -> Vec<(NodeId, qa_types::ResourceVector)> {
+        let now = self.epoch.elapsed().as_secs_f64();
+        let mut table = self.views[observer.index()].lock();
+        table.evict_stale(now);
+        table
+            .packets()
+            .iter()
+            .map(|p| (p.node, p.load))
+            .collect()
+    }
+
+    /// Stop all monitor threads and join them.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for BroadcastMonitors {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wait_until(deadline_ms: u64, mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        cond()
+    }
+
+    #[test]
+    fn every_node_learns_every_peer() {
+        let board = Arc::new(LoadBoard::new(3, 10.0));
+        for i in 0..3 {
+            board.heartbeat(NodeId::new(i));
+        }
+        let monitors = BroadcastMonitors::start(Arc::clone(&board), Duration::from_millis(3), 1.0);
+        assert_eq!(monitors.len(), 3);
+        assert!(!monitors.is_empty());
+        let ok = wait_until(1000, || {
+            (0..3).all(|obs| monitors.view_from(NodeId::new(obs)).len() == 3)
+        });
+        assert!(ok, "views incomplete after 1 s");
+        monitors.stop();
+    }
+
+    #[test]
+    fn broadcast_loads_track_the_board() {
+        let board = Arc::new(LoadBoard::new(2, 10.0));
+        for i in 0..2 {
+            board.heartbeat(NodeId::new(i));
+        }
+        board.cpu_delta(NodeId::new(1), 3);
+        let monitors = BroadcastMonitors::start(Arc::clone(&board), Duration::from_millis(3), 1.0);
+        let ok = wait_until(1000, || {
+            monitors
+                .view_from(NodeId::new(0))
+                .iter()
+                .any(|(n, v)| *n == NodeId::new(1) && v.cpu >= 3.0)
+        });
+        assert!(ok, "node 0 never saw node 1's load");
+        monitors.stop();
+    }
+
+    #[test]
+    fn silent_node_ages_out_of_peer_views_and_rejoins() {
+        let board = Arc::new(LoadBoard::new(2, 10.0));
+        for i in 0..2 {
+            board.heartbeat(NodeId::new(i));
+        }
+        let monitors =
+            BroadcastMonitors::start(Arc::clone(&board), Duration::from_millis(3), 0.08);
+        let both = wait_until(1000, || monitors.view_from(NodeId::new(0)).len() == 2);
+        assert!(both);
+        // Node 1 stops broadcasting (kill switch), ages out of node 0's view.
+        board.set_alive(NodeId::new(1), false);
+        let gone = wait_until(1000, || {
+            monitors
+                .view_from(NodeId::new(0))
+                .iter()
+                .all(|(n, _)| *n != NodeId::new(1))
+        });
+        assert!(gone, "dead node never aged out");
+        // It starts broadcasting again and rejoins the pool automatically.
+        board.set_alive(NodeId::new(1), true);
+        let back = wait_until(1000, || monitors.view_from(NodeId::new(0)).len() == 2);
+        assert!(back, "revived node never rejoined");
+        monitors.stop();
+    }
+}

@@ -1,0 +1,127 @@
+//! Worker node threads.
+//!
+//! Each node owns a receiver of [`Envelope`]s and the shared substrates
+//! (index + store via the [`ParagraphRetriever`], NER, trace log, load
+//! board). Its loop: heartbeat, receive (with timeout so heartbeats keep
+//! flowing while idle), check the alive flag (failure injection), execute,
+//! reply. A dead node drains silently — its queued envelopes are dropped,
+//! which the coordinator detects by timeout, mirroring the paper's TCP
+//! error path.
+
+use crate::board::LoadBoard;
+use crate::message::{Envelope, SubTask, SubTaskResult};
+use crate::trace::{TraceKind, TraceLog};
+use crossbeam_channel::{Receiver, RecvTimeoutError};
+use ir_engine::ParagraphRetriever;
+use nlp::NamedEntityRecognizer;
+use qa_pipeline::answer::extract_answers;
+use qa_pipeline::scoring::score_paragraphs;
+use qa_types::NodeId;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything a worker needs.
+pub struct NodeContext {
+    /// This node's identity.
+    pub id: NodeId,
+    /// The PR substrate (shared index + store).
+    pub retriever: ParagraphRetriever,
+    /// The AP substrate.
+    pub ner: NamedEntityRecognizer,
+    /// Shared load board.
+    pub board: Arc<LoadBoard>,
+    /// Shared trace log.
+    pub trace: TraceLog,
+    /// Heartbeat / idle-poll interval.
+    pub heartbeat_every: Duration,
+}
+
+/// Run the worker loop until the channel closes or the node is killed.
+pub fn run_node(ctx: NodeContext, rx: Receiver<Envelope>) {
+    loop {
+        ctx.board.heartbeat(ctx.id);
+        if !alive(&ctx) {
+            // Failure injection: stop serving; drop queued envelopes.
+            return;
+        }
+        match rx.recv_timeout(ctx.heartbeat_every) {
+            Ok(envelope) => {
+                if !alive(&ctx) {
+                    return;
+                }
+                serve(&ctx, envelope);
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn alive(ctx: &NodeContext) -> bool {
+    // Only the explicit kill switch matters here; staleness is for peers.
+    ctx.board.is_alive(ctx.id) || {
+        // A node that merely missed heartbeats (e.g. long task) is fine;
+        // check the raw flag by re-publishing and retesting.
+        ctx.board.heartbeat(ctx.id);
+        ctx.board.is_alive(ctx.id)
+    }
+}
+
+fn serve(ctx: &NodeContext, envelope: Envelope) {
+    let Envelope { task, reply } = envelope;
+    let disk_bound = task.is_disk_bound();
+    if disk_bound {
+        ctx.board.disk_delta(ctx.id, 1);
+    } else {
+        ctx.board.cpu_delta(ctx.id, 1);
+    }
+
+    let result = match task {
+        SubTask::PrShard {
+            question,
+            keywords,
+            shard,
+        } => {
+            ctx.trace
+                .record(question, ctx.id, TraceKind::PrChunkStart(shard));
+            // An unknown shard contributes nothing; the coordinator
+            // validated shard ids up front, so this only fires on races
+            // with reconfiguration.
+            let retrieval = ctx.retriever.retrieve(&keywords, shard).unwrap_or_default();
+            // PS runs where PR ran (Fig. 3: PR(i) feeds PS(i)).
+            let scored = score_paragraphs(retrieval.paragraphs, &keywords);
+            ctx.trace
+                .record(question, ctx.id, TraceKind::PrChunkDone(shard));
+            SubTaskResult::Paragraphs {
+                node: ctx.id,
+                shard,
+                scored,
+            }
+        }
+        SubTask::ApBatch {
+            question,
+            items,
+            config,
+        } => {
+            let qid = question.question.id;
+            ctx.trace
+                .record(qid, ctx.id, TraceKind::ApBatchStart(items.len()));
+            let answers = extract_answers(&items, &question, &ctx.ner, &config);
+            ctx.trace
+                .record(qid, ctx.id, TraceKind::ApBatchDone(items.len()));
+            SubTaskResult::Answers {
+                node: ctx.id,
+                answers,
+                paragraphs: items.len(),
+            }
+        }
+    };
+
+    if disk_bound {
+        ctx.board.disk_delta(ctx.id, -1);
+    } else {
+        ctx.board.cpu_delta(ctx.id, -1);
+    }
+    // The coordinator may have given up (timeout); ignore send failures.
+    let _ = reply.send(result);
+}

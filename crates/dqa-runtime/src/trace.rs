@@ -1,0 +1,158 @@
+//! Execution traces in the style of the paper's Fig. 7.
+
+use parking_lot::Mutex;
+use qa_types::{NodeId, QuestionId, SubCollectionId};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Question accepted by its coordinator on `home`.
+    QuestionStart,
+    /// Node started retrieving one sub-collection.
+    PrChunkStart(SubCollectionId),
+    /// Node finished one sub-collection.
+    PrChunkDone(SubCollectionId),
+    /// Coordinator merged all paragraphs (count attached).
+    ParagraphsMerged(usize),
+    /// Node started an AP batch of `usize` paragraphs.
+    ApBatchStart(usize),
+    /// Node finished an AP batch of `usize` paragraphs.
+    ApBatchDone(usize),
+    /// Coordinator produced the final answer set (count attached).
+    AnswersSorted(usize),
+    /// A worker was detected failed and its work re-queued.
+    WorkerFailed,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Seconds since cluster start.
+    pub at: f64,
+    /// Question the event belongs to.
+    pub question: QuestionId,
+    /// Node involved.
+    pub node: NodeId,
+    /// The event.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Render in the style of the Fig. 7 listings
+    /// (`N2 finished collection C3 in 0.42 secs`-ish).
+    pub fn render(&self) -> String {
+        let w = match &self.kind {
+            TraceKind::QuestionStart => "started question".to_string(),
+            TraceKind::PrChunkStart(c) => format!("started collection {c}"),
+            TraceKind::PrChunkDone(c) => format!("finished collection {c}"),
+            TraceKind::ParagraphsMerged(n) => format!("merged {n} paragraphs"),
+            TraceKind::ApBatchStart(n) => format!("started {n} paragraphs"),
+            TraceKind::ApBatchDone(n) => format!("finished {n} paragraphs"),
+            TraceKind::AnswersSorted(n) => format!("sorted {n} answers"),
+            TraceKind::WorkerFailed => "failed; work re-queued".to_string(),
+        };
+        format!("[{:>8.3}s] {} {} {}", self.at, self.question, self.node, w)
+    }
+}
+
+/// Shared, append-only trace log.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    start: Instant,
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl TraceLog {
+    /// A fresh log; timestamps are relative to now.
+    pub fn new() -> TraceLog {
+        TraceLog {
+            start: Instant::now(),
+            events: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Record an event.
+    pub fn record(&self, question: QuestionId, node: NodeId, kind: TraceKind) {
+        let at = self.start.elapsed().as_secs_f64();
+        self.events.lock().push(TraceEvent {
+            at,
+            question,
+            node,
+            kind,
+        });
+    }
+
+    /// Snapshot of all events so far, in record order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Events for one question.
+    pub fn for_question(&self, q: QuestionId) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.question == q)
+            .cloned()
+            .collect()
+    }
+
+    /// Render the whole trace as Fig. 7-style lines.
+    pub fn render(&self) -> Vec<String> {
+        self.events.lock().iter().map(TraceEvent::render).collect()
+    }
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let log = TraceLog::new();
+        let q1 = QuestionId::new(1);
+        let q2 = QuestionId::new(2);
+        log.record(q1, NodeId::new(0), TraceKind::QuestionStart);
+        log.record(q2, NodeId::new(1), TraceKind::QuestionStart);
+        log.record(q1, NodeId::new(2), TraceKind::PrChunkStart(SubCollectionId::new(3)));
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.for_question(q1).len(), 2);
+        assert_eq!(log.for_question(q2).len(), 1);
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let log = TraceLog::new();
+        for i in 0..5 {
+            log.record(QuestionId::new(i), NodeId::new(0), TraceKind::QuestionStart);
+        }
+        let ev = log.events();
+        for w in ev.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn render_mentions_node_and_collection() {
+        let log = TraceLog::new();
+        log.record(
+            QuestionId::new(226),
+            NodeId::new(2),
+            TraceKind::PrChunkDone(SubCollectionId::new(5)),
+        );
+        let lines = log.render();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("Q226"));
+        assert!(lines[0].contains("N2"));
+        assert!(lines[0].contains("finished collection C5"));
+    }
+}

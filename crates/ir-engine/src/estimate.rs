@@ -1,0 +1,187 @@
+//! Query-cost estimation (the paper's §1.4 pointer to Cahoon, McKinley &
+//! Lu: "a query time evaluation heuristic based on the number of query
+//! terms and their frequencies in the given collection. Such information
+//! could be used by the load balancing mechanism…").
+//!
+//! The paper leaves this as future work because Falcon's other modules
+//! dominate its execution time; we implement it anyway and the
+//! `ablation_cost_estimator` bench measures what it buys: scheduling PR
+//! sub-collections longest-estimated-first (LPT order) tightens the PR
+//! makespan when granularities are uneven.
+
+use crate::index::{ShardedIndex, SubIndex};
+use qa_types::SubCollectionId;
+use serde::{Deserialize, Serialize};
+
+/// Tunable coefficients of the linear cost model
+/// `cost = per_term·|terms| + per_posting·Σ df(t) + per_candidate·min df`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed cost per query term (dictionary lookup + seek).
+    pub per_term: f64,
+    /// Cost per posting decoded.
+    pub per_posting: f64,
+    /// Cost per candidate document post-processed (paragraph extraction);
+    /// the smallest document frequency bounds the AND-result size.
+    pub per_candidate: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            per_term: 1.0,
+            per_posting: 0.05,
+            per_candidate: 2.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Estimate the relative PR cost of evaluating `terms` on one shard.
+    pub fn estimate(&self, shard: &SubIndex, terms: &[String]) -> f64 {
+        if terms.is_empty() {
+            return 0.0;
+        }
+        let mut postings = 0usize;
+        let mut min_df = usize::MAX;
+        for t in terms {
+            let df = shard.doc_freq(t);
+            postings += df;
+            min_df = min_df.min(df);
+        }
+        if min_df == usize::MAX {
+            min_df = 0;
+        }
+        self.per_term * terms.len() as f64
+            + self.per_posting * postings as f64
+            + self.per_candidate * min_df as f64
+    }
+
+    /// Estimate every shard, returned in *decreasing* cost order — the
+    /// longest-processing-time-first order for receiver-controlled PR.
+    pub fn rank_shards(
+        &self,
+        index: &ShardedIndex,
+        terms: &[String],
+    ) -> Vec<(SubCollectionId, f64)> {
+        let mut out: Vec<(SubCollectionId, f64)> = index
+            .shards()
+            .map(|s| (s.id, self.estimate(s, terms)))
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+    use qa_types::{DocId, Document};
+
+    fn shard(texts: &[&str]) -> SubIndex {
+        let mut b = IndexBuilder::new(SubCollectionId::new(0));
+        for (i, t) in texts.iter().enumerate() {
+            b.add_document(&Document {
+                id: DocId::new(i as u32),
+                sub_collection: SubCollectionId::new(0),
+                title: String::new(),
+                paragraphs: vec![t.to_string()],
+            });
+        }
+        b.finish()
+    }
+
+    fn terms(ts: &[&str]) -> Vec<String> {
+        ts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn frequent_terms_cost_more() {
+        let s = shard(&["alpha beta", "alpha", "alpha gamma", "delta"]);
+        let m = CostModel::default();
+        let frequent = m.estimate(&s, &terms(&["alpha"]));
+        let rare = m.estimate(&s, &terms(&["delta"]));
+        assert!(frequent > rare, "{frequent} vs {rare}");
+    }
+
+    #[test]
+    fn more_terms_cost_more() {
+        let s = shard(&["alpha beta gamma"]);
+        let m = CostModel::default();
+        let one = m.estimate(&s, &terms(&["alpha"]));
+        let two = m.estimate(&s, &terms(&["alpha", "beta"]));
+        assert!(two > one);
+    }
+
+    #[test]
+    fn empty_query_and_unknown_terms() {
+        let s = shard(&["alpha"]);
+        let m = CostModel::default();
+        assert_eq!(m.estimate(&s, &[]), 0.0);
+        // Unknown term: only the per-term cost remains.
+        let c = m.estimate(&s, &terms(&["zzz"]));
+        assert!((c - m.per_term).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_shards_orders_by_estimated_cost() {
+        use crate::index::ShardedIndex;
+        // Shard 0 sparse for "alpha", shard 1 dense.
+        let docs: Vec<Document> = (0..10)
+            .map(|i| Document {
+                id: DocId::new(i),
+                sub_collection: SubCollectionId::new(u32::from(i >= 2)),
+                title: String::new(),
+                paragraphs: vec!["alpha term".to_string()],
+            })
+            .collect();
+        let idx = ShardedIndex::build(&docs, 2);
+        let m = CostModel::default();
+        let ranked = m.rank_shards(&idx, &terms(&["alpha"]));
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].0, SubCollectionId::new(1), "dense shard first");
+        assert!(ranked[0].1 > ranked[1].1);
+    }
+
+    #[test]
+    fn estimate_correlates_with_real_retrieval_work() {
+        use crate::retrieval::{ParagraphRetriever, RetrievalConfig};
+        use crate::store::DocumentStore;
+        use corpus::{Corpus, CorpusConfig, QuestionGenerator};
+        use nlp::QuestionProcessor;
+        use std::sync::Arc;
+
+        let c = Corpus::generate(CorpusConfig::small(71)).unwrap();
+        let idx = Arc::new(crate::index::ShardedIndex::build(
+            &c.documents,
+            c.config.sub_collections,
+        ));
+        let store = Arc::new(DocumentStore::new(c.documents.clone()));
+        let pr = ParagraphRetriever::new(Arc::clone(&idx), store, RetrievalConfig::default());
+        let qp = QuestionProcessor::new();
+        let m = CostModel::default();
+
+        let mut agree = 0;
+        let mut total = 0;
+        for gq in QuestionGenerator::new(&c, 9).generate(12) {
+            let p = qp.process(&gq.question).unwrap();
+            let kw: Vec<String> = p.keywords.iter().map(|k| k.term.clone()).collect();
+            let ranked = m.rank_shards(&idx, &kw);
+            // Real per-shard work proxy: io_bytes of each shard retrieval.
+            let costly = ranked[0].0;
+            let cheap = ranked[ranked.len() - 1].0;
+            let io_costly = pr.retrieve(&p.keywords, costly).unwrap().io_bytes;
+            let io_cheap = pr.retrieve(&p.keywords, cheap).unwrap().io_bytes;
+            total += 1;
+            if io_costly >= io_cheap {
+                agree += 1;
+            }
+        }
+        assert!(agree * 3 >= total * 2, "estimator agreed {agree}/{total}");
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! Boolean information-retrieval engine with paragraph extraction.
+//!
+//! The paper's Paragraph Retrieval module "uses a Boolean Information
+//! Retrieval system to identify and extract the documents that contain the
+//! previously identified keywords and an additional post-processing phase to
+//! extract paragraphs from documents" (§2.1), built on NIST's Zprise. Zprise
+//! is not available, so this crate implements the substrate from scratch:
+//!
+//! * [`terms`] — text → index terms (tokenize, drop stopwords, stem);
+//! * [`postings`] — delta+varint compressed postings lists;
+//! * [`index`] — per-sub-collection inverted indexes ([`SubIndex`]) grouped
+//!   into a [`ShardedIndex`] (the paper splits TREC-9 into 8 shards);
+//! * [`query`] — Boolean AST (AND/OR/term) evaluation plus quorum matching;
+//! * [`retrieval`] — the PR module proper: Boolean search with Falcon-style
+//!   query relaxation, then paragraph extraction, with I/O accounting so the
+//!   simulator can charge disk time;
+//! * [`store`] — a document store resolving ids to text;
+//! * [`persist`] — binary serialization of indexes;
+//! * [`positional`] — positional postings + phrase queries (extension);
+//! * [`estimate`] — PR query-cost estimation for cost-aware scheduling
+//!   (the future-work direction the paper's §1.4 sketches);
+//! * [`ranked`] — a BM25 ranked-retrieval front-end, the alternative the
+//!   paper's §2.1 remark anticipates.
+
+pub mod estimate;
+pub mod index;
+pub mod persist;
+pub mod positional;
+pub mod postings;
+pub mod query;
+pub mod ranked;
+pub mod retrieval;
+pub mod store;
+pub mod terms;
+
+pub use estimate::CostModel;
+pub use index::{IndexBuilder, ShardedIndex, SubIndex};
+pub use positional::PositionalIndex;
+pub use postings::PostingsList;
+pub use query::BooleanQuery;
+pub use ranked::{ranked_retrieve, Bm25Params, RankedIndex};
+pub use retrieval::{ParagraphRetriever, RetrievalConfig, RetrievalResult};
+pub use store::DocumentStore;

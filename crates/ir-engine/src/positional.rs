@@ -1,0 +1,287 @@
+//! Positional postings and phrase queries.
+//!
+//! The Boolean substrate of the paper treats a document as a bag of terms;
+//! real Zprise-era engines also supported adjacency ("phrase") operators,
+//! and Falcon's keyword extraction produces multi-word names ("Taj Mahal")
+//! whose retrieval precision benefits from them. This module adds a
+//! positional index per sub-collection: for each term, the documents it
+//! occurs in and the token positions within each document, all
+//! delta+varint encoded.
+
+use crate::terms::index_terms;
+use qa_types::{DocId, Document, QaError, SubCollectionId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Positions of one term within one document.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct DocPositions {
+    doc: DocId,
+    /// Delta+varint encoded token positions (strictly increasing).
+    encoded: Vec<u8>,
+    count: u32,
+}
+
+impl DocPositions {
+    fn from_positions(doc: DocId, positions: &[u32]) -> Self {
+        let mut encoded = Vec::with_capacity(positions.len());
+        let mut prev = 0u32;
+        for (i, &p) in positions.iter().enumerate() {
+            debug_assert!(i == 0 || p > prev, "positions must increase");
+            let gap = if i == 0 { p } else { p - prev };
+            write_varint(&mut encoded, gap);
+            prev = p;
+        }
+        DocPositions {
+            doc,
+            encoded,
+            count: positions.len() as u32,
+        }
+    }
+
+    fn positions(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count as usize);
+        let mut pos = 0usize;
+        let mut prev = 0u32;
+        for i in 0..self.count {
+            let (gap, read) = read_varint(&self.encoded[pos..]).expect("self-encoded");
+            pos += read;
+            prev = if i == 0 { gap } else { prev + gap };
+            out.push(prev);
+        }
+        out
+    }
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8]) -> Option<(u32, usize)> {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    for (i, &b) in data.iter().enumerate() {
+        v |= ((b & 0x7f) as u32) << shift;
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+        if shift >= 32 {
+            return None;
+        }
+    }
+    None
+}
+
+/// A positional inverted index over one sub-collection.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PositionalIndex {
+    /// The sub-collection covered.
+    pub id: SubCollectionId,
+    terms: HashMap<String, Vec<DocPositions>>,
+    doc_count: usize,
+}
+
+impl PositionalIndex {
+    /// Build over the documents of one sub-collection. Documents whose
+    /// `sub_collection` differs are skipped.
+    pub fn build(id: SubCollectionId, documents: &[Document]) -> PositionalIndex {
+        let mut grouped: HashMap<String, Vec<(DocId, Vec<u32>)>> = HashMap::new();
+        let mut doc_count = 0usize;
+        for doc in documents.iter().filter(|d| d.sub_collection == id) {
+            doc_count += 1;
+            // One position stream per document: title then paragraphs, with
+            // a gap between fields so phrases never span them.
+            let mut position = 0u32;
+            let mut add_field = |text: &str, grouped: &mut HashMap<String, Vec<(DocId, Vec<u32>)>>| {
+                for term in index_terms(text) {
+                    let entry = grouped.entry(term).or_default();
+                    match entry.last_mut() {
+                        Some((d, ps)) if *d == doc.id => ps.push(position),
+                        _ => entry.push((doc.id, vec![position])),
+                    }
+                    position += 1;
+                }
+                position += 10;
+            };
+            add_field(&doc.title, &mut grouped);
+            for p in &doc.paragraphs {
+                add_field(p, &mut grouped);
+            }
+        }
+
+        let terms = grouped
+            .into_iter()
+            .map(|(term, mut docs)| {
+                docs.sort_by_key(|(d, _)| *d);
+                let list = docs
+                    .into_iter()
+                    .map(|(doc, ps)| DocPositions::from_positions(doc, &ps))
+                    .collect::<Vec<_>>();
+                (term, list)
+            })
+            .collect();
+
+        PositionalIndex {
+            id,
+            terms,
+            doc_count,
+        }
+    }
+
+    /// Number of documents indexed.
+    pub fn doc_count(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Documents containing `phrase` as consecutive index terms (after
+    /// stopword removal and stemming — "the Taj Mahal" matches the phrase
+    /// `taj mahal`).
+    pub fn phrase_docs(&self, phrase: &str) -> Result<Vec<DocId>, QaError> {
+        let terms = index_terms(phrase);
+        if terms.is_empty() {
+            return Err(QaError::InvalidConfig("empty phrase".into()));
+        }
+        // Positions of the first term, then narrow.
+        let Some(first) = self.terms.get(&terms[0]) else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        'docs: for dp in first {
+            let mut starts = dp.positions();
+            for (offset, term) in terms.iter().enumerate().skip(1) {
+                let Some(list) = self.terms.get(term) else {
+                    continue 'docs;
+                };
+                let Ok(idx) = list.binary_search_by_key(&dp.doc, |x| x.doc) else {
+                    continue 'docs;
+                };
+                let next: std::collections::HashSet<u32> =
+                    list[idx].positions().into_iter().collect();
+                starts.retain(|&s| next.contains(&(s + offset as u32)));
+                if starts.is_empty() {
+                    continue 'docs;
+                }
+            }
+            out.push(dp.doc);
+        }
+        Ok(out)
+    }
+
+    /// Document frequency of a term.
+    pub fn doc_freq(&self, term: &str) -> usize {
+        self.terms.get(term).map_or(0, Vec::len)
+    }
+
+    /// Total occurrences of a term across the shard (collection frequency).
+    pub fn collection_freq(&self, term: &str) -> u64 {
+        self.terms
+            .get(term)
+            .map_or(0, |l| l.iter().map(|d| d.count as u64).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: u32, text: &str) -> Document {
+        Document {
+            id: DocId::new(id),
+            sub_collection: SubCollectionId::new(0),
+            title: String::new(),
+            paragraphs: vec![text.to_string()],
+        }
+    }
+
+    fn index(texts: &[&str]) -> PositionalIndex {
+        let docs: Vec<Document> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| doc(i as u32, t))
+            .collect();
+        PositionalIndex::build(SubCollectionId::new(0), &docs)
+    }
+
+    #[test]
+    fn phrase_matches_adjacent_terms_only() {
+        let idx = index(&[
+            "the taj mahal stands in agra",
+            "mahal taj reversed words here",
+            "taj gardens and the mahal apart",
+        ]);
+        let hits = idx.phrase_docs("Taj Mahal").unwrap();
+        assert_eq!(hits, vec![DocId::new(0)]);
+    }
+
+    #[test]
+    fn phrase_skips_stopwords_like_indexing() {
+        // "University of Kel" indexes as [university, kel]; the phrase query
+        // normalizes the same way, so adjacency is in *index-term* space.
+        let idx = index(&["the university of kelmen opened", "university kelmen direct"]);
+        let hits = idx.phrase_docs("university kelmen").unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn single_term_phrase_is_a_lookup() {
+        let idx = index(&["alpha beta", "gamma delta"]);
+        assert_eq!(idx.phrase_docs("alpha").unwrap(), vec![DocId::new(0)]);
+        assert!(idx.phrase_docs("zeta").unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_phrase_is_an_error() {
+        let idx = index(&["alpha"]);
+        assert!(idx.phrase_docs("the of and").is_err());
+        assert!(idx.phrase_docs("").is_err());
+    }
+
+    #[test]
+    fn phrases_do_not_cross_paragraph_boundaries() {
+        let mut d = doc(0, "ends with taj");
+        d.paragraphs.push("mahal starts here".to_string());
+        let idx = PositionalIndex::build(SubCollectionId::new(0), &[d]);
+        assert!(idx.phrase_docs("taj mahal").unwrap().is_empty());
+    }
+
+    #[test]
+    fn frequencies_count_occurrences() {
+        let idx = index(&["dog dog dog", "dog cat"]);
+        assert_eq!(idx.doc_freq("dog"), 2);
+        assert_eq!(idx.collection_freq("dog"), 4);
+        assert_eq!(idx.doc_freq("cat"), 1);
+        assert_eq!(idx.doc_freq("fish"), 0);
+        assert_eq!(idx.collection_freq("fish"), 0);
+        assert_eq!(idx.doc_count(), 2);
+        assert!(idx.term_count() >= 2);
+    }
+
+    #[test]
+    fn repeated_phrase_in_one_doc_counts_once() {
+        let idx = index(&["taj mahal then taj mahal again"]);
+        assert_eq!(idx.phrase_docs("taj mahal").unwrap(), vec![DocId::new(0)]);
+    }
+
+    #[test]
+    fn foreign_subcollection_docs_are_skipped() {
+        let mut d = doc(0, "alpha");
+        d.sub_collection = SubCollectionId::new(5);
+        let idx = PositionalIndex::build(SubCollectionId::new(0), &[d]);
+        assert_eq!(idx.doc_count(), 0);
+        assert!(idx.phrase_docs("alpha").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,302 @@
+//! Delta + varint compressed postings lists.
+//!
+//! A postings list stores the sorted document ids containing a term. Ids are
+//! gap-encoded (each id minus its predecessor) and the gaps written as LEB128
+//! varints, the standard IR compression scheme. Decoding is streaming, so
+//! Boolean evaluation never materializes more than it needs.
+
+use qa_types::DocId;
+use serde::{Deserialize, Serialize};
+
+/// A compressed, immutable postings list.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PostingsList {
+    encoded: Vec<u8>,
+    len: u32,
+}
+
+impl PostingsList {
+    /// Build from sorted, deduplicated doc ids.
+    ///
+    /// # Panics
+    /// Debug-asserts that input is strictly increasing.
+    pub fn from_sorted(ids: &[DocId]) -> Self {
+        let mut encoded = Vec::with_capacity(ids.len());
+        let mut prev = 0u32;
+        for (i, id) in ids.iter().enumerate() {
+            let raw = id.raw();
+            debug_assert!(i == 0 || raw > prev, "ids must be strictly increasing");
+            let gap = if i == 0 { raw } else { raw - prev };
+            write_varint(&mut encoded, gap);
+            prev = raw;
+        }
+        PostingsList {
+            encoded,
+            len: ids.len() as u32,
+        }
+    }
+
+    /// Number of documents in the list.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size of the compressed representation in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        self.encoded.len()
+    }
+
+    /// Iterate the doc ids in increasing order.
+    pub fn iter(&self) -> PostingsIter<'_> {
+        PostingsIter {
+            data: &self.encoded,
+            pos: 0,
+            prev: 0,
+            first: true,
+            remaining: self.len,
+        }
+    }
+
+    /// Decode to a vector (tests and small lists).
+    pub fn to_vec(&self) -> Vec<DocId> {
+        self.iter().collect()
+    }
+
+    /// Raw encoded bytes (persistence).
+    pub(crate) fn encoded(&self) -> &[u8] {
+        &self.encoded
+    }
+
+    /// Rebuild from raw parts (persistence). The caller must pass bytes
+    /// produced by [`PostingsList::from_sorted`].
+    pub(crate) fn from_raw(encoded: Vec<u8>, len: u32) -> Self {
+        PostingsList { encoded, len }
+    }
+}
+
+impl<'a> IntoIterator for &'a PostingsList {
+    type Item = DocId;
+    type IntoIter = PostingsIter<'a>;
+    fn into_iter(self) -> PostingsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Streaming decoder over a [`PostingsList`].
+#[derive(Debug, Clone)]
+pub struct PostingsIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    prev: u32,
+    first: bool,
+    remaining: u32,
+}
+
+impl Iterator for PostingsIter<'_> {
+    type Item = DocId;
+
+    fn next(&mut self) -> Option<DocId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let (gap, read) = read_varint(&self.data[self.pos..])?;
+        self.pos += read;
+        self.remaining -= 1;
+        let id = if self.first {
+            self.first = false;
+            gap
+        } else {
+            self.prev + gap
+        };
+        self.prev = id;
+        Some(DocId::new(id))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for PostingsIter<'_> {}
+
+/// LEB128 varint encode.
+fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// LEB128 varint decode; returns (value, bytes consumed).
+fn read_varint(data: &[u8]) -> Option<(u32, usize)> {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    for (i, &b) in data.iter().enumerate() {
+        v |= ((b & 0x7f) as u32) << shift;
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+        if shift >= 32 {
+            return None;
+        }
+    }
+    None
+}
+
+/// Intersect two sorted id streams (Boolean AND).
+pub fn intersect(a: impl Iterator<Item = DocId>, b: impl Iterator<Item = DocId>) -> Vec<DocId> {
+    let mut out = Vec::new();
+    let mut a = a.peekable();
+    let mut b = b.peekable();
+    while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => {
+                a.next();
+            }
+            std::cmp::Ordering::Greater => {
+                b.next();
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(x);
+                a.next();
+                b.next();
+            }
+        }
+    }
+    out
+}
+
+/// Union two sorted id streams (Boolean OR).
+pub fn union(a: impl Iterator<Item = DocId>, b: impl Iterator<Item = DocId>) -> Vec<DocId> {
+    let mut out = Vec::new();
+    let mut a = a.peekable();
+    let mut b = b.peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(&x), Some(&y)) => match x.cmp(&y) {
+                std::cmp::Ordering::Less => {
+                    out.push(x);
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(y);
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(x);
+                    a.next();
+                    b.next();
+                }
+            },
+            (Some(&x), None) => {
+                out.push(x);
+                a.next();
+            }
+            (None, Some(&y)) => {
+                out.push(y);
+                b.next();
+            }
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<DocId> {
+        v.iter().map(|&i| DocId::new(i)).collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let input = ids(&[0, 1, 5, 127, 128, 300, 1_000_000]);
+        let p = PostingsList::from_sorted(&input);
+        assert_eq!(p.to_vec(), input);
+        assert_eq!(p.len(), 7);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn empty_list() {
+        let p = PostingsList::from_sorted(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.to_vec(), Vec::<DocId>::new());
+        assert_eq!(p.compressed_bytes(), 0);
+    }
+
+    #[test]
+    fn compression_beats_raw_u32_for_dense_lists() {
+        let input: Vec<DocId> = (0..1000u32).map(DocId::new).collect();
+        let p = PostingsList::from_sorted(&input);
+        assert!(
+            p.compressed_bytes() < 1000 * 4 / 2,
+            "compressed {} bytes",
+            p.compressed_bytes()
+        );
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u32, 1, 127, 128, 16_383, 16_384, u32::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let (back, n) = read_varint(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn read_varint_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1_000_000);
+        assert!(read_varint(&buf[..buf.len() - 1]).is_none());
+        assert!(read_varint(&[]).is_none());
+    }
+
+    #[test]
+    fn read_varint_rejects_overflow() {
+        // Five continuation bytes exceed 32 bits of shift.
+        assert!(read_varint(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01]).is_none());
+    }
+
+    #[test]
+    fn intersect_and_union() {
+        let a = PostingsList::from_sorted(&ids(&[1, 3, 5, 7]));
+        let b = PostingsList::from_sorted(&ids(&[3, 4, 5, 8]));
+        assert_eq!(intersect(a.iter(), b.iter()), ids(&[3, 5]));
+        assert_eq!(union(a.iter(), b.iter()), ids(&[1, 3, 4, 5, 7, 8]));
+    }
+
+    #[test]
+    fn intersect_with_empty_is_empty() {
+        let a = PostingsList::from_sorted(&ids(&[1, 2]));
+        let e = PostingsList::from_sorted(&[]);
+        assert!(intersect(a.iter(), e.iter()).is_empty());
+        assert_eq!(union(a.iter(), e.iter()), ids(&[1, 2]));
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let p = PostingsList::from_sorted(&ids(&[2, 4, 6]));
+        let mut it = p.iter();
+        assert_eq!(it.size_hint(), (3, Some(3)));
+        it.next();
+        assert_eq!(it.size_hint(), (2, Some(2)));
+        assert_eq!(it.len(), 2);
+    }
+}

@@ -1,0 +1,312 @@
+//! Ranked (BM25) retrieval — an alternative PR front-end.
+//!
+//! The paper uses a Boolean engine and notes: "Even if documents were
+//! ranked by the IR system, the next two stages in the Q/A architecture
+//! are necessary, because the extracted paragraphs may have different
+//! relevance than their parent documents." This module provides the ranked
+//! engine that remark anticipates, so the `ablation_ranked_ir` bench can
+//! measure what document ranking buys the pipeline: a BM25 index with
+//! per-document term frequencies and lengths.
+
+use crate::retrieval::RetrievalResult;
+use crate::store::DocumentStore;
+use crate::terms::index_terms;
+use qa_types::{DocId, Document, Keyword, Paragraph, SubCollectionId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// BM25 parameters (standard Robertson defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bm25Params {
+    /// Term-frequency saturation.
+    pub k1: f64,
+    /// Length normalization strength.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Self { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// A frequency-aware inverted index over one sub-collection.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RankedIndex {
+    /// Sub-collection covered.
+    pub id: SubCollectionId,
+    postings: HashMap<String, Vec<(DocId, u32)>>,
+    doc_len: HashMap<DocId, u32>,
+    total_len: u64,
+}
+
+impl RankedIndex {
+    /// Build over the documents of one sub-collection.
+    pub fn build(id: SubCollectionId, documents: &[Document]) -> RankedIndex {
+        let mut postings: HashMap<String, HashMap<DocId, u32>> = HashMap::new();
+        let mut doc_len: HashMap<DocId, u32> = HashMap::new();
+        let mut total_len = 0u64;
+        for doc in documents.iter().filter(|d| d.sub_collection == id) {
+            let mut len = 0u32;
+            let add = |text: &str, postings: &mut HashMap<String, HashMap<DocId, u32>>, len: &mut u32| {
+                for term in index_terms(text) {
+                    *postings.entry(term).or_default().entry(doc.id).or_insert(0) += 1;
+                    *len += 1;
+                }
+            };
+            add(&doc.title, &mut postings, &mut len);
+            for p in &doc.paragraphs {
+                add(p, &mut postings, &mut len);
+            }
+            doc_len.insert(doc.id, len);
+            total_len += len as u64;
+        }
+        let postings = postings
+            .into_iter()
+            .map(|(t, m)| {
+                let mut v: Vec<(DocId, u32)> = m.into_iter().collect();
+                v.sort_by_key(|&(d, _)| d);
+                (t, v)
+            })
+            .collect();
+        RankedIndex {
+            id,
+            postings,
+            doc_len,
+            total_len,
+        }
+    }
+
+    /// Number of documents.
+    pub fn doc_count(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Mean document length in index terms.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_len.is_empty() {
+            return 0.0;
+        }
+        self.total_len as f64 / self.doc_len.len() as f64
+    }
+
+    /// Top-`k` documents by BM25 over `terms`, score-descending
+    /// (ties by doc id for determinism).
+    pub fn bm25(&self, terms: &[String], k: usize, params: Bm25Params) -> Vec<(DocId, f64)> {
+        if terms.is_empty() || self.doc_len.is_empty() {
+            return Vec::new();
+        }
+        let n = self.doc_len.len() as f64;
+        let avg = self.avg_doc_len().max(1e-9);
+        let mut scores: HashMap<DocId, f64> = HashMap::new();
+
+        let mut distinct: Vec<&str> = terms.iter().map(String::as_str).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+
+        for term in distinct {
+            let Some(list) = self.postings.get(term) else {
+                continue;
+            };
+            let df = list.len() as f64;
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            for &(doc, tf) in list {
+                let len = *self.doc_len.get(&doc).unwrap_or(&0) as f64;
+                let tf = tf as f64;
+                let norm = tf * (params.k1 + 1.0)
+                    / (tf + params.k1 * (1.0 - params.b + params.b * len / avg));
+                *scores.entry(doc).or_insert(0.0) += idf * norm;
+            }
+        }
+
+        let mut ranked: Vec<(DocId, f64)> = scores.into_iter().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+/// Ranked paragraph retrieval: BM25 document ranking followed by the same
+/// paragraph-extraction post-processing the Boolean retriever performs.
+pub fn ranked_retrieve(
+    index: &RankedIndex,
+    store: &DocumentStore,
+    keywords: &[Keyword],
+    top_docs: usize,
+    min_paragraph_terms: usize,
+) -> RetrievalResult {
+    let terms: Vec<String> = keywords.iter().map(|k| k.term.clone()).collect();
+    let ranked = index.bm25(&terms, top_docs, Bm25Params::default());
+    let docs_matched = ranked.len();
+    let term_set: HashSet<&str> = terms.iter().map(String::as_str).collect();
+    let need = min_paragraph_terms.min(term_set.len()).max(1);
+
+    let mut io_bytes = 0u64;
+    let mut paragraphs: Vec<Paragraph> = Vec::new();
+    for (doc_id, _) in ranked {
+        let Some(doc) = store.document(doc_id) else {
+            continue;
+        };
+        io_bytes += doc.body_bytes() as u64;
+        for para in doc.iter_paragraphs() {
+            let mut found: HashSet<&str> = HashSet::new();
+            for t in index_terms(&para.text) {
+                if let Some(&k) = term_set.get(t.as_str()) {
+                    found.insert(k);
+                    if found.len() >= need {
+                        break;
+                    }
+                }
+            }
+            if found.len() >= need {
+                paragraphs.push(para);
+            }
+        }
+    }
+
+    RetrievalResult {
+        paragraphs,
+        docs_matched,
+        quorum_used: 0,
+        io_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: u32, text: &str) -> Document {
+        Document {
+            id: DocId::new(id),
+            sub_collection: SubCollectionId::new(0),
+            title: String::new(),
+            paragraphs: vec![text.to_string()],
+        }
+    }
+
+    fn index(texts: &[&str]) -> RankedIndex {
+        let docs: Vec<Document> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| doc(i as u32, t))
+            .collect();
+        RankedIndex::build(SubCollectionId::new(0), &docs)
+    }
+
+    fn q(terms: &[&str]) -> Vec<String> {
+        terms.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn tf_matters() {
+        let idx = index(&["zebra zebra zebra filler", "zebra filler filler filler"]);
+        let r = idx.bm25(&q(&["zebra"]), 10, Bm25Params::default());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].0, DocId::new(0), "higher tf ranks first");
+        assert!(r[0].1 > r[1].1);
+    }
+
+    #[test]
+    fn idf_prefers_rare_terms() {
+        // "common" in every doc, "rare" in one: a doc matching the rare term
+        // outranks one matching only the common term.
+        let idx = index(&[
+            "common rare",
+            "common filler",
+            "common filler",
+            "common filler",
+        ]);
+        let r = idx.bm25(&q(&["common", "rare"]), 10, Bm25Params::default());
+        assert_eq!(r[0].0, DocId::new(0));
+    }
+
+    #[test]
+    fn length_normalization_penalizes_long_docs() {
+        let long = format!("zebra {}", "filler ".repeat(60));
+        let idx = index(&[&long, "zebra short"]);
+        let r = idx.bm25(&q(&["zebra"]), 10, Bm25Params::default());
+        assert_eq!(r[0].0, DocId::new(1), "short doc wins at equal tf");
+    }
+
+    #[test]
+    fn top_k_truncates_and_is_deterministic() {
+        let texts: Vec<String> = (0..20).map(|i| format!("zebra filler{i}")).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let idx = index(&refs);
+        let a = idx.bm25(&q(&["zebra"]), 5, Bm25Params::default());
+        let b = idx.bm25(&q(&["zebra"]), 5, Bm25Params::default());
+        assert_eq!(a.len(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_query_or_index() {
+        let idx = index(&["alpha"]);
+        assert!(idx.bm25(&[], 5, Bm25Params::default()).is_empty());
+        let empty = RankedIndex::build(SubCollectionId::new(0), &[]);
+        assert!(empty.bm25(&q(&["alpha"]), 5, Bm25Params::default()).is_empty());
+        assert_eq!(empty.avg_doc_len(), 0.0);
+    }
+
+    #[test]
+    fn ranked_retrieve_extracts_matching_paragraphs() {
+        let docs = vec![doc(0, "zebra crossing near the park"), doc(1, "no match here")];
+        let idx = RankedIndex::build(SubCollectionId::new(0), &docs);
+        let store = DocumentStore::new(docs);
+        let kw = vec![Keyword::new("zebra", 1.0), Keyword::new("park", 1.0)];
+        let r = ranked_retrieve(&idx, &store, &kw, 10, 2);
+        assert_eq!(r.paragraphs.len(), 1);
+        assert_eq!(r.docs_matched, 1);
+        assert!(r.io_bytes > 0);
+    }
+
+    #[test]
+    fn end_to_end_recall_comparable_to_boolean() {
+        use crate::index::ShardedIndex;
+        use crate::retrieval::{ParagraphRetriever, RetrievalConfig};
+        use corpus::{Corpus, CorpusConfig, QuestionGenerator};
+        use nlp::QuestionProcessor;
+        use std::sync::Arc;
+
+        let c = Corpus::generate(CorpusConfig::small(88)).unwrap();
+        let store = Arc::new(DocumentStore::new(c.documents.clone()));
+        let bool_idx = Arc::new(ShardedIndex::build(&c.documents, c.config.sub_collections));
+        let boolean =
+            ParagraphRetriever::new(bool_idx, Arc::clone(&store), RetrievalConfig::default());
+        let ranked_shards: Vec<RankedIndex> = (0..c.config.sub_collections)
+            .map(|i| RankedIndex::build(SubCollectionId::new(i as u32), &c.documents))
+            .collect();
+
+        let qp = QuestionProcessor::new();
+        let mut bool_hits = 0;
+        let mut ranked_hits = 0;
+        let qs = QuestionGenerator::new(&c, 5).generate(15);
+        for gq in &qs {
+            let p = qp.process(&gq.question).unwrap();
+            if boolean
+                .retrieve_all(&p.keywords)
+                .paragraphs
+                .iter()
+                .any(|x| x.id == gq.source)
+            {
+                bool_hits += 1;
+            }
+            let found = ranked_shards.iter().any(|idx| {
+                ranked_retrieve(idx, &store, &p.keywords, 32, 2)
+                    .paragraphs
+                    .iter()
+                    .any(|x| x.id == gq.source)
+            });
+            if found {
+                ranked_hits += 1;
+            }
+        }
+        assert!(bool_hits >= 12, "boolean {bool_hits}/15");
+        assert!(ranked_hits >= 12, "ranked {ranked_hits}/15");
+    }
+}

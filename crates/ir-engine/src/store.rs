@@ -1,0 +1,115 @@
+//! Document store: resolves ids to document/paragraph text.
+//!
+//! The paper's cluster keeps "a copy of the TREC-9 collection" on every
+//! node; the runtime equivalently shares one `Arc<DocumentStore>` per
+//! process-wide "node".
+
+use qa_types::{DocId, Document, Paragraph, ParagraphId, SubCollectionId};
+use std::collections::HashMap;
+
+/// An immutable collection of documents with id lookup.
+#[derive(Debug, Clone, Default)]
+pub struct DocumentStore {
+    docs: Vec<Document>,
+    by_id: HashMap<DocId, usize>,
+}
+
+impl DocumentStore {
+    /// Build from a document list (ids need not be dense or ordered).
+    pub fn new(docs: Vec<Document>) -> Self {
+        let by_id = docs.iter().enumerate().map(|(i, d)| (d.id, i)).collect();
+        Self { docs, by_id }
+    }
+
+    /// All documents.
+    pub fn documents(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Look up a document.
+    pub fn document(&self, id: DocId) -> Option<&Document> {
+        self.by_id.get(&id).map(|&i| &self.docs[i])
+    }
+
+    /// Look up a paragraph's text.
+    pub fn paragraph_text(&self, pid: ParagraphId) -> Option<&str> {
+        self.document(pid.doc)
+            .and_then(|d| d.paragraphs.get(pid.ordinal as usize))
+            .map(String::as_str)
+    }
+
+    /// Materialize a [`Paragraph`] value.
+    pub fn paragraph(&self, pid: ParagraphId) -> Option<Paragraph> {
+        let doc = self.document(pid.doc)?;
+        let text = doc.paragraphs.get(pid.ordinal as usize)?;
+        Some(Paragraph {
+            id: pid,
+            sub_collection: doc.sub_collection,
+            text: text.clone(),
+        })
+    }
+
+    /// Documents of one sub-collection.
+    pub fn docs_in(&self, sub: SubCollectionId) -> impl Iterator<Item = &Document> {
+        self.docs.iter().filter(move |d| d.sub_collection == sub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> DocumentStore {
+        DocumentStore::new(vec![
+            Document {
+                id: DocId::new(10),
+                sub_collection: SubCollectionId::new(0),
+                title: "t0".into(),
+                paragraphs: vec!["p0".into(), "p1".into()],
+            },
+            Document {
+                id: DocId::new(3),
+                sub_collection: SubCollectionId::new(1),
+                title: "t1".into(),
+                paragraphs: vec!["q0".into()],
+            },
+        ])
+    }
+
+    #[test]
+    fn lookup_by_sparse_id() {
+        let s = store();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.document(DocId::new(10)).unwrap().title, "t0");
+        assert_eq!(s.document(DocId::new(3)).unwrap().title, "t1");
+        assert!(s.document(DocId::new(4)).is_none());
+    }
+
+    #[test]
+    fn paragraph_lookup() {
+        let s = store();
+        let pid = ParagraphId::new(DocId::new(10), 1);
+        assert_eq!(s.paragraph_text(pid), Some("p1"));
+        let p = s.paragraph(pid).unwrap();
+        assert_eq!(p.sub_collection, SubCollectionId::new(0));
+        assert!(s.paragraph(ParagraphId::new(DocId::new(10), 2)).is_none());
+    }
+
+    #[test]
+    fn docs_in_filters() {
+        let s = store();
+        assert_eq!(s.docs_in(SubCollectionId::new(1)).count(), 1);
+        assert_eq!(s.docs_in(SubCollectionId::new(9)).count(), 0);
+    }
+}

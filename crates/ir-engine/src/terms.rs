@@ -1,0 +1,57 @@
+//! Text → index terms.
+//!
+//! Indexing and querying must normalize identically; both go through
+//! [`index_terms`] (tokenize → drop stopwords → stem).
+
+use nlp::stem::stem;
+use nlp::stopwords::is_stopword;
+use nlp::tokenize::tokenize;
+
+/// Extract the index terms of a text, in occurrence order (duplicates kept —
+/// callers that need a set deduplicate themselves).
+pub fn index_terms(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !is_stopword(&t.text))
+        .map(|t| stem(&t.text))
+        .collect()
+}
+
+/// Normalize a single query keyword the same way document text is indexed.
+/// Keywords produced by `nlp::QuestionProcessor` are already stemmed; this
+/// is for ad-hoc terms.
+pub fn normalize_term(term: &str) -> String {
+    stem(&term.to_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_terms_drop_stopwords_and_stem() {
+        let terms = index_terms("The cities were visited by the walking dogs.");
+        assert_eq!(terms, ["city", "visit", "walk", "dog"]);
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        let terms = index_terms("dog dog dog");
+        assert_eq!(terms.len(), 3);
+    }
+
+    #[test]
+    fn normalize_matches_indexing() {
+        for w in ["Cities", "WALKED", "dogs"] {
+            let n = normalize_term(w);
+            let via_index = index_terms(w);
+            assert_eq!(vec![n], via_index);
+        }
+    }
+
+    #[test]
+    fn empty_text() {
+        assert!(index_terms("").is_empty());
+        assert!(index_terms("the of and").is_empty());
+    }
+}

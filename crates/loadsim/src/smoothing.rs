@@ -1,0 +1,141 @@
+//! Exponential smoothing of load signals.
+//!
+//! The paper's load functions consume "the percentage of the execution time
+//! the Q/A task spends accessing the corresponding resource" — a *time
+//! average*, not an instantaneous sample. A monitor that broadcasts raw
+//! instantaneous counters makes dispatchers twitchy (a node between two
+//! disk bursts looks idle); this module provides the standard fix, an
+//! exponentially-weighted moving average over irregular sample times.
+
+use qa_types::ResourceVector;
+use serde::{Deserialize, Serialize};
+
+/// An EWMA over a load vector with a configurable time constant.
+///
+/// Samples may arrive at irregular intervals; the decay applied to the old
+/// average is `exp(-Δt / time_constant)`, so the smoother is independent of
+/// the sampling rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadSmoother {
+    /// Time constant in seconds: samples older than ~3τ barely contribute.
+    pub time_constant: f64,
+    value: ResourceVector,
+    last_at: Option<f64>,
+}
+
+impl LoadSmoother {
+    /// A smoother with the given time constant (seconds).
+    pub fn new(time_constant: f64) -> LoadSmoother {
+        LoadSmoother {
+            time_constant: time_constant.max(1e-9),
+            value: ResourceVector::default(),
+            last_at: None,
+        }
+    }
+
+    /// Feed a sample observed at time `at` (seconds, monotone). Returns the
+    /// updated smoothed value. Out-of-order samples are treated as
+    /// simultaneous with the last one.
+    pub fn update(&mut self, sample: ResourceVector, at: f64) -> ResourceVector {
+        match self.last_at {
+            None => {
+                self.value = sample;
+            }
+            Some(prev) => {
+                let dt = (at - prev).max(0.0);
+                let alpha = 1.0 - (-dt / self.time_constant).exp();
+                self.value = ResourceVector::new(
+                    self.value.cpu + alpha * (sample.cpu - self.value.cpu),
+                    self.value.disk + alpha * (sample.disk - self.value.disk),
+                );
+            }
+        }
+        self.last_at = Some(self.last_at.map_or(at, |p| p.max(at)));
+        self.value
+    }
+
+    /// The current smoothed value.
+    pub fn value(&self) -> ResourceVector {
+        self.value
+    }
+
+    /// Whether any sample has been observed yet.
+    pub fn is_warm(&self) -> bool {
+        self.last_at.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(cpu: f64, disk: f64) -> ResourceVector {
+        ResourceVector::new(cpu, disk)
+    }
+
+    #[test]
+    fn first_sample_is_adopted_verbatim() {
+        let mut s = LoadSmoother::new(1.0);
+        assert!(!s.is_warm());
+        let out = s.update(v(0.8, 0.3), 0.0);
+        assert_eq!(out, v(0.8, 0.3));
+        assert!(s.is_warm());
+    }
+
+    #[test]
+    fn smoothing_damps_spikes() {
+        let mut s = LoadSmoother::new(10.0);
+        s.update(v(0.0, 0.0), 0.0);
+        // A single 1-second spike against a 10-second time constant.
+        let out = s.update(v(1.0, 1.0), 1.0);
+        assert!(out.cpu > 0.0 && out.cpu < 0.2, "spike passed through: {out:?}");
+    }
+
+    #[test]
+    fn converges_to_a_constant_signal() {
+        let mut s = LoadSmoother::new(2.0);
+        s.update(v(0.0, 0.0), 0.0);
+        let mut out = v(0.0, 0.0);
+        for i in 1..100 {
+            out = s.update(v(0.6, 0.4), i as f64 * 0.5);
+        }
+        assert!((out.cpu - 0.6).abs() < 1e-3);
+        assert!((out.disk - 0.4).abs() < 1e-3);
+    }
+
+    #[test]
+    fn long_gaps_forget_the_past() {
+        let mut s = LoadSmoother::new(1.0);
+        s.update(v(1.0, 1.0), 0.0);
+        // 100 time constants later a new sample dominates completely.
+        let out = s.update(v(0.0, 0.0), 100.0);
+        assert!(out.cpu < 1e-9);
+    }
+
+    #[test]
+    fn out_of_order_samples_do_not_rewind() {
+        let mut s = LoadSmoother::new(1.0);
+        s.update(v(0.5, 0.5), 10.0);
+        let before = s.value();
+        // A stale sample "from" t=1 is treated as Δt = 0: no decay jump.
+        let after = s.update(v(0.5, 0.5), 1.0);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn smoother_is_rate_independent() {
+        // Same signal sampled at 1 Hz and 10 Hz converges to the same value.
+        let run = |hz: f64| {
+            let mut s = LoadSmoother::new(3.0);
+            let steps = (30.0 * hz) as usize;
+            let mut out = v(0.0, 0.0);
+            for i in 0..steps {
+                out = s.update(v(0.7, 0.2), i as f64 / hz);
+            }
+            out
+        };
+        let slow = run(1.0);
+        let fast = run(10.0);
+        assert!((slow.cpu - fast.cpu).abs() < 0.01, "{slow:?} vs {fast:?}");
+    }
+}

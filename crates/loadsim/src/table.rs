@@ -1,0 +1,144 @@
+//! The distributed load table: every node's view of every other node.
+//!
+//! Membership is liveness-based: "A processor automatically joins the pool
+//! when it starts broadcasting load information on the local network" and is
+//! removed when no packet arrives within the staleness timeout.
+
+use crate::packet::LoadPacket;
+use qa_types::NodeId;
+use std::collections::HashMap;
+
+/// Per-node load knowledge with receive timestamps.
+#[derive(Debug, Clone, Default)]
+pub struct LoadTable {
+    entries: HashMap<NodeId, (LoadPacket, f64)>,
+    staleness_timeout: f64,
+}
+
+impl LoadTable {
+    /// Create a table that evicts nodes silent for `staleness_timeout`
+    /// seconds.
+    pub fn new(staleness_timeout: f64) -> Self {
+        Self {
+            entries: HashMap::new(),
+            staleness_timeout,
+        }
+    }
+
+    /// Record a received packet at local time `now`.
+    pub fn update(&mut self, packet: LoadPacket, now: f64) {
+        // Keep the newest packet per node (out-of-order delivery tolerated).
+        match self.entries.get(&packet.node) {
+            Some((old, _)) if old.sent_at > packet.sent_at => {}
+            _ => {
+                self.entries.insert(packet.node, (packet, now));
+            }
+        }
+    }
+
+    /// Drop nodes not heard from since `now - staleness_timeout`.
+    pub fn evict_stale(&mut self, now: f64) {
+        let cutoff = now - self.staleness_timeout;
+        self.entries.retain(|_, (_, recv)| *recv >= cutoff);
+    }
+
+    /// Live nodes, sorted by id for deterministic iteration.
+    pub fn alive(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.entries.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Latest packet from a node.
+    pub fn get(&self, node: NodeId) -> Option<&LoadPacket> {
+        self.entries.get(&node).map(|(p, _)| p)
+    }
+
+    /// Latest packets from all live nodes, sorted by node id.
+    pub fn packets(&self) -> Vec<&LoadPacket> {
+        let mut v: Vec<&LoadPacket> = self.entries.values().map(|(p, _)| p).collect();
+        v.sort_by_key(|p| p.node);
+        v
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no node is known.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_types::ResourceVector;
+
+    fn pkt(node: u32, sent_at: f64) -> LoadPacket {
+        LoadPacket {
+            node: NodeId::new(node),
+            load: ResourceVector::new(0.1, 0.2),
+            memory_used: 0,
+            questions: 0,
+            sent_at,
+        }
+    }
+
+    #[test]
+    fn updates_and_reads_back() {
+        let mut t = LoadTable::new(3.0);
+        t.update(pkt(1, 0.0), 0.0);
+        t.update(pkt(2, 0.5), 0.5);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.alive(), vec![NodeId::new(1), NodeId::new(2)]);
+        assert!(t.get(NodeId::new(1)).is_some());
+        assert!(t.get(NodeId::new(3)).is_none());
+    }
+
+    #[test]
+    fn newer_packet_replaces_older() {
+        let mut t = LoadTable::new(3.0);
+        t.update(pkt(1, 1.0), 1.0);
+        t.update(pkt(1, 2.0), 2.0);
+        assert_eq!(t.get(NodeId::new(1)).unwrap().sent_at, 2.0);
+    }
+
+    #[test]
+    fn out_of_order_packet_ignored() {
+        let mut t = LoadTable::new(3.0);
+        t.update(pkt(1, 5.0), 5.0);
+        t.update(pkt(1, 2.0), 6.0); // late arrival of an old packet
+        assert_eq!(t.get(NodeId::new(1)).unwrap().sent_at, 5.0);
+    }
+
+    #[test]
+    fn stale_nodes_evicted_live_nodes_kept() {
+        let mut t = LoadTable::new(3.0);
+        t.update(pkt(1, 0.0), 0.0);
+        t.update(pkt(2, 9.0), 9.0);
+        t.evict_stale(10.0);
+        assert_eq!(t.alive(), vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn rejoin_after_eviction() {
+        let mut t = LoadTable::new(1.0);
+        t.update(pkt(1, 0.0), 0.0);
+        t.evict_stale(5.0);
+        assert!(t.is_empty());
+        t.update(pkt(1, 5.0), 5.0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn packets_sorted_by_node() {
+        let mut t = LoadTable::new(10.0);
+        t.update(pkt(3, 0.0), 0.0);
+        t.update(pkt(1, 0.0), 0.0);
+        let ids: Vec<_> = t.packets().iter().map(|p| p.node).collect();
+        assert_eq!(ids, vec![NodeId::new(1), NodeId::new(3)]);
+    }
+}

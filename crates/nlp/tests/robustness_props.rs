@@ -1,0 +1,57 @@
+//! Robustness property tests: the NLP substrate must never panic on
+//! arbitrary input and must stay self-consistent.
+
+use nlp::gazetteer::Gazetteers;
+use nlp::{NamedEntityRecognizer, QuestionProcessor};
+use proptest::prelude::*;
+use qa_types::{Question, QuestionId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn ner_never_panics_and_mentions_are_well_formed(text in ".{0,300}") {
+        let ner = NamedEntityRecognizer::standard();
+        let mentions = ner.recognize(&text);
+        for m in &mentions {
+            prop_assert!(m.start < m.end);
+            prop_assert!(m.end <= text.len());
+            prop_assert!(text.is_char_boundary(m.start) && text.is_char_boundary(m.end));
+            prop_assert_eq!(&text[m.start..m.end], m.text.as_str());
+        }
+        for w in mentions.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "overlapping mentions");
+        }
+    }
+
+    #[test]
+    fn qp_never_panics(text in ".{0,200}") {
+        let qp = QuestionProcessor::new();
+        let q = Question::new(QuestionId::new(1), text);
+        if let Ok(p) = qp.process(&q) {
+            prop_assert!(!p.keywords.is_empty());
+            prop_assert!(p.keywords.len() <= 8);
+            for w in p.keywords.windows(2) {
+                prop_assert!(w[0].weight >= w[1].weight, "keywords not weight-sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn planted_entities_always_recognized(idx in 0usize..500) {
+        // Any gazetteer entity embedded in plain text must be found with
+        // the right type — the contract the corpus generator relies on.
+        let g = Gazetteers::standard();
+        let types: Vec<_> = g.listed_types().collect();
+        let ty = types[idx % types.len()];
+        let list = g.entities(ty);
+        let entity = &list[idx % list.len()];
+        let text = format!("Yesterday the group saw {entity} during the visit.");
+        let ner = NamedEntityRecognizer::standard();
+        let found = ner
+            .recognize(&text)
+            .into_iter()
+            .any(|m| m.text == *entity && m.entity_type == ty);
+        prop_assert!(found, "missed {entity} ({ty})");
+    }
+}

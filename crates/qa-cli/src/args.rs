@@ -1,0 +1,114 @@
+//! A minimal `--flag value` argument parser.
+//!
+//! Supports `--key value`, `--switch` (boolean) and positional arguments,
+//! with typed accessors that report friendly errors. No external crate:
+//! the workspace's dependency budget is documented in DESIGN.md.
+
+use std::collections::HashMap;
+
+/// Parsed arguments: flags plus positionals, in order.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+/// Parse `argv`. `switch_names` lists flags that take no value.
+pub fn parse(argv: &[String], switch_names: &[&str]) -> Result<Args, String> {
+    let mut out = Args::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if switch_names.contains(&name) {
+                out.switches.push(name.to_string());
+                i += 1;
+            } else {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} expects a value"))?;
+                if out.flags.insert(name.to_string(), value.clone()).is_some() {
+                    return Err(format!("--{name} given twice"));
+                }
+                i += 2;
+            }
+        } else {
+            out.positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+impl Args {
+    /// A string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    /// A numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_switches_positionals() {
+        let a = parse(&v(&["--seed", "7", "ask", "--json", "what?"]), &["json"]).unwrap();
+        assert_eq!(a.get("seed"), Some("7"));
+        assert!(a.switch("json"));
+        assert_eq!(a.positional(), &["ask", "what?"]);
+    }
+
+    #[test]
+    fn numeric_parsing_and_defaults() {
+        let a = parse(&v(&["--nodes", "12"]), &[]).unwrap();
+        assert_eq!(a.num::<usize>("nodes", 4).unwrap(), 12);
+        assert_eq!(a.num::<usize>("missing", 4).unwrap(), 4);
+        assert!(a.num::<usize>("nodes", 0).is_ok());
+        let bad = parse(&v(&["--nodes", "twelve"]), &[]).unwrap();
+        assert!(bad.num::<usize>("nodes", 4).is_err());
+    }
+
+    #[test]
+    fn missing_value_and_duplicates_error() {
+        assert!(parse(&v(&["--seed"]), &[]).is_err());
+        assert!(parse(&v(&["--seed", "1", "--seed", "2"]), &[]).is_err());
+    }
+
+    #[test]
+    fn require_reports_flag_name() {
+        let a = parse(&v(&[]), &[]).unwrap();
+        let e = a.require("corpus").unwrap_err();
+        assert!(e.contains("--corpus"));
+    }
+}

@@ -1,0 +1,329 @@
+//! Subcommand implementations.
+
+use crate::args::parse;
+use analytical::{InterQuestionModel, IntraQuestionModel};
+use cluster_sim::experiments::load_balancing_summary;
+use cluster_sim::workload::{BalancingStrategy, QaSimulation, SimConfig};
+use corpus::{Corpus, CorpusConfig, CorpusSnapshot, QuestionGenerator};
+use dqa_runtime::{Cluster, ClusterConfig};
+use ir_engine::persist::{decode_index, encode_index};
+use ir_engine::{DocumentStore, ParagraphRetriever, RetrievalConfig, ShardedIndex};
+use nlp::NamedEntityRecognizer;
+use qa_pipeline::{PipelineConfig, QaPipeline};
+use qa_types::params::MBPS;
+use qa_types::{Question, QuestionId, SystemParams, Trec9Profile};
+use std::sync::Arc;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage:
+  dqa generate [--seed N] [--size small|trec] --out corpus.json
+  dqa index --corpus corpus.json --out index.bin
+  dqa ask --corpus corpus.json [--index index.bin] [--cluster N] [--sample N] [question …]
+  dqa export --corpus corpus.json --questions N --topics topics.txt --answers key.txt
+  dqa simulate [--nodes N] [--strategy dns|inter|dqa|sid|gradient] [--seed N] [--compare]
+  dqa model [--net-mbps N] [--disk-mbps N] [--nodes N]";
+
+/// Dispatch a command line.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("no command given".into());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "generate" => generate(rest),
+        "index" => index(rest),
+        "ask" => ask(rest),
+        "export" => export(rest),
+        "simulate" => simulate(rest),
+        "model" => model(rest),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load_corpus(path: &str) -> Result<Corpus, String> {
+    let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let snapshot: CorpusSnapshot =
+        serde_json::from_str(&data).map_err(|e| format!("parse {path}: {e}"))?;
+    Corpus::from_snapshot(snapshot).map_err(|e| e.to_string())
+}
+
+fn generate(argv: &[String]) -> Result<(), String> {
+    let a = parse(argv, &[])?;
+    let seed: u64 = a.num("seed", 42u64)?;
+    let out = a.require("out")?;
+    let cfg = match a.get("size").unwrap_or("trec") {
+        "small" => CorpusConfig::small(seed),
+        "trec" => CorpusConfig::trec_like(seed),
+        other => return Err(format!("--size must be small|trec, got {other:?}")),
+    };
+    let corpus = Corpus::generate(cfg).map_err(|e| e.to_string())?;
+    let stats = corpus.stats();
+    let json =
+        serde_json::to_string(&corpus.snapshot()).map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} documents, {} paragraphs, {:.1} MB text, {} planted answers",
+        stats.documents,
+        stats.paragraphs,
+        stats.bytes as f64 / 1e6,
+        stats.plants
+    );
+    Ok(())
+}
+
+fn index(argv: &[String]) -> Result<(), String> {
+    let a = parse(argv, &[])?;
+    let corpus = load_corpus(a.require("corpus")?)?;
+    let out = a.require("out")?;
+    let idx = ShardedIndex::build(&corpus.documents, corpus.config.sub_collections);
+    let bytes = encode_index(&idx);
+    std::fs::write(out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} shards, {} documents, {} bytes",
+        idx.shard_count(),
+        idx.doc_count(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn ask(argv: &[String]) -> Result<(), String> {
+    let a = parse(argv, &["json"])?;
+    let corpus = load_corpus(a.require("corpus")?)?;
+    let idx = match a.get("index") {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+            decode_index(&bytes).map_err(|e| e.to_string())?
+        }
+        None => ShardedIndex::build(&corpus.documents, corpus.config.sub_collections),
+    };
+    let store = Arc::new(DocumentStore::new(corpus.documents.clone()));
+    let retriever =
+        ParagraphRetriever::new(Arc::new(idx), store, RetrievalConfig::default());
+
+    // Question list: positionals, plus generated samples.
+    let mut questions: Vec<(Question, Option<String>)> = a
+        .positional()
+        .iter()
+        .enumerate()
+        .map(|(i, text)| (Question::new(QuestionId::new(9000 + i as u32), text.clone()), None))
+        .collect();
+    let samples: usize = a.num("sample", 0usize)?;
+    if samples > 0 {
+        for gq in QuestionGenerator::new(&corpus, 1).generate(samples) {
+            questions.push((gq.question, Some(gq.expected_answer)));
+        }
+    }
+    if questions.is_empty() {
+        return Err("no questions: pass them as arguments or use --sample N".into());
+    }
+
+    let cluster_nodes: usize = a.num("cluster", 0usize)?;
+    let answer = |q: &Question| -> Result<(qa_types::RankedAnswers, String), String> {
+        if cluster_nodes > 0 {
+            let cluster = Cluster::start(
+                retriever.clone(),
+                NamedEntityRecognizer::standard(),
+                ClusterConfig {
+                    nodes: cluster_nodes,
+                    ..ClusterConfig::default()
+                },
+            );
+            let out = cluster.ask(q).map_err(|e| e.to_string())?;
+            let note = format!("PR×{} AP×{}", out.pr_nodes.len(), out.ap_nodes.len());
+            cluster.shutdown();
+            Ok((out.answers, note))
+        } else {
+            let pipeline = QaPipeline::new(
+                retriever.clone(),
+                NamedEntityRecognizer::standard(),
+                PipelineConfig::default(),
+            );
+            let out = pipeline.answer(q).map_err(|e| e.to_string())?;
+            let note = format!(
+                "{} retrieved / {} accepted",
+                out.paragraphs_retrieved, out.paragraphs_accepted
+            );
+            Ok((out.answers, note))
+        }
+    };
+
+    for (q, truth) in &questions {
+        let (answers, note) = answer(q)?;
+        if a.switch("json") {
+            let record = serde_json::json!({
+                "question": q.text,
+                "answers": answers.answers,
+                "truth": truth,
+            });
+            println!("{record}");
+        } else {
+            println!("{}  {}", q.id, q.text);
+            match answers.best() {
+                Some(best) => println!("  -> {}   ({note})", best.candidate),
+                None => println!("  -> no answer   ({note})"),
+            }
+            if let Some(t) = truth {
+                println!("  truth: {t}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Export a generated question set in TREC topic + answer-key format.
+fn export(argv: &[String]) -> Result<(), String> {
+    let a = parse(argv, &[])?;
+    let corpus = load_corpus(a.require("corpus")?)?;
+    let n: usize = a.num("questions", 50usize)?;
+    let seed: u64 = a.num("seed", 1u64)?;
+    let questions = QuestionGenerator::new(&corpus, seed).generate(n);
+    let topics = a.require("topics")?;
+    std::fs::write(topics, corpus::trec::write_topics(&questions))
+        .map_err(|e| format!("write {topics}: {e}"))?;
+    let answers = a.require("answers")?;
+    std::fs::write(answers, corpus::trec::write_answer_key(&questions))
+        .map_err(|e| format!("write {answers}: {e}"))?;
+    println!("wrote {} topics to {topics} and the answer key to {answers}", questions.len());
+    Ok(())
+}
+
+fn parse_strategy(name: &str) -> Result<BalancingStrategy, String> {
+    Ok(match name {
+        "dns" => BalancingStrategy::Dns,
+        "inter" => BalancingStrategy::Inter,
+        "dqa" => BalancingStrategy::Dqa,
+        "sid" => BalancingStrategy::SenderDiffusion,
+        "gradient" => BalancingStrategy::Gradient,
+        other => return Err(format!("unknown strategy {other:?}")),
+    })
+}
+
+fn simulate(argv: &[String]) -> Result<(), String> {
+    let a = parse(argv, &["compare"])?;
+    let nodes: usize = a.num("nodes", 8usize)?;
+    let seed: u64 = a.num("seed", 2001u64)?;
+    if a.switch("compare") {
+        let s = load_balancing_summary(nodes, &[seed, seed + 1, seed + 2]);
+        println!("{nodes}-node high-load comparison (mean of 3 seeds)");
+        for (name, i) in [("DNS", 0), ("INTER", 1), ("DQA", 2)] {
+            println!(
+                "  {name:<7} {:>6.2} q/min   {:>7.1} s mean response",
+                s.throughput[i], s.response_time[i]
+            );
+        }
+        return Ok(());
+    }
+    let strategy = parse_strategy(a.get("strategy").unwrap_or("dqa"))?;
+    let report = QaSimulation::new(SimConfig::paper_high_load(nodes, strategy, seed)).run();
+    println!(
+        "{} questions on {} nodes ({strategy:?}): {:.2} q/min, mean {:.1} s, p95 {:.1} s, \
+         migrations qa/pr/ap = {}/{}/{}",
+        report.questions.len(),
+        nodes,
+        report.throughput_per_minute(),
+        report.mean_response_time(),
+        report.response_time_percentile(0.95),
+        report.migrations.qa,
+        report.migrations.pr,
+        report.migrations.ap,
+    );
+    Ok(())
+}
+
+fn model(argv: &[String]) -> Result<(), String> {
+    let a = parse(argv, &[])?;
+    let net: f64 = a.num("net-mbps", 100.0f64)?;
+    let disk: f64 = a.num("disk-mbps", 100.0f64)?;
+    let nodes: usize = a.num("nodes", 0usize)?;
+    let params = SystemParams::trec9()
+        .with_net_bandwidth(net * MBPS)
+        .with_disk_bandwidth(disk * MBPS);
+    let intra = IntraQuestionModel::new(params, Trec9Profile::complex());
+    let inter = InterQuestionModel::new(params, Trec9Profile::average());
+    let (n_max, s_max) = intra.practical_limit();
+    println!("analytical model at net {net} Mbps, disk {disk} Mbps:");
+    println!("  intra-question: N_max = {n_max}, speedup there = {s_max:.2}");
+    if nodes > 0 {
+        println!(
+            "  at {nodes} nodes: question speedup {:.2} (T = {:.1} s), system efficiency {:.2}",
+            intra.speedup(nodes),
+            intra.t_n(nodes),
+            inter.efficiency(nodes)
+        );
+    }
+    println!(
+        "  inter-question: efficiency {:.2} at 100 nodes, {:.2} at 1000 nodes",
+        inter.efficiency(100),
+        inter.efficiency(1000)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(parts: &[&str]) -> Result<(), String> {
+        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        dispatch(&argv)
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("dqa-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_index_ask_round_trip() {
+        let corpus_path = tmp("c1.json");
+        let index_path = tmp("c1.idx");
+        run(&["generate", "--seed", "5", "--size", "small", "--out", &corpus_path]).unwrap();
+        run(&["index", "--corpus", &corpus_path, "--out", &index_path]).unwrap();
+        run(&[
+            "ask", "--corpus", &corpus_path, "--index", &index_path, "--sample", "2",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn export_writes_parsable_trec_files() {
+        let corpus_path = tmp("c3.json");
+        let topics = tmp("c3-topics.txt");
+        let answers = tmp("c3-answers.txt");
+        run(&["generate", "--seed", "8", "--size", "small", "--out", &corpus_path]).unwrap();
+        run(&[
+            "export", "--corpus", &corpus_path, "--questions", "5", "--topics", &topics,
+            "--answers", &answers,
+        ])
+        .unwrap();
+        let parsed = corpus::trec::parse_topics(&std::fs::read_to_string(&topics).unwrap()).unwrap();
+        assert_eq!(parsed.len(), 5);
+        let key =
+            corpus::trec::parse_answer_key(&std::fs::read_to_string(&answers).unwrap()).unwrap();
+        assert_eq!(key.len(), 5);
+    }
+
+    #[test]
+    fn simulate_and_model_run() {
+        run(&["simulate", "--nodes", "4", "--strategy", "dqa", "--seed", "3"]).unwrap();
+        run(&["model", "--net-mbps", "1000", "--disk-mbps", "100", "--nodes", "8"]).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&["generate"]).is_err(), "--out required");
+        assert!(run(&["ask", "--corpus", "/nonexistent.json", "q"]).is_err());
+        assert!(run(&["simulate", "--strategy", "bogus"]).is_err());
+        let corpus_path = tmp("c2.json");
+        run(&["generate", "--seed", "6", "--size", "small", "--out", &corpus_path]).unwrap();
+        assert!(
+            run(&["ask", "--corpus", &corpus_path]).is_err(),
+            "no questions given"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! `dqa` — command-line frontend for the distributed Q/A system.
+//!
+//! ```text
+//! dqa generate --seed 7 --out corpus.json          # synthesize a corpus
+//! dqa index --corpus corpus.json --out index.bin   # build the sharded index
+//! dqa ask --corpus corpus.json --index index.bin "Where is …?"
+//! dqa ask --corpus corpus.json --index index.bin --cluster 4 "Where is …?"
+//! dqa simulate --nodes 8 --strategy dqa            # high-load DES run
+//! dqa model --net-mbps 1000 --disk-mbps 100        # analytical model point
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency budget has
+//! no CLI crate); see [`args`] for the tiny flag parser.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dqa: {e}");
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Falcon-style feedback loops ("boosting").
+//!
+//! The real Falcon's signature feature (Harabagiu et al., TREC-9) is a set
+//! of retrieval feedback loops: when answer extraction comes back empty,
+//! the system *relaxes* the Boolean query — dropping the least important
+//! keywords — and retries. The IPPS paper inherits this behaviour inside
+//! its PR module ("Falcon currently uses a Boolean IR system" whose query
+//! is built from the QP keyword set); this module implements the loop on
+//! top of the sequential pipeline.
+//!
+//! Strategy: attempt 0 uses the full keyword set; each following attempt
+//! drops the lowest-weight keyword (QP orders keywords by weight), down to
+//! a floor of two keywords. The first attempt that yields answers wins.
+
+use crate::pipeline::{PipelineOutput, QaPipeline};
+use qa_types::{ProcessedQuestion, QaError, Question};
+
+/// Outcome of a feedback run.
+#[derive(Debug, Clone)]
+pub struct FeedbackOutput {
+    /// The final (answering or last) pipeline output.
+    pub output: PipelineOutput,
+    /// Number of attempts executed (1 = no retry needed).
+    pub attempts: usize,
+    /// Keywords used by the final attempt.
+    pub final_keywords: usize,
+}
+
+impl QaPipeline {
+    /// Answer with Falcon's keyword-relaxation feedback loop: retry with
+    /// progressively fewer keywords until answers appear or the keyword
+    /// floor (2) is reached. `max_attempts` bounds the loop.
+    pub fn answer_with_feedback(
+        &self,
+        question: &Question,
+        max_attempts: usize,
+    ) -> Result<FeedbackOutput, QaError> {
+        let max_attempts = max_attempts.max(1);
+        let mut attempts = 0usize;
+        let mut drop_count = 0usize;
+
+        loop {
+            attempts += 1;
+            let out = if drop_count == 0 {
+                self.answer(question)?
+            } else {
+                // Re-run with a truncated keyword set.
+                let processed = self.process_question(question)?;
+                let keep = processed.keywords.len().saturating_sub(drop_count).max(2);
+                let relaxed = ProcessedQuestion {
+                    keywords: processed.keywords[..keep.min(processed.keywords.len())].to_vec(),
+                    ..processed
+                };
+                self.answer_processed(&relaxed)?
+            };
+
+            let exhausted = attempts >= max_attempts
+                || out.processed.keywords.len() <= 2;
+            if !out.answers.is_empty() || exhausted {
+                let final_keywords = out.processed.keywords.len();
+                return Ok(FeedbackOutput {
+                    output: out,
+                    attempts,
+                    final_keywords,
+                });
+            }
+            drop_count += 1;
+            let _ = out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use corpus::{Corpus, CorpusConfig, QuestionGenerator};
+    use ir_engine::{DocumentStore, ParagraphRetriever, RetrievalConfig, ShardedIndex};
+    use nlp::NamedEntityRecognizer;
+    use qa_types::QuestionId;
+    use std::sync::Arc;
+
+    fn pipeline(seed: u64) -> (Corpus, QaPipeline) {
+        let c = Corpus::generate(CorpusConfig::small(seed)).unwrap();
+        let index = Arc::new(ShardedIndex::build(&c.documents, c.config.sub_collections));
+        let store = Arc::new(DocumentStore::new(c.documents.clone()));
+        let qa = QaPipeline::new(
+            ParagraphRetriever::new(index, store, RetrievalConfig::default()),
+            NamedEntityRecognizer::standard(),
+            PipelineConfig::default(),
+        );
+        (c, qa)
+    }
+
+    #[test]
+    fn answerable_question_needs_one_attempt() {
+        let (c, qa) = pipeline(301);
+        let gq = QuestionGenerator::new(&c, 1).generate(1).remove(0);
+        let fb = qa.answer_with_feedback(&gq.question, 4).unwrap();
+        assert_eq!(fb.attempts, 1);
+        assert!(!fb.output.answers.is_empty());
+    }
+
+    #[test]
+    fn noisy_keywords_trigger_relaxation() {
+        let (c, qa) = pipeline(302);
+        let gq = QuestionGenerator::new(&c, 2).generate(1).remove(0);
+        // Poison the question with off-corpus words that become top-weight
+        // keywords (capitalized), breaking the strict retrieval.
+        let poisoned = Question::new(
+            QuestionId::new(7777),
+            format!("{} Zzyqx Vrrblat", gq.question.text.trim_end_matches('?')),
+        );
+        let strict = qa.answer(&poisoned).unwrap();
+        let fb = qa.answer_with_feedback(&poisoned, 6).unwrap();
+        assert!(
+            fb.attempts >= 1,
+            "feedback ran {} attempts",
+            fb.attempts
+        );
+        // The loop must do at least as well as the single-shot pipeline.
+        assert!(fb.output.answers.len() >= strict.answers.len());
+    }
+
+    #[test]
+    fn unanswerable_question_stops_at_bound() {
+        let (_, qa) = pipeline(303);
+        let q = Question::new(
+            QuestionId::new(1),
+            "Where is the Qqqqzz Wwwxx Vvvyy Rrrtt Nnnpp?",
+        );
+        let fb = qa.answer_with_feedback(&q, 3).unwrap();
+        assert!(fb.attempts <= 3);
+        assert!(fb.output.answers.is_empty());
+    }
+
+    #[test]
+    fn attempt_bound_of_zero_is_clamped_to_one() {
+        let (c, qa) = pipeline(304);
+        let gq = QuestionGenerator::new(&c, 3).generate(1).remove(0);
+        let fb = qa.answer_with_feedback(&gq.question, 0).unwrap();
+        assert_eq!(fb.attempts, 1);
+    }
+}

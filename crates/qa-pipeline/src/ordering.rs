@@ -1,0 +1,92 @@
+//! Paragraph Ordering (PO): sort by rank and filter with a threshold.
+//!
+//! PO is one of the two inherently sequential modules (Table 2): the
+//! threshold is relative to the *global* best score, so ranking and
+//! filtering must be centralized even in the distributed system — which is
+//! why Fig. 3 funnels every PS partition's output through one paragraph
+//! merging + ordering stage.
+
+use crate::scoring::ScoredParagraph;
+
+/// Sort paragraphs by decreasing score and keep those above
+/// `threshold × best_score`, capped at `max_accepted`.
+///
+/// Ties break on paragraph id so output is deterministic regardless of the
+/// order in which PS partitions delivered their results.
+pub fn order_paragraphs(
+    mut scored: Vec<ScoredParagraph>,
+    threshold: f64,
+    max_accepted: usize,
+) -> Vec<ScoredParagraph> {
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.paragraph.id.cmp(&b.paragraph.id))
+    });
+    let best = scored.first().map(|s| s.score).unwrap_or(0.0);
+    if best <= 0.0 {
+        return Vec::new();
+    }
+    let cut = best * threshold;
+    let keep = scored
+        .iter()
+        .take_while(|s| s.score >= cut)
+        .count()
+        .min(max_accepted);
+    scored.truncate(keep);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_types::{DocId, Paragraph, ParagraphId, SubCollectionId};
+
+    fn sp(doc: u32, score: f64) -> ScoredParagraph {
+        ScoredParagraph {
+            paragraph: Paragraph {
+                id: ParagraphId::new(DocId::new(doc), 0),
+                sub_collection: SubCollectionId::new(0),
+                text: format!("p{doc}"),
+            },
+            score,
+        }
+    }
+
+    #[test]
+    fn sorts_descending() {
+        let out = order_paragraphs(vec![sp(1, 0.2), sp(2, 0.9), sp(3, 0.5)], 0.0, 10);
+        let scores: Vec<_> = out.iter().map(|s| s.score).collect();
+        assert_eq!(scores, [0.9, 0.5, 0.2]);
+    }
+
+    #[test]
+    fn threshold_filters_relative_to_best() {
+        let out = order_paragraphs(vec![sp(1, 1.0), sp(2, 0.5), sp(3, 0.1)], 0.4, 10);
+        assert_eq!(out.len(), 2, "0.1 < 0.4 * 1.0 dropped");
+    }
+
+    #[test]
+    fn cap_applies_after_threshold() {
+        let input: Vec<_> = (0..20).map(|i| sp(i, 1.0)).collect();
+        let out = order_paragraphs(input, 0.5, 5);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn empty_and_all_zero_inputs() {
+        assert!(order_paragraphs(vec![], 0.5, 10).is_empty());
+        assert!(order_paragraphs(vec![sp(1, 0.0), sp(2, 0.0)], 0.5, 10).is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_input_permutation() {
+        let a = order_paragraphs(vec![sp(2, 0.5), sp(1, 0.5), sp(3, 0.9)], 0.1, 10);
+        let b = order_paragraphs(vec![sp(3, 0.9), sp(1, 0.5), sp(2, 0.5)], 0.1, 10);
+        assert_eq!(a, b);
+        // Equal scores ordered by paragraph id.
+        assert_eq!(a[1].paragraph.id.doc, DocId::new(1));
+        assert_eq!(a[2].paragraph.id.doc, DocId::new(2));
+    }
+}

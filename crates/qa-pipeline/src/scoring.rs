@@ -1,0 +1,236 @@
+//! Paragraph Scoring (PS): three surface-text heuristics.
+//!
+//! Per the paper (§2.1), PS "assigns a rank to each paragraph provided by
+//! the PR module using three surface-text heuristics. The heuristics
+//! estimate the relevance of each paragraph based on the number of keywords
+//! present in the paragraph and the inter-keyword distance" — the LASSO
+//! heuristics. Our three:
+//!
+//! 1. **coverage** — fraction of distinct question keywords present;
+//! 2. **density** — keyword occurrences relative to paragraph length;
+//! 3. **proximity** — inverse length of the smallest token window that
+//!    contains every present keyword.
+
+use ir_engine::terms::index_terms;
+use qa_types::{Keyword, Paragraph};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A paragraph plus its PS rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredParagraph {
+    /// The scored paragraph.
+    pub paragraph: Paragraph,
+    /// Combined heuristic score in `[0, 1]`-ish range (weighted sum of three
+    /// components each in `[0, 1]`).
+    pub score: f64,
+}
+
+/// Weights of the three PS heuristics (sum to 1).
+const W_COVERAGE: f64 = 0.5;
+const W_DENSITY: f64 = 0.2;
+const W_PROXIMITY: f64 = 0.3;
+
+/// Score one paragraph against the question keywords.
+pub fn score_paragraph(paragraph: &Paragraph, keywords: &[Keyword]) -> f64 {
+    if keywords.is_empty() {
+        return 0.0;
+    }
+    let terms = index_terms(&paragraph.text);
+    if terms.is_empty() {
+        return 0.0;
+    }
+
+    let kw_index: HashMap<&str, usize> = keywords
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.term.as_str(), i))
+        .collect();
+
+    // Positions of each keyword in the term stream.
+    let mut positions: Vec<Vec<usize>> = vec![Vec::new(); keywords.len()];
+    let mut occurrences = 0usize;
+    for (pos, t) in terms.iter().enumerate() {
+        if let Some(&k) = kw_index.get(t.as_str()) {
+            positions[k].push(pos);
+            occurrences += 1;
+        }
+    }
+
+    let present = positions.iter().filter(|p| !p.is_empty()).count();
+    if present == 0 {
+        return 0.0;
+    }
+
+    let coverage = present as f64 / kw_index.len() as f64;
+    let density = (occurrences as f64 / terms.len() as f64).min(1.0);
+    let proximity = match smallest_window(&positions) {
+        Some(w) if present > 1 => (present as f64 / w as f64).min(1.0),
+        _ => {
+            if present == 1 {
+                0.5 // single keyword: neutral proximity
+            } else {
+                0.0
+            }
+        }
+    };
+
+    W_COVERAGE * coverage + W_DENSITY * density + W_PROXIMITY * proximity
+}
+
+/// Size (in tokens, inclusive) of the smallest window containing at least
+/// one occurrence of every *present* keyword. `None` when fewer than two
+/// keywords are present.
+fn smallest_window(positions: &[Vec<usize>]) -> Option<usize> {
+    // Merge all (position, keyword) pairs, sorted by position.
+    let mut events: Vec<(usize, usize)> = Vec::new();
+    let mut wanted = 0usize;
+    for (k, ps) in positions.iter().enumerate() {
+        if ps.is_empty() {
+            continue;
+        }
+        wanted += 1;
+        for &p in ps {
+            events.push((p, k));
+        }
+    }
+    if wanted < 2 {
+        return None;
+    }
+    events.sort_unstable();
+
+    // Classic minimum covering window sweep.
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    let mut have = 0usize;
+    let mut best: Option<usize> = None;
+    let mut lo = 0usize;
+    for hi in 0..events.len() {
+        let c = counts.entry(events[hi].1).or_insert(0);
+        if *c == 0 {
+            have += 1;
+        }
+        *c += 1;
+        while have == wanted {
+            let width = events[hi].0 - events[lo].0 + 1;
+            best = Some(best.map_or(width, |b| b.min(width)));
+            let c = counts.get_mut(&events[lo].1).expect("tracked keyword");
+            *c -= 1;
+            if *c == 0 {
+                have -= 1;
+            }
+            lo += 1;
+        }
+    }
+    best
+}
+
+/// Score a batch of paragraphs (the PS module proper). Order is preserved —
+/// ordering is PO's job.
+pub fn score_paragraphs(paragraphs: Vec<Paragraph>, keywords: &[Keyword]) -> Vec<ScoredParagraph> {
+    paragraphs
+        .into_iter()
+        .map(|p| {
+            let score = score_paragraph(&p, keywords);
+            ScoredParagraph {
+                paragraph: p,
+                score,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_types::{DocId, ParagraphId, SubCollectionId};
+
+    fn para(text: &str) -> Paragraph {
+        Paragraph {
+            id: ParagraphId::new(DocId::new(0), 0),
+            sub_collection: SubCollectionId::new(0),
+            text: text.to_string(),
+        }
+    }
+
+    fn kws(terms: &[&str]) -> Vec<Keyword> {
+        terms.iter().map(|t| Keyword::new(*t, 1.0)).collect()
+    }
+
+    #[test]
+    fn full_coverage_beats_partial() {
+        let k = kws(&["alpha", "beta", "gamma"]);
+        let all = score_paragraph(&para("alpha beta gamma together"), &k);
+        let two = score_paragraph(&para("alpha beta filler filler"), &k);
+        let one = score_paragraph(&para("alpha filler filler filler"), &k);
+        assert!(all > two, "{all} vs {two}");
+        assert!(two > one, "{two} vs {one}");
+    }
+
+    #[test]
+    fn tight_windows_beat_spread_keywords() {
+        let k = kws(&["alpha", "beta"]);
+        let tight = score_paragraph(&para("alpha beta filler filler filler filler"), &k);
+        let spread = score_paragraph(&para("alpha filler filler filler filler beta"), &k);
+        assert!(tight > spread, "{tight} vs {spread}");
+    }
+
+    #[test]
+    fn no_keywords_scores_zero() {
+        assert_eq!(score_paragraph(&para("some text here"), &[]), 0.0);
+        let k = kws(&["missing"]);
+        assert_eq!(score_paragraph(&para("completely unrelated words"), &k), 0.0);
+    }
+
+    #[test]
+    fn empty_paragraph_scores_zero() {
+        let k = kws(&["alpha"]);
+        assert_eq!(score_paragraph(&para(""), &k), 0.0);
+        assert_eq!(score_paragraph(&para("the of and"), &k), 0.0);
+    }
+
+    #[test]
+    fn score_is_bounded() {
+        let k = kws(&["alpha", "beta"]);
+        for text in [
+            "alpha beta",
+            "alpha alpha alpha beta beta beta",
+            "alpha",
+            "alpha beta alpha beta alpha beta alpha beta",
+        ] {
+            let s = score_paragraph(&para(text), &k);
+            assert!((0.0..=1.0).contains(&s), "{text} -> {s}");
+        }
+    }
+
+    #[test]
+    fn smallest_window_sweep() {
+        // keyword 0 at {0, 9}, keyword 1 at {5}: best window is 5..=9 -> 5.
+        let positions = vec![vec![0, 9], vec![5]];
+        assert_eq!(smallest_window(&positions), Some(5));
+        // Single present keyword -> None.
+        assert_eq!(smallest_window(&[vec![3], vec![]]), None);
+        // Adjacent keywords -> window 2.
+        assert_eq!(smallest_window(&[vec![4], vec![5]]), Some(2));
+    }
+
+    #[test]
+    fn batch_preserves_order_and_length() {
+        let k = kws(&["alpha"]);
+        let ps = vec![para("alpha"), para("nothing"), para("alpha alpha")];
+        let scored = score_paragraphs(ps.clone(), &k);
+        assert_eq!(scored.len(), 3);
+        for (s, p) in scored.iter().zip(&ps) {
+            assert_eq!(s.paragraph.text, p.text);
+        }
+        assert!(scored[0].score > scored[1].score);
+    }
+
+    #[test]
+    fn stemmed_keywords_match_inflected_text() {
+        // Keywords arrive stemmed from QP; document text is stemmed at
+        // scoring time, so "cities" matches keyword "city".
+        let k = kws(&["city"]);
+        let s = score_paragraph(&para("the cities were large"), &k);
+        assert!(s > 0.0);
+    }
+}

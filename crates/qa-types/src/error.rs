@@ -1,0 +1,62 @@
+//! Error type shared across the workspace.
+
+use crate::ids::{NodeId, QuestionId};
+use std::fmt;
+
+/// Errors surfaced by the Q/A subsystems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QaError {
+    /// A referenced sub-collection index does not exist.
+    UnknownSubCollection(u32),
+    /// A question produced no usable keywords.
+    NoKeywords(QuestionId),
+    /// A node failed while processing a sub-task.
+    NodeFailed(NodeId),
+    /// The requested configuration is invalid (empty node set, zero chunk
+    /// size, weight vector mismatch, …).
+    InvalidConfig(String),
+    /// Index (de)serialization failed.
+    Codec(String),
+    /// The distributed runtime lost contact with a peer.
+    Disconnected(String),
+}
+
+impl fmt::Display for QaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QaError::UnknownSubCollection(c) => write!(f, "unknown sub-collection C{c}"),
+            QaError::NoKeywords(q) => write!(f, "question {q} produced no keywords"),
+            QaError::NodeFailed(n) => write!(f, "node {n} failed"),
+            QaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            QaError::Codec(msg) => write!(f, "codec error: {msg}"),
+            QaError::Disconnected(msg) => write!(f, "disconnected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            QaError::UnknownSubCollection(9).to_string(),
+            "unknown sub-collection C9"
+        );
+        assert_eq!(
+            QaError::NoKeywords(QuestionId::new(3)).to_string(),
+            "question Q3 produced no keywords"
+        );
+        assert_eq!(QaError::NodeFailed(NodeId::new(2)).to_string(), "node N2 failed");
+        assert!(QaError::InvalidConfig("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&QaError::Codec("bad".into()));
+    }
+}

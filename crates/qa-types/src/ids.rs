@@ -1,0 +1,140 @@
+//! Strongly-typed identifiers.
+//!
+//! Every entity that crosses a module or crate boundary is addressed by a
+//! newtype over a small integer. The newtypes prevent the classic "passed a
+//! paragraph index where a document index was expected" bug and keep hot
+//! structures compact (`u32` indices instead of `usize`, per the type-size
+//! guidance in the Rust performance book).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize,
+            Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw value widened for slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a question submitted to the system.
+    QuestionId,
+    "Q"
+);
+id_type!(
+    /// Identifier of a processing node (a machine in the paper's cluster).
+    NodeId,
+    "N"
+);
+id_type!(
+    /// Identifier of a document within the full collection.
+    DocId,
+    "D"
+);
+id_type!(
+    /// Identifier of a sub-collection (the paper splits TREC-9 into 8).
+    SubCollectionId,
+    "C"
+);
+
+/// Identifier of a paragraph: a document plus the paragraph ordinal inside it.
+///
+/// Paragraphs are the unit of granularity of the PS and AP modules, so this
+/// type is hot; it packs into eight bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ParagraphId {
+    /// Document that contains the paragraph.
+    pub doc: DocId,
+    /// Zero-based paragraph ordinal within the document.
+    pub ordinal: u32,
+}
+
+impl ParagraphId {
+    /// Construct a paragraph id.
+    #[inline]
+    pub const fn new(doc: DocId, ordinal: u32) -> Self {
+        Self { doc, ordinal }
+    }
+}
+
+impl fmt::Display for ParagraphId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.doc, self.ordinal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(QuestionId::new(226).to_string(), "Q226");
+        assert_eq!(NodeId::new(3).to_string(), "N3");
+        assert_eq!(DocId::new(7).to_string(), "D7");
+        assert_eq!(SubCollectionId::new(0).to_string(), "C0");
+    }
+
+    #[test]
+    fn paragraph_id_orders_by_doc_then_ordinal() {
+        let a = ParagraphId::new(DocId::new(1), 5);
+        let b = ParagraphId::new(DocId::new(2), 0);
+        let c = ParagraphId::new(DocId::new(2), 1);
+        assert!(a < b && b < c);
+        assert_eq!(b.to_string(), "D2#0");
+    }
+
+    #[test]
+    fn ids_round_trip_through_serde() {
+        let id = QuestionId::new(42);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "42", "transparent serde representation");
+        let back: QuestionId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn raw_and_index_agree() {
+        let id = DocId::from(9);
+        assert_eq!(id.raw(), 9);
+        assert_eq!(id.index(), 9usize);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Shared vocabulary for the `falcon-dqa` workspace.
+//!
+//! This crate defines the data types exchanged between every subsystem of the
+//! distributed question/answering reproduction: questions and answers, the
+//! document/paragraph model, the five pipeline modules of the sequential
+//! Falcon architecture (Fig. 1 of the paper), resource descriptors used by the
+//! load-balancing machinery, and the calibration constants taken from the
+//! paper's own measurements (Tables 2, 3 and 8).
+//!
+//! Everything here is plain data: no I/O, no concurrency. Higher crates
+//! (`ir-engine`, `qa-pipeline`, `cluster-sim`, …) build behaviour on top.
+
+pub mod answer;
+pub mod calibration;
+pub mod document;
+pub mod error;
+pub mod ids;
+pub mod modules;
+pub mod params;
+pub mod question;
+pub mod resources;
+
+pub use answer::{Answer, AnswerWindow, RankedAnswers};
+pub use calibration::{ModuleProfile, Trec8Profile, Trec9Profile};
+pub use document::{Document, Paragraph, SubCollectionMeta};
+pub use error::QaError;
+pub use ids::{DocId, NodeId, ParagraphId, QuestionId, SubCollectionId};
+pub use modules::{ModuleTimings, QaModule};
+pub use params::SystemParams;
+pub use question::{AnswerType, Keyword, ProcessedQuestion, Question};
+pub use resources::{Resource, ResourceVector, ResourceWeights};

@@ -1,0 +1,256 @@
+//! Failure-recovery state machines for the distribution strategies.
+//!
+//! These are backend-agnostic: the thread runtime (`dqa-runtime`) and the
+//! discrete-event simulator (`cluster-sim`) both drive them, reporting
+//! sub-task completions and node failures; the state machine answers "what
+//! still needs to run".
+
+use qa_types::NodeId;
+use std::collections::{HashMap, VecDeque};
+
+/// Sender-controlled distribution (Fig. 5c): partitions are allocated up
+/// front; failed partitions are collected and rescheduled as a new task.
+#[derive(Debug, Clone)]
+pub struct SenderDistribution<T> {
+    in_flight: HashMap<NodeId, Vec<T>>,
+    failed_items: Vec<T>,
+    completed: usize,
+}
+
+impl<T> SenderDistribution<T> {
+    /// Start a round with the given node → partition assignment.
+    /// Empty partitions are dropped.
+    pub fn new(assignment: Vec<(NodeId, Vec<T>)>) -> Self {
+        Self {
+            in_flight: assignment
+                .into_iter()
+                .filter(|(_, p)| !p.is_empty())
+                .collect(),
+            failed_items: Vec::new(),
+            completed: 0,
+        }
+    }
+
+    /// Nodes still working.
+    pub fn pending_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.in_flight.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The partition assigned to a node (if still in flight).
+    pub fn partition_of(&self, node: NodeId) -> Option<&[T]> {
+        self.in_flight.get(&node).map(Vec::as_slice)
+    }
+
+    /// Mark a node's sub-task successfully finished ("if successful
+    /// termination remove partition from the partition set").
+    pub fn complete(&mut self, node: NodeId) -> bool {
+        if self.in_flight.remove(&node).is_some() {
+            self.completed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Mark a node failed; its unprocessed items join the recovery pool
+    /// ("build a new task from the unprocessed partitions").
+    pub fn fail(&mut self, node: NodeId) -> bool {
+        if let Some(items) = self.in_flight.remove(&node) {
+            self.failed_items.extend(items);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when no partition is in flight.
+    pub fn round_done(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// Items that must be redistributed in a new round (empties the pool).
+    pub fn take_failed(&mut self) -> Vec<T> {
+        std::mem::take(&mut self.failed_items)
+    }
+
+    /// Count of successfully completed partitions so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+}
+
+/// Receiver-controlled distribution (Fig. 6b): a shared chunk queue that
+/// workers pull from; chunks held by a failed worker go back into the queue.
+///
+/// `T: Clone` because the queue retains each pulled chunk until the worker
+/// confirms completion — that retained copy is what failure recovery
+/// restores ("move chunk back to the chunk set").
+#[derive(Debug, Clone)]
+pub struct ChunkQueue<T: Clone> {
+    available: VecDeque<Vec<T>>,
+    in_flight: HashMap<NodeId, Vec<Vec<T>>>,
+}
+
+impl<T: Clone> ChunkQueue<T> {
+    /// Build from pre-cut chunks (see
+    /// [`partition_recv`](crate::partition::partition_recv)).
+    pub fn new(chunks: Vec<Vec<T>>) -> Self {
+        Self {
+            available: chunks.into_iter().filter(|c| !c.is_empty()).collect(),
+            in_flight: HashMap::new(),
+        }
+    }
+
+    /// A worker pulls the next chunk ("each working processor requests and
+    /// processes one chunk at a time according to its local resource
+    /// availability").
+    pub fn pull(&mut self, worker: NodeId) -> Option<Vec<T>> {
+        let chunk = self.available.pop_front()?;
+        self.in_flight.entry(worker).or_default().push(chunk.clone());
+        Some(chunk)
+    }
+
+    /// Worker reports its oldest outstanding chunk done.
+    pub fn complete_one(&mut self, worker: NodeId) -> bool {
+        match self.in_flight.get_mut(&worker) {
+            Some(list) if !list.is_empty() => {
+                list.remove(0);
+                if list.is_empty() {
+                    self.in_flight.remove(&worker);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Worker failed: every chunk it held returns to the available queue.
+    pub fn fail(&mut self, worker: NodeId) -> usize {
+        let chunks = self.in_flight.remove(&worker).unwrap_or_default();
+        let n = chunks.len();
+        for c in chunks {
+            self.available.push_back(c);
+        }
+        n
+    }
+
+    /// Chunks waiting to be pulled.
+    pub fn available(&self) -> usize {
+        self.available.len()
+    }
+
+    /// True when nothing is queued and nothing is in flight.
+    pub fn drained(&self) -> bool {
+        self.available.is_empty() && self.in_flight.is_empty()
+    }
+
+    /// Outstanding chunk count for a worker.
+    pub fn outstanding(&self, worker: NodeId) -> usize {
+        self.in_flight.get(&worker).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn sender_happy_path() {
+        let mut d = SenderDistribution::new(vec![(n(0), vec![1, 2]), (n(1), vec![3])]);
+        assert_eq!(d.pending_nodes(), vec![n(0), n(1)]);
+        assert_eq!(d.partition_of(n(0)), Some([1, 2].as_slice()));
+        assert!(d.complete(n(0)));
+        assert!(d.complete(n(1)));
+        assert!(d.round_done());
+        assert!(d.take_failed().is_empty());
+        assert_eq!(d.completed(), 2);
+    }
+
+    #[test]
+    fn sender_failure_collects_items() {
+        let mut d = SenderDistribution::new(vec![(n(0), vec![1, 2]), (n(1), vec![3, 4])]);
+        assert!(d.complete(n(0)));
+        assert!(d.fail(n(1)));
+        assert!(d.round_done());
+        let mut failed = d.take_failed();
+        failed.sort_unstable();
+        assert_eq!(failed, vec![3, 4]);
+        // Second round with the recovered items.
+        let mut d2 = SenderDistribution::new(vec![(n(0), failed)]);
+        assert!(d2.complete(n(0)));
+        assert!(d2.round_done());
+    }
+
+    #[test]
+    fn sender_ignores_unknown_nodes_and_empty_partitions() {
+        let mut d = SenderDistribution::new(vec![(n(0), vec![1]), (n(1), Vec::<u32>::new())]);
+        assert_eq!(d.pending_nodes(), vec![n(0)]);
+        assert!(!d.complete(n(7)));
+        assert!(!d.fail(n(7)));
+    }
+
+    #[test]
+    fn chunk_queue_pull_complete_drain() {
+        let mut q = ChunkQueue::new(vec![vec![1, 2], vec![3, 4], vec![5]]);
+        assert_eq!(q.available(), 3);
+        let c1 = q.pull(n(0)).unwrap();
+        let c2 = q.pull(n(1)).unwrap();
+        assert_eq!(c1, vec![1, 2]);
+        assert_eq!(c2, vec![3, 4]);
+        assert_eq!(q.outstanding(n(0)), 1);
+        assert!(q.complete_one(n(0)));
+        assert!(q.complete_one(n(1)));
+        let c3 = q.pull(n(0)).unwrap();
+        assert_eq!(c3, vec![5]);
+        assert!(!q.drained());
+        assert!(q.complete_one(n(0)));
+        assert!(q.drained());
+    }
+
+    #[test]
+    fn chunk_queue_failure_requeues_held_chunks() {
+        let mut q = ChunkQueue::new(vec![vec![1, 2], vec![3]]);
+        let _c = q.pull(n(0)).unwrap();
+        let _d = q.pull(n(0)).unwrap();
+        assert_eq!(q.outstanding(n(0)), 2);
+        assert_eq!(q.fail(n(0)), 2);
+        assert_eq!(q.available(), 2);
+        // Another worker finishes everything.
+        let a = q.pull(n(1)).unwrap();
+        let b = q.pull(n(1)).unwrap();
+        assert_eq!(a.len() + b.len(), 3);
+        q.complete_one(n(1));
+        q.complete_one(n(1));
+        assert!(q.drained());
+    }
+
+    #[test]
+    fn chunk_queue_completes_in_fifo_order() {
+        let mut q = ChunkQueue::new(vec![vec![1], vec![2]]);
+        q.pull(n(0));
+        q.pull(n(0));
+        assert!(q.complete_one(n(0)));
+        assert_eq!(q.outstanding(n(0)), 1);
+        // A failure now only requeues the *second* chunk.
+        assert_eq!(q.fail(n(0)), 1);
+        let back = q.pull(n(1)).unwrap();
+        assert_eq!(back, vec![2]);
+    }
+
+    #[test]
+    fn chunk_queue_empty_edge_cases() {
+        let mut q: ChunkQueue<u32> = ChunkQueue::new(vec![]);
+        assert!(q.drained());
+        assert!(q.pull(n(0)).is_none());
+        assert!(!q.complete_one(n(0)));
+        assert_eq!(q.fail(n(0)), 0);
+        let q2: ChunkQueue<u32> = ChunkQueue::new(vec![vec![]]);
+        assert!(q2.drained(), "empty chunks are dropped");
+    }
+}

@@ -1,0 +1,64 @@
+//! Capacity planning with the analytical model: "we need an interactive
+//! Q/A service — how many machines, and is partitioning worth it?"
+//!
+//! This is the workload the paper's introduction motivates: an Internet
+//! Q/A service must sustain load (inter-question parallelism) *and* keep
+//! individual answers fast (intra-question parallelism). The analytical
+//! model answers both sizing questions without running anything.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use falcon_dqa::analytical::{InterQuestionModel, IntraQuestionModel};
+use falcon_dqa::qa_types::params::{GBPS, MBPS};
+use falcon_dqa::qa_types::{SystemParams, Trec9Profile};
+
+fn main() {
+    let profile = Trec9Profile::average();
+    let params = SystemParams::trec9().with_net_bandwidth(GBPS);
+
+    // --- Throughput sizing -------------------------------------------
+    let target_qpm = 120.0; // service-level objective: 2 questions/second? no – per minute
+    let inter = InterQuestionModel::new(params, profile);
+    let per_node_qpm = 60.0 / profile.sequential_total();
+    let mut nodes = 1;
+    while inter.speedup(nodes) * per_node_qpm < target_qpm && nodes < 4096 {
+        nodes += 1;
+    }
+    println!("throughput sizing (1 Gbps network)");
+    println!("  one node sustains {per_node_qpm:.2} questions/minute");
+    println!(
+        "  {target_qpm:.0} q/min needs {nodes} nodes (efficiency there: {:.2})",
+        inter.efficiency(nodes)
+    );
+
+    // --- Latency sizing ----------------------------------------------
+    let complex = Trec9Profile::complex();
+    println!("\nlatency sizing (complex questions, {:.0} s sequential)", complex.sequential_total());
+    for (label, disk) in [("period disk (100 Mbps)", 100.0 * MBPS), ("fast disk (1 Gbps)", GBPS)] {
+        let intra = IntraQuestionModel::new(params.with_disk_bandwidth(disk), complex);
+        let (n_max, s_max) = intra.practical_limit();
+        println!("  {label}:");
+        for target_secs in [60.0, 30.0, 15.0] {
+            let needed = (1..=n_max).find(|&n| intra.t_n(n) <= target_secs);
+            match needed {
+                Some(n) => println!(
+                    "    {target_secs:>4.0} s answer: partition over {n} nodes (T = {:.1} s)",
+                    intra.t_n(n)
+                ),
+                None => println!(
+                    "    {target_secs:>4.0} s answer: unreachable — best is {:.1} s at the practical limit of {n_max} nodes",
+                    intra.t_n(n_max)
+                ),
+            }
+        }
+        println!(
+            "    practical limit: {n_max} nodes (speedup {s_max:.1}); beyond that the sequential remainder dominates"
+        );
+    }
+
+    println!("\nconclusion (the paper's): partitioning buys interactive latency up to");
+    println!("~90 nodes; scaling throughput beyond that must come from inter-question");
+    println!("parallelism, which stays ~90 % efficient to 1000 nodes on a fast network");
+}

@@ -1,0 +1,84 @@
+//! Interactive Q/A shell over a distributed cluster.
+//!
+//! ```text
+//! cargo run --release --example qa_repl
+//! # then type questions, one per line; empty line or EOF exits.
+//! # `:sample` prints generated questions (with known answers) to try.
+//! ```
+//!
+//! Piping works too:
+//! `echo "Where is the Taj Mahal?" | cargo run --release --example qa_repl`
+
+use falcon_dqa::corpus::{Corpus, CorpusConfig, QuestionGenerator};
+use falcon_dqa::dqa_runtime::{Cluster, ClusterConfig};
+use falcon_dqa::ir_engine::{DocumentStore, ParagraphRetriever, RetrievalConfig, ShardedIndex};
+use falcon_dqa::nlp::NamedEntityRecognizer;
+use falcon_dqa::qa_types::{Question, QuestionId};
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    eprint!("building corpus and index… ");
+    let t = Instant::now();
+    let corpus = Corpus::generate(CorpusConfig::trec_like(42)).expect("valid config");
+    let index = Arc::new(ShardedIndex::build(
+        &corpus.documents,
+        corpus.config.sub_collections,
+    ));
+    let store = Arc::new(DocumentStore::new(corpus.documents.clone()));
+    let cluster = Cluster::start(
+        ParagraphRetriever::new(index, store, RetrievalConfig::default()),
+        NamedEntityRecognizer::standard(),
+        ClusterConfig {
+            nodes: 4,
+            ..ClusterConfig::default()
+        },
+    );
+    eprintln!("done in {:.1} s (4 nodes up)", t.elapsed().as_secs_f64());
+    eprintln!("type a question (`:sample` for examples, empty line to quit)");
+
+    let samples = QuestionGenerator::new(&corpus, 11).generate(5);
+    let stdin = io::stdin();
+    let mut next_id = 10_000u32;
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim().to_string();
+        if line.is_empty() {
+            break;
+        }
+        if line == ":sample" {
+            for gq in &samples {
+                println!("  {}   (answer: {})", gq.question.text, gq.expected_answer);
+            }
+            continue;
+        }
+        next_id += 1;
+        let q = Question::new(QuestionId::new(next_id), line);
+        let t = Instant::now();
+        match cluster.ask(&q) {
+            Ok(out) => {
+                println!(
+                    "type {} | keywords {:?} | {} paragraphs | {:.0} ms | PR×{} AP×{}",
+                    out.processed.answer_type,
+                    out.processed.keyword_terms().collect::<Vec<_>>(),
+                    out.paragraphs_accepted,
+                    t.elapsed().as_secs_f64() * 1e3,
+                    out.pr_nodes.len(),
+                    out.ap_nodes.len(),
+                );
+                if out.answers.is_empty() {
+                    println!("no answer found");
+                } else {
+                    for (i, a) in out.answers.answers.iter().enumerate() {
+                        println!("{}. {}  — …{}…  (score {:.3})", i + 1, a.candidate, a.text, a.score);
+                    }
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+        let _ = io::stdout().flush();
+    }
+    cluster.shutdown();
+    eprintln!("bye");
+}

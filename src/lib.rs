@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+//! `falcon-dqa` — facade crate for the distributed question/answering
+//! reproduction of Surdeanu, Moldovan & Harabagiu (IPPS 2001).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can use a single dependency. See `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use analytical;
+pub use cluster_sim;
+pub use corpus;
+pub use dqa_runtime;
+pub use ir_engine;
+pub use loadsim;
+pub use nlp;
+pub use qa_pipeline;
+pub use qa_types;
+pub use scheduler;

@@ -1,0 +1,108 @@
+//! Whole-system determinism: every layer must be a pure function of its
+//! seed/config, which is what makes the experiment tables reproducible
+//! line for line.
+
+use falcon_dqa::cluster_sim::workload::{BalancingStrategy, QaSimulation, SimConfig};
+use falcon_dqa::corpus::{trec, Corpus, CorpusConfig, QuestionGenerator};
+use falcon_dqa::ir_engine::persist::encode_index;
+use falcon_dqa::ir_engine::ShardedIndex;
+use falcon_dqa::nlp::NamedEntityRecognizer;
+use falcon_dqa::qa_pipeline::{PipelineConfig, QaPipeline};
+use falcon_dqa::scheduler::partition::PartitionStrategy;
+
+#[test]
+fn corpus_index_and_question_bytes_are_stable() {
+    let build = || {
+        let c = Corpus::generate(CorpusConfig::small(404)).unwrap();
+        let idx = ShardedIndex::build(&c.documents, c.config.sub_collections);
+        let questions = QuestionGenerator::new(&c, 7).generate(10);
+        (
+            serde_json::to_string(&c.snapshot()).unwrap(),
+            encode_index(&idx),
+            trec::write_topics(&questions),
+            trec::write_answer_key(&questions),
+        )
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.0, b.0, "corpus snapshot bytes differ");
+    assert_eq!(a.1, b.1, "index bytes differ");
+    assert_eq!(a.2, b.2, "topic file differs");
+    assert_eq!(a.3, b.3, "answer key differs");
+}
+
+#[test]
+fn pipeline_answers_are_stable_across_runs() {
+    let run = || {
+        let c = Corpus::generate(CorpusConfig::small(405)).unwrap();
+        let idx = std::sync::Arc::new(ShardedIndex::build(
+            &c.documents,
+            c.config.sub_collections,
+        ));
+        let store = std::sync::Arc::new(falcon_dqa::ir_engine::DocumentStore::new(
+            c.documents.clone(),
+        ));
+        let qa = QaPipeline::new(
+            falcon_dqa::ir_engine::ParagraphRetriever::new(
+                idx,
+                store,
+                falcon_dqa::ir_engine::RetrievalConfig::default(),
+            ),
+            NamedEntityRecognizer::standard(),
+            PipelineConfig::default(),
+        );
+        QuestionGenerator::new(&c, 3)
+            .generate(8)
+            .iter()
+            .map(|gq| {
+                qa.answer(&gq.question)
+                    .unwrap()
+                    .answers
+                    .answers
+                    .iter()
+                    .map(|a| (a.candidate.clone(), a.score))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn simulator_reports_are_bit_stable() {
+    let run = |strategy| {
+        QaSimulation::new(SimConfig::paper_high_load(6, strategy, 2026)).run()
+    };
+    for strategy in [
+        BalancingStrategy::Dns,
+        BalancingStrategy::Inter,
+        BalancingStrategy::Dqa,
+        BalancingStrategy::SenderDiffusion,
+        BalancingStrategy::Gradient,
+    ] {
+        let a = run(strategy);
+        let b = run(strategy);
+        assert_eq!(a, b, "{strategy:?} not deterministic");
+    }
+}
+
+#[test]
+fn simulator_traces_are_stable_including_failures() {
+    let run = || {
+        let cfg = SimConfig {
+            record_trace: true,
+            node_failures: vec![(40.0, 1)],
+            ..SimConfig::paper_low_load(
+                4,
+                PartitionStrategy::Recv { chunk_size: 40 },
+                3,
+                2027,
+            )
+        };
+        QaSimulation::new(cfg).run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.questions, b.questions);
+}

@@ -1,0 +1,100 @@
+//! The paper's headline claims, checked end to end across crates.
+//! These are coarser (and faster) than the per-crate tests: one assertion
+//! per claim the abstract/conclusions make.
+
+use falcon_dqa::analytical::{InterQuestionModel, IntraQuestionModel};
+use falcon_dqa::cluster_sim::experiments::{
+    chunk_sweep, intra_experiment, load_balancing_summary, partition_comparison,
+};
+use falcon_dqa::qa_types::params::GBPS;
+use falcon_dqa::qa_types::{SystemParams, Trec9Profile};
+
+#[test]
+fn claim_intra_question_parallelism_is_practical_to_about_90_processors() {
+    // Abstract: "intra-question parallelism … is practical up to about 90
+    // processors, depending on the system parameters."
+    let m = IntraQuestionModel::new(
+        SystemParams::trec9().with_net_bandwidth(GBPS),
+        Trec9Profile::complex(),
+    );
+    let n = m.n_max();
+    assert!((60..=130).contains(&n), "practical limit {n}");
+}
+
+#[test]
+fn claim_inter_question_parallelism_scales_to_1000_processors() {
+    // Conclusions: "if fast interconnection networks are available, the
+    // system efficiency is good (approximately 0.9) even for 1000
+    // processors."
+    let m = InterQuestionModel::new(
+        SystemParams::trec9().with_net_bandwidth(GBPS),
+        Trec9Profile::average(),
+    );
+    let e = m.efficiency(1000);
+    assert!(e > 0.85, "efficiency {e}");
+}
+
+#[test]
+fn claim_dqa_outperforms_traditional_strategies_at_high_load() {
+    // Abstract: "at high system load, the dynamic load balancing strategy
+    // proposed in this paper outperforms two other traditional approaches."
+    let s = load_balancing_summary(8, &[41, 42, 43]);
+    assert!(
+        s.throughput[2] > s.throughput[1] && s.throughput[1] > s.throughput[0],
+        "throughput ordering violated: {:?}",
+        s.throughput
+    );
+    assert!(
+        s.response_time[2] < s.response_time[0],
+        "latency ordering violated: {:?}",
+        s.response_time
+    );
+}
+
+#[test]
+fn claim_task_partitioning_reduces_response_times_close_to_model() {
+    // Abstract: "at low system load, the distributed Q/A system reduces
+    // question response times through task partitioning, with factors close
+    // to the ones indicated by the analytical model" — Table 10 shows
+    // measured ≈ 75–95 % of analytical at 4–8 nodes.
+    let rows = intra_experiment(&[1, 4, 8], 12, 2024);
+    let t1 = rows[0].report.mean_response_time();
+    let model = IntraQuestionModel::new(
+        SystemParams::trec9().with_net_bandwidth(100.0 * 125_000.0).with_disk_bandwidth(
+            SystemParams::trec9().ref_disk_bandwidth,
+        ),
+        Trec9Profile::complex(),
+    );
+    for row in &rows[1..] {
+        let measured = t1 / row.report.mean_response_time();
+        let analytical = model.speedup(row.nodes);
+        let ratio = measured / analytical;
+        assert!(
+            (0.55..=1.1).contains(&ratio),
+            "{} nodes: measured {measured:.2} vs analytical {analytical:.2}",
+            row.nodes
+        );
+    }
+}
+
+#[test]
+fn claim_recv_is_best_partitioning_and_isend_close() {
+    // Conclusions + Table 11: receiver-controlled best; for AP the
+    // sender-controlled ISEND "achieves comparable performance".
+    let rows = partition_comparison(&[8], 10, 2024);
+    let r = rows[0];
+    assert!(r.recv > r.send * 1.2, "{r:?}");
+    assert!(r.isend > r.send * 1.2, "{r:?}");
+    let ratio = r.isend / r.recv;
+    assert!((0.75..=1.25).contains(&ratio), "ISEND/RECV ratio {ratio}");
+}
+
+#[test]
+fn claim_chunk_size_40_is_near_optimal() {
+    // Fig. 10: "the best performance is observed for chunks of
+    // approximately 40 paragraphs."
+    let pts = chunk_sweep(4, &[5, 40, 160], 10, 2024);
+    let by_size = |s: usize| pts.iter().find(|p| p.chunk_size == s).unwrap().ap_speedup;
+    assert!(by_size(40) > by_size(5), "{pts:?}");
+    assert!(by_size(40) > by_size(160), "{pts:?}");
+}

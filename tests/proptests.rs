@@ -1,0 +1,191 @@
+//! Property-based tests of cross-crate invariants.
+
+use falcon_dqa::ir_engine::postings::{intersect, union, PostingsList};
+use falcon_dqa::ir_engine::terms::index_terms;
+use falcon_dqa::nlp::stem::stem;
+use falcon_dqa::nlp::tokenize::tokenize;
+use falcon_dqa::qa_types::{Answer, DocId, NodeId, ParagraphId, RankedAnswers};
+use falcon_dqa::scheduler::partition::{
+    partition_counts, partition_isend, partition_recv, partition_send,
+};
+use falcon_dqa::scheduler::recovery::ChunkQueue;
+use proptest::prelude::*;
+
+proptest! {
+    // ---- postings ----------------------------------------------------
+
+    #[test]
+    fn postings_round_trip(mut ids in proptest::collection::vec(0u32..1_000_000, 0..300)) {
+        ids.sort_unstable();
+        ids.dedup();
+        let docs: Vec<DocId> = ids.iter().copied().map(DocId::new).collect();
+        let p = PostingsList::from_sorted(&docs);
+        prop_assert_eq!(p.to_vec(), docs);
+    }
+
+    #[test]
+    fn intersect_union_against_sets(
+        mut a in proptest::collection::vec(0u32..500, 0..100),
+        mut b in proptest::collection::vec(0u32..500, 0..100),
+    ) {
+        a.sort_unstable(); a.dedup();
+        b.sort_unstable(); b.dedup();
+        let pa = PostingsList::from_sorted(&a.iter().copied().map(DocId::new).collect::<Vec<_>>());
+        let pb = PostingsList::from_sorted(&b.iter().copied().map(DocId::new).collect::<Vec<_>>());
+        use std::collections::BTreeSet;
+        let sa: BTreeSet<u32> = a.iter().copied().collect();
+        let sb: BTreeSet<u32> = b.iter().copied().collect();
+        let want_and: Vec<u32> = sa.intersection(&sb).copied().collect();
+        let want_or: Vec<u32> = sa.union(&sb).copied().collect();
+        let got_and: Vec<u32> = intersect(pa.iter(), pb.iter()).iter().map(|d| d.raw()).collect();
+        let got_or: Vec<u32> = union(pa.iter(), pb.iter()).iter().map(|d| d.raw()).collect();
+        prop_assert_eq!(got_and, want_and);
+        prop_assert_eq!(got_or, want_or);
+    }
+
+    // ---- text normalization -------------------------------------------
+
+    #[test]
+    fn stem_is_idempotent_on_ascii_words(word in "[a-z]{1,12}") {
+        let once = stem(&word);
+        prop_assert_eq!(stem(&once), once);
+    }
+
+    #[test]
+    fn tokenize_offsets_are_valid_slices(text in ".{0,200}") {
+        for t in tokenize(&text) {
+            prop_assert!(t.start < t.end);
+            prop_assert!(t.end <= text.len());
+            prop_assert!(text.is_char_boundary(t.start));
+            prop_assert!(text.is_char_boundary(t.end));
+            prop_assert!(!t.text.is_empty());
+        }
+    }
+
+    #[test]
+    fn index_terms_never_contain_stopwords(text in "[a-zA-Z ]{0,120}") {
+        for term in index_terms(&text) {
+            prop_assert!(!falcon_dqa::nlp::stopwords::is_stopword(&term), "term {term}");
+        }
+    }
+
+    // ---- partitioning --------------------------------------------------
+
+    #[test]
+    fn partition_counts_always_sum(total in 0usize..5000, weights in proptest::collection::vec(0.0f64..10.0, 1..12)) {
+        let counts = partition_counts(total, &weights);
+        prop_assert_eq!(counts.len(), weights.len());
+        prop_assert_eq!(counts.iter().sum::<usize>(), total);
+    }
+
+    #[test]
+    fn send_isend_recv_conserve_items(
+        n in 0usize..2000,
+        weights in proptest::collection::vec(0.01f64..1.0, 1..10),
+        chunk in 1usize..200,
+    ) {
+        let items: Vec<usize> = (0..n).collect();
+        for parts in [
+            partition_send(items.clone(), &weights),
+            partition_isend(items.clone(), &weights),
+            partition_recv(items.clone(), chunk),
+        ] {
+            let mut all: Vec<usize> = parts.concat();
+            all.sort_unstable();
+            prop_assert_eq!(&all, &items);
+        }
+    }
+
+    #[test]
+    fn send_partitions_are_contiguous(n in 1usize..1000, weights in proptest::collection::vec(0.01f64..1.0, 1..8)) {
+        let items: Vec<usize> = (0..n).collect();
+        let parts = partition_send(items, &weights);
+        let mut expect = 0usize;
+        for p in parts {
+            for v in p {
+                prop_assert_eq!(v, expect);
+                expect += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn recv_chunks_bounded_by_size(n in 0usize..2000, chunk in 1usize..100) {
+        let items: Vec<usize> = (0..n).collect();
+        for c in partition_recv(items, chunk) {
+            // The last chunk may absorb a small remainder.
+            prop_assert!(c.len() <= chunk + chunk / 2, "chunk of {} for size {}", c.len(), chunk);
+            prop_assert!(!c.is_empty());
+        }
+    }
+
+    // ---- chunk queue work conservation ---------------------------------
+
+    #[test]
+    fn chunk_queue_conserves_work_under_failures(
+        n in 0usize..300,
+        chunk in 1usize..40,
+        fail_mask in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        let items: Vec<usize> = (0..n).collect();
+        let mut queue = ChunkQueue::new(partition_recv(items, chunk));
+        let workers: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        let mut processed: Vec<usize> = Vec::new();
+        let mut failed = [false; 4];
+        let mut round = 0usize;
+        while !queue.drained() {
+            round += 1;
+            prop_assert!(round < 10_000, "queue did not drain");
+            let mut progressed = false;
+            for (i, &w) in workers.iter().enumerate() {
+                if failed[i] {
+                    continue;
+                }
+                if let Some(c) = queue.pull(w) {
+                    // Fail each worker at most once, mid-holding.
+                    if fail_mask[i] && !failed[i] && round.is_multiple_of(3) && i != 0 {
+                        failed[i] = true;
+                        queue.fail(w);
+                    } else {
+                        processed.extend(c);
+                        queue.complete_one(w);
+                    }
+                    progressed = true;
+                }
+            }
+            prop_assert!(progressed || queue.drained(), "live-lock");
+        }
+        processed.sort_unstable();
+        processed.dedup();
+        prop_assert_eq!(processed.len(), n, "lost or duplicated items");
+    }
+
+    // ---- answer merging -------------------------------------------------
+
+    #[test]
+    fn merge_is_permutation_invariant(
+        scores in proptest::collection::vec(0.0f64..100.0, 0..40),
+        keep in 1usize..10,
+        split in 1usize..5,
+    ) {
+        let answers: Vec<Answer> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Answer {
+                paragraph: ParagraphId::new(DocId::new(i as u32), 0),
+                candidate: format!("c{i}"),
+                text: String::new(),
+                score: s,
+            })
+            .collect();
+        // Global ranking.
+        let global = RankedAnswers::from_unsorted(answers.clone(), keep);
+        // Partitioned: split into `split` parts, rank locally, merge.
+        let parts: Vec<RankedAnswers> = answers
+            .chunks(answers.len().max(1).div_ceil(split))
+            .map(|c| RankedAnswers::from_unsorted(c.to_vec(), keep))
+            .collect();
+        let merged = RankedAnswers::merge(parts, keep);
+        prop_assert_eq!(global, merged, "partitioned merge changed the ranking");
+    }
+}
