@@ -127,9 +127,8 @@ mod tests {
             assert!((m.monitoring_overhead(n) - eq14_monitoring(n, &p, t_bar)).abs() < 1e-9);
             assert!((m.dispatch_overhead(n) - eq15_dispatch(n, &p)).abs() < 1e-12);
             assert!((m.migration_overhead(n) - eq20_migration(n, &p)).abs() < 1e-9);
-            let overhead = eq14_monitoring(n, &p, t_bar)
-                + eq15_dispatch(n, &p)
-                + eq20_migration(n, &p);
+            let overhead =
+                eq14_monitoring(n, &p, t_bar) + eq15_dispatch(n, &p) + eq20_migration(n, &p);
             assert!((m.speedup(n) - eq12_speedup(n, t_bar, overhead)).abs() < 1e-9);
         }
     }

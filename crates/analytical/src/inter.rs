@@ -63,10 +63,9 @@ impl InterQuestionModel {
         // moves accepted paragraphs out and answers back (Eq. 19). Both
         // directions are charged.
         let qa_bytes = p.p_migrate_qa * (p.question_bytes + p.answers_requested * p.answer_bytes);
-        let pr_bytes = p.p_migrate_pr
-            * (p.keywords_per_question * p.keyword_bytes + p.retrieved_bytes());
-        let ap_bytes = p.p_migrate_ap
-            * (p.accepted_bytes() + p.answers_requested * p.answer_bytes);
+        let pr_bytes =
+            p.p_migrate_pr * (p.keywords_per_question * p.keyword_bytes + p.retrieved_bytes());
+        let ap_bytes = p.p_migrate_ap * (p.accepted_bytes() + p.answers_requested * p.answer_bytes);
         let bytes = 2.0 * (qa_bytes + pr_bytes + ap_bytes);
         // Effective per-flow bandwidth: B_net shared by N·q·p_net flows.
         let contention = (n as f64 * p.questions_per_node * p.p_net).max(1.0);

@@ -149,8 +149,7 @@ mod tests {
         assert!(by(Parameter::ParagraphBytes).n_max <= by(Parameter::ParagraphBytes).n_max_base);
         // A larger constant control cost → lower limit.
         assert!(
-            by(Parameter::PartitionConstant).n_max
-                <= by(Parameter::PartitionConstant).n_max_base
+            by(Parameter::PartitionConstant).n_max <= by(Parameter::PartitionConstant).n_max_base
         );
         // Faster disks shrink T_par → lower practical limit (Table 4 columns).
         assert!(by(Parameter::DiskBandwidth).n_max <= by(Parameter::DiskBandwidth).n_max_base);

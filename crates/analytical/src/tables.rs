@@ -121,10 +121,7 @@ mod tests {
         let fig = figure8a(1000, 100);
         assert_eq!(fig.len(), 3);
         // Faster network → higher curve at N = 1000-ish.
-        let last: Vec<f64> = fig
-            .iter()
-            .map(|(_, c)| c.last().unwrap().speedup)
-            .collect();
+        let last: Vec<f64> = fig.iter().map(|(_, c)| c.last().unwrap().speedup).collect();
         assert!(last[0] < last[1] && last[1] < last[2], "{last:?}");
     }
 

@@ -14,9 +14,7 @@ fn bench_corpus(c: &mut Criterion) {
         b.iter(|| black_box(QuestionGenerator::new(&corpus, 1).generate(100)))
     });
 
-    c.bench_function("corpus/stats", |b| {
-        b.iter(|| black_box(corpus.stats()))
-    });
+    c.bench_function("corpus/stats", |b| b.iter(|| black_box(corpus.stats())));
 }
 
 criterion_group!(benches, bench_corpus);

@@ -29,12 +29,8 @@ fn bench_sim(c: &mut Criterion) {
 
     c.bench_function("sim/low_load_4_nodes_4_questions", |b| {
         b.iter(|| {
-            let cfg = SimConfig::paper_low_load(
-                4,
-                PartitionStrategy::Recv { chunk_size: 40 },
-                4,
-                9,
-            );
+            let cfg =
+                SimConfig::paper_low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, 4, 9);
             black_box(QaSimulation::new(cfg).run())
         })
     });

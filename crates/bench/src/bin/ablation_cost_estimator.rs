@@ -15,12 +15,7 @@ fn pr_time(nodes: usize, cost_aware: bool, cv: f64) -> f64 {
         let cfg = SimConfig {
             pr_cost_aware: cost_aware,
             pr_estimate_cv: cv,
-            ..SimConfig::paper_low_load(
-                nodes,
-                PartitionStrategy::Recv { chunk_size: 40 },
-                10,
-                seed,
-            )
+            ..SimConfig::paper_low_load(nodes, PartitionStrategy::Recv { chunk_size: 40 }, 10, seed)
         };
         total += QaSimulation::new(cfg).run().mean_timings().pr;
     }

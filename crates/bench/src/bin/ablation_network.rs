@@ -23,7 +23,10 @@ fn throughput(nodes: usize, mbps: f64, switched: bool) -> f64 {
 fn main() {
     println!("Ablation — shared segment vs switched network (8-node DQA high load,");
     println!("mean throughput in questions/minute)\n");
-    println!("{:>12}{:>12}{:>12}{:>12}", "bandwidth", "shared", "switched", "gain");
+    println!(
+        "{:>12}{:>12}{:>12}{:>12}",
+        "bandwidth", "shared", "switched", "gain"
+    );
     for mbps in [2.0, 10.0, 100.0] {
         let shared = throughput(8, mbps, false);
         let switched = throughput(8, mbps, true);

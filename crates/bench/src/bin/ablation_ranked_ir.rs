@@ -30,10 +30,12 @@ fn main() {
             continue;
         };
         let boolean = retriever.retrieve_all(&p.keywords);
-        let ranked = ranked_shards.iter().fold(RetrievalResult::default(), |mut acc, idx| {
-            acc.merge(ranked_retrieve(idx, &f.store, &p.keywords, 24, 2));
-            acc
-        });
+        let ranked = ranked_shards
+            .iter()
+            .fold(RetrievalResult::default(), |mut acc, idx| {
+                acc.merge(ranked_retrieve(idx, &f.store, &p.keywords, 24, 2));
+                acc
+            });
         for (i, result) in [&boolean, &ranked].into_iter().enumerate() {
             let scored = score_paragraphs(result.paragraphs.clone(), &p.keywords);
             let accepted = order_paragraphs(scored, cfg.po_threshold, cfg.max_accepted);
@@ -45,7 +47,10 @@ fn main() {
                 })
                 .collect();
             let answers = extract_answers(&items, &p, &ner, &cfg);
-            let hit = answers.answers.iter().any(|a| a.candidate == gq.expected_answer);
+            let hit = answers
+                .answers
+                .iter()
+                .any(|a| a.candidate == gq.expected_answer);
             stats[i][0] += hit as u32 as f64;
             stats[i][1] += result.paragraphs.len() as f64;
             stats[i][2] += result.io_bytes as f64 / 1e6;
@@ -53,12 +58,18 @@ fn main() {
     }
 
     let n = f.questions.len() as f64;
-    println!("Ablation — Boolean vs BM25 PR front-end ({} questions)\n", f.questions.len());
+    println!(
+        "Ablation — Boolean vs BM25 PR front-end ({} questions)\n",
+        f.questions.len()
+    );
     println!(
         "{:<22}{:>14}{:>18}{:>14}",
         "", "answer hit %", "paragraphs/query", "disk MB/query"
     );
-    for (i, label) in ["Boolean + relaxation", "BM25 top-24/shard"].iter().enumerate() {
+    for (i, label) in ["Boolean + relaxation", "BM25 top-24/shard"]
+        .iter()
+        .enumerate()
+    {
         println!(
             "{:<22}{:>13.1}%{:>18.1}{:>14.2}",
             label,

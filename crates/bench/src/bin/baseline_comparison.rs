@@ -8,7 +8,10 @@ use cluster_sim::experiments::{baseline_comparison, BASELINE_ORDER};
 const SEEDS: [u64; 5] = [2001, 2002, 2003, 2004, 2005];
 
 fn main() {
-    println!("Extended baseline comparison (mean of {} runs)\n", SEEDS.len());
+    println!(
+        "Extended baseline comparison (mean of {} runs)\n",
+        SEEDS.len()
+    );
     println!(
         "{:<14}{:>8}{:>8}{:>10}{:>8}{:>8}",
         "", "DNS", "SID", "Gradient", "INTER", "DQA"

@@ -9,7 +9,10 @@ fn main() {
     for (label, strategy) in [
         ("(a) SEND for AP", PartitionStrategy::Send),
         ("(b) ISEND for AP", PartitionStrategy::Isend),
-        ("(c) RECV for AP (40-paragraph chunks)", PartitionStrategy::Recv { chunk_size: 40 }),
+        (
+            "(c) RECV for AP (40-paragraph chunks)",
+            PartitionStrategy::Recv { chunk_size: 40 },
+        ),
     ] {
         let cfg = SimConfig {
             record_trace: true,

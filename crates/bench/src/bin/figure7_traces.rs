@@ -9,9 +9,15 @@ use scheduler::partition::PartitionStrategy;
 fn main() {
     let f = QaFixture::trec_like(226, 3);
     for (label, strategy) in [
-        ("(a) RECV for PR/PS and SEND for AP", PartitionStrategy::Send),
+        (
+            "(a) RECV for PR/PS and SEND for AP",
+            PartitionStrategy::Send,
+        ),
         ("(b) ISEND for AP", PartitionStrategy::Isend),
-        ("(c) RECV for AP", PartitionStrategy::Recv { chunk_size: 20 }),
+        (
+            "(c) RECV for AP",
+            PartitionStrategy::Recv { chunk_size: 20 },
+        ),
     ] {
         let cluster = Cluster::start(
             f.retriever(),

@@ -9,7 +9,10 @@ fn main() {
     println!("{:>12}{:>24}", "concurrent", "relative throughput");
     for p in concurrency_experiment(8, 2001) {
         let bar = "#".repeat((p.relative_throughput * 20.0) as usize);
-        println!("{:>12}{:>14.2}   {}", p.concurrent, p.relative_throughput, bar);
+        println!(
+            "{:>12}{:>14.2}   {}",
+            p.concurrent, p.relative_throughput, bar
+        );
     }
     println!("\npaper: 2–3 simultaneous questions beat sequential; >4 falls below it");
 }

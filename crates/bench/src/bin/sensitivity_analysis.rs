@@ -7,9 +7,14 @@ use qa_types::{SystemParams, Trec9Profile};
 fn main() {
     let params = SystemParams::trec9();
     let profile = Trec9Profile::complex();
-    println!("Sensitivity of N_max to ±50% parameter changes (baseline N_max = {})\n",
-        analytical::IntraQuestionModel::new(params, profile).n_max());
-    println!("{:<24}{:>12}{:>12}{:>14}", "parameter", "×0.5", "×1.5", "elasticity");
+    println!(
+        "Sensitivity of N_max to ±50% parameter changes (baseline N_max = {})\n",
+        analytical::IntraQuestionModel::new(params, profile).n_max()
+    );
+    println!(
+        "{:<24}{:>12}{:>12}{:>14}",
+        "parameter", "×0.5", "×1.5", "elasticity"
+    );
     let up = sweep(params, profile, 1.5);
     let down = sweep(params, profile, 0.5);
     for p in Parameter::ALL {

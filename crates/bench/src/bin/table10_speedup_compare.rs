@@ -28,7 +28,10 @@ fn main() {
         println!(
             "{:<14}{:>12.2}{:>12.2}{:>18.2} / {:.2}",
             format!("{nodes} processors"),
-            analytical, measured, pa, pm
+            analytical,
+            measured,
+            pa,
+            pm
         );
     }
     println!("\nshape check: measured < analytical at every size (uneven partition");

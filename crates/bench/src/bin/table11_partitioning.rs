@@ -3,8 +3,11 @@
 
 use cluster_sim::experiments::partition_comparison;
 
-const PAPER: [(usize, f64, f64, f64); 3] =
-    [(4, 2.71, 3.61, 3.73), (8, 4.78, 6.25, 6.58), (12, 7.17, 9.22, 9.87)];
+const PAPER: [(usize, f64, f64, f64); 3] = [
+    (4, 2.71, 3.61, 3.73),
+    (8, 4.78, 6.25, 6.58),
+    (12, 7.17, 9.22, 9.87),
+];
 
 fn main() {
     println!("Table 11 — AP speedup by partitioning strategy\n");
@@ -17,7 +20,12 @@ fn main() {
         println!(
             "{:<14}{:>8.2}{:>8.2}{:>8.2}{:>16.2}{:>7.2}{:>7.2}",
             format!("{} processors", r.nodes),
-            r.send, r.isend, r.recv, ps, pi, pr
+            r.send,
+            r.isend,
+            r.recv,
+            ps,
+            pi,
+            pr
         );
     }
     println!("\nshape check: SEND worst by far; RECV best, ISEND close behind");

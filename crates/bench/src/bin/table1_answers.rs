@@ -22,11 +22,18 @@ fn main() {
                     "    answer  ... {} ... [{}]  ({})",
                     a.text,
                     a.candidate,
-                    if hit { "expected answer ranked" } else { "expected answer missed" }
+                    if hit {
+                        "expected answer ranked"
+                    } else {
+                        "expected answer missed"
+                    }
                 );
             }
             None => println!("    answer  (none found)"),
         }
-        println!("    truth   {} in paragraph {}\n", gq.expected_answer, gq.source);
+        println!(
+            "    truth   {} in paragraph {}\n",
+            gq.expected_answer, gq.source
+        );
     }
 }

@@ -11,7 +11,10 @@ use qa_types::{ModuleTimings, Trec8Profile, Trec9Profile};
 
 fn main() {
     println!("Table 2 — % of task time per module\n");
-    println!("{:<8}{:>12}{:>12}{:>16}", "Module", "TREC-8", "TREC-9", "ours (real)");
+    println!(
+        "{:<8}{:>12}{:>12}{:>16}",
+        "Module", "TREC-8", "TREC-9", "ours (real)"
+    );
     let t8 = Trec8Profile::profile().times;
     let t9 = Trec9Profile::average().times;
 

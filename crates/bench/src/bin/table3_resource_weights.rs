@@ -28,13 +28,27 @@ fn main() {
     }
 
     println!("Table 3 — resource weights (CPU / DISK)\n");
-    println!("{:<6}{:>10}{:>10}{:>22}", "", "CPU", "DISK", "paper (CPU/DISK)");
+    println!(
+        "{:<6}{:>10}{:>10}{:>22}",
+        "", "CPU", "DISK", "paper (CPU/DISK)"
+    );
     let qa = est.task_weights().expect("observations");
-    println!("{:<6}{:>10.2}{:>10.2}{:>22}", "QA", qa.cpu, qa.disk, "0.79 / 0.21");
+    println!(
+        "{:<6}{:>10.2}{:>10.2}{:>22}",
+        "QA", qa.cpu, qa.disk, "0.79 / 0.21"
+    );
     let pr = est.weights(QaModule::Pr).expect("PR observed");
-    println!("{:<6}{:>10.2}{:>10.2}{:>22}", "PR", pr.cpu, pr.disk, "0.20 / 0.80");
+    println!(
+        "{:<6}{:>10.2}{:>10.2}{:>22}",
+        "PR", pr.cpu, pr.disk, "0.20 / 0.80"
+    );
     let ap = est.weights(QaModule::Ap).expect("AP observed");
-    println!("{:<6}{:>10.2}{:>10.2}{:>22}", "AP", ap.cpu, ap.disk, "1.00 / 0.00");
+    println!(
+        "{:<6}{:>10.2}{:>10.2}{:>22}",
+        "AP", ap.cpu, ap.disk, "1.00 / 0.00"
+    );
     println!("\n(the modern in-memory index makes our PR less disk-heavy than 2001 hardware;");
-    println!(" the qualitative split — PR disk-dominated, AP pure CPU — is the load-balancing input)");
+    println!(
+        " the qualitative split — PR disk-dominated, AP pure CPU — is the load-balancing input)"
+    );
 }

@@ -13,7 +13,10 @@ const PAPER: [[(u32, f64); 4]; 4] = [
 
 fn main() {
     println!("Table 4 — practical processor limits (N) and speedups (S)\n");
-    println!("{:<12}{:>24}{:>24}{:>24}{:>24}", "disk \\ net", "1 Mbps", "10 Mbps", "100 Mbps", "1 Gbps");
+    println!(
+        "{:<12}{:>24}{:>24}{:>24}{:>24}",
+        "disk \\ net", "1 Mbps", "10 Mbps", "100 Mbps", "1 Gbps"
+    );
     for (row, cells) in table4().chunks(4).enumerate() {
         let mut line = format!("{:<12}", fmt_bandwidth(cells[0].disk_bandwidth));
         for (col, c) in cells.iter().enumerate() {

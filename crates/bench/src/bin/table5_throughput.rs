@@ -12,7 +12,10 @@ const PAPER: [(usize, f64, f64, f64); 3] = [
 ];
 
 fn main() {
-    println!("Table 5 — throughput (questions/minute, mean of {} runs)\n", SEEDS.len());
+    println!(
+        "Table 5 — throughput (questions/minute, mean of {} runs)\n",
+        SEEDS.len()
+    );
     println!(
         "{:<14}{:>8}{:>8}{:>8}{:>26}",
         "", "DNS", "INTER", "DQA", "paper (DNS/INTER/DQA)"
@@ -22,8 +25,12 @@ fn main() {
         println!(
             "{:<14}{:>8.2}{:>8.2}{:>8.2}{:>14.2}{:>6.2}{:>6.2}",
             format!("{nodes} processors"),
-            s.throughput[0], s.throughput[1], s.throughput[2],
-            pd, pi, pq
+            s.throughput[0],
+            s.throughput[1],
+            s.throughput[2],
+            pd,
+            pi,
+            pq
         );
     }
     println!("\nshape check: DNS < INTER < DQA at every size");

@@ -11,7 +11,10 @@ const PAPER: [(usize, f64, f64, f64); 3] = [
 ];
 
 fn main() {
-    println!("Table 6 — average question response times (seconds, mean of {} runs)\n", SEEDS.len());
+    println!(
+        "Table 6 — average question response times (seconds, mean of {} runs)\n",
+        SEEDS.len()
+    );
     println!(
         "{:<14}{:>9}{:>9}{:>9}{:>30}",
         "", "DNS", "INTER", "DQA", "paper (DNS/INTER/DQA)"
@@ -21,8 +24,12 @@ fn main() {
         println!(
             "{:<14}{:>9.1}{:>9.1}{:>9.1}{:>14.1}{:>8.1}{:>8.1}",
             format!("{nodes} processors"),
-            s.response_time[0], s.response_time[1], s.response_time[2],
-            pd, pi, pq
+            s.response_time[0],
+            s.response_time[1],
+            s.response_time[2],
+            pd,
+            pi,
+            pq
         );
     }
     println!("\nshape check: DQA lowest latency at every size");

@@ -6,20 +6,32 @@ use cluster_sim::experiments::load_balancing_summary;
 const SEEDS: [u64; 5] = [2001, 2002, 2003, 2004, 2005];
 
 fn main() {
-    println!("Table 7 — migrations at the three scheduling points (mean of {} runs)\n", SEEDS.len());
+    println!(
+        "Table 7 — migrations at the three scheduling points (mean of {} runs)\n",
+        SEEDS.len()
+    );
     println!(
         "{:<22}{:>12}{:>24}{:>32}",
         "", "INTER: QA", "DQA: QA / PR / AP", "paper INTER-QA, DQA QA/PR/AP"
     );
-    let paper = [(4, 8, (17, 10, 10)), (8, 15, (26, 34, 33)), (12, 23, (37, 43, 41))];
+    let paper = [
+        (4, 8, (17, 10, 10)),
+        (8, 15, (26, 34, 33)),
+        (12, 23, (37, 43, 41)),
+    ];
     for &(nodes, p_inter, (pq, pp, pa)) in &paper {
         let s = load_balancing_summary(nodes, &SEEDS);
         println!(
             "{:<22}{:>12.1}{:>12.1} / {:>5.1} / {:>5.1}{:>14} {:>2}/{:>2}/{:>2}",
             format!("{} questions ({}p)", 8 * nodes, nodes),
             s.inter_qa,
-            s.dqa_migrations[0], s.dqa_migrations[1], s.dqa_migrations[2],
-            p_inter, pq, pp, pa
+            s.dqa_migrations[0],
+            s.dqa_migrations[1],
+            s.dqa_migrations[2],
+            p_inter,
+            pq,
+            pp,
+            pa
         );
     }
     println!("\nshape check: PR and AP dispatchers are active (they frequently override");

@@ -28,7 +28,12 @@ fn main() {
             t.po,
             t.ap,
             row.report.mean_response_time(),
-            p[0], p[1], p[2], p[3], p[4], p[5]
+            p[0],
+            p[1],
+            p[2],
+            p[3],
+            p[4],
+            p[5]
         );
     }
     println!("\nnotes: PS runs fused with its PR partition (Fig. 3), so our PR column");

@@ -19,8 +19,14 @@ fn main() {
         let o = row.report.mean_overhead();
         println!(
             "{:<8}{:>9.3}{:>9.3}{:>9.3}{:>9.3}{:>9.3}{:>9.3}   {:.2}",
-            row.nodes, o.kw_send, o.par_recv, o.par_send, o.ans_recv, o.ans_sort,
-            o.total(), paper.1[5]
+            row.nodes,
+            o.kw_send,
+            o.par_recv,
+            o.par_send,
+            o.ans_recv,
+            o.ans_sort,
+            o.total(),
+            paper.1[5]
         );
     }
     println!("\nshape check: paragraph transfers dominate; total stays well under 3 %");

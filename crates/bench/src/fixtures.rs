@@ -39,8 +39,11 @@ impl QaFixture {
             corpus.config.sub_collections,
         ));
         let store = Arc::new(DocumentStore::new(corpus.documents.clone()));
-        let retriever =
-            ParagraphRetriever::new(Arc::clone(&index), Arc::clone(&store), RetrievalConfig::default());
+        let retriever = ParagraphRetriever::new(
+            Arc::clone(&index),
+            Arc::clone(&store),
+            RetrievalConfig::default(),
+        );
         let pipeline = QaPipeline::new(
             retriever,
             NamedEntityRecognizer::standard(),

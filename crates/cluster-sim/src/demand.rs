@@ -38,9 +38,8 @@ impl QuestionDemand {
     /// Sample demands for question `index` of a run seeded with `seed`.
     /// Pure function of `(profile, seed, index)`.
     pub fn sample(profile: &ModuleProfile, seed: u64, index: u64) -> QuestionDemand {
-        let mut rng = SmallRng::seed_from_u64(
-            seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(index),
-        );
+        let mut rng =
+            SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(index));
 
         // Whole-question scale: lognormal with CV 0.6, mean 1.
         let scale = lognormal_mean1(0.6).sample(&mut rng);
@@ -80,8 +79,9 @@ impl QuestionDemand {
             *d *= rank_noise.sample(&mut rng);
         }
 
-        let memory =
-            rng.gen_range(profile.question_memory_lo..=profile.question_memory_hi.max(profile.question_memory_lo));
+        let memory = rng.gen_range(
+            profile.question_memory_lo..=profile.question_memory_hi.max(profile.question_memory_lo),
+        );
 
         QuestionDemand {
             qp: profile.times.qp * scale,
@@ -174,7 +174,10 @@ mod tests {
                 high_spread += 1;
             }
         }
-        assert!(high_spread > 25, "only {high_spread}/50 questions show spread");
+        assert!(
+            high_spread > 25,
+            "only {high_spread}/50 questions show spread"
+        );
     }
 
     #[test]
@@ -186,8 +189,10 @@ mod tests {
         // substantially heavier on average than the bottom quarter.
         let q = d.ap_per_paragraph.len() / 4;
         let head: f64 = d.ap_per_paragraph[..q].iter().sum::<f64>() / q as f64;
-        let tail: f64 =
-            d.ap_per_paragraph[d.ap_per_paragraph.len() - q..].iter().sum::<f64>() / q as f64;
+        let tail: f64 = d.ap_per_paragraph[d.ap_per_paragraph.len() - q..]
+            .iter()
+            .sum::<f64>()
+            / q as f64;
         assert!(head > 1.5 * tail, "head {head:.4} vs tail {tail:.4}");
         // And it must NOT be perfectly sorted (the noise is there).
         assert!(

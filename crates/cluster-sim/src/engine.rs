@@ -233,7 +233,12 @@ impl<T> Engine<T> {
             }
             if let Some(id) = zero_done {
                 let task = self.tasks.get_mut(&id).expect("present");
-                if task.stages.front().map(|s| s.remaining <= 0.0).unwrap_or(false) {
+                if task
+                    .stages
+                    .front()
+                    .map(|s| s.remaining <= 0.0)
+                    .unwrap_or(false)
+                {
                     task.stages.pop_front();
                 }
                 if task.stages.is_empty() {
@@ -444,7 +449,11 @@ mod tests {
     fn multi_stage_task_transitions() {
         let mut e = Engine::new(1, 10.0);
         e.spawn(
-            vec![Stage::disk(n(0), 1.0), Stage::cpu(n(0), 2.0), Stage::net(10.0)],
+            vec![
+                Stage::disk(n(0), 1.0),
+                Stage::cpu(n(0), 2.0),
+                Stage::net(10.0),
+            ],
             "pipeline",
         );
         let done = run_all(&mut e);

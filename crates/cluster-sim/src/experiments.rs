@@ -116,7 +116,11 @@ pub struct PartitionRow {
 }
 
 /// Table 11: SEND vs ISEND vs RECV for the AP module.
-pub fn partition_comparison(node_counts: &[usize], questions: usize, seed: u64) -> Vec<PartitionRow> {
+pub fn partition_comparison(
+    node_counts: &[usize],
+    questions: usize,
+    seed: u64,
+) -> Vec<PartitionRow> {
     let base = QaSimulation::new(SimConfig::paper_low_load(
         1,
         PartitionStrategy::Recv { chunk_size: 40 },
@@ -292,11 +296,7 @@ pub fn load_ramp(nodes: usize, gaps: &[f64], seed: u64) -> Vec<RampPoint> {
                 ..SimConfig::paper_high_load(nodes, BalancingStrategy::Dqa, seed)
             };
             let r = QaSimulation::new(cfg).run();
-            let mean_ap_nodes = r
-                .questions
-                .iter()
-                .map(|q| q.ap_nodes as f64)
-                .sum::<f64>()
+            let mean_ap_nodes = r.questions.iter().map(|q| q.ap_nodes as f64).sum::<f64>()
                 / r.questions.len().max(1) as f64;
             RampPoint {
                 arrival_gap: gap,
@@ -326,7 +326,10 @@ mod tests {
             busy.mean_ap_nodes
         );
         assert!(idle.response_time < busy.response_time);
-        assert!(busy.throughput > idle.throughput, "burst completes more per minute");
+        assert!(
+            busy.throughput > idle.throughput,
+            "burst completes more per minute"
+        );
     }
 
     #[test]
@@ -406,7 +409,10 @@ mod tests {
         let s40 = pts[1].ap_speedup;
         let s200 = pts[2].ap_speedup;
         assert!(s40 > s5, "chunk 40 {s40:.2} should beat chunk 5 {s5:.2}");
-        assert!(s40 > s200, "chunk 40 {s40:.2} should beat chunk 200 {s200:.2}");
+        assert!(
+            s40 > s200,
+            "chunk 40 {s40:.2} should beat chunk 200 {s200:.2}"
+        );
     }
 
     #[test]
@@ -444,8 +450,10 @@ mod tests {
             .map(|p| p.relative_throughput)
             .fold(f64::MIN, f64::max);
         assert!(pts[4].relative_throughput < peak, "{pts:?}");
-        assert!(pts[5].relative_throughput < pts[4].relative_throughput + 0.05, "{pts:?}");
+        assert!(
+            pts[5].relative_throughput < pts[4].relative_throughput + 0.05,
+            "{pts:?}"
+        );
         assert!(pts[5].relative_throughput < 1.1, "{pts:?}");
     }
 }
-

@@ -333,7 +333,10 @@ impl SimReport {
         if self.questions.is_empty() {
             return 0.0;
         }
-        self.questions.iter().map(QuestionRecord::response_time).sum::<f64>()
+        self.questions
+            .iter()
+            .map(QuestionRecord::response_time)
+            .sum::<f64>()
             / self.questions.len() as f64
     }
 
@@ -369,10 +372,22 @@ impl SimReport {
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Tag {
     Qp(usize),
-    PrPart { q: usize, node: NodeId, collection: u32 },
+    PrPart {
+        q: usize,
+        node: NodeId,
+        collection: u32,
+    },
     PoMerge(usize),
-    ApPart { q: usize, node: NodeId, paragraphs: u32 },
-    ApChunk { q: usize, node: NodeId, paragraphs: u32 },
+    ApPart {
+        q: usize,
+        node: NodeId,
+        paragraphs: u32,
+    },
+    ApChunk {
+        q: usize,
+        node: NodeId,
+        paragraphs: u32,
+    },
     ApSort(usize),
 }
 
@@ -410,7 +425,8 @@ struct QState {
     ap_outstanding: usize,
     ap_nodes_used: Vec<NodeId>,
     /// SEND/ISEND in-flight partitions, kept for Fig. 5c failure recovery.
-    ap_partitions: std::collections::HashMap<NodeId, Vec<usize>>,
+    /// Ordered map: partition dispatch/recovery order must be seed-stable.
+    ap_partitions: std::collections::BTreeMap<NodeId, Vec<usize>>,
 }
 
 /// The simulation controller.
@@ -485,7 +501,7 @@ impl QaSimulation {
                     ap_queue: None,
                     ap_outstanding: 0,
                     ap_nodes_used: Vec::new(),
-                    ap_partitions: std::collections::HashMap::new(),
+                    ap_partitions: std::collections::BTreeMap::new(),
                 }
             })
             .collect();
@@ -587,7 +603,9 @@ impl QaSimulation {
             // Immediate arrival?
             if let Some(t) = next_arrival_t {
                 if t <= self.engine.now()
-                    && next_failure_t.map(|ft| ft > self.engine.now()).unwrap_or(true)
+                    && next_failure_t
+                        .map(|ft| ft > self.engine.now())
+                        .unwrap_or(true)
                 {
                     self.submit(self.next_arrival);
                     self.next_arrival += 1;
@@ -649,9 +667,9 @@ impl QaSimulation {
 
         let killed = self.engine.kill_where(|tag| match *tag {
             Tag::Qp(q) => self.states[q].home == node,
-            Tag::PrPart { node: n, .. } | Tag::ApPart { node: n, .. } | Tag::ApChunk { node: n, .. } => {
-                n == node
-            }
+            Tag::PrPart { node: n, .. }
+            | Tag::ApPart { node: n, .. }
+            | Tag::ApChunk { node: n, .. } => n == node,
             Tag::PoMerge(q) | Tag::ApSort(q) => self.states[q].home == node,
         });
 
@@ -763,18 +781,13 @@ impl QaSimulation {
             live
         };
         for node in workers {
-            let outstanding = self
-                .states[q]
+            let outstanding = self.states[q]
                 .ap_queue
                 .as_ref()
                 .map(|x| x.outstanding(node))
                 .unwrap_or(0);
             if outstanding == 0 {
-                let chunk = self
-                    .states[q]
-                    .ap_queue
-                    .as_mut()
-                    .and_then(|x| x.pull(node));
+                let chunk = self.states[q].ap_queue.as_mut().and_then(|x| x.pull(node));
                 if let Some(chunk) = chunk {
                     let c = Self::scaled(Self::ap_commit(), self.states[q].work_scale);
                     self.add_commit(node, c);
@@ -782,8 +795,7 @@ impl QaSimulation {
                 }
             }
         }
-        let drained = self
-            .states[q]
+        let drained = self.states[q]
             .ap_queue
             .as_ref()
             .map(|x| x.drained())
@@ -932,19 +944,18 @@ impl QaSimulation {
         let decision = match self.cfg.strategy {
             BalancingStrategy::Dns => None,
             BalancingStrategy::Inter | BalancingStrategy::Dqa => {
-                self.dispatcher.decide(QaModule::Qp, dns_home, &self.loads())
+                self.dispatcher
+                    .decide(QaModule::Qp, dns_home, &self.loads())
             }
             BalancingStrategy::SenderDiffusion => {
                 let f = self.functions;
-                SenderDiffusion::default().decide(dns_home, &self.loads(), |v| {
-                    f.load_for(QaModule::Qp, v)
-                })
+                SenderDiffusion::default()
+                    .decide(dns_home, &self.loads(), |v| f.load_for(QaModule::Qp, v))
             }
             BalancingStrategy::Gradient => {
                 let f = self.functions;
-                GradientModel::default().decide(dns_home, &self.loads(), |v| {
-                    f.load_for(QaModule::Qp, v)
-                })
+                GradientModel::default()
+                    .decide(dns_home, &self.loads(), |v| f.load_for(QaModule::Qp, v))
             }
         };
         let home = match decision {
@@ -956,7 +967,13 @@ impl QaSimulation {
         };
 
         self.host_question(q, home);
-        self.record(q, SimEventKind::Submitted { dns: dns_home, home });
+        self.record(
+            q,
+            SimEventKind::Submitted {
+                dns: dns_home,
+                home,
+            },
+        );
         self.in_flight += 1;
         let st = &mut self.states[q];
         st.arrival = now.max(st.arrival);
@@ -973,7 +990,11 @@ impl QaSimulation {
                 self.states[q].timings.accumulate(QaModule::Qp, dt);
                 self.start_pr(q, at);
             }
-            Tag::PrPart { q, node, collection } => {
+            Tag::PrPart {
+                q,
+                node,
+                collection,
+            } => {
                 self.record(q, SimEventKind::PrChunkDone { node, collection });
                 let c = Self::scaled(Self::pr_commit(), self.states[q].work_scale);
                 self.remove_commit(node, c);
@@ -995,7 +1016,11 @@ impl QaSimulation {
                 self.states[q].timings.accumulate(QaModule::Po, dt);
                 self.start_ap(q, at);
             }
-            Tag::ApPart { q, node, paragraphs } => {
+            Tag::ApPart {
+                q,
+                node,
+                paragraphs,
+            } => {
                 self.record(q, SimEventKind::ApBatchDone { node, paragraphs });
                 let c = Self::scaled(Self::ap_commit(), self.states[q].work_scale);
                 self.remove_commit(node, c);
@@ -1007,15 +1032,18 @@ impl QaSimulation {
                     self.start_sort(q, at);
                 }
             }
-            Tag::ApChunk { q, node, paragraphs } => {
+            Tag::ApChunk {
+                q,
+                node,
+                paragraphs,
+            } => {
                 self.record(q, SimEventKind::ApBatchDone { node, paragraphs });
                 self.states[q].ap_outstanding -= 1;
                 {
                     let queue = self.states[q].ap_queue.as_mut().expect("recv mode");
                     queue.complete_one(node);
                 }
-                let next = self
-                    .states[q]
+                let next = self.states[q]
                     .ap_queue
                     .as_mut()
                     .expect("recv mode")
@@ -1095,9 +1123,8 @@ impl QaSimulation {
                 .iter()
                 .enumerate()
                 .map(|(c, &d)| {
-                    let mut rng = rand::rngs::SmallRng::seed_from_u64(
-                        seed ^ (q as u64) << 8 ^ c as u64,
-                    );
+                    let mut rng =
+                        rand::rngs::SmallRng::seed_from_u64(seed ^ (q as u64) << 8 ^ c as u64);
                     let noise: f64 = 1.0 + cv * (rng.gen::<f64>() - 0.5) * 2.0;
                     d * noise.max(0.1)
                 })
@@ -1170,10 +1197,8 @@ impl QaSimulation {
         let merge_cpu = st.demand.po
             + self.cfg.per_partition_cpu_secs * st.pr_nodes_used.len().saturating_sub(1) as f64;
         let net = self.net_stage(home, bytes);
-        self.engine.spawn(
-            vec![net, Stage::cpu(home, merge_cpu)],
-            Tag::PoMerge(q),
-        );
+        self.engine
+            .spawn(vec![net, Stage::cpu(home, merge_cpu)], Tag::PoMerge(q));
     }
 
     fn start_ap(&mut self, q: usize, now: f64) {
@@ -1194,8 +1219,7 @@ impl QaSimulation {
                 for node in nodes {
                     let c = Self::scaled(Self::ap_commit(), self.states[q].work_scale);
                     self.add_commit(node, c);
-                    let chunk = self
-                        .states[q]
+                    let chunk = self.states[q]
                         .ap_queue
                         .as_mut()
                         .expect("just set")
@@ -1271,7 +1295,14 @@ impl QaSimulation {
         self.states[q].ap_outstanding += 1;
         let paragraphs = items.len() as u32;
         self.states[q].ap_partitions.insert(node, items);
-        self.engine.spawn(stages, Tag::ApPart { q, node, paragraphs });
+        self.engine.spawn(
+            stages,
+            Tag::ApPart {
+                q,
+                node,
+                paragraphs,
+            },
+        );
     }
 
     fn spawn_ap_chunk(&mut self, q: usize, node: NodeId, items: Vec<usize>) {
@@ -1284,7 +1315,14 @@ impl QaSimulation {
         );
         self.states[q].ap_outstanding += 1;
         let paragraphs = items.len() as u32;
-        self.engine.spawn(stages, Tag::ApChunk { q, node, paragraphs });
+        self.engine.spawn(
+            stages,
+            Tag::ApChunk {
+                q,
+                node,
+                paragraphs,
+            },
+        );
     }
 
     fn start_sort(&mut self, q: usize, now: f64) {
@@ -1294,7 +1332,8 @@ impl QaSimulation {
         let home = st.home;
         let sort_cpu = 0.002 * st.ap_nodes_used.len() as f64;
         st.overhead.ans_sort += sort_cpu;
-        self.engine.spawn(vec![Stage::cpu(home, sort_cpu)], Tag::ApSort(q));
+        self.engine
+            .spawn(vec![Stage::cpu(home, sort_cpu)], Tag::ApSort(q));
     }
 
     fn finish(&mut self, q: usize, at: f64) {
@@ -1370,7 +1409,10 @@ mod tests {
         let pr8 = r8.mean_timings().pr;
         let pr12 = r12.mean_timings().pr;
         let ratio = pr12 / pr8;
-        assert!((0.85..=1.15).contains(&ratio), "PR 8n {pr8:.2} vs 12n {pr12:.2}");
+        assert!(
+            (0.85..=1.15).contains(&ratio),
+            "PR 8n {pr8:.2} vs 12n {pr12:.2}"
+        );
     }
 
     #[test]
@@ -1382,8 +1424,7 @@ mod tests {
             let mut tp = 0.0;
             let mut rt = 0.0;
             for seed in [7, 8, 9] {
-                let r =
-                    QaSimulation::new(SimConfig::paper_high_load(nodes, strategy, seed)).run();
+                let r = QaSimulation::new(SimConfig::paper_high_load(nodes, strategy, seed)).run();
                 tp += r.throughput_per_minute();
                 rt += r.mean_response_time();
             }
@@ -1407,13 +1448,19 @@ mod tests {
     #[test]
     fn migrations_counted_only_for_active_dispatchers() {
         let nodes = 4;
-        let dns = QaSimulation::new(SimConfig::paper_high_load(nodes, BalancingStrategy::Dns, 3)).run();
+        let dns =
+            QaSimulation::new(SimConfig::paper_high_load(nodes, BalancingStrategy::Dns, 3)).run();
         assert_eq!(dns.migrations, MigrationCounts::default());
-        let inter =
-            QaSimulation::new(SimConfig::paper_high_load(nodes, BalancingStrategy::Inter, 3)).run();
+        let inter = QaSimulation::new(SimConfig::paper_high_load(
+            nodes,
+            BalancingStrategy::Inter,
+            3,
+        ))
+        .run();
         assert!(inter.migrations.qa > 0, "question dispatcher should fire");
         assert_eq!(inter.migrations.pr, 0);
-        let dqa = QaSimulation::new(SimConfig::paper_high_load(nodes, BalancingStrategy::Dqa, 3)).run();
+        let dqa =
+            QaSimulation::new(SimConfig::paper_high_load(nodes, BalancingStrategy::Dqa, 3)).run();
         assert!(dqa.migrations.pr + dqa.migrations.ap > 0);
     }
 
@@ -1431,19 +1478,14 @@ mod tests {
 
     #[test]
     fn commitments_drain_after_serial_run() {
-        let cfg = SimConfig::paper_low_load(
-            4,
-            PartitionStrategy::Recv { chunk_size: 40 },
-            4,
-            2001,
-        );
+        let cfg = SimConfig::paper_low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, 4, 2001);
         let mut sim = QaSimulation::new(cfg);
         // Drive manually: run to completion, then inspect commitments.
         // (run() consumes self, so replicate its loop via run+rebuild.)
         let report = {
             let residual = {
                 // run a clone-by-rebuild to completion
-                
+
                 QaSimulation::new(SimConfig::paper_low_load(
                     4,
                     PartitionStrategy::Recv { chunk_size: 40 },
@@ -1484,9 +1526,8 @@ mod tests {
         // batch, completed once.
         for q in 0..2 {
             let ev: Vec<_> = r.trace.iter().filter(|e| e.question == q).collect();
-            let count = |pred: &dyn Fn(&SimEventKind) -> bool| {
-                ev.iter().filter(|e| pred(&e.kind)).count()
-            };
+            let count =
+                |pred: &dyn Fn(&SimEventKind) -> bool| ev.iter().filter(|e| pred(&e.kind)).count();
             assert_eq!(count(&|k| matches!(k, SimEventKind::Submitted { .. })), 1);
             assert_eq!(count(&|k| matches!(k, SimEventKind::PrChunkDone { .. })), 8);
             assert_eq!(count(&|k| matches!(k, SimEventKind::PoMerged { .. })), 1);
@@ -1533,7 +1574,10 @@ mod tests {
             .map(QuestionRecord::response_time)
             .fold(f64::MIN, f64::max);
         assert!((p100 - max).abs() < 1e-9);
-        assert!(r.response_time_percentile(0.0) > 0.0, "p0 = min, nearest rank");
+        assert!(
+            r.response_time_percentile(0.0) > 0.0,
+            "p0 = min, nearest rank"
+        );
     }
 
     #[test]
@@ -1555,7 +1599,10 @@ mod tests {
         };
         let dns = run(BalancingStrategy::Dns, speeds.clone());
         let dqa = run(BalancingStrategy::Dqa, speeds);
-        assert!(dqa > dns, "DQA {dqa:.2} vs DNS {dns:.2} on heterogeneous cluster");
+        assert!(
+            dqa > dns,
+            "DQA {dqa:.2} vs DNS {dns:.2} on heterogeneous cluster"
+        );
         let dns_h = run(BalancingStrategy::Dns, None);
         let dqa_h = run(BalancingStrategy::Dqa, None);
         let gain_hetero = dqa / dns;
@@ -1568,12 +1615,8 @@ mod tests {
 
     #[test]
     fn node_failure_mid_run_recovers_all_questions() {
-        let mut cfg = SimConfig::paper_low_load(
-            4,
-            PartitionStrategy::Recv { chunk_size: 40 },
-            6,
-            77,
-        );
+        let mut cfg =
+            SimConfig::paper_low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, 6, 77);
         // Kill node 2 early: several questions lose PR/AP sub-tasks.
         cfg.node_failures = vec![(30.0, 2)];
         let r = QaSimulation::new(cfg).run();

@@ -15,8 +15,21 @@ use std::sync::Arc;
 /// Verbs used by the sentence templates (real English so text reads
 /// plausibly; they index and stem like any other content word).
 const VERBS: &[&str] = &[
-    "visited", "described", "reported", "examined", "built", "opened", "restored", "measured",
-    "observed", "reviewed", "launched", "studied", "painted", "surveyed", "documented",
+    "visited",
+    "described",
+    "reported",
+    "examined",
+    "built",
+    "opened",
+    "restored",
+    "measured",
+    "observed",
+    "reviewed",
+    "launched",
+    "studied",
+    "painted",
+    "surveyed",
+    "documented",
 ];
 
 /// A ground-truth record: an entity planted into a specific paragraph.
@@ -60,7 +73,9 @@ impl Corpus {
         let mut next_doc = 0u32;
 
         for coll in 0..config.sub_collections {
-            let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ coll as u64);
+            let mut rng = SmallRng::seed_from_u64(
+                config.seed.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ coll as u64,
+            );
             for _ in 0..config.docs_per_collection {
                 let doc_id = DocId::new(next_doc);
                 next_doc += 1;
@@ -97,10 +112,7 @@ impl Corpus {
     }
 
     /// Documents belonging to one sub-collection.
-    pub fn sub_collection_docs(
-        &self,
-        id: SubCollectionId,
-    ) -> impl Iterator<Item = &Document> + '_ {
+    pub fn sub_collection_docs(&self, id: SubCollectionId) -> impl Iterator<Item = &Document> + '_ {
         self.documents
             .iter()
             .filter(move |d| d.sub_collection == id)
@@ -199,8 +211,7 @@ fn generate_document(
     let mut paragraphs = Vec::with_capacity(n_paras);
     for p in 0..n_paras {
         let pid = ParagraphId::new(doc_id, p as u32);
-        let n_sents =
-            rng.gen_range(cfg.sentences_per_paragraph.0..=cfg.sentences_per_paragraph.1);
+        let n_sents = rng.gen_range(cfg.sentences_per_paragraph.0..=cfg.sentences_per_paragraph.1);
         let mut text = String::new();
         for s in 0..n_sents {
             if s > 0 {
@@ -357,7 +368,10 @@ mod tests {
     fn sub_collections_partition_documents() {
         let c = corpus();
         let total: usize = (0..c.config.sub_collections)
-            .map(|i| c.sub_collection_docs(SubCollectionId::new(i as u32)).count())
+            .map(|i| {
+                c.sub_collection_docs(SubCollectionId::new(i as u32))
+                    .count()
+            })
             .sum();
         assert_eq!(total, c.documents.len());
         for d in c.sub_collection_docs(SubCollectionId::new(1)) {
@@ -439,7 +453,9 @@ mod tests {
     #[test]
     fn paragraph_text_bounds() {
         let c = corpus();
-        assert!(c.paragraph_text(ParagraphId::new(DocId::new(9999), 0)).is_none());
+        assert!(c
+            .paragraph_text(ParagraphId::new(DocId::new(9999), 0))
+            .is_none());
         let d0 = &c.documents[0];
         assert!(c
             .paragraph_text(ParagraphId::new(d0.id, d0.paragraphs.len() as u32))

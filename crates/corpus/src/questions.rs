@@ -74,7 +74,9 @@ impl<'a> QuestionGenerator<'a> {
                 format!("What organization worked on the {w1} {w2} near the {w3}?")
             }
             AnswerType::Date => format!("When was the {w1} {w2} handled by the {w3} council?"),
-            AnswerType::Quantity => format!("How far does the {w1} {w2} span across the {w3} region?"),
+            AnswerType::Quantity => {
+                format!("How far does the {w1} {w2} span across the {w3} region?")
+            }
             AnswerType::Money => format!("How much did the {w1} {w2} cost in the {w3} ledger?"),
             AnswerType::Nationality => {
                 format!("What is the nationality of those behind the {w1}, the {w2} and the {w3}?")

@@ -65,8 +65,14 @@ mod tests {
         let c = Corpus::generate(CorpusConfig::small(33)).unwrap();
         let s = c.stats();
         let metas = c.metas();
-        assert_eq!(s.documents, metas.iter().map(|m| m.documents).sum::<usize>());
-        assert_eq!(s.paragraphs, metas.iter().map(|m| m.paragraphs).sum::<usize>());
+        assert_eq!(
+            s.documents,
+            metas.iter().map(|m| m.documents).sum::<usize>()
+        );
+        assert_eq!(
+            s.paragraphs,
+            metas.iter().map(|m| m.paragraphs).sum::<usize>()
+        );
         assert_eq!(s.bytes, metas.iter().map(|m| m.bytes).sum::<usize>());
         assert_eq!(s.bytes_per_collection.len(), c.config.sub_collections);
         assert!(s.words > s.paragraphs, "paragraphs contain multiple words");

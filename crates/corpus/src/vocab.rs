@@ -10,8 +10,8 @@ use std::collections::HashSet;
 
 /// Consonant onsets used to synthesize content words.
 const ONSETS: &[&str] = &[
-    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
-    "br", "cl", "dr", "fr", "gr", "pl", "pr", "st", "tr", "sk",
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "br",
+    "cl", "dr", "fr", "gr", "pl", "pr", "st", "tr", "sk",
 ];
 /// Vowel nuclei.
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ou"];
@@ -74,8 +74,8 @@ impl Vocabulary {
             permutations.push(perm);
         }
 
-        let zipf = Zipf::new(cfg.vocab_size as u64, cfg.zipf_exponent)
-            .expect("validated zipf parameters");
+        let zipf =
+            Zipf::new(cfg.vocab_size as u64, cfg.zipf_exponent).expect("validated zipf parameters");
 
         Vocabulary {
             words,
@@ -152,7 +152,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..20_000 {
-            *counts.entry(v.sample(0, &mut rng).to_string()).or_insert(0usize) += 1;
+            *counts
+                .entry(v.sample(0, &mut rng).to_string())
+                .or_insert(0usize) += 1;
         }
         let max = counts.values().max().copied().unwrap();
         // The most frequent word should dominate: Zipf(1.07) gives the top

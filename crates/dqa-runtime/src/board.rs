@@ -71,7 +71,9 @@ impl LoadBoard {
 
     /// Mark a node dead (failure injection) or alive again.
     pub fn set_alive(&self, node: NodeId, alive: bool) {
-        self.rows[node.index()].alive.store(alive, Ordering::Release);
+        self.rows[node.index()]
+            .alive
+            .store(alive, Ordering::Release);
     }
 
     /// Whether a node is alive: flagged alive *and* heartbeat fresh.

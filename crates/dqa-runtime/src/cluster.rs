@@ -113,12 +113,14 @@ impl Cluster {
         let mut senders = Vec::with_capacity(cfg.nodes);
         let mut workers = Vec::with_capacity(cfg.nodes);
         let workers_per_node = cfg.workers_per_node.max(1);
+        let mut spawnless: Vec<NodeId> = Vec::new();
         for i in 0..cfg.nodes {
             let (tx, rx) = unbounded::<Envelope>();
             // Crossbeam channels are MPMC: every service thread of the node
             // consumes from the same queue, so sub-tasks overlap (a
             // disk-bound PR chunk next to a CPU-bound AP batch — the §4.2
             // overlap effect).
+            let mut spawned = 0usize;
             for w in 0..workers_per_node {
                 let ctx = NodeContext {
                     id: NodeId::new(i as u32),
@@ -129,17 +131,29 @@ impl Cluster {
                     heartbeat_every: cfg.heartbeat_every,
                 };
                 let rx = rx.clone();
-                let handle = std::thread::Builder::new()
+                // A node that cannot field all its service threads runs
+                // degraded; one that fields none is treated exactly like a
+                // failed node (recovery re-routes its work).
+                if let Ok(handle) = std::thread::Builder::new()
                     .name(format!("dqa-node-{i}-{w}"))
                     .spawn(move || run_node(ctx, rx))
-                    .expect("spawn node thread");
-                workers.push(handle);
+                {
+                    workers.push(handle);
+                    spawned += 1;
+                }
+            }
+            if spawned == 0 {
+                spawnless.push(NodeId::new(i as u32));
             }
             senders.push(tx);
         }
-        // Give every node one heartbeat so dispatchers see a full pool.
+        // Give every node one heartbeat so dispatchers see a full pool,
+        // then retire the nodes that never came up.
         for i in 0..cfg.nodes {
             board.heartbeat(NodeId::new(i as u32));
+        }
+        for n in spawnless {
+            board.set_alive(n, false);
         }
         let monitors = BroadcastMonitors::start(
             Arc::clone(&board),
@@ -190,7 +204,11 @@ impl Cluster {
     }
 
     /// Answer a question with an explicit DNS placement (tests/examples).
-    pub fn ask_on(&self, dns_home: NodeId, question: &Question) -> Result<DistributedAnswer, QaError> {
+    pub fn ask_on(
+        &self,
+        dns_home: NodeId,
+        question: &Question,
+    ) -> Result<DistributedAnswer, QaError> {
         let mut timings = ModuleTimings::default();
 
         // Scheduling point 1: the question dispatcher, deciding from the
@@ -260,8 +278,11 @@ impl Cluster {
             self.cfg.pipeline.max_accepted,
         );
         let paragraphs_accepted = accepted.len();
-        self.trace
-            .record(question.id, home, TraceKind::ParagraphsMerged(paragraphs_accepted));
+        self.trace.record(
+            question.id,
+            home,
+            TraceKind::ParagraphsMerged(paragraphs_accepted),
+        );
         timings.add_duration(QaModule::Po, t.elapsed());
 
         // Scheduling point 3: AP dispatcher → node set for AP batches.
@@ -366,7 +387,9 @@ impl Cluster {
 
         while !queue.drained() {
             match reply_rx.recv_timeout(self.cfg.subtask_poll) {
-                Ok(SubTaskResult::Paragraphs { node, scored: s, .. }) => {
+                Ok(SubTaskResult::Paragraphs {
+                    node, scored: s, ..
+                }) => {
                     scored.extend(s);
                     queue.complete_one(node);
                     if !dispatch(self, &mut queue, node, &reply_tx) {
@@ -374,7 +397,7 @@ impl Cluster {
                     }
                 }
                 Ok(SubTaskResult::Answers { .. }) => {
-                    unreachable!("AP result on PR channel")
+                    return Err(QaError::Protocol("AP result on PR reply channel".into()))
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     self.reap_failed(&mut queue, &mut active, processed.question.id)?;
@@ -465,7 +488,7 @@ impl Cluster {
                     }
                 }
                 Ok(SubTaskResult::Paragraphs { .. }) => {
-                    unreachable!("PR result on AP channel")
+                    return Err(QaError::Protocol("PR result on AP reply channel".into()))
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     self.reap_failed(&mut queue, &mut active, processed.question.id)?;

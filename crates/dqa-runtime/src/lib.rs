@@ -1,4 +1,10 @@
 #![warn(missing_docs)]
+// Node actors must degrade via the failure-recovery path, never abort; the
+// deny is scoped to non-test builds because unit tests legitimately unwrap.
+// (Workspace [lints] tables cannot be scoped per-crate, hence the attribute;
+// `cargo xtask lint` enforces the same invariant as the `runtime-panic`
+// rule.)
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Thread-backed distributed Q/A runtime.
 //!
 //! Where `cluster-sim` reproduces the paper's *quantitative* results on

@@ -3,8 +3,8 @@
 use crossbeam_channel::Sender;
 use qa_pipeline::scoring::ScoredParagraph;
 use qa_pipeline::{ApItem, PipelineConfig};
-use qa_types::{Keyword, NodeId, QuestionId, RankedAnswers, SubCollectionId};
 use qa_types::ProcessedQuestion;
+use qa_types::{Keyword, NodeId, QuestionId, RankedAnswers, SubCollectionId};
 
 /// A sub-task sent to a worker node.
 #[derive(Debug, Clone)]

@@ -43,8 +43,12 @@ impl BroadcastMonitors {
         let stop = Arc::new(AtomicBool::new(false));
         let epoch = Instant::now();
 
+        // A monitor thread that fails to spawn is survivable: its node
+        // simply never broadcasts, so it ages out of peer views after the
+        // staleness window — the same path as a silent node — and
+        // dispatchers fall back to the shared board.
         let threads = (0..nodes)
-            .map(|i| {
+            .filter_map(|i| {
                 let node = NodeId::new(i as u32);
                 let board = Arc::clone(&board);
                 let views = views.clone();
@@ -72,7 +76,7 @@ impl BroadcastMonitors {
                             std::thread::sleep(interval);
                         }
                     })
-                    .expect("spawn monitor thread")
+                    .ok()
             })
             .collect();
 
@@ -100,11 +104,7 @@ impl BroadcastMonitors {
         let now = self.epoch.elapsed().as_secs_f64();
         let mut table = self.views[observer.index()].lock();
         table.evict_stale(now);
-        table
-            .packets()
-            .iter()
-            .map(|p| (p.node, p.load))
-            .collect()
+        table.packets().iter().map(|p| (p.node, p.load)).collect()
     }
 
     /// Stop all monitor threads and join them.
@@ -180,8 +180,7 @@ mod tests {
         for i in 0..2 {
             board.heartbeat(NodeId::new(i));
         }
-        let monitors =
-            BroadcastMonitors::start(Arc::clone(&board), Duration::from_millis(3), 0.08);
+        let monitors = BroadcastMonitors::start(Arc::clone(&board), Duration::from_millis(3), 0.08);
         let both = wait_until(1000, || monitors.view_from(NodeId::new(0)).len() == 2);
         assert!(both);
         // Node 1 stops broadcasting (kill switch), ages out of node 0's view.

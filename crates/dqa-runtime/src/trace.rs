@@ -123,7 +123,11 @@ mod tests {
         let q2 = QuestionId::new(2);
         log.record(q1, NodeId::new(0), TraceKind::QuestionStart);
         log.record(q2, NodeId::new(1), TraceKind::QuestionStart);
-        log.record(q1, NodeId::new(2), TraceKind::PrChunkStart(SubCollectionId::new(3)));
+        log.record(
+            q1,
+            NodeId::new(2),
+            TraceKind::PrChunkStart(SubCollectionId::new(3)),
+        );
         assert_eq!(log.events().len(), 3);
         assert_eq!(log.for_question(q1).len(), 2);
         assert_eq!(log.for_question(q2).len(), 1);

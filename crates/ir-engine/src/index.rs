@@ -59,7 +59,10 @@ impl SubIndex {
 
     /// Compressed size of all postings (bytes), for I/O cost accounting.
     pub fn compressed_bytes(&self) -> usize {
-        self.postings.values().map(PostingsList::compressed_bytes).sum()
+        self.postings
+            .values()
+            .map(PostingsList::compressed_bytes)
+            .sum()
     }
 
     /// Iterate (term, postings) pairs in unspecified order.

@@ -87,7 +87,12 @@ fn decode_shard(r: &mut Reader<'_>) -> Result<SubIndex, QaError> {
         }
         postings.insert(term, pl);
     }
-    Ok(SubIndex::from_parts(id, postings, doc_ids, term_occurrences))
+    Ok(SubIndex::from_parts(
+        id,
+        postings,
+        doc_ids,
+        term_occurrences,
+    ))
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {

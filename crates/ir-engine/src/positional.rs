@@ -101,17 +101,18 @@ impl PositionalIndex {
             // One position stream per document: title then paragraphs, with
             // a gap between fields so phrases never span them.
             let mut position = 0u32;
-            let mut add_field = |text: &str, grouped: &mut HashMap<String, Vec<(DocId, Vec<u32>)>>| {
-                for term in index_terms(text) {
-                    let entry = grouped.entry(term).or_default();
-                    match entry.last_mut() {
-                        Some((d, ps)) if *d == doc.id => ps.push(position),
-                        _ => entry.push((doc.id, vec![position])),
+            let mut add_field =
+                |text: &str, grouped: &mut HashMap<String, Vec<(DocId, Vec<u32>)>>| {
+                    for term in index_terms(text) {
+                        let entry = grouped.entry(term).or_default();
+                        match entry.last_mut() {
+                            Some((d, ps)) if *d == doc.id => ps.push(position),
+                            _ => entry.push((doc.id, vec![position])),
+                        }
+                        position += 1;
                     }
-                    position += 1;
-                }
-                position += 10;
-            };
+                    position += 10;
+                };
             add_field(&doc.title, &mut grouped);
             for p in &doc.paragraphs {
                 add_field(p, &mut grouped);
@@ -231,7 +232,10 @@ mod tests {
     fn phrase_skips_stopwords_like_indexing() {
         // "University of Kel" indexes as [university, kel]; the phrase query
         // normalizes the same way, so adjacency is in *index-term* space.
-        let idx = index(&["the university of kelmen opened", "university kelmen direct"]);
+        let idx = index(&[
+            "the university of kelmen opened",
+            "university kelmen direct",
+        ]);
         let hits = idx.phrase_docs("university kelmen").unwrap();
         assert_eq!(hits.len(), 2);
     }

@@ -37,12 +37,22 @@ pub enum BooleanQuery {
 impl BooleanQuery {
     /// AND of a term list (the common Falcon query shape).
     pub fn all_of<I: IntoIterator<Item = S>, S: Into<String>>(terms: I) -> BooleanQuery {
-        BooleanQuery::And(terms.into_iter().map(|t| BooleanQuery::Term(t.into())).collect())
+        BooleanQuery::And(
+            terms
+                .into_iter()
+                .map(|t| BooleanQuery::Term(t.into()))
+                .collect(),
+        )
     }
 
     /// OR of a term list.
     pub fn any_of<I: IntoIterator<Item = S>, S: Into<String>>(terms: I) -> BooleanQuery {
-        BooleanQuery::Or(terms.into_iter().map(|t| BooleanQuery::Term(t.into())).collect())
+        BooleanQuery::Or(
+            terms
+                .into_iter()
+                .map(|t| BooleanQuery::Term(t.into()))
+                .collect(),
+        )
     }
 
     /// Evaluate against a shard, producing sorted matching doc ids.
@@ -52,10 +62,7 @@ impl BooleanQuery {
     /// code treats as an unanswerable question.
     pub fn eval(&self, index: &SubIndex) -> Vec<DocId> {
         match self {
-            BooleanQuery::Term(t) => index
-                .postings(t)
-                .map(|p| p.to_vec())
-                .unwrap_or_default(),
+            BooleanQuery::Term(t) => index.postings(t).map(|p| p.to_vec()).unwrap_or_default(),
             BooleanQuery::And(subs) => {
                 let mut lists: Vec<Vec<DocId>> = subs.iter().map(|s| s.eval(index)).collect();
                 // Evaluate cheapest-first: intersecting small lists early
@@ -166,7 +173,10 @@ mod tests {
     #[test]
     fn term_eval() {
         let idx = index();
-        assert_eq!(BooleanQuery::Term("alpha".into()).eval(&idx), ids(&[0, 1, 2]));
+        assert_eq!(
+            BooleanQuery::Term("alpha".into()).eval(&idx),
+            ids(&[0, 1, 2])
+        );
         assert_eq!(BooleanQuery::Term("nope".into()).eval(&idx), ids(&[]));
     }
 
@@ -209,7 +219,10 @@ mod tests {
     #[test]
     fn quorum_relaxation() {
         let idx = index();
-        let terms: Vec<String> = ["alpha", "beta", "gamma"].iter().map(|s| s.to_string()).collect();
+        let terms: Vec<String> = ["alpha", "beta", "gamma"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(quorum(&idx, &terms, 3), ids(&[0]));
         assert_eq!(quorum(&idx, &terms, 2), ids(&[0, 1]));
         assert_eq!(quorum(&idx, &terms, 1), ids(&[0, 1, 2, 4]));

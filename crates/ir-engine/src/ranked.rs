@@ -48,12 +48,13 @@ impl RankedIndex {
         let mut total_len = 0u64;
         for doc in documents.iter().filter(|d| d.sub_collection == id) {
             let mut len = 0u32;
-            let add = |text: &str, postings: &mut HashMap<String, HashMap<DocId, u32>>, len: &mut u32| {
-                for term in index_terms(text) {
-                    *postings.entry(term).or_default().entry(doc.id).or_insert(0) += 1;
-                    *len += 1;
-                }
-            };
+            let add =
+                |text: &str, postings: &mut HashMap<String, HashMap<DocId, u32>>, len: &mut u32| {
+                    for term in index_terms(text) {
+                        *postings.entry(term).or_default().entry(doc.id).or_insert(0) += 1;
+                        *len += 1;
+                    }
+                };
             add(&doc.title, &mut postings, &mut len);
             for p in &doc.paragraphs {
                 add(p, &mut postings, &mut len);
@@ -249,13 +250,18 @@ mod tests {
         let idx = index(&["alpha"]);
         assert!(idx.bm25(&[], 5, Bm25Params::default()).is_empty());
         let empty = RankedIndex::build(SubCollectionId::new(0), &[]);
-        assert!(empty.bm25(&q(&["alpha"]), 5, Bm25Params::default()).is_empty());
+        assert!(empty
+            .bm25(&q(&["alpha"]), 5, Bm25Params::default())
+            .is_empty());
         assert_eq!(empty.avg_doc_len(), 0.0);
     }
 
     #[test]
     fn ranked_retrieve_extracts_matching_paragraphs() {
-        let docs = vec![doc(0, "zebra crossing near the park"), doc(1, "no match here")];
+        let docs = vec![
+            doc(0, "zebra crossing near the park"),
+            doc(1, "no match here"),
+        ];
         let idx = RankedIndex::build(SubCollectionId::new(0), &docs);
         let store = DocumentStore::new(docs);
         let kw = vec![Keyword::new("zebra", 1.0), Keyword::new("park", 1.0)];

@@ -74,7 +74,11 @@ pub struct ParagraphRetriever {
 
 impl ParagraphRetriever {
     /// Construct over a built index and its backing store.
-    pub fn new(index: Arc<ShardedIndex>, store: Arc<DocumentStore>, config: RetrievalConfig) -> Self {
+    pub fn new(
+        index: Arc<ShardedIndex>,
+        store: Arc<DocumentStore>,
+        config: RetrievalConfig,
+    ) -> Self {
         Self {
             index,
             store,
@@ -229,7 +233,10 @@ mod tests {
         let all = pr.retrieve_all(&p.keywords);
         let mut merged = RetrievalResult::default();
         for s in 0..c.config.sub_collections {
-            merged.merge(pr.retrieve(&p.keywords, SubCollectionId::new(s as u32)).unwrap());
+            merged.merge(
+                pr.retrieve(&p.keywords, SubCollectionId::new(s as u32))
+                    .unwrap(),
+            );
         }
         // Per-shard relaxation may go deeper in sparse shards, so merged can
         // only have at least the strict-union paragraphs of `all`.

@@ -88,7 +88,10 @@ mod tests {
         s.update(v(0.0, 0.0), 0.0);
         // A single 1-second spike against a 10-second time constant.
         let out = s.update(v(1.0, 1.0), 1.0);
-        assert!(out.cpu > 0.0 && out.cpu < 0.2, "spike passed through: {out:?}");
+        assert!(
+            out.cpu > 0.0 && out.cpu < 0.2,
+            "spike passed through: {out:?}"
+        );
     }
 
     #[test]

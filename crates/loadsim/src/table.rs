@@ -6,12 +6,14 @@
 
 use crate::packet::LoadPacket;
 use qa_types::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-/// Per-node load knowledge with receive timestamps.
+/// Per-node load knowledge with receive timestamps. Keyed by an ordered
+/// map: dispatchers iterate this table, and their tie-breaks must be
+/// node-id-stable for seeded replay.
 #[derive(Debug, Clone, Default)]
 pub struct LoadTable {
-    entries: HashMap<NodeId, (LoadPacket, f64)>,
+    entries: BTreeMap<NodeId, (LoadPacket, f64)>,
     staleness_timeout: f64,
 }
 
@@ -20,7 +22,7 @@ impl LoadTable {
     /// seconds.
     pub fn new(staleness_timeout: f64) -> Self {
         Self {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             staleness_timeout,
         }
     }
@@ -42,11 +44,9 @@ impl LoadTable {
         self.entries.retain(|_, (_, recv)| *recv >= cutoff);
     }
 
-    /// Live nodes, sorted by id for deterministic iteration.
+    /// Live nodes, in ascending id order.
     pub fn alive(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.entries.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.entries.keys().copied().collect()
     }
 
     /// Latest packet from a node.
@@ -54,11 +54,9 @@ impl LoadTable {
         self.entries.get(&node).map(|(p, _)| p)
     }
 
-    /// Latest packets from all live nodes, sorted by node id.
+    /// Latest packets from all live nodes, in ascending node-id order.
     pub fn packets(&self) -> Vec<&LoadPacket> {
-        let mut v: Vec<&LoadPacket> = self.entries.values().map(|(p, _)| p).collect();
-        v.sort_by_key(|p| p.node);
-        v
+        self.entries.values().map(|(p, _)| p).collect()
     }
 
     /// Number of live nodes.

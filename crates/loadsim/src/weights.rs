@@ -7,12 +7,14 @@
 //! assumed to be spent performing I/O accesses."
 
 use qa_types::{QaModule, ResourceWeights};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Accumulates per-module CPU/disk time and derives load-function weights.
+/// Module totals live in an ordered map so that `task_weights` folds in a
+/// fixed order (floating-point addition is not associative).
 #[derive(Debug, Clone, Default)]
 pub struct WeightEstimator {
-    totals: HashMap<QaModule, (f64, f64)>,
+    totals: BTreeMap<QaModule, (f64, f64)>,
 }
 
 impl WeightEstimator {

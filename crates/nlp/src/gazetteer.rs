@@ -13,9 +13,9 @@ use std::sync::{Arc, OnceLock};
 
 /// Syllables used to synthesize pronounceable proper names.
 const SYLLABLES: &[&str] = &[
-    "ba", "den", "kor", "mal", "ta", "ri", "ven", "sol", "mar", "lin", "dor", "fa", "gan",
-    "hel", "is", "jor", "kel", "lu", "men", "nor", "pol", "qua", "ros", "sen", "tor", "ul",
-    "vas", "wen", "xan", "yor", "zel", "bren",
+    "ba", "den", "kor", "mal", "ta", "ri", "ven", "sol", "mar", "lin", "dor", "fa", "gan", "hel",
+    "is", "jor", "kel", "lu", "men", "nor", "pol", "qua", "ros", "sen", "tor", "ul", "vas", "wen",
+    "xan", "yor", "zel", "bren",
 ];
 
 /// Deterministically synthesize the `i`-th proper name stem.
@@ -40,26 +40,98 @@ pub fn name_stem(i: usize) -> String {
 
 /// Real-world nationality adjectives (closed class, small enough to embed).
 const NATIONALITIES: &[&str] = &[
-    "Polish", "French", "German", "Italian", "Spanish", "Romanian", "Hungarian", "Russian",
-    "Japanese", "Chinese", "Korean", "Indian", "Australian", "Brazilian", "Mexican",
-    "Canadian", "American", "British", "Irish", "Scottish", "Dutch", "Belgian", "Swiss",
-    "Austrian", "Greek", "Turkish", "Egyptian", "Moroccan", "Nigerian", "Kenyan",
-    "Ethiopian", "Argentine", "Chilean", "Peruvian", "Swedish", "Norwegian", "Danish",
-    "Finnish", "Icelandic", "Portuguese", "Czech", "Slovak", "Croatian", "Serbian",
-    "Bulgarian", "Ukrainian", "Vietnamese", "Thai", "Indonesian", "Malaysian",
+    "Polish",
+    "French",
+    "German",
+    "Italian",
+    "Spanish",
+    "Romanian",
+    "Hungarian",
+    "Russian",
+    "Japanese",
+    "Chinese",
+    "Korean",
+    "Indian",
+    "Australian",
+    "Brazilian",
+    "Mexican",
+    "Canadian",
+    "American",
+    "British",
+    "Irish",
+    "Scottish",
+    "Dutch",
+    "Belgian",
+    "Swiss",
+    "Austrian",
+    "Greek",
+    "Turkish",
+    "Egyptian",
+    "Moroccan",
+    "Nigerian",
+    "Kenyan",
+    "Ethiopian",
+    "Argentine",
+    "Chilean",
+    "Peruvian",
+    "Swedish",
+    "Norwegian",
+    "Danish",
+    "Finnish",
+    "Icelandic",
+    "Portuguese",
+    "Czech",
+    "Slovak",
+    "Croatian",
+    "Serbian",
+    "Bulgarian",
+    "Ukrainian",
+    "Vietnamese",
+    "Thai",
+    "Indonesian",
+    "Malaysian",
 ];
 
 /// Units recognized as QUANTITY heads by the pattern rules.
 pub const QUANTITY_UNITS: &[&str] = &[
-    "miles", "mile", "kilometers", "kilometer", "meters", "meter", "feet", "foot",
-    "people", "inhabitants", "tons", "tonnes", "percent", "years", "days", "hours",
-    "pounds", "kilograms", "acres", "hectares", "stories", "floors",
+    "miles",
+    "mile",
+    "kilometers",
+    "kilometer",
+    "meters",
+    "meter",
+    "feet",
+    "foot",
+    "people",
+    "inhabitants",
+    "tons",
+    "tonnes",
+    "percent",
+    "years",
+    "days",
+    "hours",
+    "pounds",
+    "kilograms",
+    "acres",
+    "hectares",
+    "stories",
+    "floors",
 ];
 
 /// Month names recognized by the DATE pattern rules.
 pub const MONTHS: &[&str] = &[
-    "january", "february", "march", "april", "may", "june", "july", "august",
-    "september", "october", "november", "december",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
 ];
 
 /// Entity lists per answer type plus a phrase-lookup table.
@@ -108,8 +180,11 @@ impl Gazetteers {
                 _ => format!("{} Fever", name_stem(i + 1009)),
             })
             .collect();
-        let nationalities: Vec<String> =
-            NATIONALITIES.iter().take(sizes.nationalities).map(|s| s.to_string()).collect();
+        let nationalities: Vec<String> = NATIONALITIES
+            .iter()
+            .take(sizes.nationalities)
+            .map(|s| s.to_string())
+            .collect();
 
         by_type.insert(AnswerType::Person, persons);
         by_type.insert(AnswerType::Location, locations);

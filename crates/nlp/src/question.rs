@@ -95,7 +95,10 @@ impl QuestionProcessor {
             }
             // The focus noun names the *category* of the answer; it is not a
             // retrieval keyword (documents say "Polish", not "nationality").
-            if FOCUS_RULES.iter().any(|(f, ty)| *f == t.text && *ty == answer_type) {
+            if FOCUS_RULES
+                .iter()
+                .any(|(f, ty)| *f == t.text && *ty == answer_type)
+            {
                 continue;
             }
             let stemmed = stem(&t.text);
@@ -141,7 +144,10 @@ fn classify(tokens: &[&str]) -> AnswerType {
         "how" => {
             return match second {
                 "much" => {
-                    if tokens.iter().any(|t| matches!(*t, "cost" | "costs" | "pay" | "worth")) {
+                    if tokens
+                        .iter()
+                        .any(|t| matches!(*t, "cost" | "costs" | "pay" | "worth"))
+                    {
                         AnswerType::Money
                     } else {
                         AnswerType::Quantity
@@ -219,8 +225,14 @@ mod tests {
 
     #[test]
     fn who_when_how_rules() {
-        assert_eq!(process("Who invented the telephone?").answer_type, AnswerType::Person);
-        assert_eq!(process("When did the war end?").answer_type, AnswerType::Date);
+        assert_eq!(
+            process("Who invented the telephone?").answer_type,
+            AnswerType::Person
+        );
+        assert_eq!(
+            process("When did the war end?").answer_type,
+            AnswerType::Date
+        );
         assert_eq!(
             process("How many people live in Tokyo?").answer_type,
             AnswerType::Quantity
@@ -257,12 +269,18 @@ mod tests {
     #[test]
     fn proper_nouns_weighted_higher() {
         let p = process("Where is the Mahal building located?");
-        assert_eq!(p.keywords[0].term, "mahal", "capitalized keyword first: {:?}", p.keywords);
+        assert_eq!(
+            p.keywords[0].term, "mahal",
+            "capitalized keyword first: {:?}",
+            p.keywords
+        );
     }
 
     #[test]
     fn stopword_only_question_errors() {
-        let e = QuestionProcessor::new().process(&q("Who is he?")).unwrap_err();
+        let e = QuestionProcessor::new()
+            .process(&q("Who is he?"))
+            .unwrap_err();
         assert!(matches!(e, QaError::NoKeywords(_)));
     }
 

@@ -23,7 +23,13 @@ pub fn stem(word: &str) -> String {
     } else if let Some(stripped) = w.strip_suffix("sses") {
         format!("{stripped}ss")
     } else if let Some(stripped) = w.strip_suffix("es") {
-        if stripped.len() >= 3 && (stripped.ends_with("sh") || stripped.ends_with("ch") || stripped.ends_with('x') || stripped.ends_with('z') || stripped.ends_with('s')) {
+        if stripped.len() >= 3
+            && (stripped.ends_with("sh")
+                || stripped.ends_with("ch")
+                || stripped.ends_with('x')
+                || stripped.ends_with('z')
+                || stripped.ends_with('s'))
+        {
             stripped.to_string()
         } else if stripped.len() >= 3 {
             format!("{stripped}e")
@@ -70,7 +76,10 @@ pub fn stem(word: &str) -> String {
 /// Undo consonant doubling left by -ing/-ed stripping ("planned" -> "plan").
 fn undouble(s: &str) -> String {
     let b = s.as_bytes();
-    if b.len() >= 2 && b[b.len() - 1] == b[b.len() - 2] && !matches!(b[b.len() - 1], b'l' | b's' | b'z') {
+    if b.len() >= 2
+        && b[b.len() - 1] == b[b.len() - 2]
+        && !matches!(b[b.len() - 1], b'l' | b's' | b'z')
+    {
         s[..s.len() - 1].to_string()
     } else {
         s.to_string()

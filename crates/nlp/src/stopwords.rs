@@ -9,23 +9,161 @@ use std::sync::OnceLock;
 
 /// The raw stopword list (lower-case).
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "this", "that", "these", "those", "some", "any", "each", "every", "no",
-    "of", "in", "on", "at", "by", "for", "with", "without", "from", "to", "into", "onto",
-    "over", "under", "about", "after", "before", "between", "through", "during", "above",
-    "below", "up", "down", "out", "off", "again", "further",
-    "and", "or", "but", "nor", "so", "yet", "if", "then", "else", "because", "as", "until",
-    "while", "although", "though", "since", "unless",
-    "i", "me", "my", "mine", "we", "us", "our", "ours", "you", "your", "yours", "he", "him",
-    "his", "she", "her", "hers", "it", "its", "they", "them", "their", "theirs", "who",
-    "whom", "whose", "which", "what", "where", "when", "why", "how",
-    "am", "is", "are", "was", "were", "be", "been", "being", "do", "does", "did", "doing",
-    "have", "has", "had", "having", "will", "would", "shall", "should", "can", "could",
-    "may", "might", "must", "ought",
-    "not", "only", "own", "same", "than", "too", "very", "just", "also", "such", "both",
-    "more", "most", "other", "another", "few", "many", "much", "several",
-    "there", "here", "now", "ever", "never", "always", "often", "sometimes",
-    "name", "called", "did", "was", "many", "much",
-    "s", "t", "ll", "ve", "re", "d", "m",
+    "a",
+    "an",
+    "the",
+    "this",
+    "that",
+    "these",
+    "those",
+    "some",
+    "any",
+    "each",
+    "every",
+    "no",
+    "of",
+    "in",
+    "on",
+    "at",
+    "by",
+    "for",
+    "with",
+    "without",
+    "from",
+    "to",
+    "into",
+    "onto",
+    "over",
+    "under",
+    "about",
+    "after",
+    "before",
+    "between",
+    "through",
+    "during",
+    "above",
+    "below",
+    "up",
+    "down",
+    "out",
+    "off",
+    "again",
+    "further",
+    "and",
+    "or",
+    "but",
+    "nor",
+    "so",
+    "yet",
+    "if",
+    "then",
+    "else",
+    "because",
+    "as",
+    "until",
+    "while",
+    "although",
+    "though",
+    "since",
+    "unless",
+    "i",
+    "me",
+    "my",
+    "mine",
+    "we",
+    "us",
+    "our",
+    "ours",
+    "you",
+    "your",
+    "yours",
+    "he",
+    "him",
+    "his",
+    "she",
+    "her",
+    "hers",
+    "it",
+    "its",
+    "they",
+    "them",
+    "their",
+    "theirs",
+    "who",
+    "whom",
+    "whose",
+    "which",
+    "what",
+    "where",
+    "when",
+    "why",
+    "how",
+    "am",
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "being",
+    "do",
+    "does",
+    "did",
+    "doing",
+    "have",
+    "has",
+    "had",
+    "having",
+    "will",
+    "would",
+    "shall",
+    "should",
+    "can",
+    "could",
+    "may",
+    "might",
+    "must",
+    "ought",
+    "not",
+    "only",
+    "own",
+    "same",
+    "than",
+    "too",
+    "very",
+    "just",
+    "also",
+    "such",
+    "both",
+    "more",
+    "most",
+    "other",
+    "another",
+    "few",
+    "many",
+    "much",
+    "several",
+    "there",
+    "here",
+    "now",
+    "ever",
+    "never",
+    "always",
+    "often",
+    "sometimes",
+    "name",
+    "called",
+    "did",
+    "was",
+    "many",
+    "much",
+    "s",
+    "t",
+    "ll",
+    "ve",
+    "re",
+    "d",
+    "m",
 ];
 
 fn set() -> &'static HashSet<&'static str> {

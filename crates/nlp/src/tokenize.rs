@@ -54,10 +54,7 @@ pub fn tokenize(text: &str) -> Vec<Token> {
             let (_, cj) = bytes[j];
             if is_word_char(cj) {
                 j += 1;
-            } else if is_joiner(cj)
-                && j + 1 < bytes.len()
-                && is_word_char(bytes[j + 1].1)
-            {
+            } else if is_joiner(cj) && j + 1 < bytes.len() && is_word_char(bytes[j + 1].1) {
                 j += 2;
             } else {
                 break;

@@ -59,8 +59,7 @@ fn generate(argv: &[String]) -> Result<(), String> {
     };
     let corpus = Corpus::generate(cfg).map_err(|e| e.to_string())?;
     let stats = corpus.stats();
-    let json =
-        serde_json::to_string(&corpus.snapshot()).map_err(|e| format!("serialize: {e}"))?;
+    let json = serde_json::to_string(&corpus.snapshot()).map_err(|e| format!("serialize: {e}"))?;
     std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
     println!(
         "wrote {out}: {} documents, {} paragraphs, {:.1} MB text, {} planted answers",
@@ -99,15 +98,19 @@ fn ask(argv: &[String]) -> Result<(), String> {
         None => ShardedIndex::build(&corpus.documents, corpus.config.sub_collections),
     };
     let store = Arc::new(DocumentStore::new(corpus.documents.clone()));
-    let retriever =
-        ParagraphRetriever::new(Arc::new(idx), store, RetrievalConfig::default());
+    let retriever = ParagraphRetriever::new(Arc::new(idx), store, RetrievalConfig::default());
 
     // Question list: positionals, plus generated samples.
     let mut questions: Vec<(Question, Option<String>)> = a
         .positional()
         .iter()
         .enumerate()
-        .map(|(i, text)| (Question::new(QuestionId::new(9000 + i as u32), text.clone()), None))
+        .map(|(i, text)| {
+            (
+                Question::new(QuestionId::new(9000 + i as u32), text.clone()),
+                None,
+            )
+        })
         .collect();
     let samples: usize = a.num("sample", 0usize)?;
     if samples > 0 {
@@ -185,7 +188,10 @@ fn export(argv: &[String]) -> Result<(), String> {
     let answers = a.require("answers")?;
     std::fs::write(answers, corpus::trec::write_answer_key(&questions))
         .map_err(|e| format!("write {answers}: {e}"))?;
-    println!("wrote {} topics to {topics} and the answer key to {answers}", questions.len());
+    println!(
+        "wrote {} topics to {topics} and the answer key to {answers}",
+        questions.len()
+    );
     Ok(())
 }
 
@@ -280,10 +286,25 @@ mod tests {
     fn generate_index_ask_round_trip() {
         let corpus_path = tmp("c1.json");
         let index_path = tmp("c1.idx");
-        run(&["generate", "--seed", "5", "--size", "small", "--out", &corpus_path]).unwrap();
+        run(&[
+            "generate",
+            "--seed",
+            "5",
+            "--size",
+            "small",
+            "--out",
+            &corpus_path,
+        ])
+        .unwrap();
         run(&["index", "--corpus", &corpus_path, "--out", &index_path]).unwrap();
         run(&[
-            "ask", "--corpus", &corpus_path, "--index", &index_path, "--sample", "2",
+            "ask",
+            "--corpus",
+            &corpus_path,
+            "--index",
+            &index_path,
+            "--sample",
+            "2",
         ])
         .unwrap();
     }
@@ -293,13 +314,30 @@ mod tests {
         let corpus_path = tmp("c3.json");
         let topics = tmp("c3-topics.txt");
         let answers = tmp("c3-answers.txt");
-        run(&["generate", "--seed", "8", "--size", "small", "--out", &corpus_path]).unwrap();
         run(&[
-            "export", "--corpus", &corpus_path, "--questions", "5", "--topics", &topics,
-            "--answers", &answers,
+            "generate",
+            "--seed",
+            "8",
+            "--size",
+            "small",
+            "--out",
+            &corpus_path,
         ])
         .unwrap();
-        let parsed = corpus::trec::parse_topics(&std::fs::read_to_string(&topics).unwrap()).unwrap();
+        run(&[
+            "export",
+            "--corpus",
+            &corpus_path,
+            "--questions",
+            "5",
+            "--topics",
+            &topics,
+            "--answers",
+            &answers,
+        ])
+        .unwrap();
+        let parsed =
+            corpus::trec::parse_topics(&std::fs::read_to_string(&topics).unwrap()).unwrap();
         assert_eq!(parsed.len(), 5);
         let key =
             corpus::trec::parse_answer_key(&std::fs::read_to_string(&answers).unwrap()).unwrap();
@@ -308,8 +346,26 @@ mod tests {
 
     #[test]
     fn simulate_and_model_run() {
-        run(&["simulate", "--nodes", "4", "--strategy", "dqa", "--seed", "3"]).unwrap();
-        run(&["model", "--net-mbps", "1000", "--disk-mbps", "100", "--nodes", "8"]).unwrap();
+        run(&[
+            "simulate",
+            "--nodes",
+            "4",
+            "--strategy",
+            "dqa",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        run(&[
+            "model",
+            "--net-mbps",
+            "1000",
+            "--disk-mbps",
+            "100",
+            "--nodes",
+            "8",
+        ])
+        .unwrap();
     }
 
     #[test]
@@ -320,7 +376,16 @@ mod tests {
         assert!(run(&["ask", "--corpus", "/nonexistent.json", "q"]).is_err());
         assert!(run(&["simulate", "--strategy", "bogus"]).is_err());
         let corpus_path = tmp("c2.json");
-        run(&["generate", "--seed", "6", "--size", "small", "--out", &corpus_path]).unwrap();
+        run(&[
+            "generate",
+            "--seed",
+            "6",
+            "--size",
+            "small",
+            "--out",
+            &corpus_path,
+        ])
+        .unwrap();
         assert!(
             run(&["ask", "--corpus", &corpus_path]).is_err(),
             "no questions given"

@@ -55,7 +55,8 @@ pub fn extract_windows(
 ) -> Vec<AnswerWindow> {
     let mut out = Vec::new();
     for item in items {
-        for (ans, entity_type, offset, window) in candidates_in_paragraph(item, question, ner, cfg) {
+        for (ans, entity_type, offset, window) in candidates_in_paragraph(item, question, ner, cfg)
+        {
             out.push(AnswerWindow {
                 paragraph: ans.paragraph,
                 candidate: ans.candidate,
@@ -138,8 +139,8 @@ fn candidates_in_paragraph(
         }
         pos
     };
-    let paragraph_coverage = kw_pos.iter().filter(|p| !p.is_empty()).count() as f64
-        / kw_terms.len().max(1) as f64;
+    let paragraph_coverage =
+        kw_pos.iter().filter(|p| !p.is_empty()).count() as f64 / kw_terms.len().max(1) as f64;
 
     let wanted = question.answer_type;
     let mut out = Vec::new();
@@ -245,7 +246,9 @@ fn score_window(
             .map(|&(p, _)| {
                 let d = if p < c_first {
                     c_first - p
-                } else { p.saturating_sub(c_last) };
+                } else {
+                    p.saturating_sub(c_last)
+                };
                 d as f64
             })
             .sum();
@@ -330,7 +333,12 @@ mod tests {
             paragraph: para(0, &format!("The granite quarry ledge sits in {loc} today.")),
             rank: 1.0,
         }];
-        let ans = extract_answers(&items, &q, &NamedEntityRecognizer::standard(), &PipelineConfig::default());
+        let ans = extract_answers(
+            &items,
+            &q,
+            &NamedEntityRecognizer::standard(),
+            &PipelineConfig::default(),
+        );
         assert!(!ans.is_empty());
         assert_eq!(ans.best().unwrap().candidate, loc);
     }
@@ -343,7 +351,12 @@ mod tests {
             paragraph: para(0, "The granite quarry ledge opened in 1950."),
             rank: 1.0,
         }];
-        let ans = extract_answers(&items, &q, &NamedEntityRecognizer::standard(), &PipelineConfig::default());
+        let ans = extract_answers(
+            &items,
+            &q,
+            &NamedEntityRecognizer::standard(),
+            &PipelineConfig::default(),
+        );
         assert!(ans.is_empty());
     }
 
@@ -357,7 +370,12 @@ mod tests {
             paragraph: para(0, &format!("{filler} {loc} {filler}")),
             rank: 1.0,
         }];
-        let ans = extract_answers(&items, &q, &NamedEntityRecognizer::standard(), &PipelineConfig::default());
+        let ans = extract_answers(
+            &items,
+            &q,
+            &NamedEntityRecognizer::standard(),
+            &PipelineConfig::default(),
+        );
         assert!(ans.is_empty());
     }
 
@@ -442,7 +460,12 @@ mod tests {
                 rank: 1.0,
             },
         ];
-        let ans = extract_answers(&items, &q, &NamedEntityRecognizer::standard(), &PipelineConfig::default());
+        let ans = extract_answers(
+            &items,
+            &q,
+            &NamedEntityRecognizer::standard(),
+            &PipelineConfig::default(),
+        );
         // Same candidate in both: deduped, and the surviving answer is the
         // higher-ranked paragraph's.
         assert_eq!(ans.len(), 1);
@@ -460,7 +483,12 @@ mod tests {
             paragraph: para(0, "The ledge was surveyed in 1984."),
             rank: 1.0,
         }];
-        let ans = extract_answers(&items, &q, &NamedEntityRecognizer::standard(), &PipelineConfig::default());
+        let ans = extract_answers(
+            &items,
+            &q,
+            &NamedEntityRecognizer::standard(),
+            &PipelineConfig::default(),
+        );
         assert!(!ans.is_empty());
     }
 
@@ -473,7 +501,12 @@ mod tests {
             paragraph: para(0, &text),
             rank: 1.0,
         }];
-        let windows = extract_windows(&items, &q, &NamedEntityRecognizer::standard(), &PipelineConfig::default());
+        let windows = extract_windows(
+            &items,
+            &q,
+            &NamedEntityRecognizer::standard(),
+            &PipelineConfig::default(),
+        );
         assert!(!windows.is_empty());
         let w = &windows[0];
         assert_eq!(w.candidate, loc);
@@ -482,7 +515,12 @@ mod tests {
         assert_eq!(&text[w.offset..w.offset + loc.len()], loc.as_str());
         assert!(w.score > 0.0);
         // The ranked answers are a subset of the windows' candidates.
-        let ans = extract_answers(&items, &q, &NamedEntityRecognizer::standard(), &PipelineConfig::default());
+        let ans = extract_answers(
+            &items,
+            &q,
+            &NamedEntityRecognizer::standard(),
+            &PipelineConfig::default(),
+        );
         for a in &ans.answers {
             assert!(windows.iter().any(|w| w.candidate == a.candidate));
         }
@@ -491,7 +529,12 @@ mod tests {
     #[test]
     fn empty_items_empty_answers() {
         let q = pq("Where is the granite quarry ledge?");
-        let ans = extract_answers(&[], &q, &NamedEntityRecognizer::standard(), &PipelineConfig::default());
+        let ans = extract_answers(
+            &[],
+            &q,
+            &NamedEntityRecognizer::standard(),
+            &PipelineConfig::default(),
+        );
         assert!(ans.is_empty());
     }
 }

@@ -54,8 +54,7 @@ impl QaPipeline {
                 self.answer_processed(&relaxed)?
             };
 
-            let exhausted = attempts >= max_attempts
-                || out.processed.keywords.len() <= 2;
+            let exhausted = attempts >= max_attempts || out.processed.keywords.len() <= 2;
             if !out.answers.is_empty() || exhausted {
                 let final_keywords = out.processed.keywords.len();
                 return Ok(FeedbackOutput {
@@ -113,11 +112,7 @@ mod tests {
         );
         let strict = qa.answer(&poisoned).unwrap();
         let fb = qa.answer_with_feedback(&poisoned, 6).unwrap();
-        assert!(
-            fb.attempts >= 1,
-            "feedback ran {} attempts",
-            fb.attempts
-        );
+        assert!(fb.attempts >= 1, "feedback ran {} attempts", fb.attempts);
         // The loop must do at least as well as the single-shot pipeline.
         assert!(fb.output.answers.len() >= strict.answers.len());
     }

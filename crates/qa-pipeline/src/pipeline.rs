@@ -37,7 +37,11 @@ pub struct QaPipeline {
 
 impl QaPipeline {
     /// Assemble a pipeline from its substrates.
-    pub fn new(retriever: ParagraphRetriever, ner: NamedEntityRecognizer, config: PipelineConfig) -> Self {
+    pub fn new(
+        retriever: ParagraphRetriever,
+        ner: NamedEntityRecognizer,
+        config: PipelineConfig,
+    ) -> Self {
         Self {
             qp: QuestionProcessor::new(),
             retriever,
@@ -79,7 +83,10 @@ impl QaPipeline {
 
     /// Run the post-QP pipeline (PR → PS → PO → AP) on an already-processed
     /// question — the entry point for relaxed feedback attempts.
-    pub fn answer_processed(&self, processed: &ProcessedQuestion) -> Result<PipelineOutput, QaError> {
+    pub fn answer_processed(
+        &self,
+        processed: &ProcessedQuestion,
+    ) -> Result<PipelineOutput, QaError> {
         self.answer_with_timings(processed.clone(), ModuleTimings::default())
     }
 
@@ -141,7 +148,11 @@ mod tests {
         let index = Arc::new(ShardedIndex::build(&c.documents, c.config.sub_collections));
         let store = Arc::new(DocumentStore::new(c.documents.clone()));
         let retriever = ParagraphRetriever::new(index, store, RetrievalConfig::default());
-        let qa = QaPipeline::new(retriever, NamedEntityRecognizer::standard(), PipelineConfig::default());
+        let qa = QaPipeline::new(
+            retriever,
+            NamedEntityRecognizer::standard(),
+            PipelineConfig::default(),
+        );
         (c, qa)
     }
 
@@ -186,7 +197,10 @@ mod tests {
     #[test]
     fn unanswerable_question_yields_empty_not_error() {
         let (_, qa) = pipeline(79);
-        let q = Question::new(qa_types::QuestionId::new(9999), "Where is the zzznope qqqnothing?");
+        let q = Question::new(
+            qa_types::QuestionId::new(9999),
+            "Where is the zzznope qqqnothing?",
+        );
         let out = qa.answer(&q).unwrap();
         assert!(out.answers.is_empty());
     }

@@ -178,7 +178,10 @@ mod tests {
     fn no_keywords_scores_zero() {
         assert_eq!(score_paragraph(&para("some text here"), &[]), 0.0);
         let k = kws(&["missing"]);
-        assert_eq!(score_paragraph(&para("completely unrelated words"), &k), 0.0);
+        assert_eq!(
+            score_paragraph(&para("completely unrelated words"), &k),
+            0.0
+        );
     }
 
     #[test]

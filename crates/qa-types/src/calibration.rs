@@ -222,12 +222,8 @@ mod tests {
     fn per_item_demands_are_consistent() {
         let p = Trec9Profile::complex();
         assert!((p.pr_per_collection() * p.sub_collections as f64 - p.times.pr).abs() < 1e-9);
-        assert!(
-            (p.ap_per_paragraph() * p.paragraphs_accepted as f64 - p.times.ap).abs() < 1e-9
-        );
-        assert!(
-            (p.ps_per_paragraph() * p.paragraphs_retrieved as f64 - p.times.ps).abs() < 1e-9
-        );
+        assert!((p.ap_per_paragraph() * p.paragraphs_accepted as f64 - p.times.ap).abs() < 1e-9);
+        assert!((p.ps_per_paragraph() * p.paragraphs_retrieved as f64 - p.times.ps).abs() < 1e-9);
     }
 
     #[test]

@@ -46,11 +46,14 @@ impl Document {
 
     /// Iterate the body as [`Paragraph`] values with proper ids.
     pub fn iter_paragraphs(&self) -> impl Iterator<Item = Paragraph> + '_ {
-        self.paragraphs.iter().enumerate().map(move |(i, text)| Paragraph {
-            id: ParagraphId::new(self.id, i as u32),
-            sub_collection: self.sub_collection,
-            text: text.clone(),
-        })
+        self.paragraphs
+            .iter()
+            .enumerate()
+            .map(move |(i, text)| Paragraph {
+                id: ParagraphId::new(self.id, i as u32),
+                sub_collection: self.sub_collection,
+                text: text.clone(),
+            })
     }
 }
 
@@ -95,7 +98,10 @@ mod tests {
     #[test]
     fn body_bytes_sums_paragraph_lengths() {
         let doc = sample_doc();
-        assert_eq!(doc.body_bytes(), "first para".len() + "second para text".len());
+        assert_eq!(
+            doc.body_bytes(),
+            "first para".len() + "second para text".len()
+        );
     }
 
     #[test]

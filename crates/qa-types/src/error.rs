@@ -19,6 +19,10 @@ pub enum QaError {
     Codec(String),
     /// The distributed runtime lost contact with a peer.
     Disconnected(String),
+    /// A peer answered with a message that violates the coordination
+    /// protocol (e.g. an AP result on a PR reply channel). The question is
+    /// aborted with an error instead of panicking the coordinator.
+    Protocol(String),
 }
 
 impl fmt::Display for QaError {
@@ -30,6 +34,7 @@ impl fmt::Display for QaError {
             QaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             QaError::Codec(msg) => write!(f, "codec error: {msg}"),
             QaError::Disconnected(msg) => write!(f, "disconnected: {msg}"),
+            QaError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
         }
     }
 }
@@ -50,7 +55,10 @@ mod tests {
             QaError::NoKeywords(QuestionId::new(3)).to_string(),
             "question Q3 produced no keywords"
         );
-        assert_eq!(QaError::NodeFailed(NodeId::new(2)).to_string(), "node N2 failed");
+        assert_eq!(
+            QaError::NodeFailed(NodeId::new(2)).to_string(),
+            "node N2 failed"
+        );
         assert!(QaError::InvalidConfig("x".into()).to_string().contains("x"));
     }
 

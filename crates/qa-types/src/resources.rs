@@ -69,13 +69,25 @@ pub struct ResourceWeights {
 impl ResourceWeights {
     /// Weights measured for the whole Q/A task on the paper's platform
     /// (Table 3, first row).
-    pub const QA: ResourceWeights = ResourceWeights { cpu: 0.79, disk: 0.21 };
+    pub const QA: ResourceWeights = ResourceWeights {
+        cpu: 0.79,
+        disk: 0.21,
+    };
     /// Weights for the Paragraph Retrieval module (Table 3, second row).
-    pub const PR: ResourceWeights = ResourceWeights { cpu: 0.20, disk: 0.80 };
+    pub const PR: ResourceWeights = ResourceWeights {
+        cpu: 0.20,
+        disk: 0.80,
+    };
     /// Weights for the Answer Processing module (Table 3, third row).
-    pub const AP: ResourceWeights = ResourceWeights { cpu: 1.00, disk: 0.00 };
+    pub const AP: ResourceWeights = ResourceWeights {
+        cpu: 1.00,
+        disk: 0.00,
+    };
     /// Uniform weights, used by the ablation bench.
-    pub const UNIFORM: ResourceWeights = ResourceWeights { cpu: 0.5, disk: 0.5 };
+    pub const UNIFORM: ResourceWeights = ResourceWeights {
+        cpu: 0.5,
+        disk: 0.5,
+    };
 
     /// Construct weights, normalizing so they sum to 1 (when nonzero).
     pub fn normalized(cpu: f64, disk: f64) -> Self {
@@ -136,7 +148,10 @@ mod tests {
 
     #[test]
     fn normalized_zero_falls_back_to_uniform() {
-        assert_eq!(ResourceWeights::normalized(0.0, 0.0), ResourceWeights::UNIFORM);
+        assert_eq!(
+            ResourceWeights::normalized(0.0, 0.0),
+            ResourceWeights::UNIFORM
+        );
     }
 
     #[test]

@@ -28,7 +28,9 @@ impl QuestionDispatcher {
     pub fn paper() -> Self {
         Self {
             functions: LoadFunctions::paper(),
-            hysteresis: LoadFunctions::paper().qa.load(ResourceVector::new(0.25, 0.25)),
+            hysteresis: LoadFunctions::paper()
+                .qa
+                .load(ResourceVector::new(0.25, 0.25)),
         }
     }
 

@@ -58,7 +58,9 @@ pub fn meta_schedule(
     underload: impl Fn(ResourceVector) -> bool,
 ) -> Result<Vec<Allocation>, QaError> {
     if candidates.is_empty() {
-        return Err(QaError::InvalidConfig("meta_schedule: no candidates".into()));
+        return Err(QaError::InvalidConfig(
+            "meta_schedule: no candidates".into(),
+        ));
     }
 
     // Step 1: all under-loaded processors.
@@ -73,7 +75,11 @@ pub fn meta_schedule(
         let (node, load) = candidates
             .iter()
             .map(|(n, v)| (*n, load_fn(*v)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)))
+            .min_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            })
             .expect("non-empty candidates");
         let _ = load;
         return Ok(vec![Allocation { node, weight: 1.0 }]);
@@ -86,7 +92,10 @@ pub fn meta_schedule(
     let raw: Vec<f64> = if max_load <= 1e-9 {
         vec![1.0; selected.len()]
     } else {
-        selected.iter().map(|(_, l)| (max_load - l) / max_load).collect()
+        selected
+            .iter()
+            .map(|(_, l)| (max_load - l) / max_load)
+            .collect()
     };
     let sum: f64 = raw.iter().sum();
     let weights: Vec<f64> = if sum <= 0.0 {
@@ -127,9 +136,11 @@ mod tests {
         let idle = ResourceVector::new(0.0, 0.0);
         let cands = vec![(n(0), idle), (n(1), idle), (n(2), idle), (n(3), idle)];
         let f = LoadFunctions::paper();
-        let alloc = meta_schedule(&cands, |v| f.load_for(QaModule::Ap, v), |v| {
-            f.is_underloaded(QaModule::Ap, v)
-        })
+        let alloc = meta_schedule(
+            &cands,
+            |v| f.load_for(QaModule::Ap, v),
+            |v| f.is_underloaded(QaModule::Ap, v),
+        )
         .unwrap();
         assert_eq!(alloc.len(), 4);
         for a in &alloc {
@@ -145,9 +156,11 @@ mod tests {
             (n(2), ResourceVector::new(0.8, 0.1)),
         ];
         let f = LoadFunctions::paper();
-        let alloc = meta_schedule(&cands, |v| f.load_for(QaModule::Ap, v), |v| {
-            f.is_underloaded(QaModule::Ap, v)
-        })
+        let alloc = meta_schedule(
+            &cands,
+            |v| f.load_for(QaModule::Ap, v),
+            |v| f.is_underloaded(QaModule::Ap, v),
+        )
         .unwrap();
         let sum: f64 = alloc.iter().map(|a| a.weight).sum();
         assert!((sum - 1.0).abs() < 1e-9);
@@ -164,9 +177,11 @@ mod tests {
             (n(2), ResourceVector::new(2.0, 0.0)),
         ];
         let f = LoadFunctions::paper();
-        let alloc = meta_schedule(&cands, |v| f.load_for(QaModule::Ap, v), |v| {
-            f.is_underloaded(QaModule::Ap, v)
-        })
+        let alloc = meta_schedule(
+            &cands,
+            |v| f.load_for(QaModule::Ap, v),
+            |v| f.is_underloaded(QaModule::Ap, v),
+        )
         .unwrap();
         assert_eq!(alloc.len(), 1);
         assert_eq!(alloc[0].node, n(1));
@@ -182,9 +197,11 @@ mod tests {
             (n(1), ResourceVector::new(0.5, 0.5)),
         ];
         let f = LoadFunctions::paper();
-        let alloc = meta_schedule(&cands, |v| f.load_for(QaModule::Pr, v), |v| {
-            f.is_underloaded(QaModule::Pr, v)
-        })
+        let alloc = meta_schedule(
+            &cands,
+            |v| f.load_for(QaModule::Pr, v),
+            |v| f.is_underloaded(QaModule::Pr, v),
+        )
         .unwrap();
         assert_eq!(alloc.len(), 1);
         assert_eq!(alloc[0].node, n(0));
@@ -202,9 +219,11 @@ mod tests {
         let idle = ResourceVector::new(0.0, 0.0);
         let cands = vec![(n(3), idle), (n(1), idle), (n(2), idle)];
         let f = LoadFunctions::paper();
-        let alloc = meta_schedule(&cands, |v| f.load_for(QaModule::Ap, v), |v| {
-            f.is_underloaded(QaModule::Ap, v)
-        })
+        let alloc = meta_schedule(
+            &cands,
+            |v| f.load_for(QaModule::Ap, v),
+            |v| f.is_underloaded(QaModule::Ap, v),
+        )
         .unwrap();
         let ids: Vec<_> = alloc.iter().map(|a| a.node).collect();
         assert_eq!(ids, vec![n(1), n(2), n(3)]);

@@ -54,7 +54,9 @@ pub fn partition_counts(total: usize, weights: &[f64]) -> Vec<usize> {
     order.sort_by(|&a, &b| {
         let fa = exact[a] - exact[a].floor();
         let fb = exact[b] - exact[b].floor();
-        fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        fb.partial_cmp(&fa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     let mut i = 0;
     while assigned < total {

@@ -6,13 +6,17 @@
 //! still needs to run".
 
 use qa_types::NodeId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Sender-controlled distribution (Fig. 5c): partitions are allocated up
 /// front; failed partitions are collected and rescheduled as a new task.
+///
+/// Node-keyed state is an ordered map so that recovery rounds replay in the
+/// same order for the same seed (both the DES and the thread runtime drive
+/// this machine).
 #[derive(Debug, Clone)]
 pub struct SenderDistribution<T> {
-    in_flight: HashMap<NodeId, Vec<T>>,
+    in_flight: BTreeMap<NodeId, Vec<T>>,
     failed_items: Vec<T>,
     completed: usize,
 }
@@ -31,11 +35,9 @@ impl<T> SenderDistribution<T> {
         }
     }
 
-    /// Nodes still working.
+    /// Nodes still working, in ascending id order.
     pub fn pending_nodes(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.in_flight.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.in_flight.keys().copied().collect()
     }
 
     /// The partition assigned to a node (if still in flight).
@@ -90,7 +92,7 @@ impl<T> SenderDistribution<T> {
 #[derive(Debug, Clone)]
 pub struct ChunkQueue<T: Clone> {
     available: VecDeque<Vec<T>>,
-    in_flight: HashMap<NodeId, Vec<Vec<T>>>,
+    in_flight: BTreeMap<NodeId, Vec<Vec<T>>>,
 }
 
 impl<T: Clone> ChunkQueue<T> {
@@ -99,7 +101,7 @@ impl<T: Clone> ChunkQueue<T> {
     pub fn new(chunks: Vec<Vec<T>>) -> Self {
         Self {
             available: chunks.into_iter().filter(|c| !c.is_empty()).collect(),
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
         }
     }
 
@@ -108,7 +110,10 @@ impl<T: Clone> ChunkQueue<T> {
     /// availability").
     pub fn pull(&mut self, worker: NodeId) -> Option<Vec<T>> {
         let chunk = self.available.pop_front()?;
-        self.in_flight.entry(worker).or_default().push(chunk.clone());
+        self.in_flight
+            .entry(worker)
+            .or_default()
+            .push(chunk.clone());
         Some(chunk)
     }
 

@@ -1,0 +1,182 @@
+//! The dqa-lint rule set: repo-specific determinism/robustness invariants.
+//!
+//! Every rule is deny-by-default inside its crate scope and can be waived
+//! per line with a `// dqa-lint: allow(<rule>)` comment on the offending
+//! line or the line directly above it. Test code (`#[cfg(test)]` modules,
+//! `#[test]` functions) is exempt from all rules.
+
+use crate::scan::{ScanResult, Tok, TokKind};
+
+/// Which crates a rule applies to, by crate (directory) name.
+#[derive(Debug, Clone, Copy)]
+pub enum Scope {
+    /// Only these crates.
+    Only(&'static [&'static str]),
+    /// Every workspace crate except these.
+    AllExcept(&'static [&'static str]),
+}
+
+impl Scope {
+    pub fn applies_to(&self, krate: &str) -> bool {
+        match self {
+            Scope::Only(names) => names.contains(&krate),
+            Scope::AllExcept(names) => !names.contains(&krate),
+        }
+    }
+}
+
+/// A banned token sequence. Elements are matched against the stream in
+/// order: a multi-char element matches an identifier, a single-char
+/// punctuation element matches a punct token (`::` is written `":", ":"`).
+#[derive(Debug, Clone, Copy)]
+pub struct Pattern {
+    pub seq: &'static [&'static str],
+    /// Index of the element whose line is reported (e.g. `unwrap` in
+    /// `. unwrap (`, so chained calls point at the call, not the dot).
+    pub report: usize,
+    /// Human-readable rendering for the message.
+    pub display: &'static str,
+}
+
+/// One lint rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    pub name: &'static str,
+    pub scope: Scope,
+    pub patterns: &'static [Pattern],
+    pub why: &'static str,
+    pub help: &'static str,
+}
+
+/// The crates whose state must replay bit-for-bit from a seed: the
+/// discrete-event simulator and everything its scheduling decisions read.
+const VIRTUAL_TIME_CRATES: &[&str] = &["cluster-sim", "scheduler", "loadsim", "analytical"];
+
+/// The full rule set, in reporting order.
+#[rustfmt::skip]
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "wall-clock",
+        scope: Scope::Only(VIRTUAL_TIME_CRATES),
+        patterns: &[
+            Pattern { seq: &["Instant"], report: 0, display: "std::time::Instant" },
+            Pattern { seq: &["SystemTime"], report: 0, display: "std::time::SystemTime" },
+            Pattern { seq: &["thread", ":", ":", "sleep"], report: 3, display: "thread::sleep" },
+        ],
+        why: "virtual-time code read the wall clock",
+        help: "derive every timestamp from the engine's virtual clock; wall-clock reads make \
+               the simulation non-replayable",
+    },
+    Rule {
+        name: "unordered-state",
+        scope: Scope::Only(VIRTUAL_TIME_CRATES),
+        patterns: &[
+            Pattern { seq: &["HashMap"], report: 0, display: "HashMap" },
+            Pattern { seq: &["HashSet"], report: 0, display: "HashSet" },
+        ],
+        why: "sim/scheduler state uses a hash collection",
+        help: "use BTreeMap/BTreeSet or a sorted Vec: hash iteration order varies per process \
+               and corrupts seeded reproducibility",
+    },
+    Rule {
+        name: "runtime-panic",
+        scope: Scope::Only(&["dqa-runtime"]),
+        patterns: &[
+            Pattern { seq: &[".", "unwrap", "("], report: 1, display: ".unwrap()" },
+            Pattern { seq: &[".", "expect", "("], report: 1, display: ".expect()" },
+            Pattern { seq: &["panic", "!"], report: 0, display: "panic!" },
+            Pattern { seq: &["unreachable", "!"], report: 0, display: "unreachable!" },
+            Pattern { seq: &["todo", "!"], report: 0, display: "todo!" },
+            Pattern { seq: &["unimplemented", "!"], report: 0, display: "unimplemented!" },
+        ],
+        why: "runtime code can abort the node",
+        help: "node actors must degrade through the SEND/ISEND/RECV failure-recovery path \
+               (typed QaError, board liveness), never panic",
+    },
+    Rule {
+        name: "unseeded-rng",
+        scope: Scope::AllExcept(&["qa-cli"]),
+        patterns: &[
+            Pattern { seq: &["thread_rng"], report: 0, display: "rand::thread_rng" },
+            Pattern { seq: &["from_entropy"], report: 0, display: "SeedableRng::from_entropy" },
+            Pattern { seq: &["rand", ":", ":", "random"], report: 3, display: "rand::random" },
+        ],
+        why: "entropy-seeded RNG outside the CLI",
+        help: "seed every generator from config (e.g. SmallRng::seed_from_u64) so experiment \
+               tables reproduce run to run",
+    },
+];
+
+/// A single finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name.
+    pub rule: &'static str,
+    /// What was matched (e.g. `thread::sleep`).
+    pub matched: &'static str,
+    /// Why it is banned here.
+    pub why: &'static str,
+    /// Suggested fix.
+    pub help: &'static str,
+}
+
+fn matches_at(toks: &[Tok], i: usize, pat: &Pattern) -> bool {
+    if i + pat.seq.len() > toks.len() {
+        return false;
+    }
+    pat.seq.iter().enumerate().all(|(k, elem)| {
+        let tok = &toks[i + k];
+        match &tok.kind {
+            TokKind::Ident(s) => s == elem,
+            TokKind::Punct(c) => {
+                let mut chars = elem.chars();
+                chars.next() == Some(*c) && chars.next().is_none() && elem.len() == c.len_utf8()
+            }
+        }
+    })
+}
+
+/// Run every in-scope rule over one file's filtered token stream.
+pub fn check_file(krate: &str, rel_path: &str, toks: &[Tok], scan: &ScanResult) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rule in RULES {
+        if !rule.scope.applies_to(krate) {
+            continue;
+        }
+        for i in 0..toks.len() {
+            for pat in rule.patterns {
+                if !matches_at(toks, i, pat) {
+                    continue;
+                }
+                let line = toks[i + pat.report].line;
+                if allowed(scan, line, rule.name) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    file: rel_path.to_string(),
+                    line,
+                    rule: rule.name,
+                    matched: pat.display,
+                    why: rule.why,
+                    help: rule.help,
+                });
+            }
+        }
+    }
+    out.sort();
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+    out
+}
+
+/// A pragma on the reported line, or the line above it, waives the rule.
+fn allowed(scan: &ScanResult, line: u32, rule: &str) -> bool {
+    [line, line.saturating_sub(1)].iter().any(|l| {
+        scan.allows
+            .get(l)
+            .is_some_and(|rs| rs.iter().any(|r| r == rule))
+    })
+}

@@ -1,0 +1,397 @@
+//! A minimal Rust lexer, sufficient for token-sequence linting.
+//!
+//! The scanner reduces a source file to identifiers and punctuation with
+//! line numbers, stripping everything that could produce false positives:
+//! line/block comments (nested), string literals (plain, raw, byte, raw
+//! byte), char literals vs. lifetimes, and numeric literals. Comments are
+//! inspected for `dqa-lint: allow(<rule>, ...)` pragmas before being
+//! dropped.
+//!
+//! This is intentionally not a full parser: the lint rules match short
+//! token sequences (`HashMap`, `thread :: sleep`, `. unwrap (`), and for
+//! those a faithful token stream is all that is needed. The workspace's
+//! own offline constraint rules out `syn`; this scanner has no
+//! dependencies at all.
+
+use std::collections::BTreeMap;
+
+/// One significant token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (raw identifiers are unprefixed).
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub line: u32,
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// True when the token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(s) if s == name)
+    }
+
+    /// True when the token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(&self.kind, TokKind::Punct(p) if *p == c)
+    }
+}
+
+/// Scanner output: the token stream plus pragma lines.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    pub toks: Vec<Tok>,
+    /// Line → rule names allowed on that line (and the line below it).
+    pub allows: BTreeMap<u32, Vec<String>>,
+}
+
+/// Tokenize `src`, collecting `dqa-lint: allow(...)` pragmas from comments.
+pub fn scan(src: &str) -> ScanResult {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = ScanResult::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                record_pragma(&b[start..i], line, &mut out.allows);
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                record_pragma(&b[start..i.min(b.len())], start_line, &mut out.allows);
+            }
+            '"' => i = skip_string(&b, i, &mut line),
+            '\'' => i = skip_char_or_lifetime(&b, i, &mut line),
+            'r' | 'b' if starts_literal(&b, i) => i = skip_prefixed_literal(&b, i, &mut line),
+            'r' if b.get(i + 1) == Some(&'#')
+                && b.get(i + 2).is_some_and(|&c| is_ident_start(c)) =>
+            {
+                // Raw identifier r#ident: emit the bare identifier.
+                let mut j = i + 2;
+                while j < b.len() && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Ident(b[i + 2..j].iter().collect()),
+                });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i;
+                while j < b.len() && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Ident(b[i..j].iter().collect()),
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                // Numeric literal: digits and suffix chars, no dots (so the
+                // `.` of `1.method()` and `0..n` stays a punct; harmless for
+                // our patterns since numbers are dropped).
+                let mut j = i;
+                while j < b.len() && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                i = j;
+            }
+            c => {
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct(c),
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `r"`, `r#...#"`, `b"`, `br"`, `br#...#"`, `b'` start a literal.
+fn starts_literal(b: &[char], i: usize) -> bool {
+    match b[i] {
+        'r' => {
+            let mut j = i + 1;
+            while b.get(j) == Some(&'#') {
+                j += 1;
+            }
+            j > i + 1 && b.get(j) == Some(&'"') || b.get(i + 1) == Some(&'"')
+        }
+        'b' => match b.get(i + 1) {
+            Some('"') | Some('\'') => true,
+            Some('r') => {
+                let mut j = i + 2;
+                while b.get(j) == Some(&'#') {
+                    j += 1;
+                }
+                b.get(j) == Some(&'"')
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skip a literal that starts with an `r`/`b`/`br` prefix at `i`.
+fn skip_prefixed_literal(b: &[char], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    let raw = {
+        let mut raw = false;
+        if b[j] == 'b' {
+            j += 1;
+        }
+        if b.get(j) == Some(&'r') {
+            raw = true;
+            j += 1;
+        }
+        raw
+    };
+    if b.get(j) == Some(&'\'') {
+        return skip_char_or_lifetime(b, j, line);
+    }
+    let mut hashes = 0;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(b.get(j), Some(&'"'));
+    j += 1;
+    if raw {
+        // Ends at `"` followed by `hashes` hashes; no escapes.
+        while j < b.len() {
+            if b[j] == '\n' {
+                *line += 1;
+            }
+            if b[j] == '"'
+                && b[j + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == '#')
+                    .count()
+                    == hashes
+            {
+                return j + 1 + hashes;
+            }
+            j += 1;
+        }
+        j
+    } else {
+        skip_string(b, j - 1, line)
+    }
+}
+
+/// Skip a `"..."` string starting at the opening quote; returns the index
+/// past the closing quote.
+fn skip_string(b: &[char], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+/// Disambiguate `'a'` (char literal) from `'a` (lifetime); skip either.
+fn skip_char_or_lifetime(b: &[char], i: usize, line: &mut u32) -> usize {
+    match b.get(i + 1) {
+        Some('\\') => {
+            // Escaped char literal: skip to the closing quote.
+            let mut j = i + 2;
+            while j < b.len() {
+                match b[j] {
+                    '\\' => j += 2,
+                    '\'' => return j + 1,
+                    c => {
+                        if c == '\n' {
+                            *line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            j
+        }
+        Some(&c) if b.get(i + 2) == Some(&'\'') && c != '\'' => i + 3, // 'x'
+        Some(&c) if c.is_alphabetic() || c == '_' => {
+            // Lifetime: consume the quote plus the identifier.
+            let mut j = i + 1;
+            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            j
+        }
+        _ => i + 1,
+    }
+}
+
+/// Extract `dqa-lint: allow(a, b)` rule names from a comment's text.
+fn record_pragma(comment: &[char], line: u32, allows: &mut BTreeMap<u32, Vec<String>>) {
+    let text: String = comment.iter().collect();
+    let Some(pos) = text.find("dqa-lint:") else {
+        return;
+    };
+    let rest = &text[pos + "dqa-lint:".len()..];
+    let rest = rest.trim_start();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return;
+    };
+    let Some(end) = args.find(')') else {
+        return;
+    };
+    let entry = allows.entry(line).or_default();
+    for rule in args[..end].split(',') {
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            entry.push(rule.to_string());
+        }
+    }
+}
+
+/// Remove attribute tokens and test-only regions from a token stream.
+///
+/// * Inner attributes (`#![...]`) and outer attributes (`#[...]`) are
+///   dropped entirely, so `#[doc = "..."]` or `#[serde(...)]` contents
+///   never reach the rule matcher.
+/// * An outer attribute marking test code — `#[test]`, `#[cfg(test)]`,
+///   `#[cfg(any(test, ...))]`, `#[tokio::test]`-style — additionally
+///   removes the item that follows it (to its closing `}` or terminating
+///   `;`). `#[cfg(not(test))]` is non-test code and is kept.
+pub fn strip_attrs_and_test_code(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') {
+            let inner = toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            let open = if inner { i + 2 } else { i + 1 };
+            if toks.get(open).is_some_and(|t| t.is_punct('[')) {
+                let (close, idents) = attr_extent(toks, open);
+                let mut j = close + 1;
+                if !inner && is_test_attr(&idents) {
+                    // Swallow any stacked attributes, then the item body.
+                    while toks.get(j).is_some_and(|t| t.is_punct('#'))
+                        && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+                    {
+                        let (c, _) = attr_extent(toks, j + 1);
+                        j = c + 1;
+                    }
+                    j = skip_item(toks, j);
+                }
+                i = j;
+                continue;
+            }
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// From the `[` at `open`, return (index of matching `]`, idents inside).
+fn attr_extent(toks: &[Tok], open: usize) -> (usize, Vec<String>) {
+    let mut depth = 0usize;
+    let mut idents = Vec::new();
+    let mut j = open;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j, idents);
+                }
+            }
+            TokKind::Ident(s) => idents.push(s.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    (toks.len().saturating_sub(1), idents)
+}
+
+fn is_test_attr(idents: &[String]) -> bool {
+    if idents.iter().any(|s| s == "not") {
+        return false;
+    }
+    let has_test = idents.iter().any(|s| s == "test");
+    has_test
+        && (idents.first().is_some_and(|s| s == "cfg")
+            || idents.last().is_some_and(|s| s == "test"))
+}
+
+/// Skip one item starting at `j`: to its matching `}` if a `{` comes before
+/// any top-level `;`, else to the `;`.
+fn skip_item(toks: &[Tok], j: usize) -> usize {
+    let mut k = j;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokKind::Punct(';') => return k + 1,
+            TokKind::Punct('{') => {
+                let mut depth = 0usize;
+                while k < toks.len() {
+                    match &toks[k].kind {
+                        TokKind::Punct('{') => depth += 1,
+                        TokKind::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return k + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                return k;
+            }
+            _ => k += 1,
+        }
+    }
+    k
+}

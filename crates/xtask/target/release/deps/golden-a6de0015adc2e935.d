@@ -1,0 +1,7 @@
+/root/repo/crates/xtask/target/release/deps/golden-a6de0015adc2e935.d: tests/golden.rs
+
+/root/repo/crates/xtask/target/release/deps/golden-a6de0015adc2e935: tests/golden.rs
+
+tests/golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

@@ -1,0 +1,7 @@
+/root/repo/crates/xtask/target/release/deps/xtask-162829946c1e7240.d: src/lib.rs src/rules.rs src/scan.rs
+
+/root/repo/crates/xtask/target/release/deps/xtask-162829946c1e7240: src/lib.rs src/rules.rs src/scan.rs
+
+src/lib.rs:
+src/rules.rs:
+src/scan.rs:

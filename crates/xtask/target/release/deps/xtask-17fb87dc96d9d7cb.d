@@ -1,0 +1,5 @@
+/root/repo/crates/xtask/target/release/deps/xtask-17fb87dc96d9d7cb.d: src/main.rs
+
+/root/repo/crates/xtask/target/release/deps/xtask-17fb87dc96d9d7cb: src/main.rs
+
+src/main.rs:

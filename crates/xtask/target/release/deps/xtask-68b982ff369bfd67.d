@@ -1,0 +1,9 @@
+/root/repo/crates/xtask/target/release/deps/xtask-68b982ff369bfd67.d: src/lib.rs src/rules.rs src/scan.rs
+
+/root/repo/crates/xtask/target/release/deps/libxtask-68b982ff369bfd67.rlib: src/lib.rs src/rules.rs src/scan.rs
+
+/root/repo/crates/xtask/target/release/deps/libxtask-68b982ff369bfd67.rmeta: src/lib.rs src/rules.rs src/scan.rs
+
+src/lib.rs:
+src/rules.rs:
+src/scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/crates/xtask/target/release/deps/xtask-db15bb617dcf467e.d: src/main.rs
+
+/root/repo/crates/xtask/target/release/deps/xtask-db15bb617dcf467e: src/main.rs
+
+src/main.rs:

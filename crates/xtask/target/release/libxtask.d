@@ -1,0 +1,1 @@
+/root/repo/crates/xtask/target/release/libxtask.rlib: /root/repo/crates/xtask/src/lib.rs /root/repo/crates/xtask/src/rules.rs /root/repo/crates/xtask/src/scan.rs

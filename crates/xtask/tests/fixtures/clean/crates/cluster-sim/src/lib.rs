@@ -1,0 +1,19 @@
+//! Golden fixture: determinism-conformant sim code — zero diagnostics
+//! expected. Mentions of banned names in comments ("Instant", "HashMap",
+//! "thread_rng") and strings must not trip the lexer.
+
+use std::collections::BTreeMap;
+
+pub struct SimState {
+    /// Virtual-time stamp, not a wall-clock Instant.
+    pub now: f64,
+    pub partitions: BTreeMap<u32, Vec<usize>>,
+}
+
+pub fn describe() -> &'static str {
+    "never calls thread_rng or std::thread::sleep; HashMap is banned here"
+}
+
+pub fn advance(state: &mut SimState, dt: f64) {
+    state.now += dt;
+}

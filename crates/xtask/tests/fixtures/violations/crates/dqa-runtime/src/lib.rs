@@ -1,0 +1,30 @@
+//! Golden fixture: seeded violations of the runtime-panic rule. Never
+//! compiled — this tree is data for `tests/golden.rs`.
+
+pub fn hard_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn hard_expect(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn boom() {
+    panic!("boom");
+}
+
+pub fn never() {
+    unreachable!("protocol violation");
+}
+
+pub fn waived_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() // dqa-lint: allow(runtime-panic)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+//! Golden fixture: `qa-cli` is exempt from the unseeded-rng rule, so the
+//! entropy sources below must produce zero diagnostics.
+
+fn main() {
+    let _rng = rand::thread_rng();
+    let _n: u64 = rand::random();
+}

@@ -1,0 +1,6 @@
+//! Golden fixture: the root facade package is *not* exempt from the
+//! unseeded-rng rule.
+
+pub fn entropy_seeded_rng() {
+    let _rng = SmallRng::from_entropy();
+}

@@ -1,0 +1,130 @@
+//! Golden tests for dqa-lint: seeded-violation fixtures must flag every
+//! rule at exact file:line positions, waivers and exemptions must hold,
+//! and the clean fixture (plus the real workspace) must produce zero
+//! diagnostics.
+
+use std::path::PathBuf;
+use xtask::{lint_source, render_json, run_lint};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn violations_fixture_flags_each_rule_at_exact_lines() {
+    let (checked, diags) = run_lint(&fixture("violations")).expect("fixture lint");
+    assert_eq!(checked, 4, "fixture tree should contribute 4 source files");
+
+    let got: Vec<(&str, &str, u32, &str)> = diags
+        .iter()
+        .map(|d| (d.file.as_str(), d.rule, d.line, d.matched))
+        .collect();
+    let sim = "crates/cluster-sim/src/lib.rs";
+    let rt = "crates/dqa-runtime/src/lib.rs";
+    let want = vec![
+        (sim, "unordered-state", 4, "HashMap"),
+        (sim, "wall-clock", 5, "std::time::Instant"),
+        (sim, "wall-clock", 8, "std::time::Instant"),
+        (sim, "unordered-state", 9, "HashMap"),
+        (sim, "wall-clock", 13, "thread::sleep"),
+        (sim, "unseeded-rng", 22, "rand::thread_rng"),
+        (rt, "runtime-panic", 5, ".unwrap()"),
+        (rt, "runtime-panic", 9, ".expect()"),
+        (rt, "runtime-panic", 13, "panic!"),
+        (rt, "runtime-panic", 17, "unreachable!"),
+        ("src/lib.rs", "unseeded-rng", 5, "SeedableRng::from_entropy"),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn pragma_and_test_code_waivers_hold_in_violations_fixture() {
+    let (_, diags) = run_lint(&fixture("violations")).expect("fixture lint");
+    // Line 18 of the cluster-sim fixture carries a pragma'd Instant; line
+    // 21 of the dqa-runtime fixture a pragma'd unwrap. Every #[cfg(test)]
+    // mod holds violations of all three crate-scoped rules. None may flag.
+    assert!(
+        diags
+            .iter()
+            .all(|d| !(d.file.ends_with("cluster-sim/src/lib.rs") && d.line >= 16 && d.line != 22)),
+        "waived or test-mod line flagged in cluster-sim fixture: {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .all(|d| !(d.file.ends_with("dqa-runtime/src/lib.rs") && d.line >= 20)),
+        "waived or test-mod line flagged in dqa-runtime fixture: {diags:?}"
+    );
+}
+
+#[test]
+fn qa_cli_is_exempt_from_unseeded_rng() {
+    let (_, diags) = run_lint(&fixture("violations")).expect("fixture lint");
+    assert!(
+        diags.iter().all(|d| !d.file.contains("qa-cli")),
+        "qa-cli should be exempt from unseeded-rng: {diags:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_has_zero_diagnostics() {
+    let (checked, diags) = run_lint(&fixture("clean")).expect("fixture lint");
+    assert_eq!(checked, 1);
+    assert!(diags.is_empty(), "clean fixture flagged: {diags:?}");
+}
+
+#[test]
+fn json_rendering_is_valid_and_complete() {
+    let (checked, diags) = run_lint(&fixture("violations")).expect("fixture lint");
+    let json = render_json(checked, &diags);
+    assert!(json.starts_with(&format!(
+        "{{\"files_checked\":{checked},\"count\":{}",
+        diags.len()
+    )));
+    // Every diagnostic's location must appear verbatim.
+    for d in &diags {
+        assert!(json.contains(&format!("\"file\":\"{}\",\"line\":{}", d.file, d.line)));
+    }
+    // All four rule names exercised except the per-fixture exemptions.
+    for rule in [
+        "wall-clock",
+        "unordered-state",
+        "runtime-panic",
+        "unseeded-rng",
+    ] {
+        assert!(
+            json.contains(&format!("\"rule\":\"{rule}\"")),
+            "missing {rule}"
+        );
+    }
+}
+
+#[test]
+fn lexer_ignores_strings_comments_and_attr_tokens() {
+    let src = r####"
+        //! HashMap in a doc comment is fine.
+        /* block comment: thread_rng, Instant, .unwrap() */
+        #[doc = "Instant HashMap thread_rng"]
+        pub fn f() -> &'static str {
+            "panic! unreachable! HashMap Instant thread_rng"
+        }
+        pub const RAW: &str = r##"SystemTime .expect("x")"##;
+    "####;
+    for krate in ["cluster-sim", "dqa-runtime", "corpus"] {
+        let diags = lint_source(krate, "crates/x/src/lib.rs", src);
+        assert!(diags.is_empty(), "{krate}: false positives {diags:?}");
+    }
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (checked, diags) = run_lint(&root).expect("workspace lint");
+    assert!(
+        checked > 50,
+        "workspace walk found too few files: {checked}"
+    );
+    assert!(diags.is_empty(), "workspace must lint clean: {diags:?}");
+}

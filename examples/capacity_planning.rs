@@ -35,8 +35,14 @@ fn main() {
 
     // --- Latency sizing ----------------------------------------------
     let complex = Trec9Profile::complex();
-    println!("\nlatency sizing (complex questions, {:.0} s sequential)", complex.sequential_total());
-    for (label, disk) in [("period disk (100 Mbps)", 100.0 * MBPS), ("fast disk (1 Gbps)", GBPS)] {
+    println!(
+        "\nlatency sizing (complex questions, {:.0} s sequential)",
+        complex.sequential_total()
+    );
+    for (label, disk) in [
+        ("period disk (100 Mbps)", 100.0 * MBPS),
+        ("fast disk (1 Gbps)", GBPS),
+    ] {
         let intra = IntraQuestionModel::new(params.with_disk_bandwidth(disk), complex);
         let (n_max, s_max) = intra.practical_limit();
         println!("  {label}:");

@@ -54,7 +54,10 @@ fn main() {
                         println!(
                             "client {client}: {} -> {:?} (PR on {} nodes, AP on {} nodes){}",
                             gq.question.id,
-                            out.answers.best().map(|a| a.candidate.as_str()).unwrap_or("-"),
+                            out.answers
+                                .best()
+                                .map(|a| a.candidate.as_str())
+                                .unwrap_or("-"),
                             out.pr_nodes.len(),
                             out.ap_nodes.len(),
                             if hit { "" } else { "  [missed]" }

@@ -71,7 +71,13 @@ fn main() {
                     println!("no answer found");
                 } else {
                     for (i, a) in out.answers.answers.iter().enumerate() {
-                        println!("{}. {}  — …{}…  (score {:.3})", i + 1, a.candidate, a.text, a.score);
+                        println!(
+                            "{}. {}  — …{}…  (score {:.3})",
+                            i + 1,
+                            a.candidate,
+                            a.text,
+                            a.score
+                        );
                     }
                 }
             }

@@ -54,7 +54,10 @@ fn main() {
             out.processed.keyword_terms().collect::<Vec<_>>()
         );
         match out.answers.best() {
-            Some(a) => println!("  best answer: {}  (truth: {})", a.candidate, gq.expected_answer),
+            Some(a) => println!(
+                "  best answer: {}  (truth: {})",
+                a.candidate, gq.expected_answer
+            ),
             None => println!("  no answer found (truth: {})", gq.expected_answer),
         }
         println!(

@@ -27,11 +27,21 @@ fn main() {
 
     for (label, strategy) in [
         ("SEND  — contiguous weighted split", PartitionStrategy::Send),
-        ("ISEND — interleaved weighted split", PartitionStrategy::Isend),
-        ("RECV  — receiver-pulled 10-paragraph chunks", PartitionStrategy::Recv { chunk_size: 10 }),
+        (
+            "ISEND — interleaved weighted split",
+            PartitionStrategy::Isend,
+        ),
+        (
+            "RECV  — receiver-pulled 10-paragraph chunks",
+            PartitionStrategy::Recv { chunk_size: 10 },
+        ),
     ] {
         let cluster = Cluster::start(
-            ParagraphRetriever::new(Arc::clone(&index), Arc::clone(&store), RetrievalConfig::default()),
+            ParagraphRetriever::new(
+                Arc::clone(&index),
+                Arc::clone(&store),
+                RetrievalConfig::default(),
+            ),
             NamedEntityRecognizer::standard(),
             ClusterConfig {
                 nodes: 4,
@@ -44,14 +54,19 @@ fn main() {
         for e in cluster.trace().for_question(gq.question.id) {
             if matches!(
                 e.kind,
-                TraceKind::ApBatchStart(_) | TraceKind::ApBatchDone(_) | TraceKind::AnswersSorted(_)
+                TraceKind::ApBatchStart(_)
+                    | TraceKind::ApBatchDone(_)
+                    | TraceKind::AnswersSorted(_)
             ) {
                 println!("  {}", e.render());
             }
         }
         println!(
             "  -> best answer {:?} via {} AP nodes\n",
-            out.answers.best().map(|a| a.candidate.as_str()).unwrap_or("-"),
+            out.answers
+                .best()
+                .map(|a| a.candidate.as_str())
+                .unwrap_or("-"),
             out.ap_nodes.len()
         );
         cluster.shutdown();

@@ -35,10 +35,7 @@ fn corpus_index_and_question_bytes_are_stable() {
 fn pipeline_answers_are_stable_across_runs() {
     let run = || {
         let c = Corpus::generate(CorpusConfig::small(405)).unwrap();
-        let idx = std::sync::Arc::new(ShardedIndex::build(
-            &c.documents,
-            c.config.sub_collections,
-        ));
+        let idx = std::sync::Arc::new(ShardedIndex::build(&c.documents, c.config.sub_collections));
         let store = std::sync::Arc::new(falcon_dqa::ir_engine::DocumentStore::new(
             c.documents.clone(),
         ));
@@ -70,9 +67,7 @@ fn pipeline_answers_are_stable_across_runs() {
 
 #[test]
 fn simulator_reports_are_bit_stable() {
-    let run = |strategy| {
-        QaSimulation::new(SimConfig::paper_high_load(6, strategy, 2026)).run()
-    };
+    let run = |strategy| QaSimulation::new(SimConfig::paper_high_load(6, strategy, 2026)).run();
     for strategy in [
         BalancingStrategy::Dns,
         BalancingStrategy::Inter,
@@ -92,12 +87,7 @@ fn simulator_traces_are_stable_including_failures() {
         let cfg = SimConfig {
             record_trace: true,
             node_failures: vec![(40.0, 1)],
-            ..SimConfig::paper_low_load(
-                4,
-                PartitionStrategy::Recv { chunk_size: 40 },
-                3,
-                2027,
-            )
+            ..SimConfig::paper_low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, 3, 2027)
         };
         QaSimulation::new(cfg).run()
     };

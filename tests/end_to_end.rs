@@ -68,9 +68,23 @@ fn distributed_and_sequential_agree_answer_for_answer() {
     for gq in &questions {
         let seq = pipeline.answer(&gq.question).unwrap();
         let dist = cluster.ask(&gq.question).unwrap();
-        let seq_c: Vec<&str> = seq.answers.answers.iter().map(|a| a.candidate.as_str()).collect();
-        let dist_c: Vec<&str> = dist.answers.answers.iter().map(|a| a.candidate.as_str()).collect();
-        assert_eq!(seq_c, dist_c, "answer sets diverge for {:?}", gq.question.text);
+        let seq_c: Vec<&str> = seq
+            .answers
+            .answers
+            .iter()
+            .map(|a| a.candidate.as_str())
+            .collect();
+        let dist_c: Vec<&str> = dist
+            .answers
+            .answers
+            .iter()
+            .map(|a| a.candidate.as_str())
+            .collect();
+        assert_eq!(
+            seq_c, dist_c,
+            "answer sets diverge for {:?}",
+            gq.question.text
+        );
     }
     cluster.shutdown();
 }

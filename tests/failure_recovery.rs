@@ -50,7 +50,10 @@ fn answers_remain_correct_after_killing_half_the_cluster() {
     // And fresh questions still work.
     for gq in &questions[4..] {
         let out = cl.ask(&gq.question).unwrap();
-        assert!(out.pr_nodes.iter().all(|n| n.raw() % 2 == 0), "dead node used");
+        assert!(
+            out.pr_nodes.iter().all(|n| n.raw() % 2 == 0),
+            "dead node used"
+        );
     }
     cl.shutdown();
 }
@@ -77,7 +80,10 @@ fn node_rejoins_after_revival() {
     cl.board().set_alive(NodeId::new(2), true);
     std::thread::sleep(std::time::Duration::from_millis(300));
     let alive = cl.board().is_alive(NodeId::new(2));
-    assert!(!alive, "stale heartbeat must keep a dead worker out of the pool");
+    assert!(
+        !alive,
+        "stale heartbeat must keep a dead worker out of the pool"
+    );
     let out = cl.ask(&questions[1].question).unwrap();
     assert!(!out.pr_nodes.contains(&NodeId::new(2)));
     cl.shutdown();

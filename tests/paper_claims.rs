@@ -60,9 +60,9 @@ fn claim_task_partitioning_reduces_response_times_close_to_model() {
     let rows = intra_experiment(&[1, 4, 8], 12, 2024);
     let t1 = rows[0].report.mean_response_time();
     let model = IntraQuestionModel::new(
-        SystemParams::trec9().with_net_bandwidth(100.0 * 125_000.0).with_disk_bandwidth(
-            SystemParams::trec9().ref_disk_bandwidth,
-        ),
+        SystemParams::trec9()
+            .with_net_bandwidth(100.0 * 125_000.0)
+            .with_disk_bandwidth(SystemParams::trec9().ref_disk_bandwidth),
         Trec9Profile::complex(),
     );
     for row in &rows[1..] {
