@@ -32,6 +32,10 @@ pub enum StageKind {
     /// One node's full-duplex link on a *switched* network; demand in
     /// bytes. Transfers on different nodes' links do not contend.
     NetLink(NodeId),
+    /// A pure time delay in seconds: occupies no resource and never
+    /// contends. Used by fault injection to model retransmission timeouts
+    /// after a dropped message and link-level delivery delays.
+    Delay,
 }
 
 /// One stage of a task.
@@ -73,6 +77,15 @@ impl Stage {
         Stage {
             kind: StageKind::NetLink(node),
             remaining: bytes.max(0.0),
+        }
+    }
+
+    /// Pure delay stage (fault injection: retransmission timeouts,
+    /// delayed deliveries).
+    pub fn delay(secs: f64) -> Stage {
+        Stage {
+            kind: StageKind::Delay,
+            remaining: secs.max(0.0),
         }
     }
 }
@@ -263,6 +276,7 @@ impl<T> Engine<T> {
                     StageKind::Disk(n) => disk_count[n.index()] += 1,
                     StageKind::NetLink(n) => link_count[n.index()] += 1,
                     StageKind::Net => net_count += 1,
+                    StageKind::Delay => {}
                 }
             }
 
@@ -272,6 +286,7 @@ impl<T> Engine<T> {
                     StageKind::Disk(n) => self.disk_mult[n.index()] / disk_count[n.index()] as f64,
                     StageKind::NetLink(n) => self.net_capacity / link_count[n.index()] as f64,
                     StageKind::Net => self.net_capacity / net_count as f64,
+                    StageKind::Delay => 1.0,
                 }
             };
 
@@ -500,6 +515,21 @@ mod tests {
         let done = run_all(&mut e);
         assert_eq!(done.len(), 2);
         assert!(done.iter().all(|(t, _)| *t == 0.0));
+    }
+
+    #[test]
+    fn delay_stage_is_pure_time_and_never_contends() {
+        let mut e = Engine::new(1, 1e6);
+        e.spawn(vec![Stage::delay(3.0)], "a");
+        e.spawn(vec![Stage::delay(3.0)], "b");
+        e.spawn(vec![Stage::delay(1.0), Stage::cpu(n(0), 1.0)], "c");
+        let done = run_all(&mut e);
+        // Delays do not share capacity: a and b both end at 3.0; c's delay
+        // ends at 1.0 and its CPU stage (uncontended) at 2.0.
+        assert_eq!(done[0].1, "c");
+        assert!((done[0].0 - 2.0).abs() < 1e-9);
+        assert!((done[1].0 - 3.0).abs() < 1e-9);
+        assert!((done[2].0 - 3.0).abs() < 1e-9);
     }
 
     #[test]

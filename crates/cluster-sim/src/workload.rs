@@ -18,6 +18,7 @@
 
 use crate::demand::QuestionDemand;
 use crate::engine::{Advance, Engine, Stage};
+use faults::{FaultEvent, FaultSchedule, LinkDecision, LinkJudge, LossJudge};
 use loadsim::functions::LoadFunctions;
 use qa_types::{ModuleProfile, ModuleTimings, NodeId, QaModule, ResourceVector, ResourceWeights};
 use rand::rngs::SmallRng;
@@ -117,6 +118,13 @@ pub struct SimConfig {
     pub switched_network: bool,
     /// Record a virtual-time event trace (Fig. 7's listings, from the DES).
     pub record_trace: bool,
+    /// Unified fault schedule (crash+rejoin, stragglers, message
+    /// loss/delay/duplication, monitor packet loss). Event times are
+    /// virtual seconds; per-message decisions are a pure hash of the
+    /// schedule seed, so any schedule replays bit-stably. Legacy
+    /// [`SimConfig::node_failures`] entries are merged into the same
+    /// timeline as permanent crashes.
+    pub faults: FaultSchedule,
 }
 
 impl SimConfig {
@@ -150,6 +158,7 @@ impl SimConfig {
             node_speeds: None,
             switched_network: false,
             record_trace: false,
+            faults: FaultSchedule::none(),
         }
     }
 
@@ -429,6 +438,20 @@ struct QState {
     ap_partitions: std::collections::BTreeMap<NodeId, Vec<usize>>,
 }
 
+/// One entry of the unified fault timeline (config events flattened into
+/// point actions applied at their virtual time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FaultAction {
+    /// Node dies (permanent when no matching `Rejoin` follows).
+    Die(NodeId),
+    /// Node comes back with reset state.
+    Rejoin(NodeId),
+    /// Straggler window opens: node runs at the given speed factor.
+    Slow(NodeId, f64),
+    /// Straggler window closes.
+    Unslow(NodeId),
+}
+
 /// The simulation controller.
 pub struct QaSimulation {
     cfg: SimConfig,
@@ -446,8 +469,22 @@ pub struct QaSimulation {
     completed: usize,
     in_flight: usize,
     dead: Vec<bool>,
-    failures: Vec<(f64, NodeId)>,
-    next_failure: usize,
+    /// Per-node straggler speed factor (1.0 = full speed).
+    slow: Vec<f64>,
+    /// Unified fault timeline: legacy `node_failures` + `faults.events`,
+    /// sorted by time.
+    timeline: Vec<(f64, FaultAction)>,
+    next_fault: usize,
+    /// Per-message link-fault decider (stateless hash of the fault seed).
+    link_judge: LinkJudge,
+    /// Per-transfer sequence number feeding the link judge.
+    net_seq: u64,
+    /// Load-monitor packet-loss decider.
+    monitor_judge: LossJudge,
+    monitor_seq: u64,
+    /// `observed[o][n]`: node `o`'s last successfully received load report
+    /// from node `n` (only maintained when monitor loss is injected).
+    observed: Vec<Vec<ResourceVector>>,
     trace: Vec<SimEvent>,
 }
 
@@ -534,16 +571,47 @@ impl QaSimulation {
             completed: 0,
             in_flight: 0,
             dead: vec![false; cfg.nodes],
-            failures: {
-                let mut f: Vec<(f64, NodeId)> = cfg
+            slow: vec![1.0; cfg.nodes],
+            timeline: {
+                let mut t: Vec<(f64, FaultAction)> = cfg
                     .node_failures
                     .iter()
-                    .map(|&(t, n)| (t, NodeId::new(n)))
+                    .map(|&(at, n)| (at, FaultAction::Die(NodeId::new(n))))
                     .collect();
-                f.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-                f
+                for ev in &cfg.faults.events {
+                    match *ev {
+                        FaultEvent::Crash { node, at, rejoin } => {
+                            t.push((at, FaultAction::Die(node)));
+                            if let Some(r) = rejoin {
+                                t.push((r, FaultAction::Rejoin(node)));
+                            }
+                        }
+                        FaultEvent::Straggler {
+                            node,
+                            from,
+                            until,
+                            factor,
+                        } => {
+                            t.push((from, FaultAction::Slow(node, factor)));
+                            t.push((until, FaultAction::Unslow(node)));
+                        }
+                    }
+                }
+                // Stable sort: same-time actions apply in config order,
+                // which is itself deterministic.
+                t.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                t
             },
-            next_failure: 0,
+            next_fault: 0,
+            link_judge: cfg.faults.link_judge(),
+            net_seq: 0,
+            monitor_judge: cfg.faults.monitor_judge(),
+            monitor_seq: 0,
+            observed: if cfg.faults.monitor_loss > 0.0 {
+                vec![vec![ResourceVector::default(); cfg.nodes]; cfg.nodes]
+            } else {
+                Vec::new()
+            },
             trace: Vec::new(),
             cfg,
         }
@@ -598,7 +666,7 @@ impl QaSimulation {
             } else {
                 self.arrivals.get(self.next_arrival).copied()
             };
-            let next_failure_t = self.failures.get(self.next_failure).map(|&(t, _)| t);
+            let next_failure_t = self.timeline.get(self.next_fault).map(|&(t, _)| t);
 
             // Immediate arrival?
             if let Some(t) = next_arrival_t {
@@ -612,12 +680,17 @@ impl QaSimulation {
                     continue;
                 }
             }
-            // Immediate failure?
+            // Immediate fault action?
             if let Some(ft) = next_failure_t {
                 if ft <= self.engine.now() {
-                    let (_, node) = self.failures[self.next_failure];
-                    self.next_failure += 1;
-                    self.fail_node(node);
+                    let (_, action) = self.timeline[self.next_fault];
+                    self.next_fault += 1;
+                    match action {
+                        FaultAction::Die(node) => self.fail_node(node),
+                        FaultAction::Rejoin(node) => self.revive_node(node),
+                        FaultAction::Slow(node, factor) => self.set_slow(node, factor),
+                        FaultAction::Unslow(node) => self.set_slow(node, 1.0),
+                    }
                     continue;
                 }
             }
@@ -737,6 +810,27 @@ impl QaSimulation {
         }
     }
 
+    /// A transiently crashed node rejoins with reset state: it becomes
+    /// eligible for new placements again. Work it lost was already
+    /// recovered at crash time; its pre-crash load commitments stay
+    /// zeroed (the runtime's rejoin hygiene, mirrored in virtual time).
+    fn revive_node(&mut self, node: NodeId) {
+        if !self.dead[node.index()] {
+            return;
+        }
+        self.dead[node.index()] = false;
+        self.commit[node.index()] = ResourceVector::default();
+        self.resident[node.index()] = 0;
+        self.update_thrash(node);
+    }
+
+    /// Open or close a straggler window: the node's CPU and disk run at
+    /// `factor` of their normal speed until further notice.
+    fn set_slow(&mut self, node: NodeId, factor: f64) {
+        self.slow[node.index()] = factor.clamp(1e-3, 1.0);
+        self.update_thrash(node);
+    }
+
     /// After a PR worker failure: hand recovered collection chunks to live
     /// workers that are currently idle for this question.
     fn redispatch_pr(&mut self, q: usize) {
@@ -824,6 +918,31 @@ impl QaSimulation {
             .collect()
     }
 
+    /// The cluster view as `observer` sees it. Without monitor-loss
+    /// injection this is the true [`QaSimulation::loads`]; with it, each
+    /// peer's row refreshes only when that broadcast packet survives, so
+    /// dispatchers act on stale load values (liveness is unaffected — a
+    /// dead node is dropped from every view, mirroring the runtime's
+    /// heartbeat-staleness check, which monitor loss does not defeat).
+    fn loads_seen_by(&mut self, observer: NodeId) -> Vec<(NodeId, ResourceVector)> {
+        if self.cfg.faults.monitor_loss <= 0.0 {
+            return self.loads();
+        }
+        let o = observer.index();
+        for n in 0..self.cfg.nodes {
+            let msg = self.monitor_seq;
+            self.monitor_seq += 1;
+            let flow = ((o as u64) << 32) | n as u64;
+            if n == o || !self.monitor_judge.lost(flow, msg) {
+                self.observed[o][n] = self.commit[n];
+            }
+        }
+        (0..self.cfg.nodes)
+            .filter(|&n| !self.dead[n])
+            .map(|n| (NodeId::new(n as u32), self.observed[o][n]))
+            .collect()
+    }
+
     /// The least-loaded live node (whole-task load function).
     fn least_loaded_live(&self) -> NodeId {
         let f = self.functions;
@@ -870,6 +989,31 @@ impl QaSimulation {
         }
     }
 
+    /// Network stage(s) for one message after link-fault injection. A lost
+    /// message is charged the modeled retransmission timeout before the
+    /// retry goes out; a delayed one is held back by the configured
+    /// latency; a duplicated one doubles the bytes on the wire (chunk-id
+    /// dedup at the receiver is free). Flow = destination link, msg = a
+    /// global per-transfer sequence number — both deterministic, so any
+    /// schedule replays bit-stably. With a clean link this is exactly
+    /// [`QaSimulation::net_stage`].
+    fn faulty_net_stages(&mut self, home: NodeId, bytes: f64) -> Vec<Stage> {
+        if self.cfg.faults.link.is_clean() {
+            return vec![self.net_stage(home, bytes)];
+        }
+        let msg = self.net_seq;
+        self.net_seq += 1;
+        match self.link_judge.decide(u64::from(home.raw()), msg) {
+            LinkDecision::Deliver => vec![self.net_stage(home, bytes)],
+            LinkDecision::Drop => vec![
+                Stage::delay(self.link_judge.retransmit_secs()),
+                self.net_stage(home, bytes),
+            ],
+            LinkDecision::Delay(d) => vec![Stage::delay(d), self.net_stage(home, bytes)],
+            LinkDecision::Duplicate => vec![self.net_stage(home, 2.0 * bytes)],
+        }
+    }
+
     fn question_commit() -> ResourceVector {
         ResourceVector::new(ResourceWeights::QA.cpu, ResourceWeights::QA.disk)
     }
@@ -900,7 +1044,8 @@ impl QaSimulation {
         // migrations *between* overloaded nodes, so balancing pays off
         // exactly when it moves work toward under-loaded nodes — the effect
         // the paper's experiments measure.
-        let speed = self.node_speed(node);
+        // Straggler injection composes multiplicatively with thrashing.
+        let speed = self.node_speed(node) * self.slow[node.index()];
         let cpu_mult = speed * (1.0 - self.cfg.thrash_slope * excess).max(0.2);
         let disk_mult = speed * (1.0 - 0.7 * self.cfg.thrash_slope * excess).max(0.2);
         self.engine.set_cpu_mult(node, cpu_mult);
@@ -940,22 +1085,21 @@ impl QaSimulation {
         }
         self.states[q].home = dns_home;
 
-        // Scheduling point 1: arrival placement per strategy.
+        // Scheduling point 1: arrival placement per strategy, driven by the
+        // cluster view as the DNS target observes it.
+        let view = self.loads_seen_by(dns_home);
         let decision = match self.cfg.strategy {
             BalancingStrategy::Dns => None,
             BalancingStrategy::Inter | BalancingStrategy::Dqa => {
-                self.dispatcher
-                    .decide(QaModule::Qp, dns_home, &self.loads())
+                self.dispatcher.decide(QaModule::Qp, dns_home, &view)
             }
             BalancingStrategy::SenderDiffusion => {
                 let f = self.functions;
-                SenderDiffusion::default()
-                    .decide(dns_home, &self.loads(), |v| f.load_for(QaModule::Qp, v))
+                SenderDiffusion::default().decide(dns_home, &view, |v| f.load_for(QaModule::Qp, v))
             }
             BalancingStrategy::Gradient => {
                 let f = self.functions;
-                GradientModel::default()
-                    .decide(dns_home, &self.loads(), |v| f.load_for(QaModule::Qp, v))
+                GradientModel::default().decide(dns_home, &view, |v| f.load_for(QaModule::Qp, v))
             }
         };
         let home = match decision {
@@ -1077,7 +1221,7 @@ impl QaSimulation {
         // that node (otherwise an otherwise-idle home would be excluded
         // from its own partitions).
         let own = Self::scaled(Self::question_commit(), self.states[q].work_scale);
-        let mut loads = self.loads();
+        let mut loads = self.loads_seen_by(home);
         if let Some(entry) = loads.iter_mut().find(|(n, _)| *n == home) {
             entry.1.cpu = (entry.1.cpu - own.cpu).max(0.0);
             entry.1.disk = (entry.1.disk - own.disk).max(0.0);
@@ -1196,9 +1340,9 @@ impl QaSimulation {
         st.overhead.par_recv += bytes / self.cfg.net_bandwidth;
         let merge_cpu = st.demand.po
             + self.cfg.per_partition_cpu_secs * st.pr_nodes_used.len().saturating_sub(1) as f64;
-        let net = self.net_stage(home, bytes);
-        self.engine
-            .spawn(vec![net, Stage::cpu(home, merge_cpu)], Tag::PoMerge(q));
+        let mut stages = self.faulty_net_stages(home, bytes);
+        stages.push(Stage::cpu(home, merge_cpu));
+        self.engine.spawn(stages, Tag::PoMerge(q));
     }
 
     fn start_ap(&mut self, q: usize, now: f64) {
@@ -1278,12 +1422,12 @@ impl QaSimulation {
         if node != home {
             let bytes = items.len() as f64 * self.cfg.paragraph_bytes + per_task_net;
             self.states[q].overhead.par_send += bytes / self.cfg.net_bandwidth;
-            stages.push(self.net_stage(home, bytes));
+            stages.extend(self.faulty_net_stages(home, bytes));
         }
         stages.push(Stage::cpu(node, demand + per_task_cpu));
         if node != home {
             self.states[q].overhead.ans_recv += self.cfg.answer_bytes / self.cfg.net_bandwidth;
-            stages.push(self.net_stage(home, self.cfg.answer_bytes));
+            stages.extend(self.faulty_net_stages(home, self.cfg.answer_bytes));
         }
         stages
     }
@@ -1660,6 +1804,110 @@ mod tests {
         for q in r.questions.iter().skip(3) {
             assert_ne!(q.home, NodeId::new(0));
         }
+    }
+
+    #[test]
+    fn crashed_node_rejoins_and_serves_new_arrivals() {
+        // Node 1 dies at t=20 and rejoins at t=200: questions arriving
+        // while it is down must avoid it, questions arriving after the
+        // rejoin may use it again, and nothing is lost either way.
+        let mut cfg =
+            SimConfig::paper_low_load(3, PartitionStrategy::Recv { chunk_size: 40 }, 8, 91);
+        cfg.faults = FaultSchedule::seeded(91).crash_rejoin(NodeId::new(1), 20.0, 200.0);
+        let r = QaSimulation::new(cfg).run();
+        assert_eq!(r.questions.len(), 8, "every question completes");
+        let during: Vec<_> = r
+            .questions
+            .iter()
+            .filter(|q| q.arrival > 20.0 && q.finished < 200.0)
+            .collect();
+        for q in &during {
+            assert_ne!(q.home, NodeId::new(1), "down node must not host");
+        }
+        let after: Vec<_> = r.questions.iter().filter(|q| q.arrival >= 200.0).collect();
+        assert!(
+            during.is_empty() || !after.is_empty(),
+            "serial run long enough to straddle the rejoin"
+        );
+    }
+
+    #[test]
+    fn straggler_window_slows_the_run_then_releases() {
+        let clean = QaSimulation::new(SimConfig::paper_low_load(
+            2,
+            PartitionStrategy::Recv { chunk_size: 40 },
+            4,
+            92,
+        ))
+        .run();
+        let mut cfg =
+            SimConfig::paper_low_load(2, PartitionStrategy::Recv { chunk_size: 40 }, 4, 92);
+        cfg.faults = FaultSchedule::seeded(92).straggler(NodeId::new(0), 0.0, 1e6, 0.25);
+        let slowed = QaSimulation::new(cfg).run();
+        assert_eq!(slowed.questions.len(), 4);
+        assert!(
+            slowed.makespan > clean.makespan,
+            "a 4x straggler must cost time: {:.1} vs {:.1}",
+            slowed.makespan,
+            clean.makespan
+        );
+    }
+
+    #[test]
+    fn link_faults_slow_but_never_lose_questions() {
+        let clean = QaSimulation::new(SimConfig::paper_low_load(
+            4,
+            PartitionStrategy::Recv { chunk_size: 40 },
+            4,
+            93,
+        ))
+        .run();
+        let mut cfg =
+            SimConfig::paper_low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, 4, 93);
+        cfg.faults = FaultSchedule::seeded(93)
+            .message_loss(0.2)
+            .message_delay(0.2, 0.5)
+            .message_dup(0.1);
+        cfg.faults.link.retransmit_secs = 1.0;
+        let faulty = QaSimulation::new(cfg).run();
+        assert_eq!(faulty.questions.len(), 4, "no question lost to the link");
+        assert!(
+            faulty.makespan >= clean.makespan,
+            "retransmissions and delays cannot make the run faster: {:.2} vs {:.2}",
+            faulty.makespan,
+            clean.makespan
+        );
+    }
+
+    #[test]
+    fn monitor_loss_degrades_balancing_but_is_deterministic() {
+        let run = |loss: f64| {
+            let mut cfg = SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 94);
+            cfg.faults = FaultSchedule::seeded(94).monitor_loss(loss);
+            QaSimulation::new(cfg).run()
+        };
+        let lossy = run(0.8);
+        assert_eq!(lossy.questions.len(), 32, "stale views lose no questions");
+        assert_eq!(lossy, run(0.8), "monitor loss must replay bit-stably");
+        // A fully-informed run and a mostly-blind run may place questions
+        // differently; both must still complete everything.
+        assert_eq!(run(0.0).questions.len(), 32);
+    }
+
+    #[test]
+    fn every_fault_type_is_inert_at_zero_rate() {
+        // A seeded-but-empty schedule must reproduce the unfaulted run
+        // bit for bit (guards the fast paths in faulty_net_stages and
+        // loads_seen_by).
+        let base =
+            QaSimulation::new(SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 95)).run();
+        let mut cfg = SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 95);
+        cfg.faults = FaultSchedule::seeded(12345)
+            .message_loss(0.0)
+            .message_delay(0.0, 1.0)
+            .message_dup(0.0)
+            .monitor_loss(0.0);
+        assert_eq!(QaSimulation::new(cfg).run(), base);
     }
 
     #[test]

@@ -11,6 +11,34 @@ use qa_types::{NodeId, ResourceVector};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
+/// Circuit-breaker policy for flapping nodes: a node that rejoins
+/// [`QuarantinePolicy::flap_threshold`] times, each rejoin within
+/// [`QuarantinePolicy::window_secs`] of the previous one, is quarantined
+/// (treated as dead by dispatchers) for
+/// [`QuarantinePolicy::quarantine_secs`]. Flaps are *explicit* rejoins —
+/// `set_alive(_, true)` after a kill, or a chaos resume — never plain
+/// heartbeat staleness, so a node stalled on a long sub-task is not
+/// punished.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarantinePolicy {
+    /// Consecutive quick rejoins before the breaker opens.
+    pub flap_threshold: u32,
+    /// Two rejoins further apart than this reset the streak (seconds).
+    pub window_secs: f64,
+    /// How long a quarantined node stays out of the pool (seconds).
+    pub quarantine_secs: f64,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy {
+            flap_threshold: 3,
+            window_secs: 1.0,
+            quarantine_secs: 0.5,
+        }
+    }
+}
+
 /// One node's published state.
 #[derive(Debug)]
 struct Row {
@@ -19,6 +47,34 @@ struct Row {
     questions: AtomicUsize,
     heartbeat_micros: AtomicU64,
     alive: AtomicBool,
+    /// Transient-crash switch: a suspended node goes silent (no heartbeats,
+    /// queued envelopes discarded) but its threads survive for a resume.
+    suspended: AtomicBool,
+    /// Straggler factor as `f64` bits; `1.0` = full speed.
+    slow_bits: AtomicU64,
+    /// Consecutive quick rejoins (see [`QuarantinePolicy`]).
+    flap_streak: AtomicUsize,
+    /// When the last explicit rejoin happened (micros; 0 = never).
+    last_flap_micros: AtomicU64,
+    /// Quarantine end (micros since epoch; 0 = not quarantined).
+    quarantine_until: AtomicU64,
+}
+
+impl Row {
+    fn fresh() -> Row {
+        Row {
+            cpu_tasks: AtomicUsize::new(0),
+            disk_tasks: AtomicUsize::new(0),
+            questions: AtomicUsize::new(0),
+            heartbeat_micros: AtomicU64::new(0),
+            alive: AtomicBool::new(true),
+            suspended: AtomicBool::new(false),
+            slow_bits: AtomicU64::new(1.0f64.to_bits()),
+            flap_streak: AtomicUsize::new(0),
+            last_flap_micros: AtomicU64::new(0),
+            quarantine_until: AtomicU64::new(0),
+        }
+    }
 }
 
 /// The cluster-wide load board.
@@ -27,24 +83,24 @@ pub struct LoadBoard {
     rows: Vec<Row>,
     epoch: Instant,
     staleness_micros: u64,
+    policy: QuarantinePolicy,
 }
 
 impl LoadBoard {
-    /// A board for `nodes` nodes with the given heartbeat staleness window.
+    /// A board for `nodes` nodes with the given heartbeat staleness window
+    /// and the default quarantine policy.
     pub fn new(nodes: usize, staleness_secs: f64) -> LoadBoard {
+        Self::with_policy(nodes, staleness_secs, QuarantinePolicy::default())
+    }
+
+    /// A board with an explicit flap-quarantine policy.
+    pub fn with_policy(nodes: usize, staleness_secs: f64, policy: QuarantinePolicy) -> LoadBoard {
         let epoch = Instant::now();
         LoadBoard {
-            rows: (0..nodes)
-                .map(|_| Row {
-                    cpu_tasks: AtomicUsize::new(0),
-                    disk_tasks: AtomicUsize::new(0),
-                    questions: AtomicUsize::new(0),
-                    heartbeat_micros: AtomicU64::new(0),
-                    alive: AtomicBool::new(true),
-                })
-                .collect(),
+            rows: (0..nodes).map(|_| Row::fresh()).collect(),
             epoch,
             staleness_micros: (staleness_secs * 1e6) as u64,
+            policy,
         }
     }
 
@@ -63,23 +119,110 @@ impl LoadBoard {
     }
 
     /// Publish a heartbeat for `node` (called by the node's monitor loop).
+    ///
+    /// Rejoin hygiene: a heartbeat arriving after a staleness gap means the
+    /// node was presumed dead by its peers and coordinators already
+    /// recovered its work — its stale task/question counters are reset so
+    /// dispatchers do not see phantom load on the rejoined node.
     pub fn heartbeat(&self, node: NodeId) {
-        self.rows[node.index()]
-            .heartbeat_micros
-            .store(self.now_micros().max(1), Ordering::Release);
+        let row = &self.rows[node.index()];
+        let now = self.now_micros().max(1);
+        let prev = row.heartbeat_micros.swap(now, Ordering::AcqRel);
+        if prev > 0 && now.saturating_sub(prev) > self.staleness_micros {
+            self.reset_counters(node);
+        }
     }
 
-    /// Mark a node dead (failure injection) or alive again.
+    /// Mark a node dead (failure injection) or alive again. Re-marking a
+    /// dead node alive is an explicit rejoin: its stale counters are reset
+    /// and the flap breaker is fed.
     pub fn set_alive(&self, node: NodeId, alive: bool) {
-        self.rows[node.index()]
-            .alive
-            .store(alive, Ordering::Release);
+        let prev = self.rows[node.index()].alive.swap(alive, Ordering::AcqRel);
+        if alive && !prev {
+            self.record_rejoin(node);
+        }
     }
 
-    /// Whether a node is alive: flagged alive *and* heartbeat fresh.
+    /// Suspend a node (transient crash): it goes silent until
+    /// [`LoadBoard::resume`]. Peers age it out of the pool through heartbeat
+    /// staleness, exactly like a real silent crash.
+    pub fn suspend(&self, node: NodeId) {
+        self.rows[node.index()]
+            .suspended
+            .store(true, Ordering::Release);
+    }
+
+    /// Resume a suspended node. An explicit rejoin: stale counters reset,
+    /// flap breaker fed.
+    pub fn resume(&self, node: NodeId) {
+        let prev = self.rows[node.index()]
+            .suspended
+            .swap(false, Ordering::AcqRel);
+        if prev {
+            self.record_rejoin(node);
+        }
+    }
+
+    /// Whether the node is currently suspended (read by its own threads).
+    pub fn is_suspended(&self, node: NodeId) -> bool {
+        self.rows[node.index()].suspended.load(Ordering::Acquire)
+    }
+
+    /// Set a straggler speed factor in `(0, 1]`; `1.0` restores full speed.
+    pub fn set_slowdown(&self, node: NodeId, factor: f64) {
+        self.rows[node.index()]
+            .slow_bits
+            .store(factor.clamp(1e-3, 1.0).to_bits(), Ordering::Release);
+    }
+
+    /// The node's current straggler factor (`1.0` = full speed).
+    pub fn slowdown(&self, node: NodeId) -> f64 {
+        f64::from_bits(self.rows[node.index()].slow_bits.load(Ordering::Acquire))
+    }
+
+    /// Feed the flap circuit-breaker and reset stale counters after an
+    /// explicit rejoin.
+    fn record_rejoin(&self, node: NodeId) {
+        self.reset_counters(node);
+        let row = &self.rows[node.index()];
+        let now = self.now_micros().max(1);
+        let last = row.last_flap_micros.swap(now, Ordering::AcqRel);
+        let window = (self.policy.window_secs * 1e6) as u64;
+        let streak = if last > 0 && now.saturating_sub(last) <= window {
+            row.flap_streak.fetch_add(1, Ordering::AcqRel) + 1
+        } else {
+            row.flap_streak.store(1, Ordering::Release);
+            1
+        };
+        if self.policy.flap_threshold > 0 && streak >= self.policy.flap_threshold as usize {
+            let until = now + (self.policy.quarantine_secs * 1e6) as u64;
+            row.quarantine_until.store(until, Ordering::Release);
+        }
+    }
+
+    /// Zero a node's load counters (rejoin hygiene: a node that was presumed
+    /// dead had its work recovered elsewhere, so whatever its counters held
+    /// is stale).
+    fn reset_counters(&self, node: NodeId) {
+        let row = &self.rows[node.index()];
+        row.cpu_tasks.store(0, Ordering::Release);
+        row.disk_tasks.store(0, Ordering::Release);
+        row.questions.store(0, Ordering::Release);
+    }
+
+    /// Whether the flap breaker currently excludes the node from the pool.
+    pub fn is_quarantined(&self, node: NodeId) -> bool {
+        let until = self.rows[node.index()]
+            .quarantine_until
+            .load(Ordering::Acquire);
+        until > 0 && self.now_micros() < until
+    }
+
+    /// Whether a node is alive: flagged alive, heartbeat fresh, *and* not
+    /// quarantined by the flap breaker.
     pub fn is_alive(&self, node: NodeId) -> bool {
         let row = &self.rows[node.index()];
-        if !row.alive.load(Ordering::Acquire) {
+        if !row.alive.load(Ordering::Acquire) || self.is_quarantined(node) {
             return false;
         }
         let hb = row.heartbeat_micros.load(Ordering::Acquire);
@@ -187,6 +330,107 @@ mod tests {
         let n0 = NodeId::new(0);
         b.cpu_delta(n0, -5);
         assert_eq!(b.load_of(n0).cpu, 0.0);
+    }
+
+    #[test]
+    fn rejoin_after_kill_resets_stale_counters() {
+        let b = LoadBoard::new(1, 10.0);
+        let n0 = NodeId::new(0);
+        b.heartbeat(n0);
+        b.cpu_delta(n0, 3);
+        b.disk_delta(n0, 2);
+        b.question_delta(n0, 1);
+        b.set_alive(n0, false);
+        b.set_alive(n0, true);
+        let v = b.load_of(n0);
+        assert_eq!(v.cpu, 0.0, "rejoined node must not carry phantom load");
+        assert_eq!(v.disk, 0.0);
+    }
+
+    #[test]
+    fn heartbeat_after_staleness_gap_resets_counters() {
+        let b = LoadBoard::new(1, 0.03);
+        let n0 = NodeId::new(0);
+        b.heartbeat(n0);
+        b.cpu_delta(n0, 4);
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        assert!(!b.is_alive(n0), "peers aged the node out");
+        b.heartbeat(n0);
+        assert!(b.is_alive(n0), "rejoined");
+        assert_eq!(b.load_of(n0).cpu, 0.0, "stale counters cleared on rejoin");
+    }
+
+    #[test]
+    fn flapping_node_trips_the_quarantine_breaker() {
+        let b = LoadBoard::with_policy(
+            1,
+            10.0,
+            QuarantinePolicy {
+                flap_threshold: 2,
+                window_secs: 10.0,
+                quarantine_secs: 10.0,
+            },
+        );
+        let n0 = NodeId::new(0);
+        b.heartbeat(n0);
+        b.set_alive(n0, false);
+        b.set_alive(n0, true);
+        assert!(!b.is_quarantined(n0), "one flap is forgiven");
+        assert!(b.is_alive(n0));
+        b.set_alive(n0, false);
+        b.set_alive(n0, true);
+        assert!(b.is_quarantined(n0), "second quick flap opens the breaker");
+        assert!(!b.is_alive(n0), "quarantined node is out of the pool");
+        assert!(b.live_loads().is_empty());
+    }
+
+    #[test]
+    fn quarantine_expires() {
+        let b = LoadBoard::with_policy(
+            1,
+            10.0,
+            QuarantinePolicy {
+                flap_threshold: 1,
+                window_secs: 10.0,
+                quarantine_secs: 0.02,
+            },
+        );
+        let n0 = NodeId::new(0);
+        b.heartbeat(n0);
+        b.set_alive(n0, false);
+        b.set_alive(n0, true);
+        assert!(b.is_quarantined(n0));
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        b.heartbeat(n0);
+        assert!(!b.is_quarantined(n0));
+        assert!(b.is_alive(n0), "served its sentence, back in the pool");
+    }
+
+    #[test]
+    fn suspend_and_resume_round_trip() {
+        let b = LoadBoard::new(1, 10.0);
+        let n0 = NodeId::new(0);
+        b.heartbeat(n0);
+        b.cpu_delta(n0, 2);
+        b.suspend(n0);
+        assert!(b.is_suspended(n0));
+        b.resume(n0);
+        assert!(!b.is_suspended(n0));
+        assert_eq!(b.load_of(n0).cpu, 0.0, "resume resets stale counters");
+        assert!(!b.is_suspended(n0));
+    }
+
+    #[test]
+    fn slowdown_factor_round_trips_and_clamps() {
+        let b = LoadBoard::new(1, 10.0);
+        let n0 = NodeId::new(0);
+        assert_eq!(b.slowdown(n0), 1.0);
+        b.set_slowdown(n0, 0.25);
+        assert_eq!(b.slowdown(n0), 0.25);
+        b.set_slowdown(n0, 7.0);
+        assert_eq!(b.slowdown(n0), 1.0, "clamped to full speed");
+        b.set_slowdown(n0, 0.0);
+        assert!(b.slowdown(n0) > 0.0, "clamped above zero");
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! The cluster facade and the per-question coordinator.
 
-use crate::board::LoadBoard;
+use crate::board::{LoadBoard, QuarantinePolicy};
+use crate::chaos::ChaosDriver;
+use crate::links::FaultyLink;
 use crate::message::{Envelope, SubTask, SubTaskResult};
 use crate::monitor::BroadcastMonitors;
 use crate::node::{run_node, NodeContext};
 use crate::trace::{TraceKind, TraceLog};
 use crossbeam_channel::{bounded, unbounded, RecvTimeoutError, Sender};
+use faults::{FaultSchedule, RetryPolicy};
 use ir_engine::ParagraphRetriever;
 use loadsim::functions::LoadFunctions;
 use nlp::{NamedEntityRecognizer, QuestionProcessor};
@@ -14,12 +17,12 @@ use qa_pipeline::ordering::order_paragraphs;
 use qa_pipeline::scoring::ScoredParagraph;
 use qa_pipeline::PipelineConfig;
 use qa_types::{
-    ModuleTimings, NodeId, ProcessedQuestion, QaError, QaModule, Question, RankedAnswers,
+    Coverage, ModuleTimings, NodeId, ProcessedQuestion, QaError, QaModule, Question, RankedAnswers,
     SubCollectionId,
 };
 use scheduler::meta::meta_schedule;
 use scheduler::partition::{partition_isend, partition_recv, partition_send, PartitionStrategy};
-use scheduler::recovery::ChunkQueue;
+use scheduler::recovery::{ChunkOutcome, ChunkQueue};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -49,6 +52,28 @@ pub struct ClusterConfig {
     /// worth of sub-tasks concurrently (§4.2); two service threads let a
     /// node overlap a disk-bound PR chunk with a CPU-bound AP batch.
     pub workers_per_node: usize,
+    /// Fault schedule the cluster runs under (crashes/rejoins/stragglers
+    /// via the chaos driver, link faults on every envelope, monitor packet
+    /// loss). [`FaultSchedule::none`] — the default — is fully inert.
+    pub faults: FaultSchedule,
+    /// Wall-clock seconds per schedule second (`0.001` runs a schedule
+    /// authored in simulator seconds at millisecond scale).
+    pub fault_time_scale: f64,
+    /// Per-question deadline. Past it, coordinators abandon outstanding
+    /// chunks and return a degraded, coverage-annotated answer instead of
+    /// blocking. `None` (default) waits indefinitely, the pre-fault-
+    /// framework behavior.
+    pub deadline: Option<Duration>,
+    /// Bounded retry budget per phase: every recovered (re-queued or
+    /// speculated) chunk spends one unit; an exhausted budget degrades the
+    /// answer instead of retrying forever.
+    pub retry: RetryPolicy,
+    /// Speculative re-execution trigger: after this many consecutive empty
+    /// poll rounds, a straggler's oldest chunk is cloned onto an idle
+    /// worker (first result wins). `None` (default) disables speculation.
+    pub speculate_after: Option<u32>,
+    /// Flap circuit-breaker handed to the [`LoadBoard`].
+    pub quarantine: QuarantinePolicy,
 }
 
 impl Default for ClusterConfig {
@@ -62,6 +87,12 @@ impl Default for ClusterConfig {
             staleness: Duration::from_millis(200),
             monitor_interval: Duration::from_millis(5),
             workers_per_node: 2,
+            faults: FaultSchedule::none(),
+            fault_time_scale: 1.0,
+            deadline: None,
+            retry: RetryPolicy::default(),
+            speculate_after: None,
+            quarantine: QuarantinePolicy::default(),
         }
     }
 }
@@ -83,6 +114,10 @@ pub struct DistributedAnswer {
     pub ap_nodes: Vec<NodeId>,
     /// Paragraphs accepted by PO.
     pub paragraphs_accepted: usize,
+    /// Chunk coverage of the answer: complete on a clean run; below 1.0
+    /// when the coordinator degraded gracefully (deadline or retry budget
+    /// exhausted) instead of failing the question.
+    pub coverage: Coverage,
 }
 
 /// A running cluster of worker threads.
@@ -90,13 +125,14 @@ pub struct Cluster {
     cfg: ClusterConfig,
     board: Arc<LoadBoard>,
     trace: TraceLog,
-    senders: Vec<Sender<Envelope>>,
+    links: Vec<FaultyLink>,
     workers: Vec<JoinHandle<()>>,
     qp: QuestionProcessor,
     functions: LoadFunctions,
     rr: AtomicUsize,
     shards: usize,
     monitors: BroadcastMonitors,
+    chaos: Option<ChaosDriver>,
 }
 
 impl Cluster {
@@ -107,10 +143,15 @@ impl Cluster {
         cfg: ClusterConfig,
     ) -> Cluster {
         assert!(cfg.nodes > 0, "at least one node");
-        let board = Arc::new(LoadBoard::new(cfg.nodes, cfg.staleness.as_secs_f64()));
+        let board = Arc::new(LoadBoard::with_policy(
+            cfg.nodes,
+            cfg.staleness.as_secs_f64(),
+            cfg.quarantine,
+        ));
         let trace = TraceLog::new();
         let shards = retriever.index().shard_count();
-        let mut senders = Vec::with_capacity(cfg.nodes);
+        let link_judge = (!cfg.faults.link.is_clean()).then(|| cfg.faults.link_judge());
+        let mut links = Vec::with_capacity(cfg.nodes);
         let mut workers = Vec::with_capacity(cfg.nodes);
         let workers_per_node = cfg.workers_per_node.max(1);
         let mut spawnless: Vec<NodeId> = Vec::new();
@@ -145,7 +186,10 @@ impl Cluster {
             if spawned == 0 {
                 spawnless.push(NodeId::new(i as u32));
             }
-            senders.push(tx);
+            links.push(match link_judge {
+                Some(judge) => FaultyLink::faulty(tx, judge, i as u64),
+                None => FaultyLink::clean(tx),
+            });
         }
         // Give every node one heartbeat so dispatchers see a full pool,
         // then retire the nodes that never came up.
@@ -155,22 +199,27 @@ impl Cluster {
         for n in spawnless {
             board.set_alive(n, false);
         }
-        let monitors = BroadcastMonitors::start(
+        let monitor_judge = (cfg.faults.monitor_loss > 0.0).then(|| cfg.faults.monitor_judge());
+        let monitors = BroadcastMonitors::start_lossy(
             Arc::clone(&board),
             cfg.monitor_interval,
             cfg.staleness.as_secs_f64(),
+            monitor_judge,
         );
+        let chaos = (!cfg.faults.events.is_empty())
+            .then(|| ChaosDriver::start(Arc::clone(&board), &cfg.faults, cfg.fault_time_scale));
         Cluster {
             monitors,
             cfg,
             board,
             trace,
-            senders,
+            links,
             workers,
             qp: QuestionProcessor::new(),
             functions: LoadFunctions::paper(),
             rr: AtomicUsize::new(0),
             shards,
+            chaos,
         }
     }
 
@@ -193,6 +242,19 @@ impl Cluster {
     /// recovered by coordinators.
     pub fn kill_node(&self, node: NodeId) {
         self.board.set_alive(node, false);
+    }
+
+    /// Inject a transient crash: the node goes silent (queued envelopes
+    /// discarded, no heartbeats) but its threads survive, so
+    /// [`Cluster::resume_node`] brings it back into the pool.
+    pub fn suspend_node(&self, node: NodeId) {
+        self.board.suspend(node);
+    }
+
+    /// End a transient crash: the node rejoins with reset load counters;
+    /// repeated quick rejoins trip the flap quarantine.
+    pub fn resume_node(&self, node: NodeId) {
+        self.board.resume(node);
     }
 
     /// Answer a question. DNS round-robin picks the initial home; the
@@ -256,6 +318,10 @@ impl Cluster {
         question: &Question,
         timings: &mut ModuleTimings,
     ) -> Result<DistributedAnswer, QaError> {
+        // The per-question deadline covers the whole Fig. 3 dataflow, not
+        // each phase separately.
+        let deadline = self.cfg.deadline.map(|d| Instant::now() + d);
+
         // QP (home-local; the coordinator acts for the home node).
         let t = Instant::now();
         let processed = self.qp.process(question)?;
@@ -267,7 +333,8 @@ impl Cluster {
         let chunks: Vec<Vec<SubCollectionId>> = (0..self.shards)
             .map(|s| vec![SubCollectionId::new(s as u32)])
             .collect();
-        let (scored, pr_nodes_used) = self.run_pr(&processed, pr_nodes, chunks)?;
+        let (scored, pr_nodes_used, pr_coverage) =
+            self.run_pr(&processed, home, pr_nodes, chunks, deadline)?;
         timings.add_duration(QaModule::Pr, t.elapsed());
 
         // PO: centralized merge + ordering (Fig. 3).
@@ -295,7 +362,8 @@ impl Cluster {
             })
             .collect();
         let ap_nodes = self.allocate(QaModule::Ap, home);
-        let (answers, ap_nodes_used) = self.run_ap(&processed, ap_nodes, items)?;
+        let (answers, ap_nodes_used, ap_coverage) =
+            self.run_ap(&processed, home, ap_nodes, items, deadline)?;
         timings.add_duration(QaModule::Ap, t.elapsed());
 
         self.trace
@@ -309,6 +377,7 @@ impl Cluster {
             pr_nodes: pr_nodes_used,
             ap_nodes: ap_nodes_used,
             paragraphs_accepted,
+            coverage: pr_coverage.and(ap_coverage),
         })
     }
 
@@ -338,39 +407,59 @@ impl Cluster {
     }
 
     /// Receiver-controlled PR: workers pull one sub-collection at a time.
+    ///
+    /// The drain loop runs the robustness policy: keyed first-result-wins
+    /// completion (absorbing link duplicates and speculative twins), a
+    /// bounded retry budget with backoff on recovered chunks, optional
+    /// speculative re-execution of straggler chunks, and deadline-driven
+    /// graceful degradation — the phase always terminates with a coverage
+    /// report, it never spins forever.
     fn run_pr(
         &self,
         processed: &ProcessedQuestion,
+        home: NodeId,
         workers: Vec<NodeId>,
         chunks: Vec<Vec<SubCollectionId>>,
-    ) -> Result<(Vec<ScoredParagraph>, Vec<NodeId>), QaError> {
+        deadline: Option<Instant>,
+    ) -> Result<(Vec<ScoredParagraph>, Vec<NodeId>, Coverage), QaError> {
         let mut queue = ChunkQueue::new(chunks);
-        let (reply_tx, reply_rx) = bounded::<SubTaskResult>(self.shards.max(1));
+        // Bounded ×2: link duplication can double the results in flight.
+        let (reply_tx, reply_rx) = bounded::<SubTaskResult>(self.shards.max(1) * 2);
         let mut active: Vec<NodeId> = Vec::new();
         let mut used: Vec<NodeId> = Vec::new();
         let mut scored: Vec<ScoredParagraph> = Vec::new();
 
+        let send_chunk = |this: &Cluster,
+                          node: NodeId,
+                          id: u32,
+                          chunk: &[SubCollectionId],
+                          reply_tx: &Sender<SubTaskResult>|
+         -> bool {
+            chunk.iter().all(|shard| {
+                this.links[node.index()]
+                    .send(Envelope {
+                        task: SubTask::PrShard {
+                            question: processed.question.id,
+                            keywords: processed.keywords.clone(),
+                            shard: *shard,
+                            chunk: id,
+                        },
+                        reply: reply_tx.clone(),
+                    })
+                    .is_ok()
+            })
+        };
         let dispatch = |this: &Cluster,
                         queue: &mut ChunkQueue<SubCollectionId>,
                         node: NodeId,
                         reply_tx: &Sender<SubTaskResult>|
          -> bool {
-            let Some(chunk) = queue.pull(node) else {
+            let Some((id, chunk)) = queue.pull_keyed(node) else {
                 return false;
             };
-            for shard in &chunk {
-                let sent = this.senders[node.index()].send(Envelope {
-                    task: SubTask::PrShard {
-                        question: processed.question.id,
-                        keywords: processed.keywords.clone(),
-                        shard: *shard,
-                    },
-                    reply: reply_tx.clone(),
-                });
-                if sent.is_err() {
-                    queue.fail(node);
-                    return false;
-                }
+            if !send_chunk(this, node, id, &chunk, reply_tx) {
+                queue.fail(node);
+                return false;
             }
             true
         };
@@ -385,13 +474,28 @@ impl Cluster {
             return Err(QaError::Disconnected("no PR workers".into()));
         }
 
+        let mut policy = PhasePolicy::new(self.cfg.retry, self.cfg.speculate_after, deadline);
+        // Only a lossy link can make an envelope vanish while its worker
+        // stays alive; coordinator-level retransmission exists for exactly
+        // that case, and stays off on clean links so fault-free runs are
+        // untouched.
+        let retransmit = !self.cfg.faults.link.is_clean();
         while !queue.drained() {
-            match reply_rx.recv_timeout(self.cfg.subtask_poll) {
+            if policy.deadline_passed() {
+                self.degrade(&mut queue, home, processed.question.id);
+                break;
+            }
+            match reply_rx.recv_timeout(policy.poll(self.cfg.subtask_poll)) {
                 Ok(SubTaskResult::Paragraphs {
-                    node, scored: s, ..
+                    node,
+                    scored: s,
+                    chunk,
+                    ..
                 }) => {
-                    scored.extend(s);
-                    queue.complete_one(node);
+                    policy.progress();
+                    if queue.complete_keyed(node, chunk) == ChunkOutcome::Fresh {
+                        scored.extend(s);
+                    }
                     if !dispatch(self, &mut queue, node, &reply_tx) {
                         active.retain(|n| *n != node);
                     }
@@ -400,12 +504,76 @@ impl Cluster {
                     return Err(QaError::Protocol("AP result on PR reply channel".into()))
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    self.reap_failed(&mut queue, &mut active, processed.question.id)?;
+                    let (requeued, pool_alive) =
+                        self.reap_failed(&mut queue, &mut active, processed.question.id);
+                    if !pool_alive {
+                        // Every worker everywhere is gone: degrade rather
+                        // than spin on an undrainable queue.
+                        self.degrade(&mut queue, home, processed.question.id);
+                        break;
+                    }
+                    if policy.spend(requeued) {
+                        self.degrade(&mut queue, home, processed.question.id);
+                        break;
+                    }
                     // Re-dispatch recovered chunks to surviving workers.
                     let survivors = active.clone();
                     for node in survivors {
                         if queue.outstanding(node) == 0 {
                             dispatch(self, &mut queue, node, &reply_tx);
+                        }
+                    }
+                    if policy.should_speculate() {
+                        // Idle workers leave `active` when the queue dries
+                        // up, so speculation targets come from the live
+                        // pool, not just the active set.
+                        let live: Vec<NodeId> = self
+                            .board
+                            .live_loads()
+                            .into_iter()
+                            .map(|(n, _)| n)
+                            .collect();
+                        if let Some((node, id, chunk)) =
+                            speculate_oldest(&mut queue, &active, &live)
+                        {
+                            if send_chunk(self, node, id, &chunk, &reply_tx) {
+                                if !active.contains(&node) {
+                                    active.push(node);
+                                }
+                                if !used.contains(&node) {
+                                    used.push(node);
+                                }
+                                self.trace.record(
+                                    processed.question.id,
+                                    node,
+                                    TraceKind::Speculated(id),
+                                );
+                                if policy.speculated() {
+                                    self.degrade(&mut queue, home, processed.question.id);
+                                    break;
+                                }
+                            } else {
+                                queue.fail(node);
+                            }
+                        }
+                    }
+                    if retransmit && policy.should_retransmit() {
+                        // Presume the in-flight envelopes lost, re-queue and
+                        // re-send them; first-result-wins dedups any that
+                        // were merely slow.
+                        let mut recycled = 0;
+                        for node in active.clone() {
+                            recycled += queue.fail(node);
+                        }
+                        if policy.spend(recycled) {
+                            self.degrade(&mut queue, home, processed.question.id);
+                            break;
+                        }
+                        let survivors = active.clone();
+                        for node in survivors {
+                            if queue.outstanding(node) == 0 {
+                                dispatch(self, &mut queue, node, &reply_tx);
+                            }
                         }
                     }
                 }
@@ -414,18 +582,25 @@ impl Cluster {
                 }
             }
         }
-        Ok((scored, used))
+        let coverage = Coverage {
+            completed: queue.completed(),
+            total: queue.total(),
+        };
+        Ok((scored, used, coverage))
     }
 
     /// AP over partitions or pulled chunks, per the configured strategy.
+    /// Runs the same robustness policy as [`Cluster::run_pr`].
     fn run_ap(
         &self,
         processed: &ProcessedQuestion,
+        home: NodeId,
         workers: Vec<NodeId>,
         items: Vec<ApItem>,
-    ) -> Result<(RankedAnswers, Vec<NodeId>), QaError> {
+        deadline: Option<Instant>,
+    ) -> Result<(RankedAnswers, Vec<NodeId>, Coverage), QaError> {
         if items.is_empty() {
-            return Ok((RankedAnswers::default(), Vec::new()));
+            return Ok((RankedAnswers::default(), Vec::new(), Coverage::full(0)));
         }
         let chunks: Vec<Vec<ApItem>> = match self.cfg.ap_partition {
             PartitionStrategy::Send => {
@@ -440,28 +615,38 @@ impl Cluster {
         };
 
         let mut queue = ChunkQueue::new(chunks);
-        let (reply_tx, reply_rx) = bounded::<SubTaskResult>(workers.len().max(1) * 4);
+        let (reply_tx, reply_rx) = bounded::<SubTaskResult>(workers.len().max(1) * 8);
         let mut active: Vec<NodeId> = Vec::new();
         let mut used: Vec<NodeId> = Vec::new();
         let mut partials: Vec<RankedAnswers> = Vec::new();
 
+        let send_chunk = |this: &Cluster,
+                          node: NodeId,
+                          id: u32,
+                          chunk: &[ApItem],
+                          reply_tx: &Sender<SubTaskResult>|
+         -> bool {
+            this.links[node.index()]
+                .send(Envelope {
+                    task: SubTask::ApBatch {
+                        question: processed.clone(),
+                        items: chunk.to_vec(),
+                        config: this.cfg.pipeline,
+                        chunk: id,
+                    },
+                    reply: reply_tx.clone(),
+                })
+                .is_ok()
+        };
         let dispatch = |this: &Cluster,
                         queue: &mut ChunkQueue<ApItem>,
                         node: NodeId,
                         reply_tx: &Sender<SubTaskResult>|
          -> bool {
-            let Some(chunk) = queue.pull(node) else {
+            let Some((id, chunk)) = queue.pull_keyed(node) else {
                 return false;
             };
-            let sent = this.senders[node.index()].send(Envelope {
-                task: SubTask::ApBatch {
-                    question: processed.clone(),
-                    items: chunk,
-                    config: this.cfg.pipeline,
-                },
-                reply: reply_tx.clone(),
-            });
-            if sent.is_err() {
+            if !send_chunk(this, node, id, &chunk, reply_tx) {
                 queue.fail(node);
                 return false;
             }
@@ -478,11 +663,24 @@ impl Cluster {
             return Err(QaError::Disconnected("no AP workers".into()));
         }
 
+        let mut policy = PhasePolicy::new(self.cfg.retry, self.cfg.speculate_after, deadline);
+        let retransmit = !self.cfg.faults.link.is_clean();
         while !queue.drained() {
-            match reply_rx.recv_timeout(self.cfg.subtask_poll) {
-                Ok(SubTaskResult::Answers { node, answers, .. }) => {
-                    partials.push(answers);
-                    queue.complete_one(node);
+            if policy.deadline_passed() {
+                self.degrade(&mut queue, home, processed.question.id);
+                break;
+            }
+            match reply_rx.recv_timeout(policy.poll(self.cfg.subtask_poll)) {
+                Ok(SubTaskResult::Answers {
+                    node,
+                    answers,
+                    chunk,
+                    ..
+                }) => {
+                    policy.progress();
+                    if queue.complete_keyed(node, chunk) == ChunkOutcome::Fresh {
+                        partials.push(answers);
+                    }
                     if !dispatch(self, &mut queue, node, &reply_tx) {
                         active.retain(|n| *n != node);
                     }
@@ -491,11 +689,67 @@ impl Cluster {
                     return Err(QaError::Protocol("PR result on AP reply channel".into()))
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    self.reap_failed(&mut queue, &mut active, processed.question.id)?;
+                    let (requeued, pool_alive) =
+                        self.reap_failed(&mut queue, &mut active, processed.question.id);
+                    if !pool_alive {
+                        self.degrade(&mut queue, home, processed.question.id);
+                        break;
+                    }
+                    if policy.spend(requeued) {
+                        self.degrade(&mut queue, home, processed.question.id);
+                        break;
+                    }
                     let survivors = active.clone();
                     for node in survivors {
                         if queue.outstanding(node) == 0 {
                             dispatch(self, &mut queue, node, &reply_tx);
+                        }
+                    }
+                    if policy.should_speculate() {
+                        let live: Vec<NodeId> = self
+                            .board
+                            .live_loads()
+                            .into_iter()
+                            .map(|(n, _)| n)
+                            .collect();
+                        if let Some((node, id, chunk)) =
+                            speculate_oldest(&mut queue, &active, &live)
+                        {
+                            if send_chunk(self, node, id, &chunk, &reply_tx) {
+                                if !active.contains(&node) {
+                                    active.push(node);
+                                }
+                                if !used.contains(&node) {
+                                    used.push(node);
+                                }
+                                self.trace.record(
+                                    processed.question.id,
+                                    node,
+                                    TraceKind::Speculated(id),
+                                );
+                                if policy.speculated() {
+                                    self.degrade(&mut queue, home, processed.question.id);
+                                    break;
+                                }
+                            } else {
+                                queue.fail(node);
+                            }
+                        }
+                    }
+                    if retransmit && policy.should_retransmit() {
+                        let mut recycled = 0;
+                        for node in active.clone() {
+                            recycled += queue.fail(node);
+                        }
+                        if policy.spend(recycled) {
+                            self.degrade(&mut queue, home, processed.question.id);
+                            break;
+                        }
+                        let survivors = active.clone();
+                        for node in survivors {
+                            if queue.outstanding(node) == 0 {
+                                dispatch(self, &mut queue, node, &reply_tx);
+                            }
                         }
                     }
                 }
@@ -507,22 +761,30 @@ impl Cluster {
 
         // Centralized answer merging + sorting.
         let merged = RankedAnswers::merge(partials, self.cfg.pipeline.answers_requested);
-        Ok((merged, used))
+        let coverage = Coverage {
+            completed: queue.completed(),
+            total: queue.total(),
+        };
+        Ok((merged, used, coverage))
     }
 
-    /// Detect dead workers among `active`; recover their chunks. Errors if
-    /// every worker is gone.
+    /// Detect dead workers among `active`; recover their chunks. Returns
+    /// the number of chunks re-queued and whether any worker (current or
+    /// recruited from the live pool) remains. A `false` pool flag tells the
+    /// caller to degrade — the drain loop must terminate even with every
+    /// node dead, never spin forever.
     fn reap_failed<T: Clone>(
         &self,
         queue: &mut ChunkQueue<T>,
         active: &mut Vec<NodeId>,
         question: qa_types::QuestionId,
-    ) -> Result<(), QaError> {
+    ) -> (usize, bool) {
+        let mut requeued = 0;
         let mut i = 0;
         while i < active.len() {
             let node = active[i];
             if !self.board.is_alive(node) {
-                queue.fail(node);
+                requeued += queue.fail(node);
                 self.trace.record(question, node, TraceKind::WorkerFailed);
                 active.remove(i);
             } else {
@@ -533,18 +795,37 @@ impl Cluster {
             // Try to recruit replacements from the live pool.
             let pool = self.board.live_loads();
             if pool.is_empty() {
-                return Err(QaError::Disconnected("all workers failed".into()));
+                return (requeued, false);
             }
             for (n, _) in pool {
                 active.push(n);
             }
         }
-        Ok(())
+        (requeued, true)
+    }
+
+    /// Abandon everything still outstanding in `queue` and record the
+    /// degradation (graceful degradation: the question completes with
+    /// partial coverage instead of erroring or hanging).
+    fn degrade<T: Clone>(
+        &self,
+        queue: &mut ChunkQueue<T>,
+        home: NodeId,
+        question: qa_types::QuestionId,
+    ) {
+        let lost = queue.abandon();
+        if lost > 0 {
+            self.trace
+                .record(question, home, TraceKind::Degraded(lost as usize));
+        }
     }
 
     /// Shut the cluster down, joining every worker.
     pub fn shutdown(mut self) {
-        self.senders.clear(); // close channels → workers exit
+        if let Some(chaos) = self.chaos.take() {
+            chaos.stop();
+        }
+        self.links.clear(); // close channels → workers exit
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -553,11 +834,116 @@ impl Cluster {
 
 impl Drop for Cluster {
     fn drop(&mut self) {
-        self.senders.clear();
+        self.chaos.take();
+        self.links.clear();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
+}
+
+/// Consecutive empty poll rounds before a lossy-link coordinator presumes
+/// its in-flight envelopes lost and retransmits them. Deliberately above
+/// any sane `speculate_after`, so speculation gets the first try.
+const RETRANSMIT_STALLS: u32 = 6;
+
+/// Per-phase robustness bookkeeping shared by the PR and AP drain loops:
+/// deadline, retry budget with backoff, and the stall counter that triggers
+/// speculation.
+struct PhasePolicy {
+    retry: RetryPolicy,
+    speculate_after: Option<u32>,
+    deadline: Option<Instant>,
+    spent: u32,
+    stall_rounds: u32,
+    backoff_attempt: u32,
+}
+
+impl PhasePolicy {
+    fn new(retry: RetryPolicy, speculate_after: Option<u32>, deadline: Option<Instant>) -> Self {
+        PhasePolicy {
+            retry,
+            speculate_after,
+            deadline,
+            spent: 0,
+            stall_rounds: 0,
+            backoff_attempt: 0,
+        }
+    }
+
+    fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The poll timeout, clipped so the loop re-checks a nearby deadline.
+    fn poll(&self, base: Duration) -> Duration {
+        match self.deadline {
+            Some(d) => base.min(d.saturating_duration_since(Instant::now())),
+            None => base,
+        }
+    }
+
+    /// A result arrived: the phase is making progress.
+    fn progress(&mut self) {
+        self.stall_rounds = 0;
+    }
+
+    /// A poll round timed out with `requeued` chunks recovered from dead
+    /// workers. Charges the budget and applies exponential backoff before
+    /// the re-dispatch. Returns true when the retry budget is exhausted.
+    fn spend(&mut self, requeued: usize) -> bool {
+        self.stall_rounds += 1;
+        if requeued > 0 {
+            self.spent += requeued as u32;
+            let backoff = self.retry.backoff_secs(self.backoff_attempt);
+            self.backoff_attempt += 1;
+            std::thread::sleep(Duration::from_secs_f64(backoff));
+        }
+        self.spent > self.retry.budget
+    }
+
+    /// Whether the stall counter has reached the speculation trigger.
+    fn should_speculate(&self) -> bool {
+        self.speculate_after
+            .is_some_and(|after| self.stall_rounds >= after)
+    }
+
+    /// Whether the stall has persisted long enough that the coordinator
+    /// should presume its in-flight envelopes lost and retransmit (only
+    /// meaningful on lossy links). Resets the stall counter when it fires.
+    fn should_retransmit(&mut self) -> bool {
+        if self.stall_rounds >= RETRANSMIT_STALLS {
+            self.stall_rounds = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A chunk was speculatively re-issued: charge it, restart the stall
+    /// counter. Returns true when the retry budget is exhausted.
+    fn speculated(&mut self) -> bool {
+        self.stall_rounds = 0;
+        self.spent += 1;
+        self.spent > self.retry.budget
+    }
+}
+
+/// Clone the oldest chunk of the first busy active worker onto the first
+/// idle node of the live pool (speculative re-execution; see
+/// [`ChunkQueue::speculate`]).
+fn speculate_oldest<T: Clone>(
+    queue: &mut ChunkQueue<T>,
+    busy: &[NodeId],
+    pool: &[NodeId],
+) -> Option<(NodeId, u32, Vec<T>)> {
+    let from = busy.iter().copied().find(|n| queue.outstanding(*n) > 0)?;
+    let to = pool
+        .iter()
+        .copied()
+        .find(|n| *n != from && queue.outstanding(*n) == 0)?;
+    let (id, chunk) = queue.speculate(from, to)?;
+    Some((to, id, chunk))
 }
 
 #[cfg(test)]
@@ -692,6 +1078,115 @@ mod tests {
                 "dead node served work without recovery"
             );
         }
+        cl.shutdown();
+    }
+
+    #[test]
+    fn clean_run_reports_complete_coverage() {
+        let (c, cl) = cluster(3, PartitionStrategy::Recv { chunk_size: 8 });
+        let qs = QuestionGenerator::new(&c, 21).generate(3);
+        for gq in &qs {
+            let out = cl.ask(&gq.question).unwrap();
+            assert!(out.coverage.is_complete(), "clean run must be complete");
+            assert_eq!(out.coverage.fraction(), 1.0);
+        }
+        cl.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_degrades_instead_of_hanging() {
+        let (c, cl) = cluster(2, PartitionStrategy::Recv { chunk_size: 8 });
+        let index = Arc::new(ShardedIndex::build(&c.documents, c.config.sub_collections));
+        let store = Arc::new(DocumentStore::new(c.documents.clone()));
+        let retriever = ParagraphRetriever::new(index, store, RetrievalConfig::default());
+        let cl2 = Cluster::start(
+            retriever,
+            NamedEntityRecognizer::standard(),
+            ClusterConfig {
+                nodes: 2,
+                deadline: Some(Duration::ZERO),
+                ..ClusterConfig::default()
+            },
+        );
+        drop(cl);
+        let qs = QuestionGenerator::new(&c, 22).generate(1);
+        let out = cl2
+            .ask(&qs[0].question)
+            .expect("deadline degrades, never errors");
+        assert!(!out.coverage.is_complete(), "nothing can finish in 0 s");
+        assert!(out.coverage.fraction() < 1.0);
+        let degraded = cl2
+            .trace()
+            .for_question(qs[0].question.id)
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Degraded(_)));
+        assert!(degraded, "degradation must be traced");
+        cl2.shutdown();
+    }
+
+    #[test]
+    fn all_workers_dead_mid_question_degrades_not_spins() {
+        // Satellite check: with every worker dead *after* admission, the
+        // drain loop must terminate with a degraded result — not spin on an
+        // undrainable queue, not error the whole question.
+        let (c, cl) = cluster(2, PartitionStrategy::Recv { chunk_size: 8 });
+        let qs = QuestionGenerator::new(&c, 23).generate(1);
+        let processed = cl.qp.process(&qs[0].question).unwrap();
+        cl.kill_node(NodeId::new(0));
+        cl.kill_node(NodeId::new(1));
+        // Dispatch still succeeds (channels stay open), so the loop enters
+        // with two presumed-live workers that will never answer.
+        let chunks: Vec<Vec<SubCollectionId>> = (0..cl.shards)
+            .map(|s| vec![SubCollectionId::new(s as u32)])
+            .collect();
+        let started = Instant::now();
+        let (scored, _, coverage) = cl
+            .run_pr(
+                &processed,
+                NodeId::new(0),
+                vec![NodeId::new(0), NodeId::new(1)],
+                chunks,
+                None,
+            )
+            .expect("degrades, never errors");
+        assert!(started.elapsed() < Duration::from_secs(30), "loop spun");
+        assert_eq!(coverage.completed, 0);
+        assert!(coverage.total > 0);
+        assert!(scored.is_empty());
+        cl.shutdown();
+    }
+
+    #[test]
+    fn straggler_chunk_is_speculated_to_an_idle_worker() {
+        let (c, _) = cluster(1, PartitionStrategy::Recv { chunk_size: 8 });
+        let index = Arc::new(ShardedIndex::build(&c.documents, c.config.sub_collections));
+        let store = Arc::new(DocumentStore::new(c.documents.clone()));
+        let retriever = ParagraphRetriever::new(index, store, RetrievalConfig::default());
+        let cl = Cluster::start(
+            retriever,
+            NamedEntityRecognizer::standard(),
+            ClusterConfig {
+                nodes: 2,
+                ap_partition: PartitionStrategy::Recv { chunk_size: 8 },
+                // Staleness far above the straggler's pad: reap cannot be
+                // the rescuer, only speculation can.
+                staleness: Duration::from_secs(30),
+                subtask_poll: Duration::from_millis(10),
+                speculate_after: Some(1),
+                ..ClusterConfig::default()
+            },
+        );
+        // Node 1 crawls: every sub-task is padded ~1 s.
+        cl.board().set_slowdown(NodeId::new(1), 0.001);
+        let qs = QuestionGenerator::new(&c, 24).generate(1);
+        let started = Instant::now();
+        let out = cl.ask(&qs[0].question).expect("question completes");
+        assert!(
+            started.elapsed() < Duration::from_millis(800),
+            "speculation should beat the ~1 s straggler pad (took {:?})",
+            started.elapsed()
+        );
+        assert!(out.coverage.is_complete());
         cl.shutdown();
     }
 

@@ -31,13 +31,17 @@
 //!   prescribe.
 
 pub mod board;
+pub mod chaos;
 pub mod cluster;
+pub mod links;
 pub mod message;
 pub mod monitor;
 pub mod node;
 pub mod trace;
 
-pub use board::LoadBoard;
+pub use board::{LoadBoard, QuarantinePolicy};
+pub use chaos::ChaosDriver;
 pub use cluster::{Cluster, ClusterConfig, DistributedAnswer};
+pub use links::FaultyLink;
 pub use monitor::BroadcastMonitors;
 pub use trace::{TraceEvent, TraceKind, TraceLog};

@@ -1,0 +1,165 @@
+//! Fault-injecting channel layer.
+//!
+//! [`FaultyLink`] wraps a node's crossbeam sender and consults the seeded
+//! [`LinkJudge`] for every envelope: deliver, drop, duplicate, or delay.
+//! Decisions are a pure function of `(seed, destination, sequence number)`,
+//! so a given schedule perturbs the same messages on every run.
+//!
+//! A *dropped* envelope is not retransmitted here — the coordinator's
+//! retry/speculation policy recovers it, mirroring how the paper's system
+//! leans on TCP errors plus rescheduling rather than link-level heroics. A
+//! *duplicated* envelope is sent twice and collapses at the coordinator's
+//! first-result-wins chunk dedup. A *delayed* envelope is handed to a
+//! short-lived sleeper thread.
+
+use crate::message::Envelope;
+use crossbeam_channel::{SendError, Sender};
+use faults::{LinkDecision, LinkJudge};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A sender to one node, optionally perturbed by a [`LinkJudge`].
+#[derive(Debug)]
+pub struct FaultyLink {
+    inner: Sender<Envelope>,
+    judge: Option<LinkJudge>,
+    flow: u64,
+    seq: AtomicU64,
+}
+
+impl FaultyLink {
+    /// A transparent link: every send goes straight through.
+    pub fn clean(inner: Sender<Envelope>) -> FaultyLink {
+        FaultyLink {
+            inner,
+            judge: None,
+            flow: 0,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// A link perturbed by `judge`; `flow` identifies the destination in
+    /// the judge's decision hash.
+    pub fn faulty(inner: Sender<Envelope>, judge: LinkJudge, flow: u64) -> FaultyLink {
+        FaultyLink {
+            inner,
+            judge: Some(judge),
+            flow,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Send an envelope through the (possibly faulty) link. `Ok(())` means
+    /// the link accepted the message — which, under fault injection, may
+    /// still mean it was silently lost, exactly like a real network.
+    /// `Err` only signals a closed channel (the node is shut down).
+    pub fn send(&self, envelope: Envelope) -> Result<(), SendError<Envelope>> {
+        let Some(judge) = self.judge else {
+            return self.inner.send(envelope);
+        };
+        let msg = self.seq.fetch_add(1, Ordering::Relaxed);
+        match judge.decide(self.flow, msg) {
+            LinkDecision::Deliver => self.inner.send(envelope),
+            LinkDecision::Drop => Ok(()),
+            LinkDecision::Duplicate => {
+                let copy = envelope.clone();
+                self.inner.send(envelope)?;
+                // The twin is best-effort; dedup absorbs it either way.
+                let _ = self.inner.send(copy);
+                Ok(())
+            }
+            LinkDecision::Delay(secs) => {
+                let tx = self.inner.clone();
+                let dur = Duration::from_secs_f64(secs.max(0.0));
+                let spawned = std::thread::Builder::new()
+                    .name("dqa-link-delay".into())
+                    .spawn(move || {
+                        std::thread::sleep(dur);
+                        let _ = tx.send(envelope);
+                    });
+                // No thread for the sleeper → the message is effectively
+                // lost in transit; the retry policy recovers it.
+                let _ = spawned;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{SubTask, SubTaskResult};
+    use crossbeam_channel::unbounded;
+    use faults::FaultSchedule;
+    use qa_types::{QuestionId, SubCollectionId};
+
+    fn envelope(reply: Sender<SubTaskResult>, chunk: u32) -> Envelope {
+        Envelope {
+            task: SubTask::PrShard {
+                question: QuestionId::new(1),
+                keywords: vec![],
+                shard: SubCollectionId::new(0),
+                chunk,
+            },
+            reply,
+        }
+    }
+
+    #[test]
+    fn clean_link_delivers_everything() {
+        let (tx, rx) = unbounded();
+        let (reply, _keep) = unbounded();
+        let link = FaultyLink::clean(tx);
+        for i in 0..10 {
+            link.send(envelope(reply.clone(), i)).unwrap();
+        }
+        assert_eq!(rx.len(), 10);
+    }
+
+    #[test]
+    fn full_loss_delivers_nothing_but_reports_ok() {
+        let (tx, rx) = unbounded();
+        let (reply, _keep) = unbounded();
+        let judge = FaultSchedule::seeded(3).message_loss(1.0).link_judge();
+        let link = FaultyLink::faulty(tx, judge, 0);
+        for i in 0..10 {
+            link.send(envelope(reply.clone(), i)).unwrap();
+        }
+        assert_eq!(rx.len(), 0, "every message lost");
+    }
+
+    #[test]
+    fn full_duplication_doubles_delivery() {
+        let (tx, rx) = unbounded();
+        let (reply, _keep) = unbounded();
+        let judge = FaultSchedule::seeded(3).message_dup(1.0).link_judge();
+        let link = FaultyLink::faulty(tx, judge, 0);
+        for i in 0..5 {
+            link.send(envelope(reply.clone(), i)).unwrap();
+        }
+        assert_eq!(rx.len(), 10, "every message delivered twice");
+    }
+
+    #[test]
+    fn delayed_messages_arrive_late_but_arrive() {
+        let (tx, rx) = unbounded();
+        let (reply, _keep) = unbounded();
+        let judge = FaultSchedule::seeded(3)
+            .message_delay(1.0, 0.01)
+            .link_judge();
+        let link = FaultyLink::faulty(tx, judge, 0);
+        link.send(envelope(reply, 0)).unwrap();
+        let got = rx.recv_timeout(Duration::from_secs(2));
+        assert!(got.is_ok(), "delayed message never arrived");
+    }
+
+    #[test]
+    fn closed_channel_is_an_error_on_delivery() {
+        let (tx, rx) = unbounded();
+        let (reply, _keep) = unbounded();
+        drop(rx);
+        let link = FaultyLink::clean(tx);
+        assert!(link.send(envelope(reply, 0)).is_err());
+    }
+}

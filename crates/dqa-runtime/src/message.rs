@@ -18,6 +18,9 @@ pub enum SubTask {
         keywords: Vec<Keyword>,
         /// Which sub-collection to search.
         shard: SubCollectionId,
+        /// Coordinator-issued chunk id, echoed in the result so first-wins
+        /// dedup can retire speculative twins and link-level duplicates.
+        chunk: u32,
     },
     /// Run AP over a batch of accepted paragraphs.
     ApBatch {
@@ -27,6 +30,8 @@ pub enum SubTask {
         items: Vec<ApItem>,
         /// Pipeline knobs (window sizes, answers requested).
         config: PipelineConfig,
+        /// Coordinator-issued chunk id (see [`SubTask::PrShard`]).
+        chunk: u32,
     },
 }
 
@@ -49,6 +54,8 @@ pub enum SubTaskResult {
         shard: SubCollectionId,
         /// Scored paragraphs.
         scored: Vec<ScoredParagraph>,
+        /// Chunk id echoed from the sub-task.
+        chunk: u32,
     },
     /// AP output for one batch.
     Answers {
@@ -58,6 +65,8 @@ pub enum SubTaskResult {
         answers: RankedAnswers,
         /// How many paragraphs the batch held (trace labeling).
         paragraphs: usize,
+        /// Chunk id echoed from the sub-task.
+        chunk: u32,
     },
 }
 
@@ -68,10 +77,23 @@ impl SubTaskResult {
             SubTaskResult::Paragraphs { node, .. } | SubTaskResult::Answers { node, .. } => *node,
         }
     }
+
+    /// The chunk id the result answers for.
+    pub fn chunk(&self) -> u32 {
+        match self {
+            SubTaskResult::Paragraphs { chunk, .. } | SubTaskResult::Answers { chunk, .. } => {
+                *chunk
+            }
+        }
+    }
 }
 
 /// A sub-task envelope: work plus the reply channel.
-#[derive(Debug)]
+///
+/// `Clone` exists for the fault-injecting link layer (message duplication
+/// delivers the same envelope twice); the coordinator's dedup-by-chunk-id
+/// makes the copy harmless.
+#[derive(Debug, Clone)]
 pub struct Envelope {
     /// The work.
     pub task: SubTask,
@@ -90,6 +112,7 @@ mod tests {
             question: QuestionId::new(1),
             keywords: vec![],
             shard: SubCollectionId::new(0),
+            chunk: 0,
         };
         assert!(pr.is_disk_bound());
         let ap = SubTask::ApBatch {
@@ -100,17 +123,20 @@ mod tests {
             },
             items: vec![],
             config: PipelineConfig::default(),
+            chunk: 1,
         };
         assert!(!ap.is_disk_bound());
     }
 
     #[test]
-    fn result_node_accessor() {
+    fn result_node_and_chunk_accessors() {
         let r = SubTaskResult::Answers {
             node: NodeId::new(3),
             answers: RankedAnswers::default(),
             paragraphs: 0,
+            chunk: 7,
         };
         assert_eq!(r.node(), NodeId::new(3));
+        assert_eq!(r.chunk(), 7);
     }
 }

@@ -15,6 +15,7 @@
 //! broadcasts again.
 
 use crate::board::LoadBoard;
+use faults::LossJudge;
 use loadsim::{LoadPacket, LoadTable};
 use parking_lot::Mutex;
 use qa_types::NodeId;
@@ -36,6 +37,21 @@ impl BroadcastMonitors {
     /// `interval`; packets older than `staleness` seconds age out of the
     /// receiving tables.
     pub fn start(board: Arc<LoadBoard>, interval: Duration, staleness: f64) -> BroadcastMonitors {
+        Self::start_lossy(board, interval, staleness, None)
+    }
+
+    /// Like [`BroadcastMonitors::start`], but each per-receiver delivery of
+    /// a broadcast packet may be lost according to `judge` (the fault
+    /// framework's monitor-loss model). A lost packet leaves the receiver
+    /// acting on its stale view of the sender — which ages out after the
+    /// staleness window, so sustained loss degrades balancing, never
+    /// safety.
+    pub fn start_lossy(
+        board: Arc<LoadBoard>,
+        interval: Duration,
+        staleness: f64,
+        judge: Option<LossJudge>,
+    ) -> BroadcastMonitors {
         let nodes = board.len();
         let views: Vec<Arc<Mutex<LoadTable>>> = (0..nodes)
             .map(|_| Arc::new(Mutex::new(LoadTable::new(staleness))))
@@ -56,6 +72,7 @@ impl BroadcastMonitors {
                 std::thread::Builder::new()
                     .name(format!("dqa-monitor-{i}"))
                     .spawn(move || {
+                        let mut round: u64 = 0;
                         while !stop.load(Ordering::Acquire) {
                             if board.is_alive(node) {
                                 let now = epoch.elapsed().as_secs_f64();
@@ -67,11 +84,20 @@ impl BroadcastMonitors {
                                     questions: load.cpu as u32,
                                     sent_at: now,
                                 };
-                                for view in &views {
+                                for (receiver, view) in views.iter().enumerate() {
+                                    // A node always hears itself; peer
+                                    // deliveries ride the (lossy) network.
+                                    let flow = ((i as u64) << 32) | receiver as u64;
+                                    let lost = receiver != i
+                                        && judge.as_ref().is_some_and(|j| j.lost(flow, round));
+                                    if lost {
+                                        continue;
+                                    }
                                     let mut t = view.lock();
                                     t.update(packet, now);
                                     t.evict_stale(now);
                                 }
+                                round += 1;
                             }
                             std::thread::sleep(interval);
                         }
@@ -171,6 +197,45 @@ mod tests {
                 .any(|(n, v)| *n == NodeId::new(1) && v.cpu >= 3.0)
         });
         assert!(ok, "node 0 never saw node 1's load");
+        monitors.stop();
+    }
+
+    #[test]
+    fn total_monitor_loss_blinds_peers_but_not_self() {
+        let board = Arc::new(LoadBoard::new(2, 10.0));
+        for i in 0..2 {
+            board.heartbeat(NodeId::new(i));
+        }
+        let judge = faults::FaultSchedule::seeded(11)
+            .monitor_loss(1.0)
+            .monitor_judge();
+        let monitors = BroadcastMonitors::start_lossy(
+            Arc::clone(&board),
+            Duration::from_millis(3),
+            1.0,
+            Some(judge),
+        );
+        // Each node hears itself (loss applies to the network, not the
+        // local loopback)…
+        let self_seen = wait_until(1000, || {
+            (0..2).all(|i| {
+                monitors
+                    .view_from(NodeId::new(i))
+                    .iter()
+                    .any(|(n, _)| *n == NodeId::new(i))
+            })
+        });
+        assert!(self_seen, "self view missing");
+        // …but no peer packet ever lands.
+        std::thread::sleep(Duration::from_millis(50));
+        for i in 0..2u32 {
+            let peers = monitors
+                .view_from(NodeId::new(i))
+                .iter()
+                .filter(|(n, _)| *n != NodeId::new(i))
+                .count();
+            assert_eq!(peers, 0, "peer packet survived total loss");
+        }
         monitors.stop();
     }
 

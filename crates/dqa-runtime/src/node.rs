@@ -39,6 +39,15 @@ pub struct NodeContext {
 /// Run the worker loop until the channel closes or the node is killed.
 pub fn run_node(ctx: NodeContext, rx: Receiver<Envelope>) {
     loop {
+        if ctx.board.is_suspended(ctx.id) {
+            // Transient crash: go silent. No heartbeats (peers age this
+            // node out through staleness, like a real silent crash), queued
+            // envelopes are discarded, but the thread survives so a resume
+            // brings the node back with reset state.
+            while rx.try_recv().is_ok() {}
+            std::thread::sleep(ctx.heartbeat_every);
+            continue;
+        }
         ctx.board.heartbeat(ctx.id);
         if !alive(&ctx) {
             // Failure injection: stop serving; drop queued envelopes.
@@ -46,6 +55,11 @@ pub fn run_node(ctx: NodeContext, rx: Receiver<Envelope>) {
         }
         match rx.recv_timeout(ctx.heartbeat_every) {
             Ok(envelope) => {
+                if ctx.board.is_suspended(ctx.id) {
+                    // Suspended between poll and receive: the envelope dies
+                    // with the crash; the coordinator recovers it.
+                    continue;
+                }
                 if !alive(&ctx) {
                     return;
                 }
@@ -75,12 +89,14 @@ fn serve(ctx: &NodeContext, envelope: Envelope) {
     } else {
         ctx.board.cpu_delta(ctx.id, 1);
     }
+    let started = std::time::Instant::now();
 
     let result = match task {
         SubTask::PrShard {
             question,
             keywords,
             shard,
+            chunk,
         } => {
             ctx.trace
                 .record(question, ctx.id, TraceKind::PrChunkStart(shard));
@@ -96,12 +112,14 @@ fn serve(ctx: &NodeContext, envelope: Envelope) {
                 node: ctx.id,
                 shard,
                 scored,
+                chunk,
             }
         }
         SubTask::ApBatch {
             question,
             items,
             config,
+            chunk,
         } => {
             let qid = question.question.id;
             ctx.trace
@@ -113,9 +131,18 @@ fn serve(ctx: &NodeContext, envelope: Envelope) {
                 node: ctx.id,
                 answers,
                 paragraphs: items.len(),
+                chunk,
             }
         }
     };
+
+    // Straggler emulation: a node running at speed `f` takes `1/f` times
+    // as long, so pad the real work time by the difference.
+    let factor = ctx.board.slowdown(ctx.id);
+    if factor < 1.0 {
+        let pad = started.elapsed().as_secs_f64() * (1.0 / factor - 1.0);
+        std::thread::sleep(Duration::from_secs_f64(pad.min(1.0)));
+    }
 
     if disk_bound {
         ctx.board.disk_delta(ctx.id, -1);

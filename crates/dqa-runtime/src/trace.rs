@@ -25,6 +25,11 @@ pub enum TraceKind {
     AnswersSorted(usize),
     /// A worker was detected failed and its work re-queued.
     WorkerFailed,
+    /// A straggler's chunk was speculatively re-issued to another worker.
+    Speculated(u32),
+    /// The coordinator gave up on `usize` chunks (deadline or retry budget
+    /// exhausted) and returned a degraded, coverage-annotated answer.
+    Degraded(usize),
 }
 
 /// One trace record.
@@ -53,6 +58,8 @@ impl TraceEvent {
             TraceKind::ApBatchDone(n) => format!("finished {n} paragraphs"),
             TraceKind::AnswersSorted(n) => format!("sorted {n} answers"),
             TraceKind::WorkerFailed => "failed; work re-queued".to_string(),
+            TraceKind::Speculated(c) => format!("speculated chunk {c}"),
+            TraceKind::Degraded(n) => format!("degraded; {n} chunks abandoned"),
         };
         format!("[{:>8.3}s] {} {} {}", self.at, self.question, self.node, w)
     }

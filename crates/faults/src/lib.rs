@@ -1,0 +1,443 @@
+#![warn(missing_docs)]
+//! Unified, seeded fault-injection framework.
+//!
+//! The paper's failure story (Figs. 5c/6b) is crash-stop only: a
+//! partition's node dies, the sender or receiver reschedules it. A
+//! production-scale DQA system faces a richer fault space — transient
+//! crashes with rejoin, stragglers, lost/delayed/duplicated messages, and
+//! dispatchers acting on stale load information. This crate defines one
+//! declarative [`FaultSchedule`] that *both* backends honor:
+//!
+//! * `cluster-sim` interprets event times as **virtual seconds** and folds
+//!   link faults into the network model (per-flow drop → modeled
+//!   retransmission timeout, delay → an added latency stage, duplication →
+//!   doubled bytes on the wire);
+//! * `dqa-runtime` interprets event times as **scaled wall-clock offsets**
+//!   (a `ChaosDriver` thread applies crashes/rejoins/straggler windows) and
+//!   wraps its crossbeam links in a fault-injecting channel layer that
+//!   drops, delays or duplicates envelopes.
+//!
+//! Every stochastic decision is a pure function of `(seed, flow, sequence
+//! number)` via a splitmix64 hash — no RNG state is threaded through the
+//! backends, so the same schedule replays bit-for-bit regardless of thread
+//! interleaving or call order, which is what makes the DES double-run
+//! determinism tests possible under every fault type.
+
+use qa_types::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled fault. Times are seconds: virtual seconds in the DES,
+/// scaled wall-clock offsets in the thread runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// The node crashes at `at`; with `rejoin = Some(t)` it comes back at
+    /// `t` with empty state (transient failure), otherwise it is gone for
+    /// good (the paper's crash-stop model).
+    Crash {
+        /// Node that fails.
+        node: NodeId,
+        /// Failure time (seconds).
+        at: f64,
+        /// Optional rejoin time (seconds, must be > `at`).
+        rejoin: Option<f64>,
+    },
+    /// The node runs slow between `from` and `until`: its CPU and disk
+    /// progress at `factor` of normal speed (`0.25` = four times slower).
+    Straggler {
+        /// Node that straggles.
+        node: NodeId,
+        /// Window start (seconds).
+        from: f64,
+        /// Window end (seconds).
+        until: f64,
+        /// Speed multiplier in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+/// Per-message link-fault probabilities. Applied independently to every
+/// message on the coordinator↔worker links.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFaults {
+    /// Probability a message is lost.
+    pub loss: f64,
+    /// Probability a message is delayed by [`LinkFaults::delay_secs`].
+    pub delay_prob: f64,
+    /// Added latency of a delayed message (seconds).
+    pub delay_secs: f64,
+    /// Probability a message is duplicated.
+    pub dup: f64,
+    /// Modeled retransmission timeout the DES charges for a lost message
+    /// before the retry goes out (seconds). The thread runtime does not
+    /// retransmit at the link layer — a lost envelope is recovered by the
+    /// coordinator's retry/speculation policy.
+    pub retransmit_secs: f64,
+}
+
+impl LinkFaults {
+    /// A fault-free link.
+    pub fn none() -> LinkFaults {
+        LinkFaults {
+            loss: 0.0,
+            delay_prob: 0.0,
+            delay_secs: 0.0,
+            dup: 0.0,
+            retransmit_secs: 0.5,
+        }
+    }
+
+    /// True when every probability is zero (the judge can short-circuit).
+    pub fn is_clean(&self) -> bool {
+        self.loss <= 0.0 && self.delay_prob <= 0.0 && self.dup <= 0.0
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// The declarative fault schedule both backends consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// Seed for every per-message/per-packet decision.
+    pub seed: u64,
+    /// Crash/rejoin and straggler events.
+    pub events: Vec<FaultEvent>,
+    /// Link-level message faults.
+    pub link: LinkFaults,
+    /// Probability a load-monitor broadcast packet is lost (dispatchers
+    /// then act on the receiver's stale view of that node).
+    pub monitor_loss: f64,
+}
+
+impl FaultSchedule {
+    /// The empty schedule: no faults, seed 0.
+    pub fn none() -> FaultSchedule {
+        FaultSchedule {
+            seed: 0,
+            events: Vec::new(),
+            link: LinkFaults::none(),
+            monitor_loss: 0.0,
+        }
+    }
+
+    /// A schedule with the given decision seed and no faults yet.
+    pub fn seeded(seed: u64) -> FaultSchedule {
+        FaultSchedule {
+            seed,
+            ..FaultSchedule::none()
+        }
+    }
+
+    /// Add a permanent crash (crash-stop, the paper's model).
+    pub fn crash(mut self, node: NodeId, at: f64) -> Self {
+        self.events.push(FaultEvent::Crash {
+            node,
+            at,
+            rejoin: None,
+        });
+        self
+    }
+
+    /// Add a transient crash: down at `at`, back (with reset state) at
+    /// `rejoin`.
+    pub fn crash_rejoin(mut self, node: NodeId, at: f64, rejoin: f64) -> Self {
+        debug_assert!(rejoin > at, "rejoin must follow the crash");
+        self.events.push(FaultEvent::Crash {
+            node,
+            at,
+            rejoin: Some(rejoin),
+        });
+        self
+    }
+
+    /// Add a straggler window: `node` runs at `factor` speed in
+    /// `[from, until)`.
+    pub fn straggler(mut self, node: NodeId, from: f64, until: f64, factor: f64) -> Self {
+        debug_assert!(until > from, "straggler window must be non-empty");
+        debug_assert!(factor > 0.0, "factor must be positive");
+        self.events.push(FaultEvent::Straggler {
+            node,
+            from,
+            until,
+            factor: factor.clamp(1e-3, 1.0),
+        });
+        self
+    }
+
+    /// Set the message-loss probability.
+    pub fn message_loss(mut self, p: f64) -> Self {
+        self.link.loss = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the message-delay probability and added latency.
+    pub fn message_delay(mut self, p: f64, secs: f64) -> Self {
+        self.link.delay_prob = p.clamp(0.0, 1.0);
+        self.link.delay_secs = secs.max(0.0);
+        self
+    }
+
+    /// Set the message-duplication probability.
+    pub fn message_dup(mut self, p: f64) -> Self {
+        self.link.dup = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the load-monitor packet-loss probability.
+    pub fn monitor_loss(mut self, p: f64) -> Self {
+        self.monitor_loss = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// True when the schedule injects nothing at all.
+    pub fn is_clean(&self) -> bool {
+        self.events.is_empty() && self.link.is_clean() && self.monitor_loss <= 0.0
+    }
+
+    /// The link-fault judge for this schedule.
+    pub fn link_judge(&self) -> LinkJudge {
+        LinkJudge {
+            seed: self.seed,
+            link: self.link,
+        }
+    }
+
+    /// The monitor packet-loss judge for this schedule.
+    pub fn monitor_judge(&self) -> LossJudge {
+        LossJudge {
+            seed: self.seed ^ 0x9e37_79b9_7f4a_7c15,
+            p: self.monitor_loss,
+        }
+    }
+}
+
+impl Default for FaultSchedule {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// What the link does with one message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkDecision {
+    /// Delivered unharmed.
+    Deliver,
+    /// Dropped on the floor.
+    Drop,
+    /// Delivered twice.
+    Duplicate,
+    /// Delivered after the given extra latency (seconds).
+    Delay(f64),
+}
+
+/// Stateless per-message fault decider: a pure function of
+/// `(seed, flow, msg)`. Flows number logical links (e.g. the destination
+/// node); `msg` is the sender's per-flow sequence number.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkJudge {
+    seed: u64,
+    link: LinkFaults,
+}
+
+impl LinkJudge {
+    /// Decide the fate of message `msg` on `flow`.
+    pub fn decide(&self, flow: u64, msg: u64) -> LinkDecision {
+        if self.link.is_clean() {
+            return LinkDecision::Deliver;
+        }
+        let u = unit(self.seed, flow, msg);
+        let l = self.link.loss;
+        let d = l + self.link.dup;
+        let y = d + self.link.delay_prob;
+        if u < l {
+            LinkDecision::Drop
+        } else if u < d {
+            LinkDecision::Duplicate
+        } else if u < y {
+            LinkDecision::Delay(self.link.delay_secs)
+        } else {
+            LinkDecision::Deliver
+        }
+    }
+
+    /// The modeled retransmission timeout for lost messages (seconds).
+    pub fn retransmit_secs(&self) -> f64 {
+        self.link.retransmit_secs
+    }
+}
+
+/// Stateless single-probability loss decider (monitor packets).
+#[derive(Debug, Clone, Copy)]
+pub struct LossJudge {
+    seed: u64,
+    p: f64,
+}
+
+impl LossJudge {
+    /// True when packet `msg` on `flow` is lost.
+    pub fn lost(&self, flow: u64, msg: u64) -> bool {
+        self.p > 0.0 && unit(self.seed, flow, msg) < self.p
+    }
+}
+
+/// Bounded retry policy with exponential backoff, shared by both backends
+/// (the runtime converts seconds to `Duration`, the DES uses virtual
+/// seconds directly).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum recovery rounds per phase before the coordinator degrades.
+    pub budget: u32,
+    /// Base backoff before the first retry (seconds).
+    pub backoff_base: f64,
+    /// Backoff ceiling (seconds).
+    pub backoff_cap: f64,
+}
+
+impl RetryPolicy {
+    /// A policy with the given budget and a small default backoff.
+    pub fn with_budget(budget: u32) -> RetryPolicy {
+        RetryPolicy {
+            budget,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry number `attempt` (0-based), exponentially
+    /// doubled and capped.
+    pub fn backoff_secs(&self, attempt: u32) -> f64 {
+        let exp = attempt.min(24); // avoid overflow; cap dominates anyway
+        (self.backoff_base * f64::from(1u32 << exp.min(24))).min(self.backoff_cap)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            budget: 16,
+            backoff_base: 0.002,
+            backoff_cap: 0.1,
+        }
+    }
+}
+
+/// splitmix64 finalizer over the (seed, flow, msg) triple.
+fn mix(seed: u64, flow: u64, msg: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(flow.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(msg.wrapping_mul(0x94d0_49bb_1331_11eb))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` from the hash.
+fn unit(seed: u64, flow: u64, msg: u64) -> f64 {
+    (mix(seed, flow, msg) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn builder_accumulates_events() {
+        let s = FaultSchedule::seeded(7)
+            .crash(n(1), 10.0)
+            .crash_rejoin(n(2), 5.0, 25.0)
+            .straggler(n(0), 0.0, 50.0, 0.25)
+            .message_loss(0.1)
+            .message_delay(0.05, 0.2)
+            .message_dup(0.02)
+            .monitor_loss(0.3);
+        assert_eq!(s.events.len(), 3);
+        assert!(!s.is_clean());
+        assert_eq!(s.link.loss, 0.1);
+        assert_eq!(s.monitor_loss, 0.3);
+        assert!(FaultSchedule::none().is_clean());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_order_free() {
+        let s = FaultSchedule::seeded(42)
+            .message_loss(0.2)
+            .message_delay(0.2, 0.1)
+            .message_dup(0.2);
+        let j = s.link_judge();
+        // Same triple → same decision, regardless of query order.
+        let forward: Vec<_> = (0..100).map(|m| j.decide(3, m)).collect();
+        let backward: Vec<_> = (0..100).rev().map(|m| j.decide(3, m)).collect();
+        let mut backward = backward;
+        backward.reverse();
+        assert_eq!(forward, backward);
+        // And a second judge from the same schedule agrees.
+        let j2 = s.link_judge();
+        assert_eq!(
+            forward,
+            (0..100).map(|m| j2.decide(3, m)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn probabilities_hit_their_targets_roughly() {
+        let s = FaultSchedule::seeded(1).message_loss(0.25);
+        let j = s.link_judge();
+        let trials = 20_000u64;
+        let drops = (0..trials)
+            .filter(|&m| j.decide(m % 7, m) == LinkDecision::Drop)
+            .count() as f64;
+        let rate = drops / trials as f64;
+        assert!((0.22..=0.28).contains(&rate), "drop rate {rate}");
+    }
+
+    #[test]
+    fn clean_link_always_delivers_regardless_of_seed() {
+        for seed in [0u64, 1, 99] {
+            let j = FaultSchedule::seeded(seed).link_judge();
+            assert!((0..50).all(|m| j.decide(0, m) == LinkDecision::Deliver));
+        }
+    }
+
+    #[test]
+    fn monitor_judge_is_independent_of_link_judge() {
+        let s = FaultSchedule::seeded(5).message_loss(1.0).monitor_loss(0.0);
+        assert_eq!(s.link_judge().decide(0, 0), LinkDecision::Drop);
+        assert!(!s.monitor_judge().lost(0, 0));
+        let s2 = FaultSchedule::seeded(5).monitor_loss(1.0);
+        assert!(s2.monitor_judge().lost(0, 0));
+        assert_eq!(s2.link_judge().decide(0, 0), LinkDecision::Deliver);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            budget: 4,
+            backoff_base: 0.01,
+            backoff_cap: 0.05,
+        };
+        assert!((p.backoff_secs(0) - 0.01).abs() < 1e-12);
+        assert!((p.backoff_secs(1) - 0.02).abs() < 1e-12);
+        assert!((p.backoff_secs(2) - 0.04).abs() < 1e-12);
+        assert!((p.backoff_secs(3) - 0.05).abs() < 1e-12, "capped");
+        assert!((p.backoff_secs(30) - 0.05).abs() < 1e-12, "no overflow");
+        assert_eq!(RetryPolicy::with_budget(3).budget, 3);
+    }
+
+    #[test]
+    fn schedule_round_trips_through_serde() {
+        let s = FaultSchedule::seeded(9)
+            .crash_rejoin(n(1), 2.0, 4.0)
+            .straggler(n(0), 1.0, 3.0, 0.5)
+            .message_loss(0.1);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

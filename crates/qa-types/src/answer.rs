@@ -147,6 +147,61 @@ impl RankedAnswers {
     }
 }
 
+/// Fraction of a distributed phase's work that actually completed.
+///
+/// Under graceful degradation (retry budget or deadline exhausted) the
+/// coordinator abandons the chunks it could not place and answers from what
+/// it has; `Coverage` makes that loss explicit instead of silently shipping
+/// a partial ranking. `completed == total` marks a non-degraded phase whose
+/// answers must be byte-identical to a fault-free run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coverage {
+    /// Work units (shards or chunks) that finished.
+    pub completed: u32,
+    /// Work units the phase started with.
+    pub total: u32,
+}
+
+impl Coverage {
+    /// Full coverage over `total` units.
+    pub fn full(total: u32) -> Coverage {
+        Coverage {
+            completed: total,
+            total,
+        }
+    }
+
+    /// Completed fraction in `[0, 1]`; an empty phase counts as complete.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            f64::from(self.completed) / f64::from(self.total)
+        }
+    }
+
+    /// True when nothing was lost.
+    pub fn is_complete(&self) -> bool {
+        self.completed >= self.total
+    }
+
+    /// Pointwise minimum-coverage combination of two phases (the question
+    /// is only as complete as its least-complete phase).
+    pub fn and(self, other: Coverage) -> Coverage {
+        if self.fraction() <= other.fraction() {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Coverage {
+    fn default() -> Self {
+        Coverage::full(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +268,24 @@ mod tests {
         assert!(!Answer::better(&b, &a));
         let c = ans(3, 0.9);
         assert!(Answer::better(&c, &a));
+    }
+
+    #[test]
+    fn coverage_fraction_and_combination() {
+        let full = Coverage::full(8);
+        assert!(full.is_complete());
+        assert_eq!(full.fraction(), 1.0);
+        let part = Coverage {
+            completed: 3,
+            total: 8,
+        };
+        assert!(!part.is_complete());
+        assert!((part.fraction() - 0.375).abs() < 1e-12);
+        assert_eq!(full.and(part), part, "least-complete phase wins");
+        assert_eq!(part.and(full), part);
+        let empty = Coverage::default();
+        assert!(empty.is_complete(), "empty phase counts as complete");
+        assert_eq!(empty.fraction(), 1.0);
     }
 
     #[test]

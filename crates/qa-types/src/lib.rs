@@ -21,7 +21,7 @@ pub mod params;
 pub mod question;
 pub mod resources;
 
-pub use answer::{Answer, AnswerWindow, RankedAnswers};
+pub use answer::{Answer, AnswerWindow, Coverage, RankedAnswers};
 pub use calibration::{ModuleProfile, Trec8Profile, Trec9Profile};
 pub use document::{Document, Paragraph, SubCollectionMeta};
 pub use error::QaError;

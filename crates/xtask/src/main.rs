@@ -14,6 +14,7 @@ fn usage() -> ExitCode {
          \x20 wall-clock       no Instant/SystemTime/thread::sleep in virtual-time crates\n\
          \x20 unordered-state  no HashMap/HashSet in sim/scheduler state crates\n\
          \x20 runtime-panic    no unwrap/expect/panic! in dqa-runtime non-test code\n\
+         \x20 unbounded-recv   no bare .recv() in dqa-runtime non-test code\n\
          \x20 unseeded-rng     no thread_rng/from_entropy/rand::random outside qa-cli"
     );
     ExitCode::from(2)

@@ -94,6 +94,17 @@ pub const RULES: &[Rule] = &[
                (typed QaError, board liveness), never panic",
     },
     Rule {
+        name: "unbounded-recv",
+        scope: Scope::Only(&["dqa-runtime"]),
+        patterns: &[
+            Pattern { seq: &[".", "recv", "("], report: 1, display: ".recv()" },
+        ],
+        why: "runtime code blocks forever on a channel",
+        help: "use recv_timeout (bounded by the sub-task poll interval) or try_recv so a dead \
+               peer is detected by the failure-recovery/deadline path instead of hanging the \
+               thread",
+    },
+    Rule {
         name: "unseeded-rng",
         scope: Scope::AllExcept(&["qa-cli"]),
         patterns: &[

@@ -21,10 +21,26 @@ pub fn waived_unwrap(v: Option<u32>) -> u32 {
     v.unwrap() // dqa-lint: allow(runtime-panic)
 }
 
+pub fn blocking_recv(rx: std::sync::mpsc::Receiver<u32>) -> u32 {
+    rx.recv().unwrap_or(0)
+}
+
+pub fn waived_recv(rx: std::sync::mpsc::Receiver<u32>) -> u32 {
+    // dqa-lint: allow(unbounded-recv)
+    rx.recv().unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn unwrap_is_fine_in_tests() {
         assert_eq!(Some(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn bare_recv_is_fine_in_tests() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
     }
 }

@@ -34,6 +34,7 @@ fn violations_fixture_flags_each_rule_at_exact_lines() {
         (rt, "runtime-panic", 9, ".expect()"),
         (rt, "runtime-panic", 13, "panic!"),
         (rt, "runtime-panic", 17, "unreachable!"),
+        (rt, "unbounded-recv", 25, ".recv()"),
         ("src/lib.rs", "unseeded-rng", 5, "SeedableRng::from_entropy"),
     ];
     assert_eq!(got, want);
@@ -43,8 +44,10 @@ fn violations_fixture_flags_each_rule_at_exact_lines() {
 fn pragma_and_test_code_waivers_hold_in_violations_fixture() {
     let (_, diags) = run_lint(&fixture("violations")).expect("fixture lint");
     // Line 18 of the cluster-sim fixture carries a pragma'd Instant; line
-    // 21 of the dqa-runtime fixture a pragma'd unwrap. Every #[cfg(test)]
-    // mod holds violations of all three crate-scoped rules. None may flag.
+    // 21 of the dqa-runtime fixture a pragma'd unwrap and line 30 a
+    // pragma'd bare recv (pragma on the line above). Every #[cfg(test)]
+    // mod holds violations of the crate-scoped rules. Only the seeded
+    // bare-recv violation on line 25 may flag past line 20.
     assert!(
         diags
             .iter()
@@ -54,7 +57,7 @@ fn pragma_and_test_code_waivers_hold_in_violations_fixture() {
     assert!(
         diags
             .iter()
-            .all(|d| !(d.file.ends_with("dqa-runtime/src/lib.rs") && d.line >= 20)),
+            .all(|d| !(d.file.ends_with("dqa-runtime/src/lib.rs") && d.line >= 20 && d.line != 25)),
         "waived or test-mod line flagged in dqa-runtime fixture: {diags:?}"
     );
 }
@@ -87,11 +90,12 @@ fn json_rendering_is_valid_and_complete() {
     for d in &diags {
         assert!(json.contains(&format!("\"file\":\"{}\",\"line\":{}", d.file, d.line)));
     }
-    // All four rule names exercised except the per-fixture exemptions.
+    // All five rule names exercised except the per-fixture exemptions.
     for rule in [
         "wall-clock",
         "unordered-state",
         "runtime-panic",
+        "unbounded-recv",
         "unseeded-rng",
     ] {
         assert!(

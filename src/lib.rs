@@ -10,6 +10,7 @@ pub use analytical;
 pub use cluster_sim;
 pub use corpus;
 pub use dqa_runtime;
+pub use faults;
 pub use ir_engine;
 pub use loadsim;
 pub use nlp;

@@ -1,0 +1,167 @@
+//! Seeded chaos soak: the unified fault framework's end-to-end
+//! invariants, asserted at integration level across both backends.
+//!
+//! 1. **No question is ever lost.** Under every fault type the runtime
+//!    returns `Ok` for every ask (possibly degraded, never hung or
+//!    errored) and the simulator completes every submitted question.
+//! 2. **Complete answers are byte-identical to the fault-free run.**
+//!    Faults may slow a question or degrade its coverage, but a
+//!    full-coverage answer must carry exactly the clean run's bytes.
+//! 3. **The DES replays seed-stably under every fault type.** Two runs
+//!    of the same seeded `FaultSchedule` produce bit-equal reports.
+
+use falcon_dqa::cluster_sim::workload::{QaSimulation, SimConfig};
+use falcon_dqa::corpus::{Corpus, CorpusConfig, QuestionGenerator};
+use falcon_dqa::dqa_runtime::{Cluster, ClusterConfig};
+use falcon_dqa::faults::{FaultSchedule, RetryPolicy};
+use falcon_dqa::ir_engine::{DocumentStore, ParagraphRetriever, RetrievalConfig, ShardedIndex};
+use falcon_dqa::nlp::NamedEntityRecognizer;
+use falcon_dqa::qa_types::NodeId;
+use falcon_dqa::scheduler::partition::PartitionStrategy;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn retriever(corpus: &Corpus) -> ParagraphRetriever {
+    let index = Arc::new(ShardedIndex::build(
+        &corpus.documents,
+        corpus.config.sub_collections,
+    ));
+    let store = Arc::new(DocumentStore::new(corpus.documents.clone()));
+    ParagraphRetriever::new(index, store, RetrievalConfig::default())
+}
+
+fn chaos_config(faults: FaultSchedule) -> ClusterConfig {
+    ClusterConfig {
+        nodes: 4,
+        ap_partition: PartitionStrategy::Recv { chunk_size: 4 },
+        faults,
+        // Schedules are authored in simulator seconds; run them at
+        // millisecond scale so a crash at t=20 lands 20 ms in.
+        fault_time_scale: 0.001,
+        deadline: Some(Duration::from_secs(20)),
+        retry: RetryPolicy::default().with_budget(64),
+        speculate_after: Some(5),
+        ..ClusterConfig::default()
+    }
+}
+
+fn answer_bytes(answers: &falcon_dqa::qa_types::RankedAnswers) -> String {
+    serde_json::to_string(answers).expect("answers serialize")
+}
+
+#[test]
+fn runtime_soak_loses_no_question_and_degrades_byte_identically() {
+    let corpus = Corpus::generate(CorpusConfig::small(808)).unwrap();
+    let questions = QuestionGenerator::new(&corpus, 9).generate(10);
+
+    // Fault-free baseline, asked on fixed homes so the chaotic run can
+    // replay the same placement.
+    let clean = Cluster::start(
+        retriever(&corpus),
+        NamedEntityRecognizer::standard(),
+        chaos_config(FaultSchedule::none()),
+    );
+    let mut baseline = Vec::new();
+    for (i, gq) in questions.iter().enumerate() {
+        let home = NodeId::new((i % 4) as u32);
+        let out = clean.ask_on(home, &gq.question).expect("clean ask");
+        assert!(out.coverage.is_complete(), "clean run must not degrade");
+        baseline.push(answer_bytes(&out.answers));
+    }
+    clean.shutdown();
+
+    // The same questions under every fault type at once: a transient
+    // crash, a permanent crash, a straggler window, lossy/delaying/
+    // duplicating links and monitor packet loss.
+    let schedule = FaultSchedule::seeded(808)
+        .crash_rejoin(NodeId::new(1), 30.0, 120.0)
+        .crash(NodeId::new(3), 400.0)
+        .straggler(NodeId::new(2), 60.0, 200.0, 0.25)
+        .message_loss(0.08)
+        .message_delay(0.10, 0.004)
+        .message_dup(0.05)
+        .monitor_loss(0.30);
+    let chaotic = Cluster::start(
+        retriever(&corpus),
+        NamedEntityRecognizer::standard(),
+        chaos_config(schedule),
+    );
+    let mut complete = 0usize;
+    for (i, gq) in questions.iter().enumerate() {
+        let home = NodeId::new((i % 4) as u32);
+        // Invariant 1: never lost — every ask returns, and returns Ok.
+        let out = chaotic
+            .ask_on(home, &gq.question)
+            .expect("chaotic ask must degrade, not fail");
+        assert!(out.coverage.total > 0, "coverage must be populated");
+        // Invariant 2: full coverage ⇒ byte-identical answers.
+        if out.coverage.is_complete() {
+            complete += 1;
+            assert_eq!(
+                answer_bytes(&out.answers),
+                baseline[i],
+                "non-degraded answer diverged from the fault-free run"
+            );
+        }
+    }
+    assert!(
+        complete > 0,
+        "soak produced no full-coverage answer at all; faults too hot for the assertion to bite"
+    );
+    chaotic.shutdown();
+}
+
+#[test]
+fn des_replays_seed_stably_under_every_fault_type() {
+    let low =
+        |seed| SimConfig::paper_low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, 6, seed);
+    let schedules: Vec<(&str, SimConfig)> = vec![
+        ("crash", {
+            let mut cfg = low(900);
+            cfg.faults = FaultSchedule::seeded(900).crash(NodeId::new(1), 30.0);
+            cfg
+        }),
+        ("crash+rejoin", {
+            let mut cfg = low(901);
+            cfg.faults = FaultSchedule::seeded(901).crash_rejoin(NodeId::new(2), 20.0, 150.0);
+            cfg
+        }),
+        ("straggler", {
+            let mut cfg = low(902);
+            cfg.faults = FaultSchedule::seeded(902).straggler(NodeId::new(0), 0.0, 300.0, 0.3);
+            cfg
+        }),
+        ("link loss/delay/dup", {
+            let mut cfg = low(903);
+            cfg.faults = FaultSchedule::seeded(903)
+                .message_loss(0.15)
+                .message_delay(0.2, 0.4)
+                .message_dup(0.1);
+            cfg.faults.link.retransmit_secs = 1.0;
+            cfg
+        }),
+        ("monitor loss", {
+            let mut cfg = low(904);
+            cfg.faults = FaultSchedule::seeded(904).monitor_loss(0.6);
+            cfg
+        }),
+        ("everything at once", {
+            let mut cfg = low(905);
+            cfg.faults = FaultSchedule::seeded(905)
+                .crash_rejoin(NodeId::new(1), 40.0, 200.0)
+                .straggler(NodeId::new(3), 10.0, 120.0, 0.25)
+                .message_loss(0.1)
+                .message_delay(0.1, 0.3)
+                .message_dup(0.05)
+                .monitor_loss(0.4);
+            cfg.faults.link.retransmit_secs = 1.0;
+            cfg
+        }),
+    ];
+    for (label, cfg) in schedules {
+        let a = QaSimulation::new(cfg.clone()).run();
+        let b = QaSimulation::new(cfg).run();
+        assert_eq!(a, b, "{label}: DES replay diverged");
+        assert_eq!(a.questions.len(), 6, "{label}: question lost in the DES");
+    }
+}

@@ -90,6 +90,94 @@ fn node_rejoins_after_revival() {
 }
 
 #[test]
+fn recv_recovery_survives_cascading_failures() {
+    // Nodes die one after another across the question stream — each
+    // recovery round may itself be interrupted by the next failure. Every
+    // answer must stay correct and no ask may error while one node lives.
+    let (corpus, cl) = cluster(605, 4);
+    let questions = QuestionGenerator::new(&corpus, 5).generate(3);
+    let mut baseline = Vec::new();
+    for gq in &questions {
+        baseline.push(cl.ask(&gq.question).unwrap().answers);
+    }
+    for (round, dead) in [1u32, 3, 2].into_iter().enumerate() {
+        cl.kill_node(NodeId::new(dead));
+        for (gq, base) in questions.iter().zip(&baseline) {
+            let out = cl.ask(&gq.question).unwrap();
+            assert_eq!(
+                &out.answers, base,
+                "answers changed after cascading failure #{round}"
+            );
+            assert!(out.coverage.is_complete(), "survivors must finish the work");
+        }
+    }
+    cl.shutdown();
+}
+
+#[test]
+fn node_crash_and_rejoin_mid_question_stream() {
+    // A transient crash (threads survive, node goes silent): questions in
+    // flight while it is down are recovered onto the survivors; after the
+    // resume the node heartbeats again and rejoins the pool with clean
+    // counters.
+    let (corpus, cl) = cluster(606, 3);
+    let questions = QuestionGenerator::new(&corpus, 6).generate(6);
+    let victim = NodeId::new(1);
+
+    cl.suspend_node(victim);
+    for gq in &questions[..3] {
+        // The node looks alive until its heartbeat goes stale, so early
+        // asks may dispatch to it and exercise mid-question recovery.
+        let out = cl.ask(&gq.question).unwrap();
+        assert!(out.coverage.is_complete());
+    }
+    assert!(
+        !cl.board().is_alive(victim) || cl.board().is_suspended(victim),
+        "suspended node still counted live after the stream drained"
+    );
+
+    cl.resume_node(victim);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while !cl.board().is_alive(victim) && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(cl.board().is_alive(victim), "resumed node never rejoined");
+    let loads = cl.board().load_of(victim);
+    assert_eq!(loads.cpu, 0.0, "rejoined node must restart from clean load");
+    for gq in &questions[3..] {
+        let out = cl.ask(&gq.question).unwrap();
+        assert!(out.coverage.is_complete());
+    }
+    cl.shutdown();
+}
+
+#[test]
+fn failure_during_recovery_round_still_completes() {
+    // The first failure is visible before the stream starts; the second
+    // lands while coordinators are busy recovering from the first.
+    let (corpus, cl) = cluster(607, 4);
+    let questions = QuestionGenerator::new(&corpus, 7).generate(10);
+    cl.kill_node(NodeId::new(3));
+    let board = std::sync::Arc::clone(cl.board());
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        board.set_alive(NodeId::new(2), false);
+    });
+    for gq in &questions {
+        let out = cl.ask(&gq.question).unwrap();
+        assert!(
+            out.coverage.is_complete(),
+            "two live nodes must still finish everything"
+        );
+    }
+    killer.join().unwrap();
+    for n in [0u32, 1] {
+        assert!(cl.board().is_alive(NodeId::new(n)), "survivor died");
+    }
+    cl.shutdown();
+}
+
+#[test]
 fn recovery_trace_is_emitted_when_worker_dies_mid_question() {
     let (corpus, cl) = cluster(604, 4);
     let questions = QuestionGenerator::new(&corpus, 4).generate(20);
