@@ -20,7 +20,10 @@ use crate::demand::QuestionDemand;
 use crate::engine::{Advance, Engine, Stage};
 use faults::{FaultEvent, FaultSchedule, LinkDecision, LinkJudge, LossJudge};
 use loadsim::functions::LoadFunctions;
-use qa_types::{ModuleProfile, ModuleTimings, NodeId, QaModule, ResourceVector, ResourceWeights};
+use qa_types::{
+    ModuleProfile, ModuleTimings, NodeId, OverloadCounts, OverloadPolicy, QaModule,
+    QuestionOutcome, ResourceVector, ResourceWeights,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use scheduler::diffusion::{GradientModel, SenderDiffusion};
@@ -125,6 +128,14 @@ pub struct SimConfig {
     /// [`SimConfig::node_failures`] entries are merged into the same
     /// timeline as permanent crashes.
     pub faults: FaultSchedule,
+    /// Admission control and load shedding, mirroring the thread runtime's
+    /// interpretation of the same [`OverloadPolicy`] so both backends
+    /// report comparable saturation curves. Where the runtime estimates
+    /// phase demand online (EWMA over observed timings), the simulator
+    /// consults the sampled [`QuestionDemand`] directly — an oracle
+    /// estimator, which is exactly what a calibrated simulator should use.
+    /// The default is fully permissive: no existing experiment changes.
+    pub overload: OverloadPolicy,
 }
 
 impl SimConfig {
@@ -159,6 +170,7 @@ impl SimConfig {
             switched_network: false,
             record_trace: false,
             faults: FaultSchedule::none(),
+            overload: OverloadPolicy::default(),
         }
     }
 
@@ -287,6 +299,16 @@ pub enum SimEventKind {
         /// Home node.
         node: NodeId,
     },
+    /// The question was refused at admission (queue full, every node at
+    /// its resident cap, or its deadline expired while waiting).
+    Rejected,
+    /// A phase was shed: the remaining deadline budget could not cover its
+    /// estimated demand, so the question short-circuited to a degraded
+    /// completion.
+    Shed {
+        /// The phase that was shed.
+        module: QaModule,
+    },
 }
 
 /// Per-question outcome record.
@@ -306,6 +328,9 @@ pub struct QuestionRecord {
     pub pr_nodes: usize,
     /// Number of nodes its AP phase used.
     pub ap_nodes: usize,
+    /// How the question left the system. Rejected questions carry zero
+    /// timings and a `finished` equal to the rejection instant.
+    pub outcome: QuestionOutcome,
 }
 
 impl QuestionRecord {
@@ -375,6 +400,36 @@ impl SimReport {
     pub fn mean_overhead(&self) -> OverheadBreakdown {
         OverheadBreakdown::mean(self.questions.iter().map(|q| &q.overhead))
     }
+
+    /// Outcome tally: answered + degraded + rejected always equals the
+    /// offered question count (zero silent drops, by construction).
+    pub fn outcome_counts(&self) -> OverloadCounts {
+        let mut counts = OverloadCounts::default();
+        for q in &self.questions {
+            counts.record(q.outcome);
+        }
+        counts
+    }
+
+    /// Response-time percentile over *admitted* questions only (answered or
+    /// degraded). Rejections bounce at the door in near-zero time and would
+    /// otherwise drag the tail estimate down exactly when the system is
+    /// most overloaded. Returns 0 when nothing was admitted.
+    pub fn admitted_response_percentile(&self, p: f64) -> f64 {
+        let mut times: Vec<f64> = self
+            .questions
+            .iter()
+            .filter(|q| q.outcome != QuestionOutcome::Rejected)
+            .map(QuestionRecord::response_time)
+            .collect();
+        if times.is_empty() {
+            return 0.0;
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * times.len() as f64).ceil() as usize).clamp(1, times.len());
+        times[rank - 1]
+    }
 }
 
 /// Engine task tags.
@@ -413,6 +468,11 @@ enum Phase {
 
 struct QState {
     demand: QuestionDemand,
+    /// Deadline in virtual time, anchored at the *offer* instant (so time
+    /// parked in the admission queue counts against the budget).
+    deadline: Option<f64>,
+    /// How the question will be recorded; flips to `Degraded` on shed.
+    outcome: QuestionOutcome,
     /// Ratio of this question's total demand to the profile mean; load
     /// commitments are scaled by it so dispatchers see *work*, not counts
     /// (the real load monitor measures utilization, which reflects work).
@@ -486,6 +546,11 @@ pub struct QaSimulation {
     /// from node `n` (only maintained when monitor loss is injected).
     observed: Vec<Vec<ResourceVector>>,
     trace: Vec<SimEvent>,
+    /// Bounded virtual admission queue (question indices, offer order).
+    /// Mirrors the runtime's [`AdmissionGate`] waiting room: at most
+    /// `overload.admission_queue` questions park here; the head is
+    /// re-examined whenever an in-flight slot frees.
+    admission_wait: std::collections::VecDeque<usize>,
 }
 
 impl QaSimulation {
@@ -523,6 +588,8 @@ impl QaSimulation {
                     (demand.total() / profile.sequential_total().max(1e-9)).clamp(0.2, 5.0);
                 QState {
                     demand,
+                    deadline: None,
+                    outcome: QuestionOutcome::Answered,
                     work_scale,
                     arrival: arrivals[i],
                     home: NodeId::new((i % cfg.nodes) as u32),
@@ -613,6 +680,7 @@ impl QaSimulation {
                 Vec::new()
             },
             trace: Vec::new(),
+            admission_wait: std::collections::VecDeque::new(),
             cfg,
         }
     }
@@ -720,6 +788,12 @@ impl QaSimulation {
             if self.completed == self.states.len() && self.next_arrival >= self.states.len() {
                 break;
             }
+        }
+        // Anything still parked in the admission queue when the system
+        // goes idle is waiting on a slot that will never free; reject it
+        // deterministically so every offered question has a record.
+        while let Some(q) = self.admission_wait.pop_front() {
+            self.reject(q);
         }
     }
 
@@ -1074,8 +1148,91 @@ impl QaSimulation {
 
     // ---- phases ------------------------------------------------------
 
+    /// Offer one question: the admission mirror point. The offer either
+    /// passes straight into [`QaSimulation::admit`], parks in the bounded
+    /// virtual admission queue, or is rejected outright — the same
+    /// trichotomy as the runtime's [`AdmissionGate`].
     fn submit(&mut self, q: usize) {
         let now = self.engine.now();
+        {
+            let st = &mut self.states[q];
+            st.arrival = now.max(st.arrival);
+            if let Some(d) = self.cfg.overload.deadline_secs {
+                st.deadline = Some(st.arrival + d.max(0.0));
+            }
+        }
+        if let Some(cap) = self.cfg.overload.max_in_flight {
+            if self.in_flight >= cap {
+                // A zero cap can never free a slot, so queueing would
+                // strand the question forever: reject immediately.
+                if cap > 0 && self.admission_wait.len() < self.cfg.overload.admission_queue {
+                    self.admission_wait.push_back(q);
+                } else {
+                    self.reject(q);
+                }
+                return;
+            }
+        }
+        self.admit(q);
+    }
+
+    /// Refuse one offered question: it gets a zero-timing record at the
+    /// rejection instant so the outcome accounting stays conservative
+    /// (offered == answered + degraded + rejected, no silent drops).
+    fn reject(&mut self, q: usize) {
+        let at = self.engine.now();
+        self.record(q, SimEventKind::Rejected);
+        let st = &mut self.states[q];
+        st.phase = Phase::Done;
+        st.outcome = QuestionOutcome::Rejected;
+        self.records[q] = Some(QuestionRecord {
+            arrival: st.arrival,
+            finished: at,
+            timings: ModuleTimings::default(),
+            overhead: OverheadBreakdown::default(),
+            home: st.home,
+            pr_nodes: 0,
+            ap_nodes: 0,
+            outcome: QuestionOutcome::Rejected,
+        });
+        self.completed += 1;
+    }
+
+    /// A completion freed an in-flight slot: re-examine the head of the
+    /// admission queue. Waiters whose deadline lapsed while parked are
+    /// rejected (the runtime's timed condition-variable wait, in virtual
+    /// time); the rest are admitted in offer order.
+    fn drain_admission(&mut self) {
+        let Some(cap) = self.cfg.overload.max_in_flight else {
+            return;
+        };
+        while self.in_flight < cap {
+            let Some(q) = self.admission_wait.pop_front() else {
+                return;
+            };
+            let now = self.engine.now();
+            if self.states[q].deadline.is_some_and(|d| now >= d) {
+                self.reject(q);
+                continue;
+            }
+            self.admit(q);
+        }
+    }
+
+    fn admit(&mut self, q: usize) {
+        let now = self.engine.now();
+        // Per-node admission cap, mirrored from the runtime: when every
+        // live node already hosts `cap` questions the cluster is saturated
+        // and the question bounces rather than queueing on a node.
+        if let Some(cap) = self.cfg.overload.max_per_node {
+            let saturated = (0..self.cfg.nodes)
+                .filter(|&n| !self.dead[n])
+                .all(|n| self.resident[n] as usize >= cap);
+            if saturated {
+                self.reject(q);
+                return;
+            }
+        }
         let mut dns_home = self.states[q].home;
         // DNS pointing at a dead node: walk the ring to the next live one.
         let mut hops = 0;
@@ -1120,7 +1277,6 @@ impl QaSimulation {
         );
         self.in_flight += 1;
         let st = &mut self.states[q];
-        st.arrival = now.max(st.arrival);
         st.phase = Phase::Qp;
         st.phase_start = now;
         let qp = st.demand.qp;
@@ -1227,6 +1383,16 @@ impl QaSimulation {
             entry.1.disk = (entry.1.disk - own.disk).max(0.0);
         }
         let f = self.functions;
+        // Per-node overload breaker (policy mirror): nodes past the
+        // saturation threshold are excluded from this partition decision,
+        // like the runtime's quarantine-tripped breaker. When everything is
+        // saturated, fall back to the home node rather than stalling.
+        if let Some(threshold) = self.cfg.overload.breaker_load {
+            loads.retain(|(_, v)| f.load_for(module, *v) <= threshold);
+            if loads.is_empty() {
+                return vec![home];
+            }
+        }
         let alloc = meta_schedule(
             &loads,
             |v| f.load_for(module, v),
@@ -1245,7 +1411,41 @@ impl QaSimulation {
         nodes
     }
 
+    /// Whether the remaining deadline budget can no longer cover the
+    /// estimated demand of `module`. The simulator's estimate is the
+    /// question's own sampled demand spread over the live pool — the
+    /// oracle analogue of the runtime's EWMA estimator. PR carries its
+    /// fused PS share, matching the runtime's observation model.
+    fn should_shed(&self, q: usize, module: QaModule, now: f64) -> bool {
+        let Some(deadline) = self.states[q].deadline else {
+            return false;
+        };
+        let live = self.dead.iter().filter(|&&dead| !dead).count().max(1) as f64;
+        let demand = match module {
+            QaModule::Pr => self.states[q].demand.pr_total() + self.states[q].demand.ps_total(),
+            QaModule::Ap => self.states[q].demand.ap_total(),
+            _ => return false,
+        };
+        let estimate = demand / live;
+        (deadline - now) < estimate * self.cfg.overload.shed_headroom.max(0.0)
+    }
+
+    /// Shed `module`: skip it (and everything after it except the final
+    /// sort) and complete degraded — the virtual-time mirror of the
+    /// runtime's coverage-annotated short-circuit.
+    fn shed(&mut self, q: usize, module: QaModule, now: f64) {
+        self.record(q, SimEventKind::Shed { module });
+        self.states[q].outcome = QuestionOutcome::Degraded;
+        self.start_sort(q, now);
+    }
+
     fn start_pr(&mut self, q: usize, now: f64) {
+        // Shedding decision point 1: a question whose budget cannot cover
+        // PR returns an empty degraded answer before occupying workers.
+        if self.should_shed(q, QaModule::Pr, now) {
+            self.shed(q, QaModule::Pr, now);
+            return;
+        }
         // Scheduling point 2: the PR dispatcher.
         let nodes = self.module_allocation(q, QaModule::Pr);
         let st = &mut self.states[q];
@@ -1346,6 +1546,13 @@ impl QaSimulation {
     }
 
     fn start_ap(&mut self, q: usize, now: f64) {
+        // Shedding decision point 2: AP is the most expensive phase
+        // (Table 2); a question that cannot fit it keeps its PR/PO work
+        // and completes degraded instead of dispatching doomed batches.
+        if self.should_shed(q, QaModule::Ap, now) {
+            self.shed(q, QaModule::Ap, now);
+            return;
+        }
         // Scheduling point 3: the AP dispatcher.
         let nodes = self.module_allocation(q, QaModule::Ap);
         let st = &mut self.states[q];
@@ -1494,10 +1701,13 @@ impl QaSimulation {
             home: st.home,
             pr_nodes: st.pr_nodes_used.len(),
             ap_nodes: st.ap_nodes_used.len(),
+            outcome: st.outcome,
         };
         self.records[q] = Some(record);
         self.completed += 1;
         self.in_flight -= 1;
+        // The freed slot may admit (or deadline-reject) queued arrivals.
+        self.drain_admission();
         // Silence unused-field warnings for rng in builds without jitter.
         let _ = &self.rng;
     }
@@ -1908,6 +2118,102 @@ mod tests {
             .message_dup(0.0)
             .monitor_loss(0.0);
         assert_eq!(QaSimulation::new(cfg).run(), base);
+    }
+
+    #[test]
+    fn permissive_policy_answers_everything() {
+        let r = QaSimulation::new(SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 5)).run();
+        let counts = r.outcome_counts();
+        assert_eq!(counts.answered, r.questions.len());
+        assert_eq!(counts.rejected + counts.degraded, 0);
+    }
+
+    #[test]
+    fn admission_cap_rejects_past_queue_depth_and_conserves() {
+        let mut cfg = SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 6);
+        cfg.overload = OverloadPolicy::server(2).with_queue(1);
+        // Compress arrivals so the burst genuinely contends for 2+1 slots.
+        cfg.arrival_spacing = (0.0, 0.1);
+        let r = QaSimulation::new(cfg).run();
+        let counts = r.outcome_counts();
+        assert_eq!(counts.offered(), r.questions.len(), "zero silent drops");
+        assert_eq!(counts.offered(), 32);
+        assert!(
+            counts.rejected > 0,
+            "32-question burst must bounce: {counts:?}"
+        );
+        assert!(counts.answered > 0, "someone gets through: {counts:?}");
+        for q in &r.questions {
+            if q.outcome == QuestionOutcome::Rejected {
+                assert_eq!(q.timings.total(), 0.0, "rejected questions do no work");
+                assert_eq!(q.pr_nodes + q.ap_nodes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn admission_control_is_deterministic() {
+        let build = || {
+            let mut cfg = SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 7);
+            cfg.overload = OverloadPolicy::server(3).with_deadline(60.0);
+            cfg
+        };
+        let a = QaSimulation::new(build()).run();
+        let b = QaSimulation::new(build()).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tight_deadline_sheds_phases_and_degrades() {
+        let mut cfg =
+            SimConfig::paper_low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, 4, 44);
+        // Complex TREC-9 questions need ~158 s of sequential service; a 2 s
+        // budget can cover QP but never PR, so every question sheds.
+        cfg.overload = OverloadPolicy::default().with_deadline(2.0);
+        cfg.record_trace = true;
+        let r = QaSimulation::new(cfg).run();
+        let counts = r.outcome_counts();
+        assert_eq!(counts.degraded, 4, "{counts:?}");
+        assert_eq!(counts.rejected, 0, "nothing is rejected, only shed");
+        let sheds = r
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, SimEventKind::Shed { .. }))
+            .count();
+        assert_eq!(sheds, 4, "one shed decision per question");
+        // Shed questions still finish promptly — that is the whole point.
+        for q in &r.questions {
+            assert!(q.response_time() < 30.0, "shed question lingered");
+        }
+    }
+
+    #[test]
+    fn saturated_per_node_cap_rejects_everything() {
+        let mut cfg = SimConfig::paper_high_load(2, BalancingStrategy::Dns, 8);
+        cfg.overload = OverloadPolicy::default().with_per_node_cap(0);
+        let r = QaSimulation::new(cfg).run();
+        let counts = r.outcome_counts();
+        assert_eq!(counts.rejected, r.questions.len());
+        assert_eq!(counts.answered + counts.degraded, 0);
+    }
+
+    #[test]
+    fn admitted_percentile_ignores_rejections() {
+        let mut cfg = SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 9);
+        cfg.overload = OverloadPolicy::server(2).with_queue(1);
+        cfg.arrival_spacing = (0.0, 0.1);
+        let r = QaSimulation::new(cfg).run();
+        assert!(
+            r.outcome_counts().rejected > 0,
+            "need rejections to compare"
+        );
+        let all_p50 = r.response_time_percentile(0.5);
+        let admitted_p50 = r.admitted_response_percentile(0.5);
+        assert!(
+            admitted_p50 >= all_p50,
+            "near-instant rejections must not drag the admitted tail: {admitted_p50} < {all_p50}"
+        );
+        assert!(r.admitted_response_percentile(0.99) >= admitted_p50);
     }
 
     #[test]

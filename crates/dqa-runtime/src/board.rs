@@ -210,6 +210,17 @@ impl LoadBoard {
         row.questions.store(0, Ordering::Release);
     }
 
+    /// Open the breaker for `node` for `secs` seconds (overload circuit
+    /// breaker: a saturated node is excluded from dispatch exactly like a
+    /// flap-quarantined one, but keeps serving what it already holds). An
+    /// already-open breaker is only ever extended, never shortened.
+    pub fn trip_breaker(&self, node: NodeId, secs: f64) {
+        let until = self.now_micros().max(1) + (secs.max(0.0) * 1e6) as u64;
+        self.rows[node.index()]
+            .quarantine_until
+            .fetch_max(until, Ordering::AcqRel);
+    }
+
     /// Whether the flap breaker currently excludes the node from the pool.
     pub fn is_quarantined(&self, node: NodeId) -> bool {
         let until = self.rows[node.index()]
@@ -227,6 +238,20 @@ impl LoadBoard {
         }
         let hb = row.heartbeat_micros.load(Ordering::Acquire);
         hb > 0 && self.now_micros().saturating_sub(hb) <= self.staleness_micros
+    }
+
+    /// Whether the node's *own* threads should keep serving. Only the
+    /// explicit kill switch matters here: staleness and quarantine are
+    /// dispatcher-side views, and an overload breaker must park a node,
+    /// not kill its worker threads.
+    pub fn self_alive(&self, node: NodeId) -> bool {
+        self.rows[node.index()].alive.load(Ordering::Acquire)
+    }
+
+    /// Number of questions currently resident on the node (admission's
+    /// per-node cap reads this).
+    pub fn resident_questions(&self, node: NodeId) -> usize {
+        self.rows[node.index()].questions.load(Ordering::Acquire)
     }
 
     /// Track a CPU-bound sub-task starting/ending on a node.
@@ -431,6 +456,42 @@ mod tests {
         assert_eq!(b.slowdown(n0), 1.0, "clamped to full speed");
         b.set_slowdown(n0, 0.0);
         assert!(b.slowdown(n0) > 0.0, "clamped above zero");
+    }
+
+    #[test]
+    fn tripped_breaker_parks_but_does_not_kill() {
+        let b = LoadBoard::new(1, 10.0);
+        let n0 = NodeId::new(0);
+        b.heartbeat(n0);
+        b.trip_breaker(n0, 10.0);
+        assert!(b.is_quarantined(n0), "breaker excludes the node");
+        assert!(!b.is_alive(n0), "dispatchers treat it as out of the pool");
+        assert!(b.self_alive(n0), "its own threads must keep serving");
+        b.trip_breaker(n0, 0.0);
+        assert!(b.is_quarantined(n0), "re-trip never shortens the window");
+    }
+
+    #[test]
+    fn breaker_expires_on_its_own() {
+        let b = LoadBoard::new(1, 10.0);
+        let n0 = NodeId::new(0);
+        b.heartbeat(n0);
+        b.trip_breaker(n0, 0.02);
+        assert!(b.is_quarantined(n0));
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert!(!b.is_quarantined(n0));
+        assert!(b.is_alive(n0));
+    }
+
+    #[test]
+    fn resident_questions_tracks_deltas() {
+        let b = LoadBoard::new(1, 10.0);
+        let n0 = NodeId::new(0);
+        assert_eq!(b.resident_questions(n0), 0);
+        b.question_delta(n0, 3);
+        assert_eq!(b.resident_questions(n0), 3);
+        b.question_delta(n0, -1);
+        assert_eq!(b.resident_questions(n0), 2);
     }
 
     #[test]

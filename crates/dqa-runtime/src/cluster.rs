@@ -6,8 +6,9 @@ use crate::links::FaultyLink;
 use crate::message::{Envelope, SubTask, SubTaskResult};
 use crate::monitor::BroadcastMonitors;
 use crate::node::{run_node, NodeContext};
+use crate::overload::{Admission, AdmissionGate, GateDecision, PhaseEstimator};
 use crate::trace::{TraceKind, TraceLog};
-use crossbeam_channel::{bounded, unbounded, RecvTimeoutError, Sender};
+use crossbeam_channel::{bounded, RecvTimeoutError, SendTimeoutError, Sender};
 use faults::{FaultSchedule, RetryPolicy};
 use ir_engine::ParagraphRetriever;
 use loadsim::functions::LoadFunctions;
@@ -17,8 +18,8 @@ use qa_pipeline::ordering::order_paragraphs;
 use qa_pipeline::scoring::ScoredParagraph;
 use qa_pipeline::PipelineConfig;
 use qa_types::{
-    Coverage, ModuleTimings, NodeId, ProcessedQuestion, QaError, QaModule, Question, RankedAnswers,
-    SubCollectionId,
+    Coverage, ModuleTimings, NodeId, OverloadPolicy, ProcessedQuestion, QaError, QaModule,
+    Question, RankedAnswers, SubCollectionId, Trec9Profile,
 };
 use scheduler::meta::meta_schedule;
 use scheduler::partition::{partition_isend, partition_recv, partition_send, PartitionStrategy};
@@ -74,6 +75,16 @@ pub struct ClusterConfig {
     pub speculate_after: Option<u32>,
     /// Flap circuit-breaker handed to the [`LoadBoard`].
     pub quarantine: QuarantinePolicy,
+    /// Admission control and load shedding (see [`OverloadPolicy`]). The
+    /// default is fully permissive, preserving the pre-overload behavior.
+    pub overload: OverloadPolicy,
+    /// Capacity of each node's bounded ingress queue. Past it, senders
+    /// block up to [`ClusterConfig::send_timeout`] and then re-queue the
+    /// chunk (backpressure instead of unbounded growth).
+    pub node_queue: usize,
+    /// How long a coordinator waits for room in a node's ingress queue
+    /// before treating the send as failed and recovering the chunk.
+    pub send_timeout: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -93,6 +104,9 @@ impl Default for ClusterConfig {
             retry: RetryPolicy::default(),
             speculate_after: None,
             quarantine: QuarantinePolicy::default(),
+            overload: OverloadPolicy::default(),
+            node_queue: 256,
+            send_timeout: Duration::from_millis(100),
         }
     }
 }
@@ -133,6 +147,8 @@ pub struct Cluster {
     shards: usize,
     monitors: BroadcastMonitors,
     chaos: Option<ChaosDriver>,
+    gate: AdmissionGate,
+    estimator: PhaseEstimator,
 }
 
 impl Cluster {
@@ -156,7 +172,9 @@ impl Cluster {
         let workers_per_node = cfg.workers_per_node.max(1);
         let mut spawnless: Vec<NodeId> = Vec::new();
         for i in 0..cfg.nodes {
-            let (tx, rx) = unbounded::<Envelope>();
+            // Bounded ingress: a saturated node pushes back through send
+            // timeouts instead of hoarding an ever-growing queue.
+            let (tx, rx) = bounded::<Envelope>(cfg.node_queue.max(1));
             // Crossbeam channels are MPMC: every service thread of the node
             // consumes from the same queue, so sub-tasks overlap (a
             // disk-bound PR chunk next to a CPU-bound AP batch — the §4.2
@@ -208,6 +226,7 @@ impl Cluster {
         );
         let chaos = (!cfg.faults.events.is_empty())
             .then(|| ChaosDriver::start(Arc::clone(&board), &cfg.faults, cfg.fault_time_scale));
+        let gate = AdmissionGate::new(&cfg.overload);
         Cluster {
             monitors,
             cfg,
@@ -220,6 +239,8 @@ impl Cluster {
             rr: AtomicUsize::new(0),
             shards,
             chaos,
+            gate,
+            estimator: PhaseEstimator::new(Trec9Profile::average()),
         }
     }
 
@@ -271,6 +292,98 @@ impl Cluster {
         dns_home: NodeId,
         question: &Question,
     ) -> Result<DistributedAnswer, QaError> {
+        self.ask_impl(dns_home, question, Instant::now())
+    }
+
+    /// Offer one question to the concurrent front-end. The call blocks
+    /// while the question runs (and, at capacity, while it waits in the
+    /// bounded admission queue), but never queues forever: past the queue
+    /// depth — or past the policy deadline while waiting — it returns
+    /// [`Admission::Rejected`] with a retry hint. Time spent waiting for a
+    /// slot counts against the question's deadline budget.
+    pub fn submit(&self, question: &Question) -> Admission {
+        let admitted_at = Instant::now();
+        let retry_after = Duration::from_secs_f64(self.cfg.overload.retry_after_secs.max(0.0));
+        let wait_until = self
+            .cfg
+            .overload
+            .deadline_secs
+            .map(|s| admitted_at + Duration::from_secs_f64(s.max(0.0)));
+        match self.gate.admit(wait_until) {
+            GateDecision::Admitted => {}
+            GateDecision::Rejected => {
+                self.trace
+                    .record(question.id, NodeId::new(0), TraceKind::Rejected);
+                return Admission::Rejected { retry_after };
+            }
+            GateDecision::ShuttingDown => {
+                self.trace
+                    .record(question.id, NodeId::new(0), TraceKind::Rejected);
+                return Admission::Rejected {
+                    retry_after: Duration::ZERO,
+                };
+            }
+        }
+        let dns = NodeId::new((self.rr.fetch_add(1, Ordering::Relaxed) % self.cfg.nodes) as u32);
+        let out = self.ask_impl(dns, question, admitted_at);
+        self.gate.release();
+        match out {
+            Ok(answer) => Admission::Answered(Box::new(answer)),
+            Err(QaError::Overloaded { .. }) => {
+                self.trace
+                    .record(question.id, NodeId::new(0), TraceKind::Rejected);
+                Admission::Rejected { retry_after }
+            }
+            Err(e) => Admission::Failed(e),
+        }
+    }
+
+    /// Offer many questions concurrently — one submitting thread each, all
+    /// funneled through the admission gate. Results come back in input
+    /// order. This is the multi-tenant server surface: at most
+    /// `max_in_flight` questions run inside, `admission_queue` more wait,
+    /// and the rest are rejected with retry hints.
+    pub fn ask_many(&self, questions: &[Question]) -> Vec<Admission> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = questions
+                .iter()
+                .map(|q| scope.spawn(move || self.submit(q)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(a) => a,
+                    Err(_) => Admission::Failed(QaError::Protocol("submit thread panicked".into())),
+                })
+                .collect()
+        })
+    }
+
+    /// Reject all future admissions (idempotent). Queued `submit` calls
+    /// wake and return [`Admission::Rejected`]; new `ask`/`submit` calls
+    /// are refused at the door. Lets an `Arc`-shared cluster be drained
+    /// deterministically before [`Cluster::shutdown`] takes ownership.
+    pub fn begin_shutdown(&self) {
+        self.gate.drain();
+    }
+
+    /// The admission gate (observability: in-flight, queued, peak-queued).
+    pub fn admission(&self) -> &AdmissionGate {
+        &self.gate
+    }
+
+    fn ask_impl(
+        &self,
+        dns_home: NodeId,
+        question: &Question,
+        admitted_at: Instant,
+    ) -> Result<DistributedAnswer, QaError> {
+        if self.gate.is_draining() {
+            return Err(QaError::Overloaded {
+                reason: "cluster is shutting down".into(),
+                retry_after_ms: 0,
+            });
+        }
         let mut timings = ModuleTimings::default();
 
         // Scheduling point 1: the question dispatcher, deciding from the
@@ -281,7 +394,7 @@ impl Cluster {
         } else {
             Vec::new()
         };
-        let loads = if view.len() == self.board.len() {
+        let mut loads = if view.len() == self.board.len() {
             view.into_iter()
                 .filter(|(n, _)| self.board.is_alive(*n))
                 .collect()
@@ -290,6 +403,18 @@ impl Cluster {
         };
         if loads.is_empty() {
             return Err(QaError::Disconnected("no live nodes".into()));
+        }
+        // Per-node admission cap: a node already hosting `max_per_node`
+        // questions cannot become another question's home; if every live
+        // node is saturated the question is rejected, not queued.
+        if let Some(cap) = self.cfg.overload.max_per_node {
+            loads.retain(|(n, _)| self.board.resident_questions(*n) < cap);
+            if loads.is_empty() {
+                return Err(QaError::Overloaded {
+                    reason: format!("every live node hosts {cap} questions"),
+                    retry_after_ms: (self.cfg.overload.retry_after_secs.max(0.0) * 1e3) as u64,
+                });
+            }
         }
         let dispatcher = scheduler::dispatcher::QuestionDispatcher {
             functions: self.functions,
@@ -307,9 +432,28 @@ impl Cluster {
         self.trace
             .record(question.id, home, TraceKind::QuestionStart);
 
-        let result = self.coordinate(home, question, &mut timings);
+        let deadline = self.effective_deadline(admitted_at);
+        let result = self.coordinate(home, question, &mut timings, deadline);
         self.board.question_delta(home, -1);
+        if let Ok(answer) = &result {
+            self.estimator.observe(&answer.timings);
+        }
         result
+    }
+
+    /// The earliest of the config deadline (from coordination start) and
+    /// the overload-policy deadline (from admission, so queue wait counts).
+    fn effective_deadline(&self, admitted_at: Instant) -> Option<Instant> {
+        let cfg_deadline = self.cfg.deadline.map(|d| Instant::now() + d);
+        let policy_deadline = self
+            .cfg
+            .overload
+            .deadline_secs
+            .map(|s| admitted_at + Duration::from_secs_f64(s.max(0.0)));
+        match (cfg_deadline, policy_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     fn coordinate(
@@ -317,15 +461,36 @@ impl Cluster {
         home: NodeId,
         question: &Question,
         timings: &mut ModuleTimings,
-    ) -> Result<DistributedAnswer, QaError> {
         // The per-question deadline covers the whole Fig. 3 dataflow, not
-        // each phase separately.
-        let deadline = self.cfg.deadline.map(|d| Instant::now() + d);
-
+        // each phase separately; it is anchored at admission so queue wait
+        // already counts against it.
+        deadline: Option<Instant>,
+    ) -> Result<DistributedAnswer, QaError> {
         // QP (home-local; the coordinator acts for the home node).
         let t = Instant::now();
         let processed = self.qp.process(question)?;
         timings.add_duration(QaModule::Qp, t.elapsed());
+
+        // Deadline-aware shedding, decision point 1: if the remaining
+        // budget cannot cover the estimated PR phase, short-circuit to an
+        // empty degraded answer instead of occupying PR workers.
+        if self.should_shed(QaModule::Pr, deadline) {
+            self.trace
+                .record(question.id, home, TraceKind::Shed(QaModule::Pr));
+            return Ok(DistributedAnswer {
+                processed,
+                answers: RankedAnswers::default(),
+                timings: *timings,
+                home,
+                pr_nodes: Vec::new(),
+                ap_nodes: Vec::new(),
+                paragraphs_accepted: 0,
+                coverage: Coverage {
+                    completed: 0,
+                    total: self.shards.max(1) as u32,
+                },
+            });
+        }
 
         // Scheduling point 2: PR dispatcher → node set for PR chunks.
         let t = Instant::now();
@@ -361,6 +526,28 @@ impl Cluster {
                 rank: s.score,
             })
             .collect();
+        // Shedding decision point 2: AP is the most expensive phase
+        // (Table 2); a question that cannot fit it returns whatever PR/PO
+        // produced, coverage-annotated, instead of dispatching batches
+        // doomed to blow the deadline.
+        if self.should_shed(QaModule::Ap, deadline) {
+            self.trace
+                .record(question.id, home, TraceKind::Shed(QaModule::Ap));
+            let ap_total = items.len().max(1) as u32;
+            return Ok(DistributedAnswer {
+                processed,
+                answers: RankedAnswers::default(),
+                timings: *timings,
+                home,
+                pr_nodes: pr_nodes_used,
+                ap_nodes: Vec::new(),
+                paragraphs_accepted,
+                coverage: pr_coverage.and(Coverage {
+                    completed: 0,
+                    total: ap_total,
+                }),
+            });
+        }
         let ap_nodes = self.allocate(QaModule::Ap, home);
         let (answers, ap_nodes_used, ap_coverage) =
             self.run_ap(&processed, home, ap_nodes, items, deadline)?;
@@ -396,6 +583,27 @@ impl Cluster {
             entry.1.cpu = (entry.1.cpu - 0.5).max(0.0);
         }
         let f = self.functions;
+        // Per-node overload breaker: a node whose load-function value for
+        // this module exceeds the policy threshold is tripped into the
+        // flap-quarantine window — dispatchers (this one and every
+        // concurrent coordinator) skip it until the window expires, but its
+        // worker threads keep draining what they already hold.
+        if let Some(threshold) = self.cfg.overload.breaker_load {
+            let mut saturated = Vec::new();
+            for (n, v) in &loads {
+                if f.load_for(module, v) > threshold {
+                    self.board
+                        .trip_breaker(*n, self.cfg.quarantine.quarantine_secs);
+                    saturated.push(*n);
+                }
+            }
+            loads.retain(|(n, _)| !saturated.contains(n));
+            if loads.is_empty() {
+                // Everything is saturated: fall back to the home node
+                // rather than stalling the question with no workers.
+                return vec![home];
+            }
+        }
         match meta_schedule(
             &loads,
             |v| f.load_for(module, v),
@@ -404,6 +612,21 @@ impl Cluster {
             Ok(alloc) => alloc.iter().map(|a| a.node).collect(),
             Err(_) => vec![home],
         }
+    }
+
+    /// Whether the remaining deadline budget can no longer cover the
+    /// estimated demand of the next phase. Abstains (never sheds) without
+    /// a deadline or before the estimator has any observation to scale
+    /// from — the first question always runs and calibrates the rest.
+    fn should_shed(&self, module: QaModule, deadline: Option<Instant>) -> bool {
+        let Some(d) = deadline else {
+            return false;
+        };
+        let Some(estimate) = self.estimator.phase_estimate(module) else {
+            return false;
+        };
+        let remaining = d.saturating_duration_since(Instant::now()).as_secs_f64();
+        remaining < estimate * self.cfg.overload.shed_headroom.max(0.0)
     }
 
     /// Receiver-controlled PR: workers pull one sub-collection at a time.
@@ -436,8 +659,8 @@ impl Cluster {
                           reply_tx: &Sender<SubTaskResult>|
          -> bool {
             chunk.iter().all(|shard| {
-                this.links[node.index()]
-                    .send(Envelope {
+                let sent = this.links[node.index()].send(
+                    Envelope {
                         task: SubTask::PrShard {
                             question: processed.question.id,
                             keywords: processed.keywords.clone(),
@@ -445,8 +668,14 @@ impl Cluster {
                             chunk: id,
                         },
                         reply: reply_tx.clone(),
-                    })
-                    .is_ok()
+                    },
+                    this.cfg.send_timeout,
+                );
+                if let Err(SendTimeoutError::Timeout(_)) = &sent {
+                    this.trace
+                        .record(processed.question.id, node, TraceKind::Backpressure);
+                }
+                sent.is_ok()
             })
         };
         let dispatch = |this: &Cluster,
@@ -626,8 +855,8 @@ impl Cluster {
                           chunk: &[ApItem],
                           reply_tx: &Sender<SubTaskResult>|
          -> bool {
-            this.links[node.index()]
-                .send(Envelope {
+            let sent = this.links[node.index()].send(
+                Envelope {
                     task: SubTask::ApBatch {
                         question: processed.clone(),
                         items: chunk.to_vec(),
@@ -635,8 +864,14 @@ impl Cluster {
                         chunk: id,
                     },
                     reply: reply_tx.clone(),
-                })
-                .is_ok()
+                },
+                this.cfg.send_timeout,
+            );
+            if let Err(SendTimeoutError::Timeout(_)) = &sent {
+                this.trace
+                    .record(processed.question.id, node, TraceKind::Backpressure);
+            }
+            sent.is_ok()
         };
         let dispatch = |this: &Cluster,
                         queue: &mut ChunkQueue<ApItem>,
@@ -820,8 +1055,12 @@ impl Cluster {
         }
     }
 
-    /// Shut the cluster down, joining every worker.
+    /// Shut the cluster down, joining every worker. Taking `self` by value
+    /// proves no `ask`/`submit` borrow is still running; queued admissions
+    /// were already woken and rejected by the gate drain (shutdown is
+    /// deterministic: reject, never hang or race).
     pub fn shutdown(mut self) {
+        self.gate.drain();
         if let Some(chaos) = self.chaos.take() {
             chaos.stop();
         }
@@ -834,6 +1073,7 @@ impl Cluster {
 
 impl Drop for Cluster {
     fn drop(&mut self) {
+        self.gate.drain();
         self.chaos.take();
         self.links.clear();
         for w in self.workers.drain(..) {
@@ -1223,6 +1463,137 @@ mod tests {
             let out = cl.ask(&gq.question).expect("single node answers");
             assert!(out.pr_nodes.len() == 1);
         }
+        cl.shutdown();
+    }
+
+    fn cluster_with_policy(nodes: usize, overload: OverloadPolicy) -> (Corpus, Cluster) {
+        let c = Corpus::generate(CorpusConfig::small(91)).unwrap();
+        let index = Arc::new(ShardedIndex::build(&c.documents, c.config.sub_collections));
+        let store = Arc::new(DocumentStore::new(c.documents.clone()));
+        let retriever = ParagraphRetriever::new(index, store, RetrievalConfig::default());
+        let cfg = ClusterConfig {
+            nodes,
+            overload,
+            ..ClusterConfig::default()
+        };
+        let cl = Cluster::start(retriever, NamedEntityRecognizer::standard(), cfg);
+        (c, cl)
+    }
+
+    #[test]
+    fn submit_matches_ask_under_permissive_policy() {
+        let (c, cl) = cluster(3, PartitionStrategy::Recv { chunk_size: 8 });
+        let qs = QuestionGenerator::new(&c, 31).generate(3);
+        for gq in &qs {
+            let adm = cl.submit(&gq.question);
+            assert_eq!(adm.outcome(), Some(qa_types::QuestionOutcome::Answered));
+            let ans = adm.answer().expect("answered admission carries answer");
+            assert!(ans.coverage.is_complete());
+        }
+        assert_eq!(cl.admission().in_flight(), 0, "gate slots all released");
+        cl.shutdown();
+    }
+
+    #[test]
+    fn ask_many_conserves_every_outcome_under_server_policy() {
+        // 2 in flight + 2 queued; the rest of an 8-question burst must be
+        // rejected with a retry hint — never silently dropped, never queued
+        // beyond the configured depth.
+        let (c, cl) = cluster_with_policy(3, OverloadPolicy::server(2));
+        let qs: Vec<Question> = QuestionGenerator::new(&c, 32)
+            .generate(8)
+            .into_iter()
+            .map(|gq| gq.question)
+            .collect();
+        let admissions = cl.ask_many(&qs);
+        assert_eq!(admissions.len(), qs.len(), "one admission per question");
+        let mut counts = qa_types::OverloadCounts::default();
+        for adm in &admissions {
+            let outcome = adm.outcome().expect("no admission may fail outright");
+            counts.record(outcome);
+            if let Admission::Rejected { retry_after } = adm {
+                assert!(*retry_after > Duration::ZERO, "retry hint required");
+            }
+        }
+        assert_eq!(counts.offered(), qs.len(), "conservation of outcomes");
+        assert!(
+            counts.answered + counts.degraded >= 1,
+            "someone got through"
+        );
+        assert!(
+            cl.admission().peak_waiting() <= 2,
+            "queue never exceeded its configured depth (peak {})",
+            cl.admission().peak_waiting()
+        );
+        assert_eq!(cl.admission().in_flight(), 0);
+        cl.shutdown();
+    }
+
+    #[test]
+    fn begin_shutdown_rejects_instead_of_racing() {
+        // Regression for the shutdown/use race: `shutdown` consumes the
+        // cluster, but an `Arc`-shared cluster must be drainable first so
+        // concurrent callers get a deterministic rejection, not a hang or a
+        // panic on closed channels.
+        let (c, cl) = cluster(2, PartitionStrategy::Recv { chunk_size: 8 });
+        let cl = Arc::new(cl);
+        let qs = QuestionGenerator::new(&c, 33).generate(2);
+        cl.begin_shutdown();
+        assert!(matches!(
+            cl.ask(&qs[0].question),
+            Err(QaError::Overloaded { .. })
+        ));
+        match cl.submit(&qs[1].question) {
+            Admission::Rejected { retry_after } => {
+                assert_eq!(retry_after, Duration::ZERO, "draining: do not retry here")
+            }
+            other => panic!("draining cluster must reject, got {other:?}"),
+        }
+        let cl = Arc::into_inner(cl).expect("sole owner");
+        cl.shutdown();
+    }
+
+    #[test]
+    fn saturated_per_node_cap_rejects_not_queues() {
+        let (c, cl) = cluster_with_policy(2, OverloadPolicy::default().with_per_node_cap(0));
+        let qs = QuestionGenerator::new(&c, 34).generate(1);
+        // Every node "hosts" >= 0 questions, so a cap of 0 saturates the
+        // whole pool: the question must bounce immediately with a hint.
+        match cl.submit(&qs[0].question) {
+            Admission::Rejected { retry_after } => {
+                assert!(retry_after > Duration::ZERO)
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        let rejected = cl
+            .trace()
+            .for_question(qs[0].question.id)
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Rejected));
+        assert!(rejected, "rejection must be traced");
+        cl.shutdown();
+    }
+
+    #[test]
+    fn exhausted_deadline_sheds_phases_after_calibration() {
+        // First question runs clean (cold estimator abstains) and
+        // calibrates the phase estimator; the second, admitted with a
+        // microscopic deadline budget, must be shed before PR — returning a
+        // coverage-annotated degraded answer instead of occupying workers.
+        let (c, cl) = cluster_with_policy(2, OverloadPolicy::default().with_deadline(0.000_1));
+        let qs = QuestionGenerator::new(&c, 35).generate(2);
+        let first = cl.submit(&qs[0].question);
+        assert!(first.answer().is_some(), "cold start must not shed");
+        let second = cl.submit(&qs[1].question);
+        assert_eq!(second.outcome(), Some(qa_types::QuestionOutcome::Degraded));
+        let ans = second.answer().expect("shed still yields an answer");
+        assert!(!ans.coverage.is_complete());
+        let shed = cl
+            .trace()
+            .for_question(qs[1].question.id)
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Shed(_)));
+        assert!(shed, "shed decision must be traced");
         cl.shutdown();
     }
 

@@ -37,6 +37,7 @@ pub mod links;
 pub mod message;
 pub mod monitor;
 pub mod node;
+pub mod overload;
 pub mod trace;
 
 pub use board::{LoadBoard, QuarantinePolicy};
@@ -44,4 +45,5 @@ pub use chaos::ChaosDriver;
 pub use cluster::{Cluster, ClusterConfig, DistributedAnswer};
 pub use links::FaultyLink;
 pub use monitor::BroadcastMonitors;
+pub use overload::{Admission, AdmissionGate, GateDecision, PhaseEstimator};
 pub use trace::{TraceEvent, TraceKind, TraceLog};

@@ -11,9 +11,15 @@
 //! *duplicated* envelope is sent twice and collapses at the coordinator's
 //! first-result-wins chunk dedup. A *delayed* envelope is handed to a
 //! short-lived sleeper thread.
+//!
+//! Node ingress queues are *bounded*: every send carries a timeout, and a
+//! send that cannot enqueue within it fails with
+//! [`SendTimeoutError::Timeout`] so the coordinator re-queues the chunk
+//! (backpressure feeding the retry machinery) instead of blocking behind a
+//! saturated node.
 
 use crate::message::Envelope;
-use crossbeam_channel::{SendError, Sender};
+use crossbeam_channel::{SendTimeoutError, Sender};
 use faults::{LinkDecision, LinkJudge};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -49,23 +55,31 @@ impl FaultyLink {
         }
     }
 
-    /// Send an envelope through the (possibly faulty) link. `Ok(())` means
-    /// the link accepted the message — which, under fault injection, may
-    /// still mean it was silently lost, exactly like a real network.
-    /// `Err` only signals a closed channel (the node is shut down).
-    pub fn send(&self, envelope: Envelope) -> Result<(), SendError<Envelope>> {
+    /// Send an envelope through the (possibly faulty) link, waiting at most
+    /// `timeout` for room in the destination's bounded ingress queue.
+    /// `Ok(())` means the link accepted the message — which, under fault
+    /// injection, may still mean it was silently lost, exactly like a real
+    /// network. `Err(Timeout)` is backpressure from a saturated node (the
+    /// caller re-queues the chunk); `Err(Disconnected)` means the node is
+    /// shut down.
+    pub fn send(
+        &self,
+        envelope: Envelope,
+        timeout: Duration,
+    ) -> Result<(), SendTimeoutError<Envelope>> {
         let Some(judge) = self.judge else {
-            return self.inner.send(envelope);
+            return self.inner.send_timeout(envelope, timeout);
         };
         let msg = self.seq.fetch_add(1, Ordering::Relaxed);
         match judge.decide(self.flow, msg) {
-            LinkDecision::Deliver => self.inner.send(envelope),
+            LinkDecision::Deliver => self.inner.send_timeout(envelope, timeout),
             LinkDecision::Drop => Ok(()),
             LinkDecision::Duplicate => {
                 let copy = envelope.clone();
-                self.inner.send(envelope)?;
-                // The twin is best-effort; dedup absorbs it either way.
-                let _ = self.inner.send(copy);
+                self.inner.send_timeout(envelope, timeout)?;
+                // The twin is best-effort; dedup absorbs it either way, and
+                // a full queue simply swallows the duplicate.
+                let _ = self.inner.try_send(copy);
                 Ok(())
             }
             LinkDecision::Delay(secs) => {
@@ -75,7 +89,7 @@ impl FaultyLink {
                     .name("dqa-link-delay".into())
                     .spawn(move || {
                         std::thread::sleep(dur);
-                        let _ = tx.send(envelope);
+                        let _ = tx.send_timeout(envelope, timeout);
                     });
                 // No thread for the sleeper → the message is effectively
                 // lost in transit; the retry policy recovers it.
@@ -90,9 +104,11 @@ impl FaultyLink {
 mod tests {
     use super::*;
     use crate::message::{SubTask, SubTaskResult};
-    use crossbeam_channel::unbounded;
+    use crossbeam_channel::{bounded, unbounded};
     use faults::FaultSchedule;
     use qa_types::{QuestionId, SubCollectionId};
+
+    const T: Duration = Duration::from_millis(50);
 
     fn envelope(reply: Sender<SubTaskResult>, chunk: u32) -> Envelope {
         Envelope {
@@ -112,7 +128,7 @@ mod tests {
         let (reply, _keep) = unbounded();
         let link = FaultyLink::clean(tx);
         for i in 0..10 {
-            link.send(envelope(reply.clone(), i)).unwrap();
+            link.send(envelope(reply.clone(), i), T).unwrap();
         }
         assert_eq!(rx.len(), 10);
     }
@@ -124,7 +140,7 @@ mod tests {
         let judge = FaultSchedule::seeded(3).message_loss(1.0).link_judge();
         let link = FaultyLink::faulty(tx, judge, 0);
         for i in 0..10 {
-            link.send(envelope(reply.clone(), i)).unwrap();
+            link.send(envelope(reply.clone(), i), T).unwrap();
         }
         assert_eq!(rx.len(), 0, "every message lost");
     }
@@ -136,7 +152,7 @@ mod tests {
         let judge = FaultSchedule::seeded(3).message_dup(1.0).link_judge();
         let link = FaultyLink::faulty(tx, judge, 0);
         for i in 0..5 {
-            link.send(envelope(reply.clone(), i)).unwrap();
+            link.send(envelope(reply.clone(), i), T).unwrap();
         }
         assert_eq!(rx.len(), 10, "every message delivered twice");
     }
@@ -149,7 +165,7 @@ mod tests {
             .message_delay(1.0, 0.01)
             .link_judge();
         let link = FaultyLink::faulty(tx, judge, 0);
-        link.send(envelope(reply, 0)).unwrap();
+        link.send(envelope(reply, 0), T).unwrap();
         let got = rx.recv_timeout(Duration::from_secs(2));
         assert!(got.is_ok(), "delayed message never arrived");
     }
@@ -160,6 +176,27 @@ mod tests {
         let (reply, _keep) = unbounded();
         drop(rx);
         let link = FaultyLink::clean(tx);
-        assert!(link.send(envelope(reply, 0)).is_err());
+        assert!(matches!(
+            link.send(envelope(reply, 0), T),
+            Err(SendTimeoutError::Disconnected(_))
+        ));
+    }
+
+    #[test]
+    fn full_bounded_queue_times_out_instead_of_blocking() {
+        let (tx, rx) = bounded(1);
+        let (reply, _keep) = unbounded();
+        let link = FaultyLink::clean(tx);
+        link.send(envelope(reply.clone(), 0), T).unwrap();
+        let started = std::time::Instant::now();
+        let out = link.send(envelope(reply.clone(), 1), Duration::from_millis(20));
+        assert!(matches!(out, Err(SendTimeoutError::Timeout(_))));
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "send must give up after the timeout, not block"
+        );
+        // Draining the queue makes room again.
+        rx.recv().unwrap();
+        link.send(envelope(reply, 2), T).unwrap();
     }
 }

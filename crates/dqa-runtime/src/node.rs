@@ -72,13 +72,11 @@ pub fn run_node(ctx: NodeContext, rx: Receiver<Envelope>) {
 }
 
 fn alive(ctx: &NodeContext) -> bool {
-    // Only the explicit kill switch matters here; staleness is for peers.
-    ctx.board.is_alive(ctx.id) || {
-        // A node that merely missed heartbeats (e.g. long task) is fine;
-        // check the raw flag by re-publishing and retesting.
-        ctx.board.heartbeat(ctx.id);
-        ctx.board.is_alive(ctx.id)
-    }
+    // Only the explicit kill switch stops a node's own threads. Staleness
+    // is for peers, and quarantine (flap breaker or overload breaker) only
+    // excludes the node from *dispatch* — a breaker that killed worker
+    // threads would turn a transient overload into a permanent crash.
+    ctx.board.self_alive(ctx.id)
 }
 
 fn serve(ctx: &NodeContext, envelope: Envelope) {

@@ -1,7 +1,7 @@
 //! Execution traces in the style of the paper's Fig. 7.
 
 use parking_lot::Mutex;
-use qa_types::{NodeId, QuestionId, SubCollectionId};
+use qa_types::{NodeId, QaModule, QuestionId, SubCollectionId};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -30,6 +30,15 @@ pub enum TraceKind {
     /// The coordinator gave up on `usize` chunks (deadline or retry budget
     /// exhausted) and returned a degraded, coverage-annotated answer.
     Degraded(usize),
+    /// The admission gate refused the question: queue full, every node at
+    /// its resident cap, or the cluster is draining.
+    Rejected,
+    /// A phase was shed before dispatch: the remaining deadline budget
+    /// could not cover its estimated demand.
+    Shed(QaModule),
+    /// A send into a node's bounded ingress queue timed out; the chunk was
+    /// re-queued instead of blocking the coordinator (backpressure).
+    Backpressure,
 }
 
 /// One trace record.
@@ -60,6 +69,9 @@ impl TraceEvent {
             TraceKind::WorkerFailed => "failed; work re-queued".to_string(),
             TraceKind::Speculated(c) => format!("speculated chunk {c}"),
             TraceKind::Degraded(n) => format!("degraded; {n} chunks abandoned"),
+            TraceKind::Rejected => "rejected at admission".to_string(),
+            TraceKind::Shed(m) => format!("shed {m}; deadline budget too small"),
+            TraceKind::Backpressure => "ingress queue full; chunk re-queued".to_string(),
         };
         format!("[{:>8.3}s] {} {} {}", self.at, self.question, self.node, w)
     }

@@ -1,6 +1,6 @@
 //! Subcommand implementations.
 
-use crate::args::parse;
+use crate::args::{parse, Args};
 use analytical::{InterQuestionModel, IntraQuestionModel};
 use cluster_sim::experiments::load_balancing_summary;
 use cluster_sim::workload::{BalancingStrategy, QaSimulation, SimConfig};
@@ -11,7 +11,7 @@ use ir_engine::{DocumentStore, ParagraphRetriever, RetrievalConfig, ShardedIndex
 use nlp::NamedEntityRecognizer;
 use qa_pipeline::{PipelineConfig, QaPipeline};
 use qa_types::params::MBPS;
-use qa_types::{Question, QuestionId, SystemParams, Trec9Profile};
+use qa_types::{OverloadPolicy, Question, QuestionId, SystemParams, Trec9Profile};
 use std::sync::Arc;
 
 /// Top-level usage text.
@@ -19,10 +19,16 @@ pub const USAGE: &str = "\
 usage:
   dqa generate [--seed N] [--size small|trec] --out corpus.json
   dqa index --corpus corpus.json --out index.bin
-  dqa ask --corpus corpus.json [--index index.bin] [--cluster N] [--sample N] [question …]
+  dqa ask --corpus corpus.json [--index index.bin] [--cluster N] [--sample N]
+          [overload knobs] [question …]
   dqa export --corpus corpus.json --questions N --topics topics.txt --answers key.txt
   dqa simulate [--nodes N] [--strategy dns|inter|dqa|sid|gradient] [--seed N] [--compare]
-  dqa model [--net-mbps N] [--disk-mbps N] [--nodes N]";
+               [overload knobs]
+  dqa model [--net-mbps N] [--disk-mbps N] [--nodes N]
+
+overload knobs (admission control / load shedding; default fully permissive):
+  [--max-in-flight N] [--admission-queue N] [--max-per-node N]
+  [--deadline-secs X] [--breaker-load X]";
 
 /// Dispatch a command line.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -39,6 +45,31 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "model" => model(rest),
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// A numeric flag that is `None` when absent (instead of defaulted).
+fn opt_num<T: std::str::FromStr>(a: &Args, name: &str) -> Result<Option<T>, String> {
+    match a.get(name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+    }
+}
+
+/// Build an [`OverloadPolicy`] from the shared overload knobs; flags left
+/// unset keep the permissive default.
+fn overload_policy(a: &Args) -> Result<OverloadPolicy, String> {
+    let base = OverloadPolicy::default();
+    Ok(OverloadPolicy {
+        max_in_flight: opt_num::<usize>(a, "max-in-flight")?,
+        admission_queue: opt_num::<usize>(a, "admission-queue")?.unwrap_or(base.admission_queue),
+        max_per_node: opt_num::<usize>(a, "max-per-node")?,
+        deadline_secs: opt_num::<f64>(a, "deadline-secs")?,
+        breaker_load: opt_num::<f64>(a, "breaker-load")?,
+        ..base
+    })
 }
 
 fn load_corpus(path: &str) -> Result<Corpus, String> {
@@ -123,6 +154,7 @@ fn ask(argv: &[String]) -> Result<(), String> {
     }
 
     let cluster_nodes: usize = a.num("cluster", 0usize)?;
+    let overload = overload_policy(&a)?;
     let answer = |q: &Question| -> Result<(qa_types::RankedAnswers, String), String> {
         if cluster_nodes > 0 {
             let cluster = Cluster::start(
@@ -130,6 +162,7 @@ fn ask(argv: &[String]) -> Result<(), String> {
                 NamedEntityRecognizer::standard(),
                 ClusterConfig {
                     nodes: cluster_nodes,
+                    overload,
                     ..ClusterConfig::default()
                 },
             );
@@ -222,7 +255,13 @@ fn simulate(argv: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let strategy = parse_strategy(a.get("strategy").unwrap_or("dqa"))?;
-    let report = QaSimulation::new(SimConfig::paper_high_load(nodes, strategy, seed)).run();
+    let overload = overload_policy(&a)?;
+    let governed = overload.limits_admission() || overload.deadline_secs.is_some();
+    let cfg = SimConfig {
+        overload,
+        ..SimConfig::paper_high_load(nodes, strategy, seed)
+    };
+    let report = QaSimulation::new(cfg).run();
     println!(
         "{} questions on {} nodes ({strategy:?}): {:.2} q/min, mean {:.1} s, p95 {:.1} s, \
          migrations qa/pr/ap = {}/{}/{}",
@@ -235,6 +274,19 @@ fn simulate(argv: &[String]) -> Result<(), String> {
         report.migrations.pr,
         report.migrations.ap,
     );
+    if governed {
+        let counts = report.outcome_counts();
+        println!(
+            "  overload: {} answered / {} degraded / {} rejected (shed rate {:.2}), \
+             admitted p50 {:.1} s, p99 {:.1} s",
+            counts.answered,
+            counts.degraded,
+            counts.rejected,
+            counts.shed_rate(),
+            report.admitted_response_percentile(0.50),
+            report.admitted_response_percentile(0.99),
+        );
+    }
     Ok(())
 }
 
@@ -366,6 +418,59 @@ mod tests {
             "8",
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn simulate_accepts_overload_knobs() {
+        run(&[
+            "simulate",
+            "--nodes",
+            "4",
+            "--strategy",
+            "dqa",
+            "--seed",
+            "3",
+            "--max-in-flight",
+            "3",
+            "--admission-queue",
+            "2",
+            "--deadline-secs",
+            "300",
+        ])
+        .unwrap();
+        assert!(
+            run(&["simulate", "--max-in-flight", "lots"]).is_err(),
+            "non-numeric overload knob must be rejected"
+        );
+    }
+
+    #[test]
+    fn overload_policy_parses_all_knobs() {
+        let argv: Vec<String> = [
+            "--max-in-flight",
+            "5",
+            "--admission-queue",
+            "7",
+            "--max-per-node",
+            "2",
+            "--deadline-secs",
+            "1.5",
+            "--breaker-load",
+            "6.0",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let a = parse(&argv, &[]).unwrap();
+        let p = overload_policy(&a).unwrap();
+        assert_eq!(p.max_in_flight, Some(5));
+        assert_eq!(p.admission_queue, 7);
+        assert_eq!(p.max_per_node, Some(2));
+        assert_eq!(p.deadline_secs, Some(1.5));
+        assert_eq!(p.breaker_load, Some(6.0));
+        // No knobs → the permissive default.
+        let none = parse(&[], &[]).unwrap();
+        assert_eq!(overload_policy(&none).unwrap(), OverloadPolicy::default());
     }
 
     #[test]

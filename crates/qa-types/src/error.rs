@@ -23,6 +23,15 @@ pub enum QaError {
     /// protocol (e.g. an AP result on a PR reply channel). The question is
     /// aborted with an error instead of panicking the coordinator.
     Protocol(String),
+    /// The cluster refused the question at admission: the admission queue
+    /// was full, every live node sat at its resident-question cap, or the
+    /// front-end is shutting down. Carries a retry hint in milliseconds.
+    Overloaded {
+        /// Why admission was refused.
+        reason: String,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for QaError {
@@ -35,6 +44,12 @@ impl fmt::Display for QaError {
             QaError::Codec(msg) => write!(f, "codec error: {msg}"),
             QaError::Disconnected(msg) => write!(f, "disconnected: {msg}"),
             QaError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            QaError::Overloaded {
+                reason,
+                retry_after_ms,
+            } => {
+                write!(f, "overloaded: {reason} (retry after {retry_after_ms} ms)")
+            }
         }
     }
 }

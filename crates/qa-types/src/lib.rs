@@ -17,6 +17,7 @@ pub mod document;
 pub mod error;
 pub mod ids;
 pub mod modules;
+pub mod overload;
 pub mod params;
 pub mod question;
 pub mod resources;
@@ -27,6 +28,7 @@ pub use document::{Document, Paragraph, SubCollectionMeta};
 pub use error::QaError;
 pub use ids::{DocId, NodeId, ParagraphId, QuestionId, SubCollectionId};
 pub use modules::{ModuleTimings, QaModule};
+pub use overload::{OverloadCounts, OverloadPolicy, QuestionOutcome};
 pub use params::SystemParams;
 pub use question::{AnswerType, Keyword, ProcessedQuestion, Question};
 pub use resources::{Resource, ResourceVector, ResourceWeights};

@@ -1,0 +1,228 @@
+//! Declarative overload-control policy shared by both backends.
+//!
+//! The paper's load functions (Eqs. 1–3) route work *away* from busy nodes,
+//! but routing alone cannot bound latency once offered load exceeds cluster
+//! capacity: queues grow without limit and every question's response time
+//! diverges. [`OverloadPolicy`] is the missing admission layer: a bounded
+//! admission queue in front of the cluster, caps on in-flight work, a
+//! per-question deadline carried from the moment of admission, and a
+//! saturation threshold for per-node circuit breakers. The thread runtime
+//! (`dqa-runtime`) and the discrete-event simulator (`cluster-sim`) both
+//! interpret the same policy so their saturation curves are comparable.
+//!
+//! All durations are plain `f64` seconds, like `faults::FaultSchedule`: the
+//! simulator reads them as virtual time, the runtime converts to wall-clock
+//! `Duration`s (scaled by its `fault_time_scale` analogue where relevant).
+
+use serde::{Deserialize, Serialize};
+
+/// Admission-control and load-shedding knobs for one cluster front-end.
+///
+/// The default policy is fully permissive — unlimited in-flight questions,
+/// no deadline, no breaker — so existing single-question call sites behave
+/// exactly as before the overload layer existed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverloadPolicy {
+    /// How many questions may wait for an in-flight slot before new
+    /// arrivals are rejected outright. `0` means reject as soon as the
+    /// in-flight cap is hit (no queueing at all).
+    pub admission_queue: usize,
+    /// Cluster-wide cap on concurrently admitted questions.
+    /// `None` disables admission control entirely.
+    pub max_in_flight: Option<usize>,
+    /// Per-node cap on resident (hosted) questions; a node at the cap is
+    /// skipped at question placement, and if *every* live node is at the
+    /// cap the question is rejected. `None` disables the cap.
+    pub max_per_node: Option<usize>,
+    /// Per-question deadline in seconds, measured from admission (so time
+    /// spent waiting in the admission queue counts against it). Phases the
+    /// remaining budget can no longer cover are shed. `None` disables
+    /// deadline shedding (the runtime's own `ClusterConfig::deadline`
+    /// still applies if set).
+    pub deadline_secs: Option<f64>,
+    /// Retry hint, in seconds, attached to every rejection.
+    pub retry_after_secs: f64,
+    /// Safety factor applied to per-phase demand estimates when deciding
+    /// whether the remaining deadline budget covers the next phase.
+    /// `1.0` sheds only when the estimate itself no longer fits; values
+    /// above one shed earlier.
+    pub shed_headroom: f64,
+    /// Per-node circuit breaker: when a node's load-function value for the
+    /// module being placed exceeds this threshold, dispatch to it is
+    /// suspended for the flap-quarantine window. `None` disables breakers.
+    pub breaker_load: Option<f64>,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        OverloadPolicy::unlimited()
+    }
+}
+
+impl OverloadPolicy {
+    /// The permissive policy: admit everything, shed nothing.
+    pub fn unlimited() -> OverloadPolicy {
+        OverloadPolicy {
+            admission_queue: 0,
+            max_in_flight: None,
+            max_per_node: None,
+            deadline_secs: None,
+            retry_after_secs: 0.05,
+            shed_headroom: 1.0,
+            breaker_load: None,
+        }
+    }
+
+    /// A server-style policy: cap in-flight questions at `max_in_flight`,
+    /// queue up to the same number again, and hint rejected clients to
+    /// retry after 50 ms. Deadlines and breakers stay off until set.
+    pub fn server(max_in_flight: usize) -> OverloadPolicy {
+        OverloadPolicy {
+            admission_queue: max_in_flight,
+            max_in_flight: Some(max_in_flight),
+            ..OverloadPolicy::unlimited()
+        }
+    }
+
+    /// Set the admission-queue depth.
+    pub fn with_queue(mut self, depth: usize) -> OverloadPolicy {
+        self.admission_queue = depth;
+        self
+    }
+
+    /// Set the per-node resident-question cap.
+    pub fn with_per_node_cap(mut self, cap: usize) -> OverloadPolicy {
+        self.max_per_node = Some(cap);
+        self
+    }
+
+    /// Set the per-question deadline (seconds from admission).
+    pub fn with_deadline(mut self, secs: f64) -> OverloadPolicy {
+        self.deadline_secs = Some(secs);
+        self
+    }
+
+    /// Set the shed-headroom safety factor.
+    pub fn with_headroom(mut self, factor: f64) -> OverloadPolicy {
+        self.shed_headroom = factor;
+        self
+    }
+
+    /// Enable the per-node saturation breaker at the given load value.
+    pub fn with_breaker(mut self, load: f64) -> OverloadPolicy {
+        self.breaker_load = Some(load);
+        self
+    }
+
+    /// Whether any admission limit is active at all.
+    pub fn limits_admission(&self) -> bool {
+        self.max_in_flight.is_some() || self.max_per_node.is_some()
+    }
+}
+
+/// How one offered question left the system. Every question terminates in
+/// exactly one of these states; the overload soak asserts the three counts
+/// sum back to the offered load (zero silent drops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QuestionOutcome {
+    /// Admitted and answered with full coverage.
+    Answered,
+    /// Admitted, but shedding or faults degraded coverage below 100 %.
+    Degraded,
+    /// Refused at admission (queue full, every node at its cap, or the
+    /// deadline expired while waiting for a slot).
+    Rejected,
+}
+
+/// Outcome tally for one offered-load level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverloadCounts {
+    /// Full-coverage completions.
+    pub answered: usize,
+    /// Partial-coverage completions.
+    pub degraded: usize,
+    /// Admission rejections.
+    pub rejected: usize,
+}
+
+impl OverloadCounts {
+    /// Record one outcome.
+    pub fn record(&mut self, outcome: QuestionOutcome) {
+        match outcome {
+            QuestionOutcome::Answered => self.answered += 1,
+            QuestionOutcome::Degraded => self.degraded += 1,
+            QuestionOutcome::Rejected => self.rejected += 1,
+        }
+    }
+
+    /// Total questions accounted for — must equal the offered count.
+    pub fn offered(&self) -> usize {
+        self.answered + self.degraded + self.rejected
+    }
+
+    /// Fraction of offered questions that did not complete with full
+    /// coverage (rejected or degraded). The soak harness asserts this is
+    /// monotone in offered load.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered() == 0 {
+            return 0.0;
+        }
+        (self.rejected + self.degraded) as f64 / self.offered() as f64
+    }
+
+    /// Fraction of offered questions answered with full coverage.
+    pub fn goodput(&self) -> f64 {
+        if self.offered() == 0 {
+            return 0.0;
+        }
+        self.answered as f64 / self.offered() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_fully_permissive() {
+        let p = OverloadPolicy::default();
+        assert!(!p.limits_admission());
+        assert!(p.deadline_secs.is_none());
+        assert!(p.breaker_load.is_none());
+    }
+
+    #[test]
+    fn server_policy_caps_and_queues() {
+        let p = OverloadPolicy::server(8)
+            .with_deadline(2.0)
+            .with_breaker(6.0);
+        assert_eq!(p.max_in_flight, Some(8));
+        assert_eq!(p.admission_queue, 8);
+        assert!(p.limits_admission());
+        assert_eq!(p.deadline_secs, Some(2.0));
+        assert_eq!(p.breaker_load, Some(6.0));
+    }
+
+    #[test]
+    fn counts_conserve_and_rate_is_sane() {
+        let mut c = OverloadCounts::default();
+        for _ in 0..6 {
+            c.record(QuestionOutcome::Answered);
+        }
+        for _ in 0..3 {
+            c.record(QuestionOutcome::Degraded);
+        }
+        c.record(QuestionOutcome::Rejected);
+        assert_eq!(c.offered(), 10);
+        assert!((c.shed_rate() - 0.4).abs() < 1e-12);
+        assert!((c.goodput() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_round_trips_through_serde() {
+        let p = OverloadPolicy::server(4).with_deadline(1.5);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: OverloadPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

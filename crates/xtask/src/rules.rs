@@ -105,6 +105,17 @@ pub const RULES: &[Rule] = &[
                thread",
     },
     Rule {
+        name: "unbounded-channel",
+        scope: Scope::Only(&["dqa-runtime"]),
+        patterns: &[
+            Pattern { seq: &["unbounded"], report: 0, display: "crossbeam_channel::unbounded" },
+        ],
+        why: "runtime code uses an unbounded channel",
+        help: "use bounded(capacity) plus send_timeout so a saturated node exerts backpressure \
+               the coordinator can observe (re-queue via the retry path) instead of buffering \
+               without limit until memory runs out",
+    },
+    Rule {
         name: "unseeded-rng",
         scope: Scope::AllExcept(&["qa-cli"]),
         patterns: &[

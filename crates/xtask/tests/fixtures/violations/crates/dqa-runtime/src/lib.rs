@@ -17,6 +17,11 @@ pub fn never() {
     unreachable!("protocol violation");
 }
 
+pub fn hidden_queue() -> usize {
+    let (_tx, rx) = crossbeam_channel::unbounded::<u32>();
+    rx.len()
+}
+
 pub fn waived_unwrap(v: Option<u32>) -> u32 {
     v.unwrap() // dqa-lint: allow(runtime-panic)
 }
@@ -28,6 +33,12 @@ pub fn blocking_recv(rx: std::sync::mpsc::Receiver<u32>) -> u32 {
 pub fn waived_recv(rx: std::sync::mpsc::Receiver<u32>) -> u32 {
     // dqa-lint: allow(unbounded-recv)
     rx.recv().unwrap_or(0)
+}
+
+pub fn waived_queue() -> usize {
+    // dqa-lint: allow(unbounded-channel)
+    let (_tx, rx) = crossbeam_channel::unbounded::<u32>();
+    rx.len()
 }
 
 #[cfg(test)]
@@ -42,5 +53,11 @@ mod tests {
         let (tx, rx) = std::sync::mpsc::channel();
         tx.send(1).unwrap();
         assert_eq!(rx.recv().unwrap(), 1);
+    }
+
+    #[test]
+    fn unbounded_is_fine_in_tests() {
+        let (tx, _rx) = crossbeam_channel::unbounded::<u32>();
+        drop(tx);
     }
 }

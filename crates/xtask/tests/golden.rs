@@ -34,7 +34,8 @@ fn violations_fixture_flags_each_rule_at_exact_lines() {
         (rt, "runtime-panic", 9, ".expect()"),
         (rt, "runtime-panic", 13, "panic!"),
         (rt, "runtime-panic", 17, "unreachable!"),
-        (rt, "unbounded-recv", 25, ".recv()"),
+        (rt, "unbounded-channel", 21, "crossbeam_channel::unbounded"),
+        (rt, "unbounded-recv", 30, ".recv()"),
         ("src/lib.rs", "unseeded-rng", 5, "SeedableRng::from_entropy"),
     ];
     assert_eq!(got, want);
@@ -44,10 +45,11 @@ fn violations_fixture_flags_each_rule_at_exact_lines() {
 fn pragma_and_test_code_waivers_hold_in_violations_fixture() {
     let (_, diags) = run_lint(&fixture("violations")).expect("fixture lint");
     // Line 18 of the cluster-sim fixture carries a pragma'd Instant; line
-    // 21 of the dqa-runtime fixture a pragma'd unwrap and line 30 a
-    // pragma'd bare recv (pragma on the line above). Every #[cfg(test)]
-    // mod holds violations of the crate-scoped rules. Only the seeded
-    // bare-recv violation on line 25 may flag past line 20.
+    // 26 of the dqa-runtime fixture a pragma'd unwrap, line 35 a pragma'd
+    // bare recv and line 40 a pragma'd unbounded() (pragma on the line
+    // above). Every #[cfg(test)] mod holds violations of the crate-scoped
+    // rules. Only the seeded bare-recv violation on line 30 may flag past
+    // the waived region starting at line 25.
     assert!(
         diags
             .iter()
@@ -57,7 +59,7 @@ fn pragma_and_test_code_waivers_hold_in_violations_fixture() {
     assert!(
         diags
             .iter()
-            .all(|d| !(d.file.ends_with("dqa-runtime/src/lib.rs") && d.line >= 20 && d.line != 25)),
+            .all(|d| !(d.file.ends_with("dqa-runtime/src/lib.rs") && d.line >= 25 && d.line != 30)),
         "waived or test-mod line flagged in dqa-runtime fixture: {diags:?}"
     );
 }
@@ -90,12 +92,13 @@ fn json_rendering_is_valid_and_complete() {
     for d in &diags {
         assert!(json.contains(&format!("\"file\":\"{}\",\"line\":{}", d.file, d.line)));
     }
-    // All five rule names exercised except the per-fixture exemptions.
+    // All six rule names exercised except the per-fixture exemptions.
     for rule in [
         "wall-clock",
         "unordered-state",
         "runtime-panic",
         "unbounded-recv",
+        "unbounded-channel",
         "unseeded-rng",
     ] {
         assert!(

@@ -16,7 +16,7 @@ use falcon_dqa::dqa_runtime::{Cluster, ClusterConfig};
 use falcon_dqa::faults::{FaultSchedule, RetryPolicy};
 use falcon_dqa::ir_engine::{DocumentStore, ParagraphRetriever, RetrievalConfig, ShardedIndex};
 use falcon_dqa::nlp::NamedEntityRecognizer;
-use falcon_dqa::qa_types::NodeId;
+use falcon_dqa::qa_types::{NodeId, OverloadCounts, OverloadPolicy};
 use falcon_dqa::scheduler::partition::PartitionStrategy;
 use std::sync::Arc;
 use std::time::Duration;
@@ -109,6 +109,53 @@ fn runtime_soak_loses_no_question_and_degrades_byte_identically() {
         "soak produced no full-coverage answer at all; faults too hot for the assertion to bite"
     );
     chaotic.shutdown();
+}
+
+#[test]
+fn overloaded_chaotic_cluster_conserves_outcomes() {
+    let corpus = Corpus::generate(CorpusConfig::small(606)).unwrap();
+    let questions: Vec<_> = QuestionGenerator::new(&corpus, 7)
+        .generate(12)
+        .into_iter()
+        .map(|g| g.question)
+        .collect();
+    // Chaos × overload: a straggler window covering the whole run while a
+    // 12-question burst hits a cap-3 + queue-3 front-end — 2× the load
+    // the admission layer can hold at once.
+    let schedule = FaultSchedule::seeded(606).straggler(NodeId::new(2), 0.0, 600.0, 0.25);
+    let cluster = Cluster::start(
+        retriever(&corpus),
+        NamedEntityRecognizer::standard(),
+        ClusterConfig {
+            overload: OverloadPolicy::server(3).with_deadline(15.0),
+            ..chaos_config(schedule)
+        },
+    );
+    let results = cluster.ask_many(&questions);
+    let mut counts = OverloadCounts::default();
+    for admission in &results {
+        match admission.outcome() {
+            Some(o) => counts.record(o),
+            None => panic!("question failed outright under overload+chaos: {admission:?}"),
+        }
+    }
+    // Invariant 1 under pressure: every offered question terminates in
+    // exactly one of Answered/Degraded/Rejected — none silently dropped.
+    assert_eq!(
+        counts.offered(),
+        questions.len(),
+        "outcome conservation broken under chaos and 2x load"
+    );
+    assert!(
+        counts.answered + counts.degraded >= 1,
+        "the burst saturated admission completely; nothing ran"
+    );
+    assert!(
+        cluster.admission().peak_waiting() <= 3,
+        "admission queue exceeded its configured depth"
+    );
+    assert_eq!(cluster.admission().in_flight(), 0, "slots leaked");
+    cluster.shutdown();
 }
 
 #[test]
