@@ -15,6 +15,7 @@
 //! questions) sized for a per-commit gate.
 
 use bench::fixtures::QaFixture;
+use dqa_obs::MetricsRegistry;
 use dqa_runtime::{Cluster, ClusterConfig, TraceKind};
 use faults::{FaultSchedule, RetryPolicy};
 use nlp::NamedEntityRecognizer;
@@ -27,6 +28,7 @@ struct Args {
     seed: u64,
     questions: usize,
     trace_out: String,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +37,7 @@ fn parse_args() -> Args {
         seed: 2001,
         questions: 8,
         trace_out: "target/chaos_soak_trace.txt".into(),
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -52,8 +55,12 @@ fn parse_args() -> Args {
                     args.trace_out = p;
                 }
             }
+            "--metrics-out" => args.metrics_out = it.next(),
             other => {
-                eprintln!("unknown argument {other}; usage: chaos_soak [--ci] [--seed N] [--questions N] [--trace-out PATH]");
+                eprintln!(
+                    "unknown argument {other}; usage: chaos_soak [--ci] [--seed N] \
+                     [--questions N] [--trace-out PATH] [--metrics-out PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -64,7 +71,7 @@ fn parse_args() -> Args {
     args
 }
 
-fn config(faults: FaultSchedule) -> ClusterConfig {
+fn config(faults: FaultSchedule, registry: &MetricsRegistry) -> ClusterConfig {
     ClusterConfig {
         nodes: 4,
         ap_partition: PartitionStrategy::Recv { chunk_size: 8 },
@@ -73,6 +80,7 @@ fn config(faults: FaultSchedule) -> ClusterConfig {
         deadline: Some(Duration::from_secs(20)),
         retry: RetryPolicy::default().with_budget(64),
         speculate_after: Some(5),
+        metrics: Some(registry.clone()),
         ..ClusterConfig::default()
     }
 }
@@ -112,11 +120,15 @@ fn main() {
         &[0.0, 0.02, 0.05, 0.10, 0.20]
     };
 
+    // One registry across the baseline and every fault-rate cluster, so
+    // the exported snapshot aggregates the whole soak.
+    let registry = MetricsRegistry::new();
+
     // Fault-free baseline: per-question answer bytes + mean latency.
     let clean = Cluster::start(
         fixture.retriever(),
         NamedEntityRecognizer::standard(),
-        config(FaultSchedule::none()),
+        config(FaultSchedule::none(), &registry),
     );
     let mut baseline = Vec::new();
     let clean_start = Instant::now();
@@ -133,7 +145,7 @@ fn main() {
         let cluster = Cluster::start(
             fixture.retriever(),
             NamedEntityRecognizer::standard(),
-            config(schedule(args.seed, rate)),
+            config(schedule(args.seed, rate), &registry),
         );
         let mut violations: Vec<String> = Vec::new();
         let mut complete = 0usize;
@@ -229,6 +241,18 @@ fn main() {
             p.complete,
             p.asked
         );
+    }
+    if let Some(path) = &args.metrics_out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, registry.snapshot().to_json()) {
+            Ok(()) => println!("\n  metrics snapshot written to {path}"),
+            Err(e) => {
+                eprintln!("chaos-soak: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     println!("\n  invariants held: no question lost, full-coverage answers byte-identical");
 }

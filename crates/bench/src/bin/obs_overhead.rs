@@ -1,0 +1,114 @@
+//! Observability overhead gate: the fully instrumented metrics path must
+//! cost less than [`OVERHEAD_LIMIT`] of simulator throughput next to a
+//! disabled (no-op) registry.
+//!
+//! Both configurations run the identical seeded workload — a disabled
+//! [`MetricsRegistry`] turns every counter/gauge/histogram handle into a
+//! no-op, which is the "observability off" baseline DESIGN.md §12
+//! budgets against. Timing is best-of-N with the two modes interleaved,
+//! so cache warmup and scheduler drift hit both sides equally. The bin
+//! also asserts the instrumented run's simulation outcome is identical
+//! to the baseline's: recording metrics must never perturb the sim.
+//!
+//! `--ci` runs the short configuration sized for a per-commit gate.
+
+use cluster_sim::{BalancingStrategy, QaSimulation, SimConfig, SimReport};
+use dqa_obs::MetricsRegistry;
+use std::time::Instant;
+
+/// Maximum tolerated relative throughput loss with metrics enabled.
+const OVERHEAD_LIMIT: f64 = 0.02;
+
+struct Args {
+    ci: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ci: false,
+        seed: 4001,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ci" => args.ci = true,
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
+            other => {
+                eprintln!("unknown argument {other}; usage: obs_overhead [--ci] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn run_once(seed: u64, questions: usize, registry: MetricsRegistry) -> (f64, SimReport) {
+    let cfg = SimConfig {
+        questions,
+        metrics: Some(registry),
+        ..SimConfig::paper_high_load(8, BalancingStrategy::Dqa, seed)
+    };
+    let t = Instant::now();
+    let report = QaSimulation::new(cfg).run();
+    (t.elapsed().as_secs_f64(), report)
+}
+
+fn main() {
+    let args = parse_args();
+    let (questions, repeats) = if args.ci { (256, 3) } else { (1024, 7) };
+
+    // Warmup, and the perturbation check: everything but the metrics
+    // snapshot itself must be identical across the two modes.
+    let (_, base) = run_once(args.seed, questions, MetricsRegistry::disabled());
+    let (_, inst) = run_once(args.seed, questions, MetricsRegistry::new());
+    assert_eq!(
+        base.questions, inst.questions,
+        "instrumentation perturbed the per-question records"
+    );
+    assert_eq!(
+        base.migrations, inst.migrations,
+        "instrumentation perturbed the migration counts"
+    );
+    assert!(
+        base.metrics.counters.is_empty() && base.metrics.histograms.is_empty(),
+        "a disabled registry must export an empty snapshot"
+    );
+    assert!(
+        !inst.metrics.histograms.is_empty(),
+        "an enabled registry must export the recorded histograms"
+    );
+
+    let mut t_off = f64::INFINITY;
+    let mut t_on = f64::INFINITY;
+    for _ in 0..repeats {
+        t_off = t_off.min(run_once(args.seed, questions, MetricsRegistry::disabled()).0);
+        t_on = t_on.min(run_once(args.seed, questions, MetricsRegistry::new()).0);
+    }
+    let q_off = questions as f64 / t_off;
+    let q_on = questions as f64 / t_on;
+    let delta = (q_off - q_on) / q_off;
+
+    println!(
+        "Observability overhead — seed {}, {questions} questions, best of {repeats}\n",
+        args.seed
+    );
+    println!("  registry   best wall s   questions/s");
+    println!("  disabled   {t_off:>11.4}   {q_off:>11.0}");
+    println!("  enabled    {t_on:>11.4}   {q_on:>11.0}");
+    println!(
+        "\n  throughput delta {:+.2}% (budget {:.0}%)",
+        delta * 100.0,
+        OVERHEAD_LIMIT * 100.0
+    );
+    if delta > OVERHEAD_LIMIT {
+        eprintln!(
+            "obs-overhead VIOLATION: instrumented throughput is {:.2}% below the disabled \
+             baseline, over the {:.0}% budget",
+            delta * 100.0,
+            OVERHEAD_LIMIT * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("  invariants held: identical outcomes, overhead within budget");
+}

@@ -26,6 +26,7 @@
 
 use bench::fixtures::QaFixture;
 use cluster_sim::{BalancingStrategy, QaSimulation, SimConfig};
+use dqa_obs::MetricsRegistry;
 use dqa_runtime::{Admission, Cluster, ClusterConfig};
 use nlp::NamedEntityRecognizer;
 use qa_types::{OverloadCounts, OverloadPolicy};
@@ -55,6 +56,7 @@ struct Args {
     ci: bool,
     seed: u64,
     trace_out: String,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -62,6 +64,7 @@ fn parse_args() -> Args {
         ci: false,
         seed: 3001,
         trace_out: "target/overload_soak_trace.txt".into(),
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -73,9 +76,11 @@ fn parse_args() -> Args {
                     args.trace_out = p;
                 }
             }
+            "--metrics-out" => args.metrics_out = it.next(),
             other => {
                 eprintln!(
-                    "unknown argument {other}; usage: overload_soak [--ci] [--seed N] [--trace-out PATH]"
+                    "unknown argument {other}; usage: overload_soak [--ci] [--seed N] \
+                     [--trace-out PATH] [--metrics-out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -119,6 +124,7 @@ fn percentile(sample: &mut [f64], p: f64) -> f64 {
 fn run_runtime_point(
     fixture: &QaFixture,
     mult: f64,
+    registry: &MetricsRegistry,
     violations: &mut Vec<String>,
 ) -> (LoadPoint, Vec<String>) {
     let offered = offered_at(mult);
@@ -128,6 +134,7 @@ fn run_runtime_point(
         ClusterConfig {
             nodes: 4,
             overload: policy(WALL_DEADLINE),
+            metrics: Some(registry.clone()),
             ..ClusterConfig::default()
         },
     );
@@ -197,12 +204,18 @@ fn run_runtime_point(
 
 /// The same burst on the simulator's virtual hardware: identical policy
 /// shape, virtual-time deadline, all arrivals at t=0.
-fn run_sim_point(seed: u64, mult: f64, violations: &mut Vec<String>) -> LoadPoint {
+fn run_sim_point(
+    seed: u64,
+    mult: f64,
+    registry: &MetricsRegistry,
+    violations: &mut Vec<String>,
+) -> LoadPoint {
     let offered = offered_at(mult);
     let cfg = SimConfig {
         questions: offered,
         arrival_spacing: (0.0, 0.0),
         overload: policy(VIRT_DEADLINE).with_headroom(1.5),
+        metrics: Some(registry.clone()),
         ..SimConfig::paper_high_load(4, BalancingStrategy::Dqa, seed)
     };
     let report = QaSimulation::new(cfg).run();
@@ -313,15 +326,18 @@ fn main() {
     let max_offered = offered_at(mults[mults.len() - 1]);
     let fixture = QaFixture::small(args.seed, max_offered);
 
+    // One registry across every cluster and simulation in the sweep, so
+    // the exported snapshot aggregates the whole soak.
+    let registry = MetricsRegistry::new();
     let mut violations = Vec::new();
     let mut traces = Vec::new();
     let mut runtime_points = Vec::new();
     let mut sim_points = Vec::new();
     for &mult in mults {
-        let (point, trace) = run_runtime_point(&fixture, mult, &mut violations);
+        let (point, trace) = run_runtime_point(&fixture, mult, &registry, &mut violations);
         runtime_points.push(point);
         traces.push((mult, trace));
-        sim_points.push(run_sim_point(args.seed, mult, &mut violations));
+        sim_points.push(run_sim_point(args.seed, mult, &registry, &mut violations));
     }
     check_monotone(&runtime_points, "runtime", WALL_JITTER, &mut violations);
     check_monotone(&sim_points, "sim", 1e-9, &mut violations);
@@ -335,6 +351,19 @@ fn main() {
     print_table("thread runtime (dqa-runtime)", "ms", &runtime_points);
     println!();
     print_table("discrete-event simulator (cluster-sim)", "s", &sim_points);
+
+    if let Some(path) = &args.metrics_out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, registry.snapshot().to_json()) {
+            Ok(()) => println!("\n  metrics snapshot written to {path}"),
+            Err(e) => {
+                eprintln!("overload-soak: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     if !violations.is_empty() {
         let mut dump = String::new();

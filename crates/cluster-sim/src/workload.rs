@@ -18,6 +18,7 @@
 
 use crate::demand::QuestionDemand;
 use crate::engine::{Advance, Engine, Stage};
+use dqa_obs::{DqaMetrics, Gauge, ManualClock, MetricsRegistry, PhaseTimer, Snapshot, Span};
 use faults::{FaultEvent, FaultSchedule, LinkDecision, LinkJudge, LossJudge};
 use loadsim::functions::LoadFunctions;
 use qa_types::{
@@ -136,6 +137,15 @@ pub struct SimConfig {
     /// estimator, which is exactly what a calibrated simulator should use.
     /// The default is fully permissive: no existing experiment changes.
     pub overload: OverloadPolicy,
+    /// Metrics registry to record into. `None` makes the simulation create
+    /// its own enabled registry (its snapshot still lands in
+    /// [`SimReport::metrics`]); pass a shared handle to aggregate several
+    /// runs — the soak harnesses do — or a
+    /// [`MetricsRegistry::disabled`] one to measure instrumentation
+    /// overhead. Virtual-time histograms use the same catalogue
+    /// ([`dqa_obs::names`]) as the thread runtime, so the two backends
+    /// export directly comparable series.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl SimConfig {
@@ -171,6 +181,7 @@ impl SimConfig {
             record_trace: false,
             faults: FaultSchedule::none(),
             overload: OverloadPolicy::default(),
+            metrics: None,
         }
     }
 
@@ -351,6 +362,11 @@ pub struct SimReport {
     pub makespan: f64,
     /// Virtual-time event trace (empty unless `record_trace` was set).
     pub trace: Vec<SimEvent>,
+    /// Final snapshot of the run's metrics registry: the same catalogue
+    /// the thread runtime exports, recorded in virtual time. Deserializes
+    /// as empty from reports written before this field existed.
+    #[serde(default)]
+    pub metrics: Snapshot,
 }
 
 impl SimReport {
@@ -430,6 +446,44 @@ impl SimReport {
         let rank = ((p * times.len() as f64).ceil() as usize).clamp(1, times.len());
         times[rank - 1]
     }
+
+    /// Per-phase [`Span`]s of question `q` in virtual time (QP → PR → PO →
+    /// AP → SORT laid end to end from the recorded phase durations), the
+    /// simulator's side of the shared timeline abstraction — the runtime
+    /// derives the same spans from its trace ring. Empty for rejected
+    /// questions and out-of-range indices.
+    pub fn phase_spans(&self, q: usize) -> Vec<Span> {
+        let Some(rec) = self.questions.get(q) else {
+            return Vec::new();
+        };
+        if rec.outcome == QuestionOutcome::Rejected {
+            return Vec::new();
+        }
+        let t = rec.timings;
+        let mut at = rec.arrival;
+        let mut spans = Vec::new();
+        // PS is fused into PR, matching the runtime's observation model.
+        for (label, dur) in [
+            ("QP", t.qp),
+            ("PR", t.pr + t.ps),
+            ("PO", t.po),
+            ("AP", t.ap),
+        ] {
+            if dur > 0.0 {
+                spans.push(Span::new(label, at, at + dur));
+                at += dur;
+            }
+        }
+        if rec.finished > at {
+            spans.push(Span::new("SORT", at, rec.finished));
+        }
+        spans
+    }
+
+    /// Fig. 7-style waterfall rendering of question `q`'s phase spans.
+    pub fn waterfall(&self, q: usize, width: usize) -> Vec<String> {
+        dqa_obs::render_waterfall(&self.phase_spans(q), width)
+    }
 }
 
 /// Engine task tags.
@@ -481,6 +535,9 @@ struct QState {
     home: NodeId,
     phase: Phase,
     phase_start: f64,
+    /// Response-time timer over the simulation's virtual clock — the same
+    /// [`PhaseTimer`] the runtime drives with wall time.
+    timer: PhaseTimer,
     timings: ModuleTimings,
     overhead: OverheadBreakdown,
     // PR state: receiver-controlled queue of collection indices.
@@ -551,6 +608,13 @@ pub struct QaSimulation {
     /// `overload.admission_queue` questions park here; the head is
     /// re-examined whenever an in-flight slot frees.
     admission_wait: std::collections::VecDeque<usize>,
+    /// Catalogue instruments bound against the run's registry.
+    metrics: DqaMetrics,
+    /// The virtual clock feeding every [`PhaseTimer`]: advanced to the
+    /// engine's time at each instrumented event.
+    clock: ManualClock,
+    /// Pre-bound Eq. 1–3 load gauges, one `[QA, PR, AP]` triple per node.
+    node_load: Vec<[(ResourceWeights, Gauge); 3]>,
 }
 
 impl QaSimulation {
@@ -558,6 +622,18 @@ impl QaSimulation {
     pub fn new(cfg: SimConfig) -> QaSimulation {
         assert!(cfg.nodes > 0, "at least one node");
         assert!(!cfg.profiles.is_empty(), "at least one profile");
+        let registry = cfg.metrics.clone().unwrap_or_else(MetricsRegistry::new);
+        let metrics = DqaMetrics::new(&registry);
+        let node_load: Vec<[(ResourceWeights, Gauge); 3]> = (0..cfg.nodes)
+            .map(|n| {
+                [
+                    (ResourceWeights::QA, metrics.node_load(n as u32, "QA")),
+                    (ResourceWeights::PR, metrics.node_load(n as u32, "PR")),
+                    (ResourceWeights::AP, metrics.node_load(n as u32, "AP")),
+                ]
+            })
+            .collect();
+        let clock = ManualClock::new();
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xd1b5_4a32_d192_ed03);
 
         let mut arrivals = Vec::with_capacity(cfg.questions);
@@ -595,6 +671,7 @@ impl QaSimulation {
                     home: NodeId::new((i % cfg.nodes) as u32),
                     phase: Phase::Pending,
                     phase_start: 0.0,
+                    timer: PhaseTimer::start(&clock),
                     timings: ModuleTimings::default(),
                     overhead: OverheadBreakdown::default(),
                     pr_queue: ChunkQueue::new(Vec::new()),
@@ -681,6 +758,9 @@ impl QaSimulation {
             },
             trace: Vec::new(),
             admission_wait: std::collections::VecDeque::new(),
+            metrics,
+            clock,
+            node_load,
             cfg,
         }
     }
@@ -712,6 +792,7 @@ impl QaSimulation {
             migrations: self.migrations,
             makespan,
             trace: self.trace,
+            metrics: self.metrics.registry().snapshot(),
         }
     }
 
@@ -805,6 +886,7 @@ impl QaSimulation {
             return;
         }
         self.dead[node.index()] = true;
+        self.metrics.worker_failures.inc();
         assert!(
             self.dead.iter().any(|d| !d),
             "failure injection killed every node"
@@ -992,6 +1074,58 @@ impl QaSimulation {
             .collect()
     }
 
+    /// Publish the admission-gate gauges (`dqa_in_flight`,
+    /// `dqa_admission_waiting`) from the current counters.
+    fn publish_gate(&self) {
+        self.metrics.in_flight.set(self.in_flight as f64);
+        self.metrics
+            .admission_waiting
+            .set(self.admission_wait.len() as f64);
+    }
+
+    /// Publish every node's Eq. 1–3 load values into the `dqa_node_load`
+    /// gauges — the simulator's analogue of the runtime's broadcast-monitor
+    /// sampling point, evaluated at each admission and completion.
+    fn publish_node_loads(&self) {
+        for (n, gauges) in self.node_load.iter().enumerate() {
+            for (weights, gauge) in gauges {
+                gauge.set(weights.load(self.commit[n]));
+            }
+        }
+    }
+
+    /// Record one finished question into the catalogue: response time via
+    /// the virtual-clock [`PhaseTimer`], the per-module durations of every
+    /// phase that actually ran, the five Table 9 overhead slices, and the
+    /// outcome counter.
+    fn observe_question(&self, q: usize, at: f64) {
+        self.clock.set(at);
+        let st = &self.states[q];
+        st.timer.stop(&self.clock, &self.metrics.question_seconds);
+        let t = st.timings;
+        for (hist, dur) in [
+            (&self.metrics.qp_seconds, t.qp),
+            (&self.metrics.pr_seconds, t.pr + t.ps),
+            (&self.metrics.po_seconds, t.po),
+            (&self.metrics.ap_seconds, t.ap),
+        ] {
+            if dur > 0.0 {
+                hist.observe(dur);
+            }
+        }
+        let o = st.overhead;
+        self.metrics.overhead_kw_send.observe(o.kw_send);
+        self.metrics.overhead_par_recv.observe(o.par_recv);
+        self.metrics.overhead_par_send.observe(o.par_send);
+        self.metrics.overhead_ans_recv.observe(o.ans_recv);
+        self.metrics.overhead_ans_sort.observe(o.ans_sort);
+        match st.outcome {
+            QuestionOutcome::Answered => self.metrics.answered.inc(),
+            QuestionOutcome::Degraded => self.metrics.degraded.inc(),
+            QuestionOutcome::Rejected => {}
+        }
+    }
+
     /// The cluster view as `observer` sees it. Without monitor-loss
     /// injection this is the true [`QaSimulation::loads`]; with it, each
     /// peer's row refreshes only when that broadcast packet survives, so
@@ -1167,6 +1301,7 @@ impl QaSimulation {
                 // strand the question forever: reject immediately.
                 if cap > 0 && self.admission_wait.len() < self.cfg.overload.admission_queue {
                     self.admission_wait.push_back(q);
+                    self.publish_gate();
                 } else {
                     self.reject(q);
                 }
@@ -1182,6 +1317,8 @@ impl QaSimulation {
     fn reject(&mut self, q: usize) {
         let at = self.engine.now();
         self.record(q, SimEventKind::Rejected);
+        self.metrics.rejected.inc();
+        self.publish_gate();
         let st = &mut self.states[q];
         st.phase = Phase::Done;
         st.outcome = QuestionOutcome::Rejected;
@@ -1262,6 +1399,7 @@ impl QaSimulation {
         let home = match decision {
             Some(target) => {
                 self.migrations.qa += 1;
+                self.metrics.migrations_qa.inc();
                 target
             }
             None => dns_home,
@@ -1276,6 +1414,10 @@ impl QaSimulation {
             },
         );
         self.in_flight += 1;
+        self.clock.set(now);
+        self.states[q].timer = PhaseTimer::start(&self.clock);
+        self.publish_gate();
+        self.publish_node_loads();
         let st = &mut self.states[q];
         st.phase = Phase::Qp;
         st.phase_start = now;
@@ -1388,7 +1530,12 @@ impl QaSimulation {
         // like the runtime's quarantine-tripped breaker. When everything is
         // saturated, fall back to the home node rather than stalling.
         if let Some(threshold) = self.cfg.overload.breaker_load {
+            let before = loads.len();
             loads.retain(|(_, v)| f.load_for(module, *v) <= threshold);
+            let tripped = before - loads.len();
+            if tripped > 0 {
+                self.metrics.breaker_trips.add(tripped as u64);
+            }
             if loads.is_empty() {
                 return vec![home];
             }
@@ -1403,8 +1550,14 @@ impl QaSimulation {
         let disagrees = nodes.len() != 1 || nodes[0] != home;
         if disagrees {
             match module {
-                QaModule::Pr => self.migrations.pr += 1,
-                QaModule::Ap => self.migrations.ap += 1,
+                QaModule::Pr => {
+                    self.migrations.pr += 1;
+                    self.metrics.migrations_pr.inc();
+                }
+                QaModule::Ap => {
+                    self.migrations.ap += 1;
+                    self.metrics.migrations_ap.inc();
+                }
                 _ => {}
             }
         }
@@ -1435,6 +1588,10 @@ impl QaSimulation {
     /// runtime's coverage-annotated short-circuit.
     fn shed(&mut self, q: usize, module: QaModule, now: f64) {
         self.record(q, SimEventKind::Shed { module });
+        match module {
+            QaModule::Ap => self.metrics.shed_ap.inc(),
+            _ => self.metrics.shed_pr.inc(),
+        }
         self.states[q].outcome = QuestionOutcome::Degraded;
         self.start_sort(q, now);
     }
@@ -1706,8 +1863,11 @@ impl QaSimulation {
         self.records[q] = Some(record);
         self.completed += 1;
         self.in_flight -= 1;
+        self.observe_question(q, at);
+        self.publish_node_loads();
         // The freed slot may admit (or deadline-reject) queued arrivals.
         self.drain_admission();
+        self.publish_gate();
         // Silence unused-field warnings for rng in builds without jitter.
         let _ = &self.rng;
     }
@@ -2214,6 +2374,115 @@ mod tests {
             "near-instant rejections must not drag the admitted tail: {admitted_p50} < {all_p50}"
         );
         assert!(r.admitted_response_percentile(0.99) >= admitted_p50);
+    }
+
+    #[test]
+    fn metrics_snapshots_are_bit_identical_across_replays() {
+        let a = QaSimulation::new(SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 5)).run();
+        let b = QaSimulation::new(SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 5)).run();
+        // The DES is deterministic and single-threaded, so the whole
+        // registry — f64 histogram sums included — must replay bit-stably,
+        // down to the serialized form.
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        let round = Snapshot::from_json(&a.metrics.to_json()).expect("parses");
+        assert_eq!(round, a.metrics);
+        dqa_obs::validate_prometheus(&a.metrics.to_prometheus()).expect("valid exposition");
+    }
+
+    #[test]
+    fn metrics_catalogue_agrees_with_the_report() {
+        let r = QaSimulation::new(SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 5)).run();
+        let counts = r.outcome_counts();
+        let m = &r.metrics;
+        assert_eq!(
+            m.counter(r#"dqa_questions_total{outcome="answered"}"#),
+            counts.answered as u64
+        );
+        assert_eq!(
+            m.counter(r#"dqa_migrations_total{kind="qa"}"#),
+            r.migrations.qa as u64
+        );
+        assert_eq!(
+            m.counter(r#"dqa_migrations_total{kind="pr"}"#),
+            r.migrations.pr as u64
+        );
+        assert_eq!(
+            m.counter(r#"dqa_migrations_total{kind="ap"}"#),
+            r.migrations.ap as u64
+        );
+        let h = &m.histograms["dqa_question_seconds"];
+        assert_eq!(h.count as usize, r.questions.len());
+        let tol = 1e-9 * r.mean_response_time().max(1.0);
+        assert!((h.mean() - r.mean_response_time()).abs() < tol);
+        // Eq. 1–3 gauges exist for every node/module pair; all-idle at end.
+        for n in 0..4u32 {
+            for module in ["QA", "PR", "AP"] {
+                let key = format!(r#"dqa_node_load{{module="{module}",node="{n}"}}"#);
+                assert_eq!(m.gauges[&key], 0.0, "{key} after drain");
+            }
+        }
+        assert_eq!(m.gauges["dqa_in_flight"], 0.0);
+    }
+
+    #[test]
+    fn shed_and_reject_flow_into_the_catalogue() {
+        let mut cfg =
+            SimConfig::paper_low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, 4, 44);
+        cfg.overload = OverloadPolicy::default().with_deadline(2.0);
+        let r = QaSimulation::new(cfg).run();
+        let shed = r.metrics.counter_family("dqa_sheds_total");
+        assert_eq!(shed, 4, "one shed per question");
+        assert_eq!(
+            r.metrics
+                .counter(r#"dqa_questions_total{outcome="degraded"}"#),
+            4
+        );
+        let mut cfg = SimConfig::paper_high_load(2, BalancingStrategy::Dns, 8);
+        cfg.overload = OverloadPolicy::default().with_per_node_cap(0);
+        let r = QaSimulation::new(cfg).run();
+        assert_eq!(
+            r.metrics
+                .counter(r#"dqa_questions_total{outcome="rejected"}"#),
+            r.questions.len() as u64
+        );
+    }
+
+    #[test]
+    fn shared_registry_aggregates_across_runs() {
+        let registry = MetricsRegistry::new();
+        for seed in [5u64, 6] {
+            let cfg = SimConfig {
+                metrics: Some(registry.clone()),
+                ..SimConfig::paper_high_load(2, BalancingStrategy::Dqa, seed)
+            };
+            QaSimulation::new(cfg).run();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_family("dqa_questions_total"), 32, "2 × 16");
+    }
+
+    #[test]
+    fn phase_spans_render_a_virtual_time_waterfall() {
+        let r = QaSimulation::new(SimConfig::paper_low_load(
+            4,
+            PartitionStrategy::Recv { chunk_size: 40 },
+            2,
+            226,
+        ))
+        .run();
+        let spans = r.phase_spans(0);
+        assert!(spans.len() >= 4, "QP/PR/PO/AP at least: {spans:?}");
+        assert_eq!(spans[0].label, "QP");
+        for w in spans.windows(2) {
+            assert!(w[1].start >= w[0].start, "spans out of order");
+        }
+        let last = spans.last().expect("nonempty");
+        assert!((last.end - r.questions[0].finished).abs() < 1e-6);
+        let lines = r.waterfall(0, 40);
+        assert_eq!(lines.len(), spans.len());
+        assert!(lines[0].contains("QP"));
+        assert!(r.phase_spans(99).is_empty(), "out of range is empty");
     }
 
     #[test]

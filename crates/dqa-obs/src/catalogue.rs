@@ -1,0 +1,173 @@
+//! Pre-bound handles for the shared metric catalogue ([`crate::names`]).
+//!
+//! Both backends construct one [`DqaMetrics`] from their registry and
+//! record through its fields on the hot path. Binding the catalogue in
+//! one place is what guarantees `dqa-runtime` and `cluster-sim` export
+//! *identical* metric names and label keys — the property `qa-cli report`
+//! and the cross-backend comparisons rely on.
+
+use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use crate::names;
+
+/// One handle per catalogue entry (per-node gauges are created on
+/// demand via [`DqaMetrics::node_load`] / [`DqaMetrics::queue_depth`]).
+#[derive(Debug, Clone)]
+pub struct DqaMetrics {
+    registry: MetricsRegistry,
+    /// `dqa_module_seconds{module="QP"}`.
+    pub qp_seconds: Histogram,
+    /// `dqa_module_seconds{module="PR"}` (PS fused in, as in Fig. 3).
+    pub pr_seconds: Histogram,
+    /// `dqa_module_seconds{module="PO"}`.
+    pub po_seconds: Histogram,
+    /// `dqa_module_seconds{module="AP"}`.
+    pub ap_seconds: Histogram,
+    /// `dqa_question_seconds` — end-to-end response time.
+    pub question_seconds: Histogram,
+    /// `dqa_overhead_seconds{part="kw_send"}` — keyword propagation.
+    pub overhead_kw_send: Histogram,
+    /// `dqa_overhead_seconds{part="par_recv"}` — remote paragraphs back.
+    pub overhead_par_recv: Histogram,
+    /// `dqa_overhead_seconds{part="par_send"}` — paragraphs out to AP.
+    pub overhead_par_send: Histogram,
+    /// `dqa_overhead_seconds{part="ans_recv"}` — answers back home.
+    pub overhead_ans_recv: Histogram,
+    /// `dqa_overhead_seconds{part="ans_sort"}` — final merge + sort.
+    pub overhead_ans_sort: Histogram,
+    /// `dqa_questions_total{outcome="answered"}`.
+    pub answered: Counter,
+    /// `dqa_questions_total{outcome="degraded"}`.
+    pub degraded: Counter,
+    /// `dqa_questions_total{outcome="rejected"}`.
+    pub rejected: Counter,
+    /// `dqa_questions_total{outcome="failed"}`.
+    pub failed: Counter,
+    /// `dqa_migrations_total{kind="qa"}` (Table 7).
+    pub migrations_qa: Counter,
+    /// `dqa_migrations_total{kind="pr"}`.
+    pub migrations_pr: Counter,
+    /// `dqa_migrations_total{kind="ap"}`.
+    pub migrations_ap: Counter,
+    /// `dqa_speculations_total`.
+    pub speculations: Counter,
+    /// `dqa_sheds_total{module="PR"}`.
+    pub shed_pr: Counter,
+    /// `dqa_sheds_total{module="AP"}`.
+    pub shed_ap: Counter,
+    /// `dqa_backpressure_total`.
+    pub backpressure: Counter,
+    /// `dqa_worker_failures_total`.
+    pub worker_failures: Counter,
+    /// `dqa_breaker_trips_total`.
+    pub breaker_trips: Counter,
+    /// `dqa_in_flight`.
+    pub in_flight: Gauge,
+    /// `dqa_admission_waiting`.
+    pub admission_waiting: Gauge,
+}
+
+impl DqaMetrics {
+    /// Bind every catalogue instrument against `registry`.
+    pub fn new(registry: &MetricsRegistry) -> DqaMetrics {
+        let module = |m: &str| registry.histogram(names::MODULE_SECONDS, &[("module", m)]);
+        let overhead = |p: &str| registry.histogram(names::OVERHEAD_SECONDS, &[("part", p)]);
+        let outcome = |o: &str| registry.counter(names::QUESTIONS_TOTAL, &[("outcome", o)]);
+        let migration = |k: &str| registry.counter(names::MIGRATIONS_TOTAL, &[("kind", k)]);
+        DqaMetrics {
+            qp_seconds: module("QP"),
+            pr_seconds: module("PR"),
+            po_seconds: module("PO"),
+            ap_seconds: module("AP"),
+            question_seconds: registry.histogram(names::QUESTION_SECONDS, &[]),
+            overhead_kw_send: overhead("kw_send"),
+            overhead_par_recv: overhead("par_recv"),
+            overhead_par_send: overhead("par_send"),
+            overhead_ans_recv: overhead("ans_recv"),
+            overhead_ans_sort: overhead("ans_sort"),
+            answered: outcome("answered"),
+            degraded: outcome("degraded"),
+            rejected: outcome("rejected"),
+            failed: outcome("failed"),
+            migrations_qa: migration("qa"),
+            migrations_pr: migration("pr"),
+            migrations_ap: migration("ap"),
+            speculations: registry.counter(names::SPECULATIONS_TOTAL, &[]),
+            shed_pr: registry.counter(names::SHEDS_TOTAL, &[("module", "PR")]),
+            shed_ap: registry.counter(names::SHEDS_TOTAL, &[("module", "AP")]),
+            backpressure: registry.counter(names::BACKPRESSURE_TOTAL, &[]),
+            worker_failures: registry.counter(names::WORKER_FAILURES_TOTAL, &[]),
+            breaker_trips: registry.counter(names::BREAKER_TRIPS_TOTAL, &[]),
+            in_flight: registry.gauge(names::IN_FLIGHT, &[]),
+            admission_waiting: registry.gauge(names::ADMISSION_WAITING, &[]),
+            registry: registry.clone(),
+        }
+    }
+
+    /// The backing registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Eq. 1–3 load gauge for one node/module pair
+    /// (`module` is `"QA"`, `"PR"` or `"AP"`).
+    pub fn node_load(&self, node: u32, module: &str) -> Gauge {
+        self.registry.gauge(
+            names::NODE_LOAD,
+            &[("module", module), ("node", &node.to_string())],
+        )
+    }
+
+    /// Ingress-queue depth gauge for one node.
+    pub fn queue_depth(&self, node: u32) -> Gauge {
+        self.registry
+            .gauge(names::QUEUE_DEPTH, &[("node", &node.to_string())])
+    }
+
+    /// The per-module histogram for a Fig. 3 module name (`"QP"`, `"PR"`,
+    /// `"PO"`, `"AP"`; `"PS"` maps to the fused PR histogram).
+    pub fn module_seconds(&self, module: &str) -> &Histogram {
+        match module {
+            "QP" => &self.qp_seconds,
+            "PO" => &self.po_seconds,
+            "AP" => &self.ap_seconds,
+            _ => &self.pr_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_binds_every_family_once() {
+        let reg = MetricsRegistry::new();
+        let m = DqaMetrics::new(&reg);
+        m.answered.inc();
+        m.qp_seconds.observe(0.01);
+        m.node_load(2, "PR").set(1.5);
+        m.queue_depth(2).set(3.0);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter(r#"dqa_questions_total{outcome="answered"}"#),
+            1
+        );
+        assert!(snap
+            .histograms
+            .contains_key(r#"dqa_module_seconds{module="QP"}"#));
+        assert_eq!(snap.gauges[r#"dqa_node_load{module="PR",node="2"}"#], 1.5);
+        assert_eq!(snap.gauges[r#"dqa_queue_depth{node="2"}"#], 3.0);
+        // The exposition must validate (CI smoke requirement).
+        crate::validate_prometheus(&snap.to_prometheus()).expect("valid");
+    }
+
+    #[test]
+    fn module_lookup_covers_fig3_names() {
+        let reg = MetricsRegistry::new();
+        let m = DqaMetrics::new(&reg);
+        m.module_seconds("PS").observe(1.0);
+        assert_eq!(m.pr_seconds.snapshot().count, 1, "PS fuses into PR");
+        m.module_seconds("QP").observe(1.0);
+        assert_eq!(m.qp_seconds.snapshot().count, 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! The wall-time/virtual-time seam.
+//!
+//! Everything in this workspace that *records* time does so through
+//! [`Clock`], a monotone seconds-since-epoch source. The thread runtime
+//! plugs in [`WallClock`]; the discrete-event simulator plugs in
+//! [`ManualClock`] and advances it from the engine's event loop. The
+//! instrumentation code on top (phase timers, trace timestamps, metric
+//! observations) is identical in both worlds — which is what makes their
+//! metric snapshots directly comparable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone clock reporting seconds since its epoch.
+pub trait Clock: Send + Sync {
+    /// Seconds elapsed since the clock's epoch.
+    fn now(&self) -> f64;
+}
+
+/// Wall time, anchored at construction.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is now.
+    pub fn new() -> WallClock {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+/// A clock driven by its owner — virtual time for the simulator, or a
+/// fixed point for tests. `set` stores the f64 bit pattern atomically, so
+/// readers on other threads always see a consistent value.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    bits: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at 0.0 seconds.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Move the clock to `t` seconds. Callers are responsible for
+    /// monotonicity (the simulator's event loop already guarantees it).
+    pub fn set(&self, t: f64) {
+        self.bits.store(t.to_bits(), Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_reports_what_was_set() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.set(12.5);
+        assert_eq!(c.now(), 12.5);
+        c.set(100.25);
+        assert_eq!(c.now(), 100.25);
+    }
+
+    #[test]
+    fn clocks_are_object_safe() {
+        let wall = WallClock::new();
+        let manual = ManualClock::new();
+        manual.set(3.0);
+        let clocks: Vec<&dyn Clock> = vec![&wall, &manual];
+        assert_eq!(clocks[1].now(), 3.0);
+    }
+}

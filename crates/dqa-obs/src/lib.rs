@@ -1,0 +1,98 @@
+//! Unified observability layer for the distributed Q/A reproduction.
+//!
+//! The paper's whole evaluation is observational: per-module times
+//! (Table 8), scheduling/partitioning overheads (Table 9), migration
+//! counts (Table 7) and the Fig. 7 execution listings. This crate gives
+//! both backends — the thread-backed `dqa-runtime` and the virtual-time
+//! `cluster-sim` — one shared vocabulary for recording those quantities:
+//!
+//! * [`MetricsRegistry`]: counters, gauges and fixed-bucket histograms,
+//!   lock-free on the hot path (atomic cells, lock-sharded histogram
+//!   accumulation) so instrumentation stays well under the overhead
+//!   budget it is meant to police.
+//! * [`Clock`]: the single seam between wall time and virtual time. The
+//!   runtime records through [`WallClock`], the simulator through
+//!   [`ManualClock`] driven by the event engine — the *same*
+//!   instrumentation code records both.
+//! * [`PhaseTimer`] / [`Span`]: phase timing over a `Clock`, plus a
+//!   waterfall renderer for per-question timelines.
+//! * [`FlightRecorder`]: a bounded drop-oldest ring buffer for trace
+//!   events. Loss is counted, never silent.
+//! * [`Snapshot`]: a point-in-time, deterministically ordered view of
+//!   every instrument, exportable to Prometheus text format or stable
+//!   JSON (see [`Snapshot::to_prometheus`], [`Snapshot::to_json`]).
+//!
+//! Metric names shared by both backends live in [`names`]; keeping them
+//! in one place is what makes `qa-cli report` backend-agnostic.
+
+mod catalogue;
+mod clock;
+mod metrics;
+mod ring;
+mod snapshot;
+
+pub use catalogue::DqaMetrics;
+pub use clock::{Clock, ManualClock, WallClock};
+pub use metrics::{
+    Counter, Gauge, Histogram, MetricsRegistry, PhaseTimer, DEFAULT_SECONDS_BUCKETS,
+};
+pub use ring::{FlightRecorder, DEFAULT_FLIGHT_RECORDER_CAPACITY};
+pub use snapshot::{
+    metric_key, render_waterfall, split_key, validate_prometheus, HistogramSnapshot, Snapshot, Span,
+};
+
+/// The metric-name catalogue shared by `dqa-runtime` and `cluster-sim`.
+///
+/// Both backends must register under these names with the same label
+/// keys, so one `qa-cli report` implementation can render Table 8/9-style
+/// breakdowns from either. Label keys per family:
+///
+/// | metric | type | labels |
+/// |---|---|---|
+/// | `dqa_module_seconds` | histogram | `module` = `QP`/`PR`/`PO`/`AP` (PS fused into PR) |
+/// | `dqa_question_seconds` | histogram | — (end-to-end response time) |
+/// | `dqa_overhead_seconds` | histogram | `part` = `kw_send`/`par_recv`/`par_send`/`ans_recv`/`ans_sort` |
+/// | `dqa_questions_total` | counter | `outcome` = `answered`/`degraded`/`rejected`/`failed` |
+/// | `dqa_migrations_total` | counter | `kind` = `qa`/`pr`/`ap` |
+/// | `dqa_speculations_total` | counter | — |
+/// | `dqa_sheds_total` | counter | `module` |
+/// | `dqa_backpressure_total` | counter | — |
+/// | `dqa_worker_failures_total` | counter | — |
+/// | `dqa_breaker_trips_total` | counter | — |
+/// | `dqa_trace_dropped_total` | counter | — |
+/// | `dqa_node_load` | gauge | `node`, `module` = `QA`/`PR`/`AP` (Eqs. 1–3) |
+/// | `dqa_in_flight` | gauge | — |
+/// | `dqa_admission_waiting` | gauge | — |
+/// | `dqa_queue_depth` | gauge | `node` |
+pub mod names {
+    /// Per-module latency histogram (Table 8). Label `module`.
+    pub const MODULE_SECONDS: &str = "dqa_module_seconds";
+    /// End-to-end per-question response time histogram.
+    pub const QUESTION_SECONDS: &str = "dqa_question_seconds";
+    /// Distribution-overhead histogram (Table 9). Label `part`.
+    pub const OVERHEAD_SECONDS: &str = "dqa_overhead_seconds";
+    /// Completed questions by outcome. Label `outcome`.
+    pub const QUESTIONS_TOTAL: &str = "dqa_questions_total";
+    /// Dispatcher migrations (Table 7). Label `kind` = `qa`/`pr`/`ap`.
+    pub const MIGRATIONS_TOTAL: &str = "dqa_migrations_total";
+    /// Speculative chunk re-issues against stragglers.
+    pub const SPECULATIONS_TOTAL: &str = "dqa_speculations_total";
+    /// Phases shed by the deadline/admission policy. Label `module`.
+    pub const SHEDS_TOTAL: &str = "dqa_sheds_total";
+    /// Sends that timed out against a bounded ingress queue.
+    pub const BACKPRESSURE_TOTAL: &str = "dqa_backpressure_total";
+    /// Workers detected dead and their work re-queued.
+    pub const WORKER_FAILURES_TOTAL: &str = "dqa_worker_failures_total";
+    /// Overload-breaker trips excluding a node from allocation.
+    pub const BREAKER_TRIPS_TOTAL: &str = "dqa_breaker_trips_total";
+    /// Trace events dropped by the bounded flight recorder.
+    pub const TRACE_DROPPED_TOTAL: &str = "dqa_trace_dropped_total";
+    /// Eq. 1–3 load per node. Labels `node`, `module` = `QA`/`PR`/`AP`.
+    pub const NODE_LOAD: &str = "dqa_node_load";
+    /// Questions currently admitted and executing.
+    pub const IN_FLIGHT: &str = "dqa_in_flight";
+    /// Questions parked at the admission gate.
+    pub const ADMISSION_WAITING: &str = "dqa_admission_waiting";
+    /// Depth of a node's bounded ingress queue. Label `node`.
+    pub const QUEUE_DEPTH: &str = "dqa_queue_depth";
+}

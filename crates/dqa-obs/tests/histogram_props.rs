@@ -1,0 +1,84 @@
+//! Property tests for the histogram pipeline: lock-sharded recording
+//! must conserve observations exactly, and nearest-rank quantile
+//! estimates must stay within one bucket width of the true value.
+
+use dqa_obs::MetricsRegistry;
+use proptest::prelude::*;
+
+proptest! {
+    /// Merging shards loses nothing: whatever the thread interleaving,
+    /// the snapshot's count and per-bucket tallies equal a serial
+    /// single-thread recording of the same values, and the sum matches
+    /// the serial sum up to f64 reassociation error.
+    #[test]
+    fn sharded_recording_conserves_observations(
+        values in proptest::collection::vec(0.0f64..700.0, 1..400),
+        threads in 1usize..8,
+    ) {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("dqa_prop_seconds", &[]);
+        let chunk = values.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for part in values.chunks(chunk) {
+                let hist = hist.clone();
+                scope.spawn(move || {
+                    for v in part {
+                        hist.observe(*v);
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        let h = &snap.histograms["dqa_prop_seconds"];
+        prop_assert_eq!(h.count, values.len() as u64);
+        prop_assert_eq!(h.counts.iter().sum::<u64>(), h.count);
+        let serial: f64 = values.iter().sum();
+        prop_assert!(
+            (h.sum - serial).abs() <= 1e-6 * serial.abs().max(1.0),
+            "merged sum {} drifted from serial sum {serial}", h.sum
+        );
+
+        let serial_reg = MetricsRegistry::new();
+        let serial_hist = serial_reg.histogram("dqa_prop_seconds", &[]);
+        for v in &values {
+            serial_hist.observe(*v);
+        }
+        let serial_snap = serial_reg.snapshot();
+        prop_assert_eq!(&h.counts, &serial_snap.histograms["dqa_prop_seconds"].counts);
+    }
+
+    /// The quantile estimate is the upper bound of the bucket holding
+    /// the nearest-rank true value: the truth lies in the half-open
+    /// bucket `(previous_bound, estimate]` for in-range samples.
+    #[test]
+    fn quantile_estimate_is_within_one_bucket(
+        values in proptest::collection::vec(1e-4f64..600.0, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("dqa_prop_q_seconds", &[]);
+        for v in &values {
+            hist.observe(*v);
+        }
+        let snap = registry.snapshot();
+        let h = &snap.histograms["dqa_prop_q_seconds"];
+        let est = h.quantile(q);
+
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+
+        prop_assert!(truth <= est, "true quantile {truth} above estimate {est}");
+        let idx = h
+            .bounds
+            .iter()
+            .position(|b| *b == est)
+            .expect("estimate is one of the bucket bounds");
+        let prev = if idx == 0 { 0.0 } else { h.bounds[idx - 1] };
+        prop_assert!(
+            truth > prev,
+            "true quantile {truth} more than one bucket below estimate {est} (prev bound {prev})"
+        );
+    }
+}

@@ -95,7 +95,7 @@ impl LoadBoard {
 
     /// A board with an explicit flap-quarantine policy.
     pub fn with_policy(nodes: usize, staleness_secs: f64, policy: QuarantinePolicy) -> LoadBoard {
-        let epoch = Instant::now();
+        let epoch = crate::clock::now_instant();
         LoadBoard {
             rows: (0..nodes).map(|_| Row::fresh()).collect(),
             epoch,

@@ -76,7 +76,7 @@ impl ChaosDriver {
         let thread = std::thread::Builder::new()
             .name("dqa-chaos".into())
             .spawn(move || {
-                let start = Instant::now();
+                let start = crate::clock::now_instant();
                 for (t, action) in timeline {
                     let target = t.max(0.0) * time_scale.max(0.0);
                     loop {

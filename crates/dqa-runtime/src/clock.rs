@@ -1,0 +1,39 @@
+//! The runtime's single sanctioned wall-clock source.
+//!
+//! All other modules in this crate obtain `Instant`s via [`now_instant`]
+//! (the `raw-instant` dqa-lint rule denies `Instant::now()` anywhere else
+//! in non-test runtime code) and record durations through the shared
+//! [`dqa_obs::Clock`] seam. Funnelling construction through one site keeps
+//! the wall-time/virtual-time boundary auditable: the simulator backend
+//! must never read wall time, and the runtime backend reads it *here*.
+
+use std::time::Instant;
+
+pub use dqa_obs::{Clock, WallClock};
+
+/// The one place in `dqa-runtime` allowed to read the wall clock.
+///
+/// Holding, comparing and adding to `Instant` values remains legal
+/// everywhere; only *construction* is funnelled through this function.
+pub fn now_instant() -> Instant {
+    // dqa-lint: allow(raw-instant)
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_instant_is_monotone() {
+        let a = now_instant();
+        let b = now_instant();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn wall_clock_reexport_ticks() {
+        let c = WallClock::new();
+        assert!(c.now() >= 0.0);
+    }
+}

@@ -2,13 +2,15 @@
 
 use crate::board::{LoadBoard, QuarantinePolicy};
 use crate::chaos::ChaosDriver;
+use crate::clock::now_instant;
 use crate::links::FaultyLink;
 use crate::message::{Envelope, SubTask, SubTaskResult};
 use crate::monitor::BroadcastMonitors;
 use crate::node::{run_node, NodeContext};
 use crate::overload::{Admission, AdmissionGate, GateDecision, PhaseEstimator};
-use crate::trace::{TraceKind, TraceLog};
+use crate::trace::{TraceKind, TraceLog, DEFAULT_FLIGHT_RECORDER_CAPACITY};
 use crossbeam_channel::{bounded, RecvTimeoutError, SendTimeoutError, Sender};
+use dqa_obs::{names, DqaMetrics, Gauge, MetricsRegistry, WallClock};
 use faults::{FaultSchedule, RetryPolicy};
 use ir_engine::ParagraphRetriever;
 use loadsim::functions::LoadFunctions;
@@ -85,6 +87,14 @@ pub struct ClusterConfig {
     /// How long a coordinator waits for room in a node's ingress queue
     /// before treating the send as failed and recovering the chunk.
     pub send_timeout: Duration,
+    /// Metrics registry the cluster records into. `None` (default) makes
+    /// the cluster create its own enabled registry; pass a shared one to
+    /// aggregate across clusters, or [`MetricsRegistry::disabled`] to
+    /// turn every instrument into a no-op (the overhead baseline).
+    pub metrics: Option<MetricsRegistry>,
+    /// Capacity of the bounded trace flight recorder. Oldest events are
+    /// evicted past it, counted in `dqa_trace_dropped_total`.
+    pub trace_capacity: usize,
 }
 
 impl Default for ClusterConfig {
@@ -107,6 +117,8 @@ impl Default for ClusterConfig {
             overload: OverloadPolicy::default(),
             node_queue: 256,
             send_timeout: Duration::from_millis(100),
+            metrics: None,
+            trace_capacity: DEFAULT_FLIGHT_RECORDER_CAPACITY,
         }
     }
 }
@@ -149,6 +161,8 @@ pub struct Cluster {
     chaos: Option<ChaosDriver>,
     gate: AdmissionGate,
     estimator: PhaseEstimator,
+    metrics: DqaMetrics,
+    queue_depth: Vec<Gauge>,
 }
 
 impl Cluster {
@@ -164,7 +178,16 @@ impl Cluster {
             cfg.staleness.as_secs_f64(),
             cfg.quarantine,
         ));
-        let trace = TraceLog::new();
+        let registry = cfg.metrics.clone().unwrap_or_else(MetricsRegistry::new);
+        let metrics = DqaMetrics::new(&registry);
+        let queue_depth: Vec<Gauge> = (0..cfg.nodes)
+            .map(|i| metrics.queue_depth(i as u32))
+            .collect();
+        let trace = TraceLog::with(
+            Arc::new(WallClock::new()),
+            cfg.trace_capacity,
+            registry.counter(names::TRACE_DROPPED_TOTAL, &[]),
+        );
         let shards = retriever.index().shard_count();
         let link_judge = (!cfg.faults.link.is_clean()).then(|| cfg.faults.link_judge());
         let mut links = Vec::with_capacity(cfg.nodes);
@@ -218,11 +241,12 @@ impl Cluster {
             board.set_alive(n, false);
         }
         let monitor_judge = (cfg.faults.monitor_loss > 0.0).then(|| cfg.faults.monitor_judge());
-        let monitors = BroadcastMonitors::start_lossy(
+        let monitors = BroadcastMonitors::start_instrumented(
             Arc::clone(&board),
             cfg.monitor_interval,
             cfg.staleness.as_secs_f64(),
             monitor_judge,
+            &metrics,
         );
         let chaos = (!cfg.faults.events.is_empty())
             .then(|| ChaosDriver::start(Arc::clone(&board), &cfg.faults, cfg.fault_time_scale));
@@ -241,7 +265,15 @@ impl Cluster {
             chaos,
             gate,
             estimator: PhaseEstimator::new(Trec9Profile::average()),
+            metrics,
+            queue_depth,
         }
+    }
+
+    /// The metrics registry this cluster records into — the same
+    /// catalogue (`dqa_*` names) the simulator backend exports.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.metrics.registry()
     }
 
     /// The shared trace log.
@@ -292,7 +324,7 @@ impl Cluster {
         dns_home: NodeId,
         question: &Question,
     ) -> Result<DistributedAnswer, QaError> {
-        self.ask_impl(dns_home, question, Instant::now())
+        self.ask_impl(dns_home, question, now_instant())
     }
 
     /// Offer one question to the concurrent front-end. The call blocks
@@ -302,7 +334,7 @@ impl Cluster {
     /// [`Admission::Rejected`] with a retry hint. Time spent waiting for a
     /// slot counts against the question's deadline budget.
     pub fn submit(&self, question: &Question) -> Admission {
-        let admitted_at = Instant::now();
+        let admitted_at = now_instant();
         let retry_after = Duration::from_secs_f64(self.cfg.overload.retry_after_secs.max(0.0));
         let wait_until = self
             .cfg
@@ -312,11 +344,13 @@ impl Cluster {
         match self.gate.admit(wait_until) {
             GateDecision::Admitted => {}
             GateDecision::Rejected => {
+                self.metrics.rejected.inc();
                 self.trace
                     .record(question.id, NodeId::new(0), TraceKind::Rejected);
                 return Admission::Rejected { retry_after };
             }
             GateDecision::ShuttingDown => {
+                self.metrics.rejected.inc();
                 self.trace
                     .record(question.id, NodeId::new(0), TraceKind::Rejected);
                 return Admission::Rejected {
@@ -324,9 +358,14 @@ impl Cluster {
                 };
             }
         }
+        self.metrics.in_flight.set(self.gate.in_flight() as f64);
+        self.metrics
+            .admission_waiting
+            .set(self.gate.waiting() as f64);
         let dns = NodeId::new((self.rr.fetch_add(1, Ordering::Relaxed) % self.cfg.nodes) as u32);
         let out = self.ask_impl(dns, question, admitted_at);
         self.gate.release();
+        self.metrics.in_flight.set(self.gate.in_flight() as f64);
         match out {
             Ok(answer) => Admission::Answered(Box::new(answer)),
             Err(QaError::Overloaded { .. }) => {
@@ -372,7 +411,35 @@ impl Cluster {
         &self.gate
     }
 
+    /// Run one question and account its outcome in the metrics registry.
+    /// Every path through the cluster lands in exactly one
+    /// `dqa_questions_total` outcome: `answered` (full coverage),
+    /// `degraded` (partial coverage), `rejected` (overload), `failed`.
     fn ask_impl(
+        &self,
+        dns_home: NodeId,
+        question: &Question,
+        admitted_at: Instant,
+    ) -> Result<DistributedAnswer, QaError> {
+        let result = self.ask_inner(dns_home, question, admitted_at);
+        match &result {
+            Ok(answer) => {
+                self.metrics
+                    .question_seconds
+                    .observe(admitted_at.elapsed().as_secs_f64());
+                if answer.coverage.is_complete() {
+                    self.metrics.answered.inc();
+                } else {
+                    self.metrics.degraded.inc();
+                }
+            }
+            Err(QaError::Overloaded { .. }) => self.metrics.rejected.inc(),
+            Err(_) => self.metrics.failed.inc(),
+        }
+        result
+    }
+
+    fn ask_inner(
         &self,
         dns_home: NodeId,
         question: &Question,
@@ -428,6 +495,11 @@ impl Cluster {
             // DNS pointed at a dead node: fall back to the least loaded.
             loads[0].0
         };
+        if home != dns_home {
+            // The question dispatcher moved the question off its DNS
+            // placement — a Table 7 question migration.
+            self.metrics.migrations_qa.inc();
+        }
         self.board.question_delta(home, 1);
         self.trace
             .record(question.id, home, TraceKind::QuestionStart);
@@ -444,7 +516,7 @@ impl Cluster {
     /// The earliest of the config deadline (from coordination start) and
     /// the overload-policy deadline (from admission, so queue wait counts).
     fn effective_deadline(&self, admitted_at: Instant) -> Option<Instant> {
-        let cfg_deadline = self.cfg.deadline.map(|d| Instant::now() + d);
+        let cfg_deadline = self.cfg.deadline.map(|d| now_instant() + d);
         let policy_deadline = self
             .cfg
             .overload
@@ -467,14 +539,17 @@ impl Cluster {
         deadline: Option<Instant>,
     ) -> Result<DistributedAnswer, QaError> {
         // QP (home-local; the coordinator acts for the home node).
-        let t = Instant::now();
+        let t = now_instant();
         let processed = self.qp.process(question)?;
-        timings.add_duration(QaModule::Qp, t.elapsed());
+        let dt = t.elapsed();
+        timings.add_duration(QaModule::Qp, dt);
+        self.metrics.qp_seconds.observe(dt.as_secs_f64());
 
         // Deadline-aware shedding, decision point 1: if the remaining
         // budget cannot cover the estimated PR phase, short-circuit to an
         // empty degraded answer instead of occupying PR workers.
         if self.should_shed(QaModule::Pr, deadline) {
+            self.metrics.shed_pr.inc();
             self.trace
                 .record(question.id, home, TraceKind::Shed(QaModule::Pr));
             return Ok(DistributedAnswer {
@@ -493,17 +568,19 @@ impl Cluster {
         }
 
         // Scheduling point 2: PR dispatcher → node set for PR chunks.
-        let t = Instant::now();
+        let t = now_instant();
         let pr_nodes = self.allocate(QaModule::Pr, home);
         let chunks: Vec<Vec<SubCollectionId>> = (0..self.shards)
             .map(|s| vec![SubCollectionId::new(s as u32)])
             .collect();
         let (scored, pr_nodes_used, pr_coverage) =
             self.run_pr(&processed, home, pr_nodes, chunks, deadline)?;
-        timings.add_duration(QaModule::Pr, t.elapsed());
+        let dt = t.elapsed();
+        timings.add_duration(QaModule::Pr, dt);
+        self.metrics.pr_seconds.observe(dt.as_secs_f64());
 
         // PO: centralized merge + ordering (Fig. 3).
-        let t = Instant::now();
+        let t = now_instant();
         let accepted = order_paragraphs(
             scored,
             self.cfg.pipeline.po_threshold,
@@ -515,10 +592,12 @@ impl Cluster {
             home,
             TraceKind::ParagraphsMerged(paragraphs_accepted),
         );
-        timings.add_duration(QaModule::Po, t.elapsed());
+        let dt = t.elapsed();
+        timings.add_duration(QaModule::Po, dt);
+        self.metrics.po_seconds.observe(dt.as_secs_f64());
 
         // Scheduling point 3: AP dispatcher → node set for AP batches.
-        let t = Instant::now();
+        let t = now_instant();
         let items: Vec<ApItem> = accepted
             .into_iter()
             .map(|s| ApItem {
@@ -531,6 +610,7 @@ impl Cluster {
         // produced, coverage-annotated, instead of dispatching batches
         // doomed to blow the deadline.
         if self.should_shed(QaModule::Ap, deadline) {
+            self.metrics.shed_ap.inc();
             self.trace
                 .record(question.id, home, TraceKind::Shed(QaModule::Ap));
             let ap_total = items.len().max(1) as u32;
@@ -551,7 +631,9 @@ impl Cluster {
         let ap_nodes = self.allocate(QaModule::Ap, home);
         let (answers, ap_nodes_used, ap_coverage) =
             self.run_ap(&processed, home, ap_nodes, items, deadline)?;
-        timings.add_duration(QaModule::Ap, t.elapsed());
+        let dt = t.elapsed();
+        timings.add_duration(QaModule::Ap, dt);
+        self.metrics.ap_seconds.observe(dt.as_secs_f64());
 
         self.trace
             .record(question.id, home, TraceKind::AnswersSorted(answers.len()));
@@ -594,6 +676,7 @@ impl Cluster {
                 if f.load_for(module, v) > threshold {
                     self.board
                         .trip_breaker(*n, self.cfg.quarantine.quarantine_secs);
+                    self.metrics.breaker_trips.inc();
                     saturated.push(*n);
                 }
             }
@@ -609,7 +692,17 @@ impl Cluster {
             |v| f.load_for(module, v),
             |v| f.is_underloaded(module, v),
         ) {
-            Ok(alloc) => alloc.iter().map(|a| a.node).collect(),
+            Ok(alloc) => {
+                let nodes: Vec<NodeId> = alloc.iter().map(|a| a.node).collect();
+                if nodes.iter().any(|n| *n != home) {
+                    // Work left the home node — a Table 7 PR/AP migration.
+                    match module {
+                        QaModule::Ap => self.metrics.migrations_ap.inc(),
+                        _ => self.metrics.migrations_pr.inc(),
+                    }
+                }
+                nodes
+            }
             Err(_) => vec![home],
         }
     }
@@ -625,7 +718,7 @@ impl Cluster {
         let Some(estimate) = self.estimator.phase_estimate(module) else {
             return false;
         };
-        let remaining = d.saturating_duration_since(Instant::now()).as_secs_f64();
+        let remaining = d.saturating_duration_since(now_instant()).as_secs_f64();
         remaining < estimate * self.cfg.overload.shed_headroom.max(0.0)
     }
 
@@ -672,9 +765,11 @@ impl Cluster {
                     this.cfg.send_timeout,
                 );
                 if let Err(SendTimeoutError::Timeout(_)) = &sent {
+                    this.metrics.backpressure.inc();
                     this.trace
                         .record(processed.question.id, node, TraceKind::Backpressure);
                 }
+                this.queue_depth[node.index()].set(this.links[node.index()].queue_len() as f64);
                 sent.is_ok()
             })
         };
@@ -693,12 +788,19 @@ impl Cluster {
             true
         };
 
+        // The initial keyword fan-out is the runtime analog of the paper's
+        // `kw_send` overhead (Table 9): time spent pushing the question's
+        // keywords into every PR worker's ingress queue.
+        let t = now_instant();
         for node in workers {
             if dispatch(self, &mut queue, node, &reply_tx) {
                 active.push(node);
                 used.push(node);
             }
         }
+        self.metrics
+            .overhead_kw_send
+            .observe(t.elapsed().as_secs_f64());
         if active.is_empty() {
             return Err(QaError::Disconnected("no PR workers".into()));
         }
@@ -772,6 +874,7 @@ impl Cluster {
                                 if !used.contains(&node) {
                                     used.push(node);
                                 }
+                                self.metrics.speculations.inc();
                                 self.trace.record(
                                     processed.question.id,
                                     node,
@@ -868,9 +971,11 @@ impl Cluster {
                 this.cfg.send_timeout,
             );
             if let Err(SendTimeoutError::Timeout(_)) = &sent {
+                this.metrics.backpressure.inc();
                 this.trace
                     .record(processed.question.id, node, TraceKind::Backpressure);
             }
+            this.queue_depth[node.index()].set(this.links[node.index()].queue_len() as f64);
             sent.is_ok()
         };
         let dispatch = |this: &Cluster,
@@ -888,12 +993,17 @@ impl Cluster {
             true
         };
 
+        // Initial paragraph fan-out = the `par_send` overhead slice.
+        let t = now_instant();
         for node in workers {
             if dispatch(self, &mut queue, node, &reply_tx) {
                 active.push(node);
                 used.push(node);
             }
         }
+        self.metrics
+            .overhead_par_send
+            .observe(t.elapsed().as_secs_f64());
         if active.is_empty() {
             return Err(QaError::Disconnected("no AP workers".into()));
         }
@@ -957,6 +1067,7 @@ impl Cluster {
                                 if !used.contains(&node) {
                                     used.push(node);
                                 }
+                                self.metrics.speculations.inc();
                                 self.trace.record(
                                     processed.question.id,
                                     node,
@@ -994,8 +1105,12 @@ impl Cluster {
             }
         }
 
-        // Centralized answer merging + sorting.
+        // Centralized answer merging + sorting = the `ans_sort` overhead.
+        let t = now_instant();
         let merged = RankedAnswers::merge(partials, self.cfg.pipeline.answers_requested);
+        self.metrics
+            .overhead_ans_sort
+            .observe(t.elapsed().as_secs_f64());
         let coverage = Coverage {
             completed: queue.completed(),
             total: queue.total(),
@@ -1020,6 +1135,7 @@ impl Cluster {
             let node = active[i];
             if !self.board.is_alive(node) {
                 requeued += queue.fail(node);
+                self.metrics.worker_failures.inc();
                 self.trace.record(question, node, TraceKind::WorkerFailed);
                 active.remove(i);
             } else {
@@ -1112,13 +1228,13 @@ impl PhasePolicy {
     }
 
     fn deadline_passed(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.deadline.is_some_and(|d| now_instant() >= d)
     }
 
     /// The poll timeout, clipped so the loop re-checks a nearby deadline.
     fn poll(&self, base: Duration) -> Duration {
         match self.deadline {
-            Some(d) => base.min(d.saturating_duration_since(Instant::now())),
+            Some(d) => base.min(d.saturating_duration_since(now_instant())),
             None => base,
         }
     }

@@ -32,6 +32,7 @@
 
 pub mod board;
 pub mod chaos;
+pub mod clock;
 pub mod cluster;
 pub mod links;
 pub mod message;
@@ -42,6 +43,7 @@ pub mod trace;
 
 pub use board::{LoadBoard, QuarantinePolicy};
 pub use chaos::ChaosDriver;
+pub use clock::now_instant;
 pub use cluster::{Cluster, ClusterConfig, DistributedAnswer};
 pub use links::FaultyLink;
 pub use monitor::BroadcastMonitors;

@@ -55,6 +55,12 @@ impl FaultyLink {
         }
     }
 
+    /// Depth of the destination's bounded ingress queue right now
+    /// (feeds the `dqa_queue_depth` gauge).
+    pub fn queue_len(&self) -> usize {
+        self.inner.len()
+    }
+
     /// Send an envelope through the (possibly faulty) link, waiting at most
     /// `timeout` for room in the destination's bounded ingress queue.
     /// `Ok(())` means the link accepted the message — which, under fault

@@ -15,10 +15,11 @@
 //! broadcasts again.
 
 use crate::board::LoadBoard;
+use dqa_obs::{DqaMetrics, Gauge, MetricsRegistry};
 use faults::LossJudge;
 use loadsim::{LoadPacket, LoadTable};
 use parking_lot::Mutex;
-use qa_types::NodeId;
+use qa_types::{NodeId, ResourceWeights};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -52,12 +53,27 @@ impl BroadcastMonitors {
         staleness: f64,
         judge: Option<LossJudge>,
     ) -> BroadcastMonitors {
+        let off = DqaMetrics::new(&MetricsRegistry::disabled());
+        Self::start_instrumented(board, interval, staleness, judge, &off)
+    }
+
+    /// Like [`BroadcastMonitors::start_lossy`], but each monitor also
+    /// publishes its node's Eq. 1–3 load values into the `dqa_node_load`
+    /// gauges of `metrics` on every broadcast — the monitor thread is the
+    /// natural sampling point, since it already computes the load packet.
+    pub fn start_instrumented(
+        board: Arc<LoadBoard>,
+        interval: Duration,
+        staleness: f64,
+        judge: Option<LossJudge>,
+        metrics: &DqaMetrics,
+    ) -> BroadcastMonitors {
         let nodes = board.len();
         let views: Vec<Arc<Mutex<LoadTable>>> = (0..nodes)
             .map(|_| Arc::new(Mutex::new(LoadTable::new(staleness))))
             .collect();
         let stop = Arc::new(AtomicBool::new(false));
-        let epoch = Instant::now();
+        let epoch = crate::clock::now_instant();
 
         // A monitor thread that fails to spawn is survivable: its node
         // simply never broadcasts, so it ages out of peer views after the
@@ -69,6 +85,13 @@ impl BroadcastMonitors {
                 let board = Arc::clone(&board);
                 let views = views.clone();
                 let stop = Arc::clone(&stop);
+                // One gauge per (node, module): the paper's three load
+                // functions (Eqs. 1–3) evaluated on this node's counters.
+                let load_gauges: [(ResourceWeights, Gauge); 3] = [
+                    (ResourceWeights::QA, metrics.node_load(i as u32, "QA")),
+                    (ResourceWeights::PR, metrics.node_load(i as u32, "PR")),
+                    (ResourceWeights::AP, metrics.node_load(i as u32, "AP")),
+                ];
                 std::thread::Builder::new()
                     .name(format!("dqa-monitor-{i}"))
                     .spawn(move || {
@@ -77,6 +100,9 @@ impl BroadcastMonitors {
                             if board.is_alive(node) {
                                 let now = epoch.elapsed().as_secs_f64();
                                 let load = board.load_of(node);
+                                for (weights, gauge) in &load_gauges {
+                                    gauge.set(weights.load(load));
+                                }
                                 let packet = LoadPacket {
                                     node,
                                     load,

@@ -87,7 +87,7 @@ fn serve(ctx: &NodeContext, envelope: Envelope) {
     } else {
         ctx.board.cpu_delta(ctx.id, 1);
     }
-    let started = std::time::Instant::now();
+    let started = crate::clock::now_instant();
 
     let result = match task {
         SubTask::PrShard {

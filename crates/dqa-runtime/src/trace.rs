@@ -1,10 +1,18 @@
 //! Execution traces in the style of the paper's Fig. 7.
+//!
+//! The log is a bounded *flight recorder*: a drop-oldest ring buffer
+//! ([`dqa_obs::FlightRecorder`]) so week-long soaks cannot grow it without
+//! bound. Evictions are counted — and mirrored into
+//! `dqa_trace_dropped_total` when a metrics counter is attached — never
+//! silent. Timestamps come from a [`Clock`], so the same log type serves
+//! wall time here and virtual time in the simulator's harnesses.
 
-use parking_lot::Mutex;
+use dqa_obs::{render_waterfall, Clock, Counter, FlightRecorder, Span, WallClock};
 use qa_types::{NodeId, QaModule, QuestionId, SubCollectionId};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use std::time::Instant;
+
+pub use dqa_obs::DEFAULT_FLIGHT_RECORDER_CAPACITY;
 
 /// What happened.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,51 +85,98 @@ impl TraceEvent {
     }
 }
 
-/// Shared, append-only trace log.
-#[derive(Debug, Clone)]
+/// Shared bounded trace log (drop-oldest flight recorder).
+#[derive(Clone)]
 pub struct TraceLog {
-    start: Instant,
-    events: Arc<Mutex<Vec<TraceEvent>>>,
+    clock: Arc<dyn Clock>,
+    events: Arc<FlightRecorder<TraceEvent>>,
+    dropped: Counter,
+}
+
+impl std::fmt::Debug for TraceLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceLog")
+            .field("len", &self.events.len())
+            .field("capacity", &self.events.capacity())
+            .field("dropped", &self.events.dropped())
+            .finish()
+    }
 }
 
 impl TraceLog {
-    /// A fresh log; timestamps are relative to now.
+    /// A fresh wall-clock log with the default flight-recorder capacity;
+    /// timestamps are relative to now.
     pub fn new() -> TraceLog {
+        TraceLog::with(
+            Arc::new(WallClock::new()),
+            DEFAULT_FLIGHT_RECORDER_CAPACITY,
+            Counter::default(),
+        )
+    }
+
+    /// A log over an explicit clock, ring capacity and eviction counter
+    /// (pass a `dqa_trace_dropped_total` handle to surface loss in the
+    /// metrics snapshot; `Counter::default()` detaches it).
+    pub fn with(clock: Arc<dyn Clock>, capacity: usize, dropped: Counter) -> TraceLog {
         TraceLog {
-            start: Instant::now(),
-            events: Arc::new(Mutex::new(Vec::new())),
+            clock,
+            events: Arc::new(FlightRecorder::new(capacity)),
+            dropped,
         }
     }
 
-    /// Record an event.
+    /// Record an event, evicting the oldest if the ring is full.
     pub fn record(&self, question: QuestionId, node: NodeId, kind: TraceKind) {
-        let at = self.start.elapsed().as_secs_f64();
-        self.events.lock().push(TraceEvent {
+        let at = self.clock.now();
+        let evicted = self.events.push(TraceEvent {
             at,
             question,
             node,
             kind,
         });
+        if evicted {
+            self.dropped.inc();
+        }
     }
 
-    /// Snapshot of all events so far, in record order.
+    /// Snapshot of the retained events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().clone()
+        self.events.snapshot()
     }
 
-    /// Events for one question.
+    /// Retained events for one question.
     pub fn for_question(&self, q: QuestionId) -> Vec<TraceEvent> {
+        self.events.filtered(|e| e.question == q)
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.events.dropped()
+    }
+
+    /// The ring's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.events.capacity()
+    }
+
+    /// Render the retained trace as Fig. 7-style lines.
+    pub fn render(&self) -> Vec<String> {
         self.events
-            .lock()
+            .snapshot()
             .iter()
-            .filter(|e| e.question == q)
-            .cloned()
+            .map(TraceEvent::render)
             .collect()
     }
 
-    /// Render the whole trace as Fig. 7-style lines.
-    pub fn render(&self) -> Vec<String> {
-        self.events.lock().iter().map(TraceEvent::render).collect()
+    /// Reconstruct the per-question timeline from the retained events.
+    pub fn timeline(&self, q: QuestionId) -> QuestionTimeline {
+        let events = self.for_question(q);
+        let phases = phase_spans(&events);
+        QuestionTimeline {
+            question: q,
+            events,
+            phases,
+        }
     }
 }
 
@@ -131,9 +186,75 @@ impl Default for TraceLog {
     }
 }
 
+/// A reconstructed per-question view: the Fig. 7 listing plus the derived
+/// QP → PR → PO → AP → SORT phase spans.
+#[derive(Debug, Clone)]
+pub struct QuestionTimeline {
+    /// The question.
+    pub question: QuestionId,
+    /// Its retained events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Derived phase spans (only phases both of whose endpoints survive
+    /// in the ring appear).
+    pub phases: Vec<Span>,
+}
+
+impl QuestionTimeline {
+    /// Fig. 7-style listing, one rendered line per event.
+    pub fn listing(&self) -> Vec<String> {
+        self.events.iter().map(TraceEvent::render).collect()
+    }
+
+    /// ASCII per-phase waterfall, `width` columns wide.
+    pub fn waterfall(&self, width: usize) -> Vec<String> {
+        render_waterfall(&self.phases, width)
+    }
+}
+
+/// Derive phase spans from one question's events. Chunked phases (PR, AP)
+/// span first-start to last-done; the centralized steps (PO merge, final
+/// sort) span from the previous phase's end to their completion event.
+fn phase_spans(events: &[TraceEvent]) -> Vec<Span> {
+    let at_of = |pred: &dyn Fn(&TraceKind) -> bool| -> Option<f64> {
+        events.iter().find(|e| pred(&e.kind)).map(|e| e.at)
+    };
+    let last_of = |pred: &dyn Fn(&TraceKind) -> bool| -> Option<f64> {
+        events.iter().rev().find(|e| pred(&e.kind)).map(|e| e.at)
+    };
+
+    let start = at_of(&|k| matches!(k, TraceKind::QuestionStart));
+    let pr_start = at_of(&|k| matches!(k, TraceKind::PrChunkStart(_)));
+    let pr_end = last_of(&|k| matches!(k, TraceKind::PrChunkDone(_)));
+    let po_at = at_of(&|k| matches!(k, TraceKind::ParagraphsMerged(_)));
+    let ap_start = at_of(&|k| matches!(k, TraceKind::ApBatchStart(_)));
+    let ap_end = last_of(&|k| matches!(k, TraceKind::ApBatchDone(_)));
+    let sorted_at = last_of(&|k| matches!(k, TraceKind::AnswersSorted(_)));
+
+    let mut spans = Vec::new();
+    // QP runs on the coordinator between acceptance and the first PR
+    // dispatch; without PR (fully shed) it ends where merging happened.
+    if let (Some(s), Some(e)) = (start, pr_start.or(po_at)) {
+        spans.push(Span::new("QP", s, e));
+    }
+    if let (Some(s), Some(e)) = (pr_start, pr_end) {
+        spans.push(Span::new("PR", s, e));
+    }
+    if let (Some(e), Some(s)) = (po_at, pr_end.or(start)) {
+        spans.push(Span::new("PO", s, e));
+    }
+    if let (Some(s), Some(e)) = (ap_start, ap_end) {
+        spans.push(Span::new("AP", s, e));
+    }
+    if let (Some(e), Some(s)) = (sorted_at, ap_end.or(po_at).or(start)) {
+        spans.push(Span::new("SORT", s, e));
+    }
+    spans
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dqa_obs::ManualClock;
 
     #[test]
     fn records_and_filters() {
@@ -177,5 +298,72 @@ mod tests {
         assert!(lines[0].contains("Q226"));
         assert!(lines[0].contains("N2"));
         assert!(lines[0].contains("finished collection C5"));
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let counter = Counter::live();
+        let log = TraceLog::with(Arc::new(WallClock::new()), 4, counter.clone());
+        for i in 0..10 {
+            log.record(QuestionId::new(i), NodeId::new(0), TraceKind::QuestionStart);
+        }
+        let ev = log.events();
+        assert_eq!(ev.len(), 4);
+        assert_eq!(log.dropped(), 6);
+        assert_eq!(counter.get(), 6, "evictions mirrored into the counter");
+        assert_eq!(log.capacity(), 4);
+        // Oldest were evicted: the survivors are the last four questions.
+        assert_eq!(ev[0].question, QuestionId::new(6));
+    }
+
+    #[test]
+    fn timeline_reconstructs_phase_spans_in_virtual_time() {
+        let clock = Arc::new(ManualClock::new());
+        let log = TraceLog::with(clock.clone(), 1024, Counter::default());
+        let q = QuestionId::new(7);
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        let step = |t: f64, node, kind| {
+            clock.set(t);
+            log.record(q, node, kind);
+        };
+        step(0.0, n0, TraceKind::QuestionStart);
+        step(0.5, n0, TraceKind::PrChunkStart(SubCollectionId::new(0)));
+        step(0.6, n1, TraceKind::PrChunkStart(SubCollectionId::new(1)));
+        step(2.0, n1, TraceKind::PrChunkDone(SubCollectionId::new(1)));
+        step(2.5, n0, TraceKind::PrChunkDone(SubCollectionId::new(0)));
+        step(2.7, n0, TraceKind::ParagraphsMerged(40));
+        step(2.8, n1, TraceKind::ApBatchStart(20));
+        step(4.0, n1, TraceKind::ApBatchDone(20));
+        step(4.2, n0, TraceKind::AnswersSorted(5));
+
+        let tl = log.timeline(q);
+        let labels: Vec<&str> = tl.phases.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["QP", "PR", "PO", "AP", "SORT"]);
+        let pr = &tl.phases[1];
+        assert_eq!((pr.start, pr.end), (0.5, 2.5));
+        let po = &tl.phases[2];
+        assert_eq!((po.start, po.end), (2.5, 2.7));
+        assert_eq!(tl.listing().len(), 9);
+        let lines = tl.waterfall(40);
+        assert_eq!(lines.len(), 5);
+        assert!(lines.iter().any(|l| l.contains("PR")));
+    }
+
+    #[test]
+    fn timeline_without_ap_still_yields_early_phases() {
+        let clock = Arc::new(ManualClock::new());
+        let log = TraceLog::with(clock.clone(), 64, Counter::default());
+        let q = QuestionId::new(1);
+        let n = NodeId::new(0);
+        clock.set(0.0);
+        log.record(q, n, TraceKind::QuestionStart);
+        clock.set(1.0);
+        log.record(q, n, TraceKind::ParagraphsMerged(0));
+        clock.set(1.1);
+        log.record(q, n, TraceKind::AnswersSorted(0));
+        let tl = log.timeline(q);
+        let labels: Vec<&str> = tl.phases.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["QP", "PO", "SORT"]);
     }
 }

@@ -5,6 +5,7 @@ use analytical::{InterQuestionModel, IntraQuestionModel};
 use cluster_sim::experiments::load_balancing_summary;
 use cluster_sim::workload::{BalancingStrategy, QaSimulation, SimConfig};
 use corpus::{Corpus, CorpusConfig, CorpusSnapshot, QuestionGenerator};
+use dqa_obs::{metric_key, names, validate_prometheus, MetricsRegistry, Snapshot};
 use dqa_runtime::{Cluster, ClusterConfig};
 use ir_engine::persist::{decode_index, encode_index};
 use ir_engine::{DocumentStore, ParagraphRetriever, RetrievalConfig, ShardedIndex};
@@ -20,10 +21,13 @@ usage:
   dqa generate [--seed N] [--size small|trec] --out corpus.json
   dqa index --corpus corpus.json --out index.bin
   dqa ask --corpus corpus.json [--index index.bin] [--cluster N] [--sample N]
+          [--metrics-out FILE [--metrics-format prom|json]]
           [overload knobs] [question …]
   dqa export --corpus corpus.json --questions N --topics topics.txt --answers key.txt
   dqa simulate [--nodes N] [--strategy dns|inter|dqa|sid|gradient] [--seed N] [--compare]
+               [--metrics-out FILE [--metrics-format prom|json]] [--waterfall Q]
                [overload knobs]
+  dqa report metrics.json
   dqa model [--net-mbps N] [--disk-mbps N] [--nodes N]
 
 overload knobs (admission control / load shedding; default fully permissive):
@@ -42,6 +46,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "ask" => ask(rest),
         "export" => export(rest),
         "simulate" => simulate(rest),
+        "report" => report(rest),
         "model" => model(rest),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -70,6 +75,26 @@ fn overload_policy(a: &Args) -> Result<OverloadPolicy, String> {
         breaker_load: opt_num::<f64>(a, "breaker-load")?,
         ..base
     })
+}
+
+/// Write a metrics snapshot where `--metrics-out` points, in the format
+/// `--metrics-format` selects (`json` by default, or `prom` for the
+/// Prometheus text exposition). A no-op when the flag is absent.
+fn write_metrics(a: &Args, snap: &Snapshot) -> Result<(), String> {
+    let Some(path) = a.get("metrics-out") else {
+        return Ok(());
+    };
+    let body = match a.get("metrics-format").unwrap_or("json") {
+        "json" => snap.to_json(),
+        "prom" => {
+            let text = snap.to_prometheus();
+            validate_prometheus(&text).map_err(|e| format!("internal: bad exposition: {e}"))?;
+            text
+        }
+        other => return Err(format!("--metrics-format must be prom|json, got {other:?}")),
+    };
+    std::fs::write(path, body).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(())
 }
 
 fn load_corpus(path: &str) -> Result<Corpus, String> {
@@ -154,6 +179,14 @@ fn ask(argv: &[String]) -> Result<(), String> {
     }
 
     let cluster_nodes: usize = a.num("cluster", 0usize)?;
+    if a.get("metrics-out").is_some() && cluster_nodes == 0 {
+        return Err(
+            "--metrics-out needs --cluster N: only the cluster runtime is instrumented".into(),
+        );
+    }
+    // One registry across every per-question cluster, so the exported
+    // snapshot aggregates the whole invocation.
+    let registry = MetricsRegistry::new();
     let overload = overload_policy(&a)?;
     let answer = |q: &Question| -> Result<(qa_types::RankedAnswers, String), String> {
         if cluster_nodes > 0 {
@@ -163,6 +196,7 @@ fn ask(argv: &[String]) -> Result<(), String> {
                 ClusterConfig {
                     nodes: cluster_nodes,
                     overload,
+                    metrics: Some(registry.clone()),
                     ..ClusterConfig::default()
                 },
             );
@@ -205,6 +239,7 @@ fn ask(argv: &[String]) -> Result<(), String> {
             }
         }
     }
+    write_metrics(&a, &registry.snapshot())?;
     Ok(())
 }
 
@@ -244,6 +279,9 @@ fn simulate(argv: &[String]) -> Result<(), String> {
     let nodes: usize = a.num("nodes", 8usize)?;
     let seed: u64 = a.num("seed", 2001u64)?;
     if a.switch("compare") {
+        if a.get("metrics-out").is_some() {
+            return Err("--metrics-out is not supported with --compare".into());
+        }
         let s = load_balancing_summary(nodes, &[seed, seed + 1, seed + 2]);
         println!("{nodes}-node high-load comparison (mean of 3 seeds)");
         for (name, i) in [("DNS", 0), ("INTER", 1), ("DQA", 2)] {
@@ -286,6 +324,103 @@ fn simulate(argv: &[String]) -> Result<(), String> {
             report.admitted_response_percentile(0.50),
             report.admitted_response_percentile(0.99),
         );
+    }
+    if let Some(q) = opt_num::<usize>(&a, "waterfall")? {
+        let lines = report.waterfall(q, 48);
+        if lines.is_empty() {
+            println!("  question {q}: no phase timeline (rejected or out of range)");
+        } else {
+            println!("  question {q} phase timeline:");
+            for line in &lines {
+                println!("    {line}");
+            }
+        }
+    }
+    write_metrics(&a, &report.metrics)?;
+    Ok(())
+}
+
+/// Render Table 8/9-style breakdowns from a metrics snapshot written by
+/// `ask`/`simulate --metrics-out FILE` (JSON format).
+fn report(argv: &[String]) -> Result<(), String> {
+    let a = parse(argv, &[])?;
+    let path = match a.positional() {
+        [p] => p.as_str(),
+        _ => return Err("usage: dqa report <metrics.json>".into()),
+    };
+    let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let snap = Snapshot::from_json(&data)?;
+
+    println!("per-module latency (Table 8 layout):");
+    println!(
+        "  {:<6} {:>7} {:>9} {:>9} {:>9}",
+        "module", "count", "mean s", "p50 s", "p95 s"
+    );
+    for module in ["QP", "PR", "PO", "AP"] {
+        let key = metric_key(names::MODULE_SECONDS, &[("module", module)]);
+        let Some(h) = snap.histograms.get(&key) else {
+            continue;
+        };
+        println!(
+            "  {:<6} {:>7} {:>9.3} {:>9.3} {:>9.3}",
+            module,
+            h.count,
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.95)
+        );
+    }
+    if let Some(h) = snap.histograms.get(names::QUESTION_SECONDS) {
+        println!(
+            "  {:<6} {:>7} {:>9.3} {:>9.3} {:>9.3}",
+            "e2e",
+            h.count,
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.95)
+        );
+    }
+
+    let overhead: Vec<(&str, f64)> = ["kw_send", "par_recv", "par_send", "ans_recv", "ans_sort"]
+        .into_iter()
+        .filter_map(|part| {
+            snap.histograms
+                .get(&metric_key(names::OVERHEAD_SECONDS, &[("part", part)]))
+                .map(|h| (part, h.sum))
+        })
+        .collect();
+    let total: f64 = overhead.iter().map(|(_, s)| s).sum();
+    if total > 0.0 {
+        println!("distribution overhead (Table 9 layout, share of overhead time):");
+        for (part, sum) in &overhead {
+            println!("  {part:<9} {sum:>9.3} s  {:>5.1} %", 100.0 * sum / total);
+        }
+    }
+
+    let outcome = |o: &str| snap.counter(&metric_key(names::QUESTIONS_TOTAL, &[("outcome", o)]));
+    println!(
+        "outcomes: {} answered / {} degraded / {} rejected / {} failed",
+        outcome("answered"),
+        outcome("degraded"),
+        outcome("rejected"),
+        outcome("failed")
+    );
+    let kind = |k: &str| snap.counter(&metric_key(names::MIGRATIONS_TOTAL, &[("kind", k)]));
+    println!(
+        "migrations qa/pr/ap = {}/{}/{}, speculations {}, sheds {}, backpressure {}, \
+         worker failures {}, breaker trips {}",
+        kind("qa"),
+        kind("pr"),
+        kind("ap"),
+        snap.counter(names::SPECULATIONS_TOTAL),
+        snap.counter_family(names::SHEDS_TOTAL),
+        snap.counter(names::BACKPRESSURE_TOTAL),
+        snap.counter(names::WORKER_FAILURES_TOTAL),
+        snap.counter(names::BREAKER_TRIPS_TOTAL),
+    );
+    let dropped = snap.counter(names::TRACE_DROPPED_TOTAL);
+    if dropped > 0 {
+        println!("trace events dropped by the flight recorder: {dropped}");
     }
     Ok(())
 }
@@ -471,6 +606,106 @@ mod tests {
         // No knobs → the permissive default.
         let none = parse(&[], &[]).unwrap();
         assert_eq!(overload_policy(&none).unwrap(), OverloadPolicy::default());
+    }
+
+    #[test]
+    fn simulate_writes_metrics_and_report_reads_them() {
+        let json_path = tmp("m1.json");
+        let prom_path = tmp("m1.prom");
+        run(&[
+            "simulate",
+            "--nodes",
+            "2",
+            "--seed",
+            "3",
+            "--metrics-out",
+            &json_path,
+            "--waterfall",
+            "0",
+        ])
+        .unwrap();
+        run(&[
+            "simulate",
+            "--nodes",
+            "2",
+            "--seed",
+            "3",
+            "--metrics-out",
+            &prom_path,
+            "--metrics-format",
+            "prom",
+        ])
+        .unwrap();
+        let snap = Snapshot::from_json(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        assert!(snap.counter_family(names::QUESTIONS_TOTAL) > 0);
+        assert!(snap.histograms.contains_key(names::QUESTION_SECONDS));
+        validate_prometheus(&std::fs::read_to_string(&prom_path).unwrap()).unwrap();
+        run(&["report", &json_path]).unwrap();
+    }
+
+    #[test]
+    fn ask_with_cluster_exports_metrics() {
+        let corpus_path = tmp("c4.json");
+        let metrics_path = tmp("c4-metrics.json");
+        run(&[
+            "generate",
+            "--seed",
+            "7",
+            "--size",
+            "small",
+            "--out",
+            &corpus_path,
+        ])
+        .unwrap();
+        run(&[
+            "ask",
+            "--corpus",
+            &corpus_path,
+            "--cluster",
+            "2",
+            "--sample",
+            "1",
+            "--metrics-out",
+            &metrics_path,
+        ])
+        .unwrap();
+        let snap = Snapshot::from_json(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert_eq!(snap.counter_family(names::QUESTIONS_TOTAL), 1);
+        assert_eq!(snap.histograms[names::QUESTION_SECONDS].count, 1);
+        assert!(
+            run(&[
+                "ask",
+                "--corpus",
+                &corpus_path,
+                "--sample",
+                "1",
+                "--metrics-out",
+                &metrics_path,
+            ])
+            .is_err(),
+            "pipeline mode must refuse --metrics-out"
+        );
+    }
+
+    #[test]
+    fn metrics_flag_errors_are_reported() {
+        let p = tmp("m2.json");
+        assert!(run(&[
+            "simulate",
+            "--nodes",
+            "2",
+            "--metrics-out",
+            &p,
+            "--metrics-format",
+            "xml"
+        ])
+        .is_err());
+        assert!(run(&["simulate", "--compare", "--metrics-out", &p]).is_err());
+        assert!(run(&["report"]).is_err());
+        assert!(run(&["report", "/nonexistent-metrics.json"]).is_err());
+        let bad = tmp("m2-bad.json");
+        std::fs::write(&bad, "[1,2,3]").unwrap();
+        assert!(run(&["report", &bad]).is_err());
     }
 
     #[test]

@@ -79,6 +79,17 @@ pub const RULES: &[Rule] = &[
                and corrupts seeded reproducibility",
     },
     Rule {
+        name: "raw-instant",
+        scope: Scope::Only(&["dqa-runtime"]),
+        patterns: &[
+            Pattern { seq: &["Instant", ":", ":", "now"], report: 3, display: "Instant::now()" },
+        ],
+        why: "runtime code read the wall clock directly",
+        help: "go through crate::clock::now_instant() (the one pragma'd read point) or take a \
+               dqa_obs::Clock; a single sanctioned site keeps runtime timing swappable for \
+               tests and observable by the metrics layer",
+    },
+    Rule {
         name: "runtime-panic",
         scope: Scope::Only(&["dqa-runtime"]),
         patterns: &[

@@ -22,6 +22,10 @@ pub fn hidden_queue() -> usize {
     rx.len()
 }
 
+pub fn raw_now() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
 pub fn waived_unwrap(v: Option<u32>) -> u32 {
     v.unwrap() // dqa-lint: allow(runtime-panic)
 }
@@ -39,6 +43,11 @@ pub fn waived_queue() -> usize {
     // dqa-lint: allow(unbounded-channel)
     let (_tx, rx) = crossbeam_channel::unbounded::<u32>();
     rx.len()
+}
+
+pub fn waived_now() -> std::time::Instant {
+    // dqa-lint: allow(raw-instant)
+    std::time::Instant::now()
 }
 
 #[cfg(test)]
@@ -59,5 +68,10 @@ mod tests {
     fn unbounded_is_fine_in_tests() {
         let (tx, _rx) = crossbeam_channel::unbounded::<u32>();
         drop(tx);
+    }
+
+    #[test]
+    fn raw_instant_is_fine_in_tests() {
+        let _ = std::time::Instant::now();
     }
 }

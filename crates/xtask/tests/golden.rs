@@ -35,7 +35,8 @@ fn violations_fixture_flags_each_rule_at_exact_lines() {
         (rt, "runtime-panic", 13, "panic!"),
         (rt, "runtime-panic", 17, "unreachable!"),
         (rt, "unbounded-channel", 21, "crossbeam_channel::unbounded"),
-        (rt, "unbounded-recv", 30, ".recv()"),
+        (rt, "raw-instant", 26, "Instant::now()"),
+        (rt, "unbounded-recv", 34, ".recv()"),
         ("src/lib.rs", "unseeded-rng", 5, "SeedableRng::from_entropy"),
     ];
     assert_eq!(got, want);
@@ -45,11 +46,12 @@ fn violations_fixture_flags_each_rule_at_exact_lines() {
 fn pragma_and_test_code_waivers_hold_in_violations_fixture() {
     let (_, diags) = run_lint(&fixture("violations")).expect("fixture lint");
     // Line 18 of the cluster-sim fixture carries a pragma'd Instant; line
-    // 26 of the dqa-runtime fixture a pragma'd unwrap, line 35 a pragma'd
-    // bare recv and line 40 a pragma'd unbounded() (pragma on the line
-    // above). Every #[cfg(test)] mod holds violations of the crate-scoped
-    // rules. Only the seeded bare-recv violation on line 30 may flag past
-    // the waived region starting at line 25.
+    // 30 of the dqa-runtime fixture a pragma'd unwrap, line 39 a pragma'd
+    // bare recv, line 44 a pragma'd unbounded() and line 50 a pragma'd
+    // Instant::now() (pragma on the line above). Every #[cfg(test)] mod
+    // holds violations of the crate-scoped rules. Only the seeded bare-recv
+    // violation on line 34 may flag past the waived region starting at
+    // line 29.
     assert!(
         diags
             .iter()
@@ -59,7 +61,7 @@ fn pragma_and_test_code_waivers_hold_in_violations_fixture() {
     assert!(
         diags
             .iter()
-            .all(|d| !(d.file.ends_with("dqa-runtime/src/lib.rs") && d.line >= 25 && d.line != 30)),
+            .all(|d| !(d.file.ends_with("dqa-runtime/src/lib.rs") && d.line >= 29 && d.line != 34)),
         "waived or test-mod line flagged in dqa-runtime fixture: {diags:?}"
     );
 }
@@ -92,10 +94,11 @@ fn json_rendering_is_valid_and_complete() {
     for d in &diags {
         assert!(json.contains(&format!("\"file\":\"{}\",\"line\":{}", d.file, d.line)));
     }
-    // All six rule names exercised except the per-fixture exemptions.
+    // All seven rule names exercised except the per-fixture exemptions.
     for rule in [
         "wall-clock",
         "unordered-state",
+        "raw-instant",
         "runtime-panic",
         "unbounded-recv",
         "unbounded-channel",
