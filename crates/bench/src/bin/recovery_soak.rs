@@ -1,0 +1,376 @@
+//! Coordinator-crash recovery soak: kill the journaled leader mid-load,
+//! fail a successor over, replay the journal and *resume* — not restart
+//! — the in-flight question, asserting the failover layer's hard
+//! invariants:
+//!
+//! 1. **Zero lost questions.** Every pre-crash answer survives replay
+//!    byte-for-byte, and the question caught in flight by the crash is
+//!    resumed to a full-coverage answer.
+//! 2. **Crash transparency.** The resumed answer is byte-identical to
+//!    the crash-free baseline of the same seed.
+//! 3. **Fencing.** A surviving handle of the deposed incarnation (the
+//!    zombie ex-leader) keeps computing, but every grant it tries to
+//!    journal after the successor's term is rejected — visible in
+//!    `dqa_fenced_grants_total`, with zero records appended.
+//!
+//! The live and crashed journal images live under `--artifacts-dir`
+//! (default `target/recovery_soak/`); on a violation a metrics snapshot
+//! is dumped next to them and the process exits non-zero, which is what
+//! the CI recovery job uploads.
+//!
+//! `--ci` runs the short fixed-seed configuration sized for a
+//! per-commit gate.
+
+use bench::fixtures::QaFixture;
+use dqa_obs::MetricsRegistry;
+use dqa_runtime::{Cluster, ClusterConfig, CoordinatorJournal};
+use journal::{read_segment, JournalRecord};
+use nlp::NamedEntityRecognizer;
+use qa_types::QuestionId;
+use scheduler::partition::PartitionStrategy;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct Args {
+    ci: bool,
+    seed: u64,
+    questions: usize,
+    artifacts_dir: String,
+    metrics_out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ci: false,
+        seed: 4242,
+        questions: 6,
+        artifacts_dir: "target/recovery_soak".into(),
+        metrics_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ci" => args.ci = true,
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
+            "--questions" => {
+                args.questions = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.questions)
+            }
+            "--artifacts-dir" => {
+                if let Some(p) = it.next() {
+                    args.artifacts_dir = p;
+                }
+            }
+            "--metrics-out" => args.metrics_out = it.next(),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: recovery_soak [--ci] [--seed N] \
+                     [--questions N] [--artifacts-dir DIR] [--metrics-out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.ci {
+        args.questions = args.questions.min(4);
+    }
+    args
+}
+
+fn config(journal: Option<CoordinatorJournal>, registry: &MetricsRegistry) -> ClusterConfig {
+    ClusterConfig {
+        nodes: 3,
+        ap_partition: PartitionStrategy::Recv { chunk_size: 4 },
+        journal,
+        metrics: Some(registry.clone()),
+        ..ClusterConfig::default()
+    }
+}
+
+/// Dump the active metrics registry next to the journal images and die.
+fn fail(msg: &str, artifacts: &Path, registry: &MetricsRegistry) -> ! {
+    eprintln!("recovery-soak VIOLATION: {msg}");
+    let _ = std::fs::create_dir_all(artifacts);
+    let path = artifacts.join("metrics.json");
+    match std::fs::write(&path, registry.snapshot().to_json()) {
+        Ok(()) => eprintln!("recovery-soak: metrics dumped to {}", path.display()),
+        Err(e) => eprintln!("recovery-soak: cannot write {}: {e}", path.display()),
+    }
+    eprintln!(
+        "recovery-soak: journal images left under {} for upload",
+        artifacts.display()
+    );
+    std::process::exit(1);
+}
+
+/// Copy the journal at `live` to `crash`, truncated immediately before
+/// `question`'s final-answer record: the exact on-disk image of a
+/// coordinator killed after granting and collecting that question's
+/// chunks but before durably answering it.
+fn crash_image(live: &Path, crash: &Path, question: QuestionId) {
+    std::fs::create_dir_all(crash).expect("create crash dir");
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(live)
+        .expect("read journal dir")
+        .map(|e| e.expect("journal dir entry").path())
+        .collect();
+    segments.sort();
+    let mut cut = None;
+    for (i, seg) in segments.iter().enumerate() {
+        for (offset, framed) in read_segment(seg).expect("journal segment readable") {
+            if matches!(
+                &framed.record,
+                JournalRecord::Answered { question: q, .. } if *q == question
+            ) {
+                cut = Some((i, offset));
+            }
+        }
+    }
+    let (cut_seg, cut_off) = cut.expect("the doomed question's answer must be journaled");
+    for (i, seg) in segments.iter().enumerate() {
+        if i > cut_seg {
+            continue; // written after the kill: never existed
+        }
+        let bytes = std::fs::read(seg).expect("read segment");
+        let keep = if i == cut_seg {
+            &bytes[..cut_off as usize]
+        } else {
+            &bytes[..]
+        };
+        std::fs::write(crash.join(seg.file_name().expect("segment name")), keep)
+            .expect("write crash segment");
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let artifacts = PathBuf::from(&args.artifacts_dir);
+    let live_dir = artifacts.join("journal");
+    let crash_dir = artifacts.join("journal-crash");
+    let _ = std::fs::remove_dir_all(&live_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+    let fixture = QaFixture::small(args.seed, args.questions);
+
+    // Phase 0 — crash-free baseline: the answer bytes every later
+    // incarnation must reproduce.
+    let baseline_registry = MetricsRegistry::new();
+    let clean = Cluster::start(
+        fixture.retriever(),
+        NamedEntityRecognizer::standard(),
+        config(None, &baseline_registry),
+    );
+    let mut baseline = Vec::new();
+    for gq in &fixture.questions {
+        let out = clean.ask(&gq.question).expect("crash-free ask failed");
+        if !out.coverage.is_complete() {
+            fail(
+                "crash-free baseline degraded",
+                &artifacts,
+                &baseline_registry,
+            );
+        }
+        baseline.push(serde_json::to_string(&out.answers).expect("serialize answers"));
+    }
+    clean.shutdown();
+
+    // Phase 1 — the doomed leader: a journaled run of the same load.
+    let (leader, _) = CoordinatorJournal::open(&live_dir).expect("open live journal");
+    let leader_registry = MetricsRegistry::new();
+    let cl = Cluster::start(
+        fixture.retriever(),
+        NamedEntityRecognizer::standard(),
+        config(Some(leader.clone()), &leader_registry),
+    );
+    for (i, gq) in fixture.questions.iter().enumerate() {
+        let out = cl.ask(&gq.question).expect("journaled ask failed");
+        let bytes = serde_json::to_string(&out.answers).expect("serialize answers");
+        if bytes != baseline[i] {
+            fail(
+                &format!("journaling perturbed question {}", gq.question.id),
+                &artifacts,
+                &leader_registry,
+            );
+        }
+    }
+    let appended = leader.appended();
+    cl.shutdown();
+    drop(leader); // the kill: the leader process is gone
+
+    // The crash lands mid-question: cut the journal just before the last
+    // question's durable answer.
+    let doomed = fixture.questions[args.questions - 1].question.id;
+    crash_image(&live_dir, &crash_dir, doomed);
+
+    // Phase 2 — failover: a successor replays the crashed journal and
+    // promotes past the dead incarnation's term. A handle frozen at the
+    // old term, minted before the promotion, plays the zombie ex-leader.
+    let recovery_start = Instant::now();
+    let (successor, recovery) = CoordinatorJournal::open(&crash_dir).expect("open crashed journal");
+    let recovery_registry = MetricsRegistry::new();
+    if recovery.state.gate_occupancy() != 1 {
+        fail(
+            &format!(
+                "replay found {} in-flight question(s), want exactly the one killed mid-load",
+                recovery.state.gate_occupancy()
+            ),
+            &artifacts,
+            &recovery_registry,
+        );
+    }
+    for (i, gq) in fixture.questions[..args.questions - 1].iter().enumerate() {
+        let survived = recovery
+            .state
+            .get(gq.question.id)
+            .and_then(|rec| rec.answer())
+            .is_some_and(|(payload, complete)| complete && payload == baseline[i].as_bytes());
+        if !survived {
+            fail(
+                &format!(
+                    "pre-crash answer for {} lost or changed in replay",
+                    gq.question.id
+                ),
+                &artifacts,
+                &recovery_registry,
+            );
+        }
+    }
+    let zombie = successor.standby();
+    let term = successor.promote().expect("promote successor");
+
+    // Phase 3 — resume the in-flight question on a fresh cluster.
+    let cl2 = Cluster::start(
+        fixture.retriever(),
+        NamedEntityRecognizer::standard(),
+        config(Some(successor), &recovery_registry),
+    );
+    let resumed = cl2.resume(&recovery);
+    let recovery_ms = recovery_start.elapsed().as_secs_f64() * 1e3;
+    if resumed.len() != 1 {
+        fail(
+            &format!("resume returned {} question(s), want 1", resumed.len()),
+            &artifacts,
+            &recovery_registry,
+        );
+    }
+    let (q, res) = &resumed[0];
+    match res {
+        Ok(out) if !out.coverage.is_complete() => fail(
+            "resumed answer lost coverage",
+            &artifacts,
+            &recovery_registry,
+        ),
+        Ok(out) => {
+            let bytes = serde_json::to_string(&out.answers).expect("serialize answers");
+            if bytes != baseline[args.questions - 1] {
+                fail(
+                    &format!("resumed answer for {} diverged from the baseline", q.id),
+                    &artifacts,
+                    &recovery_registry,
+                );
+            }
+        }
+        Err(e) => fail(
+            &format!("resume of {} failed: {e}", q.id),
+            &artifacts,
+            &recovery_registry,
+        ),
+    }
+    cl2.shutdown();
+    let snap = recovery_registry.snapshot();
+    for (key, want) in [
+        ("dqa_failovers_total", 1u64),
+        ("dqa_resumed_questions_total", 1u64),
+    ] {
+        if snap.counter(key) != want {
+            fail(
+                &format!("{key} = {}, want {want}", snap.counter(key)),
+                &artifacts,
+                &recovery_registry,
+            );
+        }
+    }
+    if snap.counter("dqa_replayed_records_total") == 0 {
+        fail(
+            "no journal records replayed",
+            &artifacts,
+            &recovery_registry,
+        );
+    }
+    if snap.gauges.get("dqa_leader_term").copied() != Some(term as f64) {
+        fail(
+            "leader-term gauge did not follow the promotion",
+            &artifacts,
+            &recovery_registry,
+        );
+    }
+
+    // Phase 4 — the zombie ex-leader keeps answering but appends nothing:
+    // every post-term grant must bounce off the fence.
+    let zombie_registry = MetricsRegistry::new();
+    let cl3 = Cluster::start(
+        fixture.retriever(),
+        NamedEntityRecognizer::standard(),
+        config(Some(zombie), &zombie_registry),
+    );
+    let out = cl3
+        .ask(&fixture.questions[0].question)
+        .expect("zombie ask failed");
+    cl3.shutdown();
+    if serde_json::to_string(&out.answers).expect("serialize answers") != baseline[0] {
+        fail(
+            "fencing corrupted the zombie's in-memory answer",
+            &artifacts,
+            &zombie_registry,
+        );
+    }
+    let zsnap = zombie_registry.snapshot();
+    if zsnap.counter("dqa_fenced_grants_total") == 0 {
+        fail(
+            "zombie grants were not fenced",
+            &artifacts,
+            &zombie_registry,
+        );
+    }
+    if zsnap.counter("dqa_journal_records_total") != 0 {
+        fail(
+            "a fenced incarnation appended records",
+            &artifacts,
+            &zombie_registry,
+        );
+    }
+
+    println!(
+        "Recovery soak — seed {}, {} questions, 3 nodes",
+        args.seed, args.questions
+    );
+    println!(
+        "  leader journaled {appended} record(s); crash cut mid-question {doomed}; \
+         successor promoted to term {term}"
+    );
+    println!(
+        "  replayed {} record(s), resumed 1 question in {recovery_ms:.1} ms wall \
+         (recovery histogram: {} sample(s))",
+        snap.counter("dqa_replayed_records_total"),
+        snap.histograms
+            .get("dqa_recovery_seconds")
+            .map_or(0, |h| h.count),
+    );
+    println!(
+        "  zombie fenced: {} grant(s) rejected, 0 appended",
+        zsnap.counter("dqa_fenced_grants_total")
+    );
+    if let Some(path) = &args.metrics_out {
+        if let Some(dir) = Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, snap.to_json()) {
+            Ok(()) => println!("  metrics snapshot written to {path}"),
+            Err(e) => {
+                eprintln!("recovery-soak: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("  invariants held: zero lost questions, byte-identical resume, zombie fenced");
+}

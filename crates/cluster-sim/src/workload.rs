@@ -567,7 +567,31 @@ enum FaultAction {
     Slow(NodeId, f64),
     /// Straggler window closes.
     Unslow(NodeId),
+    /// The leader coordinator crashes: admissions stop until a standby's
+    /// lease expires and it replays the journal (virtual-time mirror of
+    /// the runtime's [`dqa-runtime`] failover path).
+    CoordinatorDown,
+    /// The crashed ex-leader process returns — as a fenced standby, so
+    /// this is a no-op for the workload (modeled for schedule symmetry).
+    CoordinatorUp,
+    /// The leader is partitioned from the standbys: it keeps serving, but
+    /// once the lease lapses a standby promotes and every append the
+    /// zombie attempts is fenced.
+    PartitionStart,
+    /// The partition heals; the ex-leader observes the higher term and
+    /// stops appending.
+    PartitionEnd,
 }
+
+/// Standby lease length in virtual seconds: how long after the last
+/// heartbeat a standby waits before promoting itself (mirrors
+/// `dqa_runtime::LeaderLease`).
+const FAILOVER_LEASE_SECS: f64 = 0.5;
+
+/// Virtual seconds a standby spends folding one journal record during
+/// replay. Recovery latency is therefore `lease + records × this`, the
+/// same linear shape the runtime recovery-soak measures.
+const REPLAY_SECS_PER_RECORD: f64 = 2e-5;
 
 /// The simulation controller.
 pub struct QaSimulation {
@@ -610,6 +634,23 @@ pub struct QaSimulation {
     admission_wait: std::collections::VecDeque<usize>,
     /// Catalogue instruments bound against the run's registry.
     metrics: DqaMetrics,
+    /// Whether the schedule contains coordinator faults: only then is the
+    /// question journal modeled (record counting, replay latency, terms).
+    journaled: bool,
+    /// Coordinator term in force (fencing mirror; starts at 1).
+    term: u64,
+    /// Leader crashed and no standby has promoted yet: admissions halt.
+    leader_down: bool,
+    /// Virtual time of the in-force outage (crash or partition start).
+    down_at: f64,
+    /// When the standby's lease expires and journal replay completes —
+    /// the promotion instant.
+    pending_promote: Option<f64>,
+    /// Partition zombie window: the deposed ex-leader is still serving
+    /// and every journal append it attempts is fenced.
+    zombie: bool,
+    /// Journal records appended so far (drives replay latency).
+    journal_records: u64,
     /// The virtual clock feeding every [`PhaseTimer`]: advanced to the
     /// engine's time at each instrumented event.
     clock: ManualClock,
@@ -697,6 +738,15 @@ impl QaSimulation {
                 engine.set_disk_mult(n, sp.max(1e-3));
             }
         }
+        let journaled = cfg.faults.events.iter().any(|ev| {
+            matches!(
+                ev,
+                FaultEvent::CoordinatorCrash { .. } | FaultEvent::LeaderPartition { .. }
+            )
+        });
+        if journaled {
+            metrics.leader_term.set(1.0);
+        }
         QaSimulation {
             engine,
             rng,
@@ -739,6 +789,16 @@ impl QaSimulation {
                             t.push((from, FaultAction::Slow(node, factor)));
                             t.push((until, FaultAction::Unslow(node)));
                         }
+                        FaultEvent::CoordinatorCrash { at, rejoin } => {
+                            t.push((at, FaultAction::CoordinatorDown));
+                            if let Some(r) = rejoin {
+                                t.push((r, FaultAction::CoordinatorUp));
+                            }
+                        }
+                        FaultEvent::LeaderPartition { from, until } => {
+                            t.push((from, FaultAction::PartitionStart));
+                            t.push((until, FaultAction::PartitionEnd));
+                        }
                     }
                 }
                 // Stable sort: same-time actions apply in config order,
@@ -758,6 +818,13 @@ impl QaSimulation {
             },
             trace: Vec::new(),
             admission_wait: std::collections::VecDeque::new(),
+            journaled,
+            term: 1,
+            leader_down: false,
+            down_at: 0.0,
+            pending_promote: None,
+            zombie: false,
+            journal_records: 0,
             metrics,
             clock,
             node_load,
@@ -804,7 +871,13 @@ impl QaSimulation {
                 .max_in_flight
                 .map(|cap| self.in_flight < cap)
                 .unwrap_or(true);
-            let next_arrival_t = if self.cfg.serial {
+            let next_arrival_t = if self.leader_down {
+                // No coordinator: arrivals park at the (dead) front door
+                // until a standby promotes. Nothing is lost — the journal
+                // has every admitted question, and held arrivals resume
+                // under the new term.
+                None
+            } else if self.cfg.serial {
                 (self.next_arrival < self.states.len() && self.completed == self.next_arrival)
                     .then(|| self.engine.now())
             } else if !gate_open {
@@ -816,6 +889,15 @@ impl QaSimulation {
                 self.arrivals.get(self.next_arrival).copied()
             };
             let next_failure_t = self.timeline.get(self.next_fault).map(|&(t, _)| t);
+
+            // Standby promotion due? (Fires before arrivals so held
+            // questions are admitted under the new term, not the old.)
+            if let Some(p) = self.pending_promote {
+                if p <= self.engine.now() {
+                    self.promote(self.engine.now());
+                    continue;
+                }
+            }
 
             // Immediate arrival?
             if let Some(t) = next_arrival_t {
@@ -839,17 +921,22 @@ impl QaSimulation {
                         FaultAction::Rejoin(node) => self.revive_node(node),
                         FaultAction::Slow(node, factor) => self.set_slow(node, factor),
                         FaultAction::Unslow(node) => self.set_slow(node, 1.0),
+                        FaultAction::CoordinatorDown => self.coordinator_down(ft),
+                        FaultAction::CoordinatorUp => {
+                            // The ex-leader rejoins as a fenced standby;
+                            // the workload itself is unaffected.
+                        }
+                        FaultAction::PartitionStart => self.partition_start(ft),
+                        FaultAction::PartitionEnd => self.zombie = false,
                     }
                     continue;
                 }
             }
 
-            let next_ext = match (next_arrival_t, next_failure_t) {
-                (Some(a), Some(f)) => Some(a.min(f)),
-                (Some(a), None) => Some(a),
-                (None, Some(f)) => Some(f),
-                (None, None) => None,
-            };
+            let next_ext = [next_arrival_t, next_failure_t, self.pending_promote]
+                .into_iter()
+                .flatten()
+                .reduce(f64::min);
 
             match self.engine.advance(next_ext) {
                 Advance::TaskDone { tag, at, .. } => self.handle(tag, at),
@@ -870,12 +957,82 @@ impl QaSimulation {
                 break;
             }
         }
+        // A promotion still pending when the workload drains must fire
+        // anyway: the standby's lease expires on the virtual clock whether
+        // or not new work arrives, and the failover/recovery metrics must
+        // record the event.
+        if let Some(p) = self.pending_promote {
+            self.promote(p.max(self.engine.now()));
+        }
         // Anything still parked in the admission queue when the system
         // goes idle is waiting on a slot that will never free; reject it
         // deterministically so every offered question has a record.
         while let Some(q) = self.admission_wait.pop_front() {
             self.reject(q);
         }
+    }
+
+    /// The leader coordinator crashes. In-flight sub-tasks keep running —
+    /// the standbys tail the journal over the link layer, so the work
+    /// already granted is never lost — but no new question can be admitted
+    /// until a standby's lease expires and it finishes replaying the
+    /// journal (linear in the record count).
+    fn coordinator_down(&mut self, at: f64) {
+        if self.leader_down {
+            return;
+        }
+        self.leader_down = true;
+        self.down_at = at;
+        self.pending_promote =
+            Some(at + FAILOVER_LEASE_SECS + REPLAY_SECS_PER_RECORD * self.journal_records as f64);
+    }
+
+    /// The leader is partitioned from its standbys. Unlike a crash it
+    /// keeps serving (arrivals flow), but once the lease lapses a standby
+    /// promotes to the next term and the isolated ex-leader becomes a
+    /// zombie whose journal appends are fenced.
+    fn partition_start(&mut self, at: f64) {
+        self.down_at = at;
+        self.pending_promote =
+            Some(at + FAILOVER_LEASE_SECS + REPLAY_SECS_PER_RECORD * self.journal_records as f64);
+    }
+
+    /// A standby's lease expired and its journal replay finished: it is
+    /// now the leader for the next term.
+    fn promote(&mut self, at: f64) {
+        self.pending_promote = None;
+        self.term += 1;
+        if self.leader_down {
+            self.leader_down = false;
+        } else {
+            // Partition promotion: the deposed ex-leader keeps serving
+            // until the partition heals; every append it attempts in the
+            // meantime is rejected by the term fence.
+            self.zombie = true;
+        }
+        self.metrics.failovers.inc();
+        self.metrics.leader_term.set(self.term as f64);
+        self.metrics
+            .recovery_seconds
+            .observe((at - self.down_at).max(0.0));
+        self.metrics.replayed_records.add(self.journal_records);
+        self.metrics.resumed_questions.add(self.in_flight as u64);
+    }
+
+    /// Account `n` journal appends by the serving coordinator. Inert
+    /// unless the schedule contains coordinator faults; a zombie
+    /// ex-leader's appends land in `dqa_fenced_grants_total` instead of
+    /// the journal.
+    fn journal_mark(&mut self, n: u64) {
+        if !self.journaled {
+            return;
+        }
+        if self.zombie {
+            self.metrics.fenced_grants.add(n);
+            return;
+        }
+        self.journal_records += n;
+        self.metrics.journal_records.add(n);
     }
 
     /// Inject a permanent node failure: kill its tasks, recover their work
@@ -1414,6 +1571,8 @@ impl QaSimulation {
             },
         );
         self.in_flight += 1;
+        // Admission + scheduling point 1 are journaled (two records).
+        self.journal_mark(2);
         self.clock.set(now);
         self.states[q].timer = PhaseTimer::start(&self.clock);
         self.publish_gate();
@@ -1438,6 +1597,8 @@ impl QaSimulation {
                 collection,
             } => {
                 self.record(q, SimEventKind::PrChunkDone { node, collection });
+                // Chunk grant + partial result land in the journal.
+                self.journal_mark(2);
                 let c = Self::scaled(Self::pr_commit(), self.states[q].work_scale);
                 self.remove_commit(node, c);
                 self.states[q].pr_queue.complete_one(node);
@@ -1464,6 +1625,7 @@ impl QaSimulation {
                 paragraphs,
             } => {
                 self.record(q, SimEventKind::ApBatchDone { node, paragraphs });
+                self.journal_mark(2);
                 let c = Self::scaled(Self::ap_commit(), self.states[q].work_scale);
                 self.remove_commit(node, c);
                 self.states[q].ap_partitions.remove(&node);
@@ -1480,6 +1642,7 @@ impl QaSimulation {
                 paragraphs,
             } => {
                 self.record(q, SimEventKind::ApBatchDone { node, paragraphs });
+                self.journal_mark(2);
                 self.states[q].ap_outstanding -= 1;
                 {
                     let queue = self.states[q].ap_queue.as_mut().expect("recv mode");
@@ -1603,8 +1766,9 @@ impl QaSimulation {
             self.shed(q, QaModule::Pr, now);
             return;
         }
-        // Scheduling point 2: the PR dispatcher.
+        // Scheduling point 2: the PR dispatcher (journaled).
         let nodes = self.module_allocation(q, QaModule::Pr);
+        self.journal_mark(1);
         let st = &mut self.states[q];
         st.phase = Phase::Pr;
         st.phase_start = now;
@@ -1710,8 +1874,9 @@ impl QaSimulation {
             self.shed(q, QaModule::Ap, now);
             return;
         }
-        // Scheduling point 3: the AP dispatcher.
+        // Scheduling point 3: the AP dispatcher (journaled).
         let nodes = self.module_allocation(q, QaModule::Ap);
+        self.journal_mark(1);
         let st = &mut self.states[q];
         st.phase = Phase::Ap;
         st.phase_start = now;
@@ -1861,6 +2026,8 @@ impl QaSimulation {
             outcome: st.outcome,
         };
         self.records[q] = Some(record);
+        // The final answer record closes the question's journal entry.
+        self.journal_mark(1);
         self.completed += 1;
         self.in_flight -= 1;
         self.observe_question(q, at);
@@ -2247,6 +2414,68 @@ mod tests {
             faulty.makespan,
             clean.makespan
         );
+    }
+
+    #[test]
+    fn coordinator_crash_fails_over_and_loses_nothing() {
+        let clean = QaSimulation::new(SimConfig::paper_low_load(
+            4,
+            PartitionStrategy::Recv { chunk_size: 40 },
+            6,
+            96,
+        ))
+        .run();
+        let build = || {
+            let mut cfg =
+                SimConfig::paper_low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, 6, 96);
+            cfg.faults = FaultSchedule::seeded(96).coordinator_crash(20.0);
+            QaSimulation::new(cfg)
+        };
+        let crashed = build().run();
+        assert_eq!(crashed.questions.len(), 6, "zero questions lost");
+        assert_eq!(
+            crashed.metrics.counter("dqa_failovers_total"),
+            1,
+            "exactly one standby promotion"
+        );
+        assert!(
+            crashed.metrics.counter("dqa_replayed_records_total") > 0,
+            "the standby replays a non-empty journal"
+        );
+        assert_eq!(crashed.metrics.gauges["dqa_leader_term"], 2.0);
+        assert!(
+            crashed
+                .metrics
+                .histograms
+                .contains_key("dqa_recovery_seconds"),
+            "recovery latency lands in the catalogue"
+        );
+        assert!(
+            crashed.makespan >= clean.makespan,
+            "held arrivals cannot make the run faster: {:.1} vs {:.1}",
+            crashed.makespan,
+            clean.makespan
+        );
+        assert_eq!(crashed, build().run(), "failover replays bit-stably");
+    }
+
+    #[test]
+    fn leader_partition_fences_the_zombie_and_completes_everything() {
+        let build = || {
+            let mut cfg =
+                SimConfig::paper_low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, 6, 97);
+            cfg.faults = FaultSchedule::seeded(97).leader_partition(10.0, 400.0);
+            QaSimulation::new(cfg)
+        };
+        let r = build().run();
+        assert_eq!(r.questions.len(), 6, "the zombie's answers still count");
+        assert_eq!(r.metrics.counter("dqa_failovers_total"), 1);
+        assert!(
+            r.metrics.counter("dqa_fenced_grants_total") > 0,
+            "every append the deposed leader attempts must be fenced"
+        );
+        assert_eq!(r.metrics.gauges["dqa_leader_term"], 2.0);
+        assert_eq!(r, build().run(), "partition schedule replays bit-stably");
     }
 
     #[test]

@@ -64,6 +64,20 @@ pub struct DqaMetrics {
     pub in_flight: Gauge,
     /// `dqa_admission_waiting`.
     pub admission_waiting: Gauge,
+    /// `dqa_failovers_total` — standby promotions.
+    pub failovers: Counter,
+    /// `dqa_fenced_grants_total` — stale-term journal appends rejected.
+    pub fenced_grants: Counter,
+    /// `dqa_journal_records_total` — records durably appended.
+    pub journal_records: Counter,
+    /// `dqa_replayed_records_total` — records folded on recovery.
+    pub replayed_records: Counter,
+    /// `dqa_resumed_questions_total` — in-flight questions resumed.
+    pub resumed_questions: Counter,
+    /// `dqa_recovery_seconds` — crash → resumed latency.
+    pub recovery_seconds: Histogram,
+    /// `dqa_leader_term` — coordinator term in force.
+    pub leader_term: Gauge,
 }
 
 impl DqaMetrics {
@@ -99,6 +113,13 @@ impl DqaMetrics {
             breaker_trips: registry.counter(names::BREAKER_TRIPS_TOTAL, &[]),
             in_flight: registry.gauge(names::IN_FLIGHT, &[]),
             admission_waiting: registry.gauge(names::ADMISSION_WAITING, &[]),
+            failovers: registry.counter(names::FAILOVERS_TOTAL, &[]),
+            fenced_grants: registry.counter(names::FENCED_GRANTS_TOTAL, &[]),
+            journal_records: registry.counter(names::JOURNAL_RECORDS_TOTAL, &[]),
+            replayed_records: registry.counter(names::REPLAYED_RECORDS_TOTAL, &[]),
+            resumed_questions: registry.counter(names::RESUMED_QUESTIONS_TOTAL, &[]),
+            recovery_seconds: registry.histogram(names::RECOVERY_SECONDS, &[]),
+            leader_term: registry.gauge(names::LEADER_TERM, &[]),
             registry: registry.clone(),
         }
     }
@@ -147,6 +168,10 @@ mod tests {
         m.qp_seconds.observe(0.01);
         m.node_load(2, "PR").set(1.5);
         m.queue_depth(2).set(3.0);
+        m.failovers.inc();
+        m.fenced_grants.inc();
+        m.recovery_seconds.observe(0.25);
+        m.leader_term.set(2.0);
         let snap = reg.snapshot();
         assert_eq!(
             snap.counter(r#"dqa_questions_total{outcome="answered"}"#),
@@ -155,6 +180,10 @@ mod tests {
         assert!(snap
             .histograms
             .contains_key(r#"dqa_module_seconds{module="QP"}"#));
+        assert_eq!(snap.counter("dqa_failovers_total"), 1);
+        assert_eq!(snap.counter("dqa_fenced_grants_total"), 1);
+        assert!(snap.histograms.contains_key("dqa_recovery_seconds"));
+        assert_eq!(snap.gauges["dqa_leader_term"], 2.0);
         assert_eq!(snap.gauges[r#"dqa_node_load{module="PR",node="2"}"#], 1.5);
         assert_eq!(snap.gauges[r#"dqa_queue_depth{node="2"}"#], 3.0);
         // The exposition must validate (CI smoke requirement).

@@ -64,6 +64,13 @@ pub use snapshot::{
 /// | `dqa_in_flight` | gauge | — |
 /// | `dqa_admission_waiting` | gauge | — |
 /// | `dqa_queue_depth` | gauge | `node` |
+/// | `dqa_failovers_total` | counter | — (standby promotions) |
+/// | `dqa_fenced_grants_total` | counter | — (stale-term appends rejected) |
+/// | `dqa_journal_records_total` | counter | — (records durably appended) |
+/// | `dqa_replayed_records_total` | counter | — (records folded on recovery) |
+/// | `dqa_resumed_questions_total` | counter | — (in-flight questions resumed) |
+/// | `dqa_recovery_seconds` | histogram | — (crash → resumed latency) |
+/// | `dqa_leader_term` | gauge | — (current coordinator term) |
 pub mod names {
     /// Per-module latency histogram (Table 8). Label `module`.
     pub const MODULE_SECONDS: &str = "dqa_module_seconds";
@@ -95,4 +102,19 @@ pub mod names {
     pub const ADMISSION_WAITING: &str = "dqa_admission_waiting";
     /// Depth of a node's bounded ingress queue. Label `node`.
     pub const QUEUE_DEPTH: &str = "dqa_queue_depth";
+    /// Standby coordinators promoted to leader (lease expiries acted on).
+    pub const FAILOVERS_TOTAL: &str = "dqa_failovers_total";
+    /// Journal appends rejected because the writer's term was stale —
+    /// the visible proof that a zombie ex-leader's grants were fenced.
+    pub const FENCED_GRANTS_TOTAL: &str = "dqa_fenced_grants_total";
+    /// Records durably appended to the question journal.
+    pub const JOURNAL_RECORDS_TOTAL: &str = "dqa_journal_records_total";
+    /// Journal records folded back into coordinator state on recovery.
+    pub const REPLAYED_RECORDS_TOTAL: &str = "dqa_replayed_records_total";
+    /// In-flight questions a successor coordinator resumed (not restarted).
+    pub const RESUMED_QUESTIONS_TOTAL: &str = "dqa_resumed_questions_total";
+    /// Leader-crash to questions-resumed recovery latency.
+    pub const RECOVERY_SECONDS: &str = "dqa_recovery_seconds";
+    /// The coordinator term currently in force (fencing token).
+    pub const LEADER_TERM: &str = "dqa_leader_term";
 }

@@ -63,6 +63,12 @@ impl ChaosDriver {
                     timeline.push((from, Action::Slow(node, factor)));
                     timeline.push((until, Action::Unslow(node)));
                 }
+                // Coordinator faults target the meta-scheduler, not a
+                // worker node's availability: the failover harness
+                // (crate::failover + tests/coordinator_failover.rs)
+                // exercises them against the journal, so the board-level
+                // chaos thread has nothing to flip.
+                FaultEvent::CoordinatorCrash { .. } | FaultEvent::LeaderPartition { .. } => {}
             }
         }
         timeline.sort_by(|a, b| a.0.total_cmp(&b.0));

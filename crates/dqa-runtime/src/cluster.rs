@@ -3,6 +3,7 @@
 use crate::board::{LoadBoard, QuarantinePolicy};
 use crate::chaos::ChaosDriver;
 use crate::clock::now_instant;
+use crate::failover::CoordinatorJournal;
 use crate::links::FaultyLink;
 use crate::message::{Envelope, SubTask, SubTaskResult};
 use crate::monitor::BroadcastMonitors;
@@ -13,6 +14,9 @@ use crossbeam_channel::{bounded, RecvTimeoutError, SendTimeoutError, Sender};
 use dqa_obs::{names, DqaMetrics, Gauge, MetricsRegistry, WallClock};
 use faults::{FaultSchedule, RetryPolicy};
 use ir_engine::ParagraphRetriever;
+use journal::{
+    JournalError, JournalPhase, JournalRecord, QuestionRecovery, Recovery, SchedulingPoint,
+};
 use loadsim::functions::LoadFunctions;
 use nlp::{NamedEntityRecognizer, QuestionProcessor};
 use qa_pipeline::answer::ApItem;
@@ -95,6 +99,14 @@ pub struct ClusterConfig {
     /// Capacity of the bounded trace flight recorder. Oldest events are
     /// evicted past it, counted in `dqa_trace_dropped_total`.
     pub trace_capacity: usize,
+    /// Durable question journal the coordinator appends its decisions to
+    /// (admission, the three scheduling points, chunk grants, partial
+    /// results, final answers). `None` (default) disables journaling; with
+    /// a journal, a successor coordinator can replay it and
+    /// [`Cluster::resume`] every in-flight question. All journal file I/O
+    /// lives in the `journal` crate — the `raw-fs-write` lint rule keeps
+    /// ad-hoc writes out of this one.
+    pub journal: Option<CoordinatorJournal>,
 }
 
 impl Default for ClusterConfig {
@@ -119,6 +131,7 @@ impl Default for ClusterConfig {
             send_timeout: Duration::from_millis(100),
             metrics: None,
             trace_capacity: DEFAULT_FLIGHT_RECORDER_CAPACITY,
+            journal: None,
         }
     }
 }
@@ -251,6 +264,9 @@ impl Cluster {
         let chaos = (!cfg.faults.events.is_empty())
             .then(|| ChaosDriver::start(Arc::clone(&board), &cfg.faults, cfg.fault_time_scale));
         let gate = AdmissionGate::new(&cfg.overload);
+        if let Some(journal) = &cfg.journal {
+            metrics.leader_term.set(journal.term() as f64);
+        }
         Cluster {
             monitors,
             cfg,
@@ -324,7 +340,7 @@ impl Cluster {
         dns_home: NodeId,
         question: &Question,
     ) -> Result<DistributedAnswer, QaError> {
-        self.ask_impl(dns_home, question, now_instant())
+        self.ask_impl(dns_home, question, now_instant(), None)
     }
 
     /// Offer one question to the concurrent front-end. The call blocks
@@ -363,7 +379,7 @@ impl Cluster {
             .admission_waiting
             .set(self.gate.waiting() as f64);
         let dns = NodeId::new((self.rr.fetch_add(1, Ordering::Relaxed) % self.cfg.nodes) as u32);
-        let out = self.ask_impl(dns, question, admitted_at);
+        let out = self.ask_impl(dns, question, admitted_at, None);
         self.gate.release();
         self.metrics.in_flight.set(self.gate.in_flight() as f64);
         match out {
@@ -411,6 +427,57 @@ impl Cluster {
         &self.gate
     }
 
+    /// Resume every in-flight question recovered from a journal replay.
+    ///
+    /// This is the successor coordinator's first act after
+    /// [`CoordinatorJournal::open`] + promotion: each question that was
+    /// admitted but not yet answered (or abandoned) at the crash is re-run
+    /// with its journaled partial results pre-applied, so completed chunks
+    /// are never re-executed and — the pipeline being deterministic — the
+    /// resumed answers are byte-identical to a crash-free run. Results come
+    /// back in recovered-question order (ascending question id).
+    pub fn resume(
+        &self,
+        recovery: &Recovery,
+    ) -> Vec<(Question, Result<DistributedAnswer, QaError>)> {
+        // Resuming a replayed journal is the runtime's failover-complete
+        // point: a successor incarnation has taken over the crashed
+        // coordinator's in-flight work.
+        self.metrics.failovers.inc();
+        self.metrics.replayed_records.add(recovery.stats.records);
+        let t = now_instant();
+        let mut out = Vec::new();
+        for (_, rec) in recovery.state.in_flight() {
+            let Some(q) = rec.question() else { continue };
+            let q = q.clone();
+            let res = self.ask_resumed(&q, rec);
+            out.push((q, res));
+        }
+        self.metrics
+            .recovery_seconds
+            .observe(t.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Resume a single recovered question. Prefers the journaled home node
+    /// when it is still alive; otherwise falls back to DNS round-robin, a
+    /// Table 7 question migration forced by the crash.
+    pub fn ask_resumed(
+        &self,
+        question: &Question,
+        rec: &QuestionRecovery,
+    ) -> Result<DistributedAnswer, QaError> {
+        self.metrics.resumed_questions.inc();
+        let dns = rec
+            .home()
+            .map(NodeId::new)
+            .filter(|n| n.index() < self.cfg.nodes && self.board.is_alive(*n))
+            .unwrap_or_else(|| {
+                NodeId::new((self.rr.fetch_add(1, Ordering::Relaxed) % self.cfg.nodes) as u32)
+            });
+        self.ask_impl(dns, question, now_instant(), Some(rec))
+    }
+
     /// Run one question and account its outcome in the metrics registry.
     /// Every path through the cluster lands in exactly one
     /// `dqa_questions_total` outcome: `answered` (full coverage),
@@ -420,8 +487,9 @@ impl Cluster {
         dns_home: NodeId,
         question: &Question,
         admitted_at: Instant,
+        resume: Option<&QuestionRecovery>,
     ) -> Result<DistributedAnswer, QaError> {
-        let result = self.ask_inner(dns_home, question, admitted_at);
+        let result = self.ask_inner(dns_home, question, admitted_at, resume);
         match &result {
             Ok(answer) => {
                 self.metrics
@@ -432,9 +500,30 @@ impl Cluster {
                 } else {
                     self.metrics.degraded.inc();
                 }
+                // The final answer is journaled so a successor coordinator
+                // knows the question no longer occupies an admission slot
+                // (and byte-identity across incarnations can be audited).
+                if self.cfg.journal.is_some() {
+                    if let Ok(payload) = serde_json::to_vec(&answer.answers) {
+                        self.journal_append(&JournalRecord::Answered {
+                            question: question.id,
+                            payload,
+                            complete: answer.coverage.is_complete(),
+                        });
+                    }
+                }
             }
             Err(QaError::Overloaded { .. }) => self.metrics.rejected.inc(),
-            Err(_) => self.metrics.failed.inc(),
+            Err(_) => {
+                self.metrics.failed.inc();
+                // Free the question's journaled admission slot: a failed
+                // question must not be resumed forever by every successor.
+                if self.cfg.journal.is_some() {
+                    self.journal_append(&JournalRecord::Abandoned {
+                        question: question.id,
+                    });
+                }
+            }
         }
         result
     }
@@ -444,6 +533,7 @@ impl Cluster {
         dns_home: NodeId,
         question: &Question,
         admitted_at: Instant,
+        resume: Option<&QuestionRecovery>,
     ) -> Result<DistributedAnswer, QaError> {
         if self.gate.is_draining() {
             return Err(QaError::Overloaded {
@@ -503,9 +593,22 @@ impl Cluster {
         self.board.question_delta(home, 1);
         self.trace
             .record(question.id, home, TraceKind::QuestionStart);
+        // Durable admission + scheduling point 1. On resume the records
+        // are re-appended under the successor's term; replay idempotence
+        // absorbs the duplicates.
+        if self.cfg.journal.is_some() {
+            self.journal_append(&JournalRecord::Admitted {
+                question: question.clone(),
+            });
+            self.journal_append(&JournalRecord::Scheduled {
+                question: question.id,
+                point: SchedulingPoint::Qa,
+                nodes: vec![home.raw()],
+            });
+        }
 
         let deadline = self.effective_deadline(admitted_at);
-        let result = self.coordinate(home, question, &mut timings, deadline);
+        let result = self.coordinate(home, question, &mut timings, deadline, resume);
         self.board.question_delta(home, -1);
         if let Ok(answer) = &result {
             self.estimator.observe(&answer.timings);
@@ -537,6 +640,7 @@ impl Cluster {
         // each phase separately; it is anchored at admission so queue wait
         // already counts against it.
         deadline: Option<Instant>,
+        resume: Option<&QuestionRecovery>,
     ) -> Result<DistributedAnswer, QaError> {
         // QP (home-local; the coordinator acts for the home node).
         let t = now_instant();
@@ -570,11 +674,12 @@ impl Cluster {
         // Scheduling point 2: PR dispatcher → node set for PR chunks.
         let t = now_instant();
         let pr_nodes = self.allocate(QaModule::Pr, home);
+        self.journal_scheduled(question.id, SchedulingPoint::Pr, &pr_nodes);
         let chunks: Vec<Vec<SubCollectionId>> = (0..self.shards)
             .map(|s| vec![SubCollectionId::new(s as u32)])
             .collect();
         let (scored, pr_nodes_used, pr_coverage) =
-            self.run_pr(&processed, home, pr_nodes, chunks, deadline)?;
+            self.run_pr(&processed, home, pr_nodes, chunks, deadline, resume)?;
         let dt = t.elapsed();
         timings.add_duration(QaModule::Pr, dt);
         self.metrics.pr_seconds.observe(dt.as_secs_f64());
@@ -629,8 +734,9 @@ impl Cluster {
             });
         }
         let ap_nodes = self.allocate(QaModule::Ap, home);
+        self.journal_scheduled(question.id, SchedulingPoint::Ap, &ap_nodes);
         let (answers, ap_nodes_used, ap_coverage) =
-            self.run_ap(&processed, home, ap_nodes, items, deadline)?;
+            self.run_ap(&processed, home, ap_nodes, items, deadline, resume)?;
         let dt = t.elapsed();
         timings.add_duration(QaModule::Ap, dt);
         self.metrics.ap_seconds.observe(dt.as_secs_f64());
@@ -737,6 +843,7 @@ impl Cluster {
         workers: Vec<NodeId>,
         chunks: Vec<Vec<SubCollectionId>>,
         deadline: Option<Instant>,
+        resume: Option<&QuestionRecovery>,
     ) -> Result<(Vec<ScoredParagraph>, Vec<NodeId>, Coverage), QaError> {
         let mut queue = ChunkQueue::new(chunks);
         // Bounded ×2: link duplication can double the results in flight.
@@ -745,13 +852,28 @@ impl Cluster {
         let mut used: Vec<NodeId> = Vec::new();
         let mut scored: Vec<ScoredParagraph> = Vec::new();
 
+        // Resume: chunks whose results the journal preserved are marked
+        // complete up front — the same keyed first-result-wins dedup that
+        // absorbs duplicates now spans coordinator incarnations, keeping
+        // chunk execution exactly-once — and their scored paragraphs are
+        // restored instead of recomputed.
+        if let Some(rec) = resume {
+            for (chunk, payload) in rec.partials(JournalPhase::Pr) {
+                if queue.complete_keyed(home, chunk) == ChunkOutcome::Fresh {
+                    if let Ok(mut s) = serde_json::from_slice::<Vec<ScoredParagraph>>(payload) {
+                        scored.append(&mut s);
+                    }
+                }
+            }
+        }
+
         let send_chunk = |this: &Cluster,
                           node: NodeId,
                           id: u32,
                           chunk: &[SubCollectionId],
                           reply_tx: &Sender<SubTaskResult>|
          -> bool {
-            chunk.iter().all(|shard| {
+            let granted = chunk.iter().all(|shard| {
                 let sent = this.links[node.index()].send(
                     Envelope {
                         task: SubTask::PrShard {
@@ -771,7 +893,16 @@ impl Cluster {
                 }
                 this.queue_depth[node.index()].set(this.links[node.index()].queue_len() as f64);
                 sent.is_ok()
-            })
+            });
+            if granted && this.cfg.journal.is_some() {
+                this.journal_append(&JournalRecord::ChunkGranted {
+                    question: processed.question.id,
+                    phase: JournalPhase::Pr,
+                    chunk: id,
+                    node: node.raw(),
+                });
+            }
+            granted
         };
         let dispatch = |this: &Cluster,
                         queue: &mut ChunkQueue<SubCollectionId>,
@@ -801,11 +932,18 @@ impl Cluster {
         self.metrics
             .overhead_kw_send
             .observe(t.elapsed().as_secs_f64());
-        if active.is_empty() {
+        // A fully journal-restored phase has no chunks left to dispatch,
+        // so an empty active set is completion there, not disconnection.
+        if active.is_empty() && !queue.drained() {
             return Err(QaError::Disconnected("no PR workers".into()));
         }
 
-        let mut policy = PhasePolicy::new(self.cfg.retry, self.cfg.speculate_after, deadline);
+        let mut policy = PhasePolicy::new(
+            self.cfg.retry,
+            self.cfg.speculate_after,
+            deadline,
+            resume.map_or(0, |r| r.retry_spent(JournalPhase::Pr)),
+        );
         // Only a lossy link can make an envelope vanish while its worker
         // stays alive; coordinator-level retransmission exists for exactly
         // that case, and stays off on clean links so fault-free runs are
@@ -825,6 +963,7 @@ impl Cluster {
                 }) => {
                     policy.progress();
                     if queue.complete_keyed(node, chunk) == ChunkOutcome::Fresh {
+                        self.journal_partial(processed.question.id, JournalPhase::Pr, chunk, &s);
                         scored.extend(s);
                     }
                     if !dispatch(self, &mut queue, node, &reply_tx) {
@@ -843,7 +982,15 @@ impl Cluster {
                         self.degrade(&mut queue, home, processed.question.id);
                         break;
                     }
-                    if policy.spend(requeued) {
+                    let exhausted = policy.spend(requeued);
+                    if requeued > 0 {
+                        self.journal_retry(
+                            processed.question.id,
+                            JournalPhase::Pr,
+                            policy.spent_total(),
+                        );
+                    }
+                    if exhausted {
                         self.degrade(&mut queue, home, processed.question.id);
                         break;
                     }
@@ -897,7 +1044,15 @@ impl Cluster {
                         for node in active.clone() {
                             recycled += queue.fail(node);
                         }
-                        if policy.spend(recycled) {
+                        let exhausted = policy.spend(recycled);
+                        if recycled > 0 {
+                            self.journal_retry(
+                                processed.question.id,
+                                JournalPhase::Pr,
+                                policy.spent_total(),
+                            );
+                        }
+                        if exhausted {
                             self.degrade(&mut queue, home, processed.question.id);
                             break;
                         }
@@ -930,6 +1085,7 @@ impl Cluster {
         workers: Vec<NodeId>,
         items: Vec<ApItem>,
         deadline: Option<Instant>,
+        resume: Option<&QuestionRecovery>,
     ) -> Result<(RankedAnswers, Vec<NodeId>, Coverage), QaError> {
         if items.is_empty() {
             return Ok((RankedAnswers::default(), Vec::new(), Coverage::full(0)));
@@ -951,6 +1107,19 @@ impl Cluster {
         let mut active: Vec<NodeId> = Vec::new();
         let mut used: Vec<NodeId> = Vec::new();
         let mut partials: Vec<RankedAnswers> = Vec::new();
+
+        // Crash recovery: AP chunks already answered before the crash are
+        // marked complete up front and their journaled payloads reused, so
+        // a resumed question never re-runs (or double-counts) them.
+        if let Some(rec) = resume {
+            for (chunk, payload) in rec.partials(JournalPhase::Ap) {
+                if queue.complete_keyed(home, chunk) == ChunkOutcome::Fresh {
+                    if let Ok(r) = serde_json::from_slice::<RankedAnswers>(payload) {
+                        partials.push(r);
+                    }
+                }
+            }
+        }
 
         let send_chunk = |this: &Cluster,
                           node: NodeId,
@@ -976,7 +1145,16 @@ impl Cluster {
                     .record(processed.question.id, node, TraceKind::Backpressure);
             }
             this.queue_depth[node.index()].set(this.links[node.index()].queue_len() as f64);
-            sent.is_ok()
+            let granted = sent.is_ok();
+            if granted && this.cfg.journal.is_some() {
+                this.journal_append(&JournalRecord::ChunkGranted {
+                    question: processed.question.id,
+                    phase: JournalPhase::Ap,
+                    chunk: id,
+                    node: node.raw(),
+                });
+            }
+            granted
         };
         let dispatch = |this: &Cluster,
                         queue: &mut ChunkQueue<ApItem>,
@@ -1004,11 +1182,19 @@ impl Cluster {
         self.metrics
             .overhead_par_send
             .observe(t.elapsed().as_secs_f64());
-        if active.is_empty() {
+        // A fully-restored phase (every chunk replayed from the journal)
+        // legitimately fans out to nobody; only an undrained queue with no
+        // workers is an error.
+        if active.is_empty() && !queue.drained() {
             return Err(QaError::Disconnected("no AP workers".into()));
         }
 
-        let mut policy = PhasePolicy::new(self.cfg.retry, self.cfg.speculate_after, deadline);
+        let mut policy = PhasePolicy::new(
+            self.cfg.retry,
+            self.cfg.speculate_after,
+            deadline,
+            resume.map_or(0, |r| r.retry_spent(JournalPhase::Ap)),
+        );
         let retransmit = !self.cfg.faults.link.is_clean();
         while !queue.drained() {
             if policy.deadline_passed() {
@@ -1024,6 +1210,12 @@ impl Cluster {
                 }) => {
                     policy.progress();
                     if queue.complete_keyed(node, chunk) == ChunkOutcome::Fresh {
+                        self.journal_partial(
+                            processed.question.id,
+                            JournalPhase::Ap,
+                            chunk,
+                            &answers,
+                        );
                         partials.push(answers);
                     }
                     if !dispatch(self, &mut queue, node, &reply_tx) {
@@ -1040,7 +1232,15 @@ impl Cluster {
                         self.degrade(&mut queue, home, processed.question.id);
                         break;
                     }
-                    if policy.spend(requeued) {
+                    let exhausted = policy.spend(requeued);
+                    if requeued > 0 {
+                        self.journal_retry(
+                            processed.question.id,
+                            JournalPhase::Ap,
+                            policy.spent_total(),
+                        );
+                    }
+                    if exhausted {
                         self.degrade(&mut queue, home, processed.question.id);
                         break;
                     }
@@ -1087,7 +1287,15 @@ impl Cluster {
                         for node in active.clone() {
                             recycled += queue.fail(node);
                         }
-                        if policy.spend(recycled) {
+                        let exhausted = policy.spend(recycled);
+                        if recycled > 0 {
+                            self.journal_retry(
+                                processed.question.id,
+                                JournalPhase::Ap,
+                                policy.spent_total(),
+                            );
+                        }
+                        if exhausted {
                             self.degrade(&mut queue, home, processed.question.id);
                             break;
                         }
@@ -1116,6 +1324,73 @@ impl Cluster {
             total: queue.total(),
         };
         Ok((merged, used, coverage))
+    }
+
+    /// Append one record to the configured journal, if any. Journal I/O
+    /// must never fail the question path: a fenced append (this handle's
+    /// term was superseded — we are a zombie ex-leader) is counted in
+    /// `dqa_fenced_grants_total`, other errors are dropped after the
+    /// question's durability guarantee is already forfeit.
+    fn journal_append(&self, record: &JournalRecord) {
+        let Some(journal) = &self.cfg.journal else {
+            return;
+        };
+        match journal.append(record) {
+            Ok(()) => self.metrics.journal_records.inc(),
+            Err(JournalError::Fenced { .. }) => self.metrics.fenced_grants.inc(),
+            Err(_) => {}
+        }
+    }
+
+    /// Journal a scheduling-point decision (points 2 and 3; point 1 is
+    /// journaled inline with admission).
+    fn journal_scheduled(
+        &self,
+        question: qa_types::QuestionId,
+        point: SchedulingPoint,
+        nodes: &[NodeId],
+    ) {
+        if self.cfg.journal.is_some() {
+            self.journal_append(&JournalRecord::Scheduled {
+                question,
+                point,
+                nodes: nodes.iter().map(|n| n.raw()).collect(),
+            });
+        }
+    }
+
+    /// Journal a completed chunk's payload so a successor coordinator can
+    /// reuse it instead of re-running the chunk (exactly-once semantics).
+    fn journal_partial<T: serde::Serialize>(
+        &self,
+        question: qa_types::QuestionId,
+        phase: JournalPhase,
+        chunk: u32,
+        result: &T,
+    ) {
+        if self.cfg.journal.is_none() {
+            return;
+        }
+        if let Ok(payload) = serde_json::to_vec(result) {
+            self.journal_append(&JournalRecord::PartialResult {
+                question,
+                phase,
+                chunk,
+                payload,
+            });
+        }
+    }
+
+    /// Journal the cumulative retry budget spent in `phase`, so a resumed
+    /// question keeps (not resets) its pre-crash spend.
+    fn journal_retry(&self, question: qa_types::QuestionId, phase: JournalPhase, spent: u32) {
+        if self.cfg.journal.is_some() {
+            self.journal_append(&JournalRecord::RetrySpent {
+                question,
+                phase,
+                spent,
+            });
+        }
     }
 
     /// Detect dead workers among `active`; recover their chunks. Returns
@@ -1216,15 +1491,28 @@ struct PhasePolicy {
 }
 
 impl PhasePolicy {
-    fn new(retry: RetryPolicy, speculate_after: Option<u32>, deadline: Option<Instant>) -> Self {
+    /// `already_spent` seeds the retry budget from a journal replay: a
+    /// resumed question keeps the budget it had burned before the crash
+    /// rather than getting a fresh allowance.
+    fn new(
+        retry: RetryPolicy,
+        speculate_after: Option<u32>,
+        deadline: Option<Instant>,
+        already_spent: u32,
+    ) -> Self {
         PhasePolicy {
             retry,
             speculate_after,
             deadline,
-            spent: 0,
+            spent: already_spent,
             stall_rounds: 0,
             backoff_attempt: 0,
         }
+    }
+
+    /// Cumulative retry budget spent (journaled so recovery can restore it).
+    fn spent_total(&self) -> u32 {
+        self.spent
     }
 
     fn deadline_passed(&self) -> bool {

@@ -1,0 +1,348 @@
+//! Replicated meta-scheduler: leases, terms and the shared journal handle.
+//!
+//! The coordinator of PRs 1–4 is a single point of failure: every
+//! admission slot, in-flight question and chunk-dedup set lives in its
+//! memory. This module makes coordination *replicable*:
+//!
+//! * [`CoordinatorJournal`] — a cheap-to-clone handle over one durable
+//!   [`journal::Journal`]. Each coordinator incarnation holds its own
+//!   **term** cell; the journal rejects appends from any term other than
+//!   the highest it has witnessed, so after a standby promotes itself a
+//!   zombie ex-leader's grants bounce off with
+//!   [`journal::JournalError::Fenced`] (counted in
+//!   `dqa_fenced_grants_total`).
+//! * [`LeaderLease`] — a pure lease state machine over the sanctioned
+//!   [`dqa_obs::Clock`] seconds: no wall-clock reads, so the same code is
+//!   deterministic under [`dqa_obs::ManualClock`] in tests and under
+//!   virtual time in the simulator's mirror.
+//! * [`Standby`] — a standby coordinator tailing leader heartbeats over
+//!   the existing (bounded, crossbeam) link layer. When the lease
+//!   expires it promotes: bumps the term, fences the journal forward and
+//!   reports [`StandbyVerdict::Promoted`] so the caller can replay the
+//!   journal and [`crate::Cluster::resume`] every in-flight question.
+//!
+//! The failover protocol is deliberately minimal — one journal is the
+//! single source of truth, so leadership is just "who may append":
+//! election is lease expiry, commitment is `advance_term`, and safety is
+//! the journal's term check, not any in-memory handshake.
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use dqa_obs::Clock;
+use journal::{Journal, JournalError, JournalOptions, JournalRecord, Recovery};
+use parking_lot::Mutex;
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A heartbeat from the leader: its term and send time (clock seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beat {
+    /// The sender's term.
+    pub term: u64,
+    /// Send time in [`Clock`] seconds.
+    pub at: f64,
+}
+
+/// A bounded heartbeat link between a leader and one standby (the same
+/// crossbeam layer worker links use; bounded per the overload policy).
+pub fn heartbeat_channel(capacity: usize) -> (Sender<Beat>, Receiver<Beat>) {
+    bounded(capacity.max(1))
+}
+
+/// Pure lease/term state machine. All times are [`Clock`] seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeaderLease {
+    term: u64,
+    lease_secs: f64,
+    last_beat: f64,
+}
+
+impl LeaderLease {
+    /// A fresh lease following `term`, granted at `now`.
+    pub fn new(term: u64, lease_secs: f64, now: f64) -> LeaderLease {
+        LeaderLease {
+            term,
+            lease_secs: lease_secs.max(0.0),
+            last_beat: now,
+        }
+    }
+
+    /// The term this lease currently follows.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Observe a heartbeat. Beats from the current or a newer term renew
+    /// the lease (and adopt the newer term); stale-term beats — a zombie
+    /// ex-leader still emitting — are ignored. Returns whether the beat
+    /// was accepted.
+    pub fn observe(&mut self, beat: Beat) -> bool {
+        if beat.term < self.term {
+            return false;
+        }
+        self.term = beat.term;
+        self.last_beat = self.last_beat.max(beat.at);
+        true
+    }
+
+    /// Whether the lease has expired at `now` (no acceptable heartbeat
+    /// for longer than the lease duration).
+    pub fn expired(&self, now: f64) -> bool {
+        now - self.last_beat > self.lease_secs
+    }
+
+    /// Claim leadership: bump to the next term and start a fresh lease at
+    /// `now`. Returns the new term.
+    pub fn promote(&mut self, now: f64) -> u64 {
+        self.term += 1;
+        self.last_beat = now;
+        self.term
+    }
+}
+
+/// What [`Standby::poll`] concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StandbyVerdict {
+    /// The leader's lease is live; keep tailing.
+    Following,
+    /// The lease expired: this standby claimed the contained (new) term.
+    /// The caller must fence the journal forward
+    /// ([`CoordinatorJournal::promote`]) before acting on it.
+    Promoted(u64),
+}
+
+/// A standby coordinator: tails heartbeats, promotes on lease expiry.
+#[derive(Debug)]
+pub struct Standby {
+    rx: Receiver<Beat>,
+    lease: LeaderLease,
+}
+
+impl Standby {
+    /// A standby following `term` with `lease_secs` of patience, starting
+    /// its lease at `now`.
+    pub fn new(rx: Receiver<Beat>, term: u64, lease_secs: f64, now: f64) -> Standby {
+        Standby {
+            rx,
+            lease: LeaderLease::new(term, lease_secs, now),
+        }
+    }
+
+    /// The lease state (term, for observability).
+    pub fn lease(&self) -> &LeaderLease {
+        &self.lease
+    }
+
+    /// Drain pending heartbeats and decide: still following, or promoted
+    /// because the lease ran out. Deterministic given the clock and the
+    /// beat sequence — no wall time, no randomness.
+    pub fn poll(&mut self, clock: &dyn Clock) -> StandbyVerdict {
+        while let Ok(beat) = self.rx.try_recv() {
+            self.lease.observe(beat);
+        }
+        let now = clock.now();
+        if self.lease.expired(now) {
+            StandbyVerdict::Promoted(self.lease.promote(now))
+        } else {
+            StandbyVerdict::Following
+        }
+    }
+}
+
+/// A coordinator's handle on the shared question journal.
+///
+/// Cloning shares the *same* coordinator identity (term cell) across the
+/// coordinator's threads; [`CoordinatorJournal::standby`] mints a new
+/// identity over the same journal — the handle a standby uses so that
+/// its later promotion fences the original holder.
+#[derive(Clone)]
+pub struct CoordinatorJournal {
+    inner: Arc<Mutex<Journal>>,
+    term: Arc<AtomicU64>,
+}
+
+impl fmt::Debug for CoordinatorJournal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CoordinatorJournal")
+            .field("term", &self.term.load(Ordering::Acquire))
+            .finish_non_exhaustive()
+    }
+}
+
+impl CoordinatorJournal {
+    /// Open (or create) the journal at `dir`, replaying surviving frames.
+    /// The handle's term starts at the journal's recovered term.
+    pub fn open(dir: impl AsRef<Path>) -> Result<(CoordinatorJournal, Recovery), JournalError> {
+        CoordinatorJournal::open_with(dir, JournalOptions::default())
+    }
+
+    /// [`CoordinatorJournal::open`] with explicit journal options.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        opts: JournalOptions,
+    ) -> Result<(CoordinatorJournal, Recovery), JournalError> {
+        let (journal, recovery) = Journal::open_with(dir, opts)?;
+        let term = journal.term();
+        Ok((
+            CoordinatorJournal {
+                inner: Arc::new(Mutex::new(journal)),
+                term: Arc::new(AtomicU64::new(term)),
+            },
+            recovery,
+        ))
+    }
+
+    /// The term this handle appends under.
+    pub fn term(&self) -> u64 {
+        self.term.load(Ordering::Acquire)
+    }
+
+    /// Records appended through the underlying journal this process.
+    pub fn appended(&self) -> u64 {
+        self.inner.lock().appended()
+    }
+
+    /// Append one record under this handle's term. After another handle
+    /// promoted past it, every append here returns
+    /// [`JournalError::Fenced`] — the grant is rejected durably, not just
+    /// in memory.
+    pub fn append(&self, record: &JournalRecord) -> Result<(), JournalError> {
+        let term = self.term();
+        self.inner.lock().append(term, record)
+    }
+
+    /// Force an fsync of the current segment.
+    pub fn sync(&self) -> Result<(), JournalError> {
+        self.inner.lock().sync()
+    }
+
+    /// A standby's handle: same journal, separate identity frozen at the
+    /// journal's current term. Until it promotes it can append (same
+    /// term); after [`CoordinatorJournal::promote`] the *other* handles
+    /// are the fenced ones.
+    pub fn standby(&self) -> CoordinatorJournal {
+        let current = self.inner.lock().term();
+        CoordinatorJournal {
+            inner: Arc::clone(&self.inner),
+            term: Arc::new(AtomicU64::new(current)),
+        }
+    }
+
+    /// Claim leadership: advance the journal's term by one and adopt it
+    /// for this handle. Everyone else is fenced from here on. Returns the
+    /// new term.
+    pub fn promote(&self) -> Result<u64, JournalError> {
+        let mut journal = self.inner.lock();
+        let next = journal.term() + 1;
+        journal.advance_term(next)?;
+        self.term.store(next, Ordering::Release);
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqa_obs::ManualClock;
+    use journal::JournalError;
+    use qa_types::{Question, QuestionId};
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dqa-failover-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn admit(id: u32) -> JournalRecord {
+        JournalRecord::Admitted {
+            question: Question::new(QuestionId::new(id), format!("question {id}")),
+        }
+    }
+
+    #[test]
+    fn heartbeats_keep_standby_following() {
+        let clock = ManualClock::new();
+        let (tx, rx) = heartbeat_channel(16);
+        let mut standby = Standby::new(rx, 1, 0.5, clock.now());
+        for step in 1..=10 {
+            clock.set(step as f64 * 0.2);
+            tx.send(Beat {
+                term: 1,
+                at: clock.now(),
+            })
+            .unwrap();
+            assert_eq!(
+                standby.poll(&clock),
+                StandbyVerdict::Following,
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn lease_expiry_promotes_to_next_term() {
+        let clock = ManualClock::new();
+        let (_tx, rx) = heartbeat_channel(16);
+        let mut standby = Standby::new(rx, 3, 0.5, clock.now());
+        clock.set(0.4);
+        assert_eq!(standby.poll(&clock), StandbyVerdict::Following);
+        clock.set(0.6); // 0.6 > 0.5: lease gone
+        assert_eq!(standby.poll(&clock), StandbyVerdict::Promoted(4));
+        assert_eq!(standby.lease().term(), 4);
+        // A late beat from the deposed term-3 leader is ignored.
+        let mut lease = *standby.lease();
+        assert!(!lease.observe(Beat {
+            term: 3,
+            at: clock.now()
+        }));
+    }
+
+    #[test]
+    fn newer_term_beats_are_adopted() {
+        let mut lease = LeaderLease::new(1, 1.0, 0.0);
+        assert!(lease.observe(Beat { term: 2, at: 0.5 }));
+        assert_eq!(lease.term(), 2);
+        assert!(!lease.expired(1.0));
+        assert!(lease.expired(1.6));
+    }
+
+    #[test]
+    fn promotion_fences_the_old_leader_handle() {
+        let dir = tmp("fence");
+        let (leader, _) = CoordinatorJournal::open(&dir).unwrap();
+        leader.append(&admit(1)).unwrap();
+        let standby = leader.standby();
+        // Before promotion both handles share the term and may append.
+        standby.append(&admit(2)).unwrap();
+        let new_term = standby.promote().unwrap();
+        assert_eq!(new_term, 2);
+        // The zombie's grant is rejected durably.
+        let err = leader.append(&admit(3)).unwrap_err();
+        assert!(matches!(err, JournalError::Fenced { .. }), "{err}");
+        standby.append(&admit(4)).unwrap();
+        // Reopen: only the fenced append is missing.
+        drop((leader, standby));
+        let (handle, recovery) = CoordinatorJournal::open(&dir).unwrap();
+        assert_eq!(handle.term(), 2);
+        assert_eq!(recovery.state.gate_occupancy(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clones_share_identity_standbys_do_not() {
+        let dir = tmp("identity");
+        let (leader, _) = CoordinatorJournal::open(&dir).unwrap();
+        let sibling = leader.clone();
+        let standby = leader.standby();
+        standby.promote().unwrap();
+        // The clone shares the leader's (now stale) term cell.
+        assert!(matches!(
+            sibling.append(&admit(1)),
+            Err(JournalError::Fenced { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -34,6 +34,7 @@ pub mod board;
 pub mod chaos;
 pub mod clock;
 pub mod cluster;
+pub mod failover;
 pub mod links;
 pub mod message;
 pub mod monitor;
@@ -45,6 +46,9 @@ pub use board::{LoadBoard, QuarantinePolicy};
 pub use chaos::ChaosDriver;
 pub use clock::now_instant;
 pub use cluster::{Cluster, ClusterConfig, DistributedAnswer};
+pub use failover::{
+    heartbeat_channel, Beat, CoordinatorJournal, LeaderLease, Standby, StandbyVerdict,
+};
 pub use links::FaultyLink;
 pub use monitor::BroadcastMonitors;
 pub use overload::{Admission, AdmissionGate, GateDecision, PhaseEstimator};

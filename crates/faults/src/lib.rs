@@ -53,6 +53,29 @@ pub enum FaultEvent {
         /// Speed multiplier in `(0, 1]`.
         factor: f64,
     },
+    /// The *coordinator* (meta-scheduler leader) crashes at `at`. Unlike
+    /// a worker [`FaultEvent::Crash`], this kills scheduling state, not a
+    /// sub-collection: a standby must win the lease, replay the question
+    /// journal and resume every in-flight question. With
+    /// `rejoin = Some(t)` the ex-leader comes back at `t` as a fenced
+    /// standby (its stale-term grants must be rejected).
+    CoordinatorCrash {
+        /// Crash time (seconds).
+        at: f64,
+        /// Optional time the ex-leader rejoins as a standby.
+        rejoin: Option<f64>,
+    },
+    /// The leader is partitioned from its standbys in `[from, until)`:
+    /// it keeps serving questions but its heartbeats are lost, so a
+    /// standby promotes itself once the lease expires and the old leader
+    /// becomes a zombie whose journal appends are fenced until the
+    /// partition heals.
+    LeaderPartition {
+        /// Partition start (seconds).
+        from: f64,
+        /// Partition end (seconds).
+        until: f64,
+    },
 }
 
 /// Per-message link-fault probabilities. Applied independently to every
@@ -164,6 +187,33 @@ impl FaultSchedule {
             until,
             factor: factor.clamp(1e-3, 1.0),
         });
+        self
+    }
+
+    /// Add a permanent coordinator (leader) crash at `at`.
+    pub fn coordinator_crash(mut self, at: f64) -> Self {
+        self.events
+            .push(FaultEvent::CoordinatorCrash { at, rejoin: None });
+        self
+    }
+
+    /// Add a transient coordinator crash: the leader dies at `at` and
+    /// rejoins as a fenced standby at `rejoin`.
+    pub fn coordinator_crash_rejoin(mut self, at: f64, rejoin: f64) -> Self {
+        debug_assert!(rejoin > at, "rejoin must follow the crash");
+        self.events.push(FaultEvent::CoordinatorCrash {
+            at,
+            rejoin: Some(rejoin),
+        });
+        self
+    }
+
+    /// Add a leader partition window `[from, until)` during which the
+    /// leader's heartbeats are lost and a standby takes over.
+    pub fn leader_partition(mut self, from: f64, until: f64) -> Self {
+        debug_assert!(until > from, "partition window must be non-empty");
+        self.events
+            .push(FaultEvent::LeaderPartition { from, until });
         self
     }
 
@@ -362,6 +412,34 @@ mod tests {
         assert_eq!(s.link.loss, 0.1);
         assert_eq!(s.monitor_loss, 0.3);
         assert!(FaultSchedule::none().is_clean());
+    }
+
+    #[test]
+    fn coordinator_fault_builders() {
+        let s = FaultSchedule::seeded(11)
+            .coordinator_crash(8.0)
+            .coordinator_crash_rejoin(20.0, 35.0)
+            .leader_partition(50.0, 60.0);
+        assert_eq!(s.events.len(), 3);
+        assert!(!s.is_clean());
+        assert_eq!(
+            s.events[0],
+            FaultEvent::CoordinatorCrash {
+                at: 8.0,
+                rejoin: None
+            }
+        );
+        assert_eq!(
+            s.events[2],
+            FaultEvent::LeaderPartition {
+                from: 50.0,
+                until: 60.0
+            }
+        );
+        // Schedules with coordinator faults still serialize round-trip.
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

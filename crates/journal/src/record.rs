@@ -1,0 +1,192 @@
+//! Journal record schema — the coordinator decisions worth surviving.
+//!
+//! Records are deliberately close to the paper's vocabulary: a question is
+//! admitted, scheduled at the three migration scheduling points (QA, PR,
+//! AP), granted chunks, collects partial results, and is finally answered.
+//! Payloads that the coordinator would otherwise have to recompute
+//! (scored paragraphs, ranked answers) are stored as opaque `serde_json`
+//! bytes so the journal crate does not depend on the pipeline crates.
+
+use qa_types::{Question, QuestionId};
+use serde::{Deserialize, Serialize};
+
+/// The three migration scheduling points of the meta-scheduler (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SchedulingPoint {
+    /// Question admission: which node becomes the question's home.
+    Qa,
+    /// Paragraph Retrieval fan-out: which nodes serve PR chunks.
+    Pr,
+    /// Answer Processing fan-out: which nodes serve AP batches.
+    Ap,
+}
+
+/// Distributed phase a chunk belongs to (QP and PO run on the home node
+/// and are cheap to recompute; only the fan-out phases journal chunks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum JournalPhase {
+    /// Paragraph Retrieval (PS fused in, as in Fig. 3).
+    Pr,
+    /// Answer Processing.
+    Ap,
+}
+
+/// One durable coordinator decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// A question passed the admission gate. Stores the full question so
+    /// a successor coordinator can resume it without the client.
+    Admitted {
+        /// The admitted question.
+        question: Question,
+    },
+    /// The meta-scheduler chose `nodes` at scheduling point `point`.
+    Scheduled {
+        /// Which question.
+        question: QuestionId,
+        /// Which of the three scheduling points.
+        point: SchedulingPoint,
+        /// Chosen node ids (home first for [`SchedulingPoint::Qa`]).
+        nodes: Vec<u32>,
+    },
+    /// Chunk `chunk` of `phase` was granted to worker `node`.
+    ChunkGranted {
+        /// Which question.
+        question: QuestionId,
+        /// Which fan-out phase.
+        phase: JournalPhase,
+        /// Chunk id within the phase (deterministic 0..n ordering).
+        chunk: u32,
+        /// Worker node the chunk was sent to.
+        node: u32,
+    },
+    /// First (deduplicated) result for a chunk, with its payload: the
+    /// `serde_json` encoding of `Vec<ScoredParagraph>` for PR or
+    /// `RankedAnswers` for AP. Implies the chunk is done.
+    PartialResult {
+        /// Which question.
+        question: QuestionId,
+        /// Which fan-out phase.
+        phase: JournalPhase,
+        /// Chunk id within the phase.
+        chunk: u32,
+        /// Opaque `serde_json` bytes of the phase result.
+        payload: Vec<u8>,
+    },
+    /// A chunk completed without a journaled payload (payload journaling
+    /// disabled); replay must recompute it.
+    ChunkDone {
+        /// Which question.
+        question: QuestionId,
+        /// Which fan-out phase.
+        phase: JournalPhase,
+        /// Chunk id within the phase.
+        chunk: u32,
+    },
+    /// Cumulative retry budget spent in `phase` (monotone, so replaying
+    /// an old record under a newer one is a no-op).
+    RetrySpent {
+        /// Which question.
+        question: QuestionId,
+        /// Which fan-out phase.
+        phase: JournalPhase,
+        /// Total retries spent so far in this phase.
+        spent: u32,
+    },
+    /// The question finished with an answer: `payload` is the
+    /// `serde_json` encoding of the final `RankedAnswers`; `complete` is
+    /// false for degraded (partial-coverage) answers.
+    Answered {
+        /// Which question.
+        question: QuestionId,
+        /// Opaque `serde_json` bytes of the final ranked answers.
+        payload: Vec<u8>,
+        /// Whether coverage was complete (false for degraded answers).
+        complete: bool,
+    },
+    /// The question terminated without an answer (coordination error);
+    /// it no longer occupies an admission slot.
+    Abandoned {
+        /// Which question.
+        question: QuestionId,
+    },
+    /// Leadership changed hands: all subsequent frames carry `term`.
+    TermChange {
+        /// The new (strictly higher) term.
+        term: u64,
+    },
+}
+
+impl JournalRecord {
+    /// The question this record concerns, if any.
+    pub fn question(&self) -> Option<QuestionId> {
+        match self {
+            JournalRecord::Admitted { question } => Some(question.id),
+            JournalRecord::Scheduled { question, .. }
+            | JournalRecord::ChunkGranted { question, .. }
+            | JournalRecord::PartialResult { question, .. }
+            | JournalRecord::ChunkDone { question, .. }
+            | JournalRecord::RetrySpent { question, .. }
+            | JournalRecord::Answered { question, .. }
+            | JournalRecord::Abandoned { question } => Some(*question),
+            JournalRecord::TermChange { .. } => None,
+        }
+    }
+}
+
+/// A record stamped with the term of the coordinator that wrote it —
+/// exactly what one on-disk frame's payload encodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Framed {
+    /// Term of the writing coordinator (fencing token).
+    pub term: u64,
+    /// The decision itself.
+    pub record: JournalRecord,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_roundtrip_through_json() {
+        let records = vec![
+            JournalRecord::Admitted {
+                question: Question::new(QuestionId::new(7), "where is the coordinator"),
+            },
+            JournalRecord::Scheduled {
+                question: QuestionId::new(7),
+                point: SchedulingPoint::Pr,
+                nodes: vec![0, 3],
+            },
+            JournalRecord::PartialResult {
+                question: QuestionId::new(7),
+                phase: JournalPhase::Ap,
+                chunk: 2,
+                payload: b"[1,2,3]".to_vec(),
+            },
+            JournalRecord::TermChange { term: 4 },
+        ];
+        for rec in records {
+            let framed = Framed {
+                term: 3,
+                record: rec,
+            };
+            let bytes = serde_json::to_vec(&framed).unwrap();
+            let back: Framed = serde_json::from_slice(&bytes).unwrap();
+            assert_eq!(back, framed);
+        }
+    }
+
+    #[test]
+    fn question_accessor() {
+        assert_eq!(
+            JournalRecord::Abandoned {
+                question: QuestionId::new(9)
+            }
+            .question(),
+            Some(QuestionId::new(9))
+        );
+        assert_eq!(JournalRecord::TermChange { term: 1 }.question(), None);
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests for the journal's two safety pillars:
+//!
+//! 1. **Replay idempotence** — `replay ∘ replay = replay`: folding a frame
+//!    sequence into [`RecoveredState`] twice yields the state of folding
+//!    it once, and re-opening a journal reproduces the first open's state.
+//! 2. **Torn-tail recovery** — truncating the journal at *every* byte
+//!    offset inside the last record still opens successfully and drops
+//!    exactly that record, nothing more.
+
+use journal::{
+    Framed, Journal, JournalOptions, JournalPhase, JournalRecord, RecoveredState, SchedulingPoint,
+};
+use proptest::prelude::*;
+use qa_types::{Question, QuestionId};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIRS: AtomicU64 = AtomicU64::new(0);
+
+fn tmp(name: &str) -> PathBuf {
+    let n = DIRS.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "dqa-journal-props-{}-{name}-{n}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn phase(ap: bool) -> JournalPhase {
+    if ap {
+        JournalPhase::Ap
+    } else {
+        JournalPhase::Pr
+    }
+}
+
+fn record_strategy() -> impl Strategy<Value = JournalRecord> {
+    let q = 0u32..8;
+    prop_oneof![
+        q.clone().prop_map(|id| JournalRecord::Admitted {
+            question: Question::new(QuestionId::new(id), format!("question {id}")),
+        }),
+        (q.clone(), 0usize..3, prop::collection::vec(0u32..6, 1..4)).prop_map(
+            |(id, point, nodes)| JournalRecord::Scheduled {
+                question: QuestionId::new(id),
+                point: [
+                    SchedulingPoint::Qa,
+                    SchedulingPoint::Pr,
+                    SchedulingPoint::Ap
+                ][point],
+                nodes,
+            }
+        ),
+        (q.clone(), any::<bool>(), 0u32..4, 0u32..6).prop_map(|(id, ap, chunk, node)| {
+            JournalRecord::ChunkGranted {
+                question: QuestionId::new(id),
+                phase: phase(ap),
+                chunk,
+                node,
+            }
+        }),
+        (
+            q.clone(),
+            any::<bool>(),
+            0u32..4,
+            prop::collection::vec(any::<u8>(), 0..24)
+        )
+            .prop_map(|(id, ap, chunk, payload)| JournalRecord::PartialResult {
+                question: QuestionId::new(id),
+                phase: phase(ap),
+                chunk,
+                payload,
+            }),
+        (q.clone(), any::<bool>(), 0u32..4).prop_map(|(id, ap, chunk)| {
+            JournalRecord::ChunkDone {
+                question: QuestionId::new(id),
+                phase: phase(ap),
+                chunk,
+            }
+        }),
+        (q.clone(), any::<bool>(), 0u32..5).prop_map(|(id, ap, spent)| {
+            JournalRecord::RetrySpent {
+                question: QuestionId::new(id),
+                phase: phase(ap),
+                spent,
+            }
+        }),
+        (
+            q.clone(),
+            prop::collection::vec(any::<u8>(), 0..24),
+            any::<bool>()
+        )
+            .prop_map(|(id, payload, complete)| JournalRecord::Answered {
+                question: QuestionId::new(id),
+                payload,
+                complete,
+            }),
+        q.prop_map(|id| JournalRecord::Abandoned {
+            question: QuestionId::new(id),
+        }),
+    ]
+}
+
+fn fold(records: &[JournalRecord]) -> RecoveredState {
+    let mut state = RecoveredState::new();
+    for record in records {
+        state.apply(&Framed {
+            term: 1,
+            record: record.clone(),
+        });
+    }
+    state
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// replay ∘ replay = replay, both in memory and across disk re-opens.
+    #[test]
+    fn replay_is_idempotent(records in prop::collection::vec(record_strategy(), 1..40)) {
+        // In memory: applying the sequence twice changes nothing.
+        let once = fold(&records);
+        let mut twice = once.clone();
+        for record in &records {
+            twice.apply(&Framed { term: 1, record: record.clone() });
+        }
+        prop_assert_eq!(&once, &twice);
+
+        // On disk: a second open replays to the identical state.
+        let dir = tmp("idem");
+        {
+            let (mut j, _) = Journal::open(&dir).unwrap();
+            for record in &records {
+                j.append(1, record).unwrap();
+            }
+        }
+        let (_, first) = Journal::open(&dir).unwrap();
+        let (_, second) = Journal::open(&dir).unwrap();
+        prop_assert_eq!(&first.state, &second.state);
+        prop_assert_eq!(&first.state, &once);
+        prop_assert_eq!(first.stats.records, records.len() as u64);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Truncating at every byte offset of the last record recovers the
+    /// journal minus exactly that record; truncating at the frame
+    /// boundary keeps everything.
+    #[test]
+    fn torn_tail_recovers_at_every_offset(
+        records in prop::collection::vec(record_strategy(), 1..12),
+    ) {
+        let dir = tmp("torn");
+        {
+            let (mut j, _) = Journal::open(&dir).unwrap();
+            for record in &records {
+                j.append(1, record).unwrap();
+            }
+        }
+        let segment = dir.join("segment-000000.dqaj");
+        let full = fs::read(&segment).unwrap();
+        let frames = journal::read_segment(&segment).unwrap();
+        prop_assert_eq!(frames.len(), records.len());
+        let last_start = frames.last().map(|(off, _)| *off).unwrap() as usize;
+        let want_prefix = fold(&records[..records.len() - 1]);
+
+        let scratch = tmp("torn-scratch");
+        fs::create_dir_all(&scratch).unwrap();
+        let cut_path = scratch.join("segment-000000.dqaj");
+        for cut in last_start..full.len() {
+            fs::write(&cut_path, &full[..cut]).unwrap();
+            let (_, rec) = Journal::open(&scratch).unwrap();
+            prop_assert_eq!(
+                rec.stats.records,
+                records.len() as u64 - 1,
+                "cut at byte {} must drop exactly the torn record",
+                cut
+            );
+            prop_assert_eq!(rec.stats.truncated_bytes, (cut - last_start) as u64);
+            prop_assert_eq!(&rec.state, &want_prefix);
+        }
+        // Cutting exactly at the end is not a tear at all.
+        fs::write(&cut_path, &full).unwrap();
+        let (_, rec) = Journal::open(&scratch).unwrap();
+        prop_assert_eq!(rec.stats.records, records.len() as u64);
+        prop_assert_eq!(rec.stats.truncated_bytes, 0u64);
+        prop_assert_eq!(&rec.state, &fold(&records));
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&scratch);
+    }
+}

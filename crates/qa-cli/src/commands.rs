@@ -6,7 +6,7 @@ use cluster_sim::experiments::load_balancing_summary;
 use cluster_sim::workload::{BalancingStrategy, QaSimulation, SimConfig};
 use corpus::{Corpus, CorpusConfig, CorpusSnapshot, QuestionGenerator};
 use dqa_obs::{metric_key, names, validate_prometheus, MetricsRegistry, Snapshot};
-use dqa_runtime::{Cluster, ClusterConfig};
+use dqa_runtime::{Admission, Cluster, ClusterConfig, CoordinatorJournal};
 use ir_engine::persist::{decode_index, encode_index};
 use ir_engine::{DocumentStore, ParagraphRetriever, RetrievalConfig, ShardedIndex};
 use nlp::NamedEntityRecognizer;
@@ -14,6 +14,7 @@ use qa_pipeline::{PipelineConfig, QaPipeline};
 use qa_types::params::MBPS;
 use qa_types::{OverloadPolicy, Question, QuestionId, SystemParams, Trec9Profile};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -21,34 +22,64 @@ usage:
   dqa generate [--seed N] [--size small|trec] --out corpus.json
   dqa index --corpus corpus.json --out index.bin
   dqa ask --corpus corpus.json [--index index.bin] [--cluster N] [--sample N]
-          [--metrics-out FILE [--metrics-format prom|json]]
+          [--journal DIR] [--metrics-out FILE [--metrics-format prom|json]]
           [overload knobs] [question …]
   dqa export --corpus corpus.json --questions N --topics topics.txt --answers key.txt
   dqa simulate [--nodes N] [--strategy dns|inter|dqa|sid|gradient] [--seed N] [--compare]
                [--metrics-out FILE [--metrics-format prom|json]] [--waterfall Q]
                [overload knobs]
+  dqa recover --journal DIR [--corpus corpus.json [--index index.bin] [--cluster N]]
+              [--metrics-out FILE [--metrics-format prom|json]]
   dqa report metrics.json
   dqa model [--net-mbps N] [--disk-mbps N] [--nodes N]
 
 overload knobs (admission control / load shedding; default fully permissive):
   [--max-in-flight N] [--admission-queue N] [--max-per-node N]
-  [--deadline-secs X] [--breaker-load X]";
+  [--deadline-secs X] [--breaker-load X]
+
+exit codes: 0 ok, 1 error, 75 rejected by admission control (retry later)";
+
+/// How a command failed — split so `main` can pick the exit code.
+#[derive(Debug)]
+pub enum CmdError {
+    /// Usage or runtime failure: exit 1 and print the usage text.
+    Fatal(String),
+    /// Admission control refused the question. The command line was
+    /// fine and the cluster is healthy, just full — exit
+    /// [`EXIT_REJECTED`] with the policy's back-off hint instead of
+    /// pretending this was an error.
+    Rejected {
+        /// Client back-off hint from the overload policy.
+        retry_after: Duration,
+    },
+}
+
+impl From<String> for CmdError {
+    fn from(message: String) -> Self {
+        CmdError::Fatal(message)
+    }
+}
+
+/// Exit code for [`CmdError::Rejected`]: sysexits' `EX_TEMPFAIL`, so
+/// scripts can tell "try again later" apart from hard failure (1).
+pub const EXIT_REJECTED: u8 = 75;
 
 /// Dispatch a command line.
-pub fn dispatch(argv: &[String]) -> Result<(), String> {
+pub fn dispatch(argv: &[String]) -> Result<(), CmdError> {
     let Some(cmd) = argv.first() else {
-        return Err("no command given".into());
+        return Err("no command given".to_string().into());
     };
     let rest = &argv[1..];
     match cmd.as_str() {
-        "generate" => generate(rest),
-        "index" => index(rest),
+        "generate" => generate(rest).map_err(CmdError::from),
+        "index" => index(rest).map_err(CmdError::from),
         "ask" => ask(rest),
-        "export" => export(rest),
-        "simulate" => simulate(rest),
-        "report" => report(rest),
-        "model" => model(rest),
-        other => Err(format!("unknown command {other:?}")),
+        "export" => export(rest).map_err(CmdError::from),
+        "simulate" => simulate(rest).map_err(CmdError::from),
+        "recover" => recover(rest).map_err(CmdError::from),
+        "report" => report(rest).map_err(CmdError::from),
+        "model" => model(rest).map_err(CmdError::from),
+        other => Err(format!("unknown command {other:?}").into()),
     }
 }
 
@@ -143,16 +174,25 @@ fn index(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn ask(argv: &[String]) -> Result<(), String> {
-    let a = parse(argv, &["json"])?;
-    let corpus = load_corpus(a.require("corpus")?)?;
-    let idx = match a.get("index") {
+/// Load the sharded index `--index` points at, or rebuild it from the
+/// corpus when the flag is absent.
+fn load_index(a: &Args, corpus: &Corpus) -> Result<ShardedIndex, String> {
+    match a.get("index") {
         Some(path) => {
             let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
-            decode_index(&bytes).map_err(|e| e.to_string())?
+            decode_index(&bytes).map_err(|e| e.to_string())
         }
-        None => ShardedIndex::build(&corpus.documents, corpus.config.sub_collections),
-    };
+        None => Ok(ShardedIndex::build(
+            &corpus.documents,
+            corpus.config.sub_collections,
+        )),
+    }
+}
+
+fn ask(argv: &[String]) -> Result<(), CmdError> {
+    let a = parse(argv, &["json"])?;
+    let corpus = load_corpus(a.require("corpus")?)?;
+    let idx = load_index(&a, &corpus)?;
     let store = Arc::new(DocumentStore::new(corpus.documents.clone()));
     let retriever = ParagraphRetriever::new(Arc::new(idx), store, RetrievalConfig::default());
 
@@ -180,15 +220,38 @@ fn ask(argv: &[String]) -> Result<(), String> {
 
     let cluster_nodes: usize = a.num("cluster", 0usize)?;
     if a.get("metrics-out").is_some() && cluster_nodes == 0 {
-        return Err(
+        return Err(CmdError::Fatal(
             "--metrics-out needs --cluster N: only the cluster runtime is instrumented".into(),
-        );
+        ));
     }
+    // Durable question journal: every admission, scheduling decision,
+    // chunk grant and answer is logged so `dqa recover --journal DIR`
+    // can resume after a coordinator crash.
+    let journal = match a.get("journal") {
+        None => None,
+        Some(dir) => {
+            if cluster_nodes == 0 {
+                return Err(CmdError::Fatal(
+                    "--journal needs --cluster N: only the cluster runtime journals".into(),
+                ));
+            }
+            let (handle, recovery) =
+                CoordinatorJournal::open(dir).map_err(|e| format!("open journal {dir}: {e}"))?;
+            if recovery.state.gate_occupancy() > 0 {
+                eprintln!(
+                    "dqa: journal at {dir} holds {} unresumed in-flight question(s); \
+                     consider `dqa recover --journal {dir} …` first",
+                    recovery.state.gate_occupancy()
+                );
+            }
+            Some(handle)
+        }
+    };
     // One registry across every per-question cluster, so the exported
     // snapshot aggregates the whole invocation.
     let registry = MetricsRegistry::new();
     let overload = overload_policy(&a)?;
-    let answer = |q: &Question| -> Result<(qa_types::RankedAnswers, String), String> {
+    let answer = |q: &Question| -> Result<(qa_types::RankedAnswers, String), CmdError> {
         if cluster_nodes > 0 {
             let cluster = Cluster::start(
                 retriever.clone(),
@@ -197,13 +260,22 @@ fn ask(argv: &[String]) -> Result<(), String> {
                     nodes: cluster_nodes,
                     overload,
                     metrics: Some(registry.clone()),
+                    journal: journal.clone(),
                     ..ClusterConfig::default()
                 },
             );
-            let out = cluster.ask(q).map_err(|e| e.to_string())?;
-            let note = format!("PR×{} AP×{}", out.pr_nodes.len(), out.ap_nodes.len());
+            // Through the admission gate, not around it: a saturated
+            // cluster answers with a back-off hint, not a bare error.
+            let admission = cluster.submit(q);
             cluster.shutdown();
-            Ok((out.answers, note))
+            match admission {
+                Admission::Answered(out) => {
+                    let note = format!("PR×{} AP×{}", out.pr_nodes.len(), out.ap_nodes.len());
+                    Ok((out.answers, note))
+                }
+                Admission::Rejected { retry_after } => Err(CmdError::Rejected { retry_after }),
+                Admission::Failed(e) => Err(CmdError::Fatal(e.to_string())),
+            }
         } else {
             let pipeline = QaPipeline::new(
                 retriever.clone(),
@@ -220,7 +292,20 @@ fn ask(argv: &[String]) -> Result<(), String> {
     };
 
     for (q, truth) in &questions {
-        let (answers, note) = answer(q)?;
+        let (answers, note) = match answer(q) {
+            Ok(v) => v,
+            Err(CmdError::Rejected { retry_after }) => {
+                println!("{}  {}", q.id, q.text);
+                println!(
+                    "  -> rejected by admission control; retry after {:.1} s",
+                    retry_after.as_secs_f64()
+                );
+                // The rejection counter is part of the story: export it.
+                write_metrics(&a, &registry.snapshot())?;
+                return Err(CmdError::Rejected { retry_after });
+            }
+            Err(e) => return Err(e),
+        };
         if a.switch("json") {
             let record = serde_json::json!({
                 "question": q.text,
@@ -340,6 +425,83 @@ fn simulate(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Crash-restart recovery: replay a coordinator journal, promote past
+/// the dead incarnation's term (fencing its surviving handles), and
+/// resume every in-flight question on a fresh cluster.
+fn recover(argv: &[String]) -> Result<(), String> {
+    let a = parse(argv, &[])?;
+    let dir = a.require("journal")?;
+    let (handle, recovery) =
+        CoordinatorJournal::open(dir).map_err(|e| format!("open journal {dir}: {e}"))?;
+    let stats = &recovery.stats;
+    let torn = if stats.truncated_bytes > 0 {
+        format!(" (torn tail: {} byte(s) truncated)", stats.truncated_bytes)
+    } else {
+        String::new()
+    };
+    println!(
+        "replayed {} record(s) from {} segment(s), recovered term {}{torn}",
+        stats.records,
+        stats.segments,
+        recovery.state.term(),
+    );
+    let answered = recovery.state.answered().count();
+    let in_flight = recovery.state.gate_occupancy();
+    println!("journal holds {answered} answered and {in_flight} in-flight question(s)");
+    let term = handle.promote().map_err(|e| format!("promote: {e}"))?;
+    println!("promoted to term {term}; the crashed incarnation's handles are fenced");
+    if in_flight == 0 {
+        println!("nothing to resume");
+        return Ok(());
+    }
+
+    let corpus = load_corpus(a.require("corpus")?)?;
+    let idx = load_index(&a, &corpus)?;
+    let store = Arc::new(DocumentStore::new(corpus.documents.clone()));
+    let retriever = ParagraphRetriever::new(Arc::new(idx), store, RetrievalConfig::default());
+    let nodes: usize = a.num("cluster", 4usize)?;
+    let registry = MetricsRegistry::new();
+    let cluster = Cluster::start(
+        retriever,
+        NamedEntityRecognizer::standard(),
+        ClusterConfig {
+            nodes,
+            overload: overload_policy(&a)?,
+            metrics: Some(registry.clone()),
+            journal: Some(handle),
+            ..ClusterConfig::default()
+        },
+    );
+    let resumed = cluster.resume(&recovery);
+    for (q, res) in &resumed {
+        println!("{}  {}", q.id, q.text);
+        match res {
+            Ok(out) => {
+                let coverage = if out.coverage.is_complete() {
+                    "full coverage"
+                } else {
+                    "degraded"
+                };
+                match out.answers.best() {
+                    Some(best) => println!("  -> resumed: {}   ({coverage})", best.candidate),
+                    None => println!("  -> resumed: no answer   ({coverage})"),
+                }
+            }
+            Err(e) => println!("  -> resume failed: {e}"),
+        }
+    }
+    cluster.shutdown();
+    let snap = registry.snapshot();
+    println!(
+        "resumed {} question(s) ({} record(s) replayed, {} appended this run)",
+        snap.counter(names::RESUMED_QUESTIONS_TOTAL),
+        snap.counter(names::REPLAYED_RECORDS_TOTAL),
+        snap.counter(names::JOURNAL_RECORDS_TOTAL),
+    );
+    write_metrics(&a, &snap)?;
+    Ok(())
+}
+
 /// Render Table 8/9-style breakdowns from a metrics snapshot written by
 /// `ask`/`simulate --metrics-out FILE` (JSON format).
 fn report(argv: &[String]) -> Result<(), String> {
@@ -418,6 +580,26 @@ fn report(argv: &[String]) -> Result<(), String> {
         snap.counter(names::WORKER_FAILURES_TOTAL),
         snap.counter(names::BREAKER_TRIPS_TOTAL),
     );
+    let failovers = snap.counter(names::FAILOVERS_TOTAL);
+    let fenced = snap.counter(names::FENCED_GRANTS_TOTAL);
+    let journaled = snap.counter(names::JOURNAL_RECORDS_TOTAL);
+    let replayed = snap.counter(names::REPLAYED_RECORDS_TOTAL);
+    let resumed = snap.counter(names::RESUMED_QUESTIONS_TOTAL);
+    if failovers + fenced + journaled + replayed + resumed > 0 {
+        println!(
+            "coordinator: {failovers} failover(s) to term {}, {journaled} journal record(s), \
+             {replayed} replayed, {resumed} question(s) resumed, {fenced} fenced grant(s)",
+            snap.gauges.get(names::LEADER_TERM).copied().unwrap_or(0.0),
+        );
+        if let Some(h) = snap.histograms.get(names::RECOVERY_SECONDS) {
+            println!(
+                "  recovery latency: {} event(s), mean {:.3} s, p95 {:.3} s",
+                h.count,
+                h.mean(),
+                h.quantile(0.95)
+            );
+        }
+    }
     let dropped = snap.counter(names::TRACE_DROPPED_TOTAL);
     if dropped > 0 {
         println!("trace events dropped by the flight recorder: {dropped}");
@@ -458,7 +640,7 @@ fn model(argv: &[String]) -> Result<(), String> {
 mod tests {
     use super::*;
 
-    fn run(parts: &[&str]) -> Result<(), String> {
+    fn run(parts: &[&str]) -> Result<(), CmdError> {
         let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
         dispatch(&argv)
     }
@@ -685,6 +867,97 @@ mod tests {
             .is_err(),
             "pipeline mode must refuse --metrics-out"
         );
+    }
+
+    #[test]
+    fn ask_rejection_carries_the_retry_hint() {
+        let corpus_path = tmp("c5.json");
+        run(&[
+            "generate",
+            "--seed",
+            "9",
+            "--size",
+            "small",
+            "--out",
+            &corpus_path,
+        ])
+        .unwrap();
+        // A per-node cap of 0 saturates every node before the first
+        // question: admission must bounce it with the policy's back-off
+        // hint, through the distinct-exit-code path — not a bare error.
+        let err = run(&[
+            "ask",
+            "--corpus",
+            &corpus_path,
+            "--cluster",
+            "2",
+            "--sample",
+            "1",
+            "--max-per-node",
+            "0",
+        ])
+        .unwrap_err();
+        match err {
+            CmdError::Rejected { retry_after } => assert!(
+                retry_after > Duration::ZERO,
+                "rejection must carry a usable retry hint"
+            ),
+            other => panic!("expected an admission rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ask_journals_and_recover_replays() {
+        let corpus_path = tmp("c6.json");
+        let jdir = tmp("c6-journal");
+        let _ = std::fs::remove_dir_all(&jdir);
+        run(&[
+            "generate",
+            "--seed",
+            "11",
+            "--size",
+            "small",
+            "--out",
+            &corpus_path,
+        ])
+        .unwrap();
+        run(&[
+            "ask",
+            "--corpus",
+            &corpus_path,
+            "--cluster",
+            "2",
+            "--sample",
+            "1",
+            "--journal",
+            &jdir,
+        ])
+        .unwrap();
+        // Everything was answered before the "crash", so recovery
+        // replays the journal, promotes past term 1 and finds nothing
+        // in flight. (Mid-question crash resume is exercised end to end
+        // in tests/coordinator_failover.rs.)
+        run(&["recover", "--journal", &jdir, "--corpus", &corpus_path]).unwrap();
+        // Pipeline mode has no coordinator and must refuse to journal.
+        assert!(run(&[
+            "ask",
+            "--corpus",
+            &corpus_path,
+            "--sample",
+            "1",
+            "--journal",
+            &jdir,
+        ])
+        .is_err());
+        // A plain file where the journal directory should be cannot be
+        // opened (or silently replaced): hard error.
+        let not_a_dir = tmp("c6-not-a-dir");
+        std::fs::write(&not_a_dir, b"not a journal").unwrap();
+        assert!(
+            run(&["recover", "--journal", &not_a_dir]).is_err(),
+            "an unopenable journal is a hard error"
+        );
+        let _ = std::fs::remove_dir_all(&jdir);
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! dqa index --corpus corpus.json --out index.bin   # build the sharded index
 //! dqa ask --corpus corpus.json --index index.bin "Where is …?"
 //! dqa ask --corpus corpus.json --index index.bin --cluster 4 "Where is …?"
+//! dqa ask --corpus corpus.json --cluster 4 --journal wal/ "Where is …?"
+//! dqa recover --journal wal/ --corpus corpus.json  # crash-restart resume
 //! dqa simulate --nodes 8 --strategy dqa            # high-load DES run
 //! dqa model --net-mbps 1000 --disk-mbps 100        # analytical model point
 //! ```
@@ -21,7 +23,17 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&argv) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        // Admission-control rejection is back-pressure, not breakage:
+        // pass the retry hint on and exit EX_TEMPFAIL so callers can
+        // tell "come back later" from a real failure.
+        Err(commands::CmdError::Rejected { retry_after }) => {
+            eprintln!(
+                "dqa: rejected by admission control; retry after {:.1} s",
+                retry_after.as_secs_f64()
+            );
+            ExitCode::from(commands::EXIT_REJECTED)
+        }
+        Err(commands::CmdError::Fatal(e)) => {
             eprintln!("dqa: {e}");
             eprintln!("{}", commands::USAGE);
             ExitCode::FAILURE

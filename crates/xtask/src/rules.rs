@@ -127,6 +127,18 @@ pub const RULES: &[Rule] = &[
                without limit until memory runs out",
     },
     Rule {
+        name: "raw-fs-write",
+        scope: Scope::Only(&["dqa-runtime"]),
+        patterns: &[
+            Pattern { seq: &["fs", ":", ":", "write"], report: 3, display: "fs::write" },
+            Pattern { seq: &["File", ":", ":", "create"], report: 3, display: "File::create" },
+        ],
+        why: "runtime code writes the filesystem directly",
+        help: "durable coordinator state must flow through the journal crate's checksummed \
+               append-only log (CoordinatorJournal); ad-hoc writes bypass torn-tail recovery \
+               and term fencing, so a crash can leave unreplayable state",
+    },
+    Rule {
         name: "unseeded-rng",
         scope: Scope::AllExcept(&["qa-cli"]),
         patterns: &[

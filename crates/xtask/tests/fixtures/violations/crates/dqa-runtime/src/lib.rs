@@ -50,6 +50,19 @@ pub fn waived_now() -> std::time::Instant {
     std::time::Instant::now()
 }
 
+pub fn raw_dump(bytes: &[u8]) {
+    std::fs::write("/tmp/dump.bin", bytes).ok();
+}
+
+pub fn raw_create() -> std::io::Result<std::fs::File> {
+    std::fs::File::create("/tmp/out.bin")
+}
+
+pub fn waived_dump(bytes: &[u8]) {
+    // dqa-lint: allow(raw-fs-write)
+    std::fs::write("/tmp/dump.bin", bytes).ok();
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

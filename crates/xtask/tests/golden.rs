@@ -37,6 +37,8 @@ fn violations_fixture_flags_each_rule_at_exact_lines() {
         (rt, "unbounded-channel", 21, "crossbeam_channel::unbounded"),
         (rt, "raw-instant", 26, "Instant::now()"),
         (rt, "unbounded-recv", 34, ".recv()"),
+        (rt, "raw-fs-write", 54, "fs::write"),
+        (rt, "raw-fs-write", 58, "File::create"),
         ("src/lib.rs", "unseeded-rng", 5, "SeedableRng::from_entropy"),
     ];
     assert_eq!(got, want);
@@ -47,11 +49,11 @@ fn pragma_and_test_code_waivers_hold_in_violations_fixture() {
     let (_, diags) = run_lint(&fixture("violations")).expect("fixture lint");
     // Line 18 of the cluster-sim fixture carries a pragma'd Instant; line
     // 30 of the dqa-runtime fixture a pragma'd unwrap, line 39 a pragma'd
-    // bare recv, line 44 a pragma'd unbounded() and line 50 a pragma'd
-    // Instant::now() (pragma on the line above). Every #[cfg(test)] mod
-    // holds violations of the crate-scoped rules. Only the seeded bare-recv
-    // violation on line 34 may flag past the waived region starting at
-    // line 29.
+    // bare recv, line 44 a pragma'd unbounded(), line 50 a pragma'd
+    // Instant::now() and line 63 a pragma'd fs::write (pragma on the line
+    // above). Every #[cfg(test)] mod holds violations of the crate-scoped
+    // rules. Past the waived region starting at line 29 only the seeded
+    // bare-recv (34) and raw-fs-write (54, 58) violations may flag.
     assert!(
         diags
             .iter()
@@ -59,9 +61,9 @@ fn pragma_and_test_code_waivers_hold_in_violations_fixture() {
         "waived or test-mod line flagged in cluster-sim fixture: {diags:?}"
     );
     assert!(
-        diags
-            .iter()
-            .all(|d| !(d.file.ends_with("dqa-runtime/src/lib.rs") && d.line >= 29 && d.line != 34)),
+        diags.iter().all(|d| !(d.file.ends_with("dqa-runtime/src/lib.rs")
+            && d.line >= 29
+            && ![34, 54, 58].contains(&d.line))),
         "waived or test-mod line flagged in dqa-runtime fixture: {diags:?}"
     );
 }
@@ -94,7 +96,7 @@ fn json_rendering_is_valid_and_complete() {
     for d in &diags {
         assert!(json.contains(&format!("\"file\":\"{}\",\"line\":{}", d.file, d.line)));
     }
-    // All seven rule names exercised except the per-fixture exemptions.
+    // All eight rule names exercised except the per-fixture exemptions.
     for rule in [
         "wall-clock",
         "unordered-state",
@@ -102,6 +104,7 @@ fn json_rendering_is_valid_and_complete() {
         "runtime-panic",
         "unbounded-recv",
         "unbounded-channel",
+        "raw-fs-write",
         "unseeded-rng",
     ] {
         assert!(

@@ -9,9 +9,11 @@
 pub use analytical;
 pub use cluster_sim;
 pub use corpus;
+pub use dqa_obs;
 pub use dqa_runtime;
 pub use faults;
 pub use ir_engine;
+pub use journal;
 pub use loadsim;
 pub use nlp;
 pub use qa_pipeline;

@@ -77,6 +77,12 @@ fn runtime_soak_loses_no_question_and_degrades_byte_identically() {
         .crash_rejoin(NodeId::new(1), 30.0, 120.0)
         .crash(NodeId::new(3), 400.0)
         .straggler(NodeId::new(2), 60.0, 200.0, 0.25)
+        // Coordinator faults ride along in the same schedule: the
+        // board-level chaos driver must tolerate them (they are realized
+        // by the journal/failover harness, see tests/coordinator_failover)
+        // without perturbing worker-level fault injection.
+        .coordinator_crash_rejoin(50.0, 90.0)
+        .leader_partition(250.0, 300.0)
         .message_loss(0.08)
         .message_delay(0.10, 0.004)
         .message_dup(0.05)
@@ -192,11 +198,28 @@ fn des_replays_seed_stably_under_every_fault_type() {
             cfg.faults = FaultSchedule::seeded(904).monitor_loss(0.6);
             cfg
         }),
+        ("coordinator crash", {
+            let mut cfg = low(906);
+            cfg.faults = FaultSchedule::seeded(906).coordinator_crash(25.0);
+            cfg
+        }),
+        ("coordinator crash+rejoin", {
+            let mut cfg = low(907);
+            cfg.faults = FaultSchedule::seeded(907).coordinator_crash_rejoin(25.0, 90.0);
+            cfg
+        }),
+        ("leader partition", {
+            let mut cfg = low(908);
+            cfg.faults = FaultSchedule::seeded(908).leader_partition(15.0, 350.0);
+            cfg
+        }),
         ("everything at once", {
             let mut cfg = low(905);
             cfg.faults = FaultSchedule::seeded(905)
                 .crash_rejoin(NodeId::new(1), 40.0, 200.0)
                 .straggler(NodeId::new(3), 10.0, 120.0, 0.25)
+                .coordinator_crash(60.0)
+                .leader_partition(400.0, 500.0)
                 .message_loss(0.1)
                 .message_delay(0.1, 0.3)
                 .message_dup(0.05)
