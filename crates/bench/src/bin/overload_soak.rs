@@ -57,6 +57,7 @@ struct Args {
     seed: u64,
     trace_out: String,
     metrics_out: Option<String>,
+    bench_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -65,6 +66,7 @@ fn parse_args() -> Args {
         seed: 3001,
         trace_out: "target/overload_soak_trace.txt".into(),
         metrics_out: None,
+        bench_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -77,10 +79,11 @@ fn parse_args() -> Args {
                 }
             }
             "--metrics-out" => args.metrics_out = it.next(),
+            "--bench-out" => args.bench_out = it.next(),
             other => {
                 eprintln!(
                     "unknown argument {other}; usage: overload_soak [--ci] [--seed N] \
-                     [--trace-out PATH] [--metrics-out PATH]"
+                     [--trace-out PATH] [--metrics-out PATH] [--bench-out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -295,6 +298,46 @@ fn check_shape_agreement(runtime: &[LoadPoint], sim: &[LoadPoint], violations: &
     }
 }
 
+/// Machine-readable summary for the `BENCH_*.json` perf trajectory
+/// (schema v1): both backends' load points with outcome counts, goodput,
+/// shed rate and admitted latency percentiles, keyed by the run config so
+/// a future regression gate can refuse to compare unlike runs.
+fn render_bench_json(args: &Args, runtime: &[LoadPoint], sim: &[LoadPoint]) -> String {
+    fn point_list(points: &[LoadPoint]) -> String {
+        points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"mult\":{},\"offered\":{},\"answered\":{},\"degraded\":{},\
+                     \"rejected\":{},\"goodput\":{:.4},\"shed_rate\":{:.4},\
+                     \"p50\":{:.4},\"p99\":{:.4}}}",
+                    p.mult,
+                    p.counts.offered(),
+                    p.counts.answered,
+                    p.counts.degraded,
+                    p.counts.rejected,
+                    p.counts.goodput(),
+                    p.counts.shed_rate(),
+                    p.p50,
+                    p.p99
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+    format!(
+        "{{\"bench\":\"overload_soak\",\"schema\":1,\"seed\":{},\"ci\":{},\
+         \"cap\":{CAP},\"queue\":{CAP},\"wall_deadline_s\":{WALL_DEADLINE},\
+         \"virt_deadline_s\":{VIRT_DEADLINE},\"backends\":[\
+         {{\"name\":\"dqa-runtime\",\"latency_unit\":\"ms\",\"points\":[{}]}},\
+         {{\"name\":\"cluster-sim\",\"latency_unit\":\"s\",\"points\":[{}]}}]}}\n",
+        args.seed,
+        args.ci,
+        point_list(runtime),
+        point_list(sim)
+    )
+}
+
 fn print_table(backend: &str, unit: &str, points: &[LoadPoint]) {
     println!("  {backend}");
     println!(
@@ -358,6 +401,19 @@ fn main() {
         }
         match std::fs::write(path, registry.snapshot().to_json()) {
             Ok(()) => println!("\n  metrics snapshot written to {path}"),
+            Err(e) => {
+                eprintln!("overload-soak: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &args.bench_out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, render_bench_json(&args, &runtime_points, &sim_points)) {
+            Ok(()) => println!("  bench summary written to {path}"),
             Err(e) => {
                 eprintln!("overload-soak: cannot write {path}: {e}");
                 std::process::exit(1);

@@ -7,8 +7,8 @@
 //! cleared by failure injection — drops out of the pool, and rejoins the
 //! moment it publishes again.
 
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use qa_types::{NodeId, ResourceVector};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Circuit-breaker policy for flapping nodes: a node that rejoins

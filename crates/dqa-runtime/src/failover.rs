@@ -26,13 +26,13 @@
 //! election is lease expiry, commitment is `advance_term`, and safety is
 //! the journal's term check, not any in-memory handshake.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 use crossbeam_channel::{bounded, Receiver, Sender};
 use dqa_obs::Clock;
 use journal::{Journal, JournalError, JournalOptions, JournalRecord, Recovery};
-use parking_lot::Mutex;
 use std::fmt;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A heartbeat from the leader: its term and send time (clock seconds).

@@ -40,6 +40,7 @@ pub mod message;
 pub mod monitor;
 pub mod node;
 pub mod overload;
+pub mod sync;
 pub mod trace;
 
 pub use board::{LoadBoard, QuarantinePolicy};

@@ -15,12 +15,12 @@
 //! broadcasts again.
 
 use crate::board::LoadBoard;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Mutex;
 use dqa_obs::{DqaMetrics, Gauge, MetricsRegistry};
 use faults::LossJudge;
 use loadsim::{LoadPacket, LoadTable};
-use parking_lot::Mutex;
 use qa_types::{NodeId, ResourceWeights};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};

@@ -1,0 +1,25 @@
+//! The concurrency seam: every hot-path lock, condvar and atomic in this
+//! crate is imported through here instead of naming `parking_lot` or
+//! `std::sync::atomic` directly.
+//!
+//! In a default build the re-exports are exactly the real primitives —
+//! zero overhead, zero behavior change. With `--features loom` they swap
+//! to the `dqa-verify` shims, which pass through to `std` in ordinary
+//! tests but turn every operation into a scheduling decision point inside
+//! a `dqa_verify::model` run. That is what lets the `loom_tests` modules
+//! model-check the *real* `AdmissionGate` (and friends) rather than a
+//! hand-copied miniature.
+
+#[cfg(not(feature = "loom"))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard};
+
+#[cfg(not(feature = "loom"))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(feature = "loom")]
+pub use dqa_verify::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+#[cfg(feature = "loom")]
+pub use dqa_verify::sync::atomic;

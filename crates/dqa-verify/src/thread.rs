@@ -1,0 +1,57 @@
+//! `spawn`/`join` shims. Outside a model run they delegate to
+//! `std::thread`; inside one, spawned closures become controlled threads
+//! of the current exploration and `join` parks under the scheduler.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+enum Inner<T> {
+    Os(std::thread::JoinHandle<T>),
+    Model {
+        tid: crate::sched::Tid,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result. Under the
+    /// explorer a child panic aborts the whole execution (it is reported
+    /// as the model failure), so the error arm is only reachable in
+    /// pass-through mode.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Os(h) => h.join(),
+            Inner::Model { tid, slot } => {
+                let ctx = crate::sched::current()
+                    .expect("join on a model JoinHandle from outside the model");
+                ctx.shared.join_thread(ctx.tid, tid);
+                slot.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .ok_or_else(|| -> Box<dyn std::any::Any + Send> {
+                        Box::new("model thread terminated without a result".to_string())
+                    })
+            }
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match crate::sched::current() {
+        Some(ctx) => {
+            let slot = Arc::new(StdMutex::new(None));
+            let out = Arc::clone(&slot);
+            let tid = ctx.shared.spawn_thread(move || {
+                let result = f();
+                *out.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+            });
+            JoinHandle(Inner::Model { tid, slot })
+        }
+        None => JoinHandle(Inner::Os(std::thread::spawn(f))),
+    }
+}

@@ -194,7 +194,13 @@ impl Gazetteers {
 
         let mut lookup = HashMap::new();
         let mut max_words = 1;
-        for (ty, list) in &by_type {
+        // Iterate in AnswerType order, not hash order: an entity present in
+        // two lists (e.g. a surname that is also a place) must resolve to
+        // the same type on every run, or downstream answer extraction
+        // diverges between processes.
+        let mut entries: Vec<_> = by_type.iter().collect();
+        entries.sort_by_key(|(ty, _)| **ty);
+        for (ty, list) in entries {
             for e in list {
                 let key = e.to_lowercase();
                 max_words = max_words.max(key.split_whitespace().count());

@@ -1,0 +1,99 @@
+//! `cargo xtask lint --fix`: apply the mechanical rewrites the rules
+//! recorded as byte-span [`Edit`]s.
+//!
+//! Only rewrites with one obviously-correct replacement are recorded —
+//! today that is the `unordered-state` family (`HashMap` → `BTreeMap`,
+//! `HashSet` → `BTreeSet`, `HashMap::with_capacity(n)` →
+//! `BTreeMap::new()`). Everything else (panics, blocking calls, lock
+//! cycles) needs a human.
+
+use crate::rules::Edit;
+
+/// Apply edits to a source string. Overlapping or duplicate spans are
+/// collapsed (first wins); edits apply back-to-front so earlier spans
+/// stay valid. Returns (rewritten source, edits applied).
+pub fn apply(src: &str, edits: &[Edit]) -> (String, usize) {
+    let mut sorted: Vec<Edit> = edits.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    // Drop overlapping spans (keep the first of each overlapping run).
+    let mut kept: Vec<Edit> = Vec::with_capacity(sorted.len());
+    for e in sorted {
+        if e.hi > src.len() || e.lo > e.hi {
+            continue;
+        }
+        if kept.last().is_some_and(|prev| e.lo < prev.hi) {
+            continue;
+        }
+        kept.push(e);
+    }
+    let mut out = src.to_string();
+    for e in kept.iter().rev() {
+        out.replace_range(e.lo..e.hi, &e.replacement);
+    }
+    (out, kept.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edit(lo: usize, hi: usize, r: &str) -> Edit {
+        Edit {
+            lo,
+            hi,
+            replacement: r.to_string(),
+        }
+    }
+
+    #[test]
+    fn applies_back_to_front() {
+        let src = "aa bb cc";
+        let (out, n) = apply(src, &[edit(0, 2, "XX"), edit(6, 8, "YY")]);
+        assert_eq!(out, "XX bb YY");
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn overlaps_and_duplicates_collapse() {
+        let src = "abcdef";
+        let (out, n) = apply(src, &[edit(1, 4, "X"), edit(1, 4, "X"), edit(2, 5, "Y")]);
+        assert_eq!(out, "aXef");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn out_of_range_edits_are_dropped() {
+        let src = "short";
+        let (out, n) = apply(src, &[edit(2, 99, "X")]);
+        assert_eq!(out, "short");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn end_to_end_hashmap_rewrite() {
+        let src = "use std::collections::HashMap;\n\
+                   fn build() {\n\
+                       let mut m: HashMap<u64, u64> = HashMap::new();\n\
+                       m.insert(1, 2);\n\
+                   }\n";
+        let analysis = crate::analyze_source("scheduler", "crates/scheduler/src/lib.rs", src);
+        let (fixed, n) = apply(src, &analysis.fixes);
+        assert!(n >= 3, "expected >=3 edits, got {n}");
+        assert!(!fixed.contains("HashMap"), "fixed source: {fixed}");
+        assert!(fixed.contains("use std::collections::BTreeMap;"));
+        assert!(fixed.contains("let mut m: BTreeMap<u64, u64> = BTreeMap::new();"));
+        // The fixed file must lint clean.
+        let diags = crate::lint_source("scheduler", "crates/scheduler/src/lib.rs", &fixed);
+        assert!(diags.is_empty(), "diags after fix: {diags:?}");
+    }
+
+    #[test]
+    fn with_capacity_becomes_new() {
+        let src = "fn build() { let m = HashMap::with_capacity(32); m.len(); }";
+        let analysis = crate::analyze_source("scheduler", "crates/scheduler/src/lib.rs", src);
+        let (fixed, _) = apply(src, &analysis.fixes);
+        assert!(fixed.contains("BTreeMap::new()"), "fixed: {fixed}");
+        assert!(!fixed.contains("with_capacity"), "fixed: {fixed}");
+    }
+}

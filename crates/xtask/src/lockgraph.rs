@@ -1,0 +1,163 @@
+//! Workspace lock-order graph: cycle detection over the acquisition
+//! edges each file's analysis emitted.
+//!
+//! Every time code acquires lock B while holding lock A, the per-file
+//! walk records an `A -> B` edge ([`crate::rules::LockEdge`]). Any cycle
+//! in the union of those edges — including a self-loop, i.e. re-acquiring
+//! a non-reentrant lock — is a potential deadlock: two threads entering
+//! the cycle from different points can each hold what the other needs.
+//! This pass runs once over the whole workspace, so an `A -> B` in one
+//! crate and a `B -> A` in another still meet.
+
+use crate::rules::{Diagnostic, LockEdge, LOCK_ORDER_HELP, LOCK_ORDER_WHY};
+use std::collections::BTreeMap;
+
+/// Turn the workspace's edge set into `lock-order` diagnostics: one per
+/// non-waived acquisition site participating in a cycle.
+pub fn cycle_diagnostics(edges: &[LockEdge]) -> Vec<Diagnostic> {
+    // Index the labels.
+    let mut index: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in edges {
+        let n = index.len();
+        index.entry(e.held.as_str()).or_insert(n);
+        let n = index.len();
+        index.entry(e.acquired.as_str()).or_insert(n);
+    }
+    let n = index.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in edges {
+        adj[index[e.held.as_str()]].push(index[e.acquired.as_str()]);
+    }
+
+    let scc = tarjan(&adj);
+    // SCC sizes, to distinguish a real cycle from a lone node.
+    let mut scc_size = vec![0usize; n];
+    for &c in &scc {
+        scc_size[c] += 1;
+    }
+
+    let mut out = Vec::new();
+    for e in edges {
+        if e.allowed {
+            continue;
+        }
+        let a = index[e.held.as_str()];
+        let b = index[e.acquired.as_str()];
+        let cyclic = scc[a] == scc[b] && (scc_size[scc[a]] > 1 || a == b);
+        if cyclic {
+            out.push(Diagnostic {
+                file: e.file.clone(),
+                line: e.line,
+                rule: "lock-order",
+                matched: format!("{} -> {}", e.held, e.acquired),
+                why: LOCK_ORDER_WHY,
+                help: LOCK_ORDER_HELP,
+            });
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Iterative Tarjan strongly-connected components; returns the component
+/// id of each node.
+fn tarjan(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    // Explicit DFS state: (node, next child position).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*ci) {
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+                call.pop();
+                if let Some(&mut (u, _)) = call.last_mut() {
+                    low[u] = low[u].min(low[v]);
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(held: &str, acq: &str, line: u32) -> LockEdge {
+        LockEdge {
+            held: held.to_string(),
+            acquired: acq.to_string(),
+            file: "crates/x/src/lib.rs".to_string(),
+            line,
+            allowed: false,
+        }
+    }
+
+    #[test]
+    fn straight_line_order_is_clean() {
+        let edges = vec![edge("a", "b", 1), edge("b", "c", 2), edge("a", "c", 3)];
+        assert!(cycle_diagnostics(&edges).is_empty());
+    }
+
+    #[test]
+    fn two_cycle_is_reported_at_both_sites() {
+        let edges = vec![edge("a", "b", 1), edge("b", "a", 9)];
+        let diags = cycle_diagnostics(&edges);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == "lock-order"));
+        assert_eq!(diags[0].matched, "a -> b");
+        assert_eq!(diags[1].matched, "b -> a");
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let edges = vec![edge("a", "a", 4)];
+        assert_eq!(cycle_diagnostics(&edges).len(), 1);
+    }
+
+    #[test]
+    fn allowed_edges_keep_the_graph_but_not_the_diag() {
+        let mut e = edge("b", "a", 9);
+        e.allowed = true;
+        let edges = vec![edge("a", "b", 1), e];
+        let diags = cycle_diagnostics(&edges);
+        // Only the non-waived half of the cycle is reported.
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].matched, "a -> b");
+    }
+}

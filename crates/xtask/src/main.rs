@@ -5,17 +5,26 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cargo xtask lint [--json] [--root <workspace-root>]\n\
+        "usage: cargo xtask lint [--json] [--fix] [--root <workspace-root>]\n\
          \n\
          Commands:\n\
-         \x20 lint    run dqa-lint, the determinism/robustness static-analysis pass\n\
+         \x20 lint    run dqa-lint v2, the determinism/robustness static-analysis pass\n\
+         \x20         (--fix applies mechanical rewrites, e.g. HashMap -> BTreeMap)\n\
          \n\
-         Rules (waive per line with `// dqa-lint: allow(<rule>)`):\n\
-         \x20 wall-clock       no Instant/SystemTime/thread::sleep in virtual-time crates\n\
-         \x20 unordered-state  no HashMap/HashSet in sim/scheduler state crates\n\
-         \x20 runtime-panic    no unwrap/expect/panic! in dqa-runtime non-test code\n\
-         \x20 unbounded-recv   no bare .recv() in dqa-runtime non-test code\n\
-         \x20 unseeded-rng     no thread_rng/from_entropy/rand::random outside qa-cli"
+         Rules (waive with `// dqa-lint: allow(<rule>)` on the line, above it, or\n\
+         above an enclosing item):\n\
+         \x20 wall-clock           no Instant/SystemTime/thread::sleep in virtual-time crates\n\
+         \x20 unordered-state      no HashMap/HashSet in sim/scheduler state crates\n\
+         \x20 raw-instant          no direct Instant::now() in dqa-runtime\n\
+         \x20 runtime-panic        no unwrap/expect/panic! in dqa-runtime non-test code\n\
+         \x20 unbounded-recv       no bare .recv() in dqa-runtime non-test code\n\
+         \x20 unbounded-channel    no crossbeam_channel::unbounded in dqa-runtime\n\
+         \x20 raw-fs-write         no ad-hoc fs writes in dqa-runtime (journal only)\n\
+         \x20 unseeded-rng         no thread_rng/from_entropy/rand::random outside qa-cli\n\
+         \x20 lock-order           no cycles in the workspace lock-acquisition graph\n\
+         \x20 blocking-under-guard no blocking call while a lock guard is held\n\
+         \x20 hashmap-iter-order   no iteration over hash-container order\n\
+         \x20 clock-leak           no wall-clock reads in Clock-parameterized code"
     );
     ExitCode::from(2)
 }
@@ -26,11 +35,13 @@ fn main() -> ExitCode {
         return usage();
     }
     let mut json = false;
+    let mut fix = false;
     let mut root: Option<PathBuf> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--fix" => fix = true,
             "--root" => match it.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage(),
@@ -44,6 +55,18 @@ fn main() -> ExitCode {
             .map(|d| PathBuf::from(d).join("../.."))
             .unwrap_or_else(|| PathBuf::from("."))
     });
+
+    if fix {
+        match xtask::run_fix(&root) {
+            Ok((files, edits)) => {
+                eprintln!("dqa-lint: applied {edits} fix(es) in {files} file(s)");
+            }
+            Err(e) => {
+                eprintln!("dqa-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     match xtask::run_lint(&root) {
         Ok((checked, diags)) => {

@@ -1,19 +1,30 @@
-//! A minimal Rust lexer, sufficient for token-sequence linting.
+//! The dqa-lint lexer: a minimal, dependency-free Rust tokenizer.
 //!
-//! The scanner reduces a source file to identifiers and punctuation with
-//! line numbers, stripping everything that could produce false positives:
-//! line/block comments (nested), string literals (plain, raw, byte, raw
-//! byte), char literals vs. lifetimes, and numeric literals. Comments are
-//! inspected for `dqa-lint: allow(<rule>, ...)` pragmas before being
-//! dropped.
+//! The scanner reduces a source file to identifiers, punctuation and
+//! literal placeholders with line numbers *and byte spans* (the spans feed
+//! `--fix` rewrites), stripping everything that could produce false
+//! positives: line/block comments (nested), string literals (plain, raw,
+//! byte, raw byte), char literals vs. lifetimes, and numeric literals.
+//! Comments are inspected for `dqa-lint: allow(<rule>, ...)` pragmas
+//! before being dropped.
 //!
-//! This is intentionally not a full parser: the lint rules match short
-//! token sequences (`HashMap`, `thread :: sleep`, `. unwrap (`), and for
-//! those a faithful token stream is all that is needed. The workspace's
-//! own offline constraint rules out `syn`; this scanner has no
-//! dependencies at all.
+//! This is the bottom layer of the v2 AST engine: [`crate::tree`] groups
+//! the stream into delimiter trees and [`crate::ast`] parses items out of
+//! those. The workspace's own offline constraint rules out `syn`; this
+//! lexer has no dependencies at all.
 
 use std::collections::BTreeMap;
+
+/// What kind of literal a [`TokKind::Lit`] placeholder stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LitKind {
+    /// `"..."`, `r"..."`, `b"..."`, `br#"..."#`.
+    Str,
+    /// `'x'`, `b'x'`.
+    Char,
+    /// `123`, `1_000u64`, `0x1f`, `2.5e-3`.
+    Num,
+}
 
 /// One significant token.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,12 +33,22 @@ pub enum TokKind {
     Ident(String),
     /// A single punctuation character (`::` arrives as two `:`).
     Punct(char),
+    /// A literal, content dropped (so banned names inside strings never
+    /// reach the rules) but position kept (so the AST layer sees e.g.
+    /// `#[doc = "..."]` as a complete attribute).
+    Lit(LitKind),
+    /// A lifetime such as `'a` (quote plus identifier).
+    Lifetime,
 }
 
-/// A token plus the 1-based line it starts on.
+/// A token plus its 1-based line and byte span in the source.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tok {
     pub line: u32,
+    /// Byte offset of the first byte of the token.
+    pub lo: usize,
+    /// Byte offset one past the last byte of the token.
+    pub hi: usize,
     pub kind: TokKind,
 }
 
@@ -35,6 +56,14 @@ impl Tok {
     /// True when the token is the identifier `name`.
     pub fn is_ident(&self, name: &str) -> bool {
         matches!(&self.kind, TokKind::Ident(s) if s == name)
+    }
+
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
     }
 
     /// True when the token is the punctuation `c`.
@@ -47,234 +76,287 @@ impl Tok {
 #[derive(Debug, Default)]
 pub struct ScanResult {
     pub toks: Vec<Tok>,
-    /// Line → rule names allowed on that line (and the line below it).
+    /// Line → rule names allowed on that line (and, per the waiver
+    /// contract, the line below it or the whole item that starts below
+    /// it).
     pub allows: BTreeMap<u32, Vec<String>>,
 }
 
 /// Tokenize `src`, collecting `dqa-lint: allow(...)` pragmas from comments.
 pub fn scan(src: &str) -> ScanResult {
-    let b: Vec<char> = src.chars().collect();
-    let mut out = ScanResult::default();
-    let mut i = 0usize;
-    let mut line = 1u32;
+    Lexer {
+        src,
+        b: src.char_indices().collect(),
+        i: 0,
+        line: 1,
+        out: ScanResult::default(),
+    }
+    .run()
+}
 
-    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
-    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+struct Lexer<'a> {
+    src: &'a str,
+    /// (byte offset, char) pairs.
+    b: Vec<(usize, char)>,
+    i: usize,
+    line: u32,
+    out: ScanResult,
+}
 
-    while i < b.len() {
-        let c = b[i];
-        match c {
-            '\n' => {
-                line += 1;
-                i += 1;
-            }
-            c if c.is_whitespace() => i += 1,
-            '/' if b.get(i + 1) == Some(&'/') => {
-                let start = i;
-                while i < b.len() && b[i] != '\n' {
-                    i += 1;
+impl Lexer<'_> {
+    fn ch(&self, k: usize) -> Option<char> {
+        self.b.get(k).map(|&(_, c)| c)
+    }
+
+    fn off(&self, k: usize) -> usize {
+        self.b.get(k).map_or(self.src.len(), |&(o, _)| o)
+    }
+
+    fn push(&mut self, kind: TokKind, lo_idx: usize, hi_idx: usize, line: u32) {
+        self.out.toks.push(Tok {
+            line,
+            lo: self.off(lo_idx),
+            hi: self.off(hi_idx),
+            kind,
+        });
+    }
+
+    fn run(mut self) -> ScanResult {
+        let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+        let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+        while let Some(c) = self.ch(self.i) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.i += 1;
                 }
-                record_pragma(&b[start..i], line, &mut out.allows);
-            }
-            '/' if b.get(i + 1) == Some(&'*') => {
-                let start = i;
-                let start_line = line;
-                let mut depth = 1;
-                i += 2;
-                while i < b.len() && depth > 0 {
-                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
-                        depth += 1;
-                        i += 2;
-                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        if b[i] == '\n' {
-                            line += 1;
-                        }
-                        i += 1;
+                c if c.is_whitespace() => self.i += 1,
+                '/' if self.ch(self.i + 1) == Some('/') => {
+                    let start = self.i;
+                    while self.i < self.b.len() && self.ch(self.i) != Some('\n') {
+                        self.i += 1;
                     }
+                    let text: String = self.b[start..self.i].iter().map(|&(_, c)| c).collect();
+                    record_pragma(&text, self.line, &mut self.out.allows);
                 }
-                record_pragma(&b[start..i.min(b.len())], start_line, &mut out.allows);
-            }
-            '"' => i = skip_string(&b, i, &mut line),
-            '\'' => i = skip_char_or_lifetime(&b, i, &mut line),
-            'r' | 'b' if starts_literal(&b, i) => i = skip_prefixed_literal(&b, i, &mut line),
-            'r' if b.get(i + 1) == Some(&'#')
-                && b.get(i + 2).is_some_and(|&c| is_ident_start(c)) =>
-            {
-                // Raw identifier r#ident: emit the bare identifier.
-                let mut j = i + 2;
-                while j < b.len() && is_ident_cont(b[j]) {
-                    j += 1;
-                }
-                out.toks.push(Tok {
-                    line,
-                    kind: TokKind::Ident(b[i + 2..j].iter().collect()),
-                });
-                i = j;
-            }
-            c if is_ident_start(c) => {
-                let mut j = i;
-                while j < b.len() && is_ident_cont(b[j]) {
-                    j += 1;
-                }
-                out.toks.push(Tok {
-                    line,
-                    kind: TokKind::Ident(b[i..j].iter().collect()),
-                });
-                i = j;
-            }
-            c if c.is_ascii_digit() => {
-                // Numeric literal: digits and suffix chars, no dots (so the
-                // `.` of `1.method()` and `0..n` stays a punct; harmless for
-                // our patterns since numbers are dropped).
-                let mut j = i;
-                while j < b.len() && is_ident_cont(b[j]) {
-                    j += 1;
-                }
-                i = j;
-            }
-            c => {
-                out.toks.push(Tok {
-                    line,
-                    kind: TokKind::Punct(c),
-                });
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
-/// `r"`, `r#...#"`, `b"`, `br"`, `br#...#"`, `b'` start a literal.
-fn starts_literal(b: &[char], i: usize) -> bool {
-    match b[i] {
-        'r' => {
-            let mut j = i + 1;
-            while b.get(j) == Some(&'#') {
-                j += 1;
-            }
-            j > i + 1 && b.get(j) == Some(&'"') || b.get(i + 1) == Some(&'"')
-        }
-        'b' => match b.get(i + 1) {
-            Some('"') | Some('\'') => true,
-            Some('r') => {
-                let mut j = i + 2;
-                while b.get(j) == Some(&'#') {
-                    j += 1;
-                }
-                b.get(j) == Some(&'"')
-            }
-            _ => false,
-        },
-        _ => false,
-    }
-}
-
-/// Skip a literal that starts with an `r`/`b`/`br` prefix at `i`.
-fn skip_prefixed_literal(b: &[char], i: usize, line: &mut u32) -> usize {
-    let mut j = i;
-    let raw = {
-        let mut raw = false;
-        if b[j] == 'b' {
-            j += 1;
-        }
-        if b.get(j) == Some(&'r') {
-            raw = true;
-            j += 1;
-        }
-        raw
-    };
-    if b.get(j) == Some(&'\'') {
-        return skip_char_or_lifetime(b, j, line);
-    }
-    let mut hashes = 0;
-    while b.get(j) == Some(&'#') {
-        hashes += 1;
-        j += 1;
-    }
-    debug_assert_eq!(b.get(j), Some(&'"'));
-    j += 1;
-    if raw {
-        // Ends at `"` followed by `hashes` hashes; no escapes.
-        while j < b.len() {
-            if b[j] == '\n' {
-                *line += 1;
-            }
-            if b[j] == '"'
-                && b[j + 1..]
-                    .iter()
-                    .take(hashes)
-                    .filter(|&&c| c == '#')
-                    .count()
-                    == hashes
-            {
-                return j + 1 + hashes;
-            }
-            j += 1;
-        }
-        j
-    } else {
-        skip_string(b, j - 1, line)
-    }
-}
-
-/// Skip a `"..."` string starting at the opening quote; returns the index
-/// past the closing quote.
-fn skip_string(b: &[char], i: usize, line: &mut u32) -> usize {
-    let mut j = i + 1;
-    while j < b.len() {
-        match b[j] {
-            '\\' => j += 2,
-            '"' => return j + 1,
-            c => {
-                if c == '\n' {
-                    *line += 1;
-                }
-                j += 1;
-            }
-        }
-    }
-    j
-}
-
-/// Disambiguate `'a'` (char literal) from `'a` (lifetime); skip either.
-fn skip_char_or_lifetime(b: &[char], i: usize, line: &mut u32) -> usize {
-    match b.get(i + 1) {
-        Some('\\') => {
-            // Escaped char literal: skip to the closing quote.
-            let mut j = i + 2;
-            while j < b.len() {
-                match b[j] {
-                    '\\' => j += 2,
-                    '\'' => return j + 1,
-                    c => {
-                        if c == '\n' {
-                            *line += 1;
+                '/' if self.ch(self.i + 1) == Some('*') => {
+                    let start = self.i;
+                    let start_line = self.line;
+                    let mut depth = 1;
+                    self.i += 2;
+                    while self.i < self.b.len() && depth > 0 {
+                        if self.ch(self.i) == Some('/') && self.ch(self.i + 1) == Some('*') {
+                            depth += 1;
+                            self.i += 2;
+                        } else if self.ch(self.i) == Some('*') && self.ch(self.i + 1) == Some('/') {
+                            depth -= 1;
+                            self.i += 2;
+                        } else {
+                            if self.ch(self.i) == Some('\n') {
+                                self.line += 1;
+                            }
+                            self.i += 1;
                         }
+                    }
+                    let end = self.i.min(self.b.len());
+                    let text: String = self.b[start..end].iter().map(|&(_, c)| c).collect();
+                    record_pragma(&text, start_line, &mut self.out.allows);
+                }
+                '"' => {
+                    let start = self.i;
+                    let line = self.line;
+                    self.i = self.skip_string(self.i);
+                    self.push(TokKind::Lit(LitKind::Str), start, self.i, line);
+                }
+                '\'' => {
+                    let start = self.i;
+                    let line = self.line;
+                    let (next, kind) = self.skip_char_or_lifetime(self.i);
+                    self.i = next;
+                    self.push(kind, start, self.i, line);
+                }
+                'r' | 'b' if self.starts_literal(self.i) => {
+                    let start = self.i;
+                    let line = self.line;
+                    let (next, kind) = self.skip_prefixed_literal(self.i);
+                    self.i = next;
+                    self.push(kind, start, self.i, line);
+                }
+                'r' if self.ch(self.i + 1) == Some('#')
+                    && self.ch(self.i + 2).is_some_and(is_ident_start) =>
+                {
+                    // Raw identifier r#ident: emit the bare identifier.
+                    let mut j = self.i + 2;
+                    while j < self.b.len() && self.ch(j).is_some_and(is_ident_cont) {
                         j += 1;
                     }
+                    let name: String = self.b[self.i + 2..j].iter().map(|&(_, c)| c).collect();
+                    let line = self.line;
+                    self.push(TokKind::Ident(name), self.i, j, line);
+                    self.i = j;
+                }
+                c if is_ident_start(c) => {
+                    let mut j = self.i;
+                    while j < self.b.len() && self.ch(j).is_some_and(is_ident_cont) {
+                        j += 1;
+                    }
+                    let name: String = self.b[self.i..j].iter().map(|&(_, c)| c).collect();
+                    let line = self.line;
+                    self.push(TokKind::Ident(name), self.i, j, line);
+                    self.i = j;
+                }
+                c if c.is_ascii_digit() => {
+                    // Numeric literal: digits and suffix chars, no dots (so
+                    // the `.` of `1.method()` and `0..n` stays a punct;
+                    // harmless since numbers carry no names).
+                    let mut j = self.i;
+                    while j < self.b.len() && self.ch(j).is_some_and(is_ident_cont) {
+                        j += 1;
+                    }
+                    let line = self.line;
+                    self.push(TokKind::Lit(LitKind::Num), self.i, j, line);
+                    self.i = j;
+                }
+                c => {
+                    let line = self.line;
+                    self.push(TokKind::Punct(c), self.i, self.i + 1, line);
+                    self.i += 1;
                 }
             }
-            j
         }
-        Some(&c) if b.get(i + 2) == Some(&'\'') && c != '\'' => i + 3, // 'x'
-        Some(&c) if c.is_alphabetic() || c == '_' => {
-            // Lifetime: consume the quote plus the identifier.
-            let mut j = i + 1;
-            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+        self.out
+    }
+
+    /// `r"`, `r#...#"`, `b"`, `br"`, `br#...#"`, `b'` start a literal.
+    fn starts_literal(&self, i: usize) -> bool {
+        match self.ch(i) {
+            Some('r') => {
+                let mut j = i + 1;
+                while self.ch(j) == Some('#') {
+                    j += 1;
+                }
+                j > i + 1 && self.ch(j) == Some('"') || self.ch(i + 1) == Some('"')
+            }
+            Some('b') => match self.ch(i + 1) {
+                Some('"') | Some('\'') => true,
+                Some('r') => {
+                    let mut j = i + 2;
+                    while self.ch(j) == Some('#') {
+                        j += 1;
+                    }
+                    self.ch(j) == Some('"')
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Skip a literal that starts with an `r`/`b`/`br` prefix at `i`.
+    fn skip_prefixed_literal(&mut self, i: usize) -> (usize, TokKind) {
+        let mut j = i;
+        let raw = {
+            let mut raw = false;
+            if self.ch(j) == Some('b') {
                 j += 1;
             }
-            j
+            if self.ch(j) == Some('r') {
+                raw = true;
+                j += 1;
+            }
+            raw
+        };
+        if self.ch(j) == Some('\'') {
+            return self.skip_char_or_lifetime(j);
         }
-        _ => i + 1,
+        let mut hashes = 0usize;
+        while self.ch(j) == Some('#') {
+            hashes += 1;
+            j += 1;
+        }
+        debug_assert_eq!(self.ch(j), Some('"'));
+        j += 1;
+        if raw {
+            // Ends at `"` followed by `hashes` hashes; no escapes.
+            while j < self.b.len() {
+                if self.ch(j) == Some('\n') {
+                    self.line += 1;
+                }
+                if self.ch(j) == Some('"')
+                    && (1..=hashes).all(|k| self.ch(j + k) == Some('#'))
+                {
+                    return (j + 1 + hashes, TokKind::Lit(LitKind::Str));
+                }
+                j += 1;
+            }
+            (j, TokKind::Lit(LitKind::Str))
+        } else {
+            (self.skip_string(j - 1), TokKind::Lit(LitKind::Str))
+        }
+    }
+
+    /// Skip a `"..."` string starting at the opening quote; returns the
+    /// index past the closing quote.
+    fn skip_string(&mut self, i: usize) -> usize {
+        let mut j = i + 1;
+        while j < self.b.len() {
+            match self.ch(j) {
+                Some('\\') => j += 2,
+                Some('"') => return j + 1,
+                Some(c) => {
+                    if c == '\n' {
+                        self.line += 1;
+                    }
+                    j += 1;
+                }
+                None => break,
+            }
+        }
+        j
+    }
+
+    /// Disambiguate `'a'` (char literal) from `'a` (lifetime); skip either.
+    fn skip_char_or_lifetime(&mut self, i: usize) -> (usize, TokKind) {
+        match self.ch(i + 1) {
+            Some('\\') => {
+                // Escaped char literal: skip to the closing quote.
+                let mut j = i + 2;
+                while j < self.b.len() {
+                    match self.ch(j) {
+                        Some('\\') => j += 2,
+                        Some('\'') => return (j + 1, TokKind::Lit(LitKind::Char)),
+                        Some(c) => {
+                            if c == '\n' {
+                                self.line += 1;
+                            }
+                            j += 1;
+                        }
+                        None => break,
+                    }
+                }
+                (j, TokKind::Lit(LitKind::Char))
+            }
+            Some(c) if self.ch(i + 2) == Some('\'') && c != '\'' => {
+                (i + 3, TokKind::Lit(LitKind::Char)) // 'x'
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                // Lifetime: consume the quote plus the identifier.
+                let mut j = i + 1;
+                while j < self.b.len()
+                    && self.ch(j).is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    j += 1;
+                }
+                (j, TokKind::Lifetime)
+            }
+            _ => (i + 1, TokKind::Punct('\'')),
+        }
     }
 }
 
 /// Extract `dqa-lint: allow(a, b)` rule names from a comment's text.
-fn record_pragma(comment: &[char], line: u32, allows: &mut BTreeMap<u32, Vec<String>>) {
-    let text: String = comment.iter().collect();
+fn record_pragma(text: &str, line: u32, allows: &mut BTreeMap<u32, Vec<String>>) {
     let Some(pos) = text.find("dqa-lint:") else {
         return;
     };
@@ -295,103 +377,71 @@ fn record_pragma(comment: &[char], line: u32, allows: &mut BTreeMap<u32, Vec<Str
     }
 }
 
-/// Remove attribute tokens and test-only regions from a token stream.
-///
-/// * Inner attributes (`#![...]`) and outer attributes (`#[...]`) are
-///   dropped entirely, so `#[doc = "..."]` or `#[serde(...)]` contents
-///   never reach the rule matcher.
-/// * An outer attribute marking test code — `#[test]`, `#[cfg(test)]`,
-///   `#[cfg(any(test, ...))]`, `#[tokio::test]`-style — additionally
-///   removes the item that follows it (to its closing `}` or terminating
-///   `;`). `#[cfg(not(test))]` is non-test code and is kept.
-pub fn strip_attrs_and_test_code(toks: &[Tok]) -> Vec<Tok> {
-    let mut out = Vec::with_capacity(toks.len());
-    let mut i = 0usize;
-    while i < toks.len() {
-        if toks[i].is_punct('#') {
-            let inner = toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
-            let open = if inner { i + 2 } else { i + 1 };
-            if toks.get(open).is_some_and(|t| t.is_punct('[')) {
-                let (close, idents) = attr_extent(toks, open);
-                let mut j = close + 1;
-                if !inner && is_test_attr(&idents) {
-                    // Swallow any stacked attributes, then the item body.
-                    while toks.get(j).is_some_and(|t| t.is_punct('#'))
-                        && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
-                    {
-                        let (c, _) = attr_extent(toks, j + 1);
-                        j = c + 1;
-                    }
-                    j = skip_item(toks, j);
-                }
-                i = j;
-                continue;
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .toks
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_drop_their_contents() {
+        let src = r####"
+            // line comment HashMap
+            /* block /* nested */ Instant */
+            let s = "thread_rng";
+            let r = r#"SystemTime"#;
+            let b = b"unbounded";
+            let c = 'x';
+        "####;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "r", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = scan("fn f<'a>(x: &'a str) -> &'a str { x }").toks;
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(toks.iter().all(|t| t.kind != TokKind::Lit(LitKind::Char)));
+    }
+
+    #[test]
+    fn byte_spans_reproduce_source_text() {
+        let src = "use std::collections::HashMap;\nlet m = HashMap::new();";
+        for t in scan(src).toks {
+            if let TokKind::Ident(name) = &t.kind {
+                assert_eq!(&src[t.lo..t.hi], name, "span mismatch for {name}");
             }
         }
-        out.push(toks[i].clone());
-        i += 1;
     }
-    out
-}
 
-/// From the `[` at `open`, return (index of matching `]`, idents inside).
-fn attr_extent(toks: &[Tok], open: usize) -> (usize, Vec<String>) {
-    let mut depth = 0usize;
-    let mut idents = Vec::new();
-    let mut j = open;
-    while j < toks.len() {
-        match &toks[j].kind {
-            TokKind::Punct('[') => depth += 1,
-            TokKind::Punct(']') => {
-                depth -= 1;
-                if depth == 0 {
-                    return (j, idents);
-                }
-            }
-            TokKind::Ident(s) => idents.push(s.clone()),
-            _ => {}
-        }
-        j += 1;
+    #[test]
+    fn pragmas_are_collected_per_line() {
+        let src = "let a = 1; // dqa-lint: allow(wall-clock, lock-order)\n";
+        let res = scan(src);
+        assert_eq!(
+            res.allows.get(&1),
+            Some(&vec!["wall-clock".to_string(), "lock-order".to_string()])
+        );
     }
-    (toks.len().saturating_sub(1), idents)
-}
 
-fn is_test_attr(idents: &[String]) -> bool {
-    if idents.iter().any(|s| s == "not") {
-        return false;
+    #[test]
+    fn raw_identifiers_are_unprefixed() {
+        assert_eq!(idents("r#fn r#type"), vec!["fn", "type"]);
     }
-    let has_test = idents.iter().any(|s| s == "test");
-    has_test
-        && (idents.first().is_some_and(|s| s == "cfg")
-            || idents.last().is_some_and(|s| s == "test"))
-}
 
-/// Skip one item starting at `j`: to its matching `}` if a `{` comes before
-/// any top-level `;`, else to the `;`.
-fn skip_item(toks: &[Tok], j: usize) -> usize {
-    let mut k = j;
-    while k < toks.len() {
-        match &toks[k].kind {
-            TokKind::Punct(';') => return k + 1,
-            TokKind::Punct('{') => {
-                let mut depth = 0usize;
-                while k < toks.len() {
-                    match &toks[k].kind {
-                        TokKind::Punct('{') => depth += 1,
-                        TokKind::Punct('}') => {
-                            depth -= 1;
-                            if depth == 0 {
-                                return k + 1;
-                            }
-                        }
-                        _ => {}
-                    }
-                    k += 1;
-                }
-                return k;
-            }
-            _ => k += 1,
-        }
+    #[test]
+    fn numeric_literals_become_placeholders() {
+        let toks = scan("let x = 1_000u64 + 0x1f;").toks;
+        let nums = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit(LitKind::Num))
+            .count();
+        assert_eq!(nums, 2);
     }
-    k
 }

@@ -1,0 +1,271 @@
+//! Per-file symbol context: the "lightweight resolution" half of the AST
+//! engine.
+//!
+//! dqa-lint cannot (and need not) run full name resolution; what kills
+//! regex-era false positives is knowing, per scope, (a) what each local
+//! name was imported *as* and (b) which names are defined locally. With
+//! that, `Instant` in a file that does `use std::time::Instant` resolves
+//! to the banned path; `Instant` in a file that defines
+//! `struct Instant` — or imports `use crate::virt::Instant` — provably
+//! does not, and stays silent where the token matcher used to fire.
+//!
+//! Resolution is three-valued: [`Origin::Resolved`] (we know the full
+//! path), [`Origin::Local`]/[`Origin::Internal`] (provably ours), and
+//! [`Origin::Unknown`] (no evidence either way — rules fall back to
+//! name matching there, preserving the legacy engine's recall on
+//! fixture-style code with no imports at all).
+
+use crate::ast::{Item, ItemKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where a name comes from, as far as the file can tell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Origin {
+    /// Fully resolved to a canonical path (e.g. `std::time::Instant`).
+    Resolved(String),
+    /// Defined in this file (struct/enum/fn/… with this name in scope).
+    Local,
+    /// Rooted in `crate`/`self`/`super` — ours, wherever it lands.
+    Internal,
+    /// No import, no local definition: could be anything (prelude, glob,
+    /// macro-expanded).
+    Unknown,
+}
+
+/// One lexical scope's name bindings.
+#[derive(Debug, Default, Clone)]
+pub struct Scope {
+    /// Alias → full imported path.
+    imports: BTreeMap<String, String>,
+    /// Prefixes of `use foo::*` globs (resolution evidence only).
+    pub globs: Vec<String>,
+    /// Names defined by items in this scope.
+    locals: BTreeSet<String>,
+}
+
+impl Scope {
+    /// Build a scope from the items directly inside one module body.
+    pub fn from_items(items: &[Item]) -> Scope {
+        let mut s = Scope::default();
+        for item in items {
+            match &item.kind {
+                ItemKind::Use(imports) => {
+                    for u in imports {
+                        if u.glob {
+                            s.globs.push(u.path.clone());
+                        } else {
+                            s.imports.insert(u.alias.clone(), u.path.clone());
+                        }
+                    }
+                }
+                ItemKind::Impl(_) => {}
+                _ => {
+                    if let Some(name) = &item.name {
+                        s.locals.insert(name.clone());
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+/// A stack of scopes, innermost last.
+#[derive(Debug, Default, Clone)]
+pub struct Ctx {
+    stack: Vec<Scope>,
+}
+
+/// Canonicalize a path's crate root: `core`/`alloc` types the rules care
+/// about all re-export through `std`.
+fn canonical(path: &str) -> String {
+    for prefix in ["core::", "alloc::"] {
+        if let Some(rest) = path.strip_prefix(prefix) {
+            return format!("std::{rest}");
+        }
+    }
+    path.to_string()
+}
+
+impl Ctx {
+    /// Push a scope (entering a module body or fn body).
+    pub fn push(&mut self, scope: Scope) {
+        self.stack.push(scope);
+    }
+
+    /// Pop the innermost scope.
+    pub fn pop(&mut self) {
+        self.stack.pop();
+    }
+
+    /// Resolve a path written as segments (`["Instant", "now"]`) to its
+    /// origin. Only the first segment needs resolving; the rest rides
+    /// along.
+    pub fn resolve(&self, segs: &[&str]) -> Origin {
+        let Some(&first) = segs.first() else {
+            return Origin::Unknown;
+        };
+        match first {
+            "crate" | "self" | "super" => return Origin::Internal,
+            "std" | "core" | "alloc" => {
+                return Origin::Resolved(canonical(&segs.join("::")));
+            }
+            _ => {}
+        }
+        for scope in self.stack.iter().rev() {
+            if scope.locals.contains(first) {
+                return Origin::Local;
+            }
+            if let Some(path) = scope.imports.get(first) {
+                let mut full = path.clone();
+                for s in &segs[1..] {
+                    full.push_str("::");
+                    full.push_str(s);
+                }
+                // An import rooted in `crate`/`self`/`super` is internal.
+                let root = full.split("::").next().unwrap_or("");
+                if matches!(root, "crate" | "self" | "super") {
+                    return Origin::Internal;
+                }
+                return Origin::Resolved(canonical(&full));
+            }
+        }
+        Origin::Unknown
+    }
+
+    /// Convenience: resolve a single identifier.
+    pub fn resolve_ident(&self, name: &str) -> Origin {
+        self.resolve(&[name])
+    }
+}
+
+/// How a rule should react to a name after resolution: semantically
+/// confirmed, name-match fallback, or proven innocent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Resolution proves the banned path.
+    Confirmed,
+    /// No resolution evidence; the bare name matches (legacy recall).
+    NameMatch,
+    /// Resolution proves this is *not* the banned item.
+    Innocent,
+}
+
+/// Judge a written path (as segments) against a banned canonical path.
+///
+/// `banned` is a full path like `std::time::Instant`. A written path is
+/// confirmed when its resolution equals `banned` or a child of it
+/// (`std::time::Instant::now` confirms `std::time::Instant`). With an
+/// unknown root the judgement falls back to comparing the written
+/// trailing segments against the banned tail.
+pub fn judge(ctx: &Ctx, segs: &[&str], banned: &str) -> Verdict {
+    match ctx.resolve(segs) {
+        Origin::Resolved(full) => {
+            if full == banned || full.starts_with(&format!("{banned}::")) {
+                Verdict::Confirmed
+            } else {
+                Verdict::Innocent
+            }
+        }
+        Origin::Local | Origin::Internal => Verdict::Innocent,
+        Origin::Unknown => {
+            // Name fallback: the banned path's last segment must appear in
+            // the written path with any written prefix being a suffix of
+            // the banned prefix (`time::Instant` matches, `mytime::Instant`
+            // does not).
+            let banned_segs: Vec<&str> = banned.split("::").collect();
+            let Some(pos) = segs.iter().position(|s| Some(s) == banned_segs.last())
+            else {
+                return Verdict::Innocent;
+            };
+            let written_prefix = &segs[..pos];
+            let banned_prefix = &banned_segs[..banned_segs.len() - 1];
+            let ok = written_prefix.len() <= banned_prefix.len()
+                && banned_prefix
+                    .iter()
+                    .rev()
+                    .zip(written_prefix.iter().rev())
+                    .all(|(a, b)| a == b);
+            if ok {
+                Verdict::NameMatch
+            } else {
+                Verdict::Innocent
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::scan::scan;
+    use crate::tree::build;
+
+    fn ctx(src: &str) -> Ctx {
+        let file = parse(&build(&scan(src).toks));
+        let mut c = Ctx::default();
+        c.push(Scope::from_items(&file.items));
+        c
+    }
+
+    #[test]
+    fn imports_resolve() {
+        let c = ctx("use std::time::Instant;");
+        assert_eq!(
+            c.resolve(&["Instant"]),
+            Origin::Resolved("std::time::Instant".into())
+        );
+        assert_eq!(
+            c.resolve(&["Instant", "now"]),
+            Origin::Resolved("std::time::Instant::now".into())
+        );
+    }
+
+    #[test]
+    fn local_definitions_shadow_names() {
+        let c = ctx("pub struct Instant { t: f64 }");
+        assert_eq!(c.resolve(&["Instant"]), Origin::Local);
+        assert_eq!(judge(&c, &["Instant"], "std::time::Instant"), Verdict::Innocent);
+    }
+
+    #[test]
+    fn internal_imports_are_innocent() {
+        let c = ctx("use crate::virt::Instant;");
+        assert_eq!(judge(&c, &["Instant"], "std::time::Instant"), Verdict::Innocent);
+    }
+
+    #[test]
+    fn unknown_names_fall_back_to_name_matching() {
+        let c = ctx("fn unrelated() {}");
+        assert_eq!(judge(&c, &["Instant"], "std::time::Instant"), Verdict::NameMatch);
+        assert_eq!(
+            judge(&c, &["time", "Instant"], "std::time::Instant"),
+            Verdict::NameMatch
+        );
+        assert_eq!(
+            judge(&c, &["mytime", "Instant"], "std::time::Instant"),
+            Verdict::Innocent
+        );
+    }
+
+    #[test]
+    fn core_canonicalizes_to_std() {
+        let c = ctx("use core::time::Duration;");
+        assert_eq!(
+            c.resolve(&["Duration"]),
+            Origin::Resolved("std::time::Duration".into())
+        );
+    }
+
+    #[test]
+    fn aliased_import_keeps_origin() {
+        let c = ctx("use std::collections::HashMap as Map;");
+        assert_eq!(
+            c.resolve(&["Map"]),
+            Origin::Resolved("std::collections::HashMap".into())
+        );
+        // The alias is what's in scope; the bare name is unknown here.
+        assert_eq!(c.resolve(&["HashMap"]), Origin::Unknown);
+    }
+}

@@ -1,0 +1,195 @@
+//! Token trees: the lexer's flat stream grouped by `()`/`[]`/`{}`.
+//!
+//! This is the shape the AST layer parses items out of, and the shape the
+//! rule visitors walk: a function body is one `{}` group, a call's
+//! arguments one `()` group, an attribute's payload one `[]` group. Having
+//! delimiters matched once here means every later pass can reason about
+//! nesting without counting brackets.
+
+use crate::scan::{Tok, TokKind};
+
+/// One node of the token tree.
+#[derive(Debug, Clone)]
+pub enum Tree {
+    /// A non-delimiter token.
+    Leaf(Tok),
+    /// A delimited group and everything inside it.
+    Group(Group),
+}
+
+/// A delimited group: `( ... )`, `[ ... ]` or `{ ... }`.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// The opening delimiter: `(`, `[` or `{`.
+    pub delim: char,
+    /// Line of the opening delimiter.
+    pub line: u32,
+    /// Line of the closing delimiter (== `line` when unterminated).
+    pub close_line: u32,
+    /// Byte span covering the delimiters and everything between them.
+    pub lo: usize,
+    pub hi: usize,
+    pub trees: Vec<Tree>,
+}
+
+impl Tree {
+    /// The leaf token, if this is a leaf.
+    pub fn leaf(&self) -> Option<&Tok> {
+        match self {
+            Tree::Leaf(t) => Some(t),
+            Tree::Group(_) => None,
+        }
+    }
+
+    /// The group, if this is a group.
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Tree::Group(g) => Some(g),
+            Tree::Leaf(_) => None,
+        }
+    }
+
+    /// The identifier text, if this is an identifier leaf.
+    pub fn ident(&self) -> Option<&str> {
+        self.leaf().and_then(Tok::ident)
+    }
+
+    /// True when this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True when this is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.leaf().is_some_and(|t| t.is_punct(c))
+    }
+
+    /// True when this is a group opened by `delim`.
+    pub fn is_group(&self, delim: char) -> bool {
+        self.group().is_some_and(|g| g.delim == delim)
+    }
+
+    /// The 1-based source line this tree starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group(g) => g.line,
+        }
+    }
+
+    /// Byte span start.
+    pub fn lo(&self) -> usize {
+        match self {
+            Tree::Leaf(t) => t.lo,
+            Tree::Group(g) => g.lo,
+        }
+    }
+
+    /// Byte span end.
+    pub fn hi(&self) -> usize {
+        match self {
+            Tree::Leaf(t) => t.hi,
+            Tree::Group(g) => g.hi,
+        }
+    }
+}
+
+fn closer(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        '{' => '}',
+        _ => unreachable!("not an open delimiter"),
+    }
+}
+
+/// Group a flat token stream into trees. Unbalanced delimiters are
+/// tolerated: a stray closer is dropped, an unterminated group closes at
+/// end of input — linting must degrade, not die, on half-edited files.
+pub fn build(toks: &[Tok]) -> Vec<Tree> {
+    let (trees, _) = build_until(toks, 0, None);
+    trees
+}
+
+fn build_until(toks: &[Tok], mut i: usize, until: Option<char>) -> (Vec<Tree>, usize) {
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let t = &toks[i];
+        match &t.kind {
+            TokKind::Punct(c @ ('(' | '[' | '{')) => {
+                let open = *c;
+                let open_tok = t.clone();
+                let (inner, next) = build_until(toks, i + 1, Some(closer(open)));
+                // `next` indexes the closer (or toks.len() if unterminated).
+                let (hi, close_line) = match toks.get(next) {
+                    Some(cl) => (cl.hi, cl.line),
+                    None => (
+                        inner.last().map_or(open_tok.hi, Tree::hi),
+                        inner.last().map_or(open_tok.line, Tree::line),
+                    ),
+                };
+                out.push(Tree::Group(Group {
+                    delim: open,
+                    line: open_tok.line,
+                    close_line,
+                    lo: open_tok.lo,
+                    hi,
+                    trees: inner,
+                }));
+                i = next.saturating_add(1).min(toks.len().saturating_add(1));
+                if next >= toks.len() {
+                    break;
+                }
+            }
+            TokKind::Punct(c @ (')' | ']' | '}')) => {
+                if until == Some(*c) {
+                    return (out, i);
+                }
+                // Stray closer: drop it.
+                i += 1;
+            }
+            _ => {
+                out.push(Tree::Leaf(t.clone()));
+                i += 1;
+            }
+        }
+    }
+    (out, toks.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn trees(src: &str) -> Vec<Tree> {
+        build(&scan(src).toks)
+    }
+
+    #[test]
+    fn groups_nest() {
+        let ts = trees("fn f(a: u32) { g([1, 2]); }");
+        // fn, f, (..), {..}
+        assert_eq!(ts.len(), 4);
+        assert!(ts[2].is_group('('));
+        let body = ts[3].group().unwrap();
+        assert_eq!(body.delim, '{');
+        // g ( [..] ) ;
+        assert!(body.trees.iter().any(|t| t.is_group('(')));
+    }
+
+    #[test]
+    fn unbalanced_input_does_not_panic() {
+        let _ = trees("fn f( { ) } ] extra");
+        let _ = trees("}}}");
+        let _ = trees("fn f( unterminated");
+    }
+
+    #[test]
+    fn spans_cover_groups() {
+        let src = "call(a, b)";
+        let ts = trees(src);
+        let g = ts[1].group().unwrap();
+        assert_eq!(&src[g.lo..g.hi], "(a, b)");
+    }
+}

@@ -1,0 +1,29 @@
+//! clock-leak fixture: wall-clock reads inside code that is already
+//! parameterized by the virtual Clock seam.
+use dqa_obs::Clock;
+use std::time::Instant;
+
+/// Mixing domains: the budget check reads the wall clock while the
+/// caller's deadline lives in virtual time.
+pub fn mixed(clock: &dyn Clock, budget_us: u64) -> bool {
+    let started = Instant::now();
+    let _virtual_now = clock.now();
+    started.elapsed().as_micros() as u64 <= budget_us
+}
+
+/// Waived (bridging code that intentionally samples both domains).
+pub fn bridge(clock: &dyn Clock) -> u64 {
+    // dqa-lint: allow(clock-leak)
+    let wall = Instant::now();
+    clock.now().saturating_add(wall.elapsed().as_micros() as u64)
+}
+
+/// Clean: a Clock-scoped fn that derives everything from the seam.
+pub fn pure_virtual(clock: &dyn Clock) -> u64 {
+    clock.now()
+}
+
+/// Clean: no virtual-clock evidence, so a wall read is fine here.
+pub fn wall_only() -> u64 {
+    Instant::now().elapsed().as_micros() as u64
+}

@@ -1,0 +1,49 @@
+//! hashmap-iter-order fixture: hash-order iteration through locals and
+//! self fields, plus the sanctioned sorted/BTree forms.
+use std::collections::{BTreeSet, HashMap};
+
+pub struct Index {
+    map: HashMap<String, u64>,
+}
+
+impl Index {
+    /// Hash order picks the entry: nondeterministic across runs.
+    pub fn any_entry(&self) -> Option<(&String, &u64)> {
+        for (k, v) in &self.map {
+            return Some((k, v));
+        }
+        None
+    }
+
+    /// Waived.
+    pub fn any_entry_waived(&self) -> Option<(&String, &u64)> {
+        // dqa-lint: allow(hashmap-iter-order)
+        for (k, v) in &self.map {
+            return Some((k, v));
+        }
+        None
+    }
+}
+
+pub fn first_key(m: &HashMap<String, u64>) -> Option<String> {
+    for (k, _v) in m.iter() {
+        return Some(k.clone());
+    }
+    None
+}
+
+/// Collecting into an ordered set before iterating is sanctioned.
+pub fn ordered_keys(m: &HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for k in m.keys().collect::<BTreeSet<_>>() {
+        out.push(k.clone());
+    }
+    out
+}
+
+/// Sorting after collecting is sanctioned too.
+pub fn sorted_values(m: &HashMap<String, u64>) -> Vec<u64> {
+    let mut vals: Vec<u64> = m.values().copied().collect();
+    vals.sort_unstable();
+    vals
+}

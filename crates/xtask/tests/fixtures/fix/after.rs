@@ -1,0 +1,17 @@
+//! --fix golden: the unordered-state family rewrites to BTree twins.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Table {
+    pub slots: BTreeMap<u64, u64>,
+    pub seen: BTreeSet<u64>,
+}
+
+pub fn build(n: u64) -> Table {
+    let mut slots: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut seen = BTreeSet::new();
+    for i in 0..n {
+        slots.insert(i, i * i);
+        seen.insert(i);
+    }
+    Table { slots, seen }
+}

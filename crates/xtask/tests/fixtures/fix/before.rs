@@ -1,0 +1,17 @@
+//! --fix golden: the unordered-state family rewrites to BTree twins.
+use std::collections::{HashMap, HashSet};
+
+pub struct Table {
+    pub slots: HashMap<u64, u64>,
+    pub seen: HashSet<u64>,
+}
+
+pub fn build(n: u64) -> Table {
+    let mut slots: HashMap<u64, u64> = HashMap::with_capacity(16);
+    let mut seen = HashSet::new();
+    for i in 0..n {
+        slots.insert(i, i * i);
+        seen.insert(i);
+    }
+    Table { slots, seen }
+}

@@ -19,7 +19,7 @@ fn violations_fixture_flags_each_rule_at_exact_lines() {
 
     let got: Vec<(&str, &str, u32, &str)> = diags
         .iter()
-        .map(|d| (d.file.as_str(), d.rule, d.line, d.matched))
+        .map(|d| (d.file.as_str(), d.rule, d.line, d.matched.as_str()))
         .collect();
     let sim = "crates/cluster-sim/src/lib.rs";
     let rt = "crates/dqa-runtime/src/lib.rs";
@@ -129,6 +129,141 @@ fn lexer_ignores_strings_comments_and_attr_tokens() {
         let diags = lint_source(krate, "crates/x/src/lib.rs", src);
         assert!(diags.is_empty(), "{krate}: false positives {diags:?}");
     }
+}
+
+#[test]
+fn deep_fixture_flags_each_new_rule_at_exact_lines() {
+    let (checked, diags) = run_lint(&fixture("deep")).expect("fixture lint");
+    assert_eq!(checked, 4, "deep fixture tree should contribute 4 source files");
+
+    let got: Vec<(&str, &str, u32, &str)> = diags
+        .iter()
+        .map(|d| (d.file.as_str(), d.rule, d.line, d.matched.as_str()))
+        .collect();
+    let want = vec![
+        (
+            "crates/clocky/src/lib.rs",
+            "clock-leak",
+            9,
+            "Instant::now()",
+        ),
+        (
+            "crates/guardy/src/lib.rs",
+            "blocking-under-guard",
+            9,
+            ".recv_timeout() while holding guardy::fn.m",
+        ),
+        (
+            "crates/hashy/src/lib.rs",
+            "hashmap-iter-order",
+            12,
+            "iteration over &self.map",
+        ),
+        (
+            "crates/hashy/src/lib.rs",
+            "hashmap-iter-order",
+            29,
+            "iteration over m.iter()",
+        ),
+        (
+            "crates/locky/src/lib.rs",
+            "lock-order",
+            15,
+            "locky::Pair.a -> locky::Pair.b",
+        ),
+        (
+            "crates/locky/src/lib.rs",
+            "lock-order",
+            21,
+            "locky::Pair.b -> locky::Pair.a",
+        ),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn deep_fixture_waived_and_clean_variants_stay_silent() {
+    let (_, diags) = run_lint(&fixture("deep")).expect("fixture lint");
+    // Each fixture file carries a pragma-waived twin of its violation and
+    // clean variants (consistent lock order, condvar hand-over,
+    // drop-before-block, BTree-collect, sort-after, wall-only fn). None
+    // of those lines may flag: locky past line 24 (ba_waived + cd pair),
+    // guardy past line 12 (waived stall, wait_ok, drop_first), hashy past
+    // line 17 (waived iteration + ordered forms), clocky past line 13
+    // (waived bridge, pure_virtual, wall_only).
+    // `allowed` lists the seeded violations that legitimately live past
+    // the floor (hashy's free-fn violation sits below its clean forms).
+    for (file, floor, allowed) in [
+        ("crates/locky/src/lib.rs", 24, &[][..]),
+        ("crates/guardy/src/lib.rs", 12, &[][..]),
+        ("crates/hashy/src/lib.rs", 17, &[29u32][..]),
+        ("crates/clocky/src/lib.rs", 13, &[][..]),
+    ] {
+        assert!(
+            diags
+                .iter()
+                .all(|d| !(d.file == file && d.line >= floor && !allowed.contains(&d.line))),
+            "waived/clean variant flagged in {file}: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn fix_golden_rewrites_hash_state_to_btree() {
+    let before = std::fs::read_to_string(fixture("fix/before.rs")).expect("before fixture");
+    let after = std::fs::read_to_string(fixture("fix/after.rs")).expect("after fixture");
+    let analysis = xtask::analyze_source("scheduler", "crates/scheduler/src/state.rs", &before);
+    let (fixed, n) = xtask::fix::apply(&before, &analysis.fixes);
+    assert!(n >= 6, "expected >=6 mechanical edits, got {n}");
+    assert_eq!(fixed, after, "--fix output must match the golden after file");
+    // The rewritten file must lint clean.
+    let diags = lint_source("scheduler", "crates/scheduler/src/state.rs", &fixed);
+    assert!(diags.is_empty(), "diags after fix: {diags:?}");
+    // And the fixed point: fixing the clean file changes nothing.
+    let again = xtask::analyze_source("scheduler", "crates/scheduler/src/state.rs", &after);
+    assert!(again.fixes.is_empty(), "fix must be idempotent: {:?}", again.fixes);
+}
+
+#[test]
+fn item_scoped_allow_pragma_waives_the_whole_item() {
+    let src = "\
+// dqa-lint: allow(runtime-panic)
+pub fn noisy(x: Option<u64>) -> u64 {
+    let a = x.unwrap();
+    let b = x.expect(\"still waived\");
+    a + b
+}
+
+pub fn other(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+";
+    let diags = lint_source("dqa-runtime", "crates/dqa-runtime/src/x.rs", src);
+    // Only `other`'s unwrap may flag: the pragma above `noisy` covers
+    // every line of that item.
+    assert_eq!(diags.len(), 1, "diags: {diags:?}");
+    assert_eq!(diags[0].line, 9);
+}
+
+#[test]
+fn resolution_kills_shadowed_name_false_positives() {
+    // A virtual-time crate defining its *own* Instant (the whole point of
+    // virtual time) must not trip wall-clock; same for an internal import.
+    let src = "\
+pub struct Instant {
+    pub ticks: u64,
+}
+
+pub fn now(clock_ticks: u64) -> Instant {
+    Instant { ticks: clock_ticks }
+}
+";
+    let diags = lint_source("cluster-sim", "crates/cluster-sim/src/time.rs", src);
+    assert!(diags.is_empty(), "local Instant flagged: {diags:?}");
+
+    let src2 = "use crate::virt::Instant;\npub fn t() -> Instant { Instant::default() }\n";
+    let diags2 = lint_source("cluster-sim", "crates/cluster-sim/src/t.rs", src2);
+    assert!(diags2.is_empty(), "internal Instant import flagged: {diags2:?}");
 }
 
 #[test]
