@@ -1,0 +1,398 @@
+//! Federation chaos soak: drive the broker tier through shard loss,
+//! shard partitions and broker crashes on *both* backends — the
+//! virtual-time mirror (`federation::sim`) and the thread runtime
+//! (`federation::FederationBroker`) — and assert the partial-failure
+//! contract end to end:
+//!
+//! 1. **Conservation** — every offered question leaves exactly one way:
+//!    merged (possibly with degraded coverage) or rejected with a
+//!    retry-after hint. Never an error, never a silent drop.
+//! 2. **Determinism** — running any DES configuration twice yields
+//!    bit-identical reports (`PartialEq` over every record, plus a
+//!    splitmix64 digest of every shard decision).
+//! 3. **Partial-failure tolerance** — with any single shard crashed or
+//!    partitioned, every admitted question still yields a merged answer
+//!    with coverage < 1.0 at worst; a transient broker crash delays
+//!    questions instead of losing them.
+//! 4. **Observability** — the runtime burst demo across ≥ 2 shards must
+//!    surface hedge / merge / coverage counters in the broker registry.
+//!
+//! On a violation the per-run summaries are dumped to `--trace-out`
+//! (default `target/federation_soak_trace.txt`) and the process exits
+//! non-zero; the CI federation job uploads the dump as an artifact.
+//! `--bench-out` writes the schema-v1 `BENCH_7.json` perf point: goodput
+//! and merged-answer p99 at 1, 2 and 4 shards.
+//!
+//! `--ci` runs the short fixed-seed configuration sized for a per-commit
+//! gate.
+
+use bench::fixtures::QaFixture;
+use dqa_obs::{names, MetricsRegistry};
+use faults::FaultSchedule;
+use federation::{
+    run_fed_sim, FedSimConfig, FedSimReport, FederatedAdmission, FederationBroker, FederationConfig,
+};
+use qa_types::QuestionOutcome;
+
+struct Args {
+    ci: bool,
+    seed: u64,
+    trace_out: String,
+    metrics_out: Option<String>,
+    bench_out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ci: false,
+        seed: 7001,
+        trace_out: "target/federation_soak_trace.txt".into(),
+        metrics_out: None,
+        bench_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ci" => args.ci = true,
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
+            "--trace-out" => {
+                if let Some(p) = it.next() {
+                    args.trace_out = p;
+                }
+            }
+            "--metrics-out" => args.metrics_out = it.next(),
+            "--bench-out" => args.bench_out = it.next(),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: federation_soak [--ci] [--seed N] \
+                     [--trace-out PATH] [--metrics-out PATH] [--bench-out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One named fault schedule of the DES sweep.
+struct Scenario {
+    name: &'static str,
+    schedule: fn(u64) -> FaultSchedule,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "clean",
+        schedule: FaultSchedule::seeded,
+    },
+    Scenario {
+        name: "shard-loss",
+        schedule: |seed| FaultSchedule::seeded(seed).shard_down(0, 0.0),
+    },
+    Scenario {
+        name: "shard-partition",
+        schedule: |seed| FaultSchedule::seeded(seed).shard_partition(0, 4.0, 12.0),
+    },
+    Scenario {
+        name: "broker-crash",
+        schedule: |seed| FaultSchedule::seeded(seed).broker_crash_rejoin(3.0, 9.0),
+    },
+];
+
+/// Run one DES configuration twice and check determinism + conservation.
+/// Returns the first report alongside a one-line summary.
+fn run_des_scenario(
+    shards: usize,
+    questions: usize,
+    seed: u64,
+    scenario: &Scenario,
+    violations: &mut Vec<String>,
+) -> (FedSimReport, String) {
+    let mut cfg = FedSimConfig::new(shards, questions, seed);
+    cfg.faults = (scenario.schedule)(seed);
+    let report = run_fed_sim(&cfg);
+    let replay = run_fed_sim(&cfg);
+    let tag = format!("des {}x{} [{}]", shards, questions, scenario.name);
+    if report != replay || report.digest != replay.digest {
+        violations.push(format!(
+            "{tag}: double run diverged (digest {:#018x} vs {:#018x})",
+            report.digest, replay.digest
+        ));
+    }
+    if !report.conserved() {
+        violations.push(format!(
+            "{tag}: conservation broken — {} merged + {} rejected of {} offered",
+            report.merges,
+            report.rejected,
+            report.questions.len()
+        ));
+    }
+    match scenario.name {
+        // Losing one member of a multi-shard federation degrades
+        // coverage; it must never reject or drop.
+        "shard-loss" | "shard-partition" if shards > 1 => {
+            if report.rejected > 0 {
+                violations.push(format!(
+                    "{tag}: single-shard fault caused {} rejection(s)",
+                    report.rejected
+                ));
+            }
+            if report
+                .questions
+                .iter()
+                .any(|q| q.responders == 0 || q.coverage.fraction() <= 0.0)
+            {
+                violations.push(format!("{tag}: a question lost every shard"));
+            }
+        }
+        // A transient broker crash holds arrivals; nothing is refused
+        // and nothing starts inside the outage window.
+        "broker-crash" => {
+            if report.rejected > 0 {
+                violations.push(format!(
+                    "{tag}: transient broker crash rejected {} question(s)",
+                    report.rejected
+                ));
+            }
+            if report
+                .questions
+                .iter()
+                .any(|q| q.arrival >= 3.0 && q.arrival < 9.0)
+            {
+                violations.push(format!("{tag}: a question started inside the outage"));
+            }
+        }
+        _ => {}
+    }
+    let counts = report.outcome_counts();
+    let summary = format!(
+        "{tag}: {} answered / {} degraded / {} rejected, {} hedge(s), \
+         {} shortfall(s), p99 {:.1} s, digest {:#018x}",
+        counts.answered,
+        counts.degraded,
+        counts.rejected,
+        report.hedges,
+        report.quorum_shortfalls,
+        report.merged_response_percentile(0.99),
+        report.digest
+    );
+    (report, summary)
+}
+
+/// Thread-runtime burst demo: a real broker over ≥ 2 shard clusters with
+/// shard 0 injected down, an aggressive hedge floor, and one concurrent
+/// burst. Asserts the merge/coverage contract and that the federation
+/// counters are visible in the broker registry.
+fn run_runtime_demo(args: &Args, violations: &mut Vec<String>) -> (MetricsRegistry, Vec<String>) {
+    let burst = if args.ci { 4 } else { 8 };
+    let fixture = QaFixture::small(args.seed, burst);
+    let registry = MetricsRegistry::new();
+    let mut cfg = FederationConfig::new(2);
+    cfg.nodes_per_shard = if args.ci { 1 } else { 2 };
+    cfg.metrics = Some(registry.clone());
+    // Hedge floor 0: every cold shard hedges, so the counters light up.
+    cfg.policy = cfg.policy.with_hedge_after(0.0);
+    // Shard 0 is dark from t = 0 — the single-member-loss drill.
+    cfg.faults = FaultSchedule::seeded(args.seed).shard_down(0, 0.0);
+    let broker = FederationBroker::start(
+        &fixture.corpus.documents,
+        fixture.corpus.config.sub_collections,
+        cfg,
+    );
+    let questions: Vec<_> = fixture.questions[..burst]
+        .iter()
+        .map(|gq| gq.question.clone())
+        .collect();
+    let results = broker.ask_many(&questions);
+    let mut lines = Vec::new();
+    if results.len() != burst {
+        violations.push(format!(
+            "runtime: {} result(s) for {} offered — silent drop",
+            results.len(),
+            burst
+        ));
+    }
+    for (i, admission) in results.iter().enumerate() {
+        match admission {
+            FederatedAdmission::Answered(ans) => {
+                if ans.coverage.fraction() >= 1.0 {
+                    violations.push(format!(
+                        "runtime q{i}: full coverage reported with shard 0 down"
+                    ));
+                }
+                let responders = ans.shards.iter().filter(|s| s.status.responded()).count();
+                if responders == 0 {
+                    violations.push(format!("runtime q{i}: merged answer with zero responders"));
+                }
+                lines.push(format!(
+                    "runtime q{i}: {:?}, {responders}/{} shard(s), coverage {:.2}, {:.3} s",
+                    admission.outcome(),
+                    ans.shards.len(),
+                    ans.coverage.fraction(),
+                    ans.latency_secs
+                ));
+            }
+            FederatedAdmission::Rejected { retry_after } => {
+                violations.push(format!(
+                    "runtime q{i}: rejected (retry {retry_after:?}) under a permissive policy"
+                ));
+            }
+        }
+    }
+    if results
+        .iter()
+        .any(|r| r.outcome() == QuestionOutcome::Answered)
+    {
+        violations.push("runtime: an answer claimed full coverage with shard 0 down".into());
+    }
+    broker.shutdown();
+    let snap = registry.snapshot();
+    let merges = snap.counter(names::MERGES_TOTAL);
+    let rejected = snap.counter(&dqa_obs::metric_key(
+        names::QUESTIONS_TOTAL,
+        &[("outcome", "rejected")],
+    ));
+    if merges + rejected != burst as u64 {
+        violations.push(format!(
+            "runtime: counter conservation broken — {merges} merge(s) + {rejected} \
+             rejection(s) of {burst} offered"
+        ));
+    }
+    if snap.counter(names::HEDGES_TOTAL) == 0 {
+        violations.push("runtime: zero-floor hedging never fired".into());
+    }
+    if !snap
+        .counters
+        .keys()
+        .any(|k| k.starts_with(names::SHARD_REQUESTS_TOTAL))
+    {
+        violations.push("runtime: no per-shard request counters exported".into());
+    }
+    lines.push(format!(
+        "runtime counters: {merges} merge(s), {} shortfall(s), {} hedge(s) ({} won)",
+        snap.counter(names::QUORUM_SHORTFALLS_TOTAL),
+        snap.counter(names::HEDGES_TOTAL),
+        snap.counter(names::HEDGE_WINS_TOTAL),
+    ));
+    (registry, lines)
+}
+
+/// Schema-v1 `BENCH_7.json`: goodput and merged-answer p99 at 1/2/4
+/// shards on the clean schedule.
+fn render_bench_json(args: &Args, points: &[(usize, FedSimReport)]) -> String {
+    let body = points
+        .iter()
+        .map(|(shards, r)| {
+            let counts = r.outcome_counts();
+            format!(
+                "{{\"shards\":{shards},\"offered\":{},\"answered\":{},\"degraded\":{},\
+                 \"rejected\":{},\"goodput\":{:.4},\"merged_p99_s\":{:.4},\
+                 \"hedges\":{},\"quorum_shortfalls\":{}}}",
+                r.questions.len(),
+                counts.answered,
+                counts.degraded,
+                counts.rejected,
+                counts.goodput(),
+                r.merged_response_percentile(0.99),
+                r.hedges,
+                r.quorum_shortfalls
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"bench\":\"federation_soak\",\"schema\":1,\"seed\":{},\"ci\":{},\
+         \"points\":[{body}]}}\n",
+        args.seed, args.ci
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let questions = if args.ci { 12 } else { 40 };
+    let shard_counts: &[usize] = &[1, 2, 4];
+
+    let mut violations = Vec::new();
+    let mut summaries = Vec::new();
+    let mut clean_points = Vec::new();
+    println!(
+        "Federation soak — seed {}, {questions} question(s) per DES run\n",
+        args.seed
+    );
+    for &shards in shard_counts {
+        for scenario in SCENARIOS {
+            // Shard faults need a second member to pick up the slack;
+            // the 1-shard column only runs the clean + broker schedules.
+            if shards == 1 && scenario.name.starts_with("shard") {
+                continue;
+            }
+            let (report, summary) =
+                run_des_scenario(shards, questions, args.seed, scenario, &mut violations);
+            println!("  {summary}");
+            summaries.push(summary);
+            if scenario.name == "clean" {
+                clean_points.push((shards, report));
+            }
+        }
+    }
+
+    println!();
+    let (registry, lines) = run_runtime_demo(&args, &mut violations);
+    for line in &lines {
+        println!("  {line}");
+        summaries.push(line.clone());
+    }
+
+    if let Some(path) = &args.metrics_out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, registry.snapshot().to_json()) {
+            Ok(()) => println!("\n  metrics snapshot written to {path}"),
+            Err(e) => {
+                eprintln!("federation-soak: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &args.bench_out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, render_bench_json(&args, &clean_points)) {
+            Ok(()) => println!("  bench summary written to {path}"),
+            Err(e) => {
+                eprintln!("federation-soak: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if !violations.is_empty() {
+        let mut dump = String::new();
+        for v in &violations {
+            eprintln!("federation-soak VIOLATION: {v}");
+            dump.push_str(&format!("VIOLATION: {v}\n"));
+        }
+        dump.push_str("\n--- run summaries ---\n");
+        for s in &summaries {
+            dump.push_str(s);
+            dump.push('\n');
+        }
+        if let Some(dir) = std::path::Path::new(&args.trace_out).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&args.trace_out, dump) {
+            eprintln!("federation-soak: cannot write {}: {e}", args.trace_out);
+        } else {
+            eprintln!("federation-soak: summaries dumped to {}", args.trace_out);
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "\n  invariants held: conservation on every schedule, double runs \
+         bit-identical, single-member faults degrade coverage without loss, \
+         federation counters visible"
+    );
+}

@@ -799,6 +799,13 @@ impl QaSimulation {
                             t.push((from, FaultAction::PartitionStart));
                             t.push((until, FaultAction::PartitionEnd));
                         }
+                        // Federation faults address the broker tier above
+                        // this per-shard simulation: the `federation`
+                        // crate's virtual-time mirror consumes them, a
+                        // single-coordinator run has no shard to lose.
+                        FaultEvent::ShardDown { .. }
+                        | FaultEvent::ShardPartition { .. }
+                        | FaultEvent::BrokerCrash { .. } => {}
                     }
                 }
                 // Stable sort: same-time actions apply in config order,

@@ -78,6 +78,14 @@ pub struct DqaMetrics {
     pub recovery_seconds: Histogram,
     /// `dqa_leader_term` — coordinator term in force.
     pub leader_term: Gauge,
+    /// `dqa_hedges_total` — hedged shard retries issued by the broker.
+    pub hedges: Counter,
+    /// `dqa_hedge_wins_total` — hedged replies that beat the primary.
+    pub hedge_wins: Counter,
+    /// `dqa_merges_total` — scatter-gathered questions merged.
+    pub merges: Counter,
+    /// `dqa_quorum_shortfalls_total` — merges below the shard quorum.
+    pub quorum_shortfalls: Counter,
 }
 
 impl DqaMetrics {
@@ -120,6 +128,10 @@ impl DqaMetrics {
             resumed_questions: registry.counter(names::RESUMED_QUESTIONS_TOTAL, &[]),
             recovery_seconds: registry.histogram(names::RECOVERY_SECONDS, &[]),
             leader_term: registry.gauge(names::LEADER_TERM, &[]),
+            hedges: registry.counter(names::HEDGES_TOTAL, &[]),
+            hedge_wins: registry.counter(names::HEDGE_WINS_TOTAL, &[]),
+            merges: registry.counter(names::MERGES_TOTAL, &[]),
+            quorum_shortfalls: registry.counter(names::QUORUM_SHORTFALLS_TOTAL, &[]),
             registry: registry.clone(),
         }
     }
@@ -142,6 +154,27 @@ impl DqaMetrics {
     pub fn queue_depth(&self, node: u32) -> Gauge {
         self.registry
             .gauge(names::QUEUE_DEPTH, &[("node", &node.to_string())])
+    }
+
+    /// Broker-side per-shard request counter (`status` is a
+    /// `qa_types::ShardStatus` label such as `"answered"`).
+    pub fn shard_requests(&self, shard: u32, status: &str) -> Counter {
+        self.registry.counter(
+            names::SHARD_REQUESTS_TOTAL,
+            &[("shard", &shard.to_string()), ("status", status)],
+        )
+    }
+
+    /// Broker-observed latency histogram for one shard.
+    pub fn shard_seconds(&self, shard: u32) -> Histogram {
+        self.registry
+            .histogram(names::SHARD_SECONDS, &[("shard", &shard.to_string())])
+    }
+
+    /// Breaker-state gauge for one shard (1 = open, 0 = closed).
+    pub fn shard_breaker_open(&self, shard: u32) -> Gauge {
+        self.registry
+            .gauge(names::SHARD_BREAKER_OPEN, &[("shard", &shard.to_string())])
     }
 
     /// The per-module histogram for a Fig. 3 module name (`"QP"`, `"PR"`,
@@ -172,6 +205,13 @@ mod tests {
         m.fenced_grants.inc();
         m.recovery_seconds.observe(0.25);
         m.leader_term.set(2.0);
+        m.hedges.inc();
+        m.hedge_wins.inc();
+        m.merges.inc();
+        m.quorum_shortfalls.inc();
+        m.shard_requests(1, "answered").inc();
+        m.shard_seconds(1).observe(0.05);
+        m.shard_breaker_open(1).set(1.0);
         let snap = reg.snapshot();
         assert_eq!(
             snap.counter(r#"dqa_questions_total{outcome="answered"}"#),
@@ -186,6 +226,18 @@ mod tests {
         assert_eq!(snap.gauges["dqa_leader_term"], 2.0);
         assert_eq!(snap.gauges[r#"dqa_node_load{module="PR",node="2"}"#], 1.5);
         assert_eq!(snap.gauges[r#"dqa_queue_depth{node="2"}"#], 3.0);
+        assert_eq!(snap.counter("dqa_hedges_total"), 1);
+        assert_eq!(snap.counter("dqa_hedge_wins_total"), 1);
+        assert_eq!(snap.counter("dqa_merges_total"), 1);
+        assert_eq!(snap.counter("dqa_quorum_shortfalls_total"), 1);
+        assert_eq!(
+            snap.counter(r#"dqa_shard_requests_total{shard="1",status="answered"}"#),
+            1
+        );
+        assert!(snap
+            .histograms
+            .contains_key(r#"dqa_shard_seconds{shard="1"}"#));
+        assert_eq!(snap.gauges[r#"dqa_shard_breaker_open{shard="1"}"#], 1.0);
         // The exposition must validate (CI smoke requirement).
         crate::validate_prometheus(&snap.to_prometheus()).expect("valid");
     }

@@ -71,6 +71,13 @@ pub use snapshot::{
 /// | `dqa_resumed_questions_total` | counter | — (in-flight questions resumed) |
 /// | `dqa_recovery_seconds` | histogram | — (crash → resumed latency) |
 /// | `dqa_leader_term` | gauge | — (current coordinator term) |
+/// | `dqa_shard_requests_total` | counter | `shard`, `status` = `qa_types::ShardStatus` labels |
+/// | `dqa_shard_seconds` | histogram | `shard` (broker-observed shard latency) |
+/// | `dqa_shard_breaker_open` | gauge | `shard` (1 while the shard breaker is open) |
+/// | `dqa_hedges_total` | counter | — (hedged shard retries issued) |
+/// | `dqa_hedge_wins_total` | counter | — (hedged replies that beat the primary) |
+/// | `dqa_merges_total` | counter | — (scatter-gathered questions merged) |
+/// | `dqa_quorum_shortfalls_total` | counter | — (merges below the quorum) |
 pub mod names {
     /// Per-module latency histogram (Table 8). Label `module`.
     pub const MODULE_SECONDS: &str = "dqa_module_seconds";
@@ -117,4 +124,18 @@ pub mod names {
     pub const RECOVERY_SECONDS: &str = "dqa_recovery_seconds";
     /// The coordinator term currently in force (fencing token).
     pub const LEADER_TERM: &str = "dqa_leader_term";
+    /// Broker-side per-shard request ledger. Labels `shard`, `status`.
+    pub const SHARD_REQUESTS_TOTAL: &str = "dqa_shard_requests_total";
+    /// Broker-observed per-shard response latency. Label `shard`.
+    pub const SHARD_SECONDS: &str = "dqa_shard_seconds";
+    /// 1 while a shard's circuit breaker is open. Label `shard`.
+    pub const SHARD_BREAKER_OPEN: &str = "dqa_shard_breaker_open";
+    /// Hedged shard retries issued by the broker.
+    pub const HEDGES_TOTAL: &str = "dqa_hedges_total";
+    /// Hedged replies used instead of the primary's.
+    pub const HEDGE_WINS_TOTAL: &str = "dqa_hedge_wins_total";
+    /// Scatter-gathered questions merged into a federation answer.
+    pub const MERGES_TOTAL: &str = "dqa_merges_total";
+    /// Merges that closed below the configured shard quorum.
+    pub const QUORUM_SHORTFALLS_TOTAL: &str = "dqa_quorum_shortfalls_total";
 }

@@ -67,8 +67,15 @@ impl ChaosDriver {
                 // worker node's availability: the failover harness
                 // (crate::failover + tests/coordinator_failover.rs)
                 // exercises them against the journal, so the board-level
-                // chaos thread has nothing to flip.
-                FaultEvent::CoordinatorCrash { .. } | FaultEvent::LeaderPartition { .. } => {}
+                // chaos thread has nothing to flip. Federation faults
+                // (shard loss/partition, broker crash) likewise live one
+                // tier up: the `federation` broker consumes them against
+                // whole coordinator shards.
+                FaultEvent::CoordinatorCrash { .. }
+                | FaultEvent::LeaderPartition { .. }
+                | FaultEvent::ShardDown { .. }
+                | FaultEvent::ShardPartition { .. }
+                | FaultEvent::BrokerCrash { .. } => {}
             }
         }
         timeline.sort_by(|a, b| a.0.total_cmp(&b.0));

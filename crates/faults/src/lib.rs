@@ -76,6 +76,45 @@ pub enum FaultEvent {
         /// Partition end (seconds).
         until: f64,
     },
+    /// A whole coordinator *shard* behind the federation broker goes down
+    /// at `at`: its coordinator, nodes and replica stop answering. With
+    /// `rejoin = Some(t)` the shard serves again from `t`. Questions
+    /// scattered while the shard is down (or in flight across the window)
+    /// lose that shard's partial answer — the broker degrades federation
+    /// coverage, it never fails the question. Per-shard sims and the
+    /// board-level chaos driver ignore this event: only the broker tier
+    /// consumes it.
+    ShardDown {
+        /// Shard index within the federation.
+        shard: u32,
+        /// Failure time (seconds).
+        at: f64,
+        /// Optional time the shard serves again.
+        rejoin: Option<f64>,
+    },
+    /// The broker is partitioned from shard `shard` in `[from, until)`:
+    /// the shard keeps running but its replies cannot reach the broker,
+    /// which is indistinguishable (to the broker) from the shard being
+    /// down — except the shard needs no recovery when the window closes.
+    ShardPartition {
+        /// Shard index within the federation.
+        shard: u32,
+        /// Partition start (seconds).
+        from: f64,
+        /// Partition end (seconds).
+        until: f64,
+    },
+    /// The federation broker itself crashes at `at`. With
+    /// `rejoin = Some(t)` a restarted broker resumes service at `t` and
+    /// questions arriving inside the outage are *held* and re-offered at
+    /// the rejoin (never lost); a permanent crash turns every later
+    /// arrival into an honest rejection with a retry hint.
+    BrokerCrash {
+        /// Crash time (seconds).
+        at: f64,
+        /// Optional time the restarted broker serves again.
+        rejoin: Option<f64>,
+    },
 }
 
 /// Per-message link-fault probabilities. Applied independently to every
@@ -214,6 +253,54 @@ impl FaultSchedule {
         debug_assert!(until > from, "partition window must be non-empty");
         self.events
             .push(FaultEvent::LeaderPartition { from, until });
+        self
+    }
+
+    /// Add a permanent federation-shard crash at `at`.
+    pub fn shard_down(mut self, shard: u32, at: f64) -> Self {
+        self.events.push(FaultEvent::ShardDown {
+            shard,
+            at,
+            rejoin: None,
+        });
+        self
+    }
+
+    /// Add a transient federation-shard crash: down at `at`, serving
+    /// again at `rejoin`.
+    pub fn shard_down_rejoin(mut self, shard: u32, at: f64, rejoin: f64) -> Self {
+        debug_assert!(rejoin > at, "rejoin must follow the crash");
+        self.events.push(FaultEvent::ShardDown {
+            shard,
+            at,
+            rejoin: Some(rejoin),
+        });
+        self
+    }
+
+    /// Add a broker↔shard partition window `[from, until)`.
+    pub fn shard_partition(mut self, shard: u32, from: f64, until: f64) -> Self {
+        debug_assert!(until > from, "partition window must be non-empty");
+        self.events
+            .push(FaultEvent::ShardPartition { shard, from, until });
+        self
+    }
+
+    /// Add a transient federation-broker crash: down at `at`, back
+    /// (holding and re-offering the outage's arrivals) at `rejoin`.
+    pub fn broker_crash_rejoin(mut self, at: f64, rejoin: f64) -> Self {
+        debug_assert!(rejoin > at, "rejoin must follow the crash");
+        self.events.push(FaultEvent::BrokerCrash {
+            at,
+            rejoin: Some(rejoin),
+        });
+        self
+    }
+
+    /// Add a permanent federation-broker crash at `at`: later arrivals
+    /// are rejected with a retry hint, never silently dropped.
+    pub fn broker_crash(mut self, at: f64) -> Self {
+        self.events.push(FaultEvent::BrokerCrash { at, rejoin: None });
         self
     }
 
@@ -437,6 +524,44 @@ mod tests {
             }
         );
         // Schedules with coordinator faults still serialize round-trip.
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn federation_fault_builders() {
+        let s = FaultSchedule::seeded(13)
+            .shard_down(0, 4.0)
+            .shard_down_rejoin(1, 6.0, 18.0)
+            .shard_partition(2, 10.0, 20.0)
+            .broker_crash_rejoin(30.0, 40.0)
+            .broker_crash(90.0);
+        assert_eq!(s.events.len(), 5);
+        assert!(!s.is_clean());
+        assert_eq!(
+            s.events[0],
+            FaultEvent::ShardDown {
+                shard: 0,
+                at: 4.0,
+                rejoin: None
+            }
+        );
+        assert_eq!(
+            s.events[2],
+            FaultEvent::ShardPartition {
+                shard: 2,
+                from: 10.0,
+                until: 20.0
+            }
+        );
+        assert_eq!(
+            s.events[3],
+            FaultEvent::BrokerCrash {
+                at: 30.0,
+                rejoin: Some(40.0)
+            }
+        );
         let json = serde_json::to_string(&s).unwrap();
         let back: FaultSchedule = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);

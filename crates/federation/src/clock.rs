@@ -1,0 +1,30 @@
+//! The broker tier's single sanctioned wall-clock source.
+//!
+//! Like `dqa-runtime`, this crate is covered by the `raw-instant` dqa-lint
+//! rule: every `Instant` is constructed through [`now_instant`], so the
+//! wall-time/virtual-time boundary stays auditable — the DES mirror in
+//! [`crate::sim`] must never read wall time, and the thread-backed broker
+//! reads it *here*.
+
+use std::time::Instant;
+
+/// The one place in `federation` allowed to read the wall clock.
+///
+/// Holding, comparing and adding to `Instant` values remains legal
+/// everywhere; only *construction* is funnelled through this function.
+pub fn now_instant() -> Instant {
+    // dqa-lint: allow(raw-instant)
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_instant_is_monotone() {
+        let a = now_instant();
+        let b = now_instant();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-shard latency estimation for the hedge trigger.
+//!
+//! The broker hedges a shard request when the primary is slower than the
+//! shard's estimated tail latency. The estimate is Jacobson/Karels-style:
+//! an exponentially weighted mean plus a multiple of the mean absolute
+//! deviation — the same smoothed-mean-plus-k·deviation shape TCP uses for
+//! its retransmission timer, and the cheapest online stand-in for a p99.
+//! One implementation serves both backends: the runtime feeds it observed
+//! wall seconds, the DES mirror feeds it virtual seconds, and in both the
+//! update sequence is deterministic given the sample sequence.
+
+use std::sync::Mutex;
+
+/// Smoothing gain for the mean (1/8, Jacobson's alpha).
+const GAIN_MEAN: f64 = 0.125;
+/// Smoothing gain for the deviation (1/4, Jacobson's beta).
+const GAIN_DEV: f64 = 0.25;
+/// Deviation multiplier: mean + 4·dev approximates the upper tail.
+const TAIL_K: f64 = 4.0;
+/// Samples required before the estimate is trusted over the floor.
+const WARMUP: u64 = 3;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct State {
+    mean: f64,
+    dev: f64,
+    samples: u64,
+}
+
+/// EWMA tail-latency estimator for one shard.
+#[derive(Debug, Default)]
+pub struct LatencyEstimator {
+    state: Mutex<State>,
+}
+
+impl LatencyEstimator {
+    /// A cold estimator (trusts the configured floor until warmed up).
+    pub fn new() -> LatencyEstimator {
+        LatencyEstimator::default()
+    }
+
+    /// Record one observed shard response time, seconds.
+    pub fn observe(&self, sample_secs: f64) {
+        let s = sample_secs.max(0.0);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.samples == 0 {
+            st.mean = s;
+            st.dev = s / 2.0;
+        } else {
+            let err = s - st.mean;
+            st.mean += GAIN_MEAN * err;
+            st.dev += GAIN_DEV * (err.abs() - st.dev);
+        }
+        st.samples += 1;
+    }
+
+    /// The current tail estimate (mean + 4·dev), `None` until warmed up.
+    pub fn tail_secs(&self) -> Option<f64> {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        (st.samples >= WARMUP).then(|| st.mean + TAIL_K * st.dev)
+    }
+
+    /// The hedge trigger: the tail estimate, never below `floor_secs`.
+    pub fn hedge_trigger(&self, floor_secs: f64) -> f64 {
+        match self.tail_secs() {
+            Some(t) => t.max(floor_secs),
+            None => floor_secs,
+        }
+    }
+
+    /// Samples observed so far.
+    pub fn samples(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_estimator_returns_the_floor() {
+        let e = LatencyEstimator::new();
+        assert_eq!(e.tail_secs(), None);
+        assert!((e.hedge_trigger(0.25) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmed_estimator_tracks_the_tail_above_the_mean() {
+        let e = LatencyEstimator::new();
+        for _ in 0..10 {
+            e.observe(0.1);
+        }
+        let t = e.tail_secs().expect("warmed");
+        assert!(t >= 0.1, "tail at least the steady mean, got {t}");
+        // A stable stream keeps the trigger near the mean, so a 10x
+        // straggler clearly exceeds it.
+        assert!(t < 0.5, "stable stream keeps the tail tight, got {t}");
+        assert!(e.hedge_trigger(0.0) > 0.0);
+    }
+
+    #[test]
+    fn deviation_widens_the_trigger_under_jitter() {
+        let steady = LatencyEstimator::new();
+        let jittery = LatencyEstimator::new();
+        for i in 0..20 {
+            steady.observe(0.1);
+            jittery.observe(if i % 2 == 0 { 0.02 } else { 0.18 });
+        }
+        let s = steady.tail_secs().expect("warmed");
+        let j = jittery.tail_secs().expect("warmed");
+        assert!(j > s, "jitter must widen the tail: {j} <= {s}");
+    }
+
+    #[test]
+    fn update_sequence_is_deterministic() {
+        let a = LatencyEstimator::new();
+        let b = LatencyEstimator::new();
+        for i in 0..32 {
+            let s = 0.05 + (i % 7) as f64 * 0.01;
+            a.observe(s);
+            b.observe(s);
+        }
+        assert_eq!(a.tail_secs(), b.tail_secs());
+    }
+}

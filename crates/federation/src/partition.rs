@@ -1,0 +1,70 @@
+//! Corpus partitioning across coordinator shards.
+//!
+//! The unit of partitioning is the *sub-collection* — the paper's own
+//! granularity for distributing TREC data (§2) — assigned round-robin so
+//! any shard count balances within one sub-collection. Documents keep
+//! their global [`DocId`](qa_types::DocId)s and sub-collection ids, so
+//! answers merged across shards still point into the one logical corpus
+//! and per-shard indexes stay addressable by the unchanged
+//! `SubCollectionId`s (missing sub-collections simply index empty).
+
+use qa_types::Document;
+
+/// Split `documents` into `shards` disjoint partitions by sub-collection
+/// (`sub_collection % shards`). Every document lands in exactly one
+/// partition; ids are preserved verbatim.
+pub fn partition_documents(documents: &[Document], shards: usize) -> Vec<Vec<Document>> {
+    let shards = shards.max(1);
+    let mut parts: Vec<Vec<Document>> = (0..shards).map(|_| Vec::new()).collect();
+    for d in documents {
+        let owner = d.sub_collection.index() % shards;
+        parts[owner].push(d.clone());
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_types::{DocId, SubCollectionId};
+
+    fn doc(id: u32, sc: u32) -> Document {
+        Document {
+            id: DocId::new(id),
+            sub_collection: SubCollectionId::new(sc),
+            title: format!("t{id}"),
+            paragraphs: vec![format!("body {id}")],
+        }
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_conserving() {
+        let docs: Vec<Document> = (0..12).map(|i| doc(i, i % 4)).collect();
+        let parts = partition_documents(&docs, 2);
+        assert_eq!(parts.len(), 2);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, docs.len(), "no document lost or duplicated");
+        // Sub-collections 0 and 2 land on shard 0; 1 and 3 on shard 1.
+        assert!(parts[0].iter().all(|d| d.sub_collection.index() % 2 == 0));
+        assert!(parts[1].iter().all(|d| d.sub_collection.index() % 2 == 1));
+    }
+
+    #[test]
+    fn ids_survive_partitioning() {
+        let docs: Vec<Document> = (0..6).map(|i| doc(i, i)).collect();
+        let parts = partition_documents(&docs, 3);
+        for p in &parts {
+            for d in p {
+                assert_eq!(docs[d.id.index()].sub_collection, d.sub_collection);
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_degenerates_to_the_whole_corpus() {
+        let docs: Vec<Document> = (0..5).map(|i| doc(i, i % 2)).collect();
+        let parts = partition_documents(&docs, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), docs.len());
+    }
+}

@@ -1,0 +1,108 @@
+//! Declarative federation-fault windows, shared by both backends.
+//!
+//! [`FaultWindows`] compiles the broker-tier events of a
+//! [`FaultSchedule`] — [`FaultEvent::ShardDown`],
+//! [`FaultEvent::ShardPartition`], [`FaultEvent::BrokerCrash`] — into
+//! closed-open `[from, until)` intervals that a pure time lookup answers.
+//! The runtime queries it with broker-relative virtual time (wall seconds
+//! divided by the fault time scale, the inverse of the mapping
+//! `ChaosDriver` applies) and the DES mirror with virtual arrival times,
+//! so a schedule produces the *same* outage decisions in both.
+
+use faults::{FaultEvent, FaultSchedule};
+
+/// Interval-compiled view of a schedule's federation faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultWindows {
+    /// `(shard, from, until)`; `until` is `f64::INFINITY` for permanent.
+    shard: Vec<(u32, f64, f64)>,
+    /// Broker outages `(at, rejoin)`; `rejoin` is `INFINITY` for permanent.
+    broker: Vec<(f64, f64)>,
+}
+
+impl FaultWindows {
+    /// Compile `schedule`'s federation events; every other event kind is
+    /// left to the tier that consumes it (chaos driver, failover harness).
+    pub fn from_schedule(schedule: &FaultSchedule) -> FaultWindows {
+        let mut w = FaultWindows::default();
+        for ev in &schedule.events {
+            match *ev {
+                FaultEvent::ShardDown { shard, at, rejoin } => {
+                    w.shard.push((shard, at, rejoin.unwrap_or(f64::INFINITY)));
+                }
+                FaultEvent::ShardPartition { shard, from, until } => {
+                    w.shard.push((shard, from, until));
+                }
+                FaultEvent::BrokerCrash { at, rejoin } => {
+                    w.broker.push((at, rejoin.unwrap_or(f64::INFINITY)));
+                }
+                _ => {}
+            }
+        }
+        w
+    }
+
+    /// Whether `shard` is unreachable (down or partitioned) at `now`.
+    pub fn shard_down(&self, shard: u32, now: f64) -> bool {
+        self.shard
+            .iter()
+            .any(|&(s, from, until)| s == shard && now >= from && now < until)
+    }
+
+    /// When the broker is down at `now`, the rejoin time
+    /// (`f64::INFINITY` for a permanent crash); `None` when it is up.
+    pub fn broker_down(&self, now: f64) -> Option<f64> {
+        self.broker
+            .iter()
+            .filter(|&&(at, rejoin)| now >= at && now < rejoin)
+            .map(|&(_, rejoin)| rejoin)
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+    }
+
+    /// True when the schedule carries any federation-tier event.
+    pub fn is_empty(&self) -> bool {
+        self.shard.is_empty() && self.broker.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_windows_cover_down_and_partition() {
+        let s = FaultSchedule::seeded(7)
+            .shard_down_rejoin(1, 5.0, 10.0)
+            .shard_partition(2, 3.0, 4.0)
+            .shard_down(0, 20.0);
+        let w = FaultWindows::from_schedule(&s);
+        assert!(!w.is_empty());
+        assert!(!w.shard_down(1, 4.9));
+        assert!(w.shard_down(1, 5.0));
+        assert!(w.shard_down(1, 9.9));
+        assert!(!w.shard_down(1, 10.0), "rejoined");
+        assert!(w.shard_down(2, 3.5));
+        assert!(!w.shard_down(2, 4.5));
+        assert!(w.shard_down(0, 1e9), "permanent loss never rejoins");
+        assert!(!w.shard_down(3, 5.0), "unlisted shard untouched");
+    }
+
+    #[test]
+    fn broker_windows_report_rejoin() {
+        let s = FaultSchedule::seeded(7).broker_crash_rejoin(2.0, 6.0);
+        let w = FaultWindows::from_schedule(&s);
+        assert_eq!(w.broker_down(1.0), None);
+        assert_eq!(w.broker_down(3.0), Some(6.0));
+        assert_eq!(w.broker_down(6.0), None);
+        let p = FaultWindows::from_schedule(&FaultSchedule::seeded(1).broker_crash(4.0));
+        assert_eq!(p.broker_down(5.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn non_federation_events_are_ignored() {
+        use qa_types::NodeId;
+        let s = FaultSchedule::seeded(3).crash(NodeId::new(0), 1.0);
+        let w = FaultWindows::from_schedule(&s);
+        assert!(w.is_empty());
+    }
+}

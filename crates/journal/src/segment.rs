@@ -256,6 +256,14 @@ impl Journal {
             .append(true)
             .open(&path)
             .map_err(io_err)?;
+        // Creating the file durably requires syncing its *directory*
+        // entry too: `create_new` + `sync_data` on the file alone leaves
+        // the name unlinked after a power cut, and replay would then see
+        // segment N but not N+1 — an undetectable gap, because a missing
+        // final segment looks exactly like a journal that never rotated.
+        File::open(&self.dir)
+            .and_then(|d| d.sync_all())
+            .map_err(io_err)?;
         self.segment_len = 0;
         self.since_sync = 0;
         Ok(())

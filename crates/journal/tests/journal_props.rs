@@ -189,4 +189,52 @@ proptest! {
         let _ = fs::remove_dir_all(&dir);
         let _ = fs::remove_dir_all(&scratch);
     }
+
+    /// Replay across segment-rotation boundaries: with a tiny segment cap
+    /// the writer rotates mid-sequence (the path the dir-fsync fix in
+    /// `Journal::rotate` hardens), and reopening must fold every record in
+    /// order across all segments to the same state as one flat replay —
+    /// through a *fresh* `Journal::open_with` that discovers the segments
+    /// from the directory alone.
+    #[test]
+    fn replay_crosses_rotation_boundaries(
+        records in prop::collection::vec(record_strategy(), 8..40),
+        max_segment in 96u64..512,
+    ) {
+        let dir = tmp("rotate");
+        let opts = JournalOptions { max_segment_bytes: max_segment, fsync_every: Some(1) };
+        {
+            let (mut j, _) = Journal::open_with(&dir, opts).unwrap();
+            for record in &records {
+                j.append(1, record).unwrap();
+            }
+        }
+        let segment_count = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .is_ok_and(|e| e.file_name().to_string_lossy().ends_with(".dqaj"))
+            })
+            .count();
+        prop_assert!(
+            segment_count > 1,
+            "cap {} bytes over {} records must rotate",
+            max_segment,
+            records.len()
+        );
+        let (_, rec) = Journal::open_with(&dir, opts).unwrap();
+        prop_assert_eq!(rec.stats.segments as usize, segment_count);
+        prop_assert_eq!(rec.stats.records, records.len() as u64);
+        prop_assert_eq!(rec.stats.truncated_bytes, 0u64);
+        prop_assert_eq!(&rec.state, &fold(&records));
+        // And the reopened journal keeps appending into the *latest*
+        // segment rather than resurrecting an earlier one.
+        {
+            let (mut j, _) = Journal::open_with(&dir, opts).unwrap();
+            j.append(1, &JournalRecord::Abandoned { question: QuestionId::new(0) }).unwrap();
+        }
+        let (_, after) = Journal::open_with(&dir, opts).unwrap();
+        prop_assert_eq!(after.stats.records, records.len() as u64 + 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
 }

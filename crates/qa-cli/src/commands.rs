@@ -7,6 +7,7 @@ use cluster_sim::workload::{BalancingStrategy, QaSimulation, SimConfig};
 use corpus::{Corpus, CorpusConfig, CorpusSnapshot, QuestionGenerator};
 use dqa_obs::{metric_key, names, validate_prometheus, MetricsRegistry, Snapshot};
 use dqa_runtime::{Admission, Cluster, ClusterConfig, CoordinatorJournal};
+use federation::{FederatedAdmission, FederationBroker, FederationConfig, FederationPolicy};
 use ir_engine::persist::{decode_index, encode_index};
 use ir_engine::{DocumentStore, ParagraphRetriever, RetrievalConfig, ShardedIndex};
 use nlp::NamedEntityRecognizer;
@@ -23,6 +24,7 @@ usage:
   dqa index --corpus corpus.json --out index.bin
   dqa ask --corpus corpus.json [--index index.bin] [--cluster N] [--sample N]
           [--journal DIR] [--metrics-out FILE [--metrics-format prom|json]]
+          [--shards N [--quorum Q] [--hedge-after-ms X]]
           [overload knobs] [question …]
   dqa export --corpus corpus.json --questions N --topics topics.txt --answers key.txt
   dqa simulate [--nodes N] [--strategy dns|inter|dqa|sid|gradient] [--seed N] [--compare]
@@ -218,6 +220,14 @@ fn ask(argv: &[String]) -> Result<(), CmdError> {
         return Err("no questions: pass them as arguments or use --sample N".into());
     }
 
+    // `--shards N` switches to the federated broker tier: the corpus is
+    // partitioned across N coordinator shards and every question is
+    // scatter-gathered with hedging and partial-result merge.
+    let shards: usize = a.num("shards", 0usize)?;
+    if shards > 0 {
+        return ask_federated(&a, &corpus, &questions, shards);
+    }
+
     let cluster_nodes: usize = a.num("cluster", 0usize)?;
     if a.get("metrics-out").is_some() && cluster_nodes == 0 {
         return Err(CmdError::Fatal(
@@ -326,6 +336,87 @@ fn ask(argv: &[String]) -> Result<(), CmdError> {
     }
     write_metrics(&a, &registry.snapshot())?;
     Ok(())
+}
+
+/// The `ask --shards N` path: scatter-gather every question across a
+/// federation of coordinator shards and print the merged, coverage-
+/// annotated answers. Metrics land in the broker's registry
+/// (`dqa_shard_*`, hedge/merge/quorum counters) for `--metrics-out`.
+fn ask_federated(
+    a: &Args,
+    corpus: &Corpus,
+    questions: &[(Question, Option<String>)],
+    shards: usize,
+) -> Result<(), CmdError> {
+    if a.get("journal").is_some() {
+        return Err(CmdError::Fatal(
+            "--journal is not supported with --shards: shard clusters manage durability per shard"
+                .into(),
+        ));
+    }
+    let mut policy = FederationPolicy::for_shards(shards);
+    if let Some(q) = opt_num::<usize>(a, "quorum")? {
+        policy = policy.with_quorum(q);
+    }
+    if let Some(ms) = opt_num::<f64>(a, "hedge-after-ms")? {
+        policy = policy.with_hedge_after(ms / 1000.0);
+    }
+    let registry = MetricsRegistry::new();
+    let mut cfg = FederationConfig::new(shards);
+    cfg.nodes_per_shard = a.num("cluster", 2usize)?.max(1);
+    cfg.policy = policy;
+    cfg.overload = overload_policy(a)?;
+    cfg.metrics = Some(registry.clone());
+    let broker = FederationBroker::start(&corpus.documents, corpus.config.sub_collections, cfg);
+    let mut result = Ok(());
+    for (q, truth) in questions {
+        match broker.ask(q) {
+            FederatedAdmission::Answered(ans) => {
+                let responders = ans.shards.iter().filter(|s| s.status.responded()).count();
+                let hedged = ans.shards.iter().filter(|s| s.hedged).count();
+                if a.switch("json") {
+                    let record = serde_json::json!({
+                        "question": q.text,
+                        "answers": ans.answers.answers,
+                        "coverage": ans.coverage.fraction(),
+                        "quorum_met": ans.quorum_met,
+                        "shards": ans.shards,
+                        "truth": truth,
+                    });
+                    println!("{record}");
+                } else {
+                    println!("{}  {}", q.id, q.text);
+                    match ans.answers.best() {
+                        Some(best) => println!("  -> {}", best.candidate),
+                        None => println!("  -> no answer"),
+                    }
+                    println!(
+                        "  federation: {responders}/{} shard(s), coverage {:.0} %, quorum {}, \
+                         {hedged} hedged, {:.2} s",
+                        ans.shards.len(),
+                        100.0 * ans.coverage.fraction(),
+                        if ans.quorum_met { "met" } else { "SHORT" },
+                        ans.latency_secs,
+                    );
+                    if let Some(t) = truth {
+                        println!("  truth: {t}");
+                    }
+                }
+            }
+            FederatedAdmission::Rejected { retry_after } => {
+                println!("{}  {}", q.id, q.text);
+                println!(
+                    "  -> rejected by every shard's admission control; retry after {:.1} s",
+                    retry_after.as_secs_f64()
+                );
+                result = Err(CmdError::Rejected { retry_after });
+                break;
+            }
+        }
+    }
+    broker.shutdown();
+    write_metrics(a, &registry.snapshot())?;
+    result
 }
 
 /// Export a generated question set in TREC topic + answer-key format.
@@ -600,11 +691,63 @@ fn report(argv: &[String]) -> Result<(), String> {
             );
         }
     }
+    let merges = snap.counter(names::MERGES_TOTAL);
+    let hedges = snap.counter(names::HEDGES_TOTAL);
+    let shard_traffic = snap
+        .counters
+        .keys()
+        .filter(|k| k.starts_with(names::SHARD_REQUESTS_TOTAL))
+        .count();
+    if merges + hedges + shard_traffic as u64 > 0 {
+        println!(
+            "federation: {merges} merged answer(s) ({} quorum shortfall(s)), \
+             {hedges} hedge(s) ({} won)",
+            snap.counter(names::QUORUM_SHORTFALLS_TOTAL),
+            snap.counter(names::HEDGE_WINS_TOTAL),
+        );
+        let mut by_shard: std::collections::BTreeMap<String, Vec<String>> = Default::default();
+        for (k, v) in &snap.counters {
+            if !k.starts_with(names::SHARD_REQUESTS_TOTAL) {
+                continue;
+            }
+            let (Some(shard), Some(status)) = (label_value(k, "shard"), label_value(k, "status"))
+            else {
+                continue;
+            };
+            by_shard
+                .entry(shard.to_string())
+                .or_default()
+                .push(format!("{status} {v}"));
+        }
+        for (shard, statuses) in &by_shard {
+            let lat = snap
+                .histograms
+                .get(&metric_key(names::SHARD_SECONDS, &[("shard", shard)]));
+            match lat {
+                Some(h) => println!(
+                    "  shard {shard}: {}  (mean {:.3} s, p95 {:.3} s)",
+                    statuses.join(", "),
+                    h.mean(),
+                    h.quantile(0.95)
+                ),
+                None => println!("  shard {shard}: {}", statuses.join(", ")),
+            }
+        }
+    }
     let dropped = snap.counter(names::TRACE_DROPPED_TOTAL);
     if dropped > 0 {
         println!("trace events dropped by the flight recorder: {dropped}");
     }
     Ok(())
+}
+
+/// Extract one label's value from a flat metric key like
+/// `dqa_shard_requests_total{shard="1",status="answered"}`.
+fn label_value<'a>(key: &'a str, label: &str) -> Option<&'a str> {
+    let pat = format!("{label}=\"");
+    let start = key.find(&pat)? + pat.len();
+    let end = key[start..].find('"')?;
+    Some(&key[start..start + end])
 }
 
 fn model(argv: &[String]) -> Result<(), String> {
@@ -867,6 +1010,103 @@ mod tests {
             .is_err(),
             "pipeline mode must refuse --metrics-out"
         );
+    }
+
+    #[test]
+    fn ask_with_shards_merges_and_reports_federation_lines() {
+        let corpus_path = tmp("c7.json");
+        let metrics_path = tmp("c7-metrics.json");
+        run(&[
+            "generate",
+            "--seed",
+            "13",
+            "--size",
+            "small",
+            "--out",
+            &corpus_path,
+        ])
+        .unwrap();
+        run(&[
+            "ask",
+            "--corpus",
+            &corpus_path,
+            "--shards",
+            "2",
+            "--cluster",
+            "1",
+            "--quorum",
+            "1",
+            "--hedge-after-ms",
+            "500",
+            "--sample",
+            "1",
+            "--metrics-out",
+            &metrics_path,
+        ])
+        .unwrap();
+        let snap = Snapshot::from_json(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert_eq!(snap.counter(names::MERGES_TOTAL), 1);
+        assert_eq!(snap.counter(names::QUORUM_SHORTFALLS_TOTAL), 0);
+        assert!(
+            snap.counters
+                .keys()
+                .any(|k| k.starts_with(names::SHARD_REQUESTS_TOTAL)),
+            "per-shard request counters must be exported"
+        );
+        // The federation lines render from the same snapshot.
+        run(&["report", &metrics_path]).unwrap();
+        // Journaling is a per-shard concern; the broker refuses the flag.
+        assert!(run(&[
+            "ask",
+            "--corpus",
+            &corpus_path,
+            "--shards",
+            "2",
+            "--sample",
+            "1",
+            "--journal",
+            &tmp("c7-journal"),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn federated_ask_aggregates_rejections_with_retry_hint() {
+        let corpus_path = tmp("c8.json");
+        run(&[
+            "generate",
+            "--seed",
+            "17",
+            "--size",
+            "small",
+            "--out",
+            &corpus_path,
+        ])
+        .unwrap();
+        // Every shard's per-node cap is 0: all shards reject, and the
+        // broker must surface the aggregated retry-after hint instead of
+        // failing on the first rejecting shard.
+        let err = run(&[
+            "ask",
+            "--corpus",
+            &corpus_path,
+            "--shards",
+            "2",
+            "--cluster",
+            "1",
+            "--sample",
+            "1",
+            "--max-per-node",
+            "0",
+        ])
+        .unwrap_err();
+        match err {
+            CmdError::Rejected { retry_after } => assert!(
+                retry_after > Duration::ZERO,
+                "aggregated rejection must carry a usable retry hint"
+            ),
+            other => panic!("expected an aggregated admission rejection, got {other:?}"),
+        }
     }
 
     #[test]

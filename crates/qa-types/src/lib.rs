@@ -15,6 +15,7 @@ pub mod answer;
 pub mod calibration;
 pub mod document;
 pub mod error;
+pub mod federation;
 pub mod ids;
 pub mod modules;
 pub mod overload;
@@ -26,6 +27,7 @@ pub use answer::{Answer, AnswerWindow, Coverage, RankedAnswers};
 pub use calibration::{ModuleProfile, Trec8Profile, Trec9Profile};
 pub use document::{Document, Paragraph, SubCollectionMeta};
 pub use error::QaError;
+pub use federation::{FederationPolicy, ShardReport, ShardStatus};
 pub use ids::{DocId, NodeId, ParagraphId, QuestionId, SubCollectionId};
 pub use modules::{ModuleTimings, QaModule};
 pub use overload::{OverloadCounts, OverloadPolicy, QuestionOutcome};

@@ -42,6 +42,13 @@ impl RuleScope {
 /// discrete-event simulator and everything its scheduling decisions read.
 pub const VIRTUAL_TIME_CRATES: &[&str] = &["cluster-sim", "scheduler", "loadsim", "analytical"];
 
+/// The crates that host long-lived worker threads talking over channels:
+/// the node runtime and the federation broker tier above it. Both must
+/// bound every channel, never block forever on a receive, and funnel
+/// wall-clock reads through one pragma'd site, or a slow/dead peer turns
+/// into an unobservable hang instead of a recoverable timeout.
+pub const THREADED_RUNTIME_CRATES: &[&str] = &["dqa-runtime", "federation"];
+
 /// All rule names, in documentation order (v1 rules then v2 deep rules).
 pub const RULE_NAMES: &[&str] = &[
     "wall-clock",
@@ -137,7 +144,7 @@ const UNORDERED_STATE: Meta = Meta {
 
 const RAW_INSTANT: Meta = Meta {
     name: "raw-instant",
-    scope: RuleScope::Only(&["dqa-runtime"]),
+    scope: RuleScope::Only(THREADED_RUNTIME_CRATES),
     why: "runtime code read the wall clock directly",
     help: "go through crate::clock::now_instant() (the one pragma'd read point) or take a \
            dqa_obs::Clock; a single sanctioned site keeps runtime timing swappable for \
@@ -154,7 +161,7 @@ const RUNTIME_PANIC: Meta = Meta {
 
 const UNBOUNDED_RECV: Meta = Meta {
     name: "unbounded-recv",
-    scope: RuleScope::Only(&["dqa-runtime"]),
+    scope: RuleScope::Only(THREADED_RUNTIME_CRATES),
     why: "runtime code blocks forever on a channel",
     help: "use recv_timeout (bounded by the sub-task poll interval) or try_recv so a dead \
            peer is detected by the failure-recovery/deadline path instead of hanging the \
@@ -163,7 +170,7 @@ const UNBOUNDED_RECV: Meta = Meta {
 
 const UNBOUNDED_CHANNEL: Meta = Meta {
     name: "unbounded-channel",
-    scope: RuleScope::Only(&["dqa-runtime"]),
+    scope: RuleScope::Only(THREADED_RUNTIME_CRATES),
     why: "runtime code uses an unbounded channel",
     help: "use bounded(capacity) plus send_timeout so a saturated node exerts backpressure \
            the coordinator can observe (re-queue via the retry path) instead of buffering \
@@ -261,7 +268,10 @@ fn collect_hash_fields(file: &File) -> Vec<String> {
     let mut out = Vec::new();
     fn walk(items: &[Item], out: &mut Vec<String>) {
         for item in items {
-            if matches!(item.kind, ItemKind::Struct | ItemKind::Enum | ItemKind::Union) {
+            if matches!(
+                item.kind,
+                ItemKind::Struct | ItemKind::Enum | ItemKind::Union
+            ) {
                 // Fields live in the item's `{}` group: `name: Type,`.
                 if let Some(g) = item.tokens.iter().rev().find_map(Tree::group) {
                     let ts = &g.trees;
@@ -270,9 +280,7 @@ fn collect_hash_fields(file: &File) -> Vec<String> {
                             && !ts.get(i + 1).is_some_and(|t| t.is_punct(':'))
                             && !ts.get(i.wrapping_sub(1)).is_some_and(|t| t.is_punct(':'))
                         {
-                            let field = ts
-                                .get(i.wrapping_sub(1))
-                                .and_then(Tree::ident);
+                            let field = ts.get(i.wrapping_sub(1)).and_then(Tree::ident);
                             let ty = ts.get(i + 1).and_then(Tree::ident);
                             if let (Some(f), Some(t)) = (field, ty) {
                                 if is_hash_name(t) {
@@ -414,7 +422,11 @@ impl Checker<'_> {
             let segs: Vec<&str> = u.path.split("::").collect();
             for (meta, banned, display) in [
                 (&WALL_CLOCK, "std::time::Instant", "std::time::Instant"),
-                (&WALL_CLOCK, "std::time::SystemTime", "std::time::SystemTime"),
+                (
+                    &WALL_CLOCK,
+                    "std::time::SystemTime",
+                    "std::time::SystemTime",
+                ),
                 (&UNORDERED_STATE, "std::collections::HashMap", "HashMap"),
                 (&UNORDERED_STATE, "std::collections::HashSet", "HashSet"),
                 (&UNSEEDED_RNG, "rand::thread_rng", "rand::thread_rng"),
@@ -488,7 +500,10 @@ impl Checker<'_> {
             self.walk_statement(&trees[i..stmt_end], st);
             i = stmt_end.max(i + 1);
             // Skip the `;` itself.
-            if trees.get(i.wrapping_sub(1)).is_some_and(|t| t.is_punct(';')) {
+            if trees
+                .get(i.wrapping_sub(1))
+                .is_some_and(|t| t.is_punct(';'))
+            {
                 continue;
             }
         }
@@ -515,9 +530,7 @@ impl Checker<'_> {
             // `let x: HashMap<..> = ...` / `let x: Vec<_> = ...`.
             if let (Some(n), true) = (&name, trees.get(j + 1).is_some_and(|t| t.is_punct(':'))) {
                 if let Some(ty) = trees.get(j + 2).and_then(Tree::ident) {
-                    if is_hash_name(ty)
-                        && self.ctx.resolve_ident(ty) != crate::sem::Origin::Local
-                    {
+                    if is_hash_name(ty) && self.ctx.resolve_ident(ty) != crate::sem::Origin::Local {
                         st.hash_vars.push(n.clone());
                     }
                 }
@@ -560,7 +573,10 @@ impl Checker<'_> {
         let mut j = 0usize;
         while j < trees.len() {
             if trees[j].is_ident("drop") {
-                if let Some(g) = trees.get(j + 1).and_then(Tree::group).filter(|g| g.delim == '(')
+                if let Some(g) = trees
+                    .get(j + 1)
+                    .and_then(Tree::group)
+                    .filter(|g| g.delim == '(')
                 {
                     if g.trees.len() == 1 {
                         if let Some(name) = g.trees[0].ident() {
@@ -573,8 +589,7 @@ impl Checker<'_> {
         }
 
         // Temporary (unbound) guards die with the statement.
-        st.guards
-            .truncate_temporaries(temp_guards_before);
+        st.guards.truncate_temporaries(temp_guards_before);
     }
 
     /// The linear expression walk: paths, method calls, loops, nested
@@ -692,7 +707,10 @@ impl Checker<'_> {
         {
             j = skip_angle(trees, j + 2);
         }
-        let args = trees.get(j).and_then(Tree::group).filter(|g| g.delim == '(');
+        let args = trees
+            .get(j)
+            .and_then(Tree::group)
+            .filter(|g| g.delim == '(');
         let args = args?;
         let n_args = count_args(args);
 
@@ -819,16 +837,17 @@ impl Checker<'_> {
             break;
         }
         parts.reverse();
-        let owner = self
-            .self_ty
-            .clone()
-            .unwrap_or_else(|| "fn".to_string());
+        let owner = self.self_ty.clone().unwrap_or_else(|| "fn".to_string());
         let chain = if parts.first().map(String::as_str) == Some("self") {
             parts[1..].join(".")
         } else {
             parts.join(".")
         };
-        let chain = if chain.is_empty() { "<expr>".to_string() } else { chain };
+        let chain = if chain.is_empty() {
+            "<expr>".to_string()
+        } else {
+            chain
+        };
         format!("{}::{owner}.{chain}", self.krate)
     }
 
@@ -907,11 +926,19 @@ impl Checker<'_> {
     ) {
         for (meta, banned, display) in [
             (&WALL_CLOCK, "std::time::Instant", "std::time::Instant"),
-            (&WALL_CLOCK, "std::time::SystemTime", "std::time::SystemTime"),
+            (
+                &WALL_CLOCK,
+                "std::time::SystemTime",
+                "std::time::SystemTime",
+            ),
             (&UNORDERED_STATE, "std::collections::HashMap", "HashMap"),
             (&UNORDERED_STATE, "std::collections::HashSet", "HashSet"),
             (&UNSEEDED_RNG, "rand::thread_rng", "rand::thread_rng"),
-            (&UNSEEDED_RNG, "SeedableRng::from_entropy", "SeedableRng::from_entropy"),
+            (
+                &UNSEEDED_RNG,
+                "SeedableRng::from_entropy",
+                "SeedableRng::from_entropy",
+            ),
         ] {
             if !self.in_scope(meta) {
                 continue;
@@ -946,7 +973,13 @@ impl Checker<'_> {
         }
     }
 
-    fn path_call_rules(&mut self, segs: &[&str], seg_lines: &[u32], last_line: u32, st: &mut BodyState) {
+    fn path_call_rules(
+        &mut self,
+        segs: &[&str],
+        seg_lines: &[u32],
+        last_line: u32,
+        st: &mut BodyState,
+    ) {
         let last = *segs.last().unwrap_or(&"");
         match last {
             "sleep" if segs.len() >= 2 => {
@@ -978,7 +1011,11 @@ impl Checker<'_> {
             }
             "unbounded" => {
                 if judge(&self.ctx, segs, "crossbeam_channel::unbounded") != Verdict::Innocent {
-                    self.report(&UNBOUNDED_CHANNEL, seg_lines[segs.len() - 1], "crossbeam_channel::unbounded");
+                    self.report(
+                        &UNBOUNDED_CHANNEL,
+                        seg_lines[segs.len() - 1],
+                        "crossbeam_channel::unbounded",
+                    );
                 }
             }
             "write" if segs.len() >= 2 => {
@@ -1092,10 +1129,39 @@ fn statement_end(trees: &[Tree], start: usize) -> usize {
 fn is_expr_keyword(s: &str) -> bool {
     matches!(
         s,
-        "let" | "mut" | "if" | "else" | "match" | "while" | "loop" | "for" | "in" | "return"
-            | "break" | "continue" | "fn" | "move" | "ref" | "pub" | "use" | "mod" | "impl"
-            | "struct" | "enum" | "trait" | "type" | "where" | "as" | "dyn" | "unsafe"
-            | "async" | "await" | "const" | "static" | "extern" | "crate"
+        "let"
+            | "mut"
+            | "if"
+            | "else"
+            | "match"
+            | "while"
+            | "loop"
+            | "for"
+            | "in"
+            | "return"
+            | "break"
+            | "continue"
+            | "fn"
+            | "move"
+            | "ref"
+            | "pub"
+            | "use"
+            | "mod"
+            | "impl"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "where"
+            | "as"
+            | "dyn"
+            | "unsafe"
+            | "async"
+            | "await"
+            | "const"
+            | "static"
+            | "extern"
+            | "crate"
     )
 }
 
@@ -1123,11 +1189,7 @@ fn count_args(g: &Group) -> usize {
     if g.trees.is_empty() {
         return 0;
     }
-    1 + g
-        .trees
-        .iter()
-        .filter(|t| t.is_punct(','))
-        .count()
+    1 + g.trees.iter().filter(|t| t.is_punct(',')).count()
 }
 
 fn group_mentions_ident(g: &Group, name: &str) -> bool {
@@ -1161,9 +1223,9 @@ fn receiver_is_lockish(trees: &[Tree], dot: usize) -> bool {
         }
         break;
     }
-    names
-        .iter()
-        .any(|n| n.contains("lock") || n.contains("mutex") || n.contains("rw") || n.contains("guard"))
+    names.iter().any(|n| {
+        n.contains("lock") || n.contains("mutex") || n.contains("rw") || n.contains("guard")
+    })
 }
 
 /// `let x = <rhs>`: does the right-hand side construct a hash container?
@@ -1278,10 +1340,17 @@ fn seed_hash_params(trees: &[Tree], st: &mut BodyState) {
         if trees[i].is_punct(':') && i > 0 {
             if let Some(name) = trees[i - 1].ident() {
                 let mut j = i + 1;
-                while trees
-                    .get(j)
-                    .is_some_and(|t| t.is_punct('&') || t.is_ident("mut") || matches!(t, Tree::Leaf(Tok { kind: TokKind::Lifetime, .. })))
-                {
+                while trees.get(j).is_some_and(|t| {
+                    t.is_punct('&')
+                        || t.is_ident("mut")
+                        || matches!(
+                            t,
+                            Tree::Leaf(Tok {
+                                kind: TokKind::Lifetime,
+                                ..
+                            })
+                        )
+                }) {
                     j += 1;
                 }
                 if trees.get(j).and_then(Tree::ident).is_some_and(is_hash_name) {

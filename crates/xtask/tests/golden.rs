@@ -15,7 +15,7 @@ fn fixture(name: &str) -> PathBuf {
 #[test]
 fn violations_fixture_flags_each_rule_at_exact_lines() {
     let (checked, diags) = run_lint(&fixture("violations")).expect("fixture lint");
-    assert_eq!(checked, 4, "fixture tree should contribute 4 source files");
+    assert_eq!(checked, 5, "fixture tree should contribute 5 source files");
 
     let got: Vec<(&str, &str, u32, &str)> = diags
         .iter()
@@ -23,6 +23,7 @@ fn violations_fixture_flags_each_rule_at_exact_lines() {
         .collect();
     let sim = "crates/cluster-sim/src/lib.rs";
     let rt = "crates/dqa-runtime/src/lib.rs";
+    let fed = "crates/federation/src/lib.rs";
     let want = vec![
         (sim, "unordered-state", 4, "HashMap"),
         (sim, "wall-clock", 5, "std::time::Instant"),
@@ -39,9 +40,23 @@ fn violations_fixture_flags_each_rule_at_exact_lines() {
         (rt, "unbounded-recv", 34, ".recv()"),
         (rt, "raw-fs-write", 54, "fs::write"),
         (rt, "raw-fs-write", 58, "File::create"),
+        (fed, "unbounded-channel", 5, "crossbeam_channel::unbounded"),
         ("src/lib.rs", "unseeded-rng", 5, "SeedableRng::from_entropy"),
     ];
     assert_eq!(got, want);
+}
+
+#[test]
+fn federation_inherits_channel_rules_but_not_panic_rules() {
+    let (_, diags) = run_lint(&fixture("violations")).expect("fixture lint");
+    let fed: Vec<_> = diags
+        .iter()
+        .filter(|d| d.file.ends_with("federation/src/lib.rs"))
+        .collect();
+    // Exactly the seeded unbounded() flags: the `.unwrap()` (runtime-panic
+    // stays dqa-runtime-only) and the pragma'd Instant/recv must not.
+    assert_eq!(fed.len(), 1, "federation fixture diags: {fed:?}");
+    assert_eq!(fed[0].rule, "unbounded-channel");
 }
 
 #[test]
@@ -61,9 +76,11 @@ fn pragma_and_test_code_waivers_hold_in_violations_fixture() {
         "waived or test-mod line flagged in cluster-sim fixture: {diags:?}"
     );
     assert!(
-        diags.iter().all(|d| !(d.file.ends_with("dqa-runtime/src/lib.rs")
-            && d.line >= 29
-            && ![34, 54, 58].contains(&d.line))),
+        diags
+            .iter()
+            .all(|d| !(d.file.ends_with("dqa-runtime/src/lib.rs")
+                && d.line >= 29
+                && ![34, 54, 58].contains(&d.line))),
         "waived or test-mod line flagged in dqa-runtime fixture: {diags:?}"
     );
 }
@@ -134,7 +151,10 @@ fn lexer_ignores_strings_comments_and_attr_tokens() {
 #[test]
 fn deep_fixture_flags_each_new_rule_at_exact_lines() {
     let (checked, diags) = run_lint(&fixture("deep")).expect("fixture lint");
-    assert_eq!(checked, 4, "deep fixture tree should contribute 4 source files");
+    assert_eq!(
+        checked, 4,
+        "deep fixture tree should contribute 4 source files"
+    );
 
     let got: Vec<(&str, &str, u32, &str)> = diags
         .iter()
@@ -215,13 +235,20 @@ fn fix_golden_rewrites_hash_state_to_btree() {
     let analysis = xtask::analyze_source("scheduler", "crates/scheduler/src/state.rs", &before);
     let (fixed, n) = xtask::fix::apply(&before, &analysis.fixes);
     assert!(n >= 6, "expected >=6 mechanical edits, got {n}");
-    assert_eq!(fixed, after, "--fix output must match the golden after file");
+    assert_eq!(
+        fixed, after,
+        "--fix output must match the golden after file"
+    );
     // The rewritten file must lint clean.
     let diags = lint_source("scheduler", "crates/scheduler/src/state.rs", &fixed);
     assert!(diags.is_empty(), "diags after fix: {diags:?}");
     // And the fixed point: fixing the clean file changes nothing.
     let again = xtask::analyze_source("scheduler", "crates/scheduler/src/state.rs", &after);
-    assert!(again.fixes.is_empty(), "fix must be idempotent: {:?}", again.fixes);
+    assert!(
+        again.fixes.is_empty(),
+        "fix must be idempotent: {:?}",
+        again.fixes
+    );
 }
 
 #[test]
@@ -263,7 +290,10 @@ pub fn now(clock_ticks: u64) -> Instant {
 
     let src2 = "use crate::virt::Instant;\npub fn t() -> Instant { Instant::default() }\n";
     let diags2 = lint_source("cluster-sim", "crates/cluster-sim/src/t.rs", src2);
-    assert!(diags2.is_empty(), "internal Instant import flagged: {diags2:?}");
+    assert!(
+        diags2.is_empty(),
+        "internal Instant import flagged: {diags2:?}"
+    );
 }
 
 #[test]

@@ -12,6 +12,7 @@ pub use corpus;
 pub use dqa_obs;
 pub use dqa_runtime;
 pub use faults;
+pub use federation;
 pub use ir_engine;
 pub use journal;
 pub use loadsim;

@@ -1,0 +1,167 @@
+//! Federation-tier integration: the broker's end-to-end partial-failure
+//! contract, asserted across both backends.
+//!
+//! 1. **A lost shard degrades coverage, never drops the question.** With
+//!    one of two shards injected down, every ask still merges the healthy
+//!    shard's answers under an honest `Coverage` annotation and a counted
+//!    quorum shortfall — no error, no silent drop.
+//! 2. **Saturated shard gates aggregate a retry-after.** When every shard
+//!    refuses admission the broker surfaces one `Rejected` carrying the
+//!    max-over-shards hint, mirroring the single-cluster `Admission`
+//!    contract one tier up.
+//! 3. **Backing off by the hint never starves a client.** A burst twice
+//!    the federation's admission capacity, retried on the broker's own
+//!    hints, completes within a bounded number of rounds — asserted
+//!    against the thread runtime and its DES retry-gate mirror.
+//! 4. **The federation DES replays bit-identically** under shard faults.
+
+use falcon_dqa::corpus::{Corpus, CorpusConfig, QuestionGenerator};
+use falcon_dqa::faults::FaultSchedule;
+use falcon_dqa::federation::{
+    run_fed_sim, run_retry_gate_sim, FedSimConfig, FederatedAdmission, FederationBroker,
+    FederationConfig, ShardStatus,
+};
+use falcon_dqa::qa_types::{OverloadPolicy, Question, QuestionOutcome};
+use std::time::Duration;
+
+fn small_fixture(seed: u64, questions: usize) -> (Corpus, Vec<Question>) {
+    let corpus = Corpus::generate(CorpusConfig::small(seed)).expect("corpus");
+    let questions = QuestionGenerator::new(&corpus, seed)
+        .generate(questions)
+        .into_iter()
+        .map(|g| g.question)
+        .collect();
+    (corpus, questions)
+}
+
+#[test]
+fn shard_loss_degrades_coverage_but_never_drops_questions() {
+    let (corpus, questions) = small_fixture(7101, 6);
+    let mut cfg = FederationConfig::new(2);
+    cfg.nodes_per_shard = 1;
+    cfg.replicated = false;
+    // Shard 0 is down from t=0, permanently: every scatter sees exactly
+    // one live shard out of two.
+    cfg.faults = FaultSchedule::seeded(7101).shard_down(0, 0.0);
+    let broker = FederationBroker::start(&corpus.documents, corpus.config.sub_collections, cfg);
+
+    for admission in broker.ask_many(&questions) {
+        let answer = admission
+            .answer()
+            .expect("a lost shard must degrade the merge, not reject it");
+        assert_eq!(admission.outcome(), QuestionOutcome::Degraded);
+        assert_eq!(answer.shards.len(), 2, "one report per shard, always");
+        assert_eq!(answer.shards[0].status, ShardStatus::Down);
+        assert!(
+            answer.shards[1].status.responded(),
+            "healthy shard must carry the merge: {:?}",
+            answer.shards
+        );
+        assert!(
+            !answer.coverage.is_complete(),
+            "coverage must record the lost shard"
+        );
+        assert_eq!(answer.coverage.total, 2);
+        assert!(
+            !answer.quorum_met,
+            "majority quorum over 2 shards cannot hold with one down"
+        );
+    }
+    broker.shutdown();
+}
+
+#[test]
+fn saturated_shard_gates_aggregate_the_retry_hint() {
+    let (corpus, questions) = small_fixture(7102, 1);
+    let mut cfg = FederationConfig::new(2);
+    cfg.nodes_per_shard = 1;
+    cfg.replicated = false;
+    // A zero-slot, zero-queue gate in every shard refuses each question
+    // at the door with the policy's retry hint.
+    cfg.overload = OverloadPolicy::server(0);
+    let hint = cfg.overload.retry_after_secs;
+    let broker = FederationBroker::start(&corpus.documents, corpus.config.sub_collections, cfg);
+
+    let admission = broker.ask(&questions[0]);
+    assert_eq!(admission.outcome(), QuestionOutcome::Rejected);
+    match admission {
+        FederatedAdmission::Rejected { retry_after } => {
+            // Both shards reject with the same configured hint; the
+            // aggregate (max over shards) must preserve it exactly.
+            assert_eq!(retry_after, Duration::from_secs_f64(hint));
+        }
+        FederatedAdmission::Answered(a) => {
+            panic!("zero-capacity gates must aggregate a rejection, got {a:?}")
+        }
+    }
+    broker.shutdown();
+}
+
+#[test]
+fn clients_backing_off_by_the_hint_are_never_starved() {
+    let (corpus, questions) = small_fixture(7103, 8);
+    let mut cfg = FederationConfig::new(1);
+    cfg.nodes_per_shard = 1;
+    cfg.replicated = false;
+    // One in-flight slot, no queue, plenty of broker lanes: a concurrent
+    // burst must shed most arrivals with the retry hint.
+    cfg.overload = OverloadPolicy::server(1).with_queue(0);
+    cfg.workers_per_shard = 4;
+    let broker = FederationBroker::start(&corpus.documents, corpus.config.sub_collections, cfg);
+
+    let mut pending: Vec<Question> = questions.clone();
+    let mut rounds = 0usize;
+    while !pending.is_empty() {
+        rounds += 1;
+        assert!(
+            rounds <= 2 * questions.len(),
+            "{} clients still unadmitted after {rounds} back-off rounds",
+            pending.len()
+        );
+        let mut backoff = Duration::ZERO;
+        let mut still_pending = Vec::new();
+        let admissions = broker.ask_many(&pending);
+        for (q, admission) in pending.drain(..).zip(admissions) {
+            match admission {
+                FederatedAdmission::Answered(_) => {}
+                FederatedAdmission::Rejected { retry_after } => {
+                    assert!(retry_after > Duration::ZERO, "hint must drive the back-off");
+                    backoff = backoff.max(retry_after);
+                    still_pending.push(q);
+                }
+            }
+        }
+        pending = still_pending;
+        if !pending.is_empty() {
+            // Back off by the slowest gate's own hint, as a well-behaved
+            // client would; progress per round is what the bound asserts.
+            std::thread::sleep(backoff);
+        }
+    }
+    broker.shutdown();
+
+    // The DES twin of the same contract: 8 clients against a 1-slot gate,
+    // each re-offering after the hint, all admitted with bounded retries.
+    let gate = run_retry_gate_sim(8, 1, 0.5, 0.05);
+    assert_eq!(gate.admitted, 8, "virtual client starved at the gate");
+    assert!(
+        gate.max_attempts <= 1 + 8 * 10,
+        "unbounded retry storm in the mirror: {} attempts",
+        gate.max_attempts
+    );
+}
+
+#[test]
+fn federation_des_replays_bit_identically_under_shard_faults() {
+    let mut cfg = FedSimConfig::new(2, 10, 7104);
+    cfg.nodes_per_shard = 2;
+    cfg.faults = FaultSchedule::seeded(7104)
+        .shard_down_rejoin(0, 4.0, 12.0)
+        .shard_partition(1, 8.0, 14.0);
+    let a = run_fed_sim(&cfg);
+    let b = run_fed_sim(&cfg);
+    assert_eq!(a, b, "federation DES replay diverged");
+    assert_eq!(a.digest, b.digest);
+    assert!(a.conserved(), "merged + rejected must cover every question");
+    assert_eq!(a.rejected, 0, "shard faults must never reject a question");
+}
