@@ -26,6 +26,10 @@ use qa_types::{
     QuestionOutcome, ResourceVector, ResourceWeights,
 };
 use rand::rngs::SmallRng;
+use rebalance::{
+    plan_evacuation, plan_join, plan_skew, ElasticConfig, MigrationPlan, MigrationStep,
+    OwnershipMap, RebalanceReason,
+};
 use rand::{Rng, SeedableRng};
 use scheduler::diffusion::{GradientModel, SenderDiffusion};
 use scheduler::dispatcher::QuestionDispatcher;
@@ -137,6 +141,16 @@ pub struct SimConfig {
     /// estimator, which is exactly what a calibrated simulator should use.
     /// The default is fully permissive: no existing experiment changes.
     pub overload: OverloadPolicy,
+    /// Elastic-membership tier parameters (detector thresholds, migration
+    /// throttle, skew trigger). `None` still activates the tier with
+    /// [`ElasticConfig::default`] whenever the fault schedule contains
+    /// `NodeDecommission`/`NodeJoin`/`RebalanceStall` events — mirroring
+    /// how coordinator faults activate the journal model — so existing
+    /// schedules replay bit-identically while elastic schedules need no
+    /// extra wiring. `Some` forces the tier on (ownership-routed PR
+    /// dispatch, skew-triggered rebalancing) even without membership
+    /// events.
+    pub elastic: Option<ElasticConfig>,
     /// Metrics registry to record into. `None` makes the simulation create
     /// its own enabled registry (its snapshot still lands in
     /// [`SimReport::metrics`]); pass a shared handle to aggregate several
@@ -181,6 +195,7 @@ impl SimConfig {
             record_trace: false,
             faults: FaultSchedule::none(),
             overload: OverloadPolicy::default(),
+            elastic: None,
             metrics: None,
         }
     }
@@ -581,6 +596,63 @@ enum FaultAction {
     /// The partition heals; the ex-leader observes the higher term and
     /// stops appending.
     PartitionEnd,
+    /// Operator drain: the node stops taking new placements, its
+    /// sub-collections evacuate under the migration throttle, and it
+    /// departs once the evacuation plan completes.
+    Decommission(NodeId),
+    /// A standby or previously drained node enters the pool and receives
+    /// its fair share of sub-collections.
+    Join(NodeId),
+}
+
+/// Virtual-time state of the elastic-membership tier. Allocated only when
+/// the run is elastic (config or schedule), so non-elastic runs replay
+/// bit-identically to before the tier existed — the same activation
+/// pattern as the `journaled` flag.
+struct ElasticState {
+    /// Tier parameters ([`SimConfig::elastic`] or defaults).
+    cfg: ElasticConfig,
+    /// Sub-collection universe size (max PR collection count sampled).
+    subs: u32,
+    /// Which node owns each sub-collection; PR dispatch routes to owners.
+    ownership: OwnershipMap,
+    /// Nodes mid-drain (or drained): excluded from new placements, not
+    /// yet (or no longer) dead.
+    draining: Vec<bool>,
+    /// Scheduled migration steps `(virtual apply time, step)`, time order.
+    /// Applied through the drive loop like promotions and fault actions.
+    pending_steps: std::collections::VecDeque<(f64, MigrationStep)>,
+    /// Monotone plan-id counter (unique per run, mirrors the runtime's
+    /// per-incarnation counter).
+    plan_seq: u64,
+    /// When the oldest unhealed membership change was detected — the
+    /// start of the `dqa_rebalance_heal_seconds` observation.
+    heal_start: Option<f64>,
+    /// `RebalanceStall` windows from the schedule, sorted by start: the
+    /// rebalancer may plan inside one but steps land after it closes.
+    stall_windows: Vec<(f64, f64)>,
+}
+
+impl ElasticState {
+    /// Push `t` past every stall window containing it. Windows are sorted
+    /// by start, so one forward pass reaches the fixpoint.
+    fn clear_of_stalls(&self, mut t: f64) -> f64 {
+        for &(from, until) in &self.stall_windows {
+            if t >= from && t < until {
+                t = until;
+            }
+        }
+        t
+    }
+
+    /// Whether `node` owns any sub-collection this question's PR phase
+    /// touches (collections `0..subs`).
+    fn owns_any(&self, node: NodeId, subs: u32) -> bool {
+        self.ownership
+            .owned_by(node)
+            .iter()
+            .any(|s| s.raw() < subs)
+    }
 }
 
 /// Standby lease length in virtual seconds: how long after the last
@@ -651,6 +723,8 @@ pub struct QaSimulation {
     zombie: bool,
     /// Journal records appended so far (drives replay latency).
     journal_records: u64,
+    /// Elastic-membership tier, present only on elastic runs.
+    elastic: Option<ElasticState>,
     /// The virtual clock feeding every [`PhaseTimer`]: advanced to the
     /// engine's time at each instrumented event.
     clock: ManualClock,
@@ -747,6 +821,50 @@ impl QaSimulation {
         if journaled {
             metrics.leader_term.set(1.0);
         }
+        let elastic_events = cfg.faults.events.iter().any(|ev| {
+            matches!(
+                ev,
+                FaultEvent::NodeDecommission { .. }
+                    | FaultEvent::NodeJoin { .. }
+                    | FaultEvent::RebalanceStall { .. }
+            )
+        });
+        let elastic = if elastic_events || cfg.elastic.is_some() {
+            let ecfg = cfg.elastic.unwrap_or_default();
+            // The sub-collection universe is whatever the sampled demands
+            // can touch; ownership starts as the paper's static striping.
+            let subs = states
+                .iter()
+                .map(|s: &QState| s.demand.pr_per_collection.len())
+                .max()
+                .unwrap_or(0) as u32;
+            let all: Vec<NodeId> = (0..cfg.nodes).map(|n| NodeId::new(n as u32)).collect();
+            let mut stall_windows: Vec<(f64, f64)> = cfg
+                .faults
+                .events
+                .iter()
+                .filter_map(|ev| match *ev {
+                    FaultEvent::RebalanceStall { from, until } => Some((from, until)),
+                    _ => None,
+                })
+                .collect();
+            stall_windows
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            metrics.rebalance_converged.set(1.0);
+            metrics.ownership_epoch.set(0.0);
+            Some(ElasticState {
+                cfg: ecfg,
+                subs,
+                ownership: OwnershipMap::balanced(subs, &all),
+                draining: vec![false; cfg.nodes],
+                pending_steps: std::collections::VecDeque::new(),
+                plan_seq: 0,
+                heal_start: None,
+                stall_windows,
+            })
+        } else {
+            None
+        };
         QaSimulation {
             engine,
             rng,
@@ -799,6 +917,16 @@ impl QaSimulation {
                             t.push((from, FaultAction::PartitionStart));
                             t.push((until, FaultAction::PartitionEnd));
                         }
+                        FaultEvent::NodeDecommission { node, at } => {
+                            t.push((at, FaultAction::Decommission(node)));
+                        }
+                        FaultEvent::NodeJoin { node, at } => {
+                            t.push((at, FaultAction::Join(node)));
+                        }
+                        // Stall windows pace the migration scheduler, not
+                        // the task engine: they were collected into
+                        // `ElasticState::stall_windows` above.
+                        FaultEvent::RebalanceStall { .. } => {}
                         // Federation faults address the broker tier above
                         // this per-shard simulation: the `federation`
                         // crate's virtual-time mirror consumes them, a
@@ -832,6 +960,7 @@ impl QaSimulation {
             pending_promote: None,
             zombie: false,
             journal_records: 0,
+            elastic,
             metrics,
             clock,
             node_load,
@@ -896,6 +1025,10 @@ impl QaSimulation {
                 self.arrivals.get(self.next_arrival).copied()
             };
             let next_failure_t = self.timeline.get(self.next_fault).map(|&(t, _)| t);
+            let next_migration_t = self
+                .elastic
+                .as_ref()
+                .and_then(|e| e.pending_steps.front().map(|&(t, _)| t));
 
             // Standby promotion due? (Fires before arrivals so held
             // questions are admitted under the new term, not the old.)
@@ -924,8 +1057,14 @@ impl QaSimulation {
                     let (_, action) = self.timeline[self.next_fault];
                     self.next_fault += 1;
                     match action {
-                        FaultAction::Die(node) => self.fail_node(node),
-                        FaultAction::Rejoin(node) => self.revive_node(node),
+                        FaultAction::Die(node) => {
+                            self.fail_node(node);
+                            self.elastic_on_loss(node, ft);
+                        }
+                        FaultAction::Rejoin(node) => {
+                            self.revive_node(node);
+                            self.elastic_on_rejoin(node, ft);
+                        }
                         FaultAction::Slow(node, factor) => self.set_slow(node, factor),
                         FaultAction::Unslow(node) => self.set_slow(node, 1.0),
                         FaultAction::CoordinatorDown => self.coordinator_down(ft),
@@ -935,15 +1074,30 @@ impl QaSimulation {
                         }
                         FaultAction::PartitionStart => self.partition_start(ft),
                         FaultAction::PartitionEnd => self.zombie = false,
+                        FaultAction::Decommission(node) => self.decommission(node, ft),
+                        FaultAction::Join(node) => self.node_join(node, ft),
                     }
                     continue;
                 }
             }
+            // Migration step due? (After fault actions: a same-instant
+            // membership change reshapes the plan the step belongs to.)
+            if let Some(mt) = next_migration_t {
+                if mt <= self.engine.now() {
+                    self.apply_next_migration(mt.max(self.engine.now()));
+                    continue;
+                }
+            }
 
-            let next_ext = [next_arrival_t, next_failure_t, self.pending_promote]
-                .into_iter()
-                .flatten()
-                .reduce(f64::min);
+            let next_ext = [
+                next_arrival_t,
+                next_failure_t,
+                next_migration_t,
+                self.pending_promote,
+            ]
+            .into_iter()
+            .flatten()
+            .reduce(f64::min);
 
             match self.engine.advance(next_ext) {
                 Advance::TaskDone { tag, at, .. } => self.handle(tag, at),
@@ -970,6 +1124,19 @@ impl QaSimulation {
         // record the event.
         if let Some(p) = self.pending_promote {
             self.promote(p.max(self.engine.now()));
+        }
+        // Migration steps still pending when the workload drains apply on
+        // the virtual clock anyway: healing is a property of the
+        // membership protocol, not of question traffic.
+        loop {
+            let Some(t) = self
+                .elastic
+                .as_ref()
+                .and_then(|e| e.pending_steps.front().map(|&(t, _)| t))
+            else {
+                break;
+            };
+            self.apply_next_migration(t.max(self.engine.now()));
         }
         // Anything still parked in the admission queue when the system
         // goes idle is waiting on a slot that will never free; reject it
@@ -1151,6 +1318,313 @@ impl QaSimulation {
         self.update_thrash(node);
     }
 
+    // ---- elastic membership (virtual-time mirror of `rebalance`) -----
+
+    /// Whether `node` must not receive new placements: dead, or draining
+    /// out of the pool under the elastic tier.
+    fn is_retired(&self, node: usize) -> bool {
+        self.dead[node] || self.elastic.as_ref().is_some_and(|e| e.draining[node])
+    }
+
+    /// Operator drain ([`FaultEvent::NodeDecommission`]): the node stops
+    /// taking new placements immediately, its sub-collections evacuate
+    /// one throttle quantum at a time, and it departs — through the same
+    /// recovery paths a crash exercises, so nothing is lost — once the
+    /// evacuation plan completes. Without the elastic tier (impossible
+    /// via the fault schedule, reachable programmatically) a decommission
+    /// degenerates to a permanent crash.
+    fn decommission(&mut self, node: NodeId, at: f64) {
+        let Some(mut es) = self.elastic.take() else {
+            self.fail_node(node);
+            return;
+        };
+        if self.dead[node.index()] || es.draining[node.index()] {
+            self.elastic = Some(es);
+            return;
+        }
+        let survivors: Vec<NodeId> = (0..self.cfg.nodes)
+            .filter(|&n| !self.dead[n] && !es.draining[n] && n != node.index())
+            .map(|n| NodeId::new(n as u32))
+            .collect();
+        assert!(!survivors.is_empty(), "decommission would empty the pool");
+        es.draining[node.index()] = true;
+        es.plan_seq += 1;
+        let plan = plan_evacuation(
+            &es.ownership,
+            node,
+            &survivors,
+            RebalanceReason::Drain,
+            es.plan_seq,
+            self.term,
+        );
+        self.admit_plan(&mut es, plan, at);
+        let idle = es.pending_steps.is_empty();
+        self.elastic = Some(es);
+        if idle {
+            // The node owned nothing: it departs without a plan.
+            self.finish_rebalance(at);
+        }
+    }
+
+    /// A standby or previously drained node joins
+    /// ([`FaultEvent::NodeJoin`]): it becomes placeable again and
+    /// receives its fair share of sub-collections, throttled behind
+    /// foreground traffic.
+    fn node_join(&mut self, node: NodeId, at: f64) {
+        if self.dead[node.index()] {
+            self.revive_node(node);
+        }
+        let Some(mut es) = self.elastic.take() else {
+            return;
+        };
+        es.draining[node.index()] = false;
+        // A join cancels any unapplied evacuation off this node.
+        es.pending_steps.retain(|(_, s)| s.from != node);
+        let live: Vec<NodeId> = (0..self.cfg.nodes)
+            .filter(|&n| !self.dead[n] && !es.draining[n])
+            .map(|n| NodeId::new(n as u32))
+            .collect();
+        es.plan_seq += 1;
+        let plan = plan_join(&es.ownership, node, &live, es.plan_seq, self.term);
+        self.admit_plan(&mut es, plan, at);
+        self.elastic = Some(es);
+    }
+
+    /// Permanent loss under the elastic tier: once the detector's lease
+    /// floor elapses (the DES knows ground truth, so detection latency is
+    /// the configured lease rather than phi accrual over heartbeats), the
+    /// dead node's sub-collections evacuate onto the survivors.
+    fn elastic_on_loss(&mut self, node: NodeId, at: f64) {
+        let Some(mut es) = self.elastic.take() else {
+            return;
+        };
+        // Unapplied steps touching the dead node are void: transfers off
+        // it are now the evacuation's job, and transfers onto it would
+        // orphan the sub-collection. Anything thereby left behind on a
+        // draining donor is re-planned when the queue next drains.
+        es.pending_steps
+            .retain(|(_, s)| s.from != node && s.to != node);
+        if es.ownership.owned_by(node).is_empty() {
+            self.elastic = Some(es);
+            return;
+        }
+        let detect = at + es.cfg.detector.lease_secs.max(0.0);
+        let survivors: Vec<NodeId> = (0..self.cfg.nodes)
+            .filter(|&n| !self.dead[n] && !es.draining[n])
+            .map(|n| NodeId::new(n as u32))
+            .collect();
+        es.plan_seq += 1;
+        let plan = plan_evacuation(
+            &es.ownership,
+            node,
+            &survivors,
+            RebalanceReason::PermanentLoss,
+            es.plan_seq,
+            self.term,
+        );
+        self.admit_plan(&mut es, plan, detect);
+        self.elastic = Some(es);
+    }
+
+    /// A transiently crashed node rejoined: under the elastic tier that
+    /// is a join — it takes back a fair share (its sub-collections may
+    /// have been evacuated while it was down).
+    fn elastic_on_rejoin(&mut self, node: NodeId, at: f64) {
+        if self.elastic.is_some() {
+            self.node_join(node, at);
+        }
+    }
+
+    /// Record a freshly minted plan and schedule its steps on the virtual
+    /// clock: one step per throttle quantum, queued behind any steps
+    /// already pending (the concurrency cap), pushed past stall windows.
+    /// Empty plans vanish without a trace.
+    fn admit_plan(&mut self, es: &mut ElasticState, plan: MigrationPlan, at: f64) {
+        if plan.is_empty() {
+            return;
+        }
+        self.metrics.rebalance_plans(&plan.reason.to_string()).inc();
+        // The plan record lands in the journal before any step applies.
+        self.journal_mark(1);
+        self.metrics.rebalance_converged.set(0.0);
+        es.heal_start.get_or_insert(at);
+        let quantum = es.cfg.throttle.step_secs.max(1e-6);
+        if !es.pending_steps.is_empty() {
+            self.metrics.rebalance_throttled("saturated").inc();
+        }
+        let mut t = at.max(es.pending_steps.back().map_or(at, |&(t, _)| t));
+        for step in plan.steps {
+            t += quantum;
+            let clear = es.clear_of_stalls(t);
+            if clear > t {
+                self.metrics.rebalance_throttled("stalled").inc();
+                t = clear;
+            }
+            es.pending_steps.push_back((t, step));
+        }
+    }
+
+    /// Apply the head migration step at its scheduled time, or defer it
+    /// one quantum when the throttle says foreground questions need the
+    /// headroom — migration never competes with question deadlines.
+    fn apply_next_migration(&mut self, at: f64) {
+        let Some(mut es) = self.elastic.take() else {
+            return;
+        };
+        let Some((t, step)) = es.pending_steps.pop_front() else {
+            self.elastic = Some(es);
+            return;
+        };
+        let verdict = es
+            .cfg
+            .throttle
+            .grant(self.in_flight, self.cfg.overload.max_in_flight, 0, false);
+        if !verdict.is_go() {
+            self.metrics.rebalance_throttled("yielding").inc();
+            es.pending_steps
+                .push_front((t + es.cfg.throttle.step_secs.max(1e-6), step));
+            self.elastic = Some(es);
+            return;
+        }
+        if es.ownership.apply_step(&step) {
+            self.metrics.rebalance_migrated.inc();
+            self.metrics.ownership_epoch.set(es.ownership.epoch() as f64);
+            // The completed transfer is journaled (step-done record).
+            self.journal_mark(1);
+        }
+        let drained = es.pending_steps.is_empty();
+        self.elastic = Some(es);
+        if drained {
+            self.finish_rebalance(at);
+        }
+    }
+
+    /// The step queue drained: re-plan anything a mid-plan membership
+    /// change orphaned, let fully evacuated drained nodes depart, and
+    /// close the heal window once the ownership invariant holds again.
+    fn finish_rebalance(&mut self, at: f64) {
+        let Some(mut es) = self.elastic.take() else {
+            return;
+        };
+        // 1. A drain whose remaining steps were voided (its target died
+        // mid-plan) re-plans against the current survivor set.
+        let mut replanned = false;
+        for n in 0..self.cfg.nodes {
+            let node = NodeId::new(n as u32);
+            if !es.draining[n] || self.dead[n] || es.ownership.owned_by(node).is_empty() {
+                continue;
+            }
+            let survivors: Vec<NodeId> = (0..self.cfg.nodes)
+                .filter(|&m| !self.dead[m] && !es.draining[m])
+                .map(|m| NodeId::new(m as u32))
+                .collect();
+            if survivors.is_empty() {
+                continue;
+            }
+            es.plan_seq += 1;
+            let plan = plan_evacuation(
+                &es.ownership,
+                node,
+                &survivors,
+                RebalanceReason::Drain,
+                es.plan_seq,
+                self.term,
+            );
+            self.admit_plan(&mut es, plan, at);
+            replanned = true;
+        }
+        if replanned {
+            self.elastic = Some(es);
+            return;
+        }
+        // 2. Fully evacuated drained nodes depart for real; their
+        // still-running work recovers through the crash paths.
+        let departures: Vec<NodeId> = (0..self.cfg.nodes)
+            .filter(|&n| {
+                es.draining[n]
+                    && !self.dead[n]
+                    && es.ownership.owned_by(NodeId::new(n as u32)).is_empty()
+            })
+            .map(|n| NodeId::new(n as u32))
+            .collect();
+        self.elastic = Some(es);
+        for node in departures {
+            self.fail_node(node);
+        }
+        // 3. Convergence: every sub-collection owned by a live,
+        // non-draining node again closes the heal window.
+        let converged = {
+            let es = self.elastic.as_ref().expect("restored above");
+            let mut live = Vec::new();
+            for n in 0..self.cfg.nodes {
+                if !self.dead[n] && !es.draining[n] {
+                    live.push(NodeId::new(n as u32));
+                }
+            }
+            es.ownership.verify_complete(es.subs, &live).is_ok()
+        };
+        if converged {
+            self.metrics.rebalance_converged.set(1.0);
+            // Convergence is journaled: a successor replaying the log
+            // knows the plan is retired, not resumable.
+            self.journal_mark(1);
+            if let Some(start) = self.elastic.as_mut().and_then(|e| e.heal_start.take()) {
+                self.metrics.heal_seconds.observe((at - start).max(0.0));
+            }
+        } else {
+            self.metrics.rebalance_converged.set(0.0);
+        }
+    }
+
+    /// Skew trigger: when the whole-task Eq. 1 gauge spread across live
+    /// nodes exceeds the configured threshold and no plan is in flight,
+    /// move one sub-collection from the hottest node to the coolest.
+    /// Evaluated at question completion — the same sampling point as the
+    /// load gauges.
+    fn maybe_rebalance_skew(&mut self, at: f64) {
+        let (threshold, idle) = match &self.elastic {
+            Some(es) => (es.cfg.skew_threshold, es.pending_steps.is_empty()),
+            None => return,
+        };
+        let Some(threshold) = threshold else {
+            return;
+        };
+        if !idle {
+            return;
+        }
+        let f = self.functions;
+        let loads: Vec<(NodeId, f64)> = self
+            .loads()
+            .into_iter()
+            .map(|(n, v)| (n, f.load_for(QaModule::Qp, v)))
+            .collect();
+        let Some(mut es) = self.elastic.take() else {
+            return;
+        };
+        if let Some(plan) = plan_skew(&es.ownership, &loads, threshold, es.plan_seq + 1, self.term)
+        {
+            es.plan_seq += 1;
+            self.admit_plan(&mut es, plan, at);
+        }
+        self.elastic = Some(es);
+    }
+
+    /// Test/bench helper: `(ownership epoch, invariant holds)` when the
+    /// elastic tier is active.
+    #[doc(hidden)]
+    pub fn elastic_snapshot(&self) -> Option<(u64, bool)> {
+        self.elastic.as_ref().map(|es| {
+            let live: Vec<NodeId> = (0..self.cfg.nodes)
+                .filter(|&n| !self.dead[n] && !es.draining[n])
+                .map(|n| NodeId::new(n as u32))
+                .collect();
+            (
+                es.ownership.epoch(),
+                es.ownership.verify_complete(es.subs, &live).is_ok(),
+            )
+        })
+    }
+
     /// After a PR worker failure: hand recovered collection chunks to live
     /// workers that are currently idle for this question.
     fn redispatch_pr(&mut self, q: usize) {
@@ -1233,7 +1707,7 @@ impl QaSimulation {
 
     fn loads(&self) -> Vec<(NodeId, ResourceVector)> {
         (0..self.cfg.nodes)
-            .filter(|&n| !self.dead[n])
+            .filter(|&n| !self.is_retired(n))
             .map(|n| (NodeId::new(n as u32), self.commit[n]))
             .collect()
     }
@@ -1310,7 +1784,7 @@ impl QaSimulation {
             }
         }
         (0..self.cfg.nodes)
-            .filter(|&n| !self.dead[n])
+            .filter(|&n| !self.is_retired(n))
             .map(|n| (NodeId::new(n as u32), self.observed[o][n]))
             .collect()
     }
@@ -1527,7 +2001,7 @@ impl QaSimulation {
         // and the question bounces rather than queueing on a node.
         if let Some(cap) = self.cfg.overload.max_per_node {
             let saturated = (0..self.cfg.nodes)
-                .filter(|&n| !self.dead[n])
+                .filter(|&n| !self.is_retired(n))
                 .all(|n| self.resident[n] as usize >= cap);
             if saturated {
                 self.reject(q);
@@ -1535,9 +2009,10 @@ impl QaSimulation {
             }
         }
         let mut dns_home = self.states[q].home;
-        // DNS pointing at a dead node: walk the ring to the next live one.
+        // DNS pointing at a dead (or draining) node: walk the ring to the
+        // next placeable one.
         let mut hops = 0;
-        while self.dead[dns_home.index()] && hops < self.cfg.nodes {
+        while self.is_retired(dns_home.index()) && hops < self.cfg.nodes {
             dns_home = NodeId::new(((dns_home.raw() as usize + 1) % self.cfg.nodes) as u32);
             hops += 1;
         }
@@ -1708,6 +2183,19 @@ impl QaSimulation {
             }
             if loads.is_empty() {
                 return vec![home];
+            }
+        }
+        // Elastic routing: PR chunks go to sub-collection owners. The
+        // ownership map is control-plane state — any node *can* serve any
+        // chunk — so when no owner is in view the home node serves as the
+        // degraded fallback rather than stalling the question.
+        if module == QaModule::Pr {
+            if let Some(es) = &self.elastic {
+                let subs = self.states[q].demand.pr_per_collection.len() as u32;
+                loads.retain(|(n, _)| es.owns_any(*n, subs));
+                if loads.is_empty() {
+                    return vec![home];
+                }
             }
         }
         let alloc = meta_schedule(
@@ -2039,6 +2527,7 @@ impl QaSimulation {
         self.in_flight -= 1;
         self.observe_question(q, at);
         self.publish_node_loads();
+        self.maybe_rebalance_skew(at);
         // The freed slot may admit (or deadline-reject) queued arrivals.
         self.drain_admission();
         self.publish_gate();
@@ -2731,5 +3220,147 @@ mod tests {
             isend.mean_timings().ap,
             send.mean_timings().ap
         );
+    }
+
+    // ---- elastic membership ------------------------------------------
+
+    #[test]
+    fn decommission_evacuates_then_departs_with_nothing_lost() {
+        let build = || {
+            let mut cfg =
+                SimConfig::paper_low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, 8, 301);
+            cfg.faults = FaultSchedule::seeded(301).decommission(NodeId::new(1), 15.0);
+            QaSimulation::new(cfg)
+        };
+        let r = build().run();
+        assert_eq!(r.questions.len(), 8, "zero questions lost to the drain");
+        assert_eq!(
+            r.metrics
+                .counter(r#"dqa_rebalance_plans_total{reason="drain"}"#),
+            1,
+            "one drain plan minted"
+        );
+        assert!(
+            r.metrics.counter("dqa_rebalance_migrated_total") > 0,
+            "the drained node's sub-collections moved"
+        );
+        assert_eq!(
+            r.metrics.gauges["dqa_rebalance_converged"], 1.0,
+            "ownership converged after the drain"
+        );
+        assert!(
+            r.metrics.gauges["dqa_rebalance_ownership_epoch"] > 0.0,
+            "migrations bumped the epoch"
+        );
+        // Questions arriving after the drain never land on the victim.
+        for q in r.questions.iter().filter(|q| q.arrival > 15.0) {
+            assert_ne!(q.home, NodeId::new(1), "drained node must not host");
+        }
+        assert_eq!(r, build().run(), "decommission replays bit-stably");
+    }
+
+    #[test]
+    fn node_join_heals_a_drain_and_serves_again() {
+        let build = || {
+            let mut cfg =
+                SimConfig::paper_low_load(3, PartitionStrategy::Recv { chunk_size: 40 }, 9, 302);
+            cfg.faults = FaultSchedule::seeded(302)
+                .decommission(NodeId::new(2), 10.0)
+                .node_join(NodeId::new(2), 120.0);
+            QaSimulation::new(cfg)
+        };
+        let r = build().run();
+        assert_eq!(r.questions.len(), 9, "every question completes");
+        assert_eq!(
+            r.metrics
+                .counter(r#"dqa_rebalance_plans_total{reason="join"}"#),
+            1,
+            "the rejoin mints a join plan"
+        );
+        assert_eq!(
+            r.metrics.gauges["dqa_rebalance_converged"], 1.0,
+            "converged again after the round trip"
+        );
+        assert!(
+            r.metrics
+                .histograms
+                .contains_key("dqa_rebalance_heal_seconds"),
+            "heal latency lands in the catalogue"
+        );
+        assert_eq!(r, build().run(), "drain/join round trip is deterministic");
+    }
+
+    #[test]
+    fn rebalance_stall_window_defers_healing_but_not_questions() {
+        let run_with_stall = |until: f64| {
+            let mut cfg =
+                SimConfig::paper_low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, 6, 303);
+            cfg.faults = FaultSchedule::seeded(303)
+                .decommission(NodeId::new(1), 5.0)
+                .rebalance_stall(5.0, until);
+            QaSimulation::new(cfg).run()
+        };
+        let quick = run_with_stall(5.5);
+        let stalled = run_with_stall(400.0);
+        assert_eq!(stalled.questions.len(), 6, "foreground unaffected");
+        assert_eq!(
+            stalled.metrics.gauges["dqa_rebalance_converged"], 1.0,
+            "healing completes once the window closes"
+        );
+        assert!(
+            stalled.metrics.counter("dqa_rebalance_throttled_total{cause=\"stalled\"}") > 0,
+            "deferred steps are counted"
+        );
+        let heal = |r: &SimReport| r.metrics.histograms["dqa_rebalance_heal_seconds"].sum;
+        assert!(
+            heal(&stalled) > heal(&quick),
+            "a long stall window must delay convergence: {:.1} !> {:.1}",
+            heal(&stalled),
+            heal(&quick)
+        );
+    }
+
+    #[test]
+    fn permanent_loss_triggers_evacuation_after_the_lease() {
+        let mut cfg =
+            SimConfig::paper_low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, 8, 304);
+        cfg.elastic = Some(ElasticConfig::default());
+        cfg.faults = FaultSchedule::seeded(304).crash(NodeId::new(2), 20.0);
+        let r = QaSimulation::new(cfg).run();
+        assert_eq!(r.questions.len(), 8, "crash recovery still conserves");
+        assert_eq!(
+            r.metrics
+                .counter(r#"dqa_rebalance_plans_total{reason="permanent-loss"}"#),
+            1,
+            "the detector verdict mints an evacuation plan"
+        );
+        assert_eq!(
+            r.metrics.gauges["dqa_rebalance_converged"], 1.0,
+            "survivors own everything after healing"
+        );
+    }
+
+    #[test]
+    fn clean_elastic_run_stays_converged_and_plans_nothing() {
+        let mut cfg =
+            SimConfig::paper_low_load(4, PartitionStrategy::Recv { chunk_size: 40 }, 4, 305);
+        cfg.elastic = Some(ElasticConfig::default());
+        let mut sim = QaSimulation::new(cfg);
+        assert_eq!(sim.run_ref(), 0.0, "commitments drain");
+        let (epoch, ok) = sim.elastic_snapshot().expect("elastic tier active");
+        assert_eq!(epoch, 0, "no membership change, no migration");
+        assert!(ok, "striped ownership satisfies the invariant");
+    }
+
+    #[test]
+    fn elastic_schedules_without_elastic_config_activate_the_tier() {
+        // The activation mirror of the `journaled` flag: a schedule with
+        // membership events needs no explicit ElasticConfig.
+        let mut cfg =
+            SimConfig::paper_low_load(3, PartitionStrategy::Recv { chunk_size: 40 }, 4, 306);
+        cfg.faults = FaultSchedule::seeded(306).decommission(NodeId::new(1), 8.0);
+        let r = QaSimulation::new(cfg).run();
+        assert!(r.metrics.gauges.contains_key("dqa_rebalance_converged"));
+        assert_eq!(r.questions.len(), 4);
     }
 }

@@ -86,6 +86,15 @@ pub struct DqaMetrics {
     pub merges: Counter,
     /// `dqa_quorum_shortfalls_total` — merges below the shard quorum.
     pub quorum_shortfalls: Counter,
+    /// `dqa_rebalance_migrated_total` — ownership transfers applied.
+    pub rebalance_migrated: Counter,
+    /// `dqa_rebalance_ownership_epoch` — monotone ownership-map epoch.
+    pub ownership_epoch: Gauge,
+    /// `dqa_rebalance_converged` — 1 while every sub-collection has a
+    /// live owner.
+    pub rebalance_converged: Gauge,
+    /// `dqa_rebalance_heal_seconds` — loss/join → convergence latency.
+    pub heal_seconds: Histogram,
 }
 
 impl DqaMetrics {
@@ -132,6 +141,10 @@ impl DqaMetrics {
             hedge_wins: registry.counter(names::HEDGE_WINS_TOTAL, &[]),
             merges: registry.counter(names::MERGES_TOTAL, &[]),
             quorum_shortfalls: registry.counter(names::QUORUM_SHORTFALLS_TOTAL, &[]),
+            rebalance_migrated: registry.counter(names::REBALANCE_MIGRATED_TOTAL, &[]),
+            ownership_epoch: registry.gauge(names::REBALANCE_OWNERSHIP_EPOCH, &[]),
+            rebalance_converged: registry.gauge(names::REBALANCE_CONVERGED, &[]),
+            heal_seconds: registry.histogram(names::REBALANCE_HEAL_SECONDS, &[]),
             registry: registry.clone(),
         }
     }
@@ -177,6 +190,21 @@ impl DqaMetrics {
             .gauge(names::SHARD_BREAKER_OPEN, &[("shard", &shard.to_string())])
     }
 
+    /// Migration-plan counter for one trigger (`reason` is the
+    /// `rebalance::RebalanceReason` label: `"permanent-loss"`, `"drain"`,
+    /// `"join"`, `"load-skew"`).
+    pub fn rebalance_plans(&self, reason: &str) -> Counter {
+        self.registry
+            .counter(names::REBALANCE_PLANS_TOTAL, &[("reason", reason)])
+    }
+
+    /// Throttle-deferral counter for one cause (`"stalled"`,
+    /// `"saturated"`, `"yielding"`).
+    pub fn rebalance_throttled(&self, cause: &str) -> Counter {
+        self.registry
+            .counter(names::REBALANCE_THROTTLED_TOTAL, &[("cause", cause)])
+    }
+
     /// The per-module histogram for a Fig. 3 module name (`"QP"`, `"PR"`,
     /// `"PO"`, `"AP"`; `"PS"` maps to the fused PR histogram).
     pub fn module_seconds(&self, module: &str) -> &Histogram {
@@ -212,6 +240,12 @@ mod tests {
         m.shard_requests(1, "answered").inc();
         m.shard_seconds(1).observe(0.05);
         m.shard_breaker_open(1).set(1.0);
+        m.rebalance_plans("drain").inc();
+        m.rebalance_throttled("yielding").inc();
+        m.rebalance_migrated.inc();
+        m.ownership_epoch.set(4.0);
+        m.rebalance_converged.set(1.0);
+        m.heal_seconds.observe(0.4);
         let snap = reg.snapshot();
         assert_eq!(
             snap.counter(r#"dqa_questions_total{outcome="answered"}"#),
@@ -238,6 +272,18 @@ mod tests {
             .histograms
             .contains_key(r#"dqa_shard_seconds{shard="1"}"#));
         assert_eq!(snap.gauges[r#"dqa_shard_breaker_open{shard="1"}"#], 1.0);
+        assert_eq!(
+            snap.counter(r#"dqa_rebalance_plans_total{reason="drain"}"#),
+            1
+        );
+        assert_eq!(
+            snap.counter(r#"dqa_rebalance_throttled_total{cause="yielding"}"#),
+            1
+        );
+        assert_eq!(snap.counter("dqa_rebalance_migrated_total"), 1);
+        assert_eq!(snap.gauges["dqa_rebalance_ownership_epoch"], 4.0);
+        assert_eq!(snap.gauges["dqa_rebalance_converged"], 1.0);
+        assert!(snap.histograms.contains_key("dqa_rebalance_heal_seconds"));
         // The exposition must validate (CI smoke requirement).
         crate::validate_prometheus(&snap.to_prometheus()).expect("valid");
     }

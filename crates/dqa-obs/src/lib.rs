@@ -78,6 +78,12 @@ pub use snapshot::{
 /// | `dqa_hedge_wins_total` | counter | — (hedged replies that beat the primary) |
 /// | `dqa_merges_total` | counter | — (scatter-gathered questions merged) |
 /// | `dqa_quorum_shortfalls_total` | counter | — (merges below the quorum) |
+/// | `dqa_rebalance_plans_total` | counter | `reason` = `permanent-loss`/`drain`/`join`/`load-skew` |
+/// | `dqa_rebalance_migrated_total` | counter | — (sub-collection ownership transfers applied) |
+/// | `dqa_rebalance_throttled_total` | counter | `cause` = `stalled`/`saturated`/`yielding` |
+/// | `dqa_rebalance_ownership_epoch` | gauge | — (monotone ownership-map epoch) |
+/// | `dqa_rebalance_converged` | gauge | — (1 while every sub-collection has a live owner) |
+/// | `dqa_rebalance_heal_seconds` | histogram | — (loss/join detected → convergence restored) |
 pub mod names {
     /// Per-module latency histogram (Table 8). Label `module`.
     pub const MODULE_SECONDS: &str = "dqa_module_seconds";
@@ -138,4 +144,16 @@ pub mod names {
     pub const MERGES_TOTAL: &str = "dqa_merges_total";
     /// Merges that closed below the configured shard quorum.
     pub const QUORUM_SHORTFALLS_TOTAL: &str = "dqa_quorum_shortfalls_total";
+    /// Migration plans minted by the rebalancer. Label `reason`.
+    pub const REBALANCE_PLANS_TOTAL: &str = "dqa_rebalance_plans_total";
+    /// Sub-collection ownership transfers applied.
+    pub const REBALANCE_MIGRATED_TOTAL: &str = "dqa_rebalance_migrated_total";
+    /// Migration steps deferred by the throttle. Label `cause`.
+    pub const REBALANCE_THROTTLED_TOTAL: &str = "dqa_rebalance_throttled_total";
+    /// Monotone ownership-map epoch (staleness fence for routing).
+    pub const REBALANCE_OWNERSHIP_EPOCH: &str = "dqa_rebalance_ownership_epoch";
+    /// 1 while every sub-collection is owned by a live node, else 0.
+    pub const REBALANCE_CONVERGED: &str = "dqa_rebalance_converged";
+    /// Loss/join detection to convergence-restored latency.
+    pub const REBALANCE_HEAL_SECONDS: &str = "dqa_rebalance_heal_seconds";
 }

@@ -70,12 +70,18 @@ impl ChaosDriver {
                 // chaos thread has nothing to flip. Federation faults
                 // (shard loss/partition, broker crash) likewise live one
                 // tier up: the `federation` broker consumes them against
-                // whole coordinator shards.
+                // whole coordinator shards. Elastic-membership events
+                // (decommission/join/stall) are consumed by the cluster's
+                // rebalance controller, which owns the ownership map the
+                // board knows nothing about.
                 FaultEvent::CoordinatorCrash { .. }
                 | FaultEvent::LeaderPartition { .. }
                 | FaultEvent::ShardDown { .. }
                 | FaultEvent::ShardPartition { .. }
-                | FaultEvent::BrokerCrash { .. } => {}
+                | FaultEvent::BrokerCrash { .. }
+                | FaultEvent::NodeDecommission { .. }
+                | FaultEvent::NodeJoin { .. }
+                | FaultEvent::RebalanceStall { .. } => {}
             }
         }
         timeline.sort_by(|a, b| a.0.total_cmp(&b.0));

@@ -9,15 +9,21 @@ use crate::message::{Envelope, SubTask, SubTaskResult};
 use crate::monitor::BroadcastMonitors;
 use crate::node::{run_node, NodeContext};
 use crate::overload::{Admission, AdmissionGate, GateDecision, PhaseEstimator};
+use crate::sync::Mutex;
 use crate::trace::{TraceKind, TraceLog, DEFAULT_FLIGHT_RECORDER_CAPACITY};
 use crossbeam_channel::{bounded, RecvTimeoutError, SendTimeoutError, Sender};
 use dqa_obs::{names, DqaMetrics, Gauge, MetricsRegistry, WallClock};
 use faults::{FaultSchedule, RetryPolicy};
 use ir_engine::ParagraphRetriever;
 use journal::{
-    JournalError, JournalPhase, JournalRecord, QuestionRecovery, Recovery, SchedulingPoint,
+    JournalError, JournalPhase, JournalRecord, QuestionRecovery, RecoveredState, Recovery,
+    SchedulingPoint,
 };
 use loadsim::functions::LoadFunctions;
+use rebalance::{
+    plan_evacuation, plan_join, plan_skew, ElasticConfig, FailureDetector, MigrationPlan,
+    MigrationStep, NodeHealth, OwnershipMap, RebalanceReason, ThrottleVerdict,
+};
 use nlp::{NamedEntityRecognizer, QuestionProcessor};
 use qa_pipeline::answer::ApItem;
 use qa_pipeline::ordering::order_paragraphs;
@@ -107,6 +113,14 @@ pub struct ClusterConfig {
     /// lives in the `journal` crate — the `raw-fs-write` lint rule keeps
     /// ad-hoc writes out of this one.
     pub journal: Option<CoordinatorJournal>,
+    /// Elastic membership: ownership-mapped sub-collections, a lease/phi
+    /// failure detector, and operator [`Cluster::drain`]/[`Cluster::join`]
+    /// verbs backed by throttled, journal-fenced migration plans. The last
+    /// [`ElasticConfig::standby_nodes`] of `nodes` start suspended (warm
+    /// spares owning nothing) until a `join` pulls them in. `None`
+    /// (default) disables the tier; every pre-elastic behavior — routing,
+    /// recovery, journaling — is unchanged.
+    pub elastic: Option<ElasticConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -132,6 +146,7 @@ impl Default for ClusterConfig {
             metrics: None,
             trace_capacity: DEFAULT_FLIGHT_RECORDER_CAPACITY,
             journal: None,
+            elastic: None,
         }
     }
 }
@@ -176,6 +191,30 @@ pub struct Cluster {
     estimator: PhaseEstimator,
     metrics: DqaMetrics,
     queue_depth: Vec<Gauge>,
+    elastic: Option<Mutex<ElasticRuntime>>,
+}
+
+/// Mutable state of the elastic-membership tier: who owns which
+/// sub-collection, what the failure detector believes, and the plan
+/// sequence counter. One mutex guards it all — rebalancing is a
+/// control-plane rarity, never on the per-question hot path (readers take
+/// the lock once per PR scheduling decision, holders never block on I/O).
+struct ElasticRuntime {
+    cfg: ElasticConfig,
+    ownership: OwnershipMap,
+    detector: FailureDetector,
+    plan_seq: u64,
+    /// Wall anchor for the detector's f64 timeline.
+    epoch: Instant,
+    /// Set when convergence is first broken, cleared (into the
+    /// `dqa_rebalance_heal_seconds` histogram) when it is restored.
+    heal_started: Option<Instant>,
+}
+
+impl ElasticRuntime {
+    fn now_secs(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
 }
 
 impl Cluster {
@@ -267,6 +306,31 @@ impl Cluster {
         if let Some(journal) = &cfg.journal {
             metrics.leader_term.set(journal.term() as f64);
         }
+        let elastic = cfg.elastic.clone().map(|ecfg| {
+            assert!(
+                ecfg.standby_nodes < cfg.nodes,
+                "standby_nodes ({}) must leave at least one active node (nodes = {})",
+                ecfg.standby_nodes,
+                cfg.nodes
+            );
+            let active = cfg.nodes - ecfg.standby_nodes;
+            // Warm spares: threads up, heartbeating threads parked by the
+            // board suspension, owning no sub-collections until a `join`.
+            for i in active..cfg.nodes {
+                board.suspend(NodeId::new(i as u32));
+            }
+            let owners: Vec<NodeId> = (0..active).map(|i| NodeId::new(i as u32)).collect();
+            metrics.rebalance_converged.set(1.0);
+            metrics.ownership_epoch.set(0.0);
+            Mutex::new(ElasticRuntime {
+                detector: FailureDetector::new(cfg.nodes, ecfg.detector, 0.0),
+                ownership: OwnershipMap::balanced(shards as u32, &owners),
+                cfg: ecfg,
+                plan_seq: 0,
+                epoch: now_instant(),
+                heal_started: None,
+            })
+        });
         Cluster {
             monitors,
             cfg,
@@ -283,6 +347,7 @@ impl Cluster {
             estimator: PhaseEstimator::new(Trec9Profile::average()),
             metrics,
             queue_depth,
+            elastic,
         }
     }
 
@@ -324,6 +389,334 @@ impl Cluster {
     /// repeated quick rejoins trip the flap quarantine.
     pub fn resume_node(&self, node: NodeId) {
         self.board.resume(node);
+    }
+
+    // ---- elastic membership (operator verbs + self-healing) ------------
+
+    /// Operator drain: migrate every sub-collection off `node` (live — the
+    /// node keeps serving PR chunks while each transfer is in flight),
+    /// then retire it from the pool. Returns the number of ownership
+    /// transfers applied. Without a [`ClusterConfig::elastic`] config this
+    /// degrades to [`Cluster::suspend_node`].
+    pub fn drain(&self, node: NodeId) -> usize {
+        let Some(e) = &self.elastic else {
+            self.suspend_node(node);
+            return 0;
+        };
+        let plan = {
+            let mut es = e.lock();
+            es.detector.mark_left(node);
+            let survivors = self.live_pool(Some(node));
+            if survivors.is_empty() {
+                // Nowhere to evacuate to: refuse the drain rather than
+                // orphan the collection (the node stays in service).
+                return 0;
+            }
+            es.plan_seq += 1;
+            plan_evacuation(
+                &es.ownership,
+                node,
+                &survivors,
+                RebalanceReason::Drain,
+                es.plan_seq,
+                self.term(),
+            )
+        };
+        let applied = self.execute_plan(&plan);
+        // Evacuation first, suspension second: the drain is live.
+        self.board.suspend(node);
+        self.finish_heal();
+        applied
+    }
+
+    /// Operator join: bring `node` (a warm standby, a previously drained
+    /// node, or a recovered crash) into the serving pool and migrate its
+    /// fair share of sub-collections onto it. Returns the number of
+    /// ownership transfers applied.
+    pub fn join(&self, node: NodeId) -> usize {
+        self.board.resume(node);
+        let Some(e) = &self.elastic else {
+            return 0;
+        };
+        let plan = {
+            let mut es = e.lock();
+            let at = es.now_secs();
+            es.detector.mark_joined(node, at);
+            let mut live = self.live_pool(None);
+            if !live.contains(&node) {
+                live.push(node);
+                live.sort();
+            }
+            es.plan_seq += 1;
+            plan_join(&es.ownership, node, &live, es.plan_seq, self.term())
+        };
+        let applied = self.execute_plan(&plan);
+        self.finish_heal();
+        applied
+    }
+
+    /// One self-healing pass: feed the failure detector from the load
+    /// board, evacuate any owner whose loss the detector now presumes
+    /// permanent (past the lease floor *and* the phi threshold — transient
+    /// stragglers are never migrated), and, when the Eq. 1–3 load gauges
+    /// show skew past [`ElasticConfig::skew_threshold`], rebalance.
+    /// Call it periodically (the `rebalance_soak` bench and `qa-cli` drive
+    /// it between question waves); each call is cheap when healthy.
+    /// Returns the number of ownership transfers applied.
+    pub fn heal(&self) -> usize {
+        let Some(e) = &self.elastic else {
+            return 0;
+        };
+        let plans: Vec<MigrationPlan> = {
+            let mut es = e.lock();
+            let now = es.now_secs();
+            for i in 0..self.cfg.nodes {
+                let n = NodeId::new(i as u32);
+                if self.board.is_alive(n) {
+                    es.detector.observe(n, now);
+                }
+            }
+            let dead: Vec<NodeId> = (0..self.cfg.nodes)
+                .map(|i| NodeId::new(i as u32))
+                .filter(|n| {
+                    es.detector.health(*n, now) == NodeHealth::Dead
+                        && !es.ownership.owned_by(*n).is_empty()
+                })
+                .collect();
+            let mut plans = Vec::new();
+            for victim in dead {
+                let survivors = self.live_pool(Some(victim));
+                if survivors.is_empty() {
+                    continue;
+                }
+                es.plan_seq += 1;
+                plans.push(plan_evacuation(
+                    &es.ownership,
+                    victim,
+                    &survivors,
+                    RebalanceReason::PermanentLoss,
+                    es.plan_seq,
+                    self.term(),
+                ));
+            }
+            plans
+        };
+        let mut applied = 0;
+        for plan in &plans {
+            applied += self.execute_plan(plan);
+        }
+        // Skew pass against the post-evacuation map: reuse the
+        // dispatcher's PR load gauge as the imbalance signal, exactly the
+        // quantity Eqs. 1–3 already maintain.
+        let skew = {
+            let mut es = e.lock();
+            match es.cfg.skew_threshold {
+                None => None,
+                Some(threshold) => {
+                    let loads: Vec<(NodeId, f64)> = self
+                        .board
+                        .live_loads()
+                        .into_iter()
+                        .map(|(n, v)| (n, self.functions.load_for(QaModule::Pr, &v)))
+                        .collect();
+                    let plan = plan_skew(
+                        &es.ownership,
+                        &loads,
+                        threshold,
+                        es.plan_seq + 1,
+                        self.term(),
+                    );
+                    if plan.is_some() {
+                        es.plan_seq += 1;
+                    }
+                    plan
+                }
+            }
+        };
+        if let Some(plan) = skew {
+            applied += self.execute_plan(&plan);
+        }
+        self.finish_heal();
+        applied
+    }
+
+    /// The detector's three-way verdict for `node` right now (`None`
+    /// without an elastic config). Suspect ≠ Dead is the whole point:
+    /// only `Dead` ever triggers migration.
+    pub fn node_health(&self, node: NodeId) -> Option<NodeHealth> {
+        let e = self.elastic.as_ref()?;
+        let es = e.lock();
+        Some(es.detector.health(node, es.now_secs()))
+    }
+
+    /// Elastic-tier status: `(ownership epoch, converged)` where converged
+    /// means every sub-collection is owned by exactly one live node.
+    /// `None` without an elastic config.
+    pub fn rebalance_status(&self) -> Option<(u64, bool)> {
+        let e = self.elastic.as_ref()?;
+        let es = e.lock();
+        let live = self.live_pool(None);
+        let ok = es
+            .ownership
+            .verify_complete(self.shards as u32, &live)
+            .is_ok();
+        Some((es.ownership.epoch(), ok))
+    }
+
+    /// Current sub-collection owners as `(sub, node)` pairs, ascending by
+    /// sub-collection (empty without an elastic config) — the `qa-cli
+    /// rebalance` listing.
+    pub fn ownership(&self) -> Vec<(u32, u32)> {
+        let Some(e) = &self.elastic else {
+            return Vec::new();
+        };
+        let es = e.lock();
+        (0..self.shards as u32)
+            .filter_map(|s| {
+                es.ownership
+                    .owner(SubCollectionId::new(s))
+                    .map(|n| (s, n.raw()))
+            })
+            .collect()
+    }
+
+    /// The live candidate pool for placements: board-alive nodes, minus an
+    /// optional victim. Standbys and drained nodes are board-suspended, so
+    /// they fall out here without extra bookkeeping.
+    fn live_pool(&self, exclude: Option<NodeId>) -> Vec<NodeId> {
+        (0..self.cfg.nodes)
+            .map(|i| NodeId::new(i as u32))
+            .filter(|n| Some(*n) != exclude && self.board.is_alive(*n))
+            .collect()
+    }
+
+    /// The journal's fencing term, or 0 when running unjournaled.
+    fn term(&self) -> u64 {
+        self.cfg.journal.as_ref().map_or(0, |j| j.term())
+    }
+
+    /// Apply one migration plan: journal it, then walk its steps under the
+    /// throttle — each step waits (bounded) while the admission gate sits
+    /// above the headroom line, so in-flight questions keep their
+    /// deadlines and healing takes the leftovers. The elastic lock is
+    /// taken only for the instant each transfer commits, never across a
+    /// sleep: PR scheduling reads the map contention-free while the
+    /// migration paces itself. Returns transfers applied.
+    fn execute_plan(&self, plan: &MigrationPlan) -> usize {
+        let Some(e) = &self.elastic else {
+            return 0;
+        };
+        if plan.is_empty() {
+            return 0;
+        }
+        self.metrics
+            .rebalance_plans(&plan.reason.to_string())
+            .inc();
+        self.metrics.rebalance_converged.set(0.0);
+        let throttle = {
+            let mut es = e.lock();
+            es.heal_started.get_or_insert_with(now_instant);
+            es.cfg.throttle
+        };
+        if self.cfg.journal.is_some() {
+            self.journal_append(&JournalRecord::RebalancePlanned {
+                plan: plan.id,
+                steps: plan
+                    .steps
+                    .iter()
+                    .map(|s| (s.sub.raw(), s.from.raw(), s.to.raw()))
+                    .collect(),
+            });
+        }
+        let quantum = Duration::from_secs_f64(throttle.step_secs.max(0.0));
+        let mut applied = 0;
+        for step in &plan.steps {
+            // Bounded courtesy: yield to foreground up to 64 quanta, then
+            // take the step anyway — healing must stay live even under a
+            // persistently full gate.
+            for _ in 0..64 {
+                let verdict = throttle.grant(
+                    self.gate.in_flight(),
+                    self.cfg.overload.max_in_flight,
+                    0,
+                    false,
+                );
+                if verdict.is_go() {
+                    break;
+                }
+                let cause = match verdict {
+                    ThrottleVerdict::Yielding => "yielding",
+                    ThrottleVerdict::Saturated => "saturated",
+                    _ => "stalled",
+                };
+                self.metrics.rebalance_throttled(cause).inc();
+                std::thread::sleep(quantum);
+            }
+            let (stepped, epoch) = {
+                let mut es = e.lock();
+                let st = es.ownership.apply_step(step);
+                (st, es.ownership.epoch())
+            };
+            if stepped {
+                applied += 1;
+                self.metrics.rebalance_migrated.inc();
+                self.metrics.ownership_epoch.set(epoch as f64);
+                if self.cfg.journal.is_some() {
+                    self.journal_append(&JournalRecord::RebalanceStepDone {
+                        plan: plan.id,
+                        sub: step.sub.raw(),
+                        to: step.to.raw(),
+                    });
+                }
+            }
+            std::thread::sleep(quantum);
+        }
+        if self.cfg.journal.is_some() {
+            self.journal_append(&JournalRecord::RebalanceConverged { plan: plan.id });
+        }
+        applied
+    }
+
+    /// Re-verify the convergence invariant and settle the heal timer: when
+    /// every sub-collection is owned by a live node again, the gauge flips
+    /// back to 1 and the outage duration lands in
+    /// `dqa_rebalance_heal_seconds`.
+    fn finish_heal(&self) {
+        let Some(e) = &self.elastic else {
+            return;
+        };
+        let mut es = e.lock();
+        let live = self.live_pool(None);
+        let ok = es
+            .ownership
+            .verify_complete(self.shards as u32, &live)
+            .is_ok();
+        self.metrics
+            .rebalance_converged
+            .set(if ok { 1.0 } else { 0.0 });
+        if ok {
+            if let Some(t) = es.heal_started.take() {
+                self.metrics.heal_seconds.observe(t.elapsed().as_secs_f64());
+            }
+        }
+    }
+
+    /// Under elastic membership, strip non-owners from a PR worker set —
+    /// a node owning no sub-collections (drained, mid-join standby) gets
+    /// no PR chunk traffic. Falls back to the home node rather than an
+    /// empty set, mirroring every other allocator fallback.
+    fn restrict_to_owners(&self, mut nodes: Vec<NodeId>, home: NodeId) -> Vec<NodeId> {
+        let Some(e) = &self.elastic else {
+            return nodes;
+        };
+        let es = e.lock();
+        nodes.retain(|n| !es.ownership.owned_by(*n).is_empty());
+        drop(es);
+        if nodes.is_empty() {
+            vec![home]
+        } else {
+            nodes
+        }
     }
 
     /// Answer a question. DNS round-robin picks the initial home; the
@@ -445,6 +838,9 @@ impl Cluster {
         // coordinator's in-flight work.
         self.metrics.failovers.inc();
         self.metrics.replayed_records.add(recovery.stats.records);
+        // Ownership first, questions second: resumed PR scheduling must
+        // see the post-crash map, not the boot-time balanced one.
+        self.resume_rebalances(&recovery.state);
         let t = now_instant();
         let mut out = Vec::new();
         for (_, rec) in recovery.state.in_flight() {
@@ -457,6 +853,55 @@ impl Cluster {
             .recovery_seconds
             .observe(t.elapsed().as_secs_f64());
         out
+    }
+
+    /// Fold a replayed journal's rebalance history into the live ownership
+    /// map: completed steps are re-applied (idempotently — a transfer the
+    /// map already shows is a no-op), then every *unfinished* plan's
+    /// pending steps are driven to completion under the successor's term.
+    /// This is what makes a crash-interrupted migration exactly-once: no
+    /// step re-runs, no step is dropped, and the re-appended records are
+    /// absorbed by the same idempotent fold on the next replay.
+    fn resume_rebalances(&self, state: &RecoveredState) {
+        let Some(e) = &self.elastic else {
+            return;
+        };
+        let pending: Vec<(u64, Vec<(u32, u32, u32)>)> = {
+            let mut es = e.lock();
+            for (sub, to) in state.rebalanced_owners() {
+                es.ownership
+                    .set_owner(SubCollectionId::new(sub), NodeId::new(to));
+            }
+            let pending: Vec<(u64, Vec<(u32, u32, u32)>)> = state
+                .unfinished_rebalances()
+                .map(|(id, r)| (id, r.pending_steps()))
+                .collect();
+            // Never mint a future plan id below one the journal has seen.
+            for (plan_id, _) in &pending {
+                es.plan_seq = es.plan_seq.max(*plan_id);
+            }
+            self.metrics
+                .ownership_epoch
+                .set(es.ownership.epoch() as f64);
+            pending
+        };
+        for (plan_id, steps) in pending {
+            let plan = MigrationPlan {
+                id: plan_id,
+                term: self.term(),
+                reason: RebalanceReason::PermanentLoss,
+                steps: steps
+                    .into_iter()
+                    .map(|(sub, from, to)| MigrationStep {
+                        sub: SubCollectionId::new(sub),
+                        from: NodeId::new(from),
+                        to: NodeId::new(to),
+                    })
+                    .collect(),
+            };
+            self.execute_plan(&plan);
+        }
+        self.finish_heal();
     }
 
     /// Resume a single recovered question. Prefers the journaled home node
@@ -671,9 +1116,12 @@ impl Cluster {
             });
         }
 
-        // Scheduling point 2: PR dispatcher → node set for PR chunks.
+        // Scheduling point 2: PR dispatcher → node set for PR chunks,
+        // restricted under elastic membership to current sub-collection
+        // owners (a drained node must stop receiving PR work the moment
+        // its last sub-collection has moved, not when it goes dark).
         let t = now_instant();
-        let pr_nodes = self.allocate(QaModule::Pr, home);
+        let pr_nodes = self.restrict_to_owners(self.allocate(QaModule::Pr, home), home);
         self.journal_scheduled(question.id, SchedulingPoint::Pr, &pr_nodes);
         let chunks: Vec<Vec<SubCollectionId>> = (0..self.shards)
             .map(|s| vec![SubCollectionId::new(s as u32)])
@@ -2016,5 +2464,137 @@ mod tests {
         for h in handles {
             assert!(h.join().unwrap().is_ok());
         }
+    }
+
+    // ---- elastic membership ----
+
+    fn elastic_cluster(nodes: usize, ecfg: ElasticConfig) -> (Corpus, Cluster) {
+        let c = Corpus::generate(CorpusConfig::small(92)).unwrap();
+        let index = Arc::new(ShardedIndex::build(&c.documents, c.config.sub_collections));
+        let store = Arc::new(DocumentStore::new(c.documents.clone()));
+        let retriever = ParagraphRetriever::new(index, store, RetrievalConfig::default());
+        let cfg = ClusterConfig {
+            nodes,
+            elastic: Some(ecfg),
+            ..ClusterConfig::default()
+        };
+        let cl = Cluster::start(retriever, NamedEntityRecognizer::standard(), cfg);
+        (c, cl)
+    }
+
+    fn fast_throttle() -> ElasticConfig {
+        ElasticConfig {
+            throttle: rebalance::MigrationThrottle {
+                step_secs: 0.0005,
+                ..rebalance::MigrationThrottle::default()
+            },
+            ..ElasticConfig::default()
+        }
+    }
+
+    #[test]
+    fn drain_migrates_ownership_live_and_join_brings_it_back() {
+        let (c, cl) = elastic_cluster(4, fast_throttle());
+        assert_eq!(cl.rebalance_status(), Some((0, true)));
+        let qs = QuestionGenerator::new(&c, 11).generate(4);
+        let before = cl.ask(&qs[0].question).unwrap();
+        assert!(before.coverage.is_complete());
+
+        let victim = NodeId::new(1);
+        let moved = cl.drain(victim);
+        assert!(moved > 0, "the drained node owned sub-collections");
+        assert!(
+            cl.ownership().iter().all(|(_, n)| *n != victim.raw()),
+            "every sub-collection re-homed off the drained node"
+        );
+        let (epoch, converged) = cl.rebalance_status().unwrap();
+        assert!(converged, "drain must restore full coverage");
+        assert_eq!(epoch as usize, moved, "one epoch bump per transfer");
+
+        // The drained node serves no further PR work, yet answers stay
+        // complete: live migration lost nothing.
+        for gq in &qs[1..] {
+            let out = cl.ask(&gq.question).unwrap();
+            assert!(out.coverage.is_complete());
+            assert!(!out.pr_nodes.contains(&victim));
+        }
+
+        let rejoined = cl.join(victim);
+        assert!(rejoined > 0, "join migrates a fair share back");
+        assert!(cl.ownership().iter().any(|(_, n)| *n == victim.raw()));
+        assert!(cl.rebalance_status().unwrap().1);
+
+        let snap = cl.metrics().snapshot();
+        assert_eq!(snap.counter(r#"dqa_rebalance_plans_total{reason="drain"}"#), 1);
+        assert_eq!(snap.counter(r#"dqa_rebalance_plans_total{reason="join"}"#), 1);
+        assert_eq!(
+            snap.counter("dqa_rebalance_migrated_total") as usize,
+            moved + rejoined
+        );
+        cl.shutdown();
+    }
+
+    #[test]
+    fn standby_owns_nothing_until_joined() {
+        let ecfg = ElasticConfig {
+            standby_nodes: 1,
+            ..fast_throttle()
+        };
+        let (c, cl) = elastic_cluster(4, ecfg);
+        let standby = NodeId::new(3);
+        assert!(
+            cl.ownership().iter().all(|(_, n)| *n != standby.raw()),
+            "a warm spare owns nothing at boot"
+        );
+        let out = cl.ask(&QuestionGenerator::new(&c, 12).generate(1)[0].question);
+        let ans = out.unwrap();
+        assert!(ans.coverage.is_complete());
+        assert!(!ans.pr_nodes.contains(&standby), "standbys get no PR work");
+
+        assert!(cl.join(standby) > 0, "joining pulls in a fair share");
+        assert!(cl.ownership().iter().any(|(_, n)| *n == standby.raw()));
+        assert_eq!(cl.node_health(standby), Some(NodeHealth::Alive));
+        cl.shutdown();
+    }
+
+    #[test]
+    fn heal_evacuates_a_permanently_lost_owner_but_not_a_straggler() {
+        let ecfg = ElasticConfig {
+            detector: rebalance::DetectorConfig {
+                lease_secs: 0.05,
+                suspect_phi: 1.5,
+                dead_phi: 3.0,
+                min_gap_secs: 0.001,
+            },
+            ..fast_throttle()
+        };
+        let (c, cl) = elastic_cluster(3, ecfg);
+        // Teach the detector each node's heartbeat cadence.
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(15));
+            cl.heal();
+        }
+        let victim = NodeId::new(2);
+        assert_eq!(cl.node_health(victim), Some(NodeHealth::Alive));
+        cl.kill_node(victim);
+        // Within the lease the silence is a straggler: no migration.
+        assert_eq!(cl.heal(), 0, "no evacuation inside the lease window");
+        std::thread::sleep(Duration::from_millis(200));
+        let moved = cl.heal();
+        assert!(moved > 0, "past the lease the loss is permanent");
+        assert!(cl.ownership().iter().all(|(_, n)| *n != victim.raw()));
+        assert!(cl.rebalance_status().unwrap().1, "coverage healed");
+        let snap = cl.metrics().snapshot();
+        assert_eq!(
+            snap.counter(r#"dqa_rebalance_plans_total{reason="permanent-loss"}"#),
+            1
+        );
+        assert!(snap.histograms["dqa_rebalance_heal_seconds"].count >= 1);
+        // Questions still answer in full off the survivors.
+        let out = cl
+            .ask(&QuestionGenerator::new(&c, 13).generate(1)[0].question)
+            .unwrap();
+        assert!(out.coverage.is_complete());
+        cl.shutdown();
     }
 }

@@ -115,6 +115,36 @@ pub enum FaultEvent {
         /// Optional time the restarted broker serves again.
         rejoin: Option<f64>,
     },
+    /// Operator decommission (`drain`): the node leaves the pool at `at`
+    /// *gracefully* — the elastic tier evacuates its sub-collections onto
+    /// survivors before it stops serving. Unlike [`FaultEvent::Crash`]
+    /// nothing is lost; unlike a straggler window the departure is
+    /// permanent (only a later [`FaultEvent::NodeJoin`] brings it back).
+    NodeDecommission {
+        /// Node that drains out.
+        node: NodeId,
+        /// Drain time (seconds).
+        at: f64,
+    },
+    /// A standby (or previously drained) node joins the pool at `at`: the
+    /// elastic tier migrates the newcomer's fair share of sub-collections
+    /// onto it, throttled behind foreground traffic.
+    NodeJoin {
+        /// Node that joins.
+        node: NodeId,
+        /// Join time (seconds).
+        at: f64,
+    },
+    /// Migration stall window `[from, until)`: the rebalancer may plan but
+    /// must not apply steps — modeling an operator pause or a saturated
+    /// replication path. Foreground questions are unaffected; healing
+    /// resumes when the window closes.
+    RebalanceStall {
+        /// Window start (seconds).
+        from: f64,
+        /// Window end (seconds).
+        until: f64,
+    },
 }
 
 /// Per-message link-fault probabilities. Applied independently to every
@@ -301,6 +331,27 @@ impl FaultSchedule {
     /// are rejected with a retry hint, never silently dropped.
     pub fn broker_crash(mut self, at: f64) -> Self {
         self.events.push(FaultEvent::BrokerCrash { at, rejoin: None });
+        self
+    }
+
+    /// Add an operator decommission (graceful drain) of `node` at `at`.
+    pub fn decommission(mut self, node: NodeId, at: f64) -> Self {
+        self.events.push(FaultEvent::NodeDecommission { node, at });
+        self
+    }
+
+    /// Add a node join at `at`: a standby or previously drained node
+    /// enters the pool and receives its fair share of sub-collections.
+    pub fn node_join(mut self, node: NodeId, at: f64) -> Self {
+        self.events.push(FaultEvent::NodeJoin { node, at });
+        self
+    }
+
+    /// Add a migration stall window `[from, until)` during which the
+    /// rebalancer must not apply steps.
+    pub fn rebalance_stall(mut self, from: f64, until: f64) -> Self {
+        debug_assert!(until > from, "stall window must be non-empty");
+        self.events.push(FaultEvent::RebalanceStall { from, until });
         self
     }
 
@@ -560,6 +611,40 @@ mod tests {
             FaultEvent::BrokerCrash {
                 at: 30.0,
                 rejoin: Some(40.0)
+            }
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn elastic_membership_builders() {
+        let s = FaultSchedule::seeded(17)
+            .decommission(n(2), 5.0)
+            .node_join(n(4), 12.0)
+            .rebalance_stall(6.0, 9.0);
+        assert_eq!(s.events.len(), 3);
+        assert!(!s.is_clean());
+        assert_eq!(
+            s.events[0],
+            FaultEvent::NodeDecommission {
+                node: n(2),
+                at: 5.0
+            }
+        );
+        assert_eq!(
+            s.events[1],
+            FaultEvent::NodeJoin {
+                node: n(4),
+                at: 12.0
+            }
+        );
+        assert_eq!(
+            s.events[2],
+            FaultEvent::RebalanceStall {
+                from: 6.0,
+                until: 9.0
             }
         );
         let json = serde_json::to_string(&s).unwrap();

@@ -44,4 +44,4 @@ pub use qa_types::{FederationPolicy, ShardReport, ShardStatus};
 pub use sim::{
     run_fed_sim, run_retry_gate_sim, FedQuestionRecord, FedSimConfig, FedSimReport, GateSimReport,
 };
-pub use windows::FaultWindows;
+pub use windows::{FaultWindows, WindowOverlap};

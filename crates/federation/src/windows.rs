@@ -11,6 +11,37 @@
 
 use faults::{FaultEvent, FaultSchedule};
 
+/// Two windows for the same target intersect. Overlap is almost always a
+/// schedule-authoring bug (two events fighting over one shard's fate), and
+/// before this check the later window silently won — a mis-simulation that
+/// surfaced only as inexplicable coverage numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowOverlap {
+    /// `Some(shard)` for a shard-window collision, `None` for the broker.
+    pub shard: Option<u32>,
+    /// The earlier window `[from, until)`.
+    pub first: (f64, f64),
+    /// The overlapping window `[from, until)`.
+    pub second: (f64, f64),
+}
+
+impl std::fmt::Display for WindowOverlap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let target = match self.shard {
+            Some(s) => format!("shard {s}"),
+            None => "the broker".to_string(),
+        };
+        write!(
+            f,
+            "overlapping fault windows for {target}: [{}, {}) intersects [{}, {}); \
+             split or merge the events — overlap would silently mis-simulate",
+            self.second.0, self.second.1, self.first.0, self.first.1
+        )
+    }
+}
+
+impl std::error::Error for WindowOverlap {}
+
 /// Interval-compiled view of a schedule's federation faults.
 #[derive(Debug, Clone, Default)]
 pub struct FaultWindows {
@@ -20,26 +51,71 @@ pub struct FaultWindows {
     broker: Vec<(f64, f64)>,
 }
 
+/// `[a_from, a_until)` and `[b_from, b_until)` intersect (touching
+/// endpoints — one window ending exactly where the next starts — are fine).
+fn overlaps(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 < b.1 && b.0 < a.1
+}
+
 impl FaultWindows {
     /// Compile `schedule`'s federation events; every other event kind is
     /// left to the tier that consumes it (chaos driver, failover harness).
+    ///
+    /// # Panics
+    ///
+    /// On overlapping windows for the same target — a schedule-authoring
+    /// bug. Use [`FaultWindows::try_from_schedule`] to validate untrusted
+    /// schedules without panicking.
     pub fn from_schedule(schedule: &FaultSchedule) -> FaultWindows {
+        match Self::try_from_schedule(schedule) {
+            Ok(w) => w,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Compile `schedule`'s federation events, rejecting overlapping
+    /// windows for the same target instead of letting one silently win.
+    pub fn try_from_schedule(schedule: &FaultSchedule) -> Result<FaultWindows, WindowOverlap> {
         let mut w = FaultWindows::default();
         for ev in &schedule.events {
             match *ev {
                 FaultEvent::ShardDown { shard, at, rejoin } => {
-                    w.shard.push((shard, at, rejoin.unwrap_or(f64::INFINITY)));
+                    w.push_shard(shard, at, rejoin.unwrap_or(f64::INFINITY))?;
                 }
                 FaultEvent::ShardPartition { shard, from, until } => {
-                    w.shard.push((shard, from, until));
+                    w.push_shard(shard, from, until)?;
                 }
                 FaultEvent::BrokerCrash { at, rejoin } => {
-                    w.broker.push((at, rejoin.unwrap_or(f64::INFINITY)));
+                    let win = (at, rejoin.unwrap_or(f64::INFINITY));
+                    if let Some(&prior) = w.broker.iter().find(|&&p| overlaps(p, win)) {
+                        return Err(WindowOverlap {
+                            shard: None,
+                            first: prior,
+                            second: win,
+                        });
+                    }
+                    w.broker.push(win);
                 }
                 _ => {}
             }
         }
-        w
+        Ok(w)
+    }
+
+    fn push_shard(&mut self, shard: u32, from: f64, until: f64) -> Result<(), WindowOverlap> {
+        if let Some(&(_, pf, pu)) = self
+            .shard
+            .iter()
+            .find(|&&(s, pf, pu)| s == shard && overlaps((pf, pu), (from, until)))
+        {
+            return Err(WindowOverlap {
+                shard: Some(shard),
+                first: (pf, pu),
+                second: (from, until),
+            });
+        }
+        self.shard.push((shard, from, until));
+        Ok(())
     }
 
     /// Whether `shard` is unreachable (down or partitioned) at `now`.
@@ -104,5 +180,56 @@ mod tests {
         let s = FaultSchedule::seeded(3).crash(NodeId::new(0), 1.0);
         let w = FaultWindows::from_schedule(&s);
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn overlapping_shard_windows_are_rejected_with_a_clear_error() {
+        // Same shard, intersecting windows: the old code silently unioned
+        // them; now the schedule is rejected at compile time.
+        let s = FaultSchedule::seeded(1)
+            .shard_down_rejoin(1, 5.0, 10.0)
+            .shard_partition(1, 8.0, 12.0);
+        let err = FaultWindows::try_from_schedule(&s).unwrap_err();
+        assert_eq!(err.shard, Some(1));
+        assert_eq!(err.first, (5.0, 10.0));
+        assert_eq!(err.second, (8.0, 12.0));
+        let msg = err.to_string();
+        assert!(msg.contains("shard 1"), "error names the target: {msg}");
+        assert!(msg.contains("overlapping"), "error names the crime: {msg}");
+        // A permanent crash overlaps everything after it.
+        let s = FaultSchedule::seeded(1)
+            .shard_down(0, 4.0)
+            .shard_partition(0, 100.0, 200.0);
+        assert!(FaultWindows::try_from_schedule(&s).is_err());
+    }
+
+    #[test]
+    fn same_window_on_different_targets_is_fine() {
+        let s = FaultSchedule::seeded(1)
+            .shard_down_rejoin(0, 5.0, 10.0)
+            .shard_down_rejoin(1, 5.0, 10.0)
+            .broker_crash_rejoin(5.0, 10.0);
+        assert!(FaultWindows::try_from_schedule(&s).is_ok());
+    }
+
+    #[test]
+    fn touching_windows_do_not_overlap() {
+        // Back-to-back outages sharing an endpoint are legitimate.
+        let s = FaultSchedule::seeded(1)
+            .shard_down_rejoin(0, 2.0, 4.0)
+            .shard_partition(0, 4.0, 6.0)
+            .broker_crash_rejoin(1.0, 2.0)
+            .broker_crash_rejoin(2.0, 3.0);
+        assert!(FaultWindows::try_from_schedule(&s).is_ok());
+    }
+
+    #[test]
+    fn overlapping_broker_windows_are_rejected() {
+        let s = FaultSchedule::seeded(1)
+            .broker_crash_rejoin(2.0, 6.0)
+            .broker_crash(5.0);
+        let err = FaultWindows::try_from_schedule(&s).unwrap_err();
+        assert_eq!(err.shard, None);
+        assert!(err.to_string().contains("the broker"));
     }
 }

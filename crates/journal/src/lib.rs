@@ -36,5 +36,5 @@ pub mod segment;
 
 pub use frame::crc32;
 pub use record::{Framed, JournalPhase, JournalRecord, SchedulingPoint};
-pub use replay::{QuestionRecovery, RecoveredState, ReplayStats};
+pub use replay::{QuestionRecovery, RebalanceRecovery, RecoveredState, ReplayStats};
 pub use segment::{read_segment, Journal, JournalError, JournalOptions, Recovery};

@@ -115,6 +115,32 @@ pub enum JournalRecord {
         /// The new (strictly higher) term.
         term: u64,
     },
+    /// The rebalancer minted a migration plan: `steps` is the ordered
+    /// `(sub, from, to)` ownership transfers. Journaled *before* any step
+    /// applies, so a successor knows the full intent.
+    RebalancePlanned {
+        /// Plan id, unique per coordinator incarnation.
+        plan: u64,
+        /// Ordered transfers as raw ids: `(sub_collection, from, to)`.
+        steps: Vec<(u32, u32, u32)>,
+    },
+    /// One step of a planned migration was applied: `sub` is now owned by
+    /// `to`. Replaying after the fact is a no-op (idempotent fold), which
+    /// makes a crash-resumed plan exactly-once.
+    RebalanceStepDone {
+        /// The plan the step belongs to.
+        plan: u64,
+        /// The migrated sub-collection.
+        sub: u32,
+        /// Its new owner.
+        to: u32,
+    },
+    /// Every step of `plan` has applied and the convergence invariant was
+    /// re-verified: each sub-collection owned by exactly one live node.
+    RebalanceConverged {
+        /// The completed plan.
+        plan: u64,
+    },
 }
 
 impl JournalRecord {
@@ -129,7 +155,10 @@ impl JournalRecord {
             | JournalRecord::RetrySpent { question, .. }
             | JournalRecord::Answered { question, .. }
             | JournalRecord::Abandoned { question } => Some(*question),
-            JournalRecord::TermChange { .. } => None,
+            JournalRecord::TermChange { .. }
+            | JournalRecord::RebalancePlanned { .. }
+            | JournalRecord::RebalanceStepDone { .. }
+            | JournalRecord::RebalanceConverged { .. } => None,
         }
     }
 }

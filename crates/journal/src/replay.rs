@@ -98,11 +98,50 @@ impl QuestionRecovery {
     }
 }
 
+/// Everything the journal knows about one migration plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RebalanceRecovery {
+    steps: Vec<(u32, u32, u32)>,
+    done: BTreeSet<u32>,
+    converged: bool,
+}
+
+impl RebalanceRecovery {
+    /// The planned `(sub, from, to)` transfers, in plan order.
+    pub fn steps(&self) -> &[(u32, u32, u32)] {
+        &self.steps
+    }
+
+    /// Whether the step migrating `sub` has a journaled completion.
+    pub fn is_step_done(&self, sub: u32) -> bool {
+        self.done.contains(&sub)
+    }
+
+    /// Planned steps without a journaled completion, in plan order —
+    /// exactly what a successor coordinator must re-apply. Applying a
+    /// step that in fact completed (its `RebalanceStepDone` was lost to a
+    /// crash) is safe: ownership transfer is idempotent.
+    pub fn pending_steps(&self) -> Vec<(u32, u32, u32)> {
+        self.steps
+            .iter()
+            .filter(|(sub, _, _)| !self.done.contains(sub))
+            .copied()
+            .collect()
+    }
+
+    /// Whether the plan's convergence record was journaled.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+}
+
 /// Coordinator state reconstructed from the journal.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RecoveredState {
     term: u64,
     questions: BTreeMap<QuestionId, QuestionRecovery>,
+    rebalances: BTreeMap<u64, RebalanceRecovery>,
+    owners: BTreeMap<u32, u32>,
 }
 
 impl RecoveredState {
@@ -187,6 +226,19 @@ impl RecoveredState {
             JournalRecord::TermChange { term } => {
                 self.term = self.term.max(*term);
             }
+            JournalRecord::RebalancePlanned { plan, steps } => {
+                let rec = self.rebalances.entry(*plan).or_default();
+                if rec.steps.is_empty() {
+                    rec.steps = steps.clone();
+                }
+            }
+            JournalRecord::RebalanceStepDone { plan, sub, to } => {
+                self.rebalances.entry(*plan).or_default().done.insert(*sub);
+                self.owners.insert(*sub, *to);
+            }
+            JournalRecord::RebalanceConverged { plan } => {
+                self.rebalances.entry(*plan).or_default().converged = true;
+            }
         }
     }
 
@@ -225,9 +277,31 @@ impl RecoveredState {
         self.in_flight().count()
     }
 
+    /// Everything known about migration plan `plan`.
+    pub fn rebalance(&self, plan: u64) -> Option<&RebalanceRecovery> {
+        self.rebalances.get(&plan)
+    }
+
+    /// Plans with journaled intent but no convergence record, in plan-id
+    /// order — the migrations a successor coordinator must finish.
+    pub fn unfinished_rebalances(&self) -> impl Iterator<Item = (u64, &RebalanceRecovery)> {
+        self.rebalances
+            .iter()
+            .filter(|(_, rec)| !rec.converged && !rec.steps.is_empty())
+            .map(|(id, rec)| (*id, rec))
+    }
+
+    /// Journaled ownership overrides: `(sub_collection, owner)` for every
+    /// sub-collection a completed migration step re-homed, in sub order.
+    /// Sub-collections never migrated keep their initial placement and do
+    /// not appear here.
+    pub fn rebalanced_owners(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.owners.iter().map(|(s, n)| (*s, *n))
+    }
+
     /// True when no frames have been applied.
     pub fn is_empty(&self) -> bool {
-        self.term == 0 && self.questions.is_empty()
+        self.term == 0 && self.questions.is_empty() && self.rebalances.is_empty()
     }
 }
 
@@ -343,5 +417,54 @@ mod tests {
             twice.apply(f);
         }
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn rebalance_folds_track_pending_steps_and_convergence() {
+        let log = vec![
+            framed(
+                3,
+                JournalRecord::RebalancePlanned {
+                    plan: 1,
+                    steps: vec![(2, 1, 0), (6, 1, 3)],
+                },
+            ),
+            framed(
+                3,
+                JournalRecord::RebalanceStepDone {
+                    plan: 1,
+                    sub: 2,
+                    to: 0,
+                },
+            ),
+        ];
+        let mut state = RecoveredState::new();
+        for f in &log {
+            state.apply(f);
+        }
+        // Crash between the two steps: the successor sees one pending.
+        let (id, rec) = state.unfinished_rebalances().next().unwrap();
+        assert_eq!(id, 1);
+        assert!(rec.is_step_done(2));
+        assert_eq!(rec.pending_steps(), vec![(6, 1, 3)]);
+        assert_eq!(state.rebalanced_owners().collect::<Vec<_>>(), vec![(2, 0)]);
+        // Finishing and converging retires the plan.
+        state.apply(&framed(
+            3,
+            JournalRecord::RebalanceStepDone {
+                plan: 1,
+                sub: 6,
+                to: 3,
+            },
+        ));
+        state.apply(&framed(3, JournalRecord::RebalanceConverged { plan: 1 }));
+        assert_eq!(state.unfinished_rebalances().count(), 0);
+        assert!(state.rebalance(1).unwrap().converged());
+        // Idempotent: replaying the whole sequence changes nothing.
+        let snapshot = state.clone();
+        for f in &log {
+            state.apply(f);
+        }
+        assert_eq!(state, snapshot);
     }
 }

@@ -1,0 +1,121 @@
+//! Regression guard: a zero-length segment file must replay as empty.
+//!
+//! `Journal::rotate` runs `create_new(segment-N+1)` → dir fsync → first
+//! append as three separate steps, so a crash can leave a segment file of
+//! exactly zero bytes on disk. That file is a legitimate journal state —
+//! the log simply ends at the previous segment — and replay must treat it
+//! as empty, never as corruption: erroring here would brick recovery at
+//! the precise moment (crash mid-rotation) the journal exists to survive.
+
+use journal::{Journal, JournalError, JournalOptions, JournalRecord};
+use qa_types::{Question, QuestionId};
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dqa-journal-zls-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn admit(id: u32) -> JournalRecord {
+    JournalRecord::Admitted {
+        question: Question::new(QuestionId::new(id), format!("question {id}")),
+    }
+}
+
+/// The crash-mid-rotation shape: real frames in segment 0, a zero-length
+/// segment 1 created but never appended to.
+#[test]
+fn zero_length_final_segment_replays_as_empty() {
+    let dir = tmp("final");
+    {
+        let (mut j, _) = Journal::open(&dir).unwrap();
+        for i in 0..3 {
+            j.append(1, &admit(i)).unwrap();
+        }
+    }
+    fs::write(dir.join("segment-000001.dqaj"), b"").unwrap();
+
+    let (mut j, rec) = Journal::open(&dir).unwrap();
+    assert_eq!(rec.stats.records, 3, "all pre-crash frames replay");
+    assert_eq!(rec.stats.segments, 2, "the empty segment is scanned");
+    assert_eq!(rec.stats.truncated_bytes, 0, "empty is not torn");
+    assert_eq!(rec.state.gate_occupancy(), 3);
+
+    // The journal stays appendable, and the new frame lands in (and
+    // replays from) the previously-empty segment.
+    j.append(1, &admit(9)).unwrap();
+    drop(j);
+    let (_, rec) = Journal::open(&dir).unwrap();
+    assert_eq!(rec.stats.records, 4);
+    assert!(rec.state.get(QuestionId::new(9)).is_some());
+}
+
+/// A zero-length segment in the *middle* of the log (possible when the
+/// crash hit before the first append and a later open already rotated
+/// onward) is likewise empty, not corrupt — torn/corrupt detection only
+/// fires on partial frames, which an empty file cannot contain.
+#[test]
+fn zero_length_middle_segment_replays_as_empty() {
+    let dir = tmp("middle");
+    let opts = JournalOptions {
+        max_segment_bytes: 128,
+        fsync_every: None,
+    };
+    {
+        let (mut j, _) = Journal::open_with(&dir, opts).unwrap();
+        for i in 0..10 {
+            j.append(1, &admit(i)).unwrap();
+        }
+    }
+    // Splice an empty segment between the real ones by renumbering: the
+    // highest-numbered real segment moves up one slot.
+    let mut segs: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n.starts_with("segment-"))
+        .collect();
+    segs.sort();
+    assert!(segs.len() > 1, "rotation expected, got {segs:?}");
+    let last = segs.last().unwrap().clone();
+    let idx: u64 = last
+        .trim_start_matches("segment-")
+        .trim_end_matches(".dqaj")
+        .parse()
+        .unwrap();
+    fs::rename(
+        dir.join(&last),
+        dir.join(format!("segment-{:06}.dqaj", idx + 1)),
+    )
+    .unwrap();
+    fs::write(dir.join(&last), b"").unwrap();
+
+    match Journal::open_with(&dir, opts) {
+        Ok((_, rec)) => {
+            assert_eq!(rec.stats.records, 10, "no frame lost to the gap");
+            assert_eq!(rec.stats.segments as usize, segs.len() + 1);
+        }
+        Err(JournalError::Corrupt { segment, .. }) => {
+            panic!("zero-length segment misread as corruption in {segment}")
+        }
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+}
+
+/// A journal that is *only* a zero-length segment (crash before any
+/// append ever succeeded) opens as empty and accepts its first append.
+#[test]
+fn journal_of_one_empty_segment_opens_clean() {
+    let dir = tmp("only");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(dir.join("segment-000000.dqaj"), b"").unwrap();
+    let (mut j, rec) = Journal::open(&dir).unwrap();
+    assert!(rec.state.is_empty());
+    assert_eq!(rec.stats.records, 0);
+    assert_eq!(rec.stats.segments, 1);
+    j.append(1, &admit(0)).unwrap();
+    drop(j);
+    let (_, rec) = Journal::open(&dir).unwrap();
+    assert_eq!(rec.stats.records, 1);
+}

@@ -13,7 +13,8 @@ use ir_engine::{DocumentStore, ParagraphRetriever, RetrievalConfig, ShardedIndex
 use nlp::NamedEntityRecognizer;
 use qa_pipeline::{PipelineConfig, QaPipeline};
 use qa_types::params::MBPS;
-use qa_types::{OverloadPolicy, Question, QuestionId, SystemParams, Trec9Profile};
+use qa_types::{NodeId, OverloadPolicy, Question, QuestionId, SystemParams, Trec9Profile};
+use rebalance::ElasticConfig;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -25,13 +26,16 @@ usage:
   dqa ask --corpus corpus.json [--index index.bin] [--cluster N] [--sample N]
           [--journal DIR] [--metrics-out FILE [--metrics-format prom|json]]
           [--shards N [--quorum Q] [--hedge-after-ms X]]
-          [overload knobs] [question …]
+          [--elastic [--standby N]] [overload knobs] [question …]
   dqa export --corpus corpus.json --questions N --topics topics.txt --answers key.txt
   dqa simulate [--nodes N] [--strategy dns|inter|dqa|sid|gradient] [--seed N] [--compare]
                [--metrics-out FILE [--metrics-format prom|json]] [--waterfall Q]
                [overload knobs]
   dqa recover --journal DIR [--corpus corpus.json [--index index.bin] [--cluster N]]
               [--metrics-out FILE [--metrics-format prom|json]]
+  dqa rebalance --corpus corpus.json [--index index.bin] [--cluster N] [--standby N]
+                [--drain NODE] [--join NODE] [--sample N]
+                [--metrics-out FILE [--metrics-format prom|json]] [overload knobs]
   dqa report metrics.json
   dqa model [--net-mbps N] [--disk-mbps N] [--nodes N]
 
@@ -79,6 +83,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CmdError> {
         "export" => export(rest).map_err(CmdError::from),
         "simulate" => simulate(rest).map_err(CmdError::from),
         "recover" => recover(rest).map_err(CmdError::from),
+        "rebalance" => rebalance(rest).map_err(CmdError::from),
         "report" => report(rest).map_err(CmdError::from),
         "model" => model(rest).map_err(CmdError::from),
         other => Err(format!("unknown command {other:?}").into()),
@@ -192,7 +197,7 @@ fn load_index(a: &Args, corpus: &Corpus) -> Result<ShardedIndex, String> {
 }
 
 fn ask(argv: &[String]) -> Result<(), CmdError> {
-    let a = parse(argv, &["json"])?;
+    let a = parse(argv, &["json", "elastic"])?;
     let corpus = load_corpus(a.require("corpus")?)?;
     let idx = load_index(&a, &corpus)?;
     let store = Arc::new(DocumentStore::new(corpus.documents.clone()));
@@ -234,6 +239,25 @@ fn ask(argv: &[String]) -> Result<(), CmdError> {
             "--metrics-out needs --cluster N: only the cluster runtime is instrumented".into(),
         ));
     }
+    // `--elastic` runs the cluster under elastic membership: an ownership
+    // map routes PR chunks to sub-collection owners and `--standby N`
+    // warm spares boot suspended, ready for `dqa rebalance --join`.
+    let elastic = if a.switch("elastic") {
+        if cluster_nodes == 0 {
+            return Err(CmdError::Fatal(
+                "--elastic needs --cluster N: only the cluster runtime rebalances".into(),
+            ));
+        }
+        let standby: usize = a.num("standby", 0usize)?;
+        if standby >= cluster_nodes {
+            return Err(CmdError::Fatal(format!(
+                "--standby {standby} must leave at least one active node of {cluster_nodes}"
+            )));
+        }
+        Some(ElasticConfig::with_standby(standby))
+    } else {
+        None
+    };
     // Durable question journal: every admission, scheduling decision,
     // chunk grant and answer is logged so `dqa recover --journal DIR`
     // can resume after a coordinator crash.
@@ -271,6 +295,7 @@ fn ask(argv: &[String]) -> Result<(), CmdError> {
                     overload,
                     metrics: Some(registry.clone()),
                     journal: journal.clone(),
+                    elastic: elastic.clone(),
                     ..ClusterConfig::default()
                 },
             );
@@ -593,6 +618,129 @@ fn recover(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Elastic-membership round trip: boot a cluster under an ownership map,
+/// optionally `--drain` a node (live migration of its sub-collections)
+/// and `--join` one (fair-share migration onto it), answering `--sample`
+/// questions before and after each membership change to show foreground
+/// traffic survives re-sharding. Prints the ownership table and the
+/// `dqa_rebalance_*` counters; `--metrics-out` exports them.
+fn rebalance(argv: &[String]) -> Result<(), String> {
+    let a = parse(argv, &[])?;
+    let corpus = load_corpus(a.require("corpus")?)?;
+    let idx = load_index(&a, &corpus)?;
+    let store = Arc::new(DocumentStore::new(corpus.documents.clone()));
+    let retriever = ParagraphRetriever::new(Arc::new(idx), store, RetrievalConfig::default());
+    let nodes: usize = a.num("cluster", 4usize)?;
+    let standby: usize = a.num("standby", 0usize)?;
+    if standby >= nodes {
+        return Err(format!(
+            "--standby {standby} must leave at least one active node of {nodes}"
+        ));
+    }
+    let drain_node = opt_num::<u32>(&a, "drain")?;
+    let join_node = opt_num::<u32>(&a, "join")?;
+    for (flag, v) in [("drain", drain_node), ("join", join_node)] {
+        if let Some(n) = v {
+            if n as usize >= nodes {
+                return Err(format!("--{flag} {n}: node out of range (cluster {nodes})"));
+            }
+        }
+    }
+    let samples: usize = a.num("sample", 2usize)?;
+    let registry = MetricsRegistry::new();
+    let cluster = Cluster::start(
+        retriever,
+        NamedEntityRecognizer::standard(),
+        ClusterConfig {
+            nodes,
+            overload: overload_policy(&a)?,
+            metrics: Some(registry.clone()),
+            elastic: Some(ElasticConfig::with_standby(standby)),
+            ..ClusterConfig::default()
+        },
+    );
+
+    let print_ownership = |cluster: &Cluster| {
+        let owners = cluster.ownership();
+        let mut by_node: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+        for (sub, node) in &owners {
+            by_node.entry(*node).or_default().push(*sub);
+        }
+        for (node, subs) in &by_node {
+            let list: Vec<String> = subs.iter().map(|s| s.to_string()).collect();
+            println!("  node {node}: sub-collection(s) {}", list.join(", "));
+        }
+        if let Some((epoch, converged)) = cluster.rebalance_status() {
+            println!(
+                "  epoch {epoch}, {}",
+                if converged {
+                    "converged (every sub-collection live-owned)"
+                } else {
+                    "NOT converged"
+                }
+            );
+        }
+    };
+    let ask_wave = |cluster: &Cluster, seed: u64, label: &str| -> Result<(), String> {
+        if samples == 0 {
+            return Ok(());
+        }
+        let qs = QuestionGenerator::new(&corpus, seed).generate(samples);
+        let mut complete = 0usize;
+        for gq in &qs {
+            let out = cluster.ask(&gq.question).map_err(|e| e.to_string())?;
+            if out.coverage.is_complete() {
+                complete += 1;
+            }
+        }
+        println!("  {label}: {complete}/{} question(s) at full coverage", qs.len());
+        Ok(())
+    };
+
+    println!("ownership at boot ({nodes} node(s), {standby} standby):");
+    print_ownership(&cluster);
+    ask_wave(&cluster, 21, "before")?;
+    if let Some(n) = drain_node {
+        let moved = cluster.drain(NodeId::new(n));
+        println!("drained node {n}: {moved} sub-collection(s) re-homed live");
+        print_ownership(&cluster);
+        ask_wave(&cluster, 22, "after drain")?;
+    }
+    if let Some(n) = join_node {
+        let moved = cluster.join(NodeId::new(n));
+        println!("joined node {n}: {moved} sub-collection(s) migrated onto it");
+        print_ownership(&cluster);
+        ask_wave(&cluster, 23, "after join")?;
+    }
+    cluster.shutdown();
+
+    let snap = registry.snapshot();
+    let reason =
+        |r: &str| snap.counter(&metric_key(names::REBALANCE_PLANS_TOTAL, &[("reason", r)]));
+    println!(
+        "rebalance: {} transfer(s) across plans drain/join/loss/skew = {}/{}/{}/{}, \
+         {} throttled step(s)",
+        snap.counter(names::REBALANCE_MIGRATED_TOTAL),
+        reason("drain"),
+        reason("join"),
+        reason("permanent-loss"),
+        reason("load-skew"),
+        snap.counter_family(names::REBALANCE_THROTTLED_TOTAL),
+    );
+    if let Some(h) = snap.histograms.get(names::REBALANCE_HEAL_SECONDS) {
+        if h.count > 0 {
+            println!(
+                "  heal latency: {} event(s), mean {:.3} s, max bucket ≤ p95 {:.3} s",
+                h.count,
+                h.mean(),
+                h.quantile(0.95)
+            );
+        }
+    }
+    write_metrics(&a, &snap)?;
+    Ok(())
+}
+
 /// Render Table 8/9-style breakdowns from a metrics snapshot written by
 /// `ask`/`simulate --metrics-out FILE` (JSON format).
 fn report(argv: &[String]) -> Result<(), String> {
@@ -731,6 +879,33 @@ fn report(argv: &[String]) -> Result<(), String> {
                     h.quantile(0.95)
                 ),
                 None => println!("  shard {shard}: {}", statuses.join(", ")),
+            }
+        }
+    }
+    let plans = snap.counter_family(names::REBALANCE_PLANS_TOTAL);
+    let migrated = snap.counter(names::REBALANCE_MIGRATED_TOTAL);
+    if plans + migrated > 0 {
+        println!(
+            "rebalance: {plans} plan(s), {migrated} transfer(s), {} throttled step(s), \
+             ownership epoch {}, converged {}",
+            snap.counter_family(names::REBALANCE_THROTTLED_TOTAL),
+            snap.gauges
+                .get(names::REBALANCE_OWNERSHIP_EPOCH)
+                .copied()
+                .unwrap_or(0.0),
+            snap.gauges
+                .get(names::REBALANCE_CONVERGED)
+                .copied()
+                .unwrap_or(1.0),
+        );
+        if let Some(h) = snap.histograms.get(names::REBALANCE_HEAL_SECONDS) {
+            if h.count > 0 {
+                println!(
+                    "  heal latency: {} event(s), mean {:.3} s, p95 {:.3} s",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.95)
+                );
             }
         }
     }
@@ -1198,6 +1373,118 @@ mod tests {
             "an unopenable journal is a hard error"
         );
         let _ = std::fs::remove_dir_all(&jdir);
+    }
+
+    #[test]
+    fn rebalance_drain_join_round_trip_exports_metrics() {
+        let corpus_path = tmp("c9.json");
+        let metrics_path = tmp("c9-metrics.json");
+        run(&[
+            "generate",
+            "--seed",
+            "19",
+            "--size",
+            "small",
+            "--out",
+            &corpus_path,
+        ])
+        .unwrap();
+        run(&[
+            "rebalance",
+            "--corpus",
+            &corpus_path,
+            "--cluster",
+            "3",
+            "--drain",
+            "1",
+            "--join",
+            "1",
+            "--sample",
+            "1",
+            "--metrics-out",
+            &metrics_path,
+        ])
+        .unwrap();
+        let snap = Snapshot::from_json(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert!(
+            snap.counter(names::REBALANCE_MIGRATED_TOTAL) > 0,
+            "drain + join must migrate sub-collections"
+        );
+        let reason =
+            |r: &str| snap.counter(&metric_key(names::REBALANCE_PLANS_TOTAL, &[("reason", r)]));
+        assert_eq!(reason("drain"), 1);
+        assert_eq!(reason("join"), 1);
+        assert_eq!(
+            snap.gauges.get(names::REBALANCE_CONVERGED).copied(),
+            Some(1.0),
+            "the round trip must end converged"
+        );
+        // The rebalance lines render from the same snapshot.
+        run(&["report", &metrics_path]).unwrap();
+        // Out-of-range nodes and standby >= cluster are refused.
+        assert!(run(&[
+            "rebalance",
+            "--corpus",
+            &corpus_path,
+            "--cluster",
+            "2",
+            "--drain",
+            "7",
+        ])
+        .is_err());
+        assert!(run(&[
+            "rebalance",
+            "--corpus",
+            &corpus_path,
+            "--cluster",
+            "2",
+            "--standby",
+            "2",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn ask_elastic_answers_through_the_ownership_map() {
+        let corpus_path = tmp("c10.json");
+        run(&[
+            "generate",
+            "--seed",
+            "23",
+            "--size",
+            "small",
+            "--out",
+            &corpus_path,
+        ])
+        .unwrap();
+        run(&[
+            "ask",
+            "--corpus",
+            &corpus_path,
+            "--cluster",
+            "3",
+            "--elastic",
+            "--standby",
+            "1",
+            "--sample",
+            "1",
+        ])
+        .unwrap();
+        // Elastic membership is a cluster-runtime feature.
+        assert!(run(&["ask", "--corpus", &corpus_path, "--elastic", "--sample", "1"]).is_err());
+        assert!(run(&[
+            "ask",
+            "--corpus",
+            &corpus_path,
+            "--cluster",
+            "2",
+            "--elastic",
+            "--standby",
+            "2",
+            "--sample",
+            "1",
+        ])
+        .is_err());
     }
 
     #[test]

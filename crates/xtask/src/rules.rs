@@ -43,11 +43,13 @@ impl RuleScope {
 pub const VIRTUAL_TIME_CRATES: &[&str] = &["cluster-sim", "scheduler", "loadsim", "analytical"];
 
 /// The crates that host long-lived worker threads talking over channels:
-/// the node runtime and the federation broker tier above it. Both must
-/// bound every channel, never block forever on a receive, and funnel
-/// wall-clock reads through one pragma'd site, or a slow/dead peer turns
-/// into an unobservable hang instead of a recoverable timeout.
-pub const THREADED_RUNTIME_CRATES: &[&str] = &["dqa-runtime", "federation"];
+/// the node runtime, the federation broker tier above it, and the
+/// elastic re-sharding tier whose migration pacing both backends embed.
+/// All must bound every channel, never block forever on a receive, and
+/// funnel wall-clock reads through one pragma'd site, or a slow/dead
+/// peer turns into an unobservable hang instead of a recoverable
+/// timeout.
+pub const THREADED_RUNTIME_CRATES: &[&str] = &["dqa-runtime", "federation", "rebalance"];
 
 /// All rule names, in documentation order (v1 rules then v2 deep rules).
 pub const RULE_NAMES: &[&str] = &[

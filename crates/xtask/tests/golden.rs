@@ -15,7 +15,7 @@ fn fixture(name: &str) -> PathBuf {
 #[test]
 fn violations_fixture_flags_each_rule_at_exact_lines() {
     let (checked, diags) = run_lint(&fixture("violations")).expect("fixture lint");
-    assert_eq!(checked, 5, "fixture tree should contribute 5 source files");
+    assert_eq!(checked, 6, "fixture tree should contribute 6 source files");
 
     let got: Vec<(&str, &str, u32, &str)> = diags
         .iter()
@@ -24,6 +24,7 @@ fn violations_fixture_flags_each_rule_at_exact_lines() {
     let sim = "crates/cluster-sim/src/lib.rs";
     let rt = "crates/dqa-runtime/src/lib.rs";
     let fed = "crates/federation/src/lib.rs";
+    let reb = "crates/rebalance/src/lib.rs";
     let want = vec![
         (sim, "unordered-state", 4, "HashMap"),
         (sim, "wall-clock", 5, "std::time::Instant"),
@@ -41,9 +42,29 @@ fn violations_fixture_flags_each_rule_at_exact_lines() {
         (rt, "raw-fs-write", 54, "fs::write"),
         (rt, "raw-fs-write", 58, "File::create"),
         (fed, "unbounded-channel", 5, "crossbeam_channel::unbounded"),
+        (reb, "raw-instant", 6, "Instant::now()"),
+        (reb, "unbounded-recv", 10, ".recv()"),
+        (reb, "unbounded-channel", 14, "crossbeam_channel::unbounded"),
         ("src/lib.rs", "unseeded-rng", 5, "SeedableRng::from_entropy"),
     ];
     assert_eq!(got, want);
+}
+
+#[test]
+fn rebalance_inherits_clock_and_channel_rules_but_not_panic_rules() {
+    let (_, diags) = run_lint(&fixture("violations")).expect("fixture lint");
+    let reb: Vec<_> = diags
+        .iter()
+        .filter(|d| d.file.ends_with("rebalance/src/lib.rs"))
+        .collect();
+    // Exactly the three seeded threaded-runtime flags: the `.unwrap()`
+    // (runtime-panic stays dqa-runtime-only) and the pragma'd
+    // Instant/recv must not.
+    assert_eq!(reb.len(), 3, "rebalance fixture diags: {reb:?}");
+    assert!(
+        reb.iter().all(|d| d.rule != "runtime-panic"),
+        "runtime-panic leaked into the rebalance scope: {reb:?}"
+    );
 }
 
 #[test]

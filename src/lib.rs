@@ -19,4 +19,5 @@ pub use loadsim;
 pub use nlp;
 pub use qa_pipeline;
 pub use qa_types;
+pub use rebalance;
 pub use scheduler;

@@ -9,14 +9,19 @@
 //!    full-coverage answer must carry exactly the clean run's bytes.
 //! 3. **The DES replays seed-stably under every fault type.** Two runs
 //!    of the same seeded `FaultSchedule` produce bit-equal reports.
+//! 4. **Membership churn is invisible to callers.** A decommission
+//!    racing in-flight questions, or a join landing mid flash crowd,
+//!    re-homes sub-collections without losing, rejecting or degrading
+//!    a single answer.
 
-use falcon_dqa::cluster_sim::workload::{QaSimulation, SimConfig};
+use falcon_dqa::cluster_sim::workload::{BalancingStrategy, QaSimulation, SimConfig};
 use falcon_dqa::corpus::{Corpus, CorpusConfig, QuestionGenerator};
 use falcon_dqa::dqa_runtime::{Cluster, ClusterConfig};
 use falcon_dqa::faults::{FaultSchedule, RetryPolicy};
 use falcon_dqa::ir_engine::{DocumentStore, ParagraphRetriever, RetrievalConfig, ShardedIndex};
 use falcon_dqa::nlp::NamedEntityRecognizer;
 use falcon_dqa::qa_types::{NodeId, OverloadCounts, OverloadPolicy};
+use falcon_dqa::rebalance::ElasticConfig;
 use falcon_dqa::scheduler::partition::PartitionStrategy;
 use std::sync::Arc;
 use std::time::Duration;
@@ -213,6 +218,25 @@ fn des_replays_seed_stably_under_every_fault_type() {
             cfg.faults = FaultSchedule::seeded(908).leader_partition(15.0, 350.0);
             cfg
         }),
+        ("decommission", {
+            let mut cfg = low(909);
+            cfg.faults = FaultSchedule::seeded(909).decommission(NodeId::new(1), 20.0);
+            cfg
+        }),
+        ("decommission+join", {
+            let mut cfg = low(910);
+            cfg.faults = FaultSchedule::seeded(910)
+                .decommission(NodeId::new(2), 15.0)
+                .node_join(NodeId::new(2), 90.0);
+            cfg
+        }),
+        ("rebalance stall", {
+            let mut cfg = low(911);
+            cfg.faults = FaultSchedule::seeded(911)
+                .decommission(NodeId::new(1), 10.0)
+                .rebalance_stall(10.0, 70.0);
+            cfg
+        }),
         ("everything at once", {
             let mut cfg = low(905);
             cfg.faults = FaultSchedule::seeded(905)
@@ -220,6 +244,10 @@ fn des_replays_seed_stably_under_every_fault_type() {
                 .straggler(NodeId::new(3), 10.0, 120.0, 0.25)
                 .coordinator_crash(60.0)
                 .leader_partition(400.0, 500.0)
+                // Membership churn rides the same combined timeline: the
+                // elastic tier must coexist with every other fault type.
+                .decommission(NodeId::new(2), 80.0)
+                .rebalance_stall(80.0, 110.0)
                 .message_loss(0.1)
                 .message_delay(0.1, 0.3)
                 .message_dup(0.05)
@@ -234,4 +262,118 @@ fn des_replays_seed_stably_under_every_fault_type() {
         assert_eq!(a, b, "{label}: DES replay diverged");
         assert_eq!(a.questions.len(), 6, "{label}: question lost in the DES");
     }
+}
+
+#[test]
+fn decommission_mid_question_migrates_live_without_losing_answers() {
+    let corpus = Corpus::generate(CorpusConfig::small(909)).unwrap();
+    let questions: Vec<_> = QuestionGenerator::new(&corpus, 5)
+        .generate(8)
+        .into_iter()
+        .map(|g| g.question)
+        .collect();
+    let mut ecfg = ElasticConfig::default();
+    // Pace migration steps fast enough for a test, slow enough that the
+    // drain genuinely overlaps the in-flight burst.
+    ecfg.throttle.step_secs = 0.002;
+    let cluster = Cluster::start(
+        retriever(&corpus),
+        NamedEntityRecognizer::standard(),
+        ClusterConfig {
+            elastic: Some(ecfg),
+            ..chaos_config(FaultSchedule::none())
+        },
+    );
+    // Pre-drain baseline: the byte-identical yardstick for every later
+    // full-coverage answer.
+    let baseline: Vec<String> = questions
+        .iter()
+        .map(|q| answer_bytes(&cluster.ask(q).expect("clean ask").answers))
+        .collect();
+
+    // Decommission node 1 while the burst is in flight: the evacuation
+    // must yield to foreground questions, not the other way round.
+    let (results, moved) = std::thread::scope(|scope| {
+        let burst = scope.spawn(|| cluster.ask_many(&questions));
+        let moved = cluster.drain(NodeId::new(1));
+        (burst.join().expect("burst thread"), moved)
+    });
+    assert!(moved > 0, "the drained node owned nothing to migrate");
+    let mut counts = OverloadCounts::default();
+    for admission in &results {
+        match admission.outcome() {
+            Some(o) => counts.record(o),
+            None => panic!("question failed outright during the drain: {admission:?}"),
+        }
+    }
+    assert_eq!(
+        counts.offered(),
+        questions.len(),
+        "a question racing the decommission was lost"
+    );
+    assert_eq!(counts.rejected, 0, "migration must not reject foreground");
+
+    // Post-healing: ownership excludes the victim, the invariant holds,
+    // and answers are byte-identical to the pre-drain run (Coverage is
+    // unchanged by re-homing).
+    let (epoch, converged) = cluster.rebalance_status().expect("elastic tier active");
+    assert!(converged, "ownership did not re-converge after the drain");
+    assert!(epoch > 0, "migration must bump the ownership epoch");
+    assert!(
+        cluster.ownership().iter().all(|&(_, node)| node != 1),
+        "the drained node still owns a sub-collection"
+    );
+    for (i, q) in questions.iter().enumerate() {
+        let out = cluster.ask(q).expect("post-drain ask");
+        assert!(out.coverage.is_complete(), "re-homing degraded coverage");
+        assert_eq!(
+            answer_bytes(&out.answers),
+            baseline[i],
+            "post-healing answer diverged from the fault-free run"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn des_join_during_flash_crowd_conserves_and_replays_bit_stably() {
+    // A 3-node cluster loses a node just as an open-loop arrival wave
+    // starts, then gets it back mid-crowd: the join plan must land
+    // while questions are still arriving, with nothing lost and the
+    // whole interleaving bit-stable under replay.
+    let build = || {
+        let mut cfg = SimConfig::paper_high_load(3, BalancingStrategy::Dqa, 912);
+        cfg.questions = 12;
+        cfg.faults = FaultSchedule::seeded(912)
+            .decommission(NodeId::new(2), 0.5)
+            .node_join(NodeId::new(2), 6.0);
+        cfg
+    };
+    let report = QaSimulation::new(build()).run();
+    assert_eq!(
+        report.questions.len(),
+        12,
+        "a flash-crowd question was lost to membership churn"
+    );
+    assert_eq!(
+        report.outcome_counts().rejected,
+        0,
+        "churn rejected a question under a permissive policy"
+    );
+    assert_eq!(
+        report
+            .metrics
+            .counter(r#"dqa_rebalance_plans_total{reason="join"}"#),
+        1,
+        "the mid-crowd join never minted a plan"
+    );
+    assert_eq!(
+        report.metrics.gauges["dqa_rebalance_converged"], 1.0,
+        "ownership did not re-converge after the round trip"
+    );
+    assert_eq!(
+        report,
+        QaSimulation::new(build()).run(),
+        "join-during-flash-crowd replay diverged"
+    );
 }
