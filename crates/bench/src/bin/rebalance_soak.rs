@@ -224,8 +224,7 @@ fn run_runtime_demo(
                             gq.question.id
                         ));
                     } else {
-                        let bytes =
-                            serde_json::to_string(&out.answers).expect("serialize answers");
+                        let bytes = serde_json::to_string(&out.answers).expect("serialize answers");
                         if bytes != baseline[i] {
                             violations.push(format!(
                                 "runtime {wave}: answer for question {} diverged from the \
@@ -262,11 +261,7 @@ fn run_runtime_demo(
             "runtime: ownership did not converge after the round trip ({status:?})"
         )),
     }
-    if cluster
-        .ownership()
-        .iter()
-        .any(|&(_, node)| node == 1)
-    {
+    if cluster.ownership().iter().any(|&(_, node)| node == 1) {
         violations.push("runtime: the drained node still owns a sub-collection".into());
     }
     cluster.shutdown();
@@ -343,9 +338,7 @@ fn main() {
     let mut violations = Vec::new();
     let mut summaries = Vec::new();
     let mut points = Vec::new();
-    println!(
-        "Rebalance soak — seed {seed}, {questions} question(s) per DES run\n"
-    );
+    println!("Rebalance soak — seed {seed}, {questions} question(s) per DES run\n");
 
     // Fault-free elastic reference: the tier is on, nothing happens, and
     // its p99 anchors the deadline drill below.
@@ -426,8 +419,7 @@ fn main() {
     ];
 
     for (name, nodes, build) in &scenarios {
-        let (report, summary) =
-            run_des_scenario(name, *nodes, build.as_ref(), &mut violations);
+        let (report, summary) = run_des_scenario(name, *nodes, build.as_ref(), &mut violations);
         println!("  {summary}");
         summaries.push(summary);
         let tag = format!("des {nodes} node(s) [{name}]");
@@ -455,8 +447,10 @@ fn main() {
                 }
             }
             "permanent-loss" => {
-                let key =
-                    metric_key(names::REBALANCE_PLANS_TOTAL, &[("reason", "permanent-loss")]);
+                let key = metric_key(
+                    names::REBALANCE_PLANS_TOTAL,
+                    &[("reason", "permanent-loss")],
+                );
                 if report.metrics.counter(&key) != 1 {
                     violations.push(format!("{tag}: the detector never evacuated the victim"));
                 }

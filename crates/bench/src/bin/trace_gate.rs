@@ -1,0 +1,456 @@
+//! trace_gate: the causal-tracing latency-budget regression gate.
+//!
+//! Three clauses over the span trees the tracing tier records:
+//!
+//! 1. **Determinism** — every seeded DES schedule (including the chaos
+//!    matrix entries: node crash, elastic drain) is run twice and the
+//!    exported Perfetto/chrome-tracing JSON must be byte-identical.
+//!    Span identity is derived arithmetic (`derive_trace_id` +
+//!    per-trace ordinals), never wall time or RNG, so any divergence is
+//!    a real nondeterminism bug.
+//! 2. **Attribution** — for every completed question the critical-path
+//!    components must sum to the measured end-to-end latency within
+//!    [`RESIDUAL_BUDGET`] (1 %), the span set must be well nested, and
+//!    every export must validate as chrome-tracing JSON.
+//! 3. **Budget** — latency budgets per component share: the queue-wait
+//!    (coordination/overhead) share of the DES critical path stays
+//!    under [`DES_QUEUE_SHARE_BUDGET`]; on the thread runtime the
+//!    admission+queue share stays under [`RUNTIME_QUEUE_SHARE_BUDGET`]
+//!    and the flight-recorder ring must not overflow; on the federated
+//!    broker the hedge-span share stays under [`HEDGE_SHARE_BUDGET`].
+//!
+//! On a violation the per-scenario summaries are dumped to
+//! `--trace-out` (default `target/trace_gate_dump.txt`) and the process
+//! exits non-zero. `--bench-out` writes the schema-v1 `BENCH_9.json`
+//! point set: per-scenario span counts, mean end-to-end seconds, queue
+//! share and worst attribution residual. `--ci` runs the short
+//! fixed-seed configuration sized for a per-commit gate.
+
+use bench::fixtures::QaFixture;
+use cluster_sim::{BalancingStrategy, QaSimulation, SimConfig};
+use dqa_obs::{critical_path, validate_chrome_json, validate_nesting, CausalSpan, MetricsRegistry};
+use dqa_runtime::{Admission, Cluster, ClusterConfig};
+use faults::FaultSchedule;
+use federation::{FederatedAdmission, FederationBroker, FederationConfig};
+use nlp::NamedEntityRecognizer;
+use qa_types::NodeId;
+use rebalance::ElasticConfig;
+use scheduler::partition::PartitionStrategy;
+use std::collections::BTreeSet;
+
+/// Largest tolerated |end-to-end − attributed| as a fraction of the
+/// end-to-end latency (the acceptance bar's 1 % clause).
+const RESIDUAL_BUDGET: f64 = 0.01;
+/// Largest tolerated queue-wait share of the DES critical path (the
+/// Table 9 coordination overhead must not dominate the phases).
+const DES_QUEUE_SHARE_BUDGET: f64 = 0.60;
+/// Largest tolerated admission/ingress queue share on the thread
+/// runtime under a serial, uncontended workload.
+const RUNTIME_QUEUE_SHARE_BUDGET: f64 = 0.50;
+/// Largest tolerated hedge-span share of the federated critical path:
+/// hedges are a tail patch, not the common case.
+const HEDGE_SHARE_BUDGET: f64 = 0.75;
+
+struct Args {
+    ci: bool,
+    seed: u64,
+    trace_out: String,
+    bench_out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ci: false,
+        seed: 9001,
+        trace_out: "target/trace_gate_dump.txt".into(),
+        bench_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ci" => args.ci = true,
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
+            "--trace-out" => {
+                if let Some(p) = it.next() {
+                    args.trace_out = p;
+                }
+            }
+            "--bench-out" => args.bench_out = it.next(),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: trace_gate [--ci] [--seed N] \
+                     [--trace-out PATH] [--bench-out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One gate point for the bench JSON.
+struct Point {
+    scenario: &'static str,
+    questions: usize,
+    spans: usize,
+    mean_e2e_s: f64,
+    queue_share: f64,
+    max_residual_frac: f64,
+}
+
+/// Critical-path attribution + budget checks over one span set holding
+/// one or more per-question trees. Returns (paths, total e2e, total
+/// queue, worst residual fraction).
+fn check_paths(
+    tag: &str,
+    spans: &[CausalSpan],
+    violations: &mut Vec<String>,
+) -> (usize, f64, f64, f64) {
+    if let Err(e) = validate_nesting(spans) {
+        violations.push(format!("{tag}: spans are not well nested: {e}"));
+    }
+    let traces: BTreeSet<u64> = spans
+        .iter()
+        .filter(|s| s.parent.is_none())
+        .map(|s| s.trace)
+        .collect();
+    let (mut n, mut e2e_sum, mut queue_sum, mut worst) = (0usize, 0.0f64, 0.0f64, 0.0f64);
+    for trace in traces {
+        let tree: Vec<CausalSpan> = spans.iter().filter(|s| s.trace == trace).cloned().collect();
+        let Some(cp) = critical_path(&tree) else {
+            violations.push(format!("{tag}: trace {trace:016x} has no critical path"));
+            continue;
+        };
+        let e2e = cp.total();
+        if e2e <= 0.0 {
+            continue;
+        }
+        let residual = (e2e - cp.attributed()).abs() / e2e;
+        if residual > RESIDUAL_BUDGET {
+            violations.push(format!(
+                "{tag}: trace {trace:016x} attribution residual {:.2} % exceeds {:.0} % \
+                 (e2e {e2e:.6} s, attributed {:.6} s)",
+                100.0 * residual,
+                100.0 * RESIDUAL_BUDGET,
+                cp.attributed()
+            ));
+        }
+        n += 1;
+        e2e_sum += e2e;
+        queue_sum += cp.queue_total();
+        worst = worst.max(residual);
+    }
+    (n, e2e_sum, queue_sum, worst)
+}
+
+/// Run one DES schedule twice, require byte-identical exports, and
+/// apply the attribution + queue-share budgets.
+fn run_des_scenario(
+    name: &'static str,
+    build: &dyn Fn() -> SimConfig,
+    seed: u64,
+    violations: &mut Vec<String>,
+) -> (Point, String) {
+    let tag = format!("des [{name}]");
+    let report = QaSimulation::new(build()).run();
+    let json = report.chrome_trace(seed);
+    let rerun = QaSimulation::new(build()).run().chrome_trace(seed);
+    if rerun != json {
+        violations.push(format!(
+            "{tag}: span export diverged across a seeded double run"
+        ));
+    }
+    let events = match validate_chrome_json(&json) {
+        Ok(n) => n,
+        Err(e) => {
+            violations.push(format!("{tag}: export is not valid chrome tracing: {e}"));
+            0
+        }
+    };
+    let spans = report.all_causal_spans(seed);
+    let (paths, e2e_sum, queue_sum, worst) = check_paths(&tag, &spans, violations);
+    let queue_share = queue_sum / e2e_sum.max(f64::MIN_POSITIVE);
+    if paths > 0 && queue_share > DES_QUEUE_SHARE_BUDGET {
+        violations.push(format!(
+            "{tag}: queue-wait share {:.1} % exceeds the {:.0} % budget",
+            100.0 * queue_share,
+            100.0 * DES_QUEUE_SHARE_BUDGET
+        ));
+    }
+    let point = Point {
+        scenario: name,
+        questions: paths,
+        spans: spans.len(),
+        mean_e2e_s: e2e_sum / (paths.max(1)) as f64,
+        queue_share,
+        max_residual_frac: worst,
+    };
+    let summary = format!(
+        "{tag}: {paths} path(s) over {} span(s) ({events} trace event(s)), mean e2e {:.2} s, \
+         queue share {:.1} %, worst residual {:.3e}",
+        spans.len(),
+        point.mean_e2e_s,
+        100.0 * queue_share,
+        worst
+    );
+    (point, summary)
+}
+
+/// Thread-runtime clause: answer questions through the admission gate,
+/// seal spans, and hold the nesting/attribution/queue budgets on wall
+/// time. Also proves the flight-recorder ring was large enough.
+fn run_runtime(args: &Args, violations: &mut Vec<String>) -> (Point, String) {
+    let tag = "runtime";
+    let n = if args.ci { 3 } else { 6 };
+    let fixture = QaFixture::small(args.seed, n);
+    let registry = MetricsRegistry::new();
+    let cluster = Cluster::start(
+        fixture.retriever(),
+        NamedEntityRecognizer::standard(),
+        ClusterConfig {
+            nodes: 4,
+            metrics: Some(registry.clone()),
+            trace_seed: args.seed,
+            ..ClusterConfig::default()
+        },
+    );
+    for gq in &fixture.questions {
+        match cluster.submit(&gq.question) {
+            Admission::Answered(_) => {}
+            other => violations.push(format!(
+                "{tag}: question {} did not answer under a permissive policy ({other:?})",
+                gq.question.id
+            )),
+        }
+    }
+    if cluster.tracer().dropped() > 0 {
+        violations.push(format!(
+            "{tag}: flight-recorder ring overflowed ({} span(s) dropped)",
+            cluster.tracer().dropped()
+        ));
+    }
+    let spans = cluster.tracer().spans();
+    cluster.shutdown();
+    let (paths, e2e_sum, queue_sum, worst) = check_paths(tag, &spans, violations);
+    if paths != n {
+        violations.push(format!(
+            "{tag}: {paths} sealed trace(s) for {n} answered question(s)"
+        ));
+    }
+    let queue_share = queue_sum / e2e_sum.max(f64::MIN_POSITIVE);
+    if paths > 0 && queue_share > RUNTIME_QUEUE_SHARE_BUDGET {
+        violations.push(format!(
+            "{tag}: admission/queue share {:.1} % exceeds the {:.0} % budget",
+            100.0 * queue_share,
+            100.0 * RUNTIME_QUEUE_SHARE_BUDGET
+        ));
+    }
+    let point = Point {
+        scenario: "runtime",
+        questions: paths,
+        spans: spans.len(),
+        mean_e2e_s: e2e_sum / (paths.max(1)) as f64,
+        queue_share,
+        max_residual_frac: worst,
+    };
+    let summary = format!(
+        "{tag}: {paths} question(s) sealed into {} span(s), mean e2e {:.3} s, \
+         queue share {:.1} %, worst residual {:.3e}",
+        spans.len(),
+        point.mean_e2e_s,
+        100.0 * queue_share,
+        worst
+    );
+    (point, summary)
+}
+
+/// Federated clause: scatter-gather through the broker and hold the
+/// hedge-share budget over the broker's own span trees.
+fn run_federated(args: &Args, violations: &mut Vec<String>) -> (Point, String) {
+    let tag = "federated";
+    let n = if args.ci { 2 } else { 4 };
+    let fixture = QaFixture::small(args.seed ^ 0x5eed, n);
+    let mut cfg = FederationConfig::new(2);
+    cfg.nodes_per_shard = 2;
+    cfg.metrics = Some(MetricsRegistry::new());
+    cfg.trace_seed = args.seed;
+    let broker = FederationBroker::start(
+        &fixture.corpus.documents,
+        fixture.corpus.config.sub_collections,
+        cfg,
+    );
+    for gq in &fixture.questions {
+        match broker.ask(&gq.question) {
+            FederatedAdmission::Answered(_) => {}
+            FederatedAdmission::Rejected { .. } => violations.push(format!(
+                "{tag}: question {} rejected under a permissive policy",
+                gq.question.id
+            )),
+        }
+    }
+    let spans = broker.tracer().spans();
+    broker.shutdown();
+    let (paths, e2e_sum, queue_sum, worst) = check_paths(tag, &spans, violations);
+    let hedge_s: f64 = {
+        // Hedge seconds on the critical path, summed across traces.
+        let traces: BTreeSet<u64> = spans.iter().map(|s| s.trace).collect();
+        traces
+            .iter()
+            .filter_map(|t| {
+                let tree: Vec<CausalSpan> =
+                    spans.iter().filter(|s| s.trace == *t).cloned().collect();
+                critical_path(&tree).map(|cp| cp.seconds_for("hedge"))
+            })
+            .sum()
+    };
+    let hedge_share = hedge_s / e2e_sum.max(f64::MIN_POSITIVE);
+    if paths > 0 && hedge_share > HEDGE_SHARE_BUDGET {
+        violations.push(format!(
+            "{tag}: hedge share {:.1} % exceeds the {:.0} % budget",
+            100.0 * hedge_share,
+            100.0 * HEDGE_SHARE_BUDGET
+        ));
+    }
+    let queue_share = queue_sum / e2e_sum.max(f64::MIN_POSITIVE);
+    let point = Point {
+        scenario: "federated",
+        questions: paths,
+        spans: spans.len(),
+        mean_e2e_s: e2e_sum / (paths.max(1)) as f64,
+        queue_share,
+        max_residual_frac: worst,
+    };
+    let summary = format!(
+        "{tag}: {paths} scatter(s) into {} span(s), mean e2e {:.3} s, hedge share {:.1} %, \
+         worst residual {:.3e}",
+        spans.len(),
+        point.mean_e2e_s,
+        100.0 * hedge_share,
+        worst
+    );
+    (point, summary)
+}
+
+/// Schema-v1 `BENCH_9.json`: per-scenario tracing/attribution summary.
+fn render_bench_json(args: &Args, points: &[Point]) -> String {
+    let body = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"scenario\":\"{}\",\"questions\":{},\"spans\":{},\"mean_e2e_s\":{:.6},\
+                 \"queue_share\":{:.4},\"max_residual_frac\":{:.6}}}",
+                p.scenario, p.questions, p.spans, p.mean_e2e_s, p.queue_share, p.max_residual_frac
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"bench\":\"trace_gate\",\"schema\":1,\"seed\":{},\"ci\":{},\
+         \"residual_budget\":{RESIDUAL_BUDGET},\"points\":[{body}]}}\n",
+        args.seed, args.ci
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let questions = if args.ci { 6 } else { 12 };
+    let seed = args.seed;
+    let mut violations = Vec::new();
+    let mut summaries = Vec::new();
+    let mut points = Vec::new();
+    println!("Trace gate — seed {seed}, {questions} question(s) per DES run\n");
+
+    let low = move || {
+        SimConfig::paper_low_load(
+            4,
+            PartitionStrategy::Recv { chunk_size: 40 },
+            questions,
+            seed,
+        )
+    };
+    let scenarios: Vec<(&'static str, Box<dyn Fn() -> SimConfig>)> = vec![
+        ("low-load", Box::new(low)),
+        (
+            "high-load",
+            Box::new(move || SimConfig::paper_high_load(4, BalancingStrategy::Dqa, seed)),
+        ),
+        (
+            // Chaos matrix: a mid-run node crash re-queues chunks; the
+            // retried work must still attribute cleanly.
+            "node-crash",
+            Box::new(move || {
+                let mut cfg = low();
+                cfg.faults = FaultSchedule::seeded(seed).crash(NodeId::new(2), 20.0);
+                cfg
+            }),
+        ),
+        (
+            // Chaos matrix: a live drain migrates sub-collections while
+            // questions run.
+            "elastic-drain",
+            Box::new(move || {
+                let mut cfg = low();
+                cfg.elastic = Some(ElasticConfig::default());
+                cfg.faults = FaultSchedule::seeded(seed).decommission(NodeId::new(1), 15.0);
+                cfg
+            }),
+        ),
+    ];
+    for (name, build) in scenarios {
+        let (point, summary) = run_des_scenario(name, build.as_ref(), seed, &mut violations);
+        println!("  {summary}");
+        summaries.push(summary);
+        points.push(point);
+    }
+
+    let (point, summary) = run_runtime(&args, &mut violations);
+    println!("  {summary}");
+    summaries.push(summary);
+    points.push(point);
+
+    let (point, summary) = run_federated(&args, &mut violations);
+    println!("  {summary}");
+    summaries.push(summary);
+    points.push(point);
+
+    if let Some(path) = &args.bench_out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, render_bench_json(&args, &points)) {
+            Ok(()) => println!("\n  bench summary written to {path}"),
+            Err(e) => {
+                eprintln!("trace-gate: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if !violations.is_empty() {
+        let mut dump = String::new();
+        for v in &violations {
+            eprintln!("trace-gate VIOLATION: {v}");
+            dump.push_str(&format!("VIOLATION: {v}\n"));
+        }
+        dump.push_str("\n--- run summaries ---\n");
+        for s in &summaries {
+            dump.push_str(s);
+            dump.push('\n');
+        }
+        if let Some(dir) = std::path::Path::new(&args.trace_out).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&args.trace_out, dump) {
+            eprintln!("trace-gate: cannot write {}: {e}", args.trace_out);
+        } else {
+            eprintln!("trace-gate: summaries dumped to {}", args.trace_out);
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "\n  invariants held: span exports bit-identical across seeded double runs \
+         (chaos matrix included), every critical path attributes the end-to-end \
+         latency within {:.0} %, and every component stayed inside its latency budget",
+        100.0 * RESIDUAL_BUDGET
+    );
+}

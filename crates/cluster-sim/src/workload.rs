@@ -18,7 +18,11 @@
 
 use crate::demand::QuestionDemand;
 use crate::engine::{Advance, Engine, Stage};
-use dqa_obs::{DqaMetrics, Gauge, ManualClock, MetricsRegistry, PhaseTimer, Snapshot, Span};
+use dqa_obs::{
+    critical_path, derive_span_id, derive_trace_id, DqaMetrics, Gauge, ManualClock,
+    MetricsRegistry, PhaseTimer, Snapshot, Span,
+};
+use dqa_obs::{CausalSpan, CauseSet, CriticalPath};
 use faults::{FaultEvent, FaultSchedule, LinkDecision, LinkJudge, LossJudge};
 use loadsim::functions::LoadFunctions;
 use qa_types::{
@@ -26,11 +30,11 @@ use qa_types::{
     QuestionOutcome, ResourceVector, ResourceWeights,
 };
 use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use rebalance::{
     plan_evacuation, plan_join, plan_skew, ElasticConfig, MigrationPlan, MigrationStep,
     OwnershipMap, RebalanceReason,
 };
-use rand::{Rng, SeedableRng};
 use scheduler::diffusion::{GradientModel, SenderDiffusion};
 use scheduler::dispatcher::QuestionDispatcher;
 use scheduler::meta::meta_schedule;
@@ -499,6 +503,90 @@ impl SimReport {
     pub fn waterfall(&self, q: usize, width: usize) -> Vec<String> {
         dqa_obs::render_waterfall(&self.phase_spans(q), width)
     }
+
+    /// Causal-span tree of question `q` in virtual time: a `question`
+    /// root over `[arrival, finished]` with one child per phase (the
+    /// same QP → PR → PO → AP → SORT layout as [`SimReport::phase_spans`]).
+    /// Identity comes from [`derive_trace_id`]`(q, seed)` plus the
+    /// deterministic ordinal chain, and every timestamp is virtual —
+    /// two runs of the same seeded config export bit-identical span
+    /// streams. Empty for rejected questions and out-of-range indices.
+    pub fn causal_spans(&self, q: usize, seed: u64) -> Vec<CausalSpan> {
+        let Some(rec) = self.questions.get(q) else {
+            return Vec::new();
+        };
+        if rec.outcome == QuestionOutcome::Rejected {
+            return Vec::new();
+        }
+        let trace = derive_trace_id(q as u64, seed);
+        let mut ordinal = 0u64;
+        let mut next = || {
+            ordinal += 1;
+            derive_span_id(trace, ordinal)
+        };
+        let root_causes = if rec.outcome == QuestionOutcome::Degraded {
+            CauseSet::none().with(CauseSet::DEGRADED)
+        } else {
+            CauseSet::none()
+        };
+        let mut root = CausalSpan::new(
+            trace,
+            None,
+            "question",
+            Some(rec.home.raw()),
+            rec.arrival,
+            rec.finished,
+            0.0,
+            root_causes,
+        );
+        root.id = next();
+        let root_id = root.id;
+        let mut spans = vec![root];
+        for ph in self.phase_spans(q) {
+            // The analytic overhead share of PR (kw_send/par_recv) and AP
+            // (par_send/ans_recv) rides at the head of the phase — surface
+            // it as queue-wait so the critical path splits coordination
+            // from computation the way Table 9 does.
+            let queue = match ph.label.as_str() {
+                "PR" => (rec.overhead.kw_send + rec.overhead.par_recv).min(ph.end - ph.start),
+                "AP" => (rec.overhead.par_send + rec.overhead.ans_recv).min(ph.end - ph.start),
+                "SORT" => rec.overhead.ans_sort.min(ph.end - ph.start),
+                _ => 0.0,
+            };
+            let mut s = CausalSpan::new(
+                trace,
+                Some(root_id),
+                &ph.label,
+                Some(rec.home.raw()),
+                ph.start,
+                ph.end,
+                queue.max(0.0),
+                CauseSet::none(),
+            );
+            s.id = next();
+            spans.push(s);
+        }
+        spans
+    }
+
+    /// Every completed question's causal spans, submission order — the
+    /// export surface for `dqa trace` and the double-run identity gate.
+    pub fn all_causal_spans(&self, seed: u64) -> Vec<CausalSpan> {
+        (0..self.questions.len())
+            .flat_map(|q| self.causal_spans(q, seed))
+            .collect()
+    }
+
+    /// Critical-path attribution for question `q` (`None` if rejected).
+    pub fn question_critical_path(&self, q: usize, seed: u64) -> Option<CriticalPath> {
+        critical_path(&self.causal_spans(q, seed))
+    }
+
+    /// Perfetto/chrome-tracing JSON of the whole run, byte-stable across
+    /// seeded reruns.
+    pub fn chrome_trace(&self, seed: u64) -> String {
+        dqa_obs::to_chrome_json(&self.all_causal_spans(seed))
+    }
 }
 
 /// Engine task tags.
@@ -648,10 +736,7 @@ impl ElasticState {
     /// Whether `node` owns any sub-collection this question's PR phase
     /// touches (collections `0..subs`).
     fn owns_any(&self, node: NodeId, subs: u32) -> bool {
-        self.ownership
-            .owned_by(node)
-            .iter()
-            .any(|s| s.raw() < subs)
+        self.ownership.owned_by(node).iter().any(|s| s.raw() < subs)
     }
 }
 
@@ -1475,10 +1560,10 @@ impl QaSimulation {
             self.elastic = Some(es);
             return;
         };
-        let verdict = es
-            .cfg
-            .throttle
-            .grant(self.in_flight, self.cfg.overload.max_in_flight, 0, false);
+        let verdict =
+            es.cfg
+                .throttle
+                .grant(self.in_flight, self.cfg.overload.max_in_flight, 0, false);
         if !verdict.is_go() {
             self.metrics.rebalance_throttled("yielding").inc();
             es.pending_steps
@@ -1488,7 +1573,9 @@ impl QaSimulation {
         }
         if es.ownership.apply_step(&step) {
             self.metrics.rebalance_migrated.inc();
-            self.metrics.ownership_epoch.set(es.ownership.epoch() as f64);
+            self.metrics
+                .ownership_epoch
+                .set(es.ownership.epoch() as f64);
             // The completed transfer is journaled (step-done record).
             self.journal_mark(1);
         }
@@ -3116,6 +3203,101 @@ mod tests {
     }
 
     #[test]
+    fn causal_span_exports_are_bit_identical_across_chaos_replays() {
+        // The chaos replay matrix: every schedule shape the elastic and
+        // fault tiers inject must still export byte-identical span
+        // streams on a seeded double run — span identity is derived
+        // arithmetic, never allocation or wall-clock order.
+        let matrix: Vec<(&str, Box<dyn Fn() -> SimConfig>)> = vec![
+            (
+                "baseline",
+                Box::new(|| SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 31)),
+            ),
+            (
+                "crash",
+                Box::new(|| {
+                    let mut cfg = SimConfig::paper_low_load(
+                        4,
+                        PartitionStrategy::Recv { chunk_size: 40 },
+                        4,
+                        31,
+                    );
+                    cfg.faults = FaultSchedule::seeded(31).crash(NodeId::new(2), 20.0);
+                    cfg
+                }),
+            ),
+            (
+                "straggler",
+                Box::new(|| {
+                    let mut cfg = SimConfig::paper_low_load(
+                        4,
+                        PartitionStrategy::Recv { chunk_size: 40 },
+                        4,
+                        31,
+                    );
+                    cfg.faults =
+                        FaultSchedule::seeded(31).straggler(NodeId::new(1), 10.0, 30.0, 4.0);
+                    cfg
+                }),
+            ),
+            (
+                "drain",
+                Box::new(|| {
+                    let mut cfg = SimConfig::paper_low_load(
+                        4,
+                        PartitionStrategy::Recv { chunk_size: 40 },
+                        4,
+                        31,
+                    );
+                    cfg.elastic = Some(ElasticConfig::default());
+                    cfg.faults = FaultSchedule::seeded(31).decommission(NodeId::new(1), 15.0);
+                    cfg
+                }),
+            ),
+        ];
+        for (name, build) in matrix {
+            let a = QaSimulation::new(build()).run();
+            let b = QaSimulation::new(build()).run();
+            assert_eq!(
+                a.chrome_trace(31),
+                b.chrome_trace(31),
+                "{name}: span export diverged across a seeded double run"
+            );
+            let spans = a.all_causal_spans(31);
+            assert!(!spans.is_empty(), "{name}: no spans exported");
+            dqa_obs::validate_nesting(&spans).unwrap_or_else(|e| panic!("{name}: {e}"));
+            dqa_obs::validate_chrome_json(&a.chrome_trace(31))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn critical_path_attributes_the_measured_latency_within_one_percent() {
+        let r = QaSimulation::new(SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 5)).run();
+        let mut attributed = 0usize;
+        for (q, rec) in r.questions.iter().enumerate() {
+            if rec.outcome == QuestionOutcome::Rejected {
+                assert!(r.causal_spans(q, 5).is_empty(), "rejected q{q} has spans");
+                continue;
+            }
+            let cp = r.question_critical_path(q, 5).expect("critical path");
+            let e2e = rec.finished - rec.arrival;
+            assert!(
+                (cp.total() - e2e).abs() <= 1e-9 * e2e.max(1.0),
+                "q{q}: path total {} vs measured e2e {e2e}",
+                cp.total()
+            );
+            let residual = (cp.total() - cp.attributed()).abs();
+            assert!(
+                residual <= 0.01 * cp.total().max(f64::MIN_POSITIVE),
+                "q{q}: residual {residual} on e2e {e2e}"
+            );
+            attributed += 1;
+        }
+        assert!(attributed > 0, "no completed questions to attribute");
+    }
+
+    #[test]
     fn metrics_catalogue_agrees_with_the_report() {
         let r = QaSimulation::new(SimConfig::paper_high_load(4, BalancingStrategy::Dqa, 5)).run();
         let counts = r.outcome_counts();
@@ -3308,7 +3490,10 @@ mod tests {
             "healing completes once the window closes"
         );
         assert!(
-            stalled.metrics.counter("dqa_rebalance_throttled_total{cause=\"stalled\"}") > 0,
+            stalled
+                .metrics
+                .counter("dqa_rebalance_throttled_total{cause=\"stalled\"}")
+                > 0,
             "deferred steps are counted"
         );
         let heal = |r: &SimReport| r.metrics.histograms["dqa_rebalance_heal_seconds"].sum;

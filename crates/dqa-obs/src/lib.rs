@@ -18,6 +18,10 @@
 //!   waterfall renderer for per-question timelines.
 //! * [`FlightRecorder`]: a bounded drop-oldest ring buffer for trace
 //!   events. Loss is counted, never silent.
+//! * [`trace`]: causal spans with deterministic trace/span identity, a
+//!   critical-path analyzer attributing end-to-end latency to
+//!   phase/queue/hedge/migration components, and Perfetto/chrome-tracing
+//!   export ([`TraceRecorder`], [`critical_path`], [`to_chrome_json`]).
 //! * [`Snapshot`]: a point-in-time, deterministically ordered view of
 //!   every instrument, exportable to Prometheus text format or stable
 //!   JSON (see [`Snapshot::to_prometheus`], [`Snapshot::to_json`]).
@@ -30,6 +34,7 @@ mod clock;
 mod metrics;
 mod ring;
 mod snapshot;
+pub mod trace;
 
 pub use catalogue::DqaMetrics;
 pub use clock::{Clock, ManualClock, WallClock};
@@ -39,6 +44,11 @@ pub use metrics::{
 pub use ring::{FlightRecorder, DEFAULT_FLIGHT_RECORDER_CAPACITY};
 pub use snapshot::{
     metric_key, render_waterfall, split_key, validate_prometheus, HistogramSnapshot, Snapshot, Span,
+};
+pub use trace::{
+    critical_path, derive_span_id, derive_trace_id, splitmix64, to_chrome_json,
+    validate_chrome_json, validate_nesting, CausalSpan, CauseSet, CriticalPath, PathComponent,
+    TraceRecorder,
 };
 
 /// The metric-name catalogue shared by `dqa-runtime` and `cluster-sim`.

@@ -10,9 +10,12 @@ use crate::monitor::BroadcastMonitors;
 use crate::node::{run_node, NodeContext};
 use crate::overload::{Admission, AdmissionGate, GateDecision, PhaseEstimator};
 use crate::sync::Mutex;
-use crate::trace::{TraceKind, TraceLog, DEFAULT_FLIGHT_RECORDER_CAPACITY};
+use crate::trace::{seal_question_spans, TraceKind, TraceLog, DEFAULT_FLIGHT_RECORDER_CAPACITY};
 use crossbeam_channel::{bounded, RecvTimeoutError, SendTimeoutError, Sender};
-use dqa_obs::{names, DqaMetrics, Gauge, MetricsRegistry, WallClock};
+use dqa_obs::{
+    names, CausalSpan, CauseSet, Clock, DqaMetrics, Gauge, MetricsRegistry, TraceRecorder,
+    WallClock,
+};
 use faults::{FaultSchedule, RetryPolicy};
 use ir_engine::ParagraphRetriever;
 use journal::{
@@ -20,10 +23,6 @@ use journal::{
     SchedulingPoint,
 };
 use loadsim::functions::LoadFunctions;
-use rebalance::{
-    plan_evacuation, plan_join, plan_skew, ElasticConfig, FailureDetector, MigrationPlan,
-    MigrationStep, NodeHealth, OwnershipMap, RebalanceReason, ThrottleVerdict,
-};
 use nlp::{NamedEntityRecognizer, QuestionProcessor};
 use qa_pipeline::answer::ApItem;
 use qa_pipeline::ordering::order_paragraphs;
@@ -32,6 +31,10 @@ use qa_pipeline::PipelineConfig;
 use qa_types::{
     Coverage, ModuleTimings, NodeId, OverloadPolicy, ProcessedQuestion, QaError, QaModule,
     Question, RankedAnswers, SubCollectionId, Trec9Profile,
+};
+use rebalance::{
+    plan_evacuation, plan_join, plan_skew, ElasticConfig, FailureDetector, MigrationPlan,
+    MigrationStep, NodeHealth, OwnershipMap, RebalanceReason, ThrottleVerdict,
 };
 use scheduler::meta::meta_schedule;
 use scheduler::partition::{partition_isend, partition_recv, partition_send, PartitionStrategy};
@@ -105,6 +108,11 @@ pub struct ClusterConfig {
     /// Capacity of the bounded trace flight recorder. Oldest events are
     /// evicted past it, counted in `dqa_trace_dropped_total`.
     pub trace_capacity: usize,
+    /// Identity seed for causal-span trace ids
+    /// ([`dqa_obs::derive_trace_id`]). A federation broker and its shard
+    /// clusters must share it so their span streams stitch into one
+    /// trace per question; the value never influences execution.
+    pub trace_seed: u64,
     /// Durable question journal the coordinator appends its decisions to
     /// (admission, the three scheduling points, chunk grants, partial
     /// results, final answers). `None` (default) disables journaling; with
@@ -145,6 +153,7 @@ impl Default for ClusterConfig {
             send_timeout: Duration::from_millis(100),
             metrics: None,
             trace_capacity: DEFAULT_FLIGHT_RECORDER_CAPACITY,
+            trace_seed: 0,
             journal: None,
             elastic: None,
         }
@@ -174,11 +183,19 @@ pub struct DistributedAnswer {
     pub coverage: Coverage,
 }
 
+/// Trace-id namespace for migration-plan span trees (XORed with the
+/// plan id so they never collide with question traces).
+const MIGRATION_TRACE_NS: u64 = 0x4d49_4752_0000_0000; // "MIGR"
+/// Trace-id namespace for journal-replay span trees (XORed with the
+/// successor's term).
+const REPLAY_TRACE_NS: u64 = 0x5250_4c59_0000_0000; // "RPLY"
+
 /// A running cluster of worker threads.
 pub struct Cluster {
     cfg: ClusterConfig,
     board: Arc<LoadBoard>,
     trace: TraceLog,
+    tracer: Arc<TraceRecorder>,
     links: Vec<FaultyLink>,
     workers: Vec<JoinHandle<()>>,
     qp: QuestionProcessor,
@@ -235,11 +252,20 @@ impl Cluster {
         let queue_depth: Vec<Gauge> = (0..cfg.nodes)
             .map(|i| metrics.queue_depth(i as u32))
             .collect();
+        // One wall epoch for the event log and the causal-span recorder,
+        // so sealed spans and Fig. 7 listings share a timeline.
+        let span_clock: Arc<dyn Clock> = Arc::new(WallClock::new());
         let trace = TraceLog::with(
-            Arc::new(WallClock::new()),
+            Arc::clone(&span_clock),
             cfg.trace_capacity,
             registry.counter(names::TRACE_DROPPED_TOTAL, &[]),
         );
+        let tracer = Arc::new(TraceRecorder::new(
+            span_clock,
+            cfg.trace_seed,
+            cfg.trace_capacity,
+            registry.counter(names::TRACE_DROPPED_TOTAL, &[]),
+        ));
         let shards = retriever.index().shard_count();
         let link_judge = (!cfg.faults.link.is_clean()).then(|| cfg.faults.link_judge());
         let mut links = Vec::with_capacity(cfg.nodes);
@@ -336,6 +362,7 @@ impl Cluster {
             cfg,
             board,
             trace,
+            tracer,
             links,
             workers,
             qp: QuestionProcessor::new(),
@@ -360,6 +387,14 @@ impl Cluster {
     /// The shared trace log.
     pub fn trace(&self) -> &TraceLog {
         &self.trace
+    }
+
+    /// The causal-span recorder: per-question span trees sealed at
+    /// completion (admission wait, phases, chunks), plus migration and
+    /// journal-replay spans. Feed its spans to [`dqa_obs::critical_path`]
+    /// or [`dqa_obs::to_chrome_json`].
+    pub fn tracer(&self) -> &Arc<TraceRecorder> {
+        &self.tracer
     }
 
     /// The shared load board.
@@ -609,9 +644,7 @@ impl Cluster {
         if plan.is_empty() {
             return 0;
         }
-        self.metrics
-            .rebalance_plans(&plan.reason.to_string())
-            .inc();
+        self.metrics.rebalance_plans(&plan.reason.to_string()).inc();
         self.metrics.rebalance_converged.set(0.0);
         let throttle = {
             let mut es = e.lock();
@@ -630,7 +663,14 @@ impl Cluster {
         }
         let quantum = Duration::from_secs_f64(throttle.step_secs.max(0.0));
         let mut applied = 0;
+        let plan_trace = self.tracer.trace_id(MIGRATION_TRACE_NS ^ plan.id);
+        let plan_start = self.tracer.now();
+        // Children are buffered so the root span (whose id they parent
+        // under) can be emitted first with its real end time.
+        let mut step_spans: Vec<CausalSpan> = Vec::with_capacity(plan.steps.len());
         for step in &plan.steps {
+            let step_start = self.tracer.now();
+            let mut deferred = false;
             // Bounded courtesy: yield to foreground up to 64 quanta, then
             // take the step anyway — healing must stay live even under a
             // persistently full gate.
@@ -644,6 +684,7 @@ impl Cluster {
                 if verdict.is_go() {
                     break;
                 }
+                deferred = true;
                 let cause = match verdict {
                     ThrottleVerdict::Yielding => "yielding",
                     ThrottleVerdict::Saturated => "saturated",
@@ -652,6 +693,7 @@ impl Cluster {
                 self.metrics.rebalance_throttled(cause).inc();
                 std::thread::sleep(quantum);
             }
+            let granted = self.tracer.now();
             let (stepped, epoch) = {
                 let mut es = e.lock();
                 let st = es.ownership.apply_step(step);
@@ -669,10 +711,38 @@ impl Cluster {
                     });
                 }
             }
+            step_spans.push(CausalSpan::new(
+                plan_trace,
+                None,
+                "migration-step",
+                Some(step.to.raw()),
+                step_start,
+                self.tracer.now(),
+                granted - step_start,
+                if deferred {
+                    CauseSet::THROTTLED
+                } else {
+                    CauseSet::none()
+                },
+            ));
             std::thread::sleep(quantum);
         }
         if self.cfg.journal.is_some() {
             self.journal_append(&JournalRecord::RebalanceConverged { plan: plan.id });
+        }
+        let root = self.tracer.emit(CausalSpan::new(
+            plan_trace,
+            None,
+            "migration",
+            None,
+            plan_start,
+            self.tracer.now(),
+            0.0,
+            CauseSet::none(),
+        ));
+        for mut s in step_spans {
+            s.parent = Some(root);
+            self.tracer.emit(s);
         }
         applied
     }
@@ -743,6 +813,7 @@ impl Cluster {
     /// [`Admission::Rejected`] with a retry hint. Time spent waiting for a
     /// slot counts against the question's deadline budget.
     pub fn submit(&self, question: &Question) -> Admission {
+        let enqueued_secs = self.tracer.now();
         let admitted_at = now_instant();
         let retry_after = Duration::from_secs_f64(self.cfg.overload.retry_after_secs.max(0.0));
         let wait_until = self
@@ -771,12 +842,22 @@ impl Cluster {
         self.metrics
             .admission_waiting
             .set(self.gate.waiting() as f64);
+        let admitted_secs = self.tracer.now();
         let dns = NodeId::new((self.rr.fetch_add(1, Ordering::Relaxed) % self.cfg.nodes) as u32);
         let out = self.ask_impl(dns, question, admitted_at, None);
         self.gate.release();
         self.metrics.in_flight.set(self.gate.in_flight() as f64);
         match out {
-            Ok(answer) => Admission::Answered(Box::new(answer)),
+            Ok(answer) => {
+                self.seal_trace(
+                    question,
+                    enqueued_secs,
+                    admitted_secs,
+                    CauseSet::none(),
+                    &answer,
+                );
+                Admission::Answered(Box::new(answer))
+            }
             Err(QaError::Overloaded { .. }) => {
                 self.trace
                     .record(question.id, NodeId::new(0), TraceKind::Rejected);
@@ -842,6 +923,7 @@ impl Cluster {
         // see the post-crash map, not the boot-time balanced one.
         self.resume_rebalances(&recovery.state);
         let t = now_instant();
+        let replay_start = self.tracer.now();
         let mut out = Vec::new();
         for (_, rec) in recovery.state.in_flight() {
             let Some(q) = rec.question() else { continue };
@@ -852,6 +934,17 @@ impl Cluster {
         self.metrics
             .recovery_seconds
             .observe(t.elapsed().as_secs_f64());
+        let replay_trace = self.tracer.trace_id(REPLAY_TRACE_NS ^ self.term());
+        self.tracer.emit(CausalSpan::new(
+            replay_trace,
+            None,
+            "replay",
+            None,
+            replay_start,
+            self.tracer.now(),
+            0.0,
+            CauseSet::RESUMED,
+        ));
         out
     }
 
@@ -913,6 +1006,7 @@ impl Cluster {
         rec: &QuestionRecovery,
     ) -> Result<DistributedAnswer, QaError> {
         self.metrics.resumed_questions.inc();
+        let resumed_secs = self.tracer.now();
         let dns = rec
             .home()
             .map(NodeId::new)
@@ -920,7 +1014,43 @@ impl Cluster {
             .unwrap_or_else(|| {
                 NodeId::new((self.rr.fetch_add(1, Ordering::Relaxed) % self.cfg.nodes) as u32)
             });
-        self.ask_impl(dns, question, now_instant(), Some(rec))
+        let out = self.ask_impl(dns, question, now_instant(), Some(rec));
+        if let Ok(answer) = &out {
+            self.seal_trace(
+                question,
+                resumed_secs,
+                resumed_secs,
+                CauseSet::RESUMED,
+                answer,
+            );
+        }
+        out
+    }
+
+    /// Seal a finished question's causal-span tree from its flight-
+    /// recorded events (degraded coverage folds into the cause tags).
+    fn seal_trace(
+        &self,
+        question: &Question,
+        enqueued_secs: f64,
+        admitted_secs: f64,
+        extra: CauseSet,
+        answer: &DistributedAnswer,
+    ) {
+        let causes = if answer.coverage.is_complete() {
+            extra
+        } else {
+            extra.with(CauseSet::DEGRADED)
+        };
+        seal_question_spans(
+            &self.tracer,
+            question.id,
+            &self.trace.for_question(question.id),
+            enqueued_secs,
+            admitted_secs,
+            self.tracer.now(),
+            causes,
+        );
     }
 
     /// Run one question and account its outcome in the metrics registry.
@@ -2525,8 +2655,14 @@ mod tests {
         assert!(cl.rebalance_status().unwrap().1);
 
         let snap = cl.metrics().snapshot();
-        assert_eq!(snap.counter(r#"dqa_rebalance_plans_total{reason="drain"}"#), 1);
-        assert_eq!(snap.counter(r#"dqa_rebalance_plans_total{reason="join"}"#), 1);
+        assert_eq!(
+            snap.counter(r#"dqa_rebalance_plans_total{reason="drain"}"#),
+            1
+        );
+        assert_eq!(
+            snap.counter(r#"dqa_rebalance_plans_total{reason="join"}"#),
+            1
+        );
         assert_eq!(
             snap.counter("dqa_rebalance_migrated_total") as usize,
             moved + rejoined

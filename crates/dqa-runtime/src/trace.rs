@@ -7,7 +7,10 @@
 //! silent. Timestamps come from a [`Clock`], so the same log type serves
 //! wall time here and virtual time in the simulator's harnesses.
 
-use dqa_obs::{render_waterfall, Clock, Counter, FlightRecorder, Span, WallClock};
+use dqa_obs::{
+    render_waterfall, CausalSpan, CauseSet, Clock, Counter, FlightRecorder, Span, TraceRecorder,
+    WallClock,
+};
 use qa_types::{NodeId, QaModule, QuestionId, SubCollectionId};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -251,6 +254,163 @@ fn phase_spans(events: &[TraceEvent]) -> Vec<Span> {
     spans
 }
 
+/// Seal a finished question's causal-span tree into `rec` from its
+/// flight-recorded events plus the admission timestamps (all on the same
+/// [`Clock`] timeline as the events). Returns the trace id.
+///
+/// The tree is: a `question` root spanning enqueue → finish whose
+/// `queue_wait` is the admission-gate wait, with the derived
+/// QP/PR/PO/AP/SORT phases as children, per-sub-collection `chunk` spans
+/// under PR and per-node `ap-batch` spans under AP. Cause tags fold in
+/// the question's fault history (speculation, worker retries,
+/// degradation) plus whatever `extra` the caller knows (e.g.
+/// [`CauseSet::RESUMED`] for journal-resumed questions).
+pub fn seal_question_spans(
+    rec: &TraceRecorder,
+    question: QuestionId,
+    events: &[TraceEvent],
+    enqueued_at: f64,
+    admitted_at: f64,
+    finished_at: f64,
+    extra: CauseSet,
+) -> u64 {
+    let trace = rec.trace_id(u64::from(question.raw()));
+    let home = events
+        .iter()
+        .find(|e| matches!(e.kind, TraceKind::QuestionStart))
+        .map(|e| e.node.raw());
+    let mut causes = extra;
+    for e in events {
+        causes = match e.kind {
+            TraceKind::Degraded(_) | TraceKind::Shed(_) => causes.with(CauseSet::DEGRADED),
+            TraceKind::Speculated(_) => causes.with(CauseSet::SPECULATED),
+            TraceKind::WorkerFailed | TraceKind::Backpressure => causes.with(CauseSet::RETRIED),
+            _ => causes,
+        };
+    }
+    let lo = enqueued_at.min(admitted_at);
+    let hi = finished_at.max(admitted_at).max(lo);
+    let clamp = |t: f64| t.clamp(lo, hi);
+    let root = rec.emit(CausalSpan::new(
+        trace,
+        None,
+        "question",
+        home,
+        lo,
+        hi,
+        (admitted_at - enqueued_at).max(0.0),
+        causes,
+    ));
+    for phase in phase_spans(events) {
+        let (ps, pe) = (clamp(phase.start), clamp(phase.end));
+        let pid = rec.emit(CausalSpan::new(
+            trace,
+            Some(root),
+            &phase.label,
+            home,
+            ps,
+            pe,
+            0.0,
+            CauseSet::none(),
+        ));
+        match phase.label.as_str() {
+            "PR" => emit_pr_chunks(rec, trace, pid, events, ps, pe),
+            "AP" => emit_ap_batches(rec, trace, pid, events, ps, pe),
+            _ => {}
+        }
+    }
+    trace
+}
+
+/// Per-sub-collection chunk spans under the PR phase: first start to
+/// last done; more than one start means the chunk was re-issued
+/// (speculation or worker-failure retry).
+fn emit_pr_chunks(
+    rec: &TraceRecorder,
+    trace: u64,
+    parent: u64,
+    events: &[TraceEvent],
+    lo: f64,
+    hi: f64,
+) {
+    let mut chunks: std::collections::BTreeMap<u32, (Vec<f64>, Option<f64>, NodeId)> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        match e.kind {
+            TraceKind::PrChunkStart(c) => {
+                chunks
+                    .entry(c.raw())
+                    .or_insert_with(|| (Vec::new(), None, e.node))
+                    .0
+                    .push(e.at);
+            }
+            TraceKind::PrChunkDone(c) => {
+                let entry = chunks
+                    .entry(c.raw())
+                    .or_insert_with(|| (Vec::new(), None, e.node));
+                entry.1 = Some(e.at);
+                entry.2 = e.node;
+            }
+            _ => {}
+        }
+    }
+    for (starts, done, node) in chunks.into_values() {
+        let (Some(first), Some(done)) = (starts.first().copied(), done) else {
+            continue; // endpoint evicted from the ring or chunk abandoned
+        };
+        let causes = if starts.len() > 1 {
+            CauseSet::RETRIED
+        } else {
+            CauseSet::none()
+        };
+        rec.emit(CausalSpan::new(
+            trace,
+            Some(parent),
+            "chunk",
+            Some(node.raw()),
+            first.clamp(lo, hi),
+            done.clamp(lo, hi),
+            0.0,
+            causes,
+        ));
+    }
+}
+
+/// Per-node AP batch spans under the AP phase: the i-th start on a node
+/// pairs with the i-th done on that node.
+fn emit_ap_batches(
+    rec: &TraceRecorder,
+    trace: u64,
+    parent: u64,
+    events: &[TraceEvent],
+    lo: f64,
+    hi: f64,
+) {
+    let mut per_node: std::collections::BTreeMap<u32, (Vec<f64>, Vec<f64>)> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        match e.kind {
+            TraceKind::ApBatchStart(_) => per_node.entry(e.node.raw()).or_default().0.push(e.at),
+            TraceKind::ApBatchDone(_) => per_node.entry(e.node.raw()).or_default().1.push(e.at),
+            _ => {}
+        }
+    }
+    for (node, (starts, dones)) in per_node {
+        for (s, d) in starts.iter().zip(dones.iter()) {
+            rec.emit(CausalSpan::new(
+                trace,
+                Some(parent),
+                "ap-batch",
+                Some(node),
+                s.clamp(lo, hi),
+                d.max(*s).clamp(lo, hi),
+                0.0,
+                CauseSet::none(),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,5 +525,73 @@ mod tests {
         let tl = log.timeline(q);
         let labels: Vec<&str> = tl.phases.iter().map(|s| s.label.as_str()).collect();
         assert_eq!(labels, ["QP", "PO", "SORT"]);
+    }
+
+    #[test]
+    fn sealed_spans_are_well_nested_and_attribute_fully() {
+        let clock = Arc::new(ManualClock::new());
+        let log = TraceLog::with(clock.clone(), 1024, Counter::default());
+        let rec = TraceRecorder::new(clock.clone(), 42, 1024, Counter::live());
+        let q = QuestionId::new(7);
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        let step = |t: f64, node, kind| {
+            clock.set(t);
+            log.record(q, node, kind);
+        };
+        step(0.3, n0, TraceKind::QuestionStart);
+        step(0.5, n0, TraceKind::PrChunkStart(SubCollectionId::new(0)));
+        step(0.6, n1, TraceKind::PrChunkStart(SubCollectionId::new(1)));
+        step(1.0, n1, TraceKind::Speculated(0));
+        step(1.2, n1, TraceKind::PrChunkStart(SubCollectionId::new(0)));
+        step(2.0, n1, TraceKind::PrChunkDone(SubCollectionId::new(1)));
+        step(2.5, n1, TraceKind::PrChunkDone(SubCollectionId::new(0)));
+        step(2.7, n0, TraceKind::ParagraphsMerged(40));
+        step(2.8, n1, TraceKind::ApBatchStart(20));
+        step(4.0, n1, TraceKind::ApBatchDone(20));
+        step(4.2, n0, TraceKind::AnswersSorted(5));
+
+        let trace = seal_question_spans(
+            &rec,
+            q,
+            &log.for_question(q),
+            0.0,
+            0.2,
+            4.3,
+            CauseSet::none(),
+        );
+        let spans = rec.for_trace(trace);
+        dqa_obs::validate_nesting(&spans).expect("sealed tree is well-nested");
+        let root = spans
+            .iter()
+            .find(|s| s.parent.is_none())
+            .expect("root span");
+        assert_eq!(root.name, "question");
+        assert_eq!((root.start, root.end), (0.0, 4.3));
+        assert!((root.queue_wait - 0.2).abs() < 1e-12, "admission wait");
+        assert!(root.causes.contains(CauseSet::SPECULATED));
+        let chunk_retried = spans
+            .iter()
+            .any(|s| s.name == "chunk" && s.causes.contains(CauseSet::RETRIED));
+        assert!(chunk_retried, "re-issued chunk tagged");
+        assert!(spans.iter().any(|s| s.name == "ap-batch"));
+        let path = dqa_obs::critical_path(&spans).expect("path");
+        let residual = (path.attributed() - path.total()).abs();
+        assert!(
+            residual < 1e-9,
+            "components partition e2e, off by {residual}"
+        );
+        // Double seal from identical inputs yields identical spans.
+        let rec2 = TraceRecorder::new(clock.clone(), 42, 1024, Counter::live());
+        seal_question_spans(
+            &rec2,
+            q,
+            &log.for_question(q),
+            0.0,
+            0.2,
+            4.3,
+            CauseSet::none(),
+        );
+        assert_eq!(rec2.spans(), spans, "deterministic identity + layout");
     }
 }

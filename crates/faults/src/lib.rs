@@ -330,7 +330,8 @@ impl FaultSchedule {
     /// Add a permanent federation-broker crash at `at`: later arrivals
     /// are rejected with a retry hint, never silently dropped.
     pub fn broker_crash(mut self, at: f64) -> Self {
-        self.events.push(FaultEvent::BrokerCrash { at, rejoin: None });
+        self.events
+            .push(FaultEvent::BrokerCrash { at, rejoin: None });
         self
     }
 

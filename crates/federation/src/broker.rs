@@ -37,7 +37,10 @@ use crate::estimator::LatencyEstimator;
 use crate::partition::partition_documents;
 use crate::windows::FaultWindows;
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use dqa_obs::{names, DqaMetrics, MetricsRegistry};
+use dqa_obs::{
+    names, splitmix64, CausalSpan, CauseSet, Clock, DqaMetrics, MetricsRegistry, TraceRecorder,
+    WallClock, DEFAULT_FLIGHT_RECORDER_CAPACITY,
+};
 use dqa_runtime::{Admission, Cluster, ClusterConfig};
 use faults::FaultSchedule;
 use ir_engine::{DocumentStore, ParagraphRetriever, RetrievalConfig, ShardedIndex};
@@ -46,6 +49,7 @@ use qa_types::{
     Coverage, Document, FederationPolicy, OverloadPolicy, Question, QuestionOutcome, RankedAnswers,
     ShardReport, ShardStatus,
 };
+use rebalance::ElasticConfig;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -85,6 +89,15 @@ pub struct FederationConfig {
     pub workers_per_shard: usize,
     /// Bound of each shard target's request queue.
     pub queue_per_shard: usize,
+    /// Identity seed for causal-span trace ids. The broker's own spans
+    /// (scatter, per-shard gather, hedges, merge) use it directly; each
+    /// shard cluster gets a deterministically derived sub-seed so its
+    /// internal question trees stay distinct traces.
+    pub trace_seed: u64,
+    /// Run every shard cluster under elastic membership (ownership-map
+    /// chunk routing, optional warm standbys) — [`ClusterConfig::elastic`]
+    /// applied per shard.
+    pub elastic: Option<ElasticConfig>,
 }
 
 impl FederationConfig {
@@ -102,6 +115,8 @@ impl FederationConfig {
             fault_time_scale: 1.0,
             workers_per_shard: 2,
             queue_per_shard: 16,
+            trace_seed: 0,
+            elastic: None,
         }
     }
 }
@@ -259,10 +274,23 @@ struct Shard {
     estimator: LatencyEstimator,
 }
 
+/// Tracer-clock timestamps of one shard gather, collected inside
+/// `gather_one` and turned into causal spans once the scatter's root
+/// span id is known.
+struct GatherTiming {
+    /// Tracer seconds when the gather began.
+    started: f64,
+    /// Tracer seconds when the reply (or the timeout) landed.
+    finished: f64,
+    /// Tracer seconds the hedged retry was issued, when one was.
+    hedged_at: Option<f64>,
+}
+
 struct GatherOutcome {
     report: ShardReport,
     answer: Option<(RankedAnswers, Coverage)>,
     retry_after: Option<Duration>,
+    timing: GatherTiming,
 }
 
 /// A running federation: shard clusters, worker pools, breakers and the
@@ -274,6 +302,7 @@ pub struct FederationBroker {
     windows: FaultWindows,
     shutdown: Arc<AtomicBool>,
     started: std::time::Instant,
+    tracer: Arc<TraceRecorder>,
 }
 
 impl FederationBroker {
@@ -293,7 +322,7 @@ impl FederationBroker {
         for (i, part) in parts.iter().enumerate() {
             let index = Arc::new(ShardedIndex::build(part, sub_collections));
             let store = Arc::new(DocumentStore::new(part.clone()));
-            let start_cluster = || {
+            let start_cluster = |role_salt: u64| {
                 let retriever = ParagraphRetriever::new(
                     Arc::clone(&index),
                     Arc::clone(&store),
@@ -303,6 +332,11 @@ impl FederationBroker {
                     nodes: cfg.nodes_per_shard.max(1),
                     overload: cfg.overload,
                     metrics: Some(MetricsRegistry::new()),
+                    // Distinct per-target sub-seed: the shard's internal
+                    // question trees must not collide with the broker's
+                    // (or each other's) traces.
+                    trace_seed: cfg.trace_seed ^ splitmix64(((i as u64) << 1) | role_salt),
+                    elastic: cfg.elastic.clone(),
                     ..ClusterConfig::default()
                 };
                 Arc::new(Cluster::start(
@@ -312,7 +346,7 @@ impl FederationBroker {
                 ))
             };
             let primary = ShardHandle::start(
-                start_cluster(),
+                start_cluster(0),
                 cfg.workers_per_shard,
                 cfg.queue_per_shard,
                 Arc::clone(&shutdown),
@@ -321,7 +355,7 @@ impl FederationBroker {
             );
             let replica = cfg.replicated.then(|| {
                 ShardHandle::start(
-                    start_cluster(),
+                    start_cluster(1),
                     cfg.workers_per_shard,
                     cfg.queue_per_shard,
                     Arc::clone(&shutdown),
@@ -341,6 +375,12 @@ impl FederationBroker {
             });
         }
         let windows = FaultWindows::from_schedule(&cfg.faults);
+        let tracer = Arc::new(TraceRecorder::new(
+            Arc::new(WallClock::new()) as Arc<dyn Clock>,
+            cfg.trace_seed,
+            DEFAULT_FLIGHT_RECORDER_CAPACITY,
+            registry.counter(names::TRACE_DROPPED_TOTAL, &[]),
+        ));
         FederationBroker {
             cfg,
             shards,
@@ -348,7 +388,21 @@ impl FederationBroker {
             windows,
             shutdown,
             started: clock::now_instant(),
+            tracer,
         }
+    }
+
+    /// The broker's causal-span recorder: one `federated` root per
+    /// scatter-gathered question, with per-shard gather spans, hedge
+    /// spans and the merge step as children.
+    pub fn tracer(&self) -> &Arc<TraceRecorder> {
+        &self.tracer
+    }
+
+    /// A shard's primary-cluster span recorder (its internal question
+    /// trees, under the shard's derived sub-seed).
+    pub fn shard_tracer(&self, shard: usize) -> Option<&Arc<TraceRecorder>> {
+        self.shards.get(shard).map(|s| s.primary.cluster.tracer())
     }
 
     /// The broker-level metrics registry (federation counters and
@@ -384,6 +438,8 @@ impl FederationBroker {
     /// whatever responded. See the module docs for the full contract.
     pub fn ask(&self, question: &Question) -> FederatedAdmission {
         let scatter_start = clock::now_instant();
+        let enqueued_secs = self.tracer.now();
+        let mut broker_paused = false;
         // Broker-tier faults: a transient crash holds the question until
         // rejoin (the client sees latency, not loss); a permanent crash
         // refuses it with a retry hint.
@@ -392,6 +448,7 @@ impl FederationBroker {
                 let wake = rejoin * self.cfg.fault_time_scale.max(1e-9);
                 let pause = wake - self.elapsed_secs();
                 if pause > 0.0 {
+                    broker_paused = true;
                     std::thread::sleep(Duration::from_secs_f64(pause));
                 }
             } else {
@@ -402,6 +459,7 @@ impl FederationBroker {
                 };
             }
         }
+        let admitted_secs = self.tracer.now();
         let deadline_secs = self
             .cfg
             .policy
@@ -428,12 +486,98 @@ impl FederationBroker {
                         },
                         answer: None,
                         retry_after: None,
+                        timing: GatherTiming {
+                            started: admitted_secs,
+                            finished: self.tracer.now(),
+                            hedged_at: None,
+                        },
                     })
                 })
                 .collect()
         });
+        let gather_done_secs = self.tracer.now();
+        // Draft the per-shard spans before `merge` consumes the outcomes;
+        // they are parented (and emitted) only once the question resolves
+        // to an answer, so rejected scatters leave no partial trees.
+        let trace = self.tracer.trace_id(u64::from(question.id.raw()));
+        let mut drafts: Vec<(CausalSpan, Option<CausalSpan>)> = Vec::new();
+        for o in &outcomes {
+            let t = &o.timing;
+            if t.finished <= t.started {
+                continue;
+            }
+            let mut causes = CauseSet::none();
+            if o.report.hedged {
+                causes = causes.with(CauseSet::HEDGED);
+            }
+            if matches!(o.report.status, ShardStatus::Degraded) {
+                causes = causes.with(CauseSet::DEGRADED);
+            }
+            let shard_span = CausalSpan::new(
+                trace,
+                None,
+                "shard",
+                Some(o.report.shard),
+                t.started,
+                t.finished,
+                0.0,
+                causes,
+            );
+            let hedge_span = t.hedged_at.map(|h| {
+                CausalSpan::new(
+                    trace,
+                    None,
+                    "hedge",
+                    Some(o.report.shard),
+                    h.min(t.finished),
+                    t.finished,
+                    0.0,
+                    CauseSet::none().with(CauseSet::HEDGED),
+                )
+            });
+            drafts.push((shard_span, hedge_span));
+        }
         let latency_secs = scatter_start.elapsed().as_secs_f64();
-        self.merge(outcomes, latency_secs)
+        let verdict = self.merge(outcomes, latency_secs);
+        if let FederatedAdmission::Answered(answer) = &verdict {
+            let merge_end_secs = self.tracer.now();
+            let mut causes = CauseSet::none();
+            if broker_paused {
+                causes = causes.with(CauseSet::THROTTLED);
+            }
+            if !answer.coverage.is_complete() {
+                causes = causes.with(CauseSet::DEGRADED);
+            }
+            let root = self.tracer.emit(CausalSpan::new(
+                trace,
+                None,
+                "federated",
+                None,
+                enqueued_secs,
+                merge_end_secs,
+                (admitted_secs - enqueued_secs).max(0.0),
+                causes,
+            ));
+            for (mut shard_span, hedge_span) in drafts {
+                shard_span.parent = Some(root);
+                let sid = self.tracer.emit(shard_span);
+                if let Some(mut h) = hedge_span {
+                    h.parent = Some(sid);
+                    self.tracer.emit(h);
+                }
+            }
+            self.tracer.emit(CausalSpan::new(
+                trace,
+                Some(root),
+                "merge",
+                None,
+                gather_done_secs,
+                merge_end_secs,
+                0.0,
+                CauseSet::none(),
+            ));
+        }
+        verdict
     }
 
     /// Offer many questions concurrently, one scatter each; results come
@@ -463,6 +607,7 @@ impl FederationBroker {
         deadline_secs: f64,
         budget: &AtomicUsize,
     ) -> GatherOutcome {
+        let gather_started = self.tracer.now();
         let mut report = ShardReport {
             shard: sh.id,
             status: ShardStatus::Down,
@@ -470,7 +615,7 @@ impl FederationBroker {
             hedged: false,
             hedge_won: false,
         };
-        let fail = |status: ShardStatus, report: ShardReport| {
+        let fail = |status: ShardStatus, report: ShardReport, hedged_at: Option<f64>| {
             let mut report = report;
             report.status = status;
             self.metrics
@@ -480,12 +625,17 @@ impl FederationBroker {
                 report,
                 answer: None,
                 retry_after: None,
+                timing: GatherTiming {
+                    started: gather_started,
+                    finished: self.tracer.now(),
+                    hedged_at,
+                },
             }
         };
         // Injected shard loss/partition takes the whole member (primary
         // and replica) off the air for the window.
         if self.windows.shard_down(sh.id, self.virtual_now()) {
-            return fail(ShardStatus::Down, report);
+            return fail(ShardStatus::Down, report, None);
         }
         // Load-gauge breaker feed: the shard's own registry is the source,
         // so one saturated shard never shadows another.
@@ -497,7 +647,7 @@ impl FederationBroker {
             .set(if breaker_open { 1.0 } else { 0.0 });
         let target = if breaker_open {
             if sh.replica.is_none() {
-                return fail(ShardStatus::BreakerOpen, report);
+                return fail(ShardStatus::BreakerOpen, report, None);
             }
             Origin::Replica
         } else {
@@ -507,11 +657,11 @@ impl FederationBroker {
             Origin::Primary => &sh.primary,
             Origin::Replica => match &sh.replica {
                 Some(r) => r,
-                None => return fail(ShardStatus::BreakerOpen, report),
+                None => return fail(ShardStatus::BreakerOpen, report, None),
             },
         };
         let Some(tx) = handle.sender() else {
-            return fail(ShardStatus::Down, report);
+            return fail(ShardStatus::Down, report, None);
         };
         let (reply_tx, reply_rx) = bounded::<ShardReply>(2);
         let start = clock::now_instant();
@@ -525,7 +675,7 @@ impl FederationBroker {
             .is_err()
         {
             sh.breaker.record_failure(self.elapsed_secs());
-            return fail(ShardStatus::TimedOut, report);
+            return fail(ShardStatus::TimedOut, report, None);
         }
         // First wait: up to the hedge trigger (capped by the deadline).
         let hedge_at = sh
@@ -538,6 +688,7 @@ impl FederationBroker {
             Err(RecvTimeoutError::Timeout) => None,
             Err(RecvTimeoutError::Disconnected) => None,
         };
+        let mut hedged_at: Option<f64> = None;
         if reply.is_none() && target == Origin::Primary {
             // Straggling primary: hedge to the replica, budget permitting.
             if let Some(rep) = &sh.replica {
@@ -548,6 +699,7 @@ impl FederationBroker {
                         .is_ok();
                 if hedge_allowed {
                     report.hedged = true;
+                    hedged_at = Some(self.tracer.now());
                     self.metrics.hedges.inc();
                     if let Some(rtx) = rep.sender() {
                         let hreq = ShardRequest {
@@ -573,7 +725,7 @@ impl FederationBroker {
         drop(reply_tx);
         let Some(reply) = reply else {
             sh.breaker.record_failure(self.elapsed_secs());
-            return fail(ShardStatus::TimedOut, report);
+            return fail(ShardStatus::TimedOut, report, hedged_at);
         };
         report.latency_secs = start.elapsed().as_secs_f64();
         report.hedge_won = report.hedged && reply.origin == Origin::Replica;
@@ -599,6 +751,11 @@ impl FederationBroker {
                     report,
                     answer: Some((a.answers, a.coverage)),
                     retry_after: None,
+                    timing: GatherTiming {
+                        started: gather_started,
+                        finished: self.tracer.now(),
+                        hedged_at,
+                    },
                 }
             }
             Admission::Rejected { retry_after } => {
@@ -610,11 +767,16 @@ impl FederationBroker {
                     report,
                     answer: None,
                     retry_after: Some(retry_after),
+                    timing: GatherTiming {
+                        started: gather_started,
+                        finished: self.tracer.now(),
+                        hedged_at,
+                    },
                 }
             }
             Admission::Failed(_) => {
                 sh.breaker.record_failure(self.elapsed_secs());
-                fail(ShardStatus::Failed, report)
+                fail(ShardStatus::Failed, report, hedged_at)
             }
         }
     }

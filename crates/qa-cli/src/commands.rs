@@ -5,7 +5,10 @@ use analytical::{InterQuestionModel, IntraQuestionModel};
 use cluster_sim::experiments::load_balancing_summary;
 use cluster_sim::workload::{BalancingStrategy, QaSimulation, SimConfig};
 use corpus::{Corpus, CorpusConfig, CorpusSnapshot, QuestionGenerator};
-use dqa_obs::{metric_key, names, validate_prometheus, MetricsRegistry, Snapshot};
+use dqa_obs::{
+    critical_path, metric_key, names, to_chrome_json, validate_chrome_json, validate_nesting,
+    validate_prometheus, CausalSpan, MetricsRegistry, Snapshot,
+};
 use dqa_runtime::{Admission, Cluster, ClusterConfig, CoordinatorJournal};
 use federation::{FederatedAdmission, FederationBroker, FederationConfig, FederationPolicy};
 use ir_engine::persist::{decode_index, encode_index};
@@ -26,11 +29,13 @@ usage:
   dqa ask --corpus corpus.json [--index index.bin] [--cluster N] [--sample N]
           [--journal DIR] [--metrics-out FILE [--metrics-format prom|json]]
           [--shards N [--quorum Q] [--hedge-after-ms X]]
-          [--elastic [--standby N]] [overload knobs] [question …]
+          [--elastic [--standby N]] [--trace-out FILE] [overload knobs] [question …]
   dqa export --corpus corpus.json --questions N --topics topics.txt --answers key.txt
   dqa simulate [--nodes N] [--strategy dns|inter|dqa|sid|gradient] [--seed N] [--compare]
-               [--metrics-out FILE [--metrics-format prom|json]] [--waterfall Q]
-               [overload knobs]
+               [--metrics-out FILE [--metrics-format prom|json]]
+               [--waterfall Q [--format text|json]] [overload knobs]
+  dqa trace [--nodes N] [--strategy dns|inter|dqa|sid|gradient] [--seed N]
+            [--question Q] [--out trace.json] [overload knobs]
   dqa recover --journal DIR [--corpus corpus.json [--index index.bin] [--cluster N]]
               [--metrics-out FILE [--metrics-format prom|json]]
   dqa rebalance --corpus corpus.json [--index index.bin] [--cluster N] [--standby N]
@@ -84,6 +89,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CmdError> {
         "simulate" => simulate(rest).map_err(CmdError::from),
         "recover" => recover(rest).map_err(CmdError::from),
         "rebalance" => rebalance(rest).map_err(CmdError::from),
+        "trace" => trace(rest).map_err(CmdError::from),
         "report" => report(rest).map_err(CmdError::from),
         "model" => model(rest).map_err(CmdError::from),
         other => Err(format!("unknown command {other:?}").into()),
@@ -222,7 +228,9 @@ fn ask(argv: &[String]) -> Result<(), CmdError> {
         }
     }
     if questions.is_empty() {
-        return Err("no questions: pass them as arguments or use --sample N".into());
+        return Err(CmdError::Fatal(
+            "no questions: pass them as arguments or use --sample N".into(),
+        ));
     }
 
     // `--shards N` switches to the federated broker tier: the corpus is
@@ -237,6 +245,11 @@ fn ask(argv: &[String]) -> Result<(), CmdError> {
     if a.get("metrics-out").is_some() && cluster_nodes == 0 {
         return Err(CmdError::Fatal(
             "--metrics-out needs --cluster N: only the cluster runtime is instrumented".into(),
+        ));
+    }
+    if a.get("trace-out").is_some() && cluster_nodes == 0 {
+        return Err(CmdError::Fatal(
+            "--trace-out needs --cluster N: only the cluster runtime records causal spans".into(),
         ));
     }
     // `--elastic` runs the cluster under elastic membership: an ownership
@@ -285,7 +298,8 @@ fn ask(argv: &[String]) -> Result<(), CmdError> {
     // snapshot aggregates the whole invocation.
     let registry = MetricsRegistry::new();
     let overload = overload_policy(&a)?;
-    let answer = |q: &Question| -> Result<(qa_types::RankedAnswers, String), CmdError> {
+    let mut all_spans: Vec<CausalSpan> = Vec::new();
+    let mut answer = |q: &Question| -> Result<(qa_types::RankedAnswers, String), CmdError> {
         if cluster_nodes > 0 {
             let cluster = Cluster::start(
                 retriever.clone(),
@@ -302,6 +316,7 @@ fn ask(argv: &[String]) -> Result<(), CmdError> {
             // Through the admission gate, not around it: a saturated
             // cluster answers with a back-off hint, not a bare error.
             let admission = cluster.submit(q);
+            all_spans.extend(cluster.tracer().spans());
             cluster.shutdown();
             match admission {
                 Admission::Answered(out) => {
@@ -359,7 +374,23 @@ fn ask(argv: &[String]) -> Result<(), CmdError> {
             }
         }
     }
+    if let Some(path) = a.get("trace-out") {
+        write_trace(path, &all_spans)?;
+    }
     write_metrics(&a, &registry.snapshot())?;
+    Ok(())
+}
+
+/// Write `spans` as Perfetto/chrome-tracing JSON at `path`, validating
+/// the export before it lands on disk.
+fn write_trace(path: &str, spans: &[CausalSpan]) -> Result<(), String> {
+    let json = to_chrome_json(spans);
+    validate_chrome_json(&json).map_err(|e| format!("internal: bad trace export: {e}"))?;
+    std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    println!(
+        "wrote {} span(s) to {path} (load in Perfetto / chrome://tracing)",
+        spans.len()
+    );
     Ok(())
 }
 
@@ -392,6 +423,17 @@ fn ask_federated(
     cfg.policy = policy;
     cfg.overload = overload_policy(a)?;
     cfg.metrics = Some(registry.clone());
+    // `--elastic` puts every shard cluster under elastic membership.
+    if a.switch("elastic") {
+        let standby: usize = a.num("standby", 0usize)?;
+        if standby >= cfg.nodes_per_shard {
+            return Err(CmdError::Fatal(format!(
+                "--standby {standby} must leave at least one active node of {} per shard",
+                cfg.nodes_per_shard
+            )));
+        }
+        cfg.elastic = Some(ElasticConfig::with_standby(standby));
+    }
     let broker = FederationBroker::start(&corpus.documents, corpus.config.sub_collections, cfg);
     let mut result = Ok(());
     for (q, truth) in questions {
@@ -438,6 +480,18 @@ fn ask_federated(
                 break;
             }
         }
+    }
+    // Export the broker's scatter/gather/hedge/merge spans plus every
+    // shard's internal question trees (distinct traces under derived
+    // sub-seeds) as one Perfetto file.
+    if let Some(path) = a.get("trace-out") {
+        let mut spans = broker.tracer().spans();
+        for i in 0..broker.shard_count() {
+            if let Some(t) = broker.shard_tracer(i) {
+                spans.extend(t.spans());
+            }
+        }
+        write_trace(path, &spans)?;
     }
     broker.shutdown();
     write_metrics(a, &registry.snapshot())?;
@@ -527,17 +581,100 @@ fn simulate(argv: &[String]) -> Result<(), String> {
         );
     }
     if let Some(q) = opt_num::<usize>(&a, "waterfall")? {
-        let lines = report.waterfall(q, 48);
-        if lines.is_empty() {
-            println!("  question {q}: no phase timeline (rejected or out of range)");
-        } else {
-            println!("  question {q} phase timeline:");
-            for line in &lines {
-                println!("    {line}");
+        match a.get("format").unwrap_or("text") {
+            "text" => {
+                let lines = report.waterfall(q, 48);
+                if lines.is_empty() {
+                    println!("  question {q}: no phase timeline (rejected or out of range)");
+                } else {
+                    println!("  question {q} phase timeline:");
+                    for line in &lines {
+                        println!("    {line}");
+                    }
+                }
             }
+            // Machine-readable waterfall: the causal-span tree itself,
+            // one JSON object on stdout.
+            "json" => {
+                let spans = report.causal_spans(q, seed);
+                let items: Vec<serde_json::Value> = spans.iter().map(span_json).collect();
+                println!(
+                    "{}",
+                    serde_json::json!({ "question": q, "seed": seed, "spans": items })
+                );
+            }
+            other => return Err(format!("--format must be text|json, got {other:?}")),
         }
     }
     write_metrics(&a, &report.metrics)?;
+    Ok(())
+}
+
+/// One causal span as a JSON object — the `simulate --waterfall
+/// --format json` shape (ids in zero-padded hex, times in seconds).
+fn span_json(s: &CausalSpan) -> serde_json::Value {
+    serde_json::json!({
+        "trace": format!("{:016x}", s.trace),
+        "id": format!("{:016x}", s.id),
+        "parent": s.parent.map(|p| format!("{p:016x}")),
+        "name": s.name,
+        "node": s.node,
+        "start": s.start,
+        "end": s.end,
+        "queue_wait": s.queue_wait,
+        "causes": s.causes.labels(),
+    })
+}
+
+/// Causal tracing over the virtual-time simulator: run a seeded DES,
+/// render question `--question`'s critical-path attribution (the
+/// per-question Table 8/9) and optionally export the whole run as
+/// Perfetto/chrome-tracing JSON. The simulation always runs twice and
+/// the two exports are compared byte-for-byte — the determinism the
+/// `trace_gate` latency budget builds on.
+fn trace(argv: &[String]) -> Result<(), String> {
+    let a = parse(argv, &[])?;
+    let nodes: usize = a.num("nodes", 8usize)?;
+    let seed: u64 = a.num("seed", 2001u64)?;
+    let q: usize = a.num("question", 0usize)?;
+    let strategy = parse_strategy(a.get("strategy").unwrap_or("dqa"))?;
+    let build = || -> Result<SimConfig, String> {
+        Ok(SimConfig {
+            overload: overload_policy(&a)?,
+            ..SimConfig::paper_high_load(nodes, strategy, seed)
+        })
+    };
+    let report = QaSimulation::new(build()?).run();
+    let json = report.chrome_trace(seed);
+    validate_chrome_json(&json).map_err(|e| format!("internal: bad trace export: {e}"))?;
+    // Double-run identity: virtual-time spans must not depend on wall
+    // time, iteration order or any other ambient state.
+    let rerun = QaSimulation::new(build()?).run().chrome_trace(seed);
+    if rerun != json {
+        return Err("internal: trace export is not bit-identical across seeded reruns".into());
+    }
+    let spans = report.all_causal_spans(seed);
+    validate_nesting(&spans).map_err(|e| format!("internal: {e}"))?;
+    let question_spans = report.causal_spans(q, seed);
+    if question_spans.is_empty() {
+        println!("question {q}: no trace (rejected or out of range)");
+    } else if let Some(cp) = critical_path(&question_spans) {
+        print!("{}", cp.render());
+        let residual = (cp.total() - cp.attributed()).abs();
+        println!(
+            "queue-wait share {:.1} %, attribution residual {:.3e} s",
+            100.0 * cp.queue_total() / cp.total().max(f64::MIN_POSITIVE),
+            residual
+        );
+    }
+    if let Some(path) = a.get("out") {
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+        println!(
+            "wrote {} span(s) across {} question(s) to {path} (verified bit-identical twice)",
+            spans.len(),
+            report.questions.len()
+        );
+    }
     Ok(())
 }
 
@@ -693,7 +830,10 @@ fn rebalance(argv: &[String]) -> Result<(), String> {
                 complete += 1;
             }
         }
-        println!("  {label}: {complete}/{} question(s) at full coverage", qs.len());
+        println!(
+            "  {label}: {complete}/{} question(s) at full coverage",
+            qs.len()
+        );
         Ok(())
     };
 
@@ -911,7 +1051,12 @@ fn report(argv: &[String]) -> Result<(), String> {
     }
     let dropped = snap.counter(names::TRACE_DROPPED_TOTAL);
     if dropped > 0 {
-        println!("trace events dropped by the flight recorder: {dropped}");
+        println!(
+            "WARNING: flight-recorder ring overflowed — {dropped} trace event(s)/span(s) \
+             dropped ({}); waterfalls and critical paths may be incomplete. \
+             Raise the trace capacity to retain full traces.",
+            names::TRACE_DROPPED_TOTAL
+        );
     }
     Ok(())
 }
@@ -1471,7 +1616,15 @@ mod tests {
         ])
         .unwrap();
         // Elastic membership is a cluster-runtime feature.
-        assert!(run(&["ask", "--corpus", &corpus_path, "--elastic", "--sample", "1"]).is_err());
+        assert!(run(&[
+            "ask",
+            "--corpus",
+            &corpus_path,
+            "--elastic",
+            "--sample",
+            "1"
+        ])
+        .is_err());
         assert!(run(&[
             "ask",
             "--corpus",
@@ -1483,6 +1636,150 @@ mod tests {
             "2",
             "--sample",
             "1",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn ask_writes_perfetto_trace() {
+        let corpus_path = tmp("c11.json");
+        let trace_path = tmp("c11-trace.json");
+        run(&[
+            "generate",
+            "--seed",
+            "29",
+            "--size",
+            "small",
+            "--out",
+            &corpus_path,
+        ])
+        .unwrap();
+        run(&[
+            "ask",
+            "--corpus",
+            &corpus_path,
+            "--cluster",
+            "2",
+            "--sample",
+            "1",
+            "--trace-out",
+            &trace_path,
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&trace_path).unwrap();
+        let events = validate_chrome_json(&json).unwrap();
+        assert!(events > 0, "the cluster ask must record spans");
+        // Pipeline mode records no spans and must refuse the flag.
+        assert!(run(&[
+            "ask",
+            "--corpus",
+            &corpus_path,
+            "--sample",
+            "1",
+            "--trace-out",
+            &trace_path,
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn federated_elastic_ask_writes_perfetto_trace() {
+        let corpus_path = tmp("c12.json");
+        let trace_path = tmp("c12-trace.json");
+        run(&[
+            "generate",
+            "--seed",
+            "31",
+            "--size",
+            "small",
+            "--out",
+            &corpus_path,
+        ])
+        .unwrap();
+        run(&[
+            "ask",
+            "--corpus",
+            &corpus_path,
+            "--shards",
+            "2",
+            "--cluster",
+            "2",
+            "--elastic",
+            "--sample",
+            "1",
+            "--trace-out",
+            &trace_path,
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(validate_chrome_json(&json).unwrap() > 0);
+        // The combined export holds the broker tree and the shard trees.
+        assert!(json.contains("\"federated\""), "broker root span missing");
+        assert!(
+            json.contains("\"question\""),
+            "shard question spans missing"
+        );
+        // Standby must leave an active node in every shard.
+        assert!(run(&[
+            "ask",
+            "--corpus",
+            &corpus_path,
+            "--shards",
+            "2",
+            "--cluster",
+            "1",
+            "--elastic",
+            "--standby",
+            "1",
+            "--sample",
+            "1",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn trace_command_renders_critical_path_and_exports() {
+        let out = tmp("t1-trace.json");
+        run(&[
+            "trace",
+            "--nodes",
+            "2",
+            "--seed",
+            "3",
+            "--question",
+            "0",
+            "--out",
+            &out,
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(validate_chrome_json(&json).unwrap() > 0);
+    }
+
+    #[test]
+    fn simulate_waterfall_formats() {
+        run(&[
+            "simulate",
+            "--nodes",
+            "2",
+            "--seed",
+            "3",
+            "--waterfall",
+            "0",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert!(run(&[
+            "simulate",
+            "--nodes",
+            "2",
+            "--seed",
+            "3",
+            "--waterfall",
+            "0",
+            "--format",
+            "xml",
         ])
         .is_err());
     }

@@ -145,7 +145,10 @@ impl FailureDetector {
         if t.left {
             return f64::INFINITY;
         }
-        let gap = t.ewma_gap.unwrap_or(self.cfg.lease_secs).max(self.cfg.min_gap_secs);
+        let gap = t
+            .ewma_gap
+            .unwrap_or(self.cfg.lease_secs)
+            .max(self.cfg.min_gap_secs);
         (now - t.last_beat).max(0.0) / gap
     }
 

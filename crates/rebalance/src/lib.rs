@@ -32,7 +32,9 @@ pub mod throttle;
 
 pub use detector::{DetectorConfig, FailureDetector, NodeHealth};
 pub use ownership::{ConvergenceError, OwnershipMap};
-pub use plan::{plan_evacuation, plan_join, plan_skew, MigrationPlan, MigrationStep, RebalanceReason};
+pub use plan::{
+    plan_evacuation, plan_join, plan_skew, MigrationPlan, MigrationStep, RebalanceReason,
+};
 pub use throttle::{MigrationThrottle, ThrottleVerdict};
 
 use serde::{Deserialize, Serialize};

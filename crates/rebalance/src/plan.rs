@@ -195,12 +195,16 @@ pub fn plan_skew(
     if loads.len() < 2 {
         return None;
     }
-    let hottest = loads
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(b.0.cmp(&a.0)))?;
-    let coolest = loads
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)))?;
+    let hottest = loads.iter().max_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.0.cmp(&a.0))
+    })?;
+    let coolest = loads.iter().min_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    })?;
     if hottest.0 == coolest.0 || (hottest.1 - coolest.1) <= threshold {
         return None;
     }

@@ -51,6 +51,16 @@ pub const VIRTUAL_TIME_CRATES: &[&str] = &["cluster-sim", "scheduler", "loadsim"
 /// timeout.
 pub const THREADED_RUNTIME_CRATES: &[&str] = &["dqa-runtime", "federation", "rebalance"];
 
+/// Modules outside the threaded-runtime crates that still must not read
+/// the wall clock directly. The causal-tracing tier derives every span
+/// timestamp from the recorder's injected [`Clock`]; a raw read there
+/// would split span identity between time domains, breaking the
+/// bit-identical double-run guarantee the trace gate enforces. Matched
+/// as a workspace-relative path suffix, so `raw-instant` covers these
+/// files even though their crate as a whole is exempt (dqa-obs hosts
+/// the sanctioned `WallClock` impl itself).
+pub const RAW_INSTANT_EXTRA_PATHS: &[&str] = &["dqa-obs/src/trace.rs"];
+
 /// All rule names, in documentation order (v1 rules then v2 deep rules).
 pub const RULE_NAMES: &[&str] = &[
     "wall-clock",
@@ -331,6 +341,10 @@ struct Checker<'a> {
 impl Checker<'_> {
     fn in_scope(&self, meta: &Meta) -> bool {
         meta.scope.applies_to(self.krate)
+            || (meta.name == "raw-instant"
+                && RAW_INSTANT_EXTRA_PATHS
+                    .iter()
+                    .any(|p| self.rel.ends_with(p)))
     }
 
     /// A pragma on the reported line, the line above it, or one covering

@@ -1,0 +1,8 @@
+//! Golden fixture control: outside the trace module the dqa-obs crate
+//! stays exempt from `raw-instant` — this is where the one sanctioned
+//! wall-clock read point lives. Never compiled — this tree is data for
+//! `tests/golden.rs`.
+
+pub fn wall_now() -> std::time::Instant {
+    std::time::Instant::now()
+}

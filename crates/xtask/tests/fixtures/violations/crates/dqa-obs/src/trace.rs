@@ -1,0 +1,14 @@
+//! Golden fixture: the causal-tracing module is covered by
+//! `raw-instant` via `RAW_INSTANT_EXTRA_PATHS` even though dqa-obs as
+//! a crate is exempt (it hosts the sanctioned WallClock impl). Span
+//! timestamps must come from the recorder's injected Clock. Never
+//! compiled — this tree is data for `tests/golden.rs`.
+
+pub fn span_start_raw() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn waived_span_start() -> std::time::Instant {
+    // dqa-lint: allow(raw-instant)
+    std::time::Instant::now()
+}

@@ -15,13 +15,14 @@ fn fixture(name: &str) -> PathBuf {
 #[test]
 fn violations_fixture_flags_each_rule_at_exact_lines() {
     let (checked, diags) = run_lint(&fixture("violations")).expect("fixture lint");
-    assert_eq!(checked, 6, "fixture tree should contribute 6 source files");
+    assert_eq!(checked, 8, "fixture tree should contribute 8 source files");
 
     let got: Vec<(&str, &str, u32, &str)> = diags
         .iter()
         .map(|d| (d.file.as_str(), d.rule, d.line, d.matched.as_str()))
         .collect();
     let sim = "crates/cluster-sim/src/lib.rs";
+    let obs = "crates/dqa-obs/src/trace.rs";
     let rt = "crates/dqa-runtime/src/lib.rs";
     let fed = "crates/federation/src/lib.rs";
     let reb = "crates/rebalance/src/lib.rs";
@@ -32,6 +33,7 @@ fn violations_fixture_flags_each_rule_at_exact_lines() {
         (sim, "unordered-state", 9, "HashMap"),
         (sim, "wall-clock", 13, "thread::sleep"),
         (sim, "unseeded-rng", 22, "rand::thread_rng"),
+        (obs, "raw-instant", 8, "Instant::now()"),
         (rt, "runtime-panic", 5, ".unwrap()"),
         (rt, "runtime-panic", 9, ".expect()"),
         (rt, "runtime-panic", 13, "panic!"),
@@ -103,6 +105,25 @@ fn pragma_and_test_code_waivers_hold_in_violations_fixture() {
                 && d.line >= 29
                 && ![34, 54, 58].contains(&d.line))),
         "waived or test-mod line flagged in dqa-runtime fixture: {diags:?}"
+    );
+}
+
+#[test]
+fn raw_instant_covers_the_trace_module_but_not_the_rest_of_dqa_obs() {
+    let (_, diags) = run_lint(&fixture("violations")).expect("fixture lint");
+    let obs: Vec<_> = diags
+        .iter()
+        .filter(|d| d.file.contains("dqa-obs"))
+        .collect();
+    // Exactly the seeded trace-module read flags: the pragma'd twin in
+    // trace.rs is waived, and clock.rs — the sanctioned wall-clock read
+    // point — stays outside the path-scoped extension entirely.
+    assert_eq!(obs.len(), 1, "dqa-obs fixture diags: {obs:?}");
+    assert_eq!(obs[0].file, "crates/dqa-obs/src/trace.rs");
+    assert_eq!(obs[0].rule, "raw-instant");
+    assert!(
+        diags.iter().all(|d| !d.file.ends_with("dqa-obs/src/clock.rs")),
+        "raw-instant leaked outside the trace module: {diags:?}"
     );
 }
 
