@@ -1,0 +1,485 @@
+//! End-to-end data-integrity soak: corrupt index segments on *both*
+//! backends — the virtual-time DES mirror (`cluster_sim::integrity`) and
+//! the thread runtime (`dqa_runtime::Cluster`) — and assert the tier's
+//! core contract end to end:
+//!
+//! 1. **Zero silently-wrong answers** — on the runtime, every answer is
+//!    either byte-identical to the fault-free baseline at full coverage,
+//!    or *explicitly* coverage-degraded (quarantine skips annotated in
+//!    coverage and the trace). An answer that differs from baseline while
+//!    claiming full coverage is the failure this whole tier exists to
+//!    prevent.
+//! 2. **Detect-and-repair** — every injected corruption is detected (by
+//!    the scrubber or the read path) and repaired (replica splice or
+//!    source rebuild); the post-repair answer wave is byte-identical to
+//!    the baseline again.
+//! 3. **Determinism** — every DES scenario runs twice and the serialized
+//!    reports must match byte for byte.
+//! 4. **Foreground protection** — with the admission gate pinned above
+//!    the throttle's headroom line, scrub steps defer; repair is slower
+//!    but never racing foreground questions for capacity.
+//!
+//! On a violation the summaries are dumped to `--trace-out` (default
+//! `target/integrity_soak_trace.txt`), the corrupted segment image is
+//! written alongside it as a forensic artifact, and the process exits
+//! non-zero. `--bench-out` writes the schema-v1 `BENCH_10.json` point
+//! set. `--ci` runs the short fixed-seed configuration.
+
+use bench::fixtures::QaFixture;
+use cluster_sim::integrity::{
+    run_integrity_sim, IntegritySimConfig, IntegritySimReport, LoadWindow,
+};
+use dqa_obs::{names, MetricsRegistry};
+use dqa_runtime::{Cluster, ClusterConfig, IntegrityConfig};
+use faults::FaultSchedule;
+use nlp::NamedEntityRecognizer;
+
+struct Args {
+    ci: bool,
+    seed: u64,
+    trace_out: String,
+    metrics_out: Option<String>,
+    bench_out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ci: false,
+        seed: 10_001,
+        trace_out: "target/integrity_soak_trace.txt".into(),
+        metrics_out: None,
+        bench_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ci" => args.ci = true,
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
+            "--trace-out" => {
+                if let Some(p) = it.next() {
+                    args.trace_out = p;
+                }
+            }
+            "--metrics-out" => args.metrics_out = it.next(),
+            "--bench-out" => args.bench_out = it.next(),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: integrity_soak [--ci] [--seed N] \
+                     [--trace-out PATH] [--metrics-out PATH] [--bench-out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One soak point for the bench JSON.
+struct Point {
+    scenario: &'static str,
+    report: IntegritySimReport,
+}
+
+/// Run one DES scenario twice, check bit-identity and the scenario's
+/// invariants, and return the report plus a one-line summary.
+fn run_des_scenario(
+    name: &'static str,
+    cfg: &IntegritySimConfig,
+    violations: &mut Vec<String>,
+) -> (IntegritySimReport, String) {
+    let report = run_integrity_sim(cfg);
+    let replay = run_integrity_sim(cfg);
+    let tag = format!("des [{name}]");
+    if report != replay
+        || serde_json::to_string(&report).ok() != serde_json::to_string(&replay).ok()
+    {
+        violations.push(format!("{tag}: double run diverged"));
+    }
+    if report.detected_by_scrub + report.detected_by_read != report.injected {
+        violations.push(format!(
+            "{tag}: {} of {} corruption(s) were never detected",
+            report
+                .injected
+                .saturating_sub(report.detected_by_scrub + report.detected_by_read),
+            report.injected
+        ));
+    }
+    if report.repaired_replica + report.repaired_rebuild != report.injected
+        || report.unrepaired_at_horizon != 0
+    {
+        violations.push(format!(
+            "{tag}: {} corruption(s) still unrepaired at the horizon",
+            report.unrepaired_at_horizon
+        ));
+    }
+    let summary = format!(
+        "{tag}: {} injected, {}/{} detected scrub/read, {}/{} repaired replica/rebuild, \
+         {} degraded question(s), {} exposed, ttr mean {:.2} s max {:.2} s, {} throttled",
+        report.injected,
+        report.detected_by_scrub,
+        report.detected_by_read,
+        report.repaired_replica,
+        report.repaired_rebuild,
+        report.degraded_questions,
+        report.silently_exposed,
+        report.mean_time_to_repair_secs,
+        report.max_time_to_repair_secs,
+        report.throttled_steps
+    );
+    (report, summary)
+}
+
+/// Thread-runtime drill: corrupt two segments, ask under quarantine, scrub,
+/// and byte-compare the healed answers against the fault-free baseline.
+fn run_runtime_demo(
+    args: &Args,
+    registry: &MetricsRegistry,
+    violations: &mut Vec<String>,
+) -> Vec<String> {
+    let burst = if args.ci { 4 } else { 8 };
+    let fixture = QaFixture::small(args.seed, burst);
+    let mut lines = Vec::new();
+    let integrity = || IntegrityConfig {
+        // Exhaustive read-path verification: a question must never read a
+        // damaged region undetected, so "differs from baseline at full
+        // coverage" is a true violation, not a sampling miss.
+        read_sample_blocks: usize::MAX,
+        ..IntegrityConfig::default()
+    };
+
+    // Fault-free baseline answers, integrity tier on but nothing injected.
+    let clean = Cluster::start(
+        fixture.retriever(),
+        NamedEntityRecognizer::standard(),
+        ClusterConfig {
+            nodes: 4,
+            integrity: Some(integrity()),
+            ..ClusterConfig::default()
+        },
+    );
+    let mut baseline = Vec::new();
+    for gq in &fixture.questions {
+        let out = clean.ask(&gq.question).expect("fault-free ask failed");
+        assert!(out.coverage.is_complete(), "fault-free run degraded");
+        baseline.push(serde_json::to_string(&out.answers).expect("serialize answers"));
+    }
+    clean.shutdown();
+
+    // The corrupted cluster: one bit flip and one torn write, scheduled at
+    // t = 0 and fired explicitly before the first wave.
+    let cluster = Cluster::start(
+        fixture.retriever(),
+        NamedEntityRecognizer::standard(),
+        ClusterConfig {
+            nodes: 4,
+            faults: FaultSchedule::seeded(args.seed)
+                .bit_flip_index(1, 0.0)
+                .torn_write_index(2, 0.0),
+            integrity: Some(integrity()),
+            metrics: Some(registry.clone()),
+            ..ClusterConfig::default()
+        },
+    );
+    let injected = cluster.inject_scheduled_corruption();
+    if injected != 2 {
+        violations.push(format!("runtime: injected {injected} of 2 corruptions"));
+    }
+
+    // Wave under corruption: every answer must be baseline-identical at
+    // full coverage OR explicitly degraded — never silently different.
+    let mut degraded = 0usize;
+    for (i, gq) in fixture.questions.iter().enumerate() {
+        match cluster.ask(&gq.question) {
+            Err(e) => violations.push(format!(
+                "runtime corrupt-wave: question {} failed outright ({e:?})",
+                gq.question.id
+            )),
+            Ok(out) => {
+                let bytes = serde_json::to_string(&out.answers).expect("serialize answers");
+                if out.coverage.is_complete() {
+                    if bytes != baseline[i] {
+                        violations.push(format!(
+                            "runtime corrupt-wave: question {} SILENTLY WRONG — differs \
+                             from baseline while claiming full coverage",
+                            gq.question.id
+                        ));
+                    }
+                } else {
+                    degraded += 1;
+                }
+            }
+        }
+    }
+    if degraded == 0 {
+        violations
+            .push("runtime corrupt-wave: two quarantined sub-collections degraded nothing".into());
+    }
+    let quarantined = cluster.quarantined_subs();
+    if quarantined != vec![1, 2] {
+        violations.push(format!(
+            "runtime: expected sub-collections [1, 2] quarantined, saw {quarantined:?}"
+        ));
+    }
+
+    // Scrub-and-repair, then the healed wave must be byte-identical again.
+    let report = cluster.scrub();
+    if report.repaired() != 2 || !cluster.quarantined_subs().is_empty() {
+        violations.push(format!(
+            "runtime: scrub repaired {} of 2 (replica {:?}, rebuild {:?})",
+            report.repaired(),
+            report.repaired_replica,
+            report.repaired_rebuild
+        ));
+    }
+    for (i, gq) in fixture.questions.iter().enumerate() {
+        match cluster.ask(&gq.question) {
+            Err(e) => violations.push(format!(
+                "runtime healed-wave: question {} failed ({e:?})",
+                gq.question.id
+            )),
+            Ok(out) => {
+                let bytes = serde_json::to_string(&out.answers).expect("serialize answers");
+                if !out.coverage.is_complete() || bytes != baseline[i] {
+                    violations.push(format!(
+                        "runtime healed-wave: question {} not byte-identical to the \
+                         fault-free baseline after repair",
+                        gq.question.id
+                    ));
+                }
+            }
+        }
+    }
+
+    // Forensic artifact on failure: dump the segment image so a broken
+    // repair can be diffed offline.
+    if !violations.is_empty() {
+        if let Some(segment) = cluster.integrity_segment() {
+            let path = format!("{}.segment.bin", args.trace_out);
+            if let Some(dir) = std::path::Path::new(&path).parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::write(&path, segment) {
+                Ok(()) => eprintln!("integrity-soak: segment image dumped to {path}"),
+                Err(e) => eprintln!("integrity-soak: cannot dump segment to {path}: {e}"),
+            }
+        }
+    }
+    cluster.shutdown();
+
+    let snap = registry.snapshot();
+    let failures = snap.counter_family(names::INTEGRITY_CHECKSUM_FAILURES_TOTAL);
+    let repairs = snap.counter_family(names::INTEGRITY_REPAIRS_TOTAL);
+    if failures < 2 {
+        violations.push(format!(
+            "runtime: only {failures} checksum failure(s) recorded for 2 corruptions"
+        ));
+    }
+    if repairs != 2 {
+        violations.push(format!("runtime: {repairs} repair(s) recorded, want 2"));
+    }
+    lines.push(format!(
+        "runtime: {injected} injected, {failures} checksum failure(s), {repairs} repair(s), \
+         {degraded} degraded question(s), healed wave byte-identical",
+    ));
+    lines
+}
+
+/// Schema-v1 `BENCH_10.json`: per-scenario detection/repair/exposure
+/// counts and time-to-repair.
+fn render_bench_json(args: &Args, points: &[Point]) -> String {
+    let body = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"scenario\":\"{}\",\"injected\":{},\"detected_scrub\":{},\
+                 \"detected_read\":{},\"repaired_replica\":{},\"repaired_rebuild\":{},\
+                 \"degraded\":{},\"silently_exposed\":{},\"ttr_mean_s\":{:.4},\
+                 \"ttr_max_s\":{:.4},\"throttled\":{}}}",
+                p.scenario,
+                p.report.injected,
+                p.report.detected_by_scrub,
+                p.report.detected_by_read,
+                p.report.repaired_replica,
+                p.report.repaired_rebuild,
+                p.report.degraded_questions,
+                p.report.silently_exposed,
+                p.report.mean_time_to_repair_secs,
+                p.report.max_time_to_repair_secs,
+                p.report.throttled_steps
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"bench\":\"integrity_soak\",\"schema\":1,\"seed\":{},\"ci\":{},\
+         \"points\":[{body}]}}\n",
+        args.seed, args.ci
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let seed = args.seed;
+    let horizon = if args.ci { 60.0 } else { 120.0 };
+    let mut violations = Vec::new();
+    let mut summaries = Vec::new();
+    let mut points = Vec::new();
+    println!("Integrity soak — seed {seed}, horizon {horizon} virtual s\n");
+
+    let base = move || IntegritySimConfig {
+        horizon_secs: horizon,
+        faults: FaultSchedule::seeded(seed)
+            .bit_flip_index(1, 3.0)
+            .torn_write_index(4, horizon * 0.25)
+            .bit_flip_index(6, horizon * 0.5),
+        ..IntegritySimConfig::default()
+    };
+
+    let scenarios: Vec<(&'static str, IntegritySimConfig)> = vec![
+        (
+            // Exhaustive read sampling: zero exposure, by construction.
+            "exhaustive-read-check",
+            IntegritySimConfig {
+                read_sample_blocks: usize::MAX,
+                ..base()
+            },
+        ),
+        (
+            // Scrubber-only detection: read checks off, the scrubber must
+            // still find and heal everything by the horizon.
+            "scrub-only",
+            IntegritySimConfig {
+                read_sample_blocks: 0,
+                ..base()
+            },
+        ),
+        (
+            // Both copies of one region damaged: repair falls back to the
+            // source-of-truth rebuild.
+            "replica-double-fault",
+            IntegritySimConfig {
+                read_sample_blocks: usize::MAX,
+                replica_damaged: vec![4],
+                ..base()
+            },
+        ),
+        (
+            // Gate pinned at capacity for the first half: the throttle
+            // defers scrub steps and repair lands late but lands.
+            "scrub-under-load",
+            IntegritySimConfig {
+                read_sample_blocks: usize::MAX,
+                load: vec![LoadWindow {
+                    from: 0.0,
+                    until: horizon * 0.5,
+                    in_flight: 8,
+                }],
+                ..base()
+            },
+        ),
+    ];
+
+    for &(name, ref cfg) in &scenarios {
+        let (report, summary) = run_des_scenario(name, cfg, &mut violations);
+        println!("  {summary}");
+        let tag = format!("des [{name}]");
+        match name {
+            "exhaustive-read-check" => {
+                if report.silently_exposed != 0 {
+                    violations.push(format!(
+                        "{tag}: {} question(s) read corrupt data undetected under an \
+                         exhaustive read check",
+                        report.silently_exposed
+                    ));
+                }
+                if report.degraded_questions == 0 {
+                    violations.push(format!("{tag}: quarantine skips degraded nothing"));
+                }
+            }
+            "scrub-only" => {
+                if report.detected_by_read != 0 {
+                    violations.push(format!("{tag}: read check fired while disabled"));
+                }
+            }
+            "replica-double-fault" => {
+                if report.repaired_rebuild == 0 {
+                    violations.push(format!(
+                        "{tag}: replica double fault never forced a rebuild repair"
+                    ));
+                }
+            }
+            "scrub-under-load" => {
+                if report.throttled_steps == 0 {
+                    violations.push(format!("{tag}: a pinned gate deferred no scrub steps"));
+                }
+            }
+            _ => {}
+        }
+        summaries.push(summary);
+        points.push(Point {
+            scenario: name,
+            report,
+        });
+    }
+
+    println!();
+    let registry = MetricsRegistry::new();
+    let lines = run_runtime_demo(&args, &registry, &mut violations);
+    for line in &lines {
+        println!("  {line}");
+        summaries.push(line.clone());
+    }
+
+    if let Some(path) = &args.metrics_out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, registry.snapshot().to_json()) {
+            Ok(()) => println!("\n  metrics snapshot written to {path}"),
+            Err(e) => {
+                eprintln!("integrity-soak: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &args.bench_out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, render_bench_json(&args, &points)) {
+            Ok(()) => println!("  bench summary written to {path}"),
+            Err(e) => {
+                eprintln!("integrity-soak: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if !violations.is_empty() {
+        let mut dump = String::new();
+        for v in &violations {
+            eprintln!("integrity-soak VIOLATION: {v}");
+            dump.push_str(&format!("VIOLATION: {v}\n"));
+        }
+        dump.push_str("\n--- run summaries ---\n");
+        for s in &summaries {
+            dump.push_str(s);
+            dump.push('\n');
+        }
+        if let Some(dir) = std::path::Path::new(&args.trace_out).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&args.trace_out, dump) {
+            eprintln!("integrity-soak: cannot write {}: {e}", args.trace_out);
+        } else {
+            eprintln!("integrity-soak: summaries dumped to {}", args.trace_out);
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "\n  invariants held: zero silently-wrong answers, every corruption detected \
+         and repaired, DES double runs bit-identical, healed answers byte-identical \
+         to the fault-free baseline"
+    );
+}

@@ -26,13 +26,18 @@
 //! * [`engine`] — the processor-sharing event engine;
 //! * [`workload`] — the per-question state machine wiring dispatchers and
 //!   partitioning into engine tasks;
-//! * [`experiments`] — drivers that regenerate Tables 5–11 and Fig. 10.
+//! * [`experiments`] — drivers that regenerate Tables 5–11 and Fig. 10;
+//! * [`integrity`] — a virtual-time mirror of the runtime's data-integrity
+//!   tier (corruption → detection → quarantine → scrub-and-repair) for
+//!   time-to-repair and scrub-interference measurements.
 
 pub mod demand;
 pub mod engine;
 pub mod experiments;
+pub mod integrity;
 pub mod workload;
 
 pub use demand::QuestionDemand;
 pub use engine::{Advance, Engine, Stage, StageKind, TaskId};
+pub use integrity::{run_integrity_sim, IntegritySimConfig, IntegritySimReport, LoadWindow};
 pub use workload::{BalancingStrategy, QaSimulation, SimConfig, SimReport};

@@ -1019,6 +1019,13 @@ impl QaSimulation {
                         FaultEvent::ShardDown { .. }
                         | FaultEvent::ShardPartition { .. }
                         | FaultEvent::BrokerCrash { .. } => {}
+                        // Corruption events damage persisted byte stores;
+                        // the integrity DES (crate::integrity) models the
+                        // detect→quarantine→scrub→repair cycle in virtual
+                        // time. The question-latency engine here treats
+                        // storage as abstract demand, so there is nothing
+                        // to flip.
+                        FaultEvent::BitFlip { .. } | FaultEvent::TornWrite { .. } => {}
                     }
                 }
                 // Stable sort: same-time actions apply in config order,

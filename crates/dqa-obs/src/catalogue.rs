@@ -95,6 +95,20 @@ pub struct DqaMetrics {
     pub rebalance_converged: Gauge,
     /// `dqa_rebalance_heal_seconds` — loss/join → convergence latency.
     pub heal_seconds: Histogram,
+    /// `dqa_integrity_quarantined` — sub-collections detected-damaged
+    /// and not yet repaired.
+    pub integrity_quarantined: Gauge,
+    /// `dqa_integrity_scrubbed_total` — scrubber shard verifications.
+    pub integrity_scrubbed: Counter,
+    /// `dqa_integrity_scrub_progress` — scrub-cycle position, 0..1.
+    pub integrity_scrub_progress: Gauge,
+    /// `dqa_integrity_scrub_throttled_total` — scrub steps deferred for
+    /// admission headroom.
+    pub integrity_scrub_throttled: Counter,
+    /// `dqa_integrity_degraded_total` — questions answered with
+    /// explicitly degraded Coverage because a quarantined sub-collection
+    /// was skipped.
+    pub integrity_degraded: Counter,
 }
 
 impl DqaMetrics {
@@ -145,6 +159,12 @@ impl DqaMetrics {
             ownership_epoch: registry.gauge(names::REBALANCE_OWNERSHIP_EPOCH, &[]),
             rebalance_converged: registry.gauge(names::REBALANCE_CONVERGED, &[]),
             heal_seconds: registry.histogram(names::REBALANCE_HEAL_SECONDS, &[]),
+            integrity_quarantined: registry.gauge(names::INTEGRITY_QUARANTINED, &[]),
+            integrity_scrubbed: registry.counter(names::INTEGRITY_SCRUBBED_TOTAL, &[]),
+            integrity_scrub_progress: registry.gauge(names::INTEGRITY_SCRUB_PROGRESS, &[]),
+            integrity_scrub_throttled: registry
+                .counter(names::INTEGRITY_SCRUB_THROTTLED_TOTAL, &[]),
+            integrity_degraded: registry.counter(names::INTEGRITY_DEGRADED_TOTAL, &[]),
             registry: registry.clone(),
         }
     }
@@ -205,6 +225,22 @@ impl DqaMetrics {
             .counter(names::REBALANCE_THROTTLED_TOTAL, &[("cause", cause)])
     }
 
+    /// Checksum-failure counter for one damage class (`target` is
+    /// `"index"`, `"journal"` or `"message"`).
+    pub fn integrity_checksum_failures(&self, target: &str) -> Counter {
+        self.registry.counter(
+            names::INTEGRITY_CHECKSUM_FAILURES_TOTAL,
+            &[("target", target)],
+        )
+    }
+
+    /// Repair counter for one restoration source (`"replica"` — verified
+    /// federation copy — or `"rebuild"` — re-indexed from corpus).
+    pub fn integrity_repairs(&self, source: &str) -> Counter {
+        self.registry
+            .counter(names::INTEGRITY_REPAIRS_TOTAL, &[("source", source)])
+    }
+
     /// The per-module histogram for a Fig. 3 module name (`"QP"`, `"PR"`,
     /// `"PO"`, `"AP"`; `"PS"` maps to the fused PR histogram).
     pub fn module_seconds(&self, module: &str) -> &Histogram {
@@ -246,6 +282,13 @@ mod tests {
         m.ownership_epoch.set(4.0);
         m.rebalance_converged.set(1.0);
         m.heal_seconds.observe(0.4);
+        m.integrity_checksum_failures("index").inc();
+        m.integrity_quarantined.set(1.0);
+        m.integrity_scrubbed.inc();
+        m.integrity_scrub_progress.set(0.5);
+        m.integrity_scrub_throttled.inc();
+        m.integrity_repairs("replica").inc();
+        m.integrity_degraded.inc();
         let snap = reg.snapshot();
         assert_eq!(
             snap.counter(r#"dqa_questions_total{outcome="answered"}"#),
@@ -284,6 +327,19 @@ mod tests {
         assert_eq!(snap.gauges["dqa_rebalance_ownership_epoch"], 4.0);
         assert_eq!(snap.gauges["dqa_rebalance_converged"], 1.0);
         assert!(snap.histograms.contains_key("dqa_rebalance_heal_seconds"));
+        assert_eq!(
+            snap.counter(r#"dqa_integrity_checksum_failures_total{target="index"}"#),
+            1
+        );
+        assert_eq!(snap.gauges["dqa_integrity_quarantined"], 1.0);
+        assert_eq!(snap.counter("dqa_integrity_scrubbed_total"), 1);
+        assert_eq!(snap.gauges["dqa_integrity_scrub_progress"], 0.5);
+        assert_eq!(snap.counter("dqa_integrity_scrub_throttled_total"), 1);
+        assert_eq!(
+            snap.counter(r#"dqa_integrity_repairs_total{source="replica"}"#),
+            1
+        );
+        assert_eq!(snap.counter("dqa_integrity_degraded_total"), 1);
         // The exposition must validate (CI smoke requirement).
         crate::validate_prometheus(&snap.to_prometheus()).expect("valid");
     }

@@ -94,6 +94,13 @@ pub use trace::{
 /// | `dqa_rebalance_ownership_epoch` | gauge | — (monotone ownership-map epoch) |
 /// | `dqa_rebalance_converged` | gauge | — (1 while every sub-collection has a live owner) |
 /// | `dqa_rebalance_heal_seconds` | histogram | — (loss/join detected → convergence restored) |
+/// | `dqa_integrity_checksum_failures_total` | counter | `target` = `index`/`journal`/`message` |
+/// | `dqa_integrity_quarantined` | gauge | — (sub-collections currently quarantined) |
+/// | `dqa_integrity_scrubbed_total` | counter | — (shard verifications completed by the scrubber) |
+/// | `dqa_integrity_scrub_progress` | gauge | — (scrub-cycle position, 0..1) |
+/// | `dqa_integrity_scrub_throttled_total` | counter | — (scrub steps deferred for admission headroom) |
+/// | `dqa_integrity_repairs_total` | counter | `source` = `replica`/`rebuild` |
+/// | `dqa_integrity_degraded_total` | counter | — (questions answered Coverage-degraded by quarantine) |
 pub mod names {
     /// Per-module latency histogram (Table 8). Label `module`.
     pub const MODULE_SECONDS: &str = "dqa_module_seconds";
@@ -166,4 +173,23 @@ pub mod names {
     pub const REBALANCE_CONVERGED: &str = "dqa_rebalance_converged";
     /// Loss/join detection to convergence-restored latency.
     pub const REBALANCE_HEAL_SECONDS: &str = "dqa_rebalance_heal_seconds";
+    /// Checksum verifications that failed. Label `target` =
+    /// `index`/`journal`/`message` — every one of these is a corruption
+    /// that was *caught* instead of silently served.
+    pub const INTEGRITY_CHECKSUM_FAILURES_TOTAL: &str = "dqa_integrity_checksum_failures_total";
+    /// Sub-collections currently quarantined (detected-damaged and not
+    /// yet repaired).
+    pub const INTEGRITY_QUARANTINED: &str = "dqa_integrity_quarantined";
+    /// Shard verifications the background scrubber has completed.
+    pub const INTEGRITY_SCRUBBED_TOTAL: &str = "dqa_integrity_scrubbed_total";
+    /// Position within the current scrub cycle, 0..1.
+    pub const INTEGRITY_SCRUB_PROGRESS: &str = "dqa_integrity_scrub_progress";
+    /// Scrub steps deferred because question admission lacked headroom.
+    pub const INTEGRITY_SCRUB_THROTTLED_TOTAL: &str = "dqa_integrity_scrub_throttled_total";
+    /// Quarantined sub-collections restored. Label `source` =
+    /// `replica` (verified federation copy) / `rebuild` (from corpus).
+    pub const INTEGRITY_REPAIRS_TOTAL: &str = "dqa_integrity_repairs_total";
+    /// Questions answered with explicitly degraded Coverage because a
+    /// quarantined sub-collection was skipped.
+    pub const INTEGRITY_DEGRADED_TOTAL: &str = "dqa_integrity_degraded_total";
 }

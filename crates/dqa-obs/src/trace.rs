@@ -84,6 +84,9 @@ impl CauseSet {
     pub const SPECULATED: CauseSet = CauseSet(1 << 4);
     /// The span continues work resumed from the journal after a crash.
     pub const RESUMED: CauseSet = CauseSet(1 << 5);
+    /// The question skipped quarantined (corruption-detected)
+    /// sub-collections and closed with explicitly reduced coverage.
+    pub const QUARANTINED: CauseSet = CauseSet(1 << 6);
 
     /// The empty set.
     pub fn none() -> CauseSet {
@@ -108,13 +111,14 @@ impl CauseSet {
 
     /// The tags as labels, in fixed declaration order.
     pub fn labels(self) -> Vec<&'static str> {
-        const ALL: [(CauseSet, &str); 6] = [
+        const ALL: [(CauseSet, &str); 7] = [
             (CauseSet::HEDGED, "hedged"),
             (CauseSet::RETRIED, "retried"),
             (CauseSet::THROTTLED, "throttled"),
             (CauseSet::DEGRADED, "degraded"),
             (CauseSet::SPECULATED, "speculated"),
             (CauseSet::RESUMED, "resumed"),
+            (CauseSet::QUARANTINED, "quarantined"),
         ];
         ALL.iter()
             .filter(|(c, _)| self.contains(*c))

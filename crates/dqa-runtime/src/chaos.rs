@@ -82,6 +82,11 @@ impl ChaosDriver {
                 | FaultEvent::NodeDecommission { .. }
                 | FaultEvent::NodeJoin { .. }
                 | FaultEvent::RebalanceStall { .. } => {}
+                // Corruption events damage byte stores, not node
+                // availability: the integrity runtime (crate::integrity)
+                // applies them to its segment store and the journal/link
+                // layers consume the rest. Nothing for the board.
+                FaultEvent::BitFlip { .. } | FaultEvent::TornWrite { .. } => {}
             }
         }
         timeline.sort_by(|a, b| a.0.total_cmp(&b.0));

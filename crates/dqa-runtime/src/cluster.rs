@@ -4,6 +4,7 @@ use crate::board::{LoadBoard, QuarantinePolicy};
 use crate::chaos::ChaosDriver;
 use crate::clock::now_instant;
 use crate::failover::CoordinatorJournal;
+use crate::integrity::{IntegrityConfig, IntegrityRuntime, ScrubReport};
 use crate::links::FaultyLink;
 use crate::message::{Envelope, SubTask, SubTaskResult};
 use crate::monitor::BroadcastMonitors;
@@ -16,7 +17,7 @@ use dqa_obs::{
     names, CausalSpan, CauseSet, Clock, DqaMetrics, Gauge, MetricsRegistry, TraceRecorder,
     WallClock,
 };
-use faults::{FaultSchedule, RetryPolicy};
+use faults::{FaultEvent, FaultSchedule, RetryPolicy};
 use ir_engine::ParagraphRetriever;
 use journal::{
     JournalError, JournalPhase, JournalRecord, QuestionRecovery, RecoveredState, Recovery,
@@ -129,6 +130,14 @@ pub struct ClusterConfig {
     /// (default) disables the tier; every pre-elastic behavior — routing,
     /// recovery, journaling — is unchanged.
     pub elastic: Option<ElasticConfig>,
+    /// Data-integrity tier: a checksummed `DQAIDX2` segment image of the
+    /// index plus a replica copy, corruption fault injection against it,
+    /// read-path spot checks, quarantine of checksum-failing
+    /// sub-collections (questions skip them and close coverage-annotated),
+    /// and a throttled [`Cluster::scrub`]/[`Cluster::scrub_step`] engine
+    /// that detects and repairs damage in the background. `None` (default)
+    /// disables the tier entirely.
+    pub integrity: Option<IntegrityConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -156,6 +165,7 @@ impl Default for ClusterConfig {
             trace_seed: 0,
             journal: None,
             elastic: None,
+            integrity: None,
         }
     }
 }
@@ -209,6 +219,7 @@ pub struct Cluster {
     metrics: DqaMetrics,
     queue_depth: Vec<Gauge>,
     elastic: Option<Mutex<ElasticRuntime>>,
+    integrity: Option<Mutex<IntegrityRuntime>>,
 }
 
 /// Mutable state of the elastic-membership tier: who owns which
@@ -332,6 +343,10 @@ impl Cluster {
         if let Some(journal) = &cfg.journal {
             metrics.leader_term.set(journal.term() as f64);
         }
+        let integrity = cfg
+            .integrity
+            .clone()
+            .map(|icfg| Mutex::new(IntegrityRuntime::new(icfg, Arc::clone(retriever.index()))));
         let elastic = cfg.elastic.clone().map(|ecfg| {
             assert!(
                 ecfg.standby_nodes < cfg.nodes,
@@ -375,6 +390,7 @@ impl Cluster {
             metrics,
             queue_depth,
             elastic,
+            integrity,
         }
     }
 
@@ -613,6 +629,130 @@ impl Cluster {
                     .map(|n| (s, n.raw()))
             })
             .collect()
+    }
+
+    // ---- data integrity (corruption, quarantine, scrub-and-repair) ------
+
+    /// Apply one corruption fault event against the integrity store's
+    /// segment image. Returns `true` when the event targeted an index
+    /// segment and damaged bytes; journal- and message-targeted events are
+    /// consumed by their own subsystems and return `false`, as does a
+    /// cluster without a [`ClusterConfig::integrity`] config.
+    pub fn apply_corruption(&self, event: &FaultEvent) -> bool {
+        let Some(integ) = &self.integrity else {
+            return false;
+        };
+        let judge = self.cfg.faults.corruption_judge();
+        integ.lock().inject(event, &judge)
+    }
+
+    /// Apply every index-segment corruption in the configured fault
+    /// schedule (the runtime analog of the simulator firing them at their
+    /// scheduled virtual times). Returns the number of segments damaged.
+    pub fn inject_scheduled_corruption(&self) -> usize {
+        let Some(integ) = &self.integrity else {
+            return 0;
+        };
+        let judge = self.cfg.faults.corruption_judge();
+        let mut it = integ.lock();
+        self.cfg
+            .faults
+            .events
+            .iter()
+            .filter(|e| it.inject(e, &judge))
+            .count()
+    }
+
+    /// One throttled scrub step: wait (bounded) while the admission gate
+    /// sits above the throttle's headroom line — foreground questions keep
+    /// their latency budget — then verify the next quantum of shard
+    /// regions and repair anything quarantined. Safe to call from a
+    /// background cadence loop; each call is cheap.
+    pub fn scrub_step(&self) -> ScrubReport {
+        let Some(integ) = &self.integrity else {
+            return ScrubReport::default();
+        };
+        let throttle = {
+            let it = integ.lock();
+            it.cfg.throttle
+        };
+        let quantum = Duration::from_secs_f64(throttle.step_secs.max(0.0));
+        let mut report = ScrubReport::default();
+        // Bounded courtesy, same shape as migration pacing: yield to
+        // foreground up to 64 quanta, then take the step anyway — the
+        // scrubber must keep making progress under a persistently full
+        // gate or corruption lingers undetected.
+        for _ in 0..64 {
+            let verdict = throttle.grant(
+                self.gate.in_flight(),
+                self.cfg.overload.max_in_flight,
+                0,
+                false,
+            );
+            if verdict.is_go() {
+                break;
+            }
+            report.throttled += 1;
+            self.metrics.integrity_scrub_throttled.inc();
+            std::thread::sleep(quantum);
+        }
+        let (step, progress, quarantined) = {
+            let mut it = integ.lock();
+            let step = it.scrub_quantum();
+            (
+                step,
+                it.store.scrub_progress(),
+                it.store.quarantined_subs().len(),
+            )
+        };
+        for _ in 0..step.verified {
+            self.metrics.integrity_scrubbed.inc();
+        }
+        for _ in &step.detected {
+            self.metrics.integrity_checksum_failures("index").inc();
+        }
+        for _ in &step.repaired_replica {
+            self.metrics.integrity_repairs("replica").inc();
+        }
+        for _ in &step.repaired_rebuild {
+            self.metrics.integrity_repairs("rebuild").inc();
+        }
+        self.metrics.integrity_scrub_progress.set(progress);
+        self.metrics.integrity_quarantined.set(quarantined as f64);
+        report.absorb(step);
+        report
+    }
+
+    /// One full scrub pass over the shard directory (the `dqa scrub`
+    /// verb): every region verified, every quarantined sub-collection
+    /// repaired, throttled step by step.
+    pub fn scrub(&self) -> ScrubReport {
+        let Some(integ) = &self.integrity else {
+            return ScrubReport::default();
+        };
+        let steps = integ.lock().steps_per_pass();
+        let mut total = ScrubReport::default();
+        for _ in 0..steps {
+            total.absorb(self.scrub_step());
+        }
+        total
+    }
+
+    /// Sub-collections currently quarantined by checksum failures
+    /// (ascending; empty without an integrity config).
+    pub fn quarantined_subs(&self) -> Vec<u32> {
+        self.integrity
+            .as_ref()
+            .map(|i| i.lock().store.quarantined_subs())
+            .unwrap_or_default()
+    }
+
+    /// A copy of the integrity store's primary segment image — what a
+    /// bench dumps as a forensic artifact when an invariant fails.
+    pub fn integrity_segment(&self) -> Option<Vec<u8>> {
+        self.integrity
+            .as_ref()
+            .map(|i| i.lock().store.segment().to_vec())
     }
 
     /// The live candidate pool for placements: board-alive nodes, minus an
@@ -1253,11 +1393,55 @@ impl Cluster {
         let t = now_instant();
         let pr_nodes = self.restrict_to_owners(self.allocate(QaModule::Pr, home), home);
         self.journal_scheduled(question.id, SchedulingPoint::Pr, &pr_nodes);
-        let chunks: Vec<Vec<SubCollectionId>> = (0..self.shards)
-            .map(|s| vec![SubCollectionId::new(s as u32)])
-            .collect();
+        // Integrity read path: spot-check the shard regions this question
+        // is about to read (sampled CRC verification, seeded per question),
+        // then skip everything quarantined. A checksum failure can reduce
+        // the answer's coverage but never reach PR — bytes that failed
+        // verification are off-limits until scrub-and-repair heals them.
+        let mut skipped_subs = 0usize;
+        let chunks: Vec<Vec<SubCollectionId>> = if let Some(integ) = &self.integrity {
+            let (fresh, quarantined) = {
+                let mut it = integ.lock();
+                let all: Vec<u32> = (0..self.shards as u32).collect();
+                let fresh = it.read_check(&all, u64::from(question.id.raw()));
+                (fresh, it.store.quarantined_subs())
+            };
+            for _ in &fresh {
+                self.metrics.integrity_checksum_failures("index").inc();
+            }
+            if !fresh.is_empty() {
+                self.metrics
+                    .integrity_quarantined
+                    .set(quarantined.len() as f64);
+            }
+            let chunks: Vec<Vec<SubCollectionId>> = (0..self.shards as u32)
+                .filter(|s| !quarantined.contains(s))
+                .map(|s| vec![SubCollectionId::new(s)])
+                .collect();
+            skipped_subs = self.shards - chunks.len();
+            chunks
+        } else {
+            (0..self.shards)
+                .map(|s| vec![SubCollectionId::new(s as u32)])
+                .collect()
+        };
+        if skipped_subs > 0 {
+            self.metrics.integrity_degraded.inc();
+            self.trace
+                .record(question.id, home, TraceKind::Quarantined(skipped_subs));
+        }
         let (scored, pr_nodes_used, pr_coverage) =
             self.run_pr(&processed, home, pr_nodes, chunks, deadline, resume)?;
+        // Quarantine-skipped sub-collections count against coverage: the
+        // answer closes explicitly degraded, never silently partial.
+        let pr_coverage = if skipped_subs > 0 {
+            Coverage {
+                completed: pr_coverage.completed,
+                total: pr_coverage.total + skipped_subs as u32,
+            }
+        } else {
+            pr_coverage
+        };
         let dt = t.elapsed();
         timings.add_duration(QaModule::Pr, dt);
         self.metrics.pr_seconds.observe(dt.as_secs_f64());
@@ -2729,6 +2913,109 @@ mod tests {
         // Questions still answer in full off the survivors.
         let out = cl
             .ask(&QuestionGenerator::new(&c, 13).generate(1)[0].question)
+            .unwrap();
+        assert!(out.coverage.is_complete());
+        cl.shutdown();
+    }
+
+    fn integrity_cluster(faults: FaultSchedule) -> (Corpus, Cluster) {
+        let c = Corpus::generate(CorpusConfig::small(91)).unwrap();
+        let index = Arc::new(ShardedIndex::build(&c.documents, c.config.sub_collections));
+        let store = Arc::new(DocumentStore::new(c.documents.clone()));
+        let retriever = ParagraphRetriever::new(index, store, RetrievalConfig::default());
+        let cfg = ClusterConfig {
+            nodes: 3,
+            faults,
+            integrity: Some(crate::integrity::IntegrityConfig {
+                // Exhaustive read-path verification: the sampled check
+                // degenerates to check-all, so detection is deterministic.
+                read_sample_blocks: usize::MAX,
+                ..Default::default()
+            }),
+            ..ClusterConfig::default()
+        };
+        let cl = Cluster::start(retriever, NamedEntityRecognizer::standard(), cfg);
+        (c, cl)
+    }
+
+    #[test]
+    fn corruption_degrades_explicitly_then_scrub_repairs() {
+        let (c, cl) = integrity_cluster(FaultSchedule::seeded(7).bit_flip_index(1, 0.0));
+        let qs = QuestionGenerator::new(&c, 17).generate(2);
+
+        // Clean baseline: full coverage.
+        let before = cl.ask(&qs[0].question).unwrap();
+        assert!(before.coverage.is_complete());
+
+        // Fire the scheduled bit flip and ask again: the read check
+        // quarantines the damaged sub-collection, the question skips it,
+        // and the answer closes explicitly coverage-degraded.
+        assert_eq!(cl.inject_scheduled_corruption(), 1);
+        let degraded = cl.ask(&qs[1].question).unwrap();
+        assert!(
+            !degraded.coverage.is_complete(),
+            "quarantine must reduce coverage, not pass corrupt data"
+        );
+        assert_eq!(cl.quarantined_subs(), vec![1]);
+        let ev = cl.trace().for_question(qs[1].question.id);
+        assert!(
+            ev.iter()
+                .any(|e| matches!(e.kind, crate::trace::TraceKind::Quarantined(1))),
+            "degraded question carries the quarantine trace event"
+        );
+
+        // Scrub: detection already happened on the read path, so the pass
+        // repairs (replica intact → splice) and lifts the quarantine.
+        let report = cl.scrub();
+        assert_eq!(report.repaired_replica, vec![1]);
+        assert!(cl.quarantined_subs().is_empty());
+
+        // Healed: same question returns the same full-coverage answer as
+        // the clean baseline — repair is exact, not approximate.
+        let after = cl.ask(&qs[0].question).unwrap();
+        assert!(after.coverage.is_complete());
+        assert_eq!(
+            before.answers.best().map(|a| a.candidate.clone()),
+            after.answers.best().map(|a| a.candidate.clone()),
+        );
+
+        let snap = cl.metrics().snapshot();
+        assert_eq!(
+            snap.counter(r#"dqa_integrity_checksum_failures_total{target="index"}"#),
+            1
+        );
+        assert_eq!(
+            snap.counter(r#"dqa_integrity_repairs_total{source="replica"}"#),
+            1
+        );
+        assert_eq!(snap.counter("dqa_integrity_degraded_total"), 1);
+        cl.shutdown();
+    }
+
+    #[test]
+    fn scrub_detects_torn_write_without_read_traffic() {
+        let (_c, cl) = integrity_cluster(FaultSchedule::seeded(9).torn_write_index(2, 0.0));
+        assert_eq!(cl.inject_scheduled_corruption(), 1);
+        // No question has touched the segment; the background scrubber is
+        // the only detector, and one full pass both finds and heals it.
+        let report = cl.scrub();
+        assert_eq!(report.detected, vec![2]);
+        assert_eq!(report.repaired(), 1);
+        assert!(cl.quarantined_subs().is_empty());
+        let snap = cl.metrics().snapshot();
+        assert!(snap.counter("dqa_integrity_scrubbed_total") > 0);
+        cl.shutdown();
+    }
+
+    #[test]
+    fn without_integrity_config_every_hook_is_inert() {
+        let (c, cl) = cluster(2, PartitionStrategy::Send);
+        assert_eq!(cl.inject_scheduled_corruption(), 0);
+        assert!(cl.quarantined_subs().is_empty());
+        assert_eq!(cl.scrub(), crate::integrity::ScrubReport::default());
+        assert!(cl.integrity_segment().is_none());
+        let out = cl
+            .ask(&QuestionGenerator::new(&c, 19).generate(1)[0].question)
             .unwrap();
         assert!(out.coverage.is_complete());
         cl.shutdown();

@@ -35,6 +35,7 @@ pub mod chaos;
 pub mod clock;
 pub mod cluster;
 pub mod failover;
+pub mod integrity;
 pub mod links;
 pub mod message;
 pub mod monitor;
@@ -50,6 +51,7 @@ pub use cluster::{Cluster, ClusterConfig, DistributedAnswer};
 pub use failover::{
     heartbeat_channel, Beat, CoordinatorJournal, LeaderLease, Standby, StandbyVerdict,
 };
+pub use integrity::{IntegrityConfig, IntegrityRuntime, IntegrityStore, RepairSource, ScrubReport};
 pub use links::FaultyLink;
 pub use monitor::BroadcastMonitors;
 pub use overload::{Admission, AdmissionGate, GateDecision, PhaseEstimator};

@@ -50,6 +50,10 @@ pub enum TraceKind {
     /// A send into a node's bounded ingress queue timed out; the chunk was
     /// re-queued instead of blocking the coordinator (backpressure).
     Backpressure,
+    /// The coordinator skipped `usize` quarantined (corruption-detected)
+    /// sub-collections; the answer closes with explicitly reduced
+    /// coverage instead of reading damaged postings.
+    Quarantined(usize),
 }
 
 /// One trace record.
@@ -83,6 +87,9 @@ impl TraceEvent {
             TraceKind::Rejected => "rejected at admission".to_string(),
             TraceKind::Shed(m) => format!("shed {m}; deadline budget too small"),
             TraceKind::Backpressure => "ingress queue full; chunk re-queued".to_string(),
+            TraceKind::Quarantined(n) => {
+                format!("skipped {n} quarantined collections; coverage reduced")
+            }
         };
         format!("[{:>8.3}s] {} {} {}", self.at, self.question, self.node, w)
     }
@@ -285,6 +292,9 @@ pub fn seal_question_spans(
             TraceKind::Degraded(_) | TraceKind::Shed(_) => causes.with(CauseSet::DEGRADED),
             TraceKind::Speculated(_) => causes.with(CauseSet::SPECULATED),
             TraceKind::WorkerFailed | TraceKind::Backpressure => causes.with(CauseSet::RETRIED),
+            TraceKind::Quarantined(_) => {
+                causes.with(CauseSet::DEGRADED.with(CauseSet::QUARANTINED))
+            }
             _ => causes,
         };
     }

@@ -145,6 +145,65 @@ pub enum FaultEvent {
         /// Window end (seconds).
         until: f64,
     },
+    /// A single bit flips inside the targeted byte store at `at` — the
+    /// fail-silent fault the checksummed `DQAIDX2` format and the journal
+    /// frame CRCs exist to catch. *Which* byte and bit are not stored in
+    /// the event: [`CorruptionJudge`] derives them as a pure function of
+    /// `(seed, target, buffer length)`, so replays corrupt the same bit
+    /// regardless of thread interleaving.
+    BitFlip {
+        /// The byte store the flip lands in.
+        target: CorruptTarget,
+        /// Corruption time (seconds).
+        at: f64,
+    },
+    /// The targeted byte store is cut short at `at`, as if the writer
+    /// lost power mid-write: every byte past a judge-chosen tear point is
+    /// dropped. Against a journal segment this is the classic torn tail;
+    /// against an index segment it must surface as a length/CRC error,
+    /// never a silently smaller index.
+    TornWrite {
+        /// The byte store that is torn.
+        target: CorruptTarget,
+        /// Corruption time (seconds).
+        at: f64,
+    },
+}
+
+/// Which byte store a [`FaultEvent::BitFlip`] / [`FaultEvent::TornWrite`]
+/// lands in. Each target maps to a stable `u64` flow key so the
+/// [`CorruptionJudge`]'s decisions are pure per-target functions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CorruptTarget {
+    /// The persisted index segment of one sub-collection.
+    IndexSegment {
+        /// Sub-collection whose segment is damaged.
+        sub: u32,
+    },
+    /// One segment file of the coordinator's question journal.
+    JournalSegment {
+        /// Zero-based journal segment index.
+        segment: u64,
+    },
+    /// An in-flight message on the given logical flow (e.g. the
+    /// destination node id): the payload is corrupted on the wire.
+    Message {
+        /// Logical flow the corrupted message travels on.
+        flow: u64,
+    },
+}
+
+impl CorruptTarget {
+    /// Stable flow key for the splitmix64 decision hash. The high bits
+    /// separate the three target spaces so an index segment and a journal
+    /// segment with the same numeric id corrupt independently.
+    pub fn flow_key(&self) -> u64 {
+        match *self {
+            CorruptTarget::IndexSegment { sub } => 0x1000_0000_0000_0000 | u64::from(sub),
+            CorruptTarget::JournalSegment { segment } => 0x2000_0000_0000_0000 | segment,
+            CorruptTarget::Message { flow } => 0x3000_0000_0000_0000 | flow,
+        }
+    }
 }
 
 /// Per-message link-fault probabilities. Applied independently to every
@@ -356,6 +415,64 @@ impl FaultSchedule {
         self
     }
 
+    /// Flip one judge-chosen bit in sub-collection `sub`'s persisted
+    /// index segment at `at`.
+    pub fn bit_flip_index(mut self, sub: u32, at: f64) -> Self {
+        self.events.push(FaultEvent::BitFlip {
+            target: CorruptTarget::IndexSegment { sub },
+            at,
+        });
+        self
+    }
+
+    /// Tear sub-collection `sub`'s persisted index segment at `at`: every
+    /// byte past the judge-chosen tear point is lost.
+    pub fn torn_write_index(mut self, sub: u32, at: f64) -> Self {
+        self.events.push(FaultEvent::TornWrite {
+            target: CorruptTarget::IndexSegment { sub },
+            at,
+        });
+        self
+    }
+
+    /// Flip one judge-chosen bit inside journal segment `segment` at
+    /// `at` — a *mid-segment* frame corruption, not a torn tail.
+    pub fn bit_flip_journal(mut self, segment: u64, at: f64) -> Self {
+        self.events.push(FaultEvent::BitFlip {
+            target: CorruptTarget::JournalSegment { segment },
+            at,
+        });
+        self
+    }
+
+    /// Tear journal segment `segment` at `at` (a torn tail when it is the
+    /// final segment, a corrupt segment otherwise).
+    pub fn torn_write_journal(mut self, segment: u64, at: f64) -> Self {
+        self.events.push(FaultEvent::TornWrite {
+            target: CorruptTarget::JournalSegment { segment },
+            at,
+        });
+        self
+    }
+
+    /// Corrupt one in-flight message on `flow` at `at`.
+    pub fn bit_flip_message(mut self, flow: u64, at: f64) -> Self {
+        self.events.push(FaultEvent::BitFlip {
+            target: CorruptTarget::Message { flow },
+            at,
+        });
+        self
+    }
+
+    /// The corruption judge for this schedule: derives byte offsets, bit
+    /// positions and tear points for [`FaultEvent::BitFlip`] /
+    /// [`FaultEvent::TornWrite`] events as pure functions of the seed.
+    pub fn corruption_judge(&self) -> CorruptionJudge {
+        CorruptionJudge {
+            seed: self.seed ^ 0xc0de_dead_beef_cafe,
+        }
+    }
+
     /// Set the message-loss probability.
     pub fn message_loss(mut self, p: f64) -> Self {
         self.link.loss = p.clamp(0.0, 1.0);
@@ -455,6 +572,64 @@ impl LinkJudge {
     /// The modeled retransmission timeout for lost messages (seconds).
     pub fn retransmit_secs(&self) -> f64 {
         self.link.retransmit_secs
+    }
+}
+
+/// Stateless corruption decider: *where* a [`FaultEvent::BitFlip`] or
+/// [`FaultEvent::TornWrite`] lands in a byte buffer, as a pure function
+/// of `(seed, target, buffer length)`. The backends pass the pristine
+/// buffer; the judge mutates a copy. No RNG state, so a replayed
+/// schedule damages the same bit of the same byte every time.
+#[derive(Debug, Clone, Copy)]
+pub struct CorruptionJudge {
+    seed: u64,
+}
+
+impl CorruptionJudge {
+    /// The byte offset a bit flip against `target` lands on, for a buffer
+    /// of `len` bytes. Deterministic per `(seed, target, len)`.
+    pub fn byte_offset(&self, target: CorruptTarget, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (mix(self.seed, target.flow_key(), 1) % len as u64) as usize
+    }
+
+    /// The bit (0–7) within that byte that flips.
+    pub fn bit(&self, target: CorruptTarget) -> u8 {
+        (mix(self.seed, target.flow_key(), 2) % 8) as u8
+    }
+
+    /// Flip one bit of `buf` in place. Returns the damaged byte offset,
+    /// or `None` for an empty buffer (nothing to damage).
+    pub fn flip(&self, target: CorruptTarget, buf: &mut [u8]) -> Option<usize> {
+        if buf.is_empty() {
+            return None;
+        }
+        let off = self.byte_offset(target, buf.len());
+        buf[off] ^= 1 << self.bit(target);
+        Some(off)
+    }
+
+    /// The tear point for a torn write against `target`: the buffer keeps
+    /// `[0, point)` and loses the rest. Always in `[0, len)` for a
+    /// non-empty buffer, so a torn write is never a no-op.
+    pub fn tear_point(&self, target: CorruptTarget, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (mix(self.seed, target.flow_key(), 3) % len as u64) as usize
+    }
+
+    /// Truncate `buf` at the judge-chosen tear point. Returns the new
+    /// length, or `None` for an empty buffer.
+    pub fn tear(&self, target: CorruptTarget, buf: &mut Vec<u8>) -> Option<usize> {
+        if buf.is_empty() {
+            return None;
+        }
+        let point = self.tear_point(target, buf.len());
+        buf.truncate(point);
+        Some(point)
     }
 }
 
@@ -651,6 +826,77 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: FaultSchedule = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn corruption_builders() {
+        let s = FaultSchedule::seeded(23)
+            .bit_flip_index(2, 4.0)
+            .torn_write_index(0, 8.0)
+            .bit_flip_journal(1, 12.0)
+            .torn_write_journal(0, 14.0)
+            .bit_flip_message(3, 16.0);
+        assert_eq!(s.events.len(), 5);
+        assert!(!s.is_clean());
+        assert_eq!(
+            s.events[0],
+            FaultEvent::BitFlip {
+                target: CorruptTarget::IndexSegment { sub: 2 },
+                at: 4.0
+            }
+        );
+        assert_eq!(
+            s.events[3],
+            FaultEvent::TornWrite {
+                target: CorruptTarget::JournalSegment { segment: 0 },
+                at: 14.0
+            }
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn corruption_judge_is_deterministic_and_per_target() {
+        let s = FaultSchedule::seeded(31).bit_flip_index(0, 1.0);
+        let j = s.corruption_judge();
+        let idx = CorruptTarget::IndexSegment { sub: 5 };
+        let jrn = CorruptTarget::JournalSegment { segment: 5 };
+        // Same target + length → same damage, across judge instances.
+        let mut a = vec![0u8; 257];
+        let mut b = vec![0u8; 257];
+        let off_a = j.flip(idx, &mut a).unwrap();
+        let off_b = s.corruption_judge().flip(idx, &mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(off_a, off_b);
+        assert_eq!(a.iter().filter(|&&x| x != 0).count(), 1, "exactly one bit");
+        assert_eq!(a[off_a].count_ones(), 1);
+        // Index segment 5 and journal segment 5 are independent targets.
+        assert!(
+            j.byte_offset(idx, 100_003) != j.byte_offset(jrn, 100_003) || j.bit(idx) != j.bit(jrn),
+            "target spaces must not collide"
+        );
+    }
+
+    #[test]
+    fn torn_write_always_loses_at_least_one_byte() {
+        let j = FaultSchedule::seeded(47).corruption_judge();
+        for len in [1usize, 2, 9, 1024] {
+            let mut buf = vec![0xabu8; len];
+            let point = j
+                .tear(CorruptTarget::IndexSegment { sub: 1 }, &mut buf)
+                .unwrap();
+            assert!(point < len, "tear at {point} of {len} dropped nothing");
+            assert_eq!(buf.len(), point);
+        }
+        let mut empty: Vec<u8> = Vec::new();
+        assert!(j
+            .tear(CorruptTarget::IndexSegment { sub: 1 }, &mut empty)
+            .is_none());
+        assert!(j
+            .flip(CorruptTarget::Message { flow: 0 }, &mut [])
+            .is_none());
     }
 
     #[test]

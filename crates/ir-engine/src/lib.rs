@@ -16,7 +16,10 @@
 //!   query relaxation, then paragraph extraction, with I/O accounting so the
 //!   simulator can charge disk time;
 //! * [`store`] — a document store resolving ids to text;
-//! * [`persist`] — binary serialization of indexes;
+//! * [`persist`] — binary serialization of indexes (`DQAIDX1`);
+//! * [`integrity`] — the checksummed `DQAIDX2` segment format: per-shard
+//!   and per-term-block CRCs, strict/quarantining/sampled verification,
+//!   and the version-dispatching reader untrusted loads go through;
 //! * [`positional`] — positional postings + phrase queries (extension);
 //! * [`estimate`] — PR query-cost estimation for cost-aware scheduling
 //!   (the future-work direction the paper's §1.4 sketches);
@@ -25,6 +28,7 @@
 
 pub mod estimate;
 pub mod index;
+pub mod integrity;
 pub mod persist;
 pub mod positional;
 pub mod postings;
@@ -36,6 +40,11 @@ pub mod terms;
 
 pub use estimate::CostModel;
 pub use index::{IndexBuilder, ShardedIndex, SubIndex};
+pub use integrity::{
+    decode_index_auto, decode_index_quarantining, decode_index_v2, encode_index_v2, shard_regions,
+    verify_index_v2, verify_sampled, verify_shard, verify_shard_sampled, IntegrityError,
+    Quarantine, VerifiedIndex,
+};
 pub use positional::PositionalIndex;
 pub use postings::PostingsList;
 pub use query::BooleanQuery;

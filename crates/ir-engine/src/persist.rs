@@ -67,12 +67,25 @@ fn decode_shard(r: &mut Reader<'_>) -> Result<SubIndex, QaError> {
     let term_occurrences = r.u64()?;
     let doc_len = r.u32()?;
     let doc_bytes = r.bytes()?;
+    // Every encoded doc id is at least one varint byte, so a count larger
+    // than the byte payload is corrupt input — reject it before the
+    // count drives `to_vec`'s pre-allocation.
+    if doc_len as usize > doc_bytes.len() {
+        return Err(QaError::Codec("absurd doc id count".into()));
+    }
     let doc_posting = PostingsList::from_raw(doc_bytes.to_vec(), doc_len);
     let doc_ids: Vec<DocId> = doc_posting.to_vec();
     if doc_ids.len() != doc_len as usize {
         return Err(QaError::Codec("doc id list truncated".into()));
     }
     let n_terms = r.u32()? as usize;
+    // A term record spends at least 12 bytes on its three length
+    // prefixes; a term count the remaining input cannot possibly hold is
+    // the same absurd-count corruption `decode_index` guards shards
+    // against, and must not size the postings map.
+    if n_terms > r.remaining() / 12 {
+        return Err(QaError::Codec("absurd term count".into()));
+    }
     let mut postings = HashMap::with_capacity(n_terms);
     for _ in 0..n_terms {
         let term_bytes = r.bytes()?;
@@ -81,6 +94,9 @@ fn decode_shard(r: &mut Reader<'_>) -> Result<SubIndex, QaError> {
             .to_string();
         let len = r.u32()?;
         let enc = r.bytes()?.to_vec();
+        if len as usize > enc.len() {
+            return Err(QaError::Codec(format!("absurd postings count for {term}")));
+        }
         let pl = PostingsList::from_raw(enc, len);
         if pl.iter().count() != len as usize {
             return Err(QaError::Codec(format!("postings for {term} truncated")));
@@ -95,26 +111,26 @@ fn decode_shard(r: &mut Reader<'_>) -> Result<SubIndex, QaError> {
     ))
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     put_u32(out, b.len() as u32);
     out.extend_from_slice(b);
 }
 
-struct Reader<'a> {
-    data: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) data: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], QaError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], QaError> {
         if self.pos + n > self.data.len() {
             return Err(QaError::Codec("unexpected end of input".into()));
         }
@@ -123,19 +139,23 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u32(&mut self) -> Result<u32, QaError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, QaError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
     }
 
-    fn u64(&mut self) -> Result<u64, QaError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, QaError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 
-    fn bytes(&mut self) -> Result<&'a [u8], QaError> {
+    pub(crate) fn bytes(&mut self) -> Result<&'a [u8], QaError> {
         let n = self.u32()? as usize;
         self.take(n)
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.data.len() - self.pos
     }
 }
 
@@ -197,5 +217,54 @@ mod tests {
         let idx = ShardedIndex::build(&[], 0);
         let back = decode_index(&encode_index(&idx)).unwrap();
         assert_eq!(back.shard_count(), 0);
+    }
+
+    /// A shard header whose fixed fields are valid up to the term count.
+    fn shard_prefix(doc_len: u32, doc_bytes: u32) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        put_u32(&mut bytes, 1); // one shard
+        put_u32(&mut bytes, 0); // sub-collection id
+        put_u64(&mut bytes, 0); // term occurrences
+        put_u32(&mut bytes, doc_len);
+        put_u32(&mut bytes, doc_bytes);
+        bytes
+    }
+
+    #[test]
+    fn rejects_absurd_term_count_before_allocating() {
+        let mut bytes = shard_prefix(0, 0);
+        put_u32(&mut bytes, u32::MAX); // term count no input could hold
+        let err = decode_index(&bytes).unwrap_err();
+        assert!(
+            matches!(err, QaError::Codec(ref s) if s.contains("absurd term count")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_absurd_doc_count_before_allocating() {
+        // Zero payload bytes but a giant claimed doc count.
+        let mut bytes = shard_prefix(u32::MAX, 0);
+        put_u32(&mut bytes, 0); // term count
+        let err = decode_index(&bytes).unwrap_err();
+        assert!(
+            matches!(err, QaError::Codec(ref s) if s.contains("absurd doc id count")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_absurd_postings_count_before_allocating() {
+        let mut bytes = shard_prefix(0, 0);
+        put_u32(&mut bytes, 1); // one term
+        put_bytes(&mut bytes, b"dog");
+        put_u32(&mut bytes, u32::MAX); // postings count
+        put_u32(&mut bytes, 0); // zero encoded bytes
+        let err = decode_index(&bytes).unwrap_err();
+        assert!(
+            matches!(err, QaError::Codec(ref s) if s.contains("absurd postings count")),
+            "{err:?}"
+        );
     }
 }

@@ -49,10 +49,23 @@ impl Default for JournalOptions {
 pub enum JournalError {
     /// Underlying filesystem error (stringified for `Clone`/`PartialEq`).
     Io(String),
-    /// A segment other than the final one is damaged, or a frame fails
-    /// its checksum: the journal cannot be trusted.
+    /// A segment other than the final one is damaged structurally (e.g.
+    /// torn short): the journal cannot be trusted.
     Corrupt {
         /// Segment file the damage was found in.
+        segment: String,
+        /// Byte offset of the damaged frame.
+        offset: u64,
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+    /// One specific frame is damaged *mid-segment* — a checksum failure,
+    /// an impossible declared length, or a tear with checksum-valid
+    /// frames still behind it. Distinct from tail truncation: truncating
+    /// here would silently drop the valid records after the damage, so
+    /// recovery must surface the damaged frame instead.
+    CorruptFrame {
+        /// Segment file holding the damaged frame.
         segment: String,
         /// Byte offset of the damaged frame.
         offset: u64,
@@ -80,6 +93,14 @@ impl fmt::Display for JournalError {
                 offset,
                 detail,
             } => write!(f, "journal corrupt in {segment} at byte {offset}: {detail}"),
+            JournalError::CorruptFrame {
+                segment,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "journal frame corrupt in {segment} at byte {offset}: {detail}"
+            ),
             JournalError::Fenced { attempted, current } => write!(
                 f,
                 "fenced: append with term {attempted} rejected (journal at term {current})"
@@ -327,6 +348,21 @@ fn scan_segment(
                         detail: "torn frame in non-final segment".into(),
                     });
                 }
+                // A tear is only legal as the *tail*: if a checksum-valid
+                // frame still decodes past this point, the "tear" is a
+                // damaged frame (e.g. a corrupted length field) and
+                // truncating would silently drop the valid records
+                // behind it.
+                if let Some(later) = valid_frame_after(&buf, offset) {
+                    return Err(JournalError::CorruptFrame {
+                        segment,
+                        offset,
+                        detail: format!(
+                            "unreadable frame followed by a valid frame at byte {later} — \
+                             mid-segment corruption, not a torn tail"
+                        ),
+                    });
+                }
                 let torn = buf.len() as u64 - offset;
                 let file = OpenOptions::new().write(true).open(path).map_err(io_err)?;
                 file.set_len(offset).map_err(io_err)?;
@@ -335,7 +371,7 @@ fn scan_segment(
                 break;
             }
             Decoded::Corrupt(detail) => {
-                return Err(JournalError::Corrupt {
+                return Err(JournalError::CorruptFrame {
                     segment,
                     offset,
                     detail,
@@ -344,6 +380,23 @@ fn scan_segment(
         }
     }
     Ok(offset)
+}
+
+/// Scan forward from a torn read for any checksum-valid frame whose
+/// payload deserializes: proof the tear is mid-segment damage rather
+/// than a crash-truncated tail. A CRC collision on garbage is ~2⁻³²,
+/// and the serde check pushes accidental matches further still.
+fn valid_frame_after(buf: &[u8], torn_at: u64) -> Option<u64> {
+    let mut probe = torn_at as usize + 1;
+    while probe + frame::HEADER_LEN <= buf.len() {
+        if let Decoded::Frame { payload, .. } = frame::decode(buf, probe as u64) {
+            if serde_json::from_slice::<Framed>(payload).is_ok() {
+                return Some(probe as u64);
+            }
+        }
+        probe += 1;
+    }
+    None
 }
 
 /// Read every complete frame of one segment file with its start offset.
@@ -370,7 +423,7 @@ pub fn read_segment(path: impl AsRef<Path>) -> Result<Vec<(u64, Framed)>, Journa
             }
             Decoded::Torn => break,
             Decoded::Corrupt(detail) => {
-                return Err(JournalError::Corrupt {
+                return Err(JournalError::CorruptFrame {
                     segment,
                     offset,
                     detail,
@@ -519,8 +572,64 @@ mod tests {
         bytes[last] ^= 0x01;
         fs::write(first, &bytes).unwrap();
         match Journal::open_with(&dir, opts) {
-            Err(JournalError::Corrupt { .. }) => {}
-            other => panic!("expected Corrupt, got {other:?}"),
+            Err(JournalError::CorruptFrame { .. }) => {}
+            other => panic!("expected CorruptFrame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_length_field_does_not_masquerade_as_torn_tail() {
+        let dir = tmp("lenflip");
+        {
+            let (mut j, _) = Journal::open(&dir).unwrap();
+            for i in 0..3 {
+                j.append(1, &admit(i)).unwrap();
+            }
+        }
+        let path = segment_path(&dir, 0);
+        let clean = fs::read(&path).unwrap();
+        // Overwrite frame 0's length prefix with a value that is within
+        // MAX_PAYLOAD but runs past the end of the file: a naive scan
+        // reads this as a torn tail at byte 0 and would truncate away
+        // every valid frame behind it.
+        let mut bytes = clean.clone();
+        bytes[..4].copy_from_slice(&0xFFFFu32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        match Journal::open(&dir) {
+            Err(JournalError::CorruptFrame { offset, detail, .. }) => {
+                assert_eq!(offset, 0);
+                assert!(detail.contains("not a torn tail"), "{detail}");
+            }
+            other => panic!("expected CorruptFrame, got {other:?}"),
+        }
+        // Crucially, recovery refused rather than destroyed: the file
+        // still holds every byte, so a repair tool can salvage frames
+        // 1 and 2.
+        assert_eq!(fs::metadata(&path).unwrap().len(), bytes.len() as u64);
+    }
+
+    #[test]
+    fn checksum_failure_mid_final_segment_is_corrupt_frame() {
+        let dir = tmp("crcflip");
+        {
+            let (mut j, _) = Journal::open(&dir).unwrap();
+            for i in 0..3 {
+                j.append(1, &admit(i)).unwrap();
+            }
+        }
+        let path = segment_path(&dir, 0);
+        let frames = read_segment(&path).unwrap();
+        let second_start = frames[1].0;
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload byte of the *middle* frame: checksum fails
+        // there while a checksum-valid frame still follows.
+        bytes[second_start as usize + frame::HEADER_LEN] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        match Journal::open(&dir) {
+            Err(JournalError::CorruptFrame { offset, .. }) => {
+                assert_eq!(offset, second_start);
+            }
+            other => panic!("expected CorruptFrame, got {other:?}"),
         }
     }
 

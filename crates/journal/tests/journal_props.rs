@@ -6,9 +6,14 @@
 //! 2. **Torn-tail recovery** — truncating the journal at *every* byte
 //!    offset inside the last record still opens successfully and drops
 //!    exactly that record, nothing more.
+//! 3. **Mid-segment corruption detection** — flipping any byte of any
+//!    non-tail frame makes `open` fail with `CorruptFrame` (never a
+//!    silent truncation of the valid records behind the damage, and
+//!    never a successful open over damaged bytes).
 
 use journal::{
-    Framed, Journal, JournalOptions, JournalPhase, JournalRecord, RecoveredState, SchedulingPoint,
+    Framed, Journal, JournalError, JournalOptions, JournalPhase, JournalRecord, RecoveredState,
+    SchedulingPoint,
 };
 use proptest::prelude::*;
 use qa_types::{Question, QuestionId};
@@ -235,6 +240,66 @@ proptest! {
         }
         let (_, after) = Journal::open_with(&dir, opts).unwrap();
         prop_assert_eq!(after.stats.records, records.len() as u64 + 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Flipping one byte anywhere inside a *non-tail* frame must surface
+    /// as [`JournalError::CorruptFrame`]: a checksum-valid frame still
+    /// sits behind the damage, so neither a successful open nor a
+    /// torn-tail truncation is acceptable — both would silently lose or
+    /// accept corrupted records.
+    #[test]
+    fn byte_flip_in_non_tail_frame_is_corrupt_frame(
+        records in prop::collection::vec(record_strategy(), 2..12),
+        frame_frac in 0.0f64..1.0,
+        byte_frac in 0.0f64..1.0,
+        mask in 1u8..=255,
+    ) {
+        let dir = tmp("flip");
+        {
+            let (mut j, _) = Journal::open(&dir).unwrap();
+            for record in &records {
+                j.append(1, record).unwrap();
+            }
+        }
+        let segment = dir.join("segment-000000.dqaj");
+        let clean = fs::read(&segment).unwrap();
+        let frames = journal::read_segment(&segment).unwrap();
+        prop_assert_eq!(frames.len(), records.len());
+        // Pick any frame except the last, then any byte inside it
+        // (header and payload alike are fair game).
+        let victim = ((frame_frac * (frames.len() - 1) as f64) as usize)
+            .min(frames.len() - 2);
+        let start = frames[victim].0 as usize;
+        let end = frames[victim + 1].0 as usize;
+        let pos = start + ((byte_frac * (end - start) as f64) as usize).min(end - start - 1);
+        let mut bytes = clean.clone();
+        bytes[pos] ^= mask;
+        fs::write(&segment, &bytes).unwrap();
+
+        match Journal::open(&dir) {
+            Err(JournalError::CorruptFrame { offset, .. }) => {
+                prop_assert!(
+                    offset <= pos as u64,
+                    "damage at byte {} blamed on a later frame (offset {})",
+                    pos,
+                    offset
+                );
+            }
+            Err(other) => {
+                return Err(TestCaseError::fail(format!(
+                    "flip at byte {pos} gave {other:?}, want CorruptFrame"
+                )));
+            }
+            Ok(_) => {
+                return Err(TestCaseError::fail(format!(
+                    "flip at byte {pos} opened successfully"
+                )));
+            }
+        }
+        // Detection must not destroy evidence: the segment keeps every
+        // byte for offline repair.
+        prop_assert_eq!(fs::metadata(&segment).unwrap().len(), bytes.len() as u64);
         let _ = fs::remove_dir_all(&dir);
     }
 }

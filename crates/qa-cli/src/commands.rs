@@ -9,10 +9,13 @@ use dqa_obs::{
     critical_path, metric_key, names, to_chrome_json, validate_chrome_json, validate_nesting,
     validate_prometheus, CausalSpan, MetricsRegistry, Snapshot,
 };
-use dqa_runtime::{Admission, Cluster, ClusterConfig, CoordinatorJournal};
+use dqa_runtime::{Admission, Cluster, ClusterConfig, CoordinatorJournal, IntegrityConfig};
+use faults::FaultSchedule;
 use federation::{FederatedAdmission, FederationBroker, FederationConfig, FederationPolicy};
-use ir_engine::persist::{decode_index, encode_index};
-use ir_engine::{DocumentStore, ParagraphRetriever, RetrievalConfig, ShardedIndex};
+use ir_engine::{
+    decode_index_auto, encode_index_v2, DocumentStore, ParagraphRetriever, RetrievalConfig,
+    ShardedIndex,
+};
 use nlp::NamedEntityRecognizer;
 use qa_pipeline::{PipelineConfig, QaPipeline};
 use qa_types::params::MBPS;
@@ -41,6 +44,10 @@ usage:
   dqa rebalance --corpus corpus.json [--index index.bin] [--cluster N] [--standby N]
                 [--drain NODE] [--join NODE] [--sample N]
                 [--metrics-out FILE [--metrics-format prom|json]] [overload knobs]
+  dqa scrub --corpus corpus.json [--index index.bin] [--cluster N] [--sample N]
+            [--flip SUB[,SUB…]] [--torn SUB[,SUB…]] [--corrupt-seed N]
+            [--scrub-quantum N] [--read-sample N]
+            [--metrics-out FILE [--metrics-format prom|json]] [overload knobs]
   dqa report metrics.json
   dqa model [--net-mbps N] [--disk-mbps N] [--nodes N]
 
@@ -89,6 +96,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CmdError> {
         "simulate" => simulate(rest).map_err(CmdError::from),
         "recover" => recover(rest).map_err(CmdError::from),
         "rebalance" => rebalance(rest).map_err(CmdError::from),
+        "scrub" => scrub(rest).map_err(CmdError::from),
         "trace" => trace(rest).map_err(CmdError::from),
         "report" => report(rest).map_err(CmdError::from),
         "model" => model(rest).map_err(CmdError::from),
@@ -176,10 +184,12 @@ fn index(argv: &[String]) -> Result<(), String> {
     let corpus = load_corpus(a.require("corpus")?)?;
     let out = a.require("out")?;
     let idx = ShardedIndex::build(&corpus.documents, corpus.config.sub_collections);
-    let bytes = encode_index(&idx);
+    // DQAIDX2: per-shard and per-term-block CRCs, so every later load can
+    // verify what it reads. (`load_index` still accepts v1 files.)
+    let bytes = encode_index_v2(&idx);
     std::fs::write(out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
     println!(
-        "wrote {out}: {} shards, {} documents, {} bytes",
+        "wrote {out}: {} shards, {} documents, {} bytes (DQAIDX2, checksummed)",
         idx.shard_count(),
         idx.doc_count(),
         bytes.len()
@@ -188,12 +198,14 @@ fn index(argv: &[String]) -> Result<(), String> {
 }
 
 /// Load the sharded index `--index` points at, or rebuild it from the
-/// corpus when the flag is absent.
+/// corpus when the flag is absent. Untrusted bytes go through the
+/// version-dispatching verifying reader: a checksummed `DQAIDX2` file is
+/// CRC-verified shard by shard, and a legacy `DQAIDX1` file still loads.
 fn load_index(a: &Args, corpus: &Corpus) -> Result<ShardedIndex, String> {
     match a.get("index") {
         Some(path) => {
             let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
-            decode_index(&bytes).map_err(|e| e.to_string())
+            decode_index_auto(&bytes).map_err(|e| e.to_string())
         }
         None => Ok(ShardedIndex::build(
             &corpus.documents,
@@ -879,6 +891,146 @@ fn rebalance(argv: &[String]) -> Result<(), String> {
     }
     write_metrics(&a, &snap)?;
     Ok(())
+}
+
+/// Parse a comma-separated `--flag 1,3,5` sub-collection list.
+fn sub_list(a: &Args, name: &str) -> Result<Vec<u32>, String> {
+    match a.get(name) {
+        None => Ok(Vec::new()),
+        Some(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<u32>()
+                    .map_err(|_| format!("--{name}: cannot parse {s:?} as a sub-collection id"))
+            })
+            .collect(),
+    }
+}
+
+fn scrub(argv: &[String]) -> Result<(), String> {
+    let a = parse(argv, &[])?;
+    let corpus = load_corpus(a.require("corpus")?)?;
+    let idx = load_index(&a, &corpus)?;
+    let shards = idx.shard_count() as u32;
+    let store = Arc::new(DocumentStore::new(corpus.documents.clone()));
+    let retriever = ParagraphRetriever::new(Arc::new(idx), store, RetrievalConfig::default());
+    let nodes: usize = a.num("cluster", 3usize)?;
+    let samples: usize = a.num("sample", 2usize)?;
+
+    // Corruption knobs: seeded bit flips / torn writes against the named
+    // sub-collections' segment regions. With no list given, flip one bit
+    // in sub-collection 1 so the verb demonstrates the full
+    // detect→quarantine→repair cycle out of the box.
+    let mut flips = sub_list(&a, "flip")?;
+    let torn = sub_list(&a, "torn")?;
+    if flips.is_empty() && torn.is_empty() {
+        flips.push(1.min(shards.saturating_sub(1)));
+    }
+    for &s in flips.iter().chain(torn.iter()) {
+        if s >= shards {
+            return Err(format!(
+                "sub-collection {s} out of range (index has {shards})"
+            ));
+        }
+    }
+    let mut faults = FaultSchedule::seeded(a.num("corrupt-seed", 13u64)?);
+    for &s in &flips {
+        faults = faults.bit_flip_index(s, 0.0);
+    }
+    for &s in &torn {
+        faults = faults.torn_write_index(s, 0.0);
+    }
+
+    let icfg = IntegrityConfig {
+        scrub_quantum: a.num("scrub-quantum", IntegrityConfig::default().scrub_quantum)?,
+        // Exhaustive read verification by default: the CLI demo must never
+        // race the scrubber and silently read damaged bytes.
+        read_sample_blocks: a.num("read-sample", usize::MAX)?,
+        ..IntegrityConfig::default()
+    };
+    let registry = MetricsRegistry::new();
+    let cluster = Cluster::start(
+        retriever,
+        NamedEntityRecognizer::standard(),
+        ClusterConfig {
+            nodes,
+            faults,
+            integrity: Some(icfg),
+            overload: overload_policy(&a)?,
+            metrics: Some(registry.clone()),
+            ..ClusterConfig::default()
+        },
+    );
+
+    let ask_wave = |seed: u64, label: &str| -> Result<(), String> {
+        if samples == 0 {
+            return Ok(());
+        }
+        let qs = QuestionGenerator::new(&corpus, seed).generate(samples);
+        let mut complete = 0usize;
+        for gq in &qs {
+            let out = cluster.ask(&gq.question).map_err(|e| e.to_string())?;
+            if out.coverage.is_complete() {
+                complete += 1;
+            }
+        }
+        println!(
+            "  {label}: {complete}/{} question(s) at full coverage",
+            qs.len()
+        );
+        Ok(())
+    };
+
+    let damaged = cluster.inject_scheduled_corruption();
+    println!(
+        "injected {damaged} corruption(s): bit-flip {flips:?}, torn-write {torn:?} \
+         (seed {})",
+        cluster_seed(&a)?
+    );
+    ask_wave(31, "under corruption")?;
+    let q = cluster.quarantined_subs();
+    if q.is_empty() {
+        println!("  nothing quarantined yet (scrub will detect)");
+    } else {
+        let list: Vec<String> = q.iter().map(|s| s.to_string()).collect();
+        println!("  quarantined sub-collection(s): {}", list.join(", "));
+    }
+
+    let report = cluster.scrub();
+    println!(
+        "scrub: {} region(s) verified clean, {} detected, repaired {} from replica + {} \
+         rebuilt, {} throttled step(s)",
+        report.verified,
+        report.detected.len(),
+        report.repaired_replica.len(),
+        report.repaired_rebuild.len(),
+        report.throttled
+    );
+    let still = cluster.quarantined_subs();
+    if still.is_empty() {
+        println!("  quarantine clear: every region checksum-clean");
+    } else {
+        let list: Vec<String> = still.iter().map(|s| s.to_string()).collect();
+        println!("  STILL quarantined: {}", list.join(", "));
+    }
+    ask_wave(32, "after repair")?;
+    cluster.shutdown();
+
+    let snap = registry.snapshot();
+    println!(
+        "integrity: {} checksum failure(s), {} repair(s), {} degraded question(s)",
+        snap.counter_family(names::INTEGRITY_CHECKSUM_FAILURES_TOTAL),
+        snap.counter_family(names::INTEGRITY_REPAIRS_TOTAL),
+        snap.counter(names::INTEGRITY_DEGRADED_TOTAL),
+    );
+    write_metrics(&a, &snap)?;
+    Ok(())
+}
+
+/// The corruption decision seed `scrub` ran under (echoed for reproduction).
+fn cluster_seed(a: &Args) -> Result<u64, String> {
+    a.num("corrupt-seed", 13u64)
 }
 
 /// Render Table 8/9-style breakdowns from a metrics snapshot written by
@@ -1827,5 +1979,60 @@ mod tests {
             run(&["ask", "--corpus", &corpus_path]).is_err(),
             "no questions given"
         );
+    }
+
+    #[test]
+    fn scrub_detects_and_repairs_injected_corruption() {
+        let corpus_path = tmp("c10.json");
+        let index_path = tmp("c10.idx");
+        let metrics_path = tmp("c10-metrics.json");
+        run(&[
+            "generate",
+            "--seed",
+            "23",
+            "--size",
+            "small",
+            "--out",
+            &corpus_path,
+        ])
+        .unwrap();
+        // `dqa index` now writes DQAIDX2; the verifying loader reads it.
+        run(&["index", "--corpus", &corpus_path, "--out", &index_path]).unwrap();
+        run(&[
+            "scrub",
+            "--corpus",
+            &corpus_path,
+            "--index",
+            &index_path,
+            "--cluster",
+            "2",
+            "--flip",
+            "0,2",
+            "--torn",
+            "1",
+            "--sample",
+            "1",
+            "--metrics-out",
+            &metrics_path,
+        ])
+        .unwrap();
+        let snap = Snapshot::from_json(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert_eq!(
+            snap.counter_family(names::INTEGRITY_CHECKSUM_FAILURES_TOTAL),
+            3,
+            "every injected corruption is detected"
+        );
+        assert_eq!(
+            snap.counter_family(names::INTEGRITY_REPAIRS_TOTAL),
+            3,
+            "every detection is repaired"
+        );
+        assert_eq!(
+            snap.gauges.get(names::INTEGRITY_QUARANTINED).copied(),
+            Some(0.0),
+            "the run ends with an empty quarantine"
+        );
+        // Out-of-range sub-collections are refused.
+        assert!(run(&["scrub", "--corpus", &corpus_path, "--flip", "999",]).is_err());
     }
 }

@@ -71,6 +71,7 @@ pub const RULE_NAMES: &[&str] = &[
     "unbounded-channel",
     "raw-fs-write",
     "unseeded-rng",
+    "unchecked-decode",
     "lock-order",
     "blocking-under-guard",
     "hashmap-iter-order",
@@ -204,6 +205,16 @@ const UNSEEDED_RNG: Meta = Meta {
     why: "entropy-seeded RNG outside the CLI",
     help: "seed every generator from config (e.g. SmallRng::seed_from_u64) so experiment \
            tables reproduce run to run",
+};
+
+const UNCHECKED_DECODE: Meta = Meta {
+    name: "unchecked-decode",
+    scope: RuleScope::AllExcept(&["ir-engine"]),
+    why: "index bytes decoded without checksum verification",
+    help: "load index segments through ir_engine::decode_index_auto (or decode_index_v2 / \
+           decode_index_quarantining) so CRC-failing shards are detected and quarantined \
+           instead of flowing silently into answers; the raw v1 reader skips verification \
+           and belongs only inside ir-engine and its codec microbenches",
 };
 
 /// Shared with [`crate::lockgraph`], which emits the actual diagnostics.
@@ -450,6 +461,11 @@ impl Checker<'_> {
                     &UNBOUNDED_CHANNEL,
                     "crossbeam_channel::unbounded",
                     "crossbeam_channel::unbounded",
+                ),
+                (
+                    &UNCHECKED_DECODE,
+                    "ir_engine::persist::decode_index",
+                    "persist::decode_index",
                 ),
             ] {
                 if u.glob {
@@ -1042,6 +1058,11 @@ impl Checker<'_> {
             "create" if segs.len() >= 2 => {
                 if judge(&self.ctx, segs, "std::fs::File::create") != Verdict::Innocent {
                     self.report(&RAW_FS_WRITE, last_line, "File::create");
+                }
+            }
+            "decode_index" => {
+                if judge(&self.ctx, segs, "ir_engine::persist::decode_index") != Verdict::Innocent {
+                    self.report(&UNCHECKED_DECODE, last_line, "persist::decode_index");
                 }
             }
             "random" if segs.len() >= 2 => {

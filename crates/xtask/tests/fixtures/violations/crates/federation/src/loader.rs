@@ -1,0 +1,35 @@
+//! Golden fixture: runtime index loads must use the verifying reader.
+//! Never compiled — this tree is data for `tests/golden.rs`.
+
+use ir_engine::persist::decode_index;
+
+pub fn load_via_import(bytes: &[u8]) -> usize {
+    decode_index(bytes).map(|i| i.shard_count()).unwrap_or(0)
+}
+
+pub fn load_via_path(bytes: &[u8]) -> usize {
+    ir_engine::persist::decode_index(bytes)
+        .map(|i| i.shard_count())
+        .unwrap_or(0)
+}
+
+// dqa-lint: allow(unchecked-decode)
+pub fn load_waived(bytes: &[u8]) -> usize {
+    ir_engine::persist::decode_index(bytes)
+        .map(|i| i.shard_count())
+        .unwrap_or(0)
+}
+
+pub fn load_verified(bytes: &[u8]) -> usize {
+    ir_engine::decode_index_auto(bytes)
+        .map(|i| i.shard_count())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn raw_reader_is_fine_in_tests() {
+        let _ = ir_engine::persist::decode_index(&[]);
+    }
+}

@@ -15,7 +15,7 @@ fn fixture(name: &str) -> PathBuf {
 #[test]
 fn violations_fixture_flags_each_rule_at_exact_lines() {
     let (checked, diags) = run_lint(&fixture("violations")).expect("fixture lint");
-    assert_eq!(checked, 8, "fixture tree should contribute 8 source files");
+    assert_eq!(checked, 9, "fixture tree should contribute 9 source files");
 
     let got: Vec<(&str, &str, u32, &str)> = diags
         .iter()
@@ -25,6 +25,7 @@ fn violations_fixture_flags_each_rule_at_exact_lines() {
     let obs = "crates/dqa-obs/src/trace.rs";
     let rt = "crates/dqa-runtime/src/lib.rs";
     let fed = "crates/federation/src/lib.rs";
+    let fedl = "crates/federation/src/loader.rs";
     let reb = "crates/rebalance/src/lib.rs";
     let want = vec![
         (sim, "unordered-state", 4, "HashMap"),
@@ -44,6 +45,9 @@ fn violations_fixture_flags_each_rule_at_exact_lines() {
         (rt, "raw-fs-write", 54, "fs::write"),
         (rt, "raw-fs-write", 58, "File::create"),
         (fed, "unbounded-channel", 5, "crossbeam_channel::unbounded"),
+        (fedl, "unchecked-decode", 4, "persist::decode_index"),
+        (fedl, "unchecked-decode", 7, "persist::decode_index"),
+        (fedl, "unchecked-decode", 11, "persist::decode_index"),
         (reb, "raw-instant", 6, "Instant::now()"),
         (reb, "unbounded-recv", 10, ".recv()"),
         (reb, "unbounded-channel", 14, "crossbeam_channel::unbounded"),
@@ -155,7 +159,8 @@ fn json_rendering_is_valid_and_complete() {
     for d in &diags {
         assert!(json.contains(&format!("\"file\":\"{}\",\"line\":{}", d.file, d.line)));
     }
-    // All eight rule names exercised except the per-fixture exemptions.
+    // All nine v1-style rule names exercised except the per-fixture
+    // exemptions.
     for rule in [
         "wall-clock",
         "unordered-state",
@@ -165,6 +170,7 @@ fn json_rendering_is_valid_and_complete() {
         "unbounded-channel",
         "raw-fs-write",
         "unseeded-rng",
+        "unchecked-decode",
     ] {
         assert!(
             json.contains(&format!("\"rule\":\"{rule}\"")),
